@@ -1,0 +1,127 @@
+//! Pointwise error metrics between original and decompressed data.
+//!
+//! Definitions follow the lossy-compression literature the paper uses:
+//! `NRMSE = RMSE / (max − min)` and `PSNR = −20·log10(NRMSE)`, both over
+//! the *original* data's value range. Bit rate is compressed bits per data
+//! point; compression ratio is raw bytes over compressed bytes.
+
+/// Summary statistics of a reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Largest absolute pointwise error.
+    pub max_error: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// RMSE normalized by the original value range.
+    pub nrmse: f64,
+    /// Peak signal-to-noise ratio in dB (∞ for exact reconstructions).
+    pub psnr: f64,
+    /// Original value range (max − min).
+    pub range: f64,
+}
+
+impl ErrorStats {
+    /// Computes all statistics in one pass.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or the input is empty.
+    pub fn compute(original: &[f64], decompressed: &[f64]) -> Self {
+        assert_eq!(original.len(), decompressed.len(), "length mismatch");
+        assert!(!original.is_empty(), "empty input");
+        let mut max_err = 0.0f64;
+        let mut sq_sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for (&a, &b) in original.iter().zip(decompressed.iter()) {
+            let e = (a - b).abs();
+            if e > max_err {
+                max_err = e;
+            }
+            sq_sum += (a - b) * (a - b);
+            if a < min {
+                min = a;
+            }
+            if a > max {
+                max = a;
+            }
+        }
+        let rmse = (sq_sum / original.len() as f64).sqrt();
+        let range = max - min;
+        let nrmse = if range > 0.0 { rmse / range } else { rmse };
+        let psnr = if nrmse > 0.0 { -20.0 * nrmse.log10() } else { f64::INFINITY };
+        Self { max_error: max_err, rmse, nrmse, psnr, range }
+    }
+}
+
+/// Largest absolute pointwise error.
+pub fn max_error(original: &[f64], decompressed: &[f64]) -> f64 {
+    ErrorStats::compute(original, decompressed).max_error
+}
+
+/// Value-range-normalized RMSE.
+pub fn nrmse(original: &[f64], decompressed: &[f64]) -> f64 {
+    ErrorStats::compute(original, decompressed).nrmse
+}
+
+/// Peak signal-to-noise ratio in dB.
+pub fn psnr(original: &[f64], decompressed: &[f64]) -> f64 {
+    ErrorStats::compute(original, decompressed).psnr
+}
+
+/// Average compressed bits per data point (`f64` inputs → 64 is "raw").
+pub fn bit_rate(compressed_bytes: usize, n_values: usize) -> f64 {
+    assert!(n_values > 0);
+    compressed_bytes as f64 * 8.0 / n_values as f64
+}
+
+/// Raw size over compressed size.
+pub fn compression_ratio(raw_bytes: usize, compressed_bytes: usize) -> f64 {
+    assert!(compressed_bytes > 0);
+    raw_bytes as f64 / compressed_bytes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_reconstruction() {
+        let a = [1.0, 2.0, 3.0];
+        let s = ErrorStats::compute(&a, &a);
+        assert_eq!(s.max_error, 0.0);
+        assert_eq!(s.rmse, 0.0);
+        assert_eq!(s.nrmse, 0.0);
+        assert!(s.psnr.is_infinite());
+    }
+
+    #[test]
+    fn known_errors() {
+        let a = [0.0, 10.0];
+        let b = [0.1, 9.9];
+        let s = ErrorStats::compute(&a, &b);
+        assert!((s.max_error - 0.1).abs() < 1e-12);
+        assert!((s.rmse - 0.1).abs() < 1e-12);
+        assert!((s.nrmse - 0.01).abs() < 1e-12);
+        assert!((s.psnr - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_data_range_zero() {
+        let a = [5.0, 5.0];
+        let b = [5.1, 4.9];
+        let s = ErrorStats::compute(&a, &b);
+        assert!((s.nrmse - s.rmse).abs() < 1e-15); // falls back to un-normalized
+    }
+
+    #[test]
+    fn rates_and_ratios() {
+        assert_eq!(bit_rate(1000, 1000), 8.0);
+        assert_eq!(compression_ratio(8000, 1000), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        ErrorStats::compute(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Value histograms (paper Fig. 4).
+//!
+//! The paper splits MD datasets into multi-peak-dominated distributions
+//! (strong level clustering) and near-uniform ones. [`Histogram`] builds the
+//! distribution; [`Histogram::peakedness`] quantifies which regime a dataset
+//! falls into.
+
+/// A fixed-bin histogram over a data range.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Left edge of the first bin.
+    pub min: f64,
+    /// Right edge of the last bin.
+    pub max: f64,
+    /// Bin counts.
+    pub counts: Vec<u64>,
+    /// Number of non-finite values skipped.
+    pub skipped: usize,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` equal-width bins over the data's own
+    /// range.
+    pub fn build(data: &[f64], bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut skipped = 0usize;
+        for &v in data {
+            if !v.is_finite() {
+                skipped += 1;
+                continue;
+            }
+            if v < min {
+                min = v;
+            }
+            if v > max {
+                max = v;
+            }
+        }
+        if min > max {
+            // No finite data: empty histogram over [0, 1).
+            return Self { min: 0.0, max: 1.0, counts: vec![0; bins], skipped };
+        }
+        let width = (max - min).max(f64::MIN_POSITIVE);
+        let mut counts = vec![0u64; bins];
+        for &v in data {
+            if !v.is_finite() {
+                continue;
+            }
+            let b = (((v - min) / width) * bins as f64) as usize;
+            counts[b.min(bins - 1)] += 1;
+        }
+        Self { min, max, counts, skipped }
+    }
+
+    /// Total counted values.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Centre of bin `b`.
+    pub fn center(&self, b: usize) -> f64 {
+        let w = (self.max - self.min) / self.counts.len() as f64;
+        self.min + (b as f64 + 0.5) * w
+    }
+
+    /// Peak-to-uniform mass ratio: `max_bin / (total / bins)`.
+    ///
+    /// ≈ 1 for uniform data; ≫ 1 for multi-peak (level-clustered) data.
+    pub fn peakedness(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let expected = total as f64 / self.counts.len() as f64;
+        let max = *self.counts.iter().max().unwrap() as f64;
+        max / expected
+    }
+
+    /// Number of local maxima above `threshold × uniform mass` — a crude
+    /// peak count for Fig. 4-style classification.
+    pub fn peak_count(&self, threshold: f64) -> usize {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let expected = total as f64 / self.counts.len() as f64;
+        let floor = expected * threshold;
+        let c = &self.counts;
+        (0..c.len())
+            .filter(|&i| {
+                let v = c[i] as f64;
+                v > floor
+                    && (i == 0 || c[i - 1] < c[i])
+                    && (i + 1 == c.len() || c[i + 1] <= c[i])
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_data_low_peakedness() {
+        let data: Vec<f64> = (0..10_000).map(|i| i as f64 / 100.0).collect();
+        let h = Histogram::build(&data, 50);
+        assert_eq!(h.total(), 10_000);
+        assert!(h.peakedness() < 1.2, "{}", h.peakedness());
+    }
+
+    #[test]
+    fn clustered_data_high_peakedness() {
+        let mut data = Vec::new();
+        for i in 0..1000 {
+            data.push((i % 5) as f64 * 10.0 + (i % 7) as f64 * 0.01);
+        }
+        let h = Histogram::build(&data, 50);
+        assert!(h.peakedness() > 5.0, "{}", h.peakedness());
+        assert!(h.peak_count(2.0) >= 4, "{}", h.peak_count(2.0));
+    }
+
+    #[test]
+    fn non_finite_values_skipped() {
+        let data = [1.0, f64::NAN, 2.0, f64::INFINITY];
+        let h = Histogram::build(&data, 4);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.skipped, 2);
+    }
+
+    #[test]
+    fn all_non_finite_is_empty() {
+        let h = Histogram::build(&[f64::NAN, f64::NAN], 4);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.peakedness(), 0.0);
+    }
+
+    #[test]
+    fn bin_centers_span_range() {
+        let h = Histogram::build(&[0.0, 10.0], 10);
+        assert!((h.center(0) - 0.5).abs() < 1e-12);
+        assert!((h.center(9) - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_data_single_bin() {
+        let h = Histogram::build(&[3.0; 100], 10);
+        assert_eq!(h.total(), 100);
+        assert_eq!(*h.counts.iter().max().unwrap(), 100);
+    }
+}

@@ -1,0 +1,89 @@
+//! Series-extraction helpers for the characterization figures.
+//!
+//! Fig. 3 plots a window of one snapshot against particle index (spatial
+//! pattern); Fig. 5 plots selected particles against time (temporal
+//! pattern). These helpers slice and summarize trajectories accordingly.
+
+/// A window of `snapshot[start..start+len]` — the Fig. 3 spatial series.
+pub fn spatial_window(snapshot: &[f64], start: usize, len: usize) -> &[f64] {
+    let end = (start + len).min(snapshot.len());
+    &snapshot[start.min(snapshot.len())..end]
+}
+
+/// Particle `p`'s value over all snapshots — the Fig. 5 temporal series.
+pub fn temporal_series(snapshots: &[Vec<f64>], p: usize) -> Vec<f64> {
+    snapshots.iter().map(|s| s[p]).collect()
+}
+
+/// Mean absolute snapshot-to-snapshot change per particle — the scalar
+/// behind the paper's "changes largely" vs "changes slightly" split.
+pub fn temporal_roughness(snapshots: &[Vec<f64>]) -> f64 {
+    if snapshots.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for w in snapshots.windows(2) {
+        for (&a, &b) in w[0].iter().zip(w[1].iter()) {
+            if a.is_finite() && b.is_finite() {
+                total += (b - a).abs();
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Mean absolute neighbour-to-neighbour change within one snapshot — the
+/// spatial-smoothness counterpart used to classify Fig. 3 patterns.
+pub fn spatial_roughness(snapshot: &[f64]) -> f64 {
+    if snapshot.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for w in snapshot.windows(2) {
+        if w[0].is_finite() && w[1].is_finite() {
+            total += (w[1] - w[0]).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_and_series() {
+        let snaps = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        assert_eq!(spatial_window(&snaps[0], 1, 2), &[2.0, 3.0]);
+        assert_eq!(spatial_window(&snaps[0], 2, 10), &[3.0]);
+        assert_eq!(temporal_series(&snaps, 1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn roughness_measures() {
+        let smooth = vec![vec![1.0, 1.0], vec![1.001, 1.001]];
+        let rough = vec![vec![1.0, 1.0], vec![5.0, -3.0]];
+        assert!(temporal_roughness(&smooth) < temporal_roughness(&rough));
+        assert_eq!(temporal_roughness(&[vec![1.0]]), 0.0);
+        assert!(spatial_roughness(&[0.0, 10.0, 0.0]) > spatial_roughness(&[0.0, 0.1, 0.2]));
+        assert_eq!(spatial_roughness(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn roughness_skips_non_finite() {
+        let snaps = vec![vec![1.0, f64::NAN], vec![2.0, 3.0]];
+        assert_eq!(temporal_roughness(&snaps), 1.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Snapshot similarity (paper Eq. 2, Fig. 8).
+//!
+//! `Similarity(τ, i)` is the fraction of data points whose relative change
+//! from snapshot 0 is below τ — the measurement that motivates MT's
+//! snapshot-0 prediction: on quiescent datasets (Copper-A, Pt) nearly all
+//! atoms remain within τ of their initial positions for the entire run.
+
+/// Fraction of points `j` with `|(s_i[j] − s_0[j]) / s_i[j]| < tau`.
+///
+/// Points where `s_i[j] == 0` count as unchanged only when `s_0[j]` is also
+/// zero (the relative measure is undefined otherwise, mirroring the paper's
+/// formula which divides by `S_i[j]`).
+pub fn similarity(s0: &[f64], si: &[f64], tau: f64) -> f64 {
+    assert_eq!(s0.len(), si.len(), "length mismatch");
+    assert!(!s0.is_empty(), "empty input");
+    let mut unchanged = 0usize;
+    for (&a, &b) in s0.iter().zip(si.iter()) {
+        let ok = if b != 0.0 {
+            ((b - a) / b).abs() < tau
+        } else {
+            a == 0.0
+        };
+        if ok {
+            unchanged += 1;
+        }
+    }
+    unchanged as f64 / s0.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_snapshots_are_fully_similar() {
+        let s = [1.0, -2.0, 3.5];
+        assert_eq!(similarity(&s, &s, 1e-6), 1.0);
+    }
+
+    #[test]
+    fn threshold_splits_changed_points() {
+        let s0 = [1.0, 1.0, 1.0, 1.0];
+        let si = [1.0005, 1.2, 1.0001, 0.5];
+        // τ = 1e-3: points 0 and 2 unchanged.
+        assert_eq!(similarity(&s0, &si, 1e-3), 0.5);
+        // τ large: everything unchanged.
+        assert_eq!(similarity(&s0, &si, 10.0), 1.0);
+    }
+
+    #[test]
+    fn zero_handling() {
+        assert_eq!(similarity(&[0.0], &[0.0], 1e-3), 1.0);
+        assert_eq!(similarity(&[1.0], &[0.0], 1e-3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ragged_input_panics() {
+        similarity(&[1.0], &[1.0, 2.0], 0.1);
+    }
+}

@@ -1,0 +1,243 @@
+//! Shared plumbing for baseline compressors: error type, code/escape blob
+//! packing, and small header helpers.
+
+use mdz_core::quant::{LinearQuantizer, Quantized};
+use mdz_entropy::{
+    huffman::huffman_decode_at, huffman_encode, read_uvarint, write_uvarint, EntropyError,
+};
+use mdz_lossless::lz77;
+
+/// Error type shared by all baselines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// Underlying stream was malformed.
+    Stream(EntropyError),
+    /// Header/body structure invalid.
+    Corrupt(&'static str),
+}
+
+impl From<EntropyError> for BaselineError {
+    fn from(e: EntropyError) -> Self {
+        BaselineError::Stream(e)
+    }
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Stream(e) => write!(f, "stream error: {e}"),
+            BaselineError::Corrupt(w) => write!(f, "corrupt stream: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, BaselineError>;
+
+/// Encoder-side accumulator for the classic SZ tail: quantization codes +
+/// escape list, Huffman-coded then LZ-compressed.
+#[derive(Debug, Default)]
+pub struct CodeSink {
+    /// Quantization codes (0 = escape marker).
+    pub codes: Vec<u32>,
+    /// `(flat index, verbatim value)` escape records.
+    pub escapes: Vec<(usize, f64)>,
+}
+
+impl CodeSink {
+    /// Creates an empty sink with capacity for `n` codes.
+    pub fn with_capacity(n: usize) -> Self {
+        Self { codes: Vec::with_capacity(n), escapes: Vec::new() }
+    }
+
+    /// Quantizes `value` against `prediction`, recording code or escape, and
+    /// returns the reconstruction.
+    #[inline]
+    pub fn push(&mut self, quant: &LinearQuantizer, value: f64, prediction: f64) -> f64 {
+        let mut recon = 0.0;
+        match quant.quantize(value, prediction, &mut recon) {
+            Quantized::Code(c) => self.codes.push(c),
+            Quantized::Escape => {
+                self.codes.push(0);
+                self.escapes.push((self.codes.len() - 1, value));
+            }
+        }
+        recon
+    }
+
+    /// Serializes codes + escapes, Huffman + LZ compressed, appending to `out`.
+    pub fn finish(self, out: &mut Vec<u8>) {
+        let mut inner = huffman_encode(&self.codes);
+        write_uvarint(&mut inner, self.escapes.len() as u64);
+        let mut prev = 0u64;
+        for (i, &(idx, v)) in self.escapes.iter().enumerate() {
+            let delta = if i == 0 { idx as u64 } else { idx as u64 - prev };
+            write_uvarint(&mut inner, delta);
+            inner.extend_from_slice(&v.to_le_bytes());
+            prev = idx as u64;
+        }
+        let payload = lz77::compress(&inner, lz77::Level::Default);
+        write_uvarint(out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+    }
+}
+
+/// Decoder-side counterpart of [`CodeSink`].
+#[derive(Debug)]
+pub struct CodeSource {
+    /// Decoded quantization codes (0 = escape marker).
+    pub codes: Vec<u32>,
+    escapes: std::collections::HashMap<usize, f64>,
+}
+
+impl CodeSource {
+    /// Parses a [`CodeSink::finish`] blob from `data` at `*pos`.
+    pub fn parse(data: &[u8], pos: &mut usize, expected_codes: usize) -> Result<Self> {
+        let payload_len = read_uvarint(data, pos)? as usize;
+        let end = pos
+            .checked_add(payload_len)
+            .filter(|&e| e <= data.len())
+            .ok_or(BaselineError::Corrupt("truncated payload"))?;
+        let inner = lz77::decompress(&data[*pos..end])?;
+        *pos = end;
+        let mut ipos = 0;
+        let codes = huffman_decode_at(&inner, &mut ipos)?;
+        if codes.len() != expected_codes {
+            return Err(BaselineError::Corrupt("code count mismatch"));
+        }
+        let n_escapes = read_uvarint(&inner, &mut ipos)? as usize;
+        if n_escapes > codes.len() {
+            return Err(BaselineError::Corrupt("escape count exceeds codes"));
+        }
+        let mut escapes = std::collections::HashMap::with_capacity(n_escapes.min(1 << 20));
+        let mut idx = 0u64;
+        for i in 0..n_escapes {
+            let delta = read_uvarint(&inner, &mut ipos)?;
+            idx = if i == 0 {
+                delta
+            } else {
+                idx.checked_add(delta).ok_or(BaselineError::Corrupt("escape index overflow"))?
+            };
+            let bytes = inner
+                .get(ipos..ipos + 8)
+                .ok_or(BaselineError::Stream(EntropyError::UnexpectedEof))?;
+            ipos += 8;
+            escapes.insert(idx as usize, f64::from_le_bytes(bytes.try_into().unwrap()));
+        }
+        Ok(Self { codes, escapes })
+    }
+
+    /// Reconstructs the value at flat position `i` given its prediction.
+    #[inline]
+    pub fn reconstruct(&self, quant: &LinearQuantizer, i: usize, prediction: f64) -> Result<f64> {
+        let code = self.codes[i];
+        if code == 0 {
+            self.escapes
+                .get(&i)
+                .copied()
+                .ok_or(BaselineError::Corrupt("missing escape value"))
+        } else {
+            Ok(quant.reconstruct(code, prediction))
+        }
+    }
+}
+
+/// Writes the standard baseline header `(magic, m, n, eps)`.
+pub fn write_header(out: &mut Vec<u8>, magic: &[u8; 4], m: usize, n: usize, eps: f64) {
+    out.extend_from_slice(magic);
+    write_uvarint(out, m as u64);
+    write_uvarint(out, n as u64);
+    out.extend_from_slice(&eps.to_le_bytes());
+}
+
+/// Reads a baseline header, validating the magic.
+pub fn read_header(
+    data: &[u8],
+    pos: &mut usize,
+    magic: &[u8; 4],
+) -> Result<(usize, usize, f64)> {
+    let got = data.get(*pos..*pos + 4).ok_or(BaselineError::Corrupt("truncated magic"))?;
+    if got != magic {
+        return Err(BaselineError::Corrupt("magic mismatch"));
+    }
+    *pos += 4;
+    let m = read_uvarint(data, pos)? as usize;
+    let n = read_uvarint(data, pos)? as usize;
+    // Tighter than the core format's guard: baseline decoders eagerly
+    // allocate O(m·n) buffers, so a forged header must stay cheap. 2^24
+    // values comfortably covers every harness configuration.
+    if m == 0 || n == 0 || m.checked_mul(n).is_none_or(|p| p > (1 << 24)) {
+        return Err(BaselineError::Corrupt("implausible dimensions"));
+    }
+    let eps_bytes = data.get(*pos..*pos + 8).ok_or(BaselineError::Corrupt("truncated eps"))?;
+    *pos += 8;
+    let eps = f64::from_le_bytes(eps_bytes.try_into().unwrap());
+    if !(eps > 0.0 && eps.is_finite()) {
+        return Err(BaselineError::Corrupt("invalid eps"));
+    }
+    Ok((m, n, eps))
+}
+
+/// Default quantization radius used by the SZ-style baselines.
+pub const RADIUS: u32 = 512;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_source_round_trip() {
+        let quant = LinearQuantizer::new(0.01, RADIUS);
+        let values: Vec<f64> = (0..500).map(|i| (i as f64 * 0.1).sin() * 3.0).collect();
+        let mut sink = CodeSink::with_capacity(values.len());
+        let mut recons = Vec::new();
+        for &v in &values {
+            recons.push(sink.push(&quant, v, 0.0));
+        }
+        let mut blob = Vec::new();
+        sink.finish(&mut blob);
+        let mut pos = 0;
+        let src = CodeSource::parse(&blob, &mut pos, values.len()).unwrap();
+        for (i, (&v, &r)) in values.iter().zip(recons.iter()).enumerate() {
+            let got = src.reconstruct(&quant, i, 0.0).unwrap();
+            assert_eq!(got, r);
+            assert!((got - v).abs() <= 0.01);
+        }
+    }
+
+    #[test]
+    fn sink_escapes_out_of_range() {
+        let quant = LinearQuantizer::new(1e-6, 4);
+        let mut sink = CodeSink::with_capacity(2);
+        let r = sink.push(&quant, 1000.0, 0.0);
+        assert_eq!(r, 1000.0); // escaped verbatim
+        assert_eq!(sink.escapes.len(), 1);
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let mut out = Vec::new();
+        write_header(&mut out, b"TEST", 10, 999, 1e-3);
+        let mut pos = 0;
+        let (m, n, eps) = read_header(&out, &mut pos, b"TEST").unwrap();
+        assert_eq!((m, n, eps), (10, 999, 1e-3));
+        assert!(read_header(&out, &mut 0, b"NOPE").is_err());
+    }
+
+    #[test]
+    fn corrupt_blobs_error() {
+        let quant = LinearQuantizer::new(0.01, RADIUS);
+        let mut sink = CodeSink::with_capacity(10);
+        for i in 0..10 {
+            sink.push(&quant, i as f64, 0.0);
+        }
+        let mut blob = Vec::new();
+        sink.finish(&mut blob);
+        for cut in 0..blob.len() {
+            let _ = CodeSource::parse(&blob[..cut], &mut 0, 10);
+        }
+        assert!(CodeSource::parse(&blob, &mut 0, 11).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests: every baseline honours the error bound on arbitrary
+//! buffers and rejects malformed input without panicking.
+
+use mdz_baselines::all_baselines;
+use proptest::prelude::*;
+
+fn buffer_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..6, 1usize..80, 0usize..3, any::<u64>()).prop_map(|(m, n, kind, seed)| {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..m)
+            .map(|t| {
+                (0..n)
+                    .map(|i| match kind {
+                        0 => (i % 9) as f64 * 2.5 + (next() - 0.5) * 0.03,
+                        1 => i as f64 * 0.05 + t as f64 * 1e-4,
+                        _ => next() * 100.0 - 50.0,
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_baselines_respect_bound(
+        snaps in buffer_strategy(),
+        eps_exp in -5i32..-1,
+    ) {
+        let eps = 10f64.powi(eps_exp);
+        for c in all_baselines().iter_mut() {
+            let blob = c.compress(&snaps, eps);
+            let out = c.decompress(&blob).unwrap();
+            prop_assert_eq!(out.len(), snaps.len());
+            for (s, o) in snaps.iter().zip(out.iter()) {
+                for (a, b) in s.iter().zip(o.iter()) {
+                    prop_assert!(
+                        (a - b).abs() <= eps * (1.0 + 1e-9),
+                        "{}: |{} - {}| > {}", c.name(), a, b, eps
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_baselines_reject_garbage(data in prop::collection::vec(any::<u8>(), 0..200)) {
+        for c in all_baselines().iter_mut() {
+            let _ = c.decompress(&data); // must not panic
+        }
+    }
+
+    #[test]
+    fn all_baselines_survive_truncation(
+        snaps in buffer_strategy(),
+        frac in 0.0f64..1.0,
+    ) {
+        for c in all_baselines().iter_mut() {
+            let blob = c.compress(&snaps, 1e-3);
+            let cut = (blob.len() as f64 * frac) as usize;
+            let _ = c.decompress(&blob[..cut]); // must not panic
+        }
+    }
+}

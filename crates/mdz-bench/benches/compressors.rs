@@ -1,0 +1,68 @@
+//! Criterion benchmarks for whole-buffer compression: MDZ's three methods
+//! plus every baseline, on a Helium-B-like buffer (the paper's Fig. 9/15
+//! performance subject).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mdz_bench::harness::{mdz_codec, standard_codecs};
+use mdz_core::Method;
+use mdz_sim::{datasets, DatasetKind, Scale};
+
+fn helium_buffer() -> (Vec<Vec<f64>>, f64) {
+    let d = datasets::generate(DatasetKind::HeliumB, Scale::Small, 1);
+    let series = d.axis_series(0);
+    let buf: Vec<Vec<f64>> = series.into_iter().take(10).collect();
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for s in &buf {
+        for &v in s {
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    (buf, 1e-3 * (max - min))
+}
+
+fn bench_mdz_methods(c: &mut Criterion) {
+    let (buf, eps) = helium_buffer();
+    let bytes = (buf.len() * buf[0].len() * 8) as u64;
+    let mut g = c.benchmark_group("mdz_compress");
+    g.throughput(Throughput::Bytes(bytes));
+    for method in [Method::Vq, Method::Vqt, Method::Mt] {
+        let mut codec = mdz_codec(method);
+        // Warm the stream state (grid detection happens once per stream).
+        let _ = codec.compress(&buf, eps);
+        g.bench_function(format!("{method:?}"), |b| {
+            b.iter(|| codec.compress(black_box(&buf), eps))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("mdz_decompress");
+    g.throughput(Throughput::Bytes(bytes));
+    for method in [Method::Vq, Method::Vqt, Method::Mt] {
+        let mut codec = mdz_codec(method);
+        let blob = codec.compress(&buf, eps);
+        g.bench_function(format!("{method:?}"), |b| {
+            b.iter(|| codec.decompress(black_box(&blob)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let (buf, eps) = helium_buffer();
+    let bytes = (buf.len() * buf[0].len() * 8) as u64;
+    let mut g = c.benchmark_group("baseline_compress");
+    g.throughput(Throughput::Bytes(bytes));
+    for codec in standard_codecs().iter_mut().skip(1) {
+        g.bench_function(codec.name(), |b| b.iter(|| codec.compress(black_box(&buf), eps)));
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mdz_methods, bench_baselines
+}
+criterion_main!(benches);

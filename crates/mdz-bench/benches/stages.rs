@@ -1,0 +1,125 @@
+//! Criterion microbenchmarks for the pipeline stages MDZ is built from:
+//! Huffman coding, LZ77, 1-D k-means level detection, and quantization.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mdz_core::quant::LinearQuantizer;
+use mdz_entropy::{huffman_decode, huffman_encode, range_decode, range_encode};
+use mdz_kmeans::{detect_levels, SelectConfig};
+use mdz_lossless::lz77;
+
+fn quantization_codes(n: usize) -> Vec<u32> {
+    // SZ-like geometric distribution centred at 512.
+    let mut s = 0x9E3779B97F4A7C15u64;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let r = (s >> 40) as f64 / (1u64 << 24) as f64;
+            let mag = (-r.max(1e-9).ln() * 2.0) as i64;
+            let sign = if s & 1 == 0 { 1 } else { -1 };
+            (512 + sign * mag) as u32
+        })
+        .collect()
+}
+
+fn lattice_values(n: usize) -> Vec<f64> {
+    let mut s = 7u64;
+    (0..n)
+        .map(|i| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let u = (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            (i % 24) as f64 * 1.8 + u * 0.05
+        })
+        .collect()
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    let symbols = quantization_codes(100_000);
+    let encoded = huffman_encode(&symbols);
+    let mut g = c.benchmark_group("huffman");
+    g.throughput(Throughput::Elements(symbols.len() as u64));
+    g.bench_function("encode_100k", |b| b.iter(|| huffman_encode(black_box(&symbols))));
+    g.bench_function("decode_100k", |b| b.iter(|| huffman_decode(black_box(&encoded)).unwrap()));
+    g.finish();
+}
+
+fn bench_range_coder(c: &mut Criterion) {
+    let symbols = quantization_codes(100_000);
+    let encoded = range_encode(&symbols);
+    let mut g = c.benchmark_group("range_coder");
+    g.throughput(Throughput::Elements(symbols.len() as u64));
+    g.bench_function("encode_100k", |b| b.iter(|| range_encode(black_box(&symbols))));
+    g.bench_function("decode_100k", |b| b.iter(|| range_decode(black_box(&encoded)).unwrap()));
+    g.finish();
+}
+
+fn bench_float_codecs(c: &mut Criterion) {
+    let values = lattice_values(50_000);
+    let mut g = c.benchmark_group("lossless_float");
+    g.throughput(Throughput::Bytes((values.len() * 8) as u64));
+    g.bench_function("gorilla_compress", |b| {
+        b.iter(|| mdz_lossless::gorilla::compress(black_box(&values)))
+    });
+    g.bench_function("fpc_compress", |b| {
+        b.iter(|| mdz_lossless::fpc::compress(black_box(&values)))
+    });
+    g.bench_function("fpzip_like_compress", |b| {
+        b.iter(|| mdz_lossless::fpzip_like::compress(black_box(&values)))
+    });
+    g.finish();
+}
+
+fn bench_lz77(c: &mut Criterion) {
+    // Seq-2-like byte stream: long runs with occasional changes.
+    let mut data = Vec::with_capacity(200_000);
+    for i in 0..200_000u32 {
+        data.push((i / 977 % 7) as u8);
+    }
+    let mut g = c.benchmark_group("lz77");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for level in [lz77::Level::Fast, lz77::Level::Default, lz77::Level::High] {
+        g.bench_function(format!("compress_{level:?}"), |b| {
+            b.iter(|| lz77::compress(black_box(&data), level))
+        });
+    }
+    let compressed = lz77::compress(&data, lz77::Level::Default);
+    g.bench_function("decompress", |b| {
+        b.iter(|| lz77::decompress(black_box(&compressed)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let values = lattice_values(50_000);
+    let cfg = SelectConfig::default();
+    c.bench_function("kmeans_detect_levels_50k", |b| {
+        b.iter(|| detect_levels(black_box(&values), &cfg))
+    });
+}
+
+fn bench_quantizer(c: &mut Criterion) {
+    let values = lattice_values(100_000);
+    let quant = LinearQuantizer::new(1e-3, 512);
+    let mut g = c.benchmark_group("quantizer");
+    g.throughput(Throughput::Elements(values.len() as u64));
+    g.bench_function("quantize_100k", |b| {
+        b.iter(|| {
+            let mut recon = 0.0;
+            let mut acc = 0u64;
+            for &v in &values {
+                match quant.quantize(v, (v * 1000.0).round() / 1000.0, &mut recon) {
+                    mdz_core::quant::Quantized::Code(code) => acc += u64::from(code),
+                    mdz_core::quant::Quantized::Escape => acc += 1,
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_huffman, bench_range_coder, bench_float_codecs, bench_lz77, bench_kmeans, bench_quantizer
+}
+criterion_main!(benches);

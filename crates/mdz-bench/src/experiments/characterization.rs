@@ -1,0 +1,177 @@
+//! Characterization experiments: Table I, Figs. 3–5, Fig. 8, Table II.
+
+use super::Ctx;
+use crate::table::{fmt, Table};
+use mdz_analysis::{histogram::Histogram, series, similarity::similarity};
+use mdz_sim::DatasetKind;
+
+/// The six datasets the paper's Figs. 3–5 panels show.
+const FIG_PANEL: [DatasetKind; 6] = [
+    DatasetKind::CopperB,
+    DatasetKind::Adk,
+    DatasetKind::HeliumA,
+    DatasetKind::HeliumB,
+    DatasetKind::Pt,
+    DatasetKind::Lj,
+];
+
+/// Table I: dataset inventory (paper dims + this reproduction's dims).
+pub fn table1(ctx: &mut Ctx) -> Vec<Table> {
+    let mut t = Table::new(
+        "Table I — MD simulation datasets",
+        &["Application", "State", "Code", "Paper snaps", "Paper atoms", "Our snaps", "Our atoms"],
+    );
+    for kind in DatasetKind::MD {
+        let (state, code, pm, pn) = kind.paper_row();
+        let d = ctx.dataset(kind);
+        let (m, n) = (d.len(), d.atoms());
+        t.row(vec![
+            kind.name().into(),
+            state.into(),
+            code.into(),
+            pm.to_string(),
+            pn.to_string(),
+            m.to_string(),
+            n.to_string(),
+        ]);
+    }
+    vec![ctx.emit("table1", t)]
+}
+
+/// Fig. 3: spatial patterns — a window of snapshot 0 per dataset, plus the
+/// roughness/peakedness classification behind the takeaways.
+pub fn fig3(ctx: &mut Ctx) -> Vec<Table> {
+    let mut curve = Table::new(
+        "Fig 3 — spatial series (x-axis, snapshot 0, first 256 atoms)",
+        &["dataset", "index", "value"],
+    );
+    let mut class = Table::new(
+        "Fig 3 — spatial pattern classification",
+        &["dataset", "spatial roughness", "pattern"],
+    );
+    for kind in FIG_PANEL {
+        let d = ctx.dataset(kind);
+        let snap = &d.snapshots[0];
+        let window = series::spatial_window(&snap.x, 0, 256);
+        for (i, &v) in window.iter().enumerate() {
+            curve.row(vec![kind.name().into(), i.to_string(), fmt(v)]);
+        }
+        let rough = series::spatial_roughness(&snap.x);
+        let peaked = Histogram::build(&snap.x, 100).peakedness();
+        let pattern = if peaked > 2.0 {
+            if rough > 0.5 {
+                "zigzag levels"
+            } else {
+                "stair-wise levels"
+            }
+        } else {
+            "random/uniform"
+        };
+        class.row(vec![kind.name().into(), fmt(rough), pattern.into()]);
+    }
+    vec![ctx.emit("fig3_series", curve), ctx.emit("fig3_class", class)]
+}
+
+/// Fig. 4: value distributions — histogram + multi-peak classification.
+pub fn fig4(ctx: &mut Ctx) -> Vec<Table> {
+    let mut hist = Table::new(
+        "Fig 4 — value distribution (x-axis)",
+        &["dataset", "bin center", "count"],
+    );
+    let mut class = Table::new(
+        "Fig 4 — distribution classification",
+        &["dataset", "peakedness", "peaks", "class"],
+    );
+    for kind in FIG_PANEL {
+        let d = ctx.dataset(kind);
+        let all: Vec<f64> = d.snapshots[0].x.clone();
+        let h = Histogram::build(&all, 80);
+        for (b, &c) in h.counts.iter().enumerate() {
+            hist.row(vec![kind.name().into(), fmt(h.center(b)), c.to_string()]);
+        }
+        let p = h.peakedness();
+        let peaks = h.peak_count(2.0);
+        let label = if p > 2.0 { "multi-peak" } else { "uniform-like" };
+        class.row(vec![kind.name().into(), fmt(p), peaks.to_string(), label.into()]);
+    }
+    vec![ctx.emit("fig4_hist", hist), ctx.emit("fig4_class", class)]
+}
+
+/// Fig. 5: temporal correlations — selected particle trajectories and the
+/// roughness split into the paper's two regimes.
+pub fn fig5(ctx: &mut Ctx) -> Vec<Table> {
+    let mut curve = Table::new(
+        "Fig 5 — temporal series (x-axis, particles 0/1/2)",
+        &["dataset", "particle", "snapshot", "value"],
+    );
+    let mut class = Table::new(
+        "Fig 5 — temporal regime",
+        &["dataset", "temporal roughness", "regime"],
+    );
+    for kind in FIG_PANEL {
+        let d = ctx.dataset(kind);
+        let xs = d.axis_series(0);
+        for p in 0..3.min(d.atoms()) {
+            let ts = series::temporal_series(&xs, p);
+            for (s, &v) in ts.iter().enumerate() {
+                curve.row(vec![kind.name().into(), p.to_string(), s.to_string(), fmt(v)]);
+            }
+        }
+        let rough = series::temporal_roughness(&xs);
+        // Normalize by the spatial scale so the split is dimensionless.
+        let spatial = series::spatial_roughness(&xs[0]).max(1e-12);
+        let regime = if rough / spatial < 0.2 { "changes slightly" } else { "changes largely" };
+        class.row(vec![kind.name().into(), fmt(rough), regime.into()]);
+    }
+    vec![ctx.emit("fig5_series", curve), ctx.emit("fig5_class", class)]
+}
+
+/// Fig. 8: similarity of each snapshot to snapshot 0 (Eq. 2).
+pub fn fig8(ctx: &mut Ctx) -> Vec<Table> {
+    let mut t = Table::new(
+        "Fig 8 — similarity to snapshot 0 (τ = 1e-3)",
+        &["dataset", "snapshot %", "similarity"],
+    );
+    let tau = 1e-3;
+    for kind in [DatasetKind::CopperA, DatasetKind::CopperB, DatasetKind::Pt, DatasetKind::Adk] {
+        let d = ctx.dataset(kind);
+        let m = d.len();
+        let s0 = &d.snapshots[0].x;
+        for pct in (0..=100).step_by(10) {
+            let i = ((pct as usize) * (m - 1)) / 100;
+            let s = similarity(s0, &d.snapshots[i].x, tau);
+            t.row(vec![kind.name().into(), pct.to_string(), fmt(s)]);
+        }
+    }
+    vec![ctx.emit("fig8", t)]
+}
+
+/// Table II: mean absolute prediction error — snapshot-0-based (MT's
+/// predictor) versus Lorenzo (SZ's spatial predictor).
+pub fn table2(ctx: &mut Ctx) -> Vec<Table> {
+    let mut t = Table::new(
+        "Table II — mean |prediction error| (x-axis)",
+        &["dataset", "snapshot-0 predictor", "Lorenzo (spatial)", "winner"],
+    );
+    for kind in [DatasetKind::CopperA, DatasetKind::Pt, DatasetKind::HeliumA, DatasetKind::CopperB]
+    {
+        let d = ctx.dataset(kind);
+        let xs = d.axis_series(0);
+        let s0 = &xs[0];
+        let mut e_ref = 0.0f64;
+        let mut e_lor = 0.0f64;
+        let mut count = 0usize;
+        for snap in xs.iter().skip(1) {
+            for i in 0..snap.len() {
+                e_ref += (snap[i] - s0[i]).abs();
+                let lor = if i == 0 { 0.0 } else { snap[i - 1] };
+                e_lor += (snap[i] - lor).abs();
+                count += 1;
+            }
+        }
+        let (a, b) = (e_ref / count as f64, e_lor / count as f64);
+        let winner = if a < b { "snapshot-0" } else { "Lorenzo" };
+        t.row(vec![kind.name().into(), fmt(a), fmt(b), winner.into()]);
+    }
+    vec![ctx.emit("table2", t)]
+}

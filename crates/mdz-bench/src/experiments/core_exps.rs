@@ -1,0 +1,184 @@
+//! MDZ-internal experiments: quantization-scale sweep (Fig. 9), Seq-1 vs
+//! Seq-2 (Table III), adaptive tracking (Figs. 10–11).
+
+use super::Ctx;
+use crate::harness::{axis_eps, mdz_codec, mdz_codec_with, run_dataset};
+use crate::table::{fmt, Table};
+use mdz_core::Method;
+use mdz_sim::{DatasetKind, Scale};
+
+/// Fig. 9: compressor performance vs quantization scale on Helium-B
+/// (ε = 1e-3 value-range, BS = 10).
+pub fn fig9(ctx: &mut Ctx) -> Vec<Table> {
+    let mut t = Table::new(
+        "Fig 9 — speed vs quantization scale (Helium-B, eps 1e-3, BS 10)",
+        &["scale", "method", "comp MB/s", "decomp MB/s", "ratio"],
+    );
+    let d = ctx.dataset(DatasetKind::HeliumB).clone();
+    for scale in [64u32, 256, 1024, 4096, 16384, 65536] {
+        for method in [Method::Vq, Method::Vqt, Method::Mt] {
+            let mut codec = mdz_codec_with(method, scale / 2, true);
+            let (m, _) = run_dataset(&mut codec, &d, 1e-3, 10, false);
+            t.row(vec![
+                scale.to_string(),
+                codec.name().into(),
+                fmt(m.compress_mbps()),
+                fmt(m.decompress_mbps()),
+                fmt(m.ratio()),
+            ]);
+        }
+    }
+    vec![ctx.emit("fig9", t)]
+}
+
+/// Table III: Seq-1 vs Seq-2 compression ratios per axis (Helium-B, MT,
+/// BS = 10, ε ∈ {1e-1, 5e-2, 1e-2}).
+pub fn table3(ctx: &mut Ctx) -> Vec<Table> {
+    let mut t = Table::new(
+        "Table III — Seq-1 vs Seq-2 CR (Helium-B, MT, BS 10)",
+        &["axis", "eps", "Seq-1", "Seq-2", "gain %"],
+    );
+    let d = ctx.dataset(DatasetKind::HeliumB).clone();
+    for axis in 0..3 {
+        let axis_name = ["X", "Y", "Z"][axis];
+        for &eps_rel in &[1e-1, 5e-2, 1e-2] {
+            let eps = axis_eps(&d, axis, eps_rel);
+            let series = d.axis_series(axis);
+            let mut sizes = [0usize; 2];
+            for (k, seq2) in [false, true].into_iter().enumerate() {
+                let mut codec = mdz_codec_with(Method::Mt, 512, seq2);
+                let mut total = 0usize;
+                let mut start = 0;
+                while start < series.len() {
+                    let end = (start + 10).min(series.len());
+                    total += codec.compress(&series[start..end], eps).len();
+                    start = end;
+                }
+                sizes[k] = total;
+            }
+            let raw = series.len() * d.atoms() * 8;
+            let cr1 = raw as f64 / sizes[0] as f64;
+            let cr2 = raw as f64 / sizes[1] as f64;
+            t.row(vec![
+                axis_name.into(),
+                format!("{eps_rel:.0e}"),
+                fmt(cr1),
+                fmt(cr2),
+                fmt((cr2 / cr1 - 1.0) * 100.0),
+            ]);
+        }
+    }
+    vec![ctx.emit("table3", t)]
+}
+
+/// Fig. 10: per-buffer CR of VQ/VQT/MT/ADP over a long stream whose regime
+/// changes midway; ADP should track the winner.
+pub fn fig10(ctx: &mut Ctx) -> Vec<Table> {
+    let mut t = Table::new(
+        "Fig 10 — per-buffer CR over a regime change (BS 10)",
+        &["buffer", "VQ", "VQT", "MT", "ADP", "ADP choice"],
+    );
+    // Mirror the paper's Copper-B observation (MT best early, VQT best
+    // later): a crystal that is quiescent at first, then starts *hopping* —
+    // atoms jump to neighbouring lattice sites, staying level-aligned (so
+    // VQ-style prediction stays cheap) while drifting ever further from the
+    // initial snapshot (so MT's snapshot-0 prediction decays).
+    let (n_buffers, bs, n_atoms) = match ctx.scale {
+        Scale::Test => (12, 4, 200),
+        _ => (60, 10, 1000),
+    };
+    let eps = 0.01;
+    let lambda = 2.5;
+    let sigma = 5.0 * eps; // vibration well above one quantization bin
+    let corr: f64 = 0.999; // temporally very smooth
+    let mut stream: Vec<Vec<f64>> = Vec::new();
+    let mut s = ctx.seed | 1;
+    let mut gauss = move || {
+        // Sum of three xorshift uniforms ≈ gaussian enough here.
+        let mut acc = 0.0;
+        for _ in 0..3 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            acc += (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        }
+        acc
+    };
+    let mut sites: Vec<f64> = (0..n_atoms).map(|i| (i % 14) as f64 * lambda).collect();
+    let mut disp: Vec<f64> = (0..n_atoms).map(|_| gauss() * sigma).collect();
+    let half = n_buffers * bs / 2;
+    let kick = sigma * (1.0 - corr * corr).sqrt();
+    let mut u = ctx.seed ^ 0xD1F7;
+    let mut uniform = move || {
+        u ^= u << 13;
+        u ^= u >> 7;
+        u ^= u << 17;
+        (u >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for t_idx in 0..n_buffers * bs {
+        stream.push(sites.iter().zip(disp.iter()).map(|(&b, &d)| b + d).collect());
+        for d in &mut disp {
+            *d = *d * corr + gauss() * kick;
+        }
+        if t_idx >= half {
+            // Thermally activated hops: ~1.5 % of atoms jump one level per
+            // snapshot, decorrelating the stream from snapshot 0.
+            for s in &mut sites {
+                if uniform() < 0.015 {
+                    *s += if uniform() < 0.5 { lambda } else { -lambda };
+                }
+            }
+        }
+    }
+
+    let mut vq = mdz_codec(Method::Vq);
+    let mut vqt = mdz_codec(Method::Vqt);
+    let mut mt = mdz_codec(Method::Mt);
+    let mut adp_cfg = mdz_core::MdzConfig::new(mdz_core::ErrorBound::Absolute(eps));
+    // Re-evaluate every 5 buffers so the switch is visible in a short run
+    // (the paper's 50 assumes multi-thousand-snapshot streams).
+    adp_cfg.adapt_interval = 5;
+    let mut adp = mdz_core::Compressor::new(adp_cfg);
+    let raw_per_buffer = bs * n_atoms * 8;
+    for b in 0..n_buffers {
+        let buf = &stream[b * bs..(b + 1) * bs];
+        let sizes: Vec<f64> = [&mut vq, &mut vqt, &mut mt]
+            .into_iter()
+            .map(|c| raw_per_buffer as f64 / c.compress(buf, eps).len() as f64)
+            .collect();
+        let adp_size = adp.compress_buffer(buf).expect("adp").len();
+        let choice = adp.current_adaptive_choice().map(|m| m.to_string()).unwrap_or_default();
+        t.row(vec![
+            b.to_string(),
+            fmt(sizes[0]),
+            fmt(sizes[1]),
+            fmt(sizes[2]),
+            fmt(raw_per_buffer as f64 / adp_size as f64),
+            choice,
+        ]);
+    }
+    vec![ctx.emit("fig10", t)]
+}
+
+/// Fig. 11: ADP vs VQ/VQT/MT across datasets × buffer sizes; ADP should
+/// match the best concrete method.
+pub fn fig11(ctx: &mut Ctx) -> Vec<Table> {
+    let mut t = Table::new(
+        "Fig 11 — CR of VQ/VQT/MT/ADP (eps 1e-3)",
+        &["dataset", "BS", "VQ", "VQT", "MT", "ADP"],
+    );
+    let bss: &[usize] = if ctx.scale == Scale::Test { &[4] } else { &[10, 50, 100] };
+    for kind in DatasetKind::MD {
+        let d = ctx.dataset(kind).clone();
+        for &bs in bss {
+            let mut cells = vec![kind.name().to_string(), bs.to_string()];
+            for method in [Method::Vq, Method::Vqt, Method::Mt, Method::Adaptive] {
+                let mut codec = mdz_codec(method);
+                let (m, _) = run_dataset(&mut codec, &d, 1e-3, bs, false);
+                cells.push(fmt(m.ratio()));
+            }
+            t.row(cells);
+        }
+    }
+    vec![ctx.emit("fig11", t)]
+}

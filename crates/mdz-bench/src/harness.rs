@@ -1,0 +1,344 @@
+//! Uniform codec harness over MDZ and the baselines.
+
+use mdz_baselines::{asn::Asn, hrtc::Hrtc, lfzip::Lfzip, mdb::Mdb, sz2::Sz2, sz2::Sz2Mode, sz3::Sz3, tng::Tng};
+use mdz_baselines::{BaselineError, BufferCompressor};
+use mdz_core::{Compressor, Decompressor, ErrorBound, MdzConfig, Method};
+use mdz_sim::Dataset;
+use std::time::Instant;
+
+/// A named, stateful compressor under test.
+pub struct Codec {
+    name: &'static str,
+    inner: CodecImpl,
+}
+
+enum CodecImpl {
+    Mdz {
+        method: Method,
+        radius: u32,
+        seq2: bool,
+        extended: bool,
+        comp: Option<Compressor>,
+        dec: Decompressor,
+    },
+    Baseline(Box<dyn BufferCompressor>),
+}
+
+impl Codec {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Resets cross-buffer state (fresh stream).
+    pub fn reset(&mut self) {
+        match &mut self.inner {
+            CodecImpl::Mdz { comp, dec, .. } => {
+                *comp = None;
+                *dec = Decompressor::new();
+            }
+            CodecImpl::Baseline(_) => {}
+        }
+    }
+
+    /// Compresses one buffer under absolute bound `eps`.
+    pub fn compress(&mut self, snapshots: &[Vec<f64>], eps: f64) -> Vec<u8> {
+        match &mut self.inner {
+            CodecImpl::Mdz { method, radius, seq2, extended, comp, .. } => {
+                let c = comp.get_or_insert_with(|| {
+                    Compressor::new(
+                        MdzConfig::new(ErrorBound::Absolute(eps))
+                            .with_method(*method)
+                            .with_radius(*radius)
+                            .with_seq2(*seq2)
+                            .with_extended_candidates(*extended),
+                    )
+                });
+                c.compress_buffer(snapshots).expect("mdz compress")
+            }
+            CodecImpl::Baseline(b) => b.compress(snapshots, eps),
+        }
+    }
+
+    /// Decompresses one buffer.
+    pub fn decompress(&mut self, data: &[u8]) -> Result<Vec<Vec<f64>>, BaselineError> {
+        match &mut self.inner {
+            CodecImpl::Mdz { dec, .. } => dec
+                .decompress_block(data)
+                .map_err(|_| BaselineError::Corrupt("mdz decompress failed")),
+            CodecImpl::Baseline(b) => b.decompress(data),
+        }
+    }
+}
+
+/// An MDZ codec for a specific method (with the paper's defaults).
+pub fn mdz_codec(method: Method) -> Codec {
+    mdz_codec_with(method, 512, true)
+}
+
+/// An MDZ codec with explicit radius / sequence settings (Figs. 9, Table III).
+pub fn mdz_codec_with(method: Method, radius: u32, seq2: bool) -> Codec {
+    let name = match method {
+        Method::Vq => "VQ",
+        Method::Vqt => "VQT",
+        Method::Mt => "MT",
+        Method::Mt2 => "MT2",
+        Method::Adaptive => "MDZ",
+    };
+    Codec {
+        name,
+        inner: CodecImpl::Mdz {
+            method,
+            radius,
+            seq2,
+            extended: false,
+            comp: None,
+            dec: Decompressor::new(),
+        },
+    }
+}
+
+/// MDZ with the extended (MT2-including) adaptive candidate set.
+pub fn mdz_extended_codec() -> Codec {
+    Codec {
+        name: "MDZ+",
+        inner: CodecImpl::Mdz {
+            method: Method::Adaptive,
+            radius: 512,
+            seq2: true,
+            extended: true,
+            comp: None,
+            dec: Decompressor::new(),
+        },
+    }
+}
+
+/// The evaluation's standard line-up: MDZ (ADP) plus the six baselines.
+pub fn standard_codecs() -> Vec<Codec> {
+    vec![
+        mdz_codec(Method::Adaptive),
+        Codec { name: "SZ2", inner: CodecImpl::Baseline(Box::new(Sz2::new(Sz2Mode::TwoD))) },
+        Codec { name: "ASN", inner: CodecImpl::Baseline(Box::new(Asn::new())) },
+        Codec { name: "TNG", inner: CodecImpl::Baseline(Box::new(Tng::new())) },
+        Codec { name: "HRTC", inner: CodecImpl::Baseline(Box::new(Hrtc::new())) },
+        Codec { name: "MDB", inner: CodecImpl::Baseline(Box::new(Mdb::new())) },
+        Codec { name: "LFZip", inner: CodecImpl::Baseline(Box::new(Lfzip::new())) },
+        Codec { name: "SZ3", inner: CodecImpl::Baseline(Box::new(Sz3::new())) },
+    ]
+}
+
+/// SZ2 in 1-D mode (Table IV).
+pub fn sz2_1d_codec() -> Codec {
+    Codec { name: "SZ2-1D", inner: CodecImpl::Baseline(Box::new(Sz2::new(Sz2Mode::OneD))) }
+}
+
+/// Measured outcome of one dataset run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunMetrics {
+    pub raw_bytes: usize,
+    pub compressed_bytes: usize,
+    pub compress_seconds: f64,
+    pub decompress_seconds: f64,
+    pub max_error: f64,
+    pub nrmse: f64,
+    pub psnr: f64,
+}
+
+impl RunMetrics {
+    /// Raw over compressed size.
+    pub fn ratio(&self) -> f64 {
+        self.raw_bytes as f64 / self.compressed_bytes.max(1) as f64
+    }
+
+    /// Compression throughput over raw bytes, MB/s.
+    pub fn compress_mbps(&self) -> f64 {
+        self.raw_bytes as f64 / 1e6 / self.compress_seconds.max(1e-12)
+    }
+
+    /// Decompression throughput over raw bytes, MB/s.
+    pub fn decompress_mbps(&self) -> f64 {
+        self.raw_bytes as f64 / 1e6 / self.decompress_seconds.max(1e-12)
+    }
+
+    /// Compressed bits per value.
+    pub fn bit_rate(&self) -> f64 {
+        self.compressed_bytes as f64 * 8.0 / (self.raw_bytes as f64 / 8.0)
+    }
+}
+
+/// Resolves a value-range-relative bound against one axis of a dataset
+/// (the SZ convention the paper reports ε under).
+pub fn axis_eps(dataset: &Dataset, axis: usize, eps_rel: f64) -> f64 {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for s in &dataset.snapshots {
+        for &v in s.axis(axis) {
+            if v < min {
+                min = v;
+            }
+            if v > max {
+                max = v;
+            }
+        }
+    }
+    let range = max - min;
+    if range > 0.0 && range.is_finite() {
+        eps_rel * range
+    } else {
+        eps_rel
+    }
+}
+
+/// Runs `codec` over all three axes of `dataset` in buffers of `bs`
+/// snapshots, verifying the bound and accumulating metrics.
+///
+/// Returns the metrics and (optionally, when `keep` is set) the
+/// decompressed snapshots for physics-fidelity analysis.
+pub fn run_dataset(
+    codec: &mut Codec,
+    dataset: &Dataset,
+    eps_rel: f64,
+    bs: usize,
+    keep: bool,
+) -> (RunMetrics, Option<Vec<mdz_sim::Snapshot>>) {
+    assert!(bs > 0);
+    let mut metrics = RunMetrics::default();
+    let m = dataset.len();
+    let n = dataset.atoms();
+    let mut restored: Option<Vec<mdz_sim::Snapshot>> = keep.then(|| {
+        vec![mdz_sim::Snapshot { x: vec![0.0; n], y: vec![0.0; n], z: vec![0.0; n] }; m]
+    });
+
+    let mut sq_sum = 0.0f64;
+    let mut count = 0usize;
+    let mut range_min = f64::INFINITY;
+    let mut range_max = f64::NEG_INFINITY;
+
+    for axis in 0..3 {
+        codec.reset();
+        let eps = axis_eps(dataset, axis, eps_rel);
+        let series = dataset.axis_series(axis);
+        metrics.raw_bytes += m * n * 8;
+        let mut start = 0;
+        while start < m {
+            let end = (start + bs).min(m);
+            let buf = &series[start..end];
+            let t0 = Instant::now();
+            let blob = codec.compress(buf, eps);
+            metrics.compress_seconds += t0.elapsed().as_secs_f64();
+            metrics.compressed_bytes += blob.len();
+            let t1 = Instant::now();
+            let out = codec.decompress(&blob).expect("round trip");
+            metrics.decompress_seconds += t1.elapsed().as_secs_f64();
+            for (t, (orig, got)) in buf.iter().zip(out.iter()).enumerate() {
+                for (i, (&a, &b)) in orig.iter().zip(got.iter()).enumerate() {
+                    let e = (a - b).abs();
+                    assert!(
+                        e <= eps * (1.0 + 1e-9) || !a.is_finite(),
+                        "{}: bound violated on {} axis {axis}: |{a} - {b}| > {eps}",
+                        codec.name(),
+                        dataset.kind.name(),
+                    );
+                    if e > metrics.max_error {
+                        metrics.max_error = e;
+                    }
+                    sq_sum += (a - b) * (a - b);
+                    count += 1;
+                    if a < range_min {
+                        range_min = a;
+                    }
+                    if a > range_max {
+                        range_max = a;
+                    }
+                    if let Some(rs) = restored.as_mut() {
+                        match axis {
+                            0 => rs[start + t].x[i] = b,
+                            1 => rs[start + t].y[i] = b,
+                            _ => rs[start + t].z[i] = b,
+                        }
+                    }
+                }
+            }
+            start = end;
+        }
+    }
+    let rmse = (sq_sum / count.max(1) as f64).sqrt();
+    let range = (range_max - range_min).max(f64::MIN_POSITIVE);
+    metrics.nrmse = rmse / range;
+    metrics.psnr = if metrics.nrmse > 0.0 { -20.0 * metrics.nrmse.log10() } else { f64::INFINITY };
+    (metrics, restored)
+}
+
+/// Binary-searches the relative bound that puts `codec` at compression
+/// ratio ≈ `target` on `dataset` (used by the paper's CR=10 comparisons).
+pub fn eps_for_ratio(codec: &mut Codec, dataset: &Dataset, bs: usize, target: f64) -> f64 {
+    let mut lo = 1e-8f64.ln();
+    let mut hi = 0.3f64.ln();
+    for _ in 0..14 {
+        let mid = 0.5 * (lo + hi);
+        let (m, _) = run_dataset(codec, dataset, mid.exp(), bs, false);
+        if m.ratio() < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (0.5 * (lo + hi)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdz_sim::{datasets, DatasetKind, Scale};
+
+    #[test]
+    fn all_codecs_run_a_dataset() {
+        let d = datasets::generate(DatasetKind::CopperB, Scale::Test, 1);
+        for mut codec in standard_codecs() {
+            let (m, _) = run_dataset(&mut codec, &d, 1e-3, 4, false);
+            assert!(m.ratio() > 1.0, "{}: ratio {}", codec.name(), m.ratio());
+            assert!(m.max_error > 0.0 || m.ratio() > 100.0);
+        }
+    }
+
+    #[test]
+    fn keep_returns_full_reconstruction() {
+        let d = datasets::generate(DatasetKind::Adk, Scale::Test, 2);
+        let mut codec = mdz_codec(Method::Adaptive);
+        let (_, restored) = run_dataset(&mut codec, &d, 1e-3, 4, true);
+        let rs = restored.unwrap();
+        assert_eq!(rs.len(), d.len());
+        assert_eq!(rs[0].len(), d.atoms());
+        // Spot-check the bound on y-axis.
+        let eps = axis_eps(&d, 1, 1e-3);
+        for (o, r) in d.snapshots.iter().zip(rs.iter()) {
+            for (&a, &b) in o.y.iter().zip(r.y.iter()) {
+                assert!((a - b).abs() <= eps * (1.0 + 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn eps_for_ratio_converges() {
+        let d = datasets::generate(DatasetKind::CopperB, Scale::Test, 3);
+        let mut codec = mdz_codec(Method::Vq);
+        let eps = eps_for_ratio(&mut codec, &d, 4, 8.0);
+        let (m, _) = run_dataset(&mut codec, &d, eps, 4, false);
+        assert!((m.ratio() - 8.0).abs() < 4.0, "ratio {}", m.ratio());
+    }
+
+    #[test]
+    fn metrics_arithmetic() {
+        let m = RunMetrics {
+            raw_bytes: 8_000_000,
+            compressed_bytes: 1_000_000,
+            compress_seconds: 1.0,
+            decompress_seconds: 0.5,
+            ..Default::default()
+        };
+        assert_eq!(m.ratio(), 8.0);
+        assert_eq!(m.compress_mbps(), 8.0);
+        assert_eq!(m.decompress_mbps(), 16.0);
+        assert_eq!(m.bit_rate(), 8.0);
+    }
+}

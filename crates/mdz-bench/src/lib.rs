@@ -1,0 +1,15 @@
+//! Benchmark harness regenerating every table and figure of the MDZ paper.
+//!
+//! The [`harness`] module provides a uniform [`harness::Codec`] view over
+//! MDZ (VQ / VQT / MT / ADP) and the six baselines, plus buffer-sliced
+//! dataset runs that measure compression ratio, throughput, and error
+//! metrics. The [`experiments`] module contains one function per paper
+//! artifact (`table1` … `fig16`), each writing CSV into `results/` and
+//! returning a printable text table. The `experiments` binary is a thin CLI
+//! over those functions.
+
+pub mod experiments;
+pub mod harness;
+pub mod table;
+
+pub use harness::{mdz_codec, standard_codecs, Codec, RunMetrics};

@@ -1,0 +1,135 @@
+//! Tiny text-table and CSV writers for experiment output.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// An in-memory table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    pub title: String,
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a titled table with column names.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            for (w, c) in widths.iter().zip(cells.iter()) {
+                let _ = write!(out, "{c:>w$}  ");
+            }
+            let _ = writeln!(out);
+        };
+        line(&mut out, &self.header);
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Writes the table as CSV to `path`, creating parent directories.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut s = String::new();
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let _ = writeln!(s, "{}", self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(s, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        std::fs::write(path, s)
+    }
+}
+
+/// Formats a float with sensible experiment precision.
+pub fn fmt(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let a = v.abs();
+    if a == 0.0 {
+        "0".into()
+    } else if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else if a >= 0.01 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "2.5".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("long-name"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["has,comma".into(), "has\"quote".into()]);
+        let dir = std::env::temp_dir().join("mdz_table_test");
+        let path = dir.join("t.csv");
+        t.write_csv(&path).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert!(s.contains("\"has,comma\""));
+        assert!(s.contains("\"has\"\"quote\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(12345.6), "12346");
+        assert_eq!(fmt(42.42), "42.4");
+        assert_eq!(fmt(1.2345), "1.234");
+        assert_eq!(fmt(0.00012), "1.200e-4");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

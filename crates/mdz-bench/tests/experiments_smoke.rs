@@ -1,0 +1,78 @@
+//! Smoke tests: every experiment runs at Test scale, produces non-empty
+//! tables, and writes its CSV artifacts.
+
+use mdz_bench::experiments::{self, Ctx, ALL};
+use mdz_sim::Scale;
+
+fn test_ctx(tag: &str) -> (Ctx, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("mdz_exp_smoke_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    (Ctx::new(Scale::Test, dir.clone(), 42), dir)
+}
+
+#[test]
+fn every_experiment_runs_at_test_scale() {
+    let (mut ctx, dir) = test_ctx("all");
+    for id in ALL {
+        let tables = experiments::run(id, &mut ctx).unwrap_or_else(|| panic!("unknown id {id}"));
+        assert!(!tables.is_empty(), "{id}: no tables");
+        for t in &tables {
+            assert!(!t.header.is_empty(), "{id}: empty header");
+            assert!(!t.rows.is_empty(), "{id}: empty table");
+            let rendered = t.render();
+            assert!(rendered.contains("=="), "{id}: render missing title");
+        }
+    }
+    // CSVs landed on disk.
+    let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+    assert!(files.len() >= ALL.len(), "expected ≥{} CSVs, got {}", ALL.len(), files.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    let (mut ctx, dir) = test_ctx("unknown");
+    assert!(experiments::run("fig99", &mut ctx).is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dataset_cache_is_stable_across_experiments() {
+    let (mut ctx, dir) = test_ctx("cache");
+    let a = ctx.dataset(mdz_sim::DatasetKind::CopperB).snapshots[0].x.clone();
+    let b = ctx.dataset(mdz_sim::DatasetKind::CopperB).snapshots[0].x.clone();
+    assert_eq!(a, b);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fig12_contains_every_codec_and_dataset() {
+    let (mut ctx, dir) = test_ctx("fig12");
+    let tables = experiments::run("fig12", &mut ctx).unwrap();
+    let body = tables[0].render();
+    for name in ["MDZ", "SZ2", "ASN", "TNG", "HRTC", "MDB", "LFZip", "SZ3"] {
+        assert!(body.contains(name), "missing codec {name}");
+    }
+    for ds in ["Copper-A", "Copper-B", "Helium-A", "Helium-B", "ADK", "IFABP", "Pt", "LJ"] {
+        assert!(body.contains(ds), "missing dataset {ds}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fig11_adp_is_never_far_from_best() {
+    let (mut ctx, dir) = test_ctx("fig11");
+    let tables = experiments::run("fig11", &mut ctx).unwrap();
+    for row in &tables[0].rows {
+        // Columns: dataset, BS, VQ, VQT, MT, ADP.
+        let parse = |c: &String| c.parse::<f64>().unwrap_or(f64::NAN);
+        let best = parse(&row[2]).max(parse(&row[3])).max(parse(&row[4]));
+        let adp = parse(&row[5]);
+        assert!(
+            adp > best * 0.5,
+            "{}: ADP {adp} far below best {best}",
+            row[0]
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

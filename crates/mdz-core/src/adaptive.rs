@@ -1,0 +1,80 @@
+//! ADP: runtime selection of the best concrete method (paper §VI-D).
+//!
+//! Data patterns are stable over short horizons but drift over long ones
+//! (Fig. 10), so MDZ periodically re-evaluates VQ, VQT, and MT on a live
+//! buffer — compressing it with all three and keeping the smallest output —
+//! then reuses the winner for the next `interval − 1` buffers. The paper
+//! uses an interval of 50, keeping the evaluation overhead under 6 %.
+
+use crate::format::Method;
+
+/// Selector state carried by a [`crate::Compressor`].
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveState {
+    /// Buffers compressed since the last trial.
+    since_trial: u32,
+    /// Winner of the most recent trial.
+    current: Option<Method>,
+}
+
+impl AdaptiveState {
+    /// Fresh state; the first buffer always triggers a trial.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the next buffer should be a three-way trial.
+    pub fn trial_due(&self, interval: u32) -> bool {
+        self.current.is_none() || self.since_trial >= interval
+    }
+
+    /// Records a trial winner and resets the interval counter.
+    pub fn record_winner(&mut self, method: Method) {
+        debug_assert!(!matches!(method, Method::Adaptive));
+        self.current = Some(method);
+        self.since_trial = 1;
+    }
+
+    /// Advances the interval counter for a non-trial buffer.
+    pub fn tick(&mut self) {
+        self.since_trial += 1;
+    }
+
+    /// The method currently in force, if a trial has run.
+    pub fn current(&self) -> Option<Method> {
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_buffer_is_a_trial() {
+        let s = AdaptiveState::new();
+        assert!(s.trial_due(50));
+    }
+
+    #[test]
+    fn trial_cadence_matches_interval() {
+        let mut s = AdaptiveState::new();
+        assert!(s.trial_due(5));
+        s.record_winner(Method::Vqt);
+        // Buffers 2..=5 reuse the winner; buffer 6 re-trials.
+        for _ in 0..4 {
+            assert!(!s.trial_due(5));
+            s.tick();
+        }
+        assert!(s.trial_due(5));
+    }
+
+    #[test]
+    fn winner_is_remembered() {
+        let mut s = AdaptiveState::new();
+        s.record_winner(Method::Mt);
+        assert_eq!(s.current(), Some(Method::Mt));
+        s.record_winner(Method::Vq);
+        assert_eq!(s.current(), Some(Method::Vq));
+    }
+}

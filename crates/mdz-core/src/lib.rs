@@ -1,0 +1,199 @@
+//! MDZ: an adaptive error-bounded lossy compressor for molecular-dynamics
+//! particle data (Zhao et al., ICDE 2022).
+//!
+//! MD trajectory output is a stream of *snapshots* (one `f64` per particle
+//! per axis), compressed in buffers of `BS` snapshots to bound memory. MDZ
+//! follows the SZ pipeline — prediction, linear-scale quantization, Huffman
+//! coding, dictionary coding — and contributes three predictors tuned to the
+//! spatial/temporal structure of MD data, plus a runtime selector:
+//!
+//! * [`Method::Vq`] — vector quantization: coordinates cluster at equally
+//!   spaced levels (crystal planes); each value is predicted by its level
+//!   centroid, and the level-index deltas are entropy-coded alongside the
+//!   quantized residuals. Purely spatial: any snapshot decompresses alone.
+//! * [`Method::Vqt`] — VQ on the first snapshot of each buffer,
+//!   previous-snapshot prediction for the rest.
+//! * [`Method::Mt`] — the first snapshot of each buffer is predicted from
+//!   the *initial* snapshot of the whole stream, the rest from their
+//!   predecessors; ideal for temporally quiescent data.
+//! * [`Method::Adaptive`] (ADP, the default) — re-evaluates all three every
+//!   50 buffers on live data and keeps the winner.
+//!
+//! # Example
+//!
+//! ```
+//! use mdz_core::{Compressor, Decompressor, ErrorBound, MdzConfig, Method};
+//!
+//! let snapshots: Vec<Vec<f64>> = (0..4)
+//!     .map(|t| (0..100).map(|i| (i % 10) as f64 * 2.5 + t as f64 * 1e-4).collect())
+//!     .collect();
+//! let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3));
+//! let mut comp = Compressor::new(cfg);
+//! let block = comp.compress_buffer(&snapshots).unwrap();
+//! let mut dec = Decompressor::new();
+//! let out = dec.decompress_block(&block).unwrap();
+//! for (s, o) in snapshots.iter().zip(out.iter()) {
+//!     for (a, b) in s.iter().zip(o.iter()) {
+//!         assert!((a - b).abs() <= 1e-3);
+//!     }
+//! }
+//! ```
+
+pub mod adaptive;
+pub mod bound;
+pub mod buffer;
+pub mod format;
+pub mod quant;
+pub mod seq;
+pub mod traj;
+
+pub use adaptive::AdaptiveState;
+pub use bound::ErrorBound;
+pub use buffer::{BlockInfo, Compressor, Decompressor};
+pub use format::Method;
+pub use quant::LinearQuantizer;
+pub use traj::{compress_frames, decompress_frames, Frame, TrajectoryCompressor};
+
+use mdz_entropy::EntropyError;
+
+/// Errors surfaced by compression and decompression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MdzError {
+    /// Underlying entropy/dictionary stream was malformed.
+    Stream(EntropyError),
+    /// The block header is not an MDZ block or uses an unknown version.
+    BadHeader(&'static str),
+    /// The input shape is invalid (empty buffer, ragged snapshots, …).
+    BadInput(&'static str),
+    /// Configuration is invalid (non-positive error bound, zero radius, …).
+    BadConfig(&'static str),
+}
+
+impl From<EntropyError> for MdzError {
+    fn from(e: EntropyError) -> Self {
+        MdzError::Stream(e)
+    }
+}
+
+impl std::fmt::Display for MdzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MdzError::Stream(e) => write!(f, "stream error: {e}"),
+            MdzError::BadHeader(w) => write!(f, "bad header: {w}"),
+            MdzError::BadInput(w) => write!(f, "bad input: {w}"),
+            MdzError::BadConfig(w) => write!(f, "bad config: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for MdzError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, MdzError>;
+
+/// Top-level configuration for a [`Compressor`].
+#[derive(Debug, Clone)]
+pub struct MdzConfig {
+    /// The error bound every reconstructed value must satisfy.
+    pub bound: ErrorBound,
+    /// Compression method; [`Method::Adaptive`] by default.
+    pub method: Method,
+    /// Quantization radius: codes span `[1, 2·radius)`, i.e. the paper's
+    /// "quantization scale" is `2·radius` (default scale 1024 → radius 512).
+    pub radius: u32,
+    /// Use Seq-2 (particle-major) interleaving before entropy coding.
+    pub seq2: bool,
+    /// Re-evaluate the adaptive choice every this many buffers (paper: 50).
+    pub adapt_interval: u32,
+    /// Sampling fraction for level detection (paper: 0.10).
+    pub level_sample_fraction: f64,
+    /// Maximum clusters considered by level detection (paper: 150).
+    pub max_levels: usize,
+    /// Entropy coder for the integer streams (paper/SZ default: Huffman).
+    pub entropy: EntropyStage,
+    /// Include the second-order predictor [`Method::Mt2`] among the
+    /// adaptive candidates (extension; off by default to match the paper).
+    pub extended_candidates: bool,
+}
+
+/// Which entropy coder the pipeline's third stage uses.
+///
+/// The SZ framework (and the paper) use Huffman coding; the range coder is
+/// provided as an ablation — it removes Huffman's ≤1-bit-per-symbol rounding
+/// loss at some speed cost (see the `ablations` experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EntropyStage {
+    /// Canonical Huffman coding (default).
+    #[default]
+    Huffman,
+    /// Static range (arithmetic) coding.
+    Range,
+}
+
+impl MdzConfig {
+    /// Creates a configuration with the paper's defaults.
+    pub fn new(bound: ErrorBound) -> Self {
+        Self {
+            bound,
+            method: Method::Adaptive,
+            radius: 512,
+            seq2: true,
+            adapt_interval: 50,
+            level_sample_fraction: 0.10,
+            max_levels: 150,
+            entropy: EntropyStage::default(),
+            extended_candidates: false,
+        }
+    }
+
+    /// Overrides the compression method.
+    pub fn with_method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Overrides the quantization radius (half the quantization scale).
+    pub fn with_radius(mut self, radius: u32) -> Self {
+        self.radius = radius;
+        self
+    }
+
+    /// Selects Seq-1 (snapshot-major) or Seq-2 (particle-major) ordering.
+    pub fn with_seq2(mut self, seq2: bool) -> Self {
+        self.seq2 = seq2;
+        self
+    }
+
+    /// Overrides the entropy coder used for the integer streams.
+    pub fn with_entropy(mut self, entropy: EntropyStage) -> Self {
+        self.entropy = entropy;
+        self
+    }
+
+    /// Adds the second-order predictor to the adaptive candidate set.
+    pub fn with_extended_candidates(mut self, on: bool) -> Self {
+        self.extended_candidates = on;
+        self
+    }
+
+    /// Validates field ranges.
+    pub fn validate(&self) -> Result<()> {
+        if self.radius < 2 || self.radius > (1 << 24) {
+            return Err(MdzError::BadConfig("radius must be in [2, 2^24]"));
+        }
+        if self.adapt_interval == 0 {
+            return Err(MdzError::BadConfig("adapt_interval must be positive"));
+        }
+        self.bound.validate()
+    }
+}
+
+/// One-shot compression of a single buffer with a fresh [`Compressor`].
+pub fn compress(snapshots: &[Vec<f64>], cfg: MdzConfig) -> Result<Vec<u8>> {
+    Compressor::new(cfg).compress_buffer(snapshots)
+}
+
+/// One-shot decompression of a single block with a fresh [`Decompressor`].
+pub fn decompress(block: &[u8]) -> Result<Vec<Vec<f64>>> {
+    Decompressor::new().decompress_block(block)
+}

@@ -1,0 +1,180 @@
+//! Linear-scale quantization with out-of-range escapes.
+//!
+//! Given a prediction `p` for value `d` and absolute bound `eps`, the
+//! quantization code is `q = round((d − p) / (2·eps))`, reconstructed as
+//! `p + 2·eps·q`, which guarantees `|d − d'| ≤ eps`. Codes are biased by the
+//! radius `R` into `[1, 2R)`; code `0` is the *escape* marker — the value is
+//! then stored verbatim (bit exact), which both bounds the Huffman alphabet
+//! (the paper's "quantization scale" tuning, §VI-C1) and handles wild
+//! outliers and non-finite values.
+
+/// Stateless quantizer for one `(eps, radius)` setting.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearQuantizer {
+    eps: f64,
+    /// Precomputed `1 / (2·eps)`.
+    inv_step: f64,
+    /// Codes span `[1, 2·radius)`; the bias added to `q` is `radius`.
+    radius: u32,
+}
+
+/// Outcome of quantizing one value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantized {
+    /// In-range code (never 0) plus the decoder-visible reconstruction.
+    Code(u32),
+    /// Out of range or non-finite: store the value verbatim.
+    Escape,
+}
+
+impl LinearQuantizer {
+    /// Creates a quantizer. `eps` must be positive and finite; `radius ≥ 2`.
+    pub fn new(eps: f64, radius: u32) -> Self {
+        debug_assert!(eps > 0.0 && eps.is_finite());
+        debug_assert!(radius >= 2);
+        Self { eps, inv_step: 0.5 / eps, radius }
+    }
+
+    /// The absolute error bound.
+    #[inline]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The code-space radius (half the quantization scale).
+    #[inline]
+    pub fn radius(&self) -> u32 {
+        self.radius
+    }
+
+    /// Quantizes `value` against `prediction`.
+    ///
+    /// Returns the code and writes the *reconstructed* value (what the
+    /// decoder will see) into `recon` — predictors must feed reconstructions,
+    /// not originals, into subsequent predictions.
+    #[inline]
+    pub fn quantize(&self, value: f64, prediction: f64, recon: &mut f64) -> Quantized {
+        let diff = value - prediction;
+        if !diff.is_finite() {
+            *recon = value;
+            return Quantized::Escape;
+        }
+        let qf = (diff * self.inv_step).round();
+        if qf.abs() >= self.radius as f64 {
+            *recon = value;
+            return Quantized::Escape;
+        }
+        let q = qf as i64;
+        let reconstructed = prediction + 2.0 * self.eps * q as f64;
+        // Guard: floating-point rounding at extreme magnitudes could break
+        // the bound; escape instead of emitting an unsound code.
+        if !(reconstructed - value).abs().le(&self.eps) {
+            *recon = value;
+            return Quantized::Escape;
+        }
+        *recon = reconstructed;
+        Quantized::Code((q + self.radius as i64) as u32)
+    }
+
+    /// Reconstructs a value from an in-range code (code ≠ 0).
+    #[inline]
+    pub fn reconstruct(&self, code: u32, prediction: f64) -> f64 {
+        let q = code as i64 - self.radius as i64;
+        prediction + 2.0 * self.eps * q as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_bound(q: &LinearQuantizer, value: f64, prediction: f64) {
+        let mut recon = 0.0;
+        match q.quantize(value, prediction, &mut recon) {
+            Quantized::Code(code) => {
+                assert!(code > 0 && code < 2 * q.radius());
+                assert!((recon - value).abs() <= q.eps(), "{value} {prediction} → {recon}");
+                assert_eq!(q.reconstruct(code, prediction), recon);
+            }
+            Quantized::Escape => assert_eq!(recon.to_bits(), value.to_bits()),
+        }
+    }
+
+    #[test]
+    fn exact_prediction_gives_center_code() {
+        let q = LinearQuantizer::new(1e-3, 512);
+        let mut recon = 0.0;
+        match q.quantize(5.0, 5.0, &mut recon) {
+            Quantized::Code(code) => assert_eq!(code, 512),
+            Quantized::Escape => panic!("should be in range"),
+        }
+        assert_eq!(recon, 5.0);
+    }
+
+    #[test]
+    fn error_always_within_bound() {
+        let q = LinearQuantizer::new(0.01, 512);
+        for i in -2000..2000 {
+            let value = i as f64 * 0.003;
+            check_bound(&q, value, 0.0);
+            check_bound(&q, value, 1.2345);
+        }
+    }
+
+    #[test]
+    fn out_of_range_escapes() {
+        let q = LinearQuantizer::new(1e-3, 512);
+        let mut recon = 0.0;
+        // |diff| = 2.0 → q = 1000 ≥ 512 → escape.
+        assert_eq!(q.quantize(2.0, 0.0, &mut recon), Quantized::Escape);
+        assert_eq!(recon, 2.0);
+    }
+
+    #[test]
+    fn boundary_codes() {
+        let q = LinearQuantizer::new(0.5, 4); // step 1.0, codes 1..8
+        let mut recon = 0.0;
+        // q = 3 → code 7 (max in-range).
+        assert_eq!(q.quantize(3.0, 0.0, &mut recon), Quantized::Code(7));
+        // q = 4 → escape (|q| ≥ radius).
+        assert_eq!(q.quantize(4.0, 0.0, &mut recon), Quantized::Escape);
+        // q = -3 → code 1 (min in-range).
+        assert_eq!(q.quantize(-3.0, 0.0, &mut recon), Quantized::Code(1));
+        // q = -4 → escape.
+        assert_eq!(q.quantize(-4.0, 0.0, &mut recon), Quantized::Escape);
+    }
+
+    #[test]
+    fn non_finite_values_escape() {
+        let q = LinearQuantizer::new(1e-3, 512);
+        let mut recon = 0.0;
+        assert_eq!(q.quantize(f64::NAN, 0.0, &mut recon), Quantized::Escape);
+        assert!(recon.is_nan());
+        assert_eq!(q.quantize(f64::INFINITY, 0.0, &mut recon), Quantized::Escape);
+        assert_eq!(q.quantize(1.0, f64::NAN, &mut recon), Quantized::Escape);
+    }
+
+    #[test]
+    fn huge_magnitude_rounding_escapes_rather_than_breaks_bound() {
+        // At 1e18 magnitude, eps 1e-3 steps are below the ULP: quantization
+        // cannot represent the value; it must escape, not emit a bad code.
+        let q = LinearQuantizer::new(1e-3, 512);
+        let mut recon = 0.0;
+        let value = 1e18 + 0.1;
+        match q.quantize(value, 1e18, &mut recon) {
+            Quantized::Code(_) => assert!((recon - value).abs() <= 1e-3),
+            Quantized::Escape => assert_eq!(recon, value),
+        }
+    }
+
+    #[test]
+    fn reconstruct_inverts_code_space() {
+        let q = LinearQuantizer::new(0.25, 16);
+        for code in 1..32u32 {
+            let v = q.reconstruct(code, 10.0);
+            let mut recon = 0.0;
+            assert_eq!(q.quantize(v, 10.0, &mut recon), Quantized::Code(code));
+            assert_eq!(recon, v);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Three-axis trajectory convenience layer.
+//!
+//! MD positions are `(x, y, z)` triples, but the paper compresses each axis
+//! as an independent stream (each axis may even pick a different method —
+//! Table VI shows ADP choosing VQ for x/y and MT for z on Copper-B). This
+//! module wraps three per-axis [`Compressor`]s behind one call and frames
+//! the three blocks in a tiny container.
+
+use crate::buffer::{Compressor, Decompressor};
+use crate::{MdzConfig, MdzError, Result};
+use mdz_entropy::{read_uvarint, write_uvarint};
+
+/// Container magic for a three-axis block group.
+const TRAJ_MAGIC: [u8; 4] = *b"MDZT";
+
+/// One snapshot of particle positions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Frame {
+    /// Per-particle x coordinates.
+    pub x: Vec<f64>,
+    /// Per-particle y coordinates.
+    pub y: Vec<f64>,
+    /// Per-particle z coordinates.
+    pub z: Vec<f64>,
+}
+
+impl Frame {
+    /// Creates a frame from per-axis vectors (must be equally long).
+    pub fn new(x: Vec<f64>, y: Vec<f64>, z: Vec<f64>) -> Self {
+        assert!(x.len() == y.len() && y.len() == z.len(), "axes must be equally long");
+        Self { x, y, z }
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the frame holds no particles.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+/// Stateful three-axis compressor.
+#[derive(Debug, Clone)]
+pub struct TrajectoryCompressor {
+    axes: [Compressor; 3],
+}
+
+impl TrajectoryCompressor {
+    /// Creates one compressor per axis from a shared configuration.
+    pub fn new(cfg: MdzConfig) -> Self {
+        Self { axes: [Compressor::new(cfg.clone()), Compressor::new(cfg.clone()), Compressor::new(cfg)] }
+    }
+
+    /// Compresses a buffer of frames into one container blob.
+    pub fn compress_buffer(&mut self, frames: &[Frame]) -> Result<Vec<u8>> {
+        if frames.is_empty() {
+            return Err(MdzError::BadInput("buffer has no frames"));
+        }
+        let xs: Vec<Vec<f64>> = frames.iter().map(|f| f.x.clone()).collect();
+        let ys: Vec<Vec<f64>> = frames.iter().map(|f| f.y.clone()).collect();
+        let zs: Vec<Vec<f64>> = frames.iter().map(|f| f.z.clone()).collect();
+        let blocks =
+            [self.axes[0].compress_buffer(&xs)?, self.axes[1].compress_buffer(&ys)?, self.axes[2].compress_buffer(&zs)?];
+        Ok(assemble(&blocks))
+    }
+
+    /// Like [`Self::compress_buffer`] but compresses the three axes on
+    /// scoped threads. The per-axis streams are independent by design
+    /// (§III: each axis is a separate SZ stream), so the output is
+    /// byte-identical to the sequential path.
+    pub fn compress_buffer_parallel(&mut self, frames: &[Frame]) -> Result<Vec<u8>> {
+        if frames.is_empty() {
+            return Err(MdzError::BadInput("buffer has no frames"));
+        }
+        let series: [Vec<Vec<f64>>; 3] = [
+            frames.iter().map(|f| f.x.clone()).collect(),
+            frames.iter().map(|f| f.y.clone()).collect(),
+            frames.iter().map(|f| f.z.clone()).collect(),
+        ];
+        let mut results: [Result<Vec<u8>>; 3] =
+            [Ok(Vec::new()), Ok(Vec::new()), Ok(Vec::new())];
+        std::thread::scope(|scope| {
+            for ((axis, buf), slot) in
+                self.axes.iter_mut().zip(series.iter()).zip(results.iter_mut())
+            {
+                scope.spawn(move || {
+                    *slot = axis.compress_buffer(buf);
+                });
+            }
+        });
+        let [x, y, z] = results;
+        Ok(assemble(&[x?, y?, z?]))
+    }
+}
+
+/// Frames three per-axis blocks into the trajectory container.
+fn assemble(blocks: &[Vec<u8>; 3]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(blocks.iter().map(Vec::len).sum::<usize>() + 16);
+    out.extend_from_slice(&TRAJ_MAGIC);
+    for b in blocks {
+        write_uvarint(&mut out, b.len() as u64);
+        out.extend_from_slice(b);
+    }
+    out
+}
+
+/// Stateful three-axis decompressor.
+#[derive(Debug, Clone, Default)]
+pub struct TrajectoryDecompressor {
+    axes: [Decompressor; 3],
+}
+
+impl TrajectoryDecompressor {
+    /// Creates a decompressor with empty stream state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decompresses one container blob back into frames.
+    pub fn decompress_buffer(&mut self, data: &[u8]) -> Result<Vec<Frame>> {
+        let magic = data.get(..4).ok_or(MdzError::BadHeader("truncated container"))?;
+        if magic != TRAJ_MAGIC {
+            return Err(MdzError::BadHeader("not an MDZ trajectory container"));
+        }
+        let mut pos = 4;
+        let mut axes_out: Vec<Vec<Vec<f64>>> = Vec::with_capacity(3);
+        for axis in 0..3 {
+            let len = read_uvarint(data, &mut pos)? as usize;
+            let end = pos
+                .checked_add(len)
+                .filter(|&e| e <= data.len())
+                .ok_or(MdzError::BadHeader("truncated axis block"))?;
+            axes_out.push(self.axes[axis].decompress_block(&data[pos..end])?);
+            pos = end;
+        }
+        let (xs, rest) = axes_out.split_at_mut(1);
+        let (ys, zs) = rest.split_at_mut(1);
+        if xs[0].len() != ys[0].len() || ys[0].len() != zs[0].len() {
+            return Err(MdzError::BadHeader("axis snapshot counts disagree"));
+        }
+        let mut frames = Vec::with_capacity(xs[0].len());
+        for ((x, y), z) in xs[0].drain(..).zip(ys[0].drain(..)).zip(zs[0].drain(..)) {
+            if x.len() != y.len() || y.len() != z.len() {
+                return Err(MdzError::BadHeader("axis particle counts disagree"));
+            }
+            frames.push(Frame { x, y, z });
+        }
+        Ok(frames)
+    }
+}
+
+/// One-shot frame-buffer compression with a fresh compressor.
+pub fn compress_frames(frames: &[Frame], cfg: MdzConfig) -> Result<Vec<u8>> {
+    TrajectoryCompressor::new(cfg).compress_buffer(frames)
+}
+
+/// One-shot frame-buffer decompression with a fresh decompressor.
+pub fn decompress_frames(data: &[u8]) -> Result<Vec<Frame>> {
+    TrajectoryDecompressor::new().decompress_buffer(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ErrorBound, Method};
+
+    fn frames(m: usize, n: usize) -> Vec<Frame> {
+        (0..m)
+            .map(|t| {
+                let mk = |off: f64| -> Vec<f64> {
+                    (0..n).map(|i| (i % 8) as f64 * 2.0 + off + t as f64 * 1e-4).collect()
+                };
+                Frame::new(mk(0.0), mk(0.3), mk(0.7))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let fs = frames(6, 120);
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3));
+        let blob = compress_frames(&fs, cfg).unwrap();
+        let out = decompress_frames(&blob).unwrap();
+        assert_eq!(out.len(), fs.len());
+        for (a, b) in fs.iter().zip(out.iter()) {
+            for axis in [(&a.x, &b.x), (&a.y, &b.y), (&a.z, &b.z)] {
+                for (v, w) in axis.0.iter().zip(axis.1.iter()) {
+                    assert!((v - w).abs() <= 1e-3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stateful_multi_buffer_stream() {
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-4)).with_method(Method::Mt);
+        let mut c = TrajectoryCompressor::new(cfg);
+        let mut d = TrajectoryDecompressor::new();
+        for _ in 0..3 {
+            let fs = frames(4, 80);
+            let blob = c.compress_buffer(&fs).unwrap();
+            let out = d.decompress_buffer(&blob).unwrap();
+            assert_eq!(out.len(), 4);
+        }
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical() {
+        let fs = frames(8, 150);
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3));
+        let mut seq = TrajectoryCompressor::new(cfg.clone());
+        let mut par = TrajectoryCompressor::new(cfg);
+        for chunk in fs.chunks(4) {
+            let a = seq.compress_buffer(chunk).unwrap();
+            let b = par.compress_buffer_parallel(chunk).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn empty_buffer_rejected() {
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3));
+        assert!(compress_frames(&[], cfg).is_err());
+    }
+
+    #[test]
+    fn corrupted_container_errors() {
+        let fs = frames(2, 40);
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3));
+        let blob = compress_frames(&fs, cfg).unwrap();
+        assert!(decompress_frames(&blob[..3]).is_err());
+        let mut bad = blob.clone();
+        bad[0] = b'X';
+        assert!(decompress_frames(&bad).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "equally long")]
+    fn ragged_frame_panics() {
+        let _ = Frame::new(vec![1.0], vec![1.0, 2.0], vec![1.0]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the MDZ core invariants: the error bound holds for
+//! every method × bound × data shape, non-finite values survive bit-exactly,
+//! and decoders never panic on malformed blocks.
+
+use mdz_core::{Compressor, Decompressor, EntropyStage, ErrorBound, MdzConfig, Method};
+use proptest::prelude::*;
+
+/// Buffers spanning the paper's regimes: lattice-like, smooth-in-time,
+/// random, and mixed.
+fn buffer_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    let m = 1usize..6;
+    let n = 1usize..120;
+    (m, n, 0usize..4, any::<u64>()).prop_map(|(m, n, kind, seed)| {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..m)
+            .map(|t| {
+                (0..n)
+                    .map(|i| match kind {
+                        0 => (i % 7) as f64 * 3.0 + (next() - 0.5) * 0.05, // lattice
+                        1 => i as f64 * 0.01 + t as f64 * 1e-5,            // smooth
+                        2 => next() * 200.0 - 100.0,                       // random
+                        _ => {
+                            // mixed magnitudes
+                            let base = if i % 2 == 0 { 1e6 } else { 1e-6 };
+                            base * (next() - 0.5)
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+fn methods() -> impl Strategy<Value = Method> {
+    prop_oneof![
+        Just(Method::Vq),
+        Just(Method::Vqt),
+        Just(Method::Mt),
+        Just(Method::Mt2),
+        Just(Method::Adaptive),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn error_bound_always_holds(
+        snaps in buffer_strategy(),
+        method in methods(),
+        eps_exp in -6i32..-1,
+        seq2 in any::<bool>(),
+        range_coded in any::<bool>(),
+    ) {
+        let eps = 10f64.powi(eps_exp);
+        let entropy = if range_coded { EntropyStage::Range } else { EntropyStage::Huffman };
+        let cfg = MdzConfig::new(ErrorBound::Absolute(eps))
+            .with_method(method)
+            .with_seq2(seq2)
+            .with_entropy(entropy);
+        let mut c = Compressor::new(cfg);
+        let block = c.compress_buffer(&snaps).unwrap();
+        let mut d = Decompressor::new();
+        let out = d.decompress_block(&block).unwrap();
+        prop_assert_eq!(out.len(), snaps.len());
+        for (s, o) in snaps.iter().zip(out.iter()) {
+            for (a, b) in s.iter().zip(o.iter()) {
+                prop_assert!((a - b).abs() <= eps, "{} vs {} (eps {})", a, b, eps);
+            }
+        }
+    }
+
+    #[test]
+    fn relative_bound_holds(
+        snaps in buffer_strategy(),
+        method in methods(),
+    ) {
+        let rel = 1e-3;
+        let flat: Vec<f64> = snaps.iter().flatten().copied().collect();
+        let eps = ErrorBound::ValueRangeRelative(rel).absolute_for(&flat);
+        let cfg = MdzConfig::new(ErrorBound::ValueRangeRelative(rel)).with_method(method);
+        let mut c = Compressor::new(cfg);
+        let block = c.compress_buffer(&snaps).unwrap();
+        let out = Decompressor::new().decompress_block(&block).unwrap();
+        for (s, o) in snaps.iter().zip(out.iter()) {
+            for (a, b) in s.iter().zip(o.iter()) {
+                prop_assert!((a - b).abs() <= eps * (1.0 + 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_buffer_streams_stay_bounded(
+        buffers in prop::collection::vec(buffer_strategy(), 1..4),
+        method in methods(),
+    ) {
+        // Force all buffers to a common width so time prediction engages.
+        let n = buffers.iter().flat_map(|b| b.iter()).map(Vec::len).min().unwrap_or(1);
+        let buffers: Vec<Vec<Vec<f64>>> = buffers
+            .into_iter()
+            .map(|b| b.into_iter().map(|s| s.into_iter().take(n).collect()).collect())
+            .collect();
+        let eps = 1e-3;
+        let cfg = MdzConfig::new(ErrorBound::Absolute(eps)).with_method(method);
+        let mut c = Compressor::new(cfg);
+        let mut d = Decompressor::new();
+        for buf in &buffers {
+            let block = c.compress_buffer(buf).unwrap();
+            let out = d.decompress_block(&block).unwrap();
+            for (s, o) in buf.iter().zip(out.iter()) {
+                for (a, b) in s.iter().zip(o.iter()) {
+                    prop_assert!((a - b).abs() <= eps);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decompressor_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..400)) {
+        let mut d = Decompressor::new();
+        let _ = d.decompress_block(&data);
+    }
+
+    #[test]
+    fn decompressor_never_panics_on_bit_flips(
+        snaps in buffer_strategy(),
+        flip_byte in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3));
+        let mut c = Compressor::new(cfg);
+        let mut block = c.compress_buffer(&snaps).unwrap();
+        let i = flip_byte.index(block.len());
+        block[i] ^= 1 << flip_bit;
+        let mut d = Decompressor::new();
+        let _ = d.decompress_block(&block);
+    }
+
+    #[test]
+    fn non_finite_values_bit_exact(
+        mut snaps in buffer_strategy(),
+        method in methods(),
+        which in any::<prop::sample::Index>(),
+    ) {
+        let m = snaps.len();
+        let n = snaps[0].len();
+        let flat = which.index(m * n);
+        snaps[flat / n][flat % n] = f64::NAN;
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(method);
+        let mut c = Compressor::new(cfg);
+        let block = c.compress_buffer(&snaps).unwrap();
+        let out = Decompressor::new().decompress_block(&block).unwrap();
+        prop_assert!(out[flat / n][flat % n].is_nan());
+    }
+}

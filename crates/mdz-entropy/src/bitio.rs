@@ -1,0 +1,228 @@
+//! MSB-first bit-level I/O over in-memory byte buffers.
+//!
+//! Canonical Huffman codes are naturally expressed MSB-first: the first bit
+//! written is the most significant bit of the first byte. Both endpoints of
+//! the pipeline (encoder in the compressor, decoder in the decompressor)
+//! share these two types.
+
+use crate::{EntropyError, Result};
+
+/// Accumulates bits MSB-first into a growable byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits staged in `acc`, always < 8.
+    nbits: u32,
+    /// Wider than a byte so that shifting in a full 8-bit chunk cannot overflow.
+    acc: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty writer with room for `bytes` output bytes.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self { buf: Vec::with_capacity(bytes), nbits: 0, acc: 0 }
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.acc = (self.acc << 1) | bit as u32;
+        self.nbits += 1;
+        if self.nbits == 8 {
+            self.buf.push(self.acc as u8);
+            self.acc = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Appends the `n` low bits of `value`, most significant first.
+    ///
+    /// `n` must be ≤ 64; `n == 0` is a no-op.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64);
+        let mut remaining = n;
+        while remaining > 0 {
+            let free = 8 - self.nbits;
+            let take = free.min(remaining);
+            let shift = remaining - take;
+            let chunk = ((value >> shift) & ((1u64 << take) - 1)) as u32;
+            self.acc = (self.acc << take) | chunk;
+            self.nbits += take;
+            remaining -= take;
+            if self.nbits == 8 {
+                self.buf.push(self.acc as u8);
+                self.acc = 0;
+                self.nbits = 0;
+            }
+        }
+    }
+
+    /// Number of whole bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        self.buf.len() as u64 * 8 + self.nbits as u64
+    }
+
+    /// Flushes any partial byte (zero-padded on the right) and returns the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.acc <<= 8 - self.nbits;
+            self.buf.push(self.acc as u8);
+        }
+        self.buf
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Absolute bit cursor from the start of `data`.
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps `data`, starting at bit 0.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Total number of bits available from the start.
+    pub fn bit_len(&self) -> u64 {
+        self.data.len() as u64 * 8
+    }
+
+    /// Bits remaining to be read.
+    pub fn remaining(&self) -> u64 {
+        self.bit_len() - self.pos
+    }
+
+    /// Current absolute bit position.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Reads one bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool> {
+        if self.pos >= self.bit_len() {
+            return Err(EntropyError::UnexpectedEof);
+        }
+        let byte = self.data[(self.pos / 8) as usize];
+        let bit = (byte >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Ok(bit == 1)
+    }
+
+    /// Reads `n` bits (≤ 64), most significant first.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u64> {
+        debug_assert!(n <= 64);
+        if self.remaining() < n as u64 {
+            return Err(EntropyError::UnexpectedEof);
+        }
+        let mut out = 0u64;
+        let mut remaining = n;
+        while remaining > 0 {
+            let byte_idx = (self.pos / 8) as usize;
+            let bit_off = (self.pos % 8) as u32;
+            let avail = 8 - bit_off;
+            let take = avail.min(remaining);
+            let byte = self.data[byte_idx] as u64;
+            let chunk = (byte >> (avail - take)) & ((1u64 << take) - 1);
+            out = (out << take) | chunk;
+            self.pos += take as u64;
+            remaining -= take;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_round_trip() {
+        let bits = [true, false, true, true, false, false, true, false, true, true];
+        let mut w = BitWriter::new();
+        for &b in &bits {
+            w.write_bit(b);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &b in &bits {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multi_bit_round_trip_mixed_widths() {
+        let values: Vec<(u64, u32)> = vec![
+            (0b1, 1),
+            (0b1011, 4),
+            (0xDEADBEEF, 32),
+            (0, 7),
+            (u64::MAX, 64),
+            (0x12345, 20),
+        ];
+        let mut w = BitWriter::new();
+        for &(v, n) in &values {
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &values {
+            assert_eq!(r.read_bits(n).unwrap(), v, "width {n}");
+        }
+    }
+
+    #[test]
+    fn zero_width_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(123, 0);
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.finish().is_empty());
+    }
+
+    #[test]
+    fn reader_eof_is_error() {
+        let bytes = [0xAB];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8).unwrap(), 0xAB);
+        assert_eq!(r.read_bit(), Err(EntropyError::UnexpectedEof));
+        assert_eq!(r.read_bits(1), Err(EntropyError::UnexpectedEof));
+    }
+
+    #[test]
+    fn partial_byte_is_zero_padded() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b1010_0000]);
+    }
+
+    #[test]
+    fn bit_len_tracks_writes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0, 13);
+        assert_eq!(w.bit_len(), 13);
+        w.write_bit(true);
+        assert_eq!(w.bit_len(), 14);
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write_bit(true); // becomes bit 7 of the first byte
+        w.write_bits(0, 7);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b1000_0000]);
+    }
+}

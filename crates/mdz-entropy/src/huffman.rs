@@ -1,0 +1,547 @@
+//! Canonical, length-limited Huffman coding over `u32` symbol alphabets.
+//!
+//! The SZ framework (which MDZ follows) Huffman-codes two integer streams per
+//! buffer: the quantization codes and, for the VQ predictor, the level-index
+//! deltas. Both alphabets are data-dependent, so the encoder serializes a
+//! compact canonical code table (sorted symbols as delta varints plus one
+//! length byte each) ahead of the bit-packed payload.
+//!
+//! Codes are length-limited to [`MAX_CODE_LEN`] bits by frequency rescaling,
+//! which keeps decode state machine-word sized. Decoding uses a one-level
+//! lookup table for codes up to [`LUT_BITS`] bits and a canonical
+//! first-code scan for longer ones.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::varint::{read_uvarint, write_uvarint};
+use crate::{EntropyError, Result};
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// Upper bound on code lengths after limiting.
+pub const MAX_CODE_LEN: u32 = 32;
+/// Width of the fast decode lookup table.
+const LUT_BITS: u32 = 11;
+/// Symbol-to-code maps switch from a dense vector to a hash map above this.
+const DENSE_LIMIT: u64 = 1 << 20;
+
+/// One canonical code: `len` low bits of `code`, MSB-first on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Code {
+    code: u32,
+    len: u8,
+}
+
+/// Builds Huffman code lengths from symbol frequencies.
+///
+/// Returns `lengths[i]` for each `(symbol, freq)` input pair. Frequencies are
+/// rescaled and the tree rebuilt until the maximum depth fits
+/// [`MAX_CODE_LEN`].
+fn code_lengths(freqs: &[u64]) -> Vec<u8> {
+    assert!(freqs.len() >= 2, "need at least two symbols for a code");
+    let mut scaled: Vec<u64> = freqs.to_vec();
+    loop {
+        let lengths = tree_depths(&scaled);
+        if lengths.iter().all(|&l| u32::from(l) <= MAX_CODE_LEN) {
+            return lengths;
+        }
+        // Halving (with a +1 floor) compresses the frequency range, which
+        // bounds the depth of the rebuilt tree; this terminates because the
+        // range eventually collapses to all-equal frequencies.
+        for f in &mut scaled {
+            *f = (*f >> 1) + 1;
+        }
+    }
+}
+
+/// Computes tree depths for each entry of `freqs` with a standard two-queue
+/// Huffman construction over a binary heap.
+fn tree_depths(freqs: &[u64]) -> Vec<u8> {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        freq: u64,
+        id: usize,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Min-heap on (freq, id); id tiebreak keeps construction deterministic.
+            other.freq.cmp(&self.freq).then(other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let n = freqs.len();
+    // parent[i] for 2n-1 tree nodes; leaves are 0..n.
+    let mut parent = vec![usize::MAX; 2 * n - 1];
+    let mut heap: BinaryHeap<Node> = freqs
+        .iter()
+        .enumerate()
+        .map(|(id, &freq)| Node { freq: freq.max(1), id })
+        .collect();
+    let mut next_id = n;
+    while heap.len() > 1 {
+        let a = heap.pop().unwrap();
+        let b = heap.pop().unwrap();
+        parent[a.id] = next_id;
+        parent[b.id] = next_id;
+        heap.push(Node { freq: a.freq + b.freq, id: next_id });
+        next_id += 1;
+    }
+    let root = next_id - 1;
+    let mut depth = vec![0u8; 2 * n - 1];
+    // Parents always have larger ids, so a reverse sweep resolves depths.
+    for id in (0..2 * n - 1).rev() {
+        if id != root {
+            depth[id] = depth[parent[id]].saturating_add(1);
+        }
+    }
+    depth.truncate(n);
+    depth
+}
+
+/// Assigns canonical codes to `(symbol, len)` pairs sorted by `(len, symbol)`.
+fn assign_canonical(sorted: &[(u32, u8)]) -> Vec<Code> {
+    let mut codes = Vec::with_capacity(sorted.len());
+    let mut code = 0u32;
+    let mut prev_len = 0u8;
+    for &(_, len) in sorted {
+        code <<= len - prev_len;
+        codes.push(Code { code, len });
+        code += 1;
+        prev_len = len;
+    }
+    codes
+}
+
+/// Symbol-to-code map used while encoding.
+enum CodeMap {
+    Dense(Vec<Code>),
+    Sparse(HashMap<u32, Code>),
+}
+
+impl CodeMap {
+    #[inline]
+    fn get(&self, symbol: u32) -> Option<Code> {
+        match self {
+            CodeMap::Dense(v) => {
+                let c = *v.get(symbol as usize)?;
+                (c.len > 0).then_some(c)
+            }
+            CodeMap::Sparse(m) => m.get(&symbol).copied(),
+        }
+    }
+}
+
+/// A reusable Huffman encoder built from symbol frequencies.
+pub struct HuffmanEncoder {
+    /// Distinct symbols with lengths, sorted by `(len, symbol)`.
+    table: Vec<(u32, u8)>,
+    map: CodeMap,
+}
+
+impl HuffmanEncoder {
+    /// Builds an encoder from the symbols that will be encoded.
+    pub fn from_symbols(symbols: &[u32]) -> Self {
+        // Dense counting for compact alphabets (quantization codes, level
+        // deltas) — hashing every symbol dominates encoder setup otherwise.
+        let max = symbols.iter().copied().max().unwrap_or(0);
+        if u64::from(max) < DENSE_LIMIT {
+            let mut counts = vec![0u64; max as usize + 1];
+            for &s in symbols {
+                counts[s as usize] += 1;
+            }
+            let entries: Vec<(u32, u64)> = counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(s, &c)| (s as u32, c))
+                .collect();
+            return Self::from_sorted_entries(entries);
+        }
+        let mut freq: HashMap<u32, u64> = HashMap::new();
+        for &s in symbols {
+            *freq.entry(s).or_insert(0) += 1;
+        }
+        Self::from_frequencies(&freq)
+    }
+
+    /// Builds an encoder from an explicit frequency map.
+    pub fn from_frequencies(freq: &HashMap<u32, u64>) -> Self {
+        let mut entries: Vec<(u32, u64)> = freq.iter().map(|(&s, &f)| (s, f)).collect();
+        entries.sort_unstable_by_key(|&(s, _)| s);
+        Self::from_sorted_entries(entries)
+    }
+
+    /// Builds an encoder from `(symbol, count)` entries sorted by symbol.
+    fn from_sorted_entries(entries: Vec<(u32, u64)>) -> Self {
+        let mut table: Vec<(u32, u8)>;
+        match entries.len() {
+            0 => table = Vec::new(),
+            1 => table = vec![(entries[0].0, 1)],
+            _ => {
+                let freqs: Vec<u64> = entries.iter().map(|&(_, f)| f).collect();
+                let lens = code_lengths(&freqs);
+                table = entries
+                    .iter()
+                    .zip(lens.iter())
+                    .map(|(&(s, _), &l)| (s, l))
+                    .collect();
+                table.sort_unstable_by_key(|&(s, l)| (l, s));
+            }
+        }
+        let codes = assign_canonical(&table);
+        let max_sym = table.iter().map(|&(s, _)| u64::from(s)).max().unwrap_or(0);
+        let map = if max_sym < DENSE_LIMIT {
+            let mut dense = vec![Code { code: 0, len: 0 }; (max_sym + 1) as usize];
+            for (&(s, _), &c) in table.iter().zip(codes.iter()) {
+                dense[s as usize] = c;
+            }
+            CodeMap::Dense(dense)
+        } else {
+            CodeMap::Sparse(table.iter().zip(codes.iter()).map(|(&(s, _), &c)| (s, c)).collect())
+        };
+        Self { table, map }
+    }
+
+    /// Number of distinct symbols in the code.
+    pub fn alphabet_size(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Serializes the canonical table: distinct count, then delta-coded
+    /// sorted symbols and one length byte each.
+    fn write_table(&self, out: &mut Vec<u8>) {
+        write_uvarint(out, self.table.len() as u64);
+        // Symbols sorted ascending for tight delta coding.
+        let mut sorted: Vec<(u32, u8)> = self.table.clone();
+        sorted.sort_unstable_by_key(|&(s, _)| s);
+        let mut prev = 0u32;
+        for (i, &(s, l)) in sorted.iter().enumerate() {
+            let delta = if i == 0 { u64::from(s) } else { u64::from(s - prev) };
+            write_uvarint(out, delta);
+            out.push(l);
+            prev = s;
+        }
+    }
+
+    /// Encodes `symbols` (all of which must have appeared in the frequency
+    /// set) into a self-contained byte stream.
+    pub fn encode(&self, symbols: &[u32]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_uvarint(&mut out, symbols.len() as u64);
+        self.write_table(&mut out);
+        if self.table.len() <= 1 {
+            // Zero- and one-symbol alphabets need no payload bits.
+            return out;
+        }
+        let mut bits = BitWriter::with_capacity(symbols.len() / 2);
+        for &s in symbols {
+            let c = self
+                .map
+                .get(s)
+                .expect("symbol not present in encoder frequency set");
+            bits.write_bits(u64::from(c.code), u32::from(c.len));
+        }
+        let payload = bits.finish();
+        write_uvarint(&mut out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+/// Decoder state rebuilt from a serialized canonical table.
+pub struct HuffmanDecoder {
+    /// Symbols sorted by `(len, symbol)` — canonical order.
+    symbols: Vec<u32>,
+    /// `first_code[l]`/`first_index[l]`: canonical ranges per length.
+    first_code: [u32; (MAX_CODE_LEN + 2) as usize],
+    first_index: [u32; (MAX_CODE_LEN + 2) as usize],
+    count: [u32; (MAX_CODE_LEN + 2) as usize],
+    /// LUT over the next `LUT_BITS` bits: `(symbol, len)` or `len == 0` for slow path.
+    lut: Vec<(u32, u8)>,
+    max_len: u32,
+}
+
+impl HuffmanDecoder {
+    /// Reads a canonical table from `data` at `*pos`.
+    fn read_table(data: &[u8], pos: &mut usize) -> Result<Self> {
+        let distinct = read_uvarint(data, pos)? as usize;
+        if distinct > (1 << 28) {
+            return Err(EntropyError::Corrupt("implausible alphabet size"));
+        }
+        let mut pairs: Vec<(u32, u8)> = Vec::with_capacity(distinct);
+        let mut prev = 0u64;
+        for i in 0..distinct {
+            let delta = read_uvarint(data, pos)?;
+            let sym = if i == 0 { delta } else { prev + delta };
+            if sym > u64::from(u32::MAX) {
+                return Err(EntropyError::Corrupt("symbol exceeds u32"));
+            }
+            let len = *data.get(*pos).ok_or(EntropyError::UnexpectedEof)?;
+            *pos += 1;
+            if distinct > 1 && (len == 0 || u32::from(len) > MAX_CODE_LEN) {
+                return Err(EntropyError::Corrupt("invalid code length"));
+            }
+            pairs.push((sym as u32, len));
+            prev = sym;
+        }
+        pairs.sort_unstable_by_key(|&(s, l)| (l, s));
+        Self::from_canonical(pairs)
+    }
+
+    fn from_canonical(pairs: Vec<(u32, u8)>) -> Result<Self> {
+        let mut dec = Self {
+            symbols: pairs.iter().map(|&(s, _)| s).collect(),
+            first_code: [0; (MAX_CODE_LEN + 2) as usize],
+            first_index: [0; (MAX_CODE_LEN + 2) as usize],
+            count: [0; (MAX_CODE_LEN + 2) as usize],
+            lut: Vec::new(),
+            max_len: 0,
+        };
+        if pairs.len() <= 1 {
+            return Ok(dec);
+        }
+        for &(_, l) in &pairs {
+            dec.count[l as usize] += 1;
+            dec.max_len = dec.max_len.max(u32::from(l));
+        }
+        // Canonical ranges and Kraft check.
+        let mut code = 0u64;
+        let mut index = 0u32;
+        for l in 1..=dec.max_len {
+            dec.first_code[l as usize] = code as u32;
+            dec.first_index[l as usize] = index;
+            code += u64::from(dec.count[l as usize]);
+            index += dec.count[l as usize];
+            if code > (1u64 << l) {
+                return Err(EntropyError::Corrupt("code table violates Kraft inequality"));
+            }
+            code <<= 1;
+        }
+        // Fast LUT for short codes.
+        let lut_len = 1usize << LUT_BITS;
+        dec.lut = vec![(0, 0); lut_len];
+        let codes = assign_canonical(&pairs);
+        for (&(sym, len), &c) in pairs.iter().zip(codes.iter()) {
+            let len32 = u32::from(len);
+            if len32 <= LUT_BITS {
+                let shift = LUT_BITS - len32;
+                let base = (c.code as usize) << shift;
+                for fill in 0..(1usize << shift) {
+                    dec.lut[base | fill] = (sym, len);
+                }
+            }
+        }
+        Ok(dec)
+    }
+
+    /// Decodes one symbol from `bits`.
+    #[inline]
+    fn decode_symbol(&self, bits: &mut BitReader<'_>) -> Result<u32> {
+        // Fast path: peek LUT_BITS bits if available.
+        let avail = bits.remaining();
+        if avail >= u64::from(LUT_BITS) {
+            let mut probe = bits.clone();
+            let peek = probe.read_bits(LUT_BITS)? as usize;
+            let (sym, len) = self.lut[peek];
+            if len != 0 {
+                bits.read_bits(u32::from(len))?;
+                return Ok(sym);
+            }
+        }
+        // Canonical scan: extend the code one bit at a time.
+        let mut code = 0u32;
+        for l in 1..=self.max_len {
+            code = (code << 1) | bits.read_bit()? as u32;
+            let cnt = self.count[l as usize];
+            if cnt > 0 {
+                let first = self.first_code[l as usize];
+                if code >= first && code < first + cnt {
+                    let idx = self.first_index[l as usize] + (code - first);
+                    return Ok(self.symbols[idx as usize]);
+                }
+            }
+        }
+        Err(EntropyError::Corrupt("bit pattern matches no code"))
+    }
+}
+
+/// Encodes `symbols` into a self-contained Huffman stream.
+pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
+    HuffmanEncoder::from_symbols(symbols).encode(symbols)
+}
+
+/// Decodes a stream produced by [`huffman_encode`], starting at `*pos` and
+/// advancing it past the stream.
+pub fn huffman_decode_at(data: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
+    let count = read_uvarint(data, pos)? as usize;
+    if count > (1 << 34) {
+        return Err(EntropyError::Corrupt("implausible symbol count"));
+    }
+    let dec = HuffmanDecoder::read_table(data, pos)?;
+    match dec.symbols.len() {
+        0 => {
+            if count != 0 {
+                return Err(EntropyError::Corrupt("nonzero count with empty alphabet"));
+            }
+            Ok(Vec::new())
+        }
+        1 => Ok(vec![dec.symbols[0]; count]),
+        _ => {
+            let payload_len = read_uvarint(data, pos)? as usize;
+            let end = pos
+                .checked_add(payload_len)
+                .filter(|&e| e <= data.len())
+                .ok_or(EntropyError::UnexpectedEof)?;
+            let mut bits = BitReader::new(&data[*pos..end]);
+            // Cap eager allocation: `count` is untrusted until the payload
+            // actually yields that many symbols (a forged header must not
+            // OOM us).
+            let mut out = Vec::with_capacity(count.min(1 << 20));
+            for _ in 0..count {
+                out.push(dec.decode_symbol(&mut bits)?);
+            }
+            *pos = end;
+            Ok(out)
+        }
+    }
+}
+
+/// Decodes a stream produced by [`huffman_encode`].
+pub fn huffman_decode(data: &[u8]) -> Result<Vec<u32>> {
+    let mut pos = 0;
+    let out = huffman_decode_at(data, &mut pos)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(symbols: &[u32]) {
+        let enc = huffman_encode(symbols);
+        let dec = huffman_decode(&enc).expect("decode");
+        assert_eq!(dec, symbols);
+    }
+
+    #[test]
+    fn empty_input() {
+        round_trip(&[]);
+    }
+
+    #[test]
+    fn single_distinct_symbol() {
+        round_trip(&[42; 1000]);
+        // One-symbol streams carry no payload bits at all.
+        let enc = huffman_encode(&[7u32; 100000]);
+        assert!(enc.len() < 16, "degenerate stream should be tiny, got {}", enc.len());
+    }
+
+    #[test]
+    fn two_symbols() {
+        let mut v = vec![0u32; 100];
+        v.extend(vec![1u32; 3]);
+        round_trip(&v);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // 90% zeros → well under 1 byte/symbol.
+        let mut v = Vec::new();
+        for i in 0..10_000u32 {
+            v.push(if i % 10 == 0 { i % 7 + 1 } else { 0 });
+        }
+        let enc = huffman_encode(&v);
+        assert!(enc.len() < v.len(), "{} vs {}", enc.len(), v.len());
+        round_trip(&v);
+    }
+
+    #[test]
+    fn large_sparse_alphabet() {
+        let v: Vec<u32> = (0..4000).map(|i| (i * 2_654_435_761u64 % 1_000_000_007) as u32).collect();
+        round_trip(&v);
+    }
+
+    #[test]
+    fn quantization_like_distribution() {
+        // Geometric-ish distribution centred at 512, like SZ quantization codes.
+        let mut v = Vec::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for _ in 0..50_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r = (state >> 40) as f64 / (1u64 << 24) as f64;
+            let mag = (-r.max(1e-9).ln() * 3.0) as i64;
+            let sign = if state & 1 == 0 { 1 } else { -1 };
+            v.push((512 + sign * mag) as u32);
+        }
+        let enc = huffman_encode(&v);
+        // Entropy is a few bits/symbol; 4 bytes/symbol raw.
+        assert!(enc.len() < v.len() * 2);
+        round_trip(&v);
+    }
+
+    #[test]
+    fn pathological_fibonacci_frequencies_are_length_limited() {
+        // Fibonacci frequencies make maximally deep trees; the limiter must cope.
+        let mut v = Vec::new();
+        let (mut a, mut b) = (1u64, 1u64);
+        for s in 0..48u32 {
+            for _ in 0..a.min(100_000) {
+                v.push(s);
+            }
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        round_trip(&v);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let v: Vec<u32> = (0..1000).map(|i| i % 17).collect();
+        let enc = huffman_encode(&v);
+        for cut in [0, 1, enc.len() / 2, enc.len() - 1] {
+            assert!(huffman_decode(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupted_table_errors_not_panics() {
+        let v: Vec<u32> = (0..200).map(|i| i % 5).collect();
+        let mut enc = huffman_encode(&v);
+        // Flip every byte one at a time; decode must never panic.
+        for i in 0..enc.len() {
+            enc[i] ^= 0xFF;
+            let _ = huffman_decode(&enc);
+            enc[i] ^= 0xFF;
+        }
+    }
+
+    #[test]
+    fn decode_at_advances_past_stream() {
+        let a: Vec<u32> = (0..100).map(|i| i % 3).collect();
+        let b: Vec<u32> = (0..50).map(|i| i % 7 + 100).collect();
+        let mut buf = huffman_encode(&a);
+        buf.extend(huffman_encode(&b));
+        let mut pos = 0;
+        assert_eq!(huffman_decode_at(&buf, &mut pos).unwrap(), a);
+        assert_eq!(huffman_decode_at(&buf, &mut pos).unwrap(), b);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn encoder_reuse_across_batches() {
+        let batch1: Vec<u32> = (0..500).map(|i| i % 11).collect();
+        let batch2: Vec<u32> = (0..300).map(|i| (i + 3) % 11).collect();
+        let mut freq = HashMap::new();
+        for &s in batch1.iter().chain(batch2.iter()) {
+            *freq.entry(s).or_insert(0u64) += 1;
+        }
+        let enc = HuffmanEncoder::from_frequencies(&freq);
+        assert_eq!(huffman_decode(&enc.encode(&batch1)).unwrap(), batch1);
+        assert_eq!(huffman_decode(&enc.encode(&batch2)).unwrap(), batch2);
+    }
+}

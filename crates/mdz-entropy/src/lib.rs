@@ -1,0 +1,48 @@
+//! Entropy-coding primitives for the MDZ compression pipeline.
+//!
+//! The MDZ paper builds on the SZ framework whose last two stages are Huffman
+//! coding of quantization codes followed by a dictionary coder. This crate
+//! provides the bit-level substrate those stages need:
+//!
+//! * [`bitio`] — MSB-first bit readers and writers over byte buffers,
+//! * [`varint`] — LEB128 unsigned varints and zigzag-mapped signed varints,
+//! * [`huffman`] — canonical, length-limited Huffman coding over `u32`
+//!   symbol alphabets with a compact serialized code table.
+//!
+//! All decoders treat their input as untrusted: truncated or corrupted
+//! streams produce [`EntropyError`] values, never panics.
+
+pub mod bitio;
+pub mod huffman;
+pub mod range;
+pub mod varint;
+
+pub use bitio::{BitReader, BitWriter};
+pub use range::{range_decode, range_encode};
+pub use huffman::{huffman_decode, huffman_encode, HuffmanDecoder, HuffmanEncoder};
+pub use varint::{
+    read_ivarint, read_uvarint, write_ivarint, write_uvarint, zigzag_decode, zigzag_encode,
+};
+
+/// Errors produced while decoding entropy-coded streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntropyError {
+    /// The input ended before the decoder finished.
+    UnexpectedEof,
+    /// The stream violates a structural invariant of its format.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for EntropyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EntropyError::UnexpectedEof => write!(f, "unexpected end of input"),
+            EntropyError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EntropyError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, EntropyError>;

@@ -1,0 +1,146 @@
+//! LEB128 variable-length integers and zigzag mapping for signed values.
+//!
+//! Varints serialize the small headers of the MDZ container (lengths, symbol
+//! tables, escape lists) and the integer streams of the HRTC/TNG baseline
+//! compressors, where most values are near zero.
+
+use crate::{EntropyError, Result};
+
+/// Appends `value` to `out` as an unsigned LEB128 varint (1–10 bytes).
+#[inline]
+pub fn write_uvarint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint from `data` starting at `*pos`.
+///
+/// On success advances `*pos` past the varint.
+#[inline]
+pub fn read_uvarint(data: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(*pos).ok_or(EntropyError::UnexpectedEof)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(EntropyError::Corrupt("varint overflows u64"));
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(EntropyError::Corrupt("varint longer than 10 bytes"));
+        }
+    }
+}
+
+/// Maps a signed integer to an unsigned one so that small-magnitude values
+/// (positive or negative) get small codes: 0, -1, 1, -2, 2 → 0, 1, 2, 3, 4.
+#[inline]
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends `value` as a zigzag-mapped varint.
+#[inline]
+pub fn write_ivarint(out: &mut Vec<u8>, value: i64) {
+    write_uvarint(out, zigzag_encode(value));
+}
+
+/// Reads a zigzag-mapped varint.
+#[inline]
+pub fn read_ivarint(data: &[u8], pos: &mut usize) -> Result<i64> {
+    Ok(zigzag_decode(read_uvarint(data, pos)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_round_trip_boundaries() {
+        let cases = [0, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX];
+        for &v in &cases {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_uvarint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn uvarint_encoding_lengths() {
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_uvarint(&mut buf, 128);
+        assert_eq!(buf.len(), 2);
+        buf.clear();
+        write_uvarint(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), 10);
+    }
+
+    #[test]
+    fn ivarint_round_trip() {
+        for &v in &[0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 1 << 40, -(1 << 40)] {
+            let mut buf = Vec::new();
+            write_ivarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_ivarint(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_maps_small_magnitudes_to_small_codes() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        assert_eq!(zigzag_encode(2), 4);
+    }
+
+    #[test]
+    fn truncated_varint_is_eof() {
+        let buf = [0x80u8, 0x80];
+        let mut pos = 0;
+        assert_eq!(read_uvarint(&buf, &mut pos), Err(EntropyError::UnexpectedEof));
+    }
+
+    #[test]
+    fn overlong_varint_is_corrupt() {
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        assert!(matches!(read_uvarint(&buf, &mut pos), Err(EntropyError::Corrupt(_))));
+    }
+
+    #[test]
+    fn varint_sequences_advance_position() {
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 300);
+        write_uvarint(&mut buf, 5);
+        write_ivarint(&mut buf, -77);
+        let mut pos = 0;
+        assert_eq!(read_uvarint(&buf, &mut pos).unwrap(), 300);
+        assert_eq!(read_uvarint(&buf, &mut pos).unwrap(), 5);
+        assert_eq!(read_ivarint(&buf, &mut pos).unwrap(), -77);
+        assert_eq!(pos, buf.len());
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for bit I/O, varints, and Huffman coding.
+
+use mdz_entropy::{
+    huffman_decode, huffman_encode, read_ivarint, read_uvarint, write_ivarint, write_uvarint,
+    zigzag_decode, zigzag_encode, BitReader, BitWriter,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bitio_round_trip(ops in prop::collection::vec((any::<u64>(), 0u32..=64), 0..200)) {
+        let mut w = BitWriter::new();
+        for &(v, n) in &ops {
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &ops {
+            let masked = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+            prop_assert_eq!(r.read_bits(n).unwrap(), masked);
+        }
+    }
+
+    #[test]
+    fn uvarint_round_trip(values in prop::collection::vec(any::<u64>(), 0..100)) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_uvarint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            prop_assert_eq!(read_uvarint(&buf, &mut pos).unwrap(), v);
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn ivarint_round_trip(values in prop::collection::vec(any::<i64>(), 0..100)) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_ivarint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            prop_assert_eq!(read_ivarint(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_is_bijective(v in any::<i64>()) {
+        prop_assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+    }
+
+    #[test]
+    fn zigzag_preserves_magnitude_order(a in -1000i64..1000, b in -1000i64..1000) {
+        // Smaller |v| never gets a larger code class (within a factor of 2).
+        if a.unsigned_abs() < b.unsigned_abs() {
+            prop_assert!(zigzag_encode(a) < 2 * zigzag_encode(b).max(1));
+        }
+    }
+
+    #[test]
+    fn huffman_round_trip_small_alphabet(
+        symbols in prop::collection::vec(0u32..16, 0..2000)
+    ) {
+        let enc = huffman_encode(&symbols);
+        prop_assert_eq!(huffman_decode(&enc).unwrap(), symbols);
+    }
+
+    #[test]
+    fn huffman_round_trip_arbitrary_symbols(
+        symbols in prop::collection::vec(any::<u32>(), 0..500)
+    ) {
+        let enc = huffman_encode(&symbols);
+        prop_assert_eq!(huffman_decode(&enc).unwrap(), symbols);
+    }
+
+    #[test]
+    fn huffman_decode_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = huffman_decode(&data);
+    }
+
+    #[test]
+    fn huffman_truncation_never_panics(
+        symbols in prop::collection::vec(0u32..64, 1..500),
+        frac in 0.0f64..1.0,
+    ) {
+        let enc = huffman_encode(&symbols);
+        let cut = ((enc.len() as f64) * frac) as usize;
+        let _ = huffman_decode(&enc[..cut]);
+    }
+}

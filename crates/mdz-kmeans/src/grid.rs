@@ -1,0 +1,158 @@
+//! Fitting an equally spaced level grid `(λ, μ)` to cluster centroids.
+//!
+//! The VQ predictor does not use the clusters directly; it needs the level
+//! distance `λ` and initial level value `μ` such that level `ℓ` sits at
+//! `μ + ℓ·λ`. Centroids may skip lattice sites (unoccupied levels in the
+//! sampled snapshot), so the fit must infer the fundamental spacing rather
+//! than just average consecutive differences.
+
+/// An equally spaced level grid: level `ℓ` is at `mu + lambda * ℓ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelGrid {
+    /// Value of level 0 (the paper's initial level value `μ`).
+    pub mu: f64,
+    /// Distance between adjacent levels (the paper's `λ`).
+    pub lambda: f64,
+    /// Number of clusters the fit was derived from.
+    pub k: usize,
+    /// RMS residual of centroids about their nearest lattice site, as a
+    /// fraction of `λ`. Near zero means strongly crystalline data.
+    pub fit_error: f64,
+}
+
+impl LevelGrid {
+    /// Fits `(λ, μ)` to ascending centroids. Returns `None` for fewer than
+    /// two centroids or a degenerate (near-zero) spacing.
+    pub fn fit(centroids: &[f64]) -> Option<Self> {
+        if centroids.len() < 2 {
+            return None;
+        }
+        let diffs: Vec<f64> = centroids.windows(2).map(|w| w[1] - w[0]).collect();
+        // Initial guess: the smallest inter-centroid gap is one lattice step
+        // unless levels were skipped everywhere; guard with the median too.
+        let mut sorted = diffs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min_gap = sorted[0];
+        if !min_gap.is_finite() || min_gap <= 0.0 {
+            return None;
+        }
+        // Refine: interpret each diff as `round(diff/λ0)` lattice steps and
+        // re-estimate λ as total span / total steps (least squares for equal
+        // per-diff noise).
+        let mut lambda = min_gap;
+        for _ in 0..4 {
+            let mut steps_total = 0.0;
+            let mut span_total = 0.0;
+            for &d in &diffs {
+                let steps = (d / lambda).round().max(1.0);
+                steps_total += steps;
+                span_total += d;
+            }
+            let next = span_total / steps_total;
+            if (next - lambda).abs() < 1e-12 * lambda.abs() {
+                lambda = next;
+                break;
+            }
+            lambda = next;
+        }
+        if lambda <= 0.0 || !lambda.is_finite() {
+            return None;
+        }
+        // Phase: average the residuals of all centroids about the lattice
+        // anchored at the first centroid.
+        let base = centroids[0];
+        let mut resid_sum = 0.0;
+        for &c in centroids {
+            let steps = ((c - base) / lambda).round();
+            resid_sum += c - (base + steps * lambda);
+        }
+        let mu = base + resid_sum / centroids.len() as f64;
+        // Fit quality.
+        let mut sq = 0.0;
+        for &c in centroids {
+            let steps = ((c - mu) / lambda).round();
+            let r = c - (mu + steps * lambda);
+            sq += r * r;
+        }
+        let fit_error = (sq / centroids.len() as f64).sqrt() / lambda;
+        Some(Self { mu, lambda, k: centroids.len(), fit_error })
+    }
+
+    /// Index of the lattice level nearest to `value`.
+    #[inline]
+    pub fn level_of(&self, value: f64) -> i64 {
+        ((value - self.mu) / self.lambda).round() as i64
+    }
+
+    /// Value of lattice level `level`.
+    #[inline]
+    pub fn value_of(&self, level: i64) -> f64 {
+        self.mu + self.lambda * level as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_lattice_fits_perfectly() {
+        let centroids: Vec<f64> = (0..10).map(|i| 3.0 + i as f64 * 0.7).collect();
+        let g = LevelGrid::fit(&centroids).unwrap();
+        assert!((g.lambda - 0.7).abs() < 1e-12);
+        assert!(g.fit_error < 1e-9);
+        assert_eq!(g.level_of(3.0 + 4.0 * 0.7), g.level_of(g.value_of(g.level_of(5.8))));
+    }
+
+    #[test]
+    fn skipped_levels_recover_fundamental_spacing() {
+        // Levels 0,1,2,5,6,9 of a λ=2 lattice starting at 1.0.
+        let centroids = vec![1.0, 3.0, 5.0, 11.0, 13.0, 19.0];
+        let g = LevelGrid::fit(&centroids).unwrap();
+        assert!((g.lambda - 2.0).abs() < 1e-9, "λ = {}", g.lambda);
+    }
+
+    #[test]
+    fn noisy_lattice_fit_is_close() {
+        let noise = [0.01, -0.02, 0.015, -0.005, 0.02, -0.01, 0.0];
+        let centroids: Vec<f64> =
+            (0..7).map(|i| 10.0 + i as f64 * 1.5 + noise[i as usize]).collect();
+        let g = LevelGrid::fit(&centroids).unwrap();
+        assert!((g.lambda - 1.5).abs() < 0.02, "λ = {}", g.lambda);
+        assert!(g.fit_error < 0.05);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(LevelGrid::fit(&[]).is_none());
+        assert!(LevelGrid::fit(&[1.0]).is_none());
+        assert!(LevelGrid::fit(&[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn level_round_trip() {
+        let g = LevelGrid { mu: -4.2, lambda: 0.31, k: 5, fit_error: 0.0 };
+        for lvl in -100..100 {
+            assert_eq!(g.level_of(g.value_of(lvl)), lvl);
+        }
+    }
+
+    #[test]
+    fn irregular_centroids_report_large_fit_error() {
+        // Golden-ratio gaps are incommensurate with any lattice. (Note that
+        // powers of two would NOT work here: they form a perfect integer
+        // sub-lattice and legitimately fit with λ = 1.)
+        let phi = 1.618_033_988_749_895;
+        let centroids = vec![0.0, 1.0, 1.0 + phi, 2.0 + phi, 2.0 + 2.0 * phi];
+        let g = LevelGrid::fit(&centroids).unwrap();
+        assert!(g.fit_error > 0.05, "fit_error = {}", g.fit_error);
+    }
+
+    #[test]
+    fn power_of_two_centroids_fit_an_integer_lattice() {
+        let centroids = vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+        let g = LevelGrid::fit(&centroids).unwrap();
+        assert!((g.lambda - 1.0).abs() < 1e-9);
+        assert!(g.fit_error < 1e-9);
+    }
+}

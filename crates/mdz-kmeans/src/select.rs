@@ -1,0 +1,161 @@
+//! Cluster-count selection via the paper's `G(k)` cost-ratio rule.
+//!
+//! While computing `F(N,K)` the DP produces `F(N,1), …, F(N,K)` in order.
+//! With `G(k) = F(N,k)/F(N,k−1)`, the paper stops at `κ` when `G(κ)`
+//! "decreases significantly" relative to `G(κ−1)`: at the true level count
+//! the cost collapses from inter-level scale (λ²) to vibration scale (σ²),
+//! so `G(κ)` plummets while neighbouring ratios stay moderate. `K` is capped
+//! at 150 because more clusters inflate the level-index alphabet and hurt
+//! the Huffman stage.
+
+use crate::dp::{Clustering, DpSolution};
+
+/// Tuning knobs for sampled level detection.
+#[derive(Debug, Clone)]
+pub struct SelectConfig {
+    /// Maximum clusters to consider (paper: 150).
+    pub max_k: usize,
+    /// Fraction of the input to sample (paper: 0.10).
+    pub sample_fraction: f64,
+    /// Lower bound on the sample size for tiny inputs.
+    pub min_samples: usize,
+    /// A drop `G(κ) < drop_ratio · G(κ−1)` marks `κ` as the level count.
+    pub drop_ratio: f64,
+}
+
+impl Default for SelectConfig {
+    fn default() -> Self {
+        Self { max_k: 150, sample_fraction: 0.10, min_samples: 256, drop_ratio: 0.5 }
+    }
+}
+
+/// Runs the DP with incremental `G(k)` inspection (early-stopped a few
+/// layers past the cost collapse) and returns the clustering at the
+/// selected `κ` — one DP pass, no re-solve.
+pub fn select_k(sorted: &[f64], cfg: &SelectConfig) -> Clustering {
+    let dp = DpSolution::solve(sorted, cfg.max_k, true);
+    let kappa = choose_kappa(&dp.costs, cfg.drop_ratio);
+    dp.clustering_at(kappa)
+}
+
+/// Applies the `G(k)` rule to a cost curve `costs[j] = F(N, j+1)`.
+///
+/// Returns the chosen cluster count `κ ∈ [1, costs.len()]`: the *first* `k`
+/// where the cost ratio both falls below `drop_ratio` and collapses relative
+/// to its predecessor (`G(k) ≤ 0.2·G(k−1)`). "First" matters: once the cost
+/// reaches the vibration noise floor, ever-finer splits keep shaving cost
+/// (all the way to an exact zero at `k = #distinct`), and a global-minimum
+/// rule would chase that meaningless tail.
+pub fn choose_kappa(costs: &[f64], drop_ratio: f64) -> usize {
+    /// A collapse must shrink `G` at least this much versus `G(k−1)`.
+    const ELBOW_FACTOR: f64 = 0.2;
+    if costs.len() <= 1 {
+        return costs.len().max(1);
+    }
+    let mut g_prev = 1.0; // define G(1) = 1
+    for k in 2..=costs.len() {
+        let (num, den) = (costs[k - 1], costs[k - 2]);
+        if den <= 0.0 {
+            // Cost already hit zero at k−1; further ratios are meaningless.
+            break;
+        }
+        let gk = num / den;
+        // A genuine level collapse leaves only vibration variance, which is
+        // far below the inter-level variance F(1); requiring it filters out
+        // ordinary "good splits" early in the curve.
+        if gk < drop_ratio && gk <= ELBOW_FACTOR * g_prev && num <= 0.1 * costs[0] {
+            return k;
+        }
+        g_prev = gk;
+    }
+    // No collapse: data is not level-structured. Take the single most
+    // helpful split only if it is strongly beneficial, else one cluster.
+    let mut best = (1usize, f64::INFINITY);
+    for k in 2..=costs.len() {
+        if costs[k - 2] <= 0.0 {
+            break;
+        }
+        let gk = costs[k - 1] / costs[k - 2];
+        if gk < best.1 {
+            best = (k, gk);
+        }
+    }
+    if best.1 < 0.25 {
+        best.0
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lattice_data(levels: usize, per_level: usize, spacing: f64, noise: f64) -> Vec<f64> {
+        let mut s = 42u64;
+        let mut data = Vec::new();
+        for i in 0..levels * per_level {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            data.push((i % levels) as f64 * spacing + u * noise);
+        }
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        data
+    }
+
+    #[test]
+    fn finds_true_level_count() {
+        for levels in [3usize, 8, 20] {
+            let data = lattice_data(levels, 200, 2.0, 0.05);
+            let c = select_k(&data, &SelectConfig::default());
+            assert_eq!(c.k, levels, "levels {levels}");
+        }
+    }
+
+    #[test]
+    fn uniform_data_selects_few_clusters() {
+        // No level structure: strided uniform values.
+        let data: Vec<f64> = (0..2000).map(|i| i as f64 * 0.001).collect();
+        let c = select_k(&data, &SelectConfig::default());
+        assert!(c.k <= 4, "k = {}", c.k);
+    }
+
+    #[test]
+    fn perfect_lattice_stops_at_exact_k() {
+        let data = lattice_data(12, 100, 1.0, 0.0);
+        let c = select_k(&data, &SelectConfig::default());
+        assert_eq!(c.k, 12);
+        assert!(c.cost < 1e-12);
+    }
+
+    #[test]
+    fn respects_max_k_cap() {
+        let data = lattice_data(60, 30, 1.0, 0.01);
+        let cfg = SelectConfig { max_k: 10, ..Default::default() };
+        let c = select_k(&data, &cfg);
+        assert!(c.k <= 10);
+    }
+
+    #[test]
+    fn choose_kappa_on_synthetic_curves() {
+        // Cost collapses at k=4.
+        let costs = [100.0, 60.0, 35.0, 0.5, 0.4, 0.35];
+        assert_eq!(choose_kappa(&costs, 0.5), 4);
+        // Monotone gentle decline: no elbow.
+        let costs = [100.0, 90.0, 82.0, 75.0, 70.0];
+        assert_eq!(choose_kappa(&costs, 0.5), 1);
+        // Zero tail → first perfect k.
+        let costs = [10.0, 2.0, 0.0, 0.0];
+        assert_eq!(choose_kappa(&costs, 0.5), 3);
+        // Single entry.
+        assert_eq!(choose_kappa(&[5.0], 0.5), 1);
+    }
+
+    #[test]
+    fn two_level_data() {
+        let mut data = vec![0.0; 100];
+        data.extend(vec![10.0; 100]);
+        let c = select_k(&data, &SelectConfig::default());
+        assert_eq!(c.k, 2);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the exact 1-D k-means DP and level-grid fitting.
+
+use mdz_kmeans::{detect_levels, kmeans_1d, LevelGrid, SelectConfig};
+use proptest::prelude::*;
+
+/// Brute-force optimal SSE over contiguous partitions (exponential; small N).
+fn brute_force(sorted: &[f64], k: usize) -> f64 {
+    fn sse(pts: &[f64]) -> f64 {
+        let m = pts.iter().sum::<f64>() / pts.len() as f64;
+        pts.iter().map(|v| (v - m) * (v - m)).sum()
+    }
+    fn rec(pts: &[f64], k: usize) -> f64 {
+        if k == 1 {
+            return sse(pts);
+        }
+        if pts.len() <= k {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for split in 1..pts.len() {
+            best = best.min(rec(&pts[..split], k - 1) + sse(&pts[split..]));
+        }
+        best
+    }
+    rec(sorted, k)
+}
+
+fn distinct(sorted: &[f64]) -> usize {
+    1 + sorted.windows(2).filter(|w| w[0] < w[1]).count()
+}
+
+proptest! {
+    #[test]
+    fn dp_is_optimal_vs_brute_force(
+        mut data in prop::collection::vec(-100.0f64..100.0, 1..12),
+        k in 1usize..5,
+    ) {
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let c = kmeans_1d(&data, k);
+        let bf = brute_force(&data, k.min(distinct(&data)));
+        prop_assert!((c.cost - bf).abs() < 1e-6 * (1.0 + bf), "dp {} bf {}", c.cost, bf);
+    }
+
+    #[test]
+    fn dp_cost_never_negative_and_boundaries_valid(
+        mut data in prop::collection::vec(-1e6f64..1e6, 1..200),
+        k in 1usize..20,
+    ) {
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let c = kmeans_1d(&data, k);
+        prop_assert!(c.cost >= 0.0);
+        prop_assert_eq!(c.starts[0], 0);
+        for w in c.starts.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        prop_assert!(*c.starts.last().unwrap() < data.len());
+        // Centroids ascend.
+        for w in c.centroids.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn more_clusters_never_cost_more(
+        mut data in prop::collection::vec(-1e3f64..1e3, 2..100),
+    ) {
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = f64::INFINITY;
+        for k in 1..=6usize {
+            let c = kmeans_1d(&data, k);
+            prop_assert!(c.cost <= prev + 1e-9 * (1.0 + prev.abs()));
+            prev = c.cost;
+        }
+    }
+
+    #[test]
+    fn grid_fit_recovers_planted_lattice(
+        lambda in 0.1f64..10.0,
+        mu in -100.0f64..100.0,
+        k in 3usize..20,
+    ) {
+        let centroids: Vec<f64> = (0..k).map(|i| mu + lambda * i as f64).collect();
+        let g = LevelGrid::fit(&centroids).unwrap();
+        prop_assert!((g.lambda - lambda).abs() < 1e-6 * lambda, "λ {} vs {}", g.lambda, lambda);
+        prop_assert!(g.fit_error < 1e-6);
+        // μ may differ from the planted one by an integer multiple of λ.
+        let phase = ((g.mu - mu) / lambda - ((g.mu - mu) / lambda).round()).abs();
+        prop_assert!(phase < 1e-6, "phase {}", phase);
+    }
+
+    #[test]
+    fn detect_levels_never_panics(data in prop::collection::vec(any::<f64>(), 0..300)) {
+        let _ = detect_levels(&data, &SelectConfig::default());
+    }
+
+    #[test]
+    fn detect_levels_finds_planted_levels(
+        levels in 2usize..15,
+        spacing in 0.5f64..5.0,
+        per in 40usize..80,
+    ) {
+        let mut s = 7u64;
+        let data: Vec<f64> = (0..levels * per)
+            .map(|i| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let u = (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                (i % levels) as f64 * spacing + u * spacing * 0.02
+            })
+            .collect();
+        let cfg = SelectConfig { min_samples: 512, ..Default::default() };
+        let g = detect_levels(&data, &cfg).expect("grid");
+        prop_assert!((g.lambda - spacing).abs() < 0.05 * spacing,
+            "λ {} vs {}", g.lambda, spacing);
+    }
+}

@@ -1,0 +1,165 @@
+//! Gorilla-style XOR compression for `f64` streams.
+//!
+//! Implements the value-compression scheme of Facebook's Gorilla time-series
+//! database (Pelkonen et al., VLDB 2015), one of the lossless baselines the
+//! MDZ paper cites for time-series systems: each value is XOR-ed with its
+//! predecessor; a zero XOR costs one bit, otherwise the meaningful bit block
+//! is emitted, reusing the previous block bounds when possible.
+
+use mdz_entropy::{read_uvarint, write_uvarint, BitReader, BitWriter, EntropyError, Result};
+
+/// Compresses a sequence of `f64` values losslessly.
+pub fn compress(data: &[f64]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_uvarint(&mut out, data.len() as u64);
+    if data.is_empty() {
+        return out;
+    }
+    let mut bits = BitWriter::with_capacity(data.len());
+    let mut prev = data[0].to_bits();
+    bits.write_bits(prev, 64);
+    // Previous meaningful block: [lead, 64 - trail).
+    let mut prev_lead = 65u32; // sentinel: no block yet
+    let mut prev_trail = 0u32;
+    for &v in &data[1..] {
+        let cur = v.to_bits();
+        let xor = cur ^ prev;
+        prev = cur;
+        if xor == 0 {
+            bits.write_bit(false);
+            continue;
+        }
+        bits.write_bit(true);
+        let lead = xor.leading_zeros().min(31); // 5-bit field
+        let trail = xor.trailing_zeros();
+        if prev_lead <= lead && prev_trail <= trail {
+            // Fits inside the previous block: control bit 0.
+            bits.write_bit(false);
+            let blk = 64 - prev_lead - prev_trail;
+            bits.write_bits(xor >> prev_trail, blk);
+        } else {
+            // New block: control bit 1, 5-bit leading count, 6-bit length.
+            bits.write_bit(true);
+            let blk = 64 - lead - trail;
+            bits.write_bits(u64::from(lead), 5);
+            // blk ∈ [1, 64]; store blk-1 in 6 bits.
+            bits.write_bits(u64::from(blk - 1), 6);
+            bits.write_bits(xor >> trail, blk);
+            prev_lead = lead;
+            prev_trail = trail;
+        }
+    }
+    let payload = bits.finish();
+    write_uvarint(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decompresses a stream produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<f64>> {
+    let mut pos = 0;
+    let count = read_uvarint(data, &mut pos)? as usize;
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    if count > (1 << 32) {
+        return Err(EntropyError::Corrupt("implausible value count"));
+    }
+    let payload_len = read_uvarint(data, &mut pos)? as usize;
+    let end = pos
+        .checked_add(payload_len)
+        .filter(|&e| e <= data.len())
+        .ok_or(EntropyError::UnexpectedEof)?;
+    let mut bits = BitReader::new(&data[pos..end]);
+    // Untrusted count: cap the eager allocation.
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    let mut prev = bits.read_bits(64)?;
+    out.push(f64::from_bits(prev));
+    let mut lead = 0u32;
+    let mut trail = 0u32;
+    let mut have_block = false;
+    for _ in 1..count {
+        if !bits.read_bit()? {
+            out.push(f64::from_bits(prev));
+            continue;
+        }
+        if bits.read_bit()? {
+            lead = bits.read_bits(5)? as u32;
+            let blk = bits.read_bits(6)? as u32 + 1;
+            if lead + blk > 64 {
+                return Err(EntropyError::Corrupt("block exceeds 64 bits"));
+            }
+            trail = 64 - lead - blk;
+            have_block = true;
+        } else if !have_block {
+            return Err(EntropyError::Corrupt("reused block before any block"));
+        }
+        let blk = 64 - lead - trail;
+        let xor = bits.read_bits(blk)? << trail;
+        prev ^= xor;
+        out.push(f64::from_bits(prev));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[f64]) -> usize {
+        let c = compress(data);
+        let d = decompress(&c).unwrap();
+        assert_eq!(d.len(), data.len());
+        for (a, b) in data.iter().zip(d.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        c.len()
+    }
+
+    #[test]
+    fn empty_and_single() {
+        round_trip(&[]);
+        round_trip(&[42.0]);
+        round_trip(&[f64::NAN]); // bit-exact round trip includes NaN
+    }
+
+    #[test]
+    fn constant_series_is_one_bit_per_value() {
+        let data = vec![3.25; 10_000];
+        let size = round_trip(&data);
+        assert!(size < 10_000 / 8 + 64, "got {size}");
+    }
+
+    #[test]
+    fn slowly_varying_series_compresses() {
+        let data: Vec<f64> = (0..5000).map(|i| 100.0 + (i as f64) * 0.5).collect();
+        let size = round_trip(&data);
+        assert!(size < data.len() * 8, "got {size}");
+    }
+
+    #[test]
+    fn special_values() {
+        round_trip(&[0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::MIN, f64::MAX, 1e-300]);
+    }
+
+    #[test]
+    fn random_mantissas_round_trip() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let data: Vec<f64> = (0..3000)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (i as f64) + (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64 * 1.5).collect();
+        let c = compress(&data);
+        for cut in [0, 3, c.len() / 2] {
+            assert!(decompress(&c[..cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Byte-oriented run-length coding.
+//!
+//! Not a paper baseline by itself, but a useful reference point in tests and
+//! ablations: when Seq-2 interleaving works as intended, long runs of equal
+//! quantization-code bytes appear, and RLE quantifies how much of the LZ
+//! stage's win comes from plain runs versus general repeats.
+
+use mdz_entropy::{read_uvarint, write_uvarint, EntropyError, Result};
+
+/// Compresses `data` as `(uvarint run_len, byte)` pairs.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_uvarint(&mut out, data.len() as u64);
+    let mut i = 0;
+    while i < data.len() {
+        let b = data[i];
+        let mut j = i + 1;
+        while j < data.len() && data[j] == b {
+            j += 1;
+        }
+        write_uvarint(&mut out, (j - i) as u64);
+        out.push(b);
+        i = j;
+    }
+    out
+}
+
+/// Decompresses a stream produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    let mut pos = 0;
+    let total = read_uvarint(data, &mut pos)? as usize;
+    if total > (1 << 34) {
+        return Err(EntropyError::Corrupt("implausible length"));
+    }
+    // Cap eager allocation: `total` is untrusted (a forged 16 GiB length
+    // must not OOM the decoder before the runs fail to materialize).
+    let mut out = Vec::with_capacity(total.min(1 << 20));
+    while out.len() < total {
+        let run = read_uvarint(data, &mut pos)? as usize;
+        let byte = *data.get(pos).ok_or(EntropyError::UnexpectedEof)?;
+        pos += 1;
+        if run == 0 || out.len() + run > total {
+            return Err(EntropyError::Corrupt("invalid run length"));
+        }
+        out.extend(std::iter::repeat_n(byte, run));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        for data in [
+            vec![],
+            vec![1u8],
+            vec![0u8; 1000],
+            b"aaabbbcccd".to_vec(),
+            (0..=255u8).collect::<Vec<_>>(),
+        ] {
+            assert_eq!(decompress(&compress(&data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn long_runs_collapse() {
+        let data = vec![9u8; 1_000_000];
+        let c = compress(&data);
+        assert!(c.len() < 16);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn forged_giant_length_does_not_allocate() {
+        // Regression: a header claiming 2^34 bytes with a 3-byte payload
+        // must fail with EOF, not abort on a 16 GiB pre-allocation.
+        let mut data = Vec::new();
+        mdz_entropy::write_uvarint(&mut data, 1 << 34);
+        data.extend_from_slice(&[1, 2]);
+        assert!(decompress(&data).is_err());
+    }
+
+    #[test]
+    fn truncation_errors() {
+        let c = compress(&[1, 1, 2, 2, 2, 3]);
+        for cut in 0..c.len() {
+            assert!(decompress(&c[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

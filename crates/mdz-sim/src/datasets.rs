@@ -1,0 +1,391 @@
+//! Generators mirroring the paper's evaluation datasets (Table I + HACC).
+//!
+//! Each generator reproduces the spatial pattern (Fig. 3), value
+//! distribution (Fig. 4), and temporal regime (Fig. 5) the paper attributes
+//! to its dataset, at a configurable [`Scale`]:
+//!
+//! | Dataset  | Spatial (Fig. 3)    | Temporal (Fig. 5)      | Model |
+//! |----------|---------------------|------------------------|-------|
+//! | Copper-A | stable zigzag levels| small changes          | FCC crystal, high OU correlation |
+//! | Copper-B | stable zigzag levels| large frequent changes | FCC crystal, low OU correlation |
+//! | Helium-A | erratic zigzag      | small changes          | BCC matrix + mobile bubble atoms |
+//! | Helium-B | stable zigzag levels| large changes          | BCC crystal, low correlation, rare hops |
+//! | ADK      | random              | large changes          | random-walk chain, low correlation |
+//! | IFABP    | random              | moderate changes       | random-walk chain, medium correlation |
+//! | Pt       | stair-wise levels   | tiny changes           | large FCC surface, very high correlation, rare adatom hops |
+//! | LJ       | erratic / uniform   | tiny changes           | real Lennard-Jones engine, closely spaced dumps |
+//! | HACC-1/2 | clustered           | coherent drift         | Gaussian-blob cloud with bulk velocities |
+
+use crate::crystal::{CosmoCloud, RandomWalkCloud, VibratingCrystal};
+use crate::engine::{LjSimulation, SimConfig};
+use crate::lattice::{self, Structure};
+use crate::Snapshot;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The datasets of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Copper under strong electric fields, mode A (large cell).
+    CopperA,
+    /// Copper, mode B (small cell, long trajectory).
+    CopperB,
+    /// Helium bubbles in tungsten, mode A.
+    HeliumA,
+    /// Vacancy/helium clusters in tungsten, mode B.
+    HeliumB,
+    /// Adenylate kinase protein in water.
+    Adk,
+    /// Intestinal fatty acid-binding protein in water.
+    Ifabp,
+    /// Platinum surface diffusion (local hyperdynamics).
+    Pt,
+    /// Lennard-Jones liquid benchmark.
+    Lj,
+    /// Cosmological particle field #1.
+    Hacc1,
+    /// Cosmological particle field #2.
+    Hacc2,
+}
+
+impl DatasetKind {
+    /// The eight MD datasets of Table I.
+    pub const MD: [DatasetKind; 8] = [
+        DatasetKind::CopperA,
+        DatasetKind::CopperB,
+        DatasetKind::HeliumA,
+        DatasetKind::HeliumB,
+        DatasetKind::Adk,
+        DatasetKind::Ifabp,
+        DatasetKind::Pt,
+        DatasetKind::Lj,
+    ];
+
+    /// The HACC generalizability datasets (Fig. 16).
+    pub const HACC: [DatasetKind; 2] = [DatasetKind::Hacc1, DatasetKind::Hacc2];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::CopperA => "Copper-A",
+            DatasetKind::CopperB => "Copper-B",
+            DatasetKind::HeliumA => "Helium-A",
+            DatasetKind::HeliumB => "Helium-B",
+            DatasetKind::Adk => "ADK",
+            DatasetKind::Ifabp => "IFABP",
+            DatasetKind::Pt => "Pt",
+            DatasetKind::Lj => "LJ",
+            DatasetKind::Hacc1 => "HACC-1",
+            DatasetKind::Hacc2 => "HACC-2",
+        }
+    }
+
+    /// Table I metadata: `(state, code, snapshots, atoms)` at paper scale.
+    pub fn paper_row(self) -> (&'static str, &'static str, usize, usize) {
+        match self {
+            DatasetKind::CopperA => ("Solid", "LAMMPS", 83, 1_077_290),
+            DatasetKind::CopperB => ("Solid", "LAMMPS", 5423, 3137),
+            DatasetKind::HeliumA => ("Plasma", "LAMMPS", 2338, 106_711),
+            DatasetKind::HeliumB => ("Plasma", "EXAALT", 7852, 1037),
+            DatasetKind::Adk => ("Protein", "CHARMM", 4187, 3341),
+            DatasetKind::Ifabp => ("Protein", "CHARMM", 500, 12_445),
+            DatasetKind::Pt => ("Solid", "LAMMPS", 300, 2_371_092),
+            DatasetKind::Lj => ("Liquid", "LAMMPS", 50, 6_912_000),
+            DatasetKind::Hacc1 => ("Cosmology", "HACC", 30, 15_767_098),
+            DatasetKind::Hacc2 => ("Cosmology", "HACC", 80, 13_131_491),
+        }
+    }
+}
+
+/// Generation scale: trades fidelity against runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny, for unit tests (hundreds of atoms, ~8 snapshots).
+    Test,
+    /// Default experiment scale (thousands of atoms, tens–hundreds of
+    /// snapshots) — large enough for the paper's ratio *shapes* to emerge.
+    Small,
+    /// Larger runs for final benchmark numbers.
+    Full,
+}
+
+impl Scale {
+    /// `(snapshots, atoms)` for a dataset at this scale, preserving each
+    /// dataset's mode-A/mode-B aspect ratio from Table I.
+    pub fn dims(self, kind: DatasetKind) -> (usize, usize) {
+        let (test, small, full): ((usize, usize), (usize, usize), (usize, usize)) = match kind {
+            DatasetKind::CopperA => ((4, 500), (20, 8000), (40, 64000)),
+            DatasetKind::CopperB => ((12, 300), (300, 1000), (1200, 3137)),
+            DatasetKind::HeliumA => ((4, 500), (40, 6000), (120, 27000)),
+            DatasetKind::HeliumB => ((12, 300), (200, 1037), (800, 1037)),
+            DatasetKind::Adk => ((8, 300), (150, 1200), (600, 3341)),
+            DatasetKind::Ifabp => ((6, 400), (40, 4000), (120, 12445)),
+            DatasetKind::Pt => ((4, 500), (20, 10000), (60, 40000)),
+            DatasetKind::Lj => ((4, 256), (10, 4000), (20, 16384)),
+            DatasetKind::Hacc1 => ((4, 600), (10, 20000), (30, 100000)),
+            DatasetKind::Hacc2 => ((6, 500), (20, 15000), (80, 65536)),
+        };
+        match self {
+            Scale::Test => test,
+            Scale::Small => small,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// A generated dataset: named snapshots plus provenance.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Which Table I dataset this mimics.
+    pub kind: DatasetKind,
+    /// The generated trajectory.
+    pub snapshots: Vec<Snapshot>,
+    /// Simulation box side, when the model is periodic (used by RDF).
+    pub box_len: Option<f64>,
+}
+
+impl Dataset {
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether the dataset has no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Atoms per snapshot.
+    pub fn atoms(&self) -> usize {
+        self.snapshots.first().map_or(0, Snapshot::len)
+    }
+
+    /// Extracts one axis as buffer-of-snapshots (the compressor's input).
+    pub fn axis_series(&self, axis: usize) -> Vec<Vec<f64>> {
+        self.snapshots.iter().map(|s| s.axis(axis).to_vec()).collect()
+    }
+}
+
+/// Generates a dataset deterministically.
+pub fn generate(kind: DatasetKind, scale: Scale, seed: u64) -> Dataset {
+    let (m, n) = scale.dims(kind);
+    match kind {
+        DatasetKind::CopperA => crystal_dataset(kind, m, n, Structure::Fcc, 3.615, 0.05, 0.99, 0.0, seed),
+        DatasetKind::CopperB => crystal_dataset(kind, m, n, Structure::Fcc, 3.615, 0.08, 0.15, 0.0, seed),
+        DatasetKind::HeliumB => crystal_dataset(kind, m, n, Structure::Bcc, 3.165, 0.07, 0.30, 2e-4, seed),
+        DatasetKind::Pt => crystal_dataset(kind, m, n, Structure::Fcc, 3.92, 0.04, 0.995, 5e-5, seed),
+        DatasetKind::HeliumA => helium_bubble(kind, m, n, seed),
+        DatasetKind::Adk => protein(kind, m, n, 0.8, 0.35, 0.25, seed),
+        DatasetKind::Ifabp => protein(kind, m, n, 0.6, 0.25, 0.55, seed),
+        DatasetKind::Lj => lj_engine(kind, m, n, seed),
+        DatasetKind::Hacc1 => cosmo(kind, m, n, 40, seed),
+        DatasetKind::Hacc2 => cosmo(kind, m, n, 60, seed),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn crystal_dataset(
+    kind: DatasetKind,
+    m: usize,
+    n: usize,
+    structure: Structure,
+    a: f64,
+    sigma: f64,
+    correlation: f64,
+    hop_p: f64,
+    seed: u64,
+) -> Dataset {
+    let (nx, ny, nz) = lattice::cells_for(structure, n);
+    let mut sites = lattice::build(structure, nx, ny, nz, a);
+    sites.truncate(n);
+    let box_len = nx.max(ny).max(nz) as f64 * a;
+    let mut model = VibratingCrystal::new(sites, sigma, correlation, seed);
+    if hop_p > 0.0 {
+        model = model.with_hops(hop_p, a / 2.0);
+    }
+    let mut snapshots = Vec::with_capacity(m);
+    for _ in 0..m {
+        snapshots.push(model.snapshot());
+        model.advance();
+    }
+    Dataset { kind, snapshots, box_len: Some(box_len) }
+}
+
+/// Helium-A: a BCC tungsten matrix plus a growing cluster of mobile helium
+/// atoms — mostly crystalline but with an erratic sub-population, and very
+/// smooth in time.
+fn helium_bubble(kind: DatasetKind, m: usize, n: usize, seed: u64) -> Dataset {
+    let n_matrix = n * 9 / 10;
+    let n_mobile = n - n_matrix;
+    let a = 3.165;
+    let (nx, ny, nz) = lattice::cells_for(Structure::Bcc, n_matrix);
+    let mut sites = lattice::build(Structure::Bcc, nx, ny, nz, a);
+    sites.truncate(n_matrix);
+    let box_len = nx.max(ny).max(nz) as f64 * a;
+    let mut matrix = VibratingCrystal::new(sites, 0.05, 0.9, seed);
+    // Mobile helium: clustered random walkers near the box centre.
+    let mut bubble = RandomWalkCloud::new(n_mobile, 0.4, 0.08, 0.9, seed ^ 0xB0BB1E)
+        .with_anchor_diffusion(0.01);
+    let mut snapshots = Vec::with_capacity(m);
+    for _ in 0..m {
+        let ms = matrix.snapshot();
+        let bs = bubble.snapshot();
+        let center = box_len / 2.0;
+        let mut s = ms;
+        s.x.extend(bs.x.iter().map(|v| v + center));
+        s.y.extend(bs.y.iter().map(|v| v + center));
+        s.z.extend(bs.z.iter().map(|v| v + center));
+        snapshots.push(s);
+        matrix.advance();
+        bubble.advance();
+    }
+    Dataset { kind, snapshots, box_len: Some(box_len) }
+}
+
+fn protein(
+    kind: DatasetKind,
+    m: usize,
+    n: usize,
+    chain_step: f64,
+    sigma: f64,
+    correlation: f64,
+    seed: u64,
+) -> Dataset {
+    let mut model = RandomWalkCloud::new(n, chain_step, sigma, correlation, seed)
+        .with_anchor_diffusion(0.002);
+    let mut snapshots = Vec::with_capacity(m);
+    for _ in 0..m {
+        snapshots.push(model.snapshot());
+        model.advance();
+    }
+    Dataset { kind, snapshots, box_len: None }
+}
+
+/// LJ: a real simulation. Snapshots are taken every few steps, matching the
+/// high-frequency dumping regime in which the paper observes extreme
+/// temporal smoothness.
+fn lj_engine(kind: DatasetKind, m: usize, n: usize, seed: u64) -> Dataset {
+    let cfg = SimConfig { n_target: n, seed, ..Default::default() };
+    let mut sim = LjSimulation::new(cfg);
+    // Equilibrate off the perfect lattice.
+    sim.run(50);
+    let mut snapshots = Vec::with_capacity(m);
+    for _ in 0..m {
+        snapshots.push(sim.snapshot());
+        sim.run(5);
+    }
+    let box_len = sim.box_len;
+    Dataset { kind, snapshots, box_len: Some(box_len) }
+}
+
+fn cosmo(kind: DatasetKind, m: usize, n: usize, clusters: usize, seed: u64) -> Dataset {
+    let box_len = 256.0;
+    let mut model = CosmoCloud::new(n, clusters, 6.0, box_len, 0.08, seed);
+    // Mix in a diffuse background component like real N-body fields.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC05);
+    let diffuse = n / 5;
+    for i in 0..diffuse.min(model.len()) {
+        // Re-scatter a fifth of the particles uniformly.
+        let p = crate::vec3::Vec3::new(
+            rng.gen::<f64>() * box_len,
+            rng.gen::<f64>() * box_len,
+            rng.gen::<f64>() * box_len,
+        );
+        // Safe: indices in range by construction.
+        model_scatter(&mut model, i, p);
+    }
+    let mut snapshots = Vec::with_capacity(m);
+    for _ in 0..m {
+        snapshots.push(model.snapshot());
+        model.advance();
+    }
+    Dataset { kind, snapshots, box_len: Some(box_len) }
+}
+
+/// Places particle `i` of a [`CosmoCloud`] at `p` (helper kept free-standing
+/// so `CosmoCloud` stays a clean public model).
+fn model_scatter(model: &mut CosmoCloud, i: usize, p: crate::vec3::Vec3) {
+    model.scatter(i, p);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_generate_at_test_scale() {
+        for kind in DatasetKind::MD.into_iter().chain(DatasetKind::HACC) {
+            let d = generate(kind, Scale::Test, 1);
+            let (m, n) = Scale::Test.dims(kind);
+            assert_eq!(d.len(), m, "{}", kind.name());
+            assert!(d.atoms() >= n.min(100), "{}: {} atoms", kind.name(), d.atoms());
+            for s in &d.snapshots {
+                assert_eq!(s.len(), d.atoms());
+                for &v in s.x.iter().chain(s.y.iter()).chain(s.z.iter()) {
+                    assert!(v.is_finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for kind in [DatasetKind::CopperB, DatasetKind::Adk, DatasetKind::Lj] {
+            let a = generate(kind, Scale::Test, 7);
+            let b = generate(kind, Scale::Test, 7);
+            assert_eq!(a.snapshots, b.snapshots, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = generate(DatasetKind::CopperB, Scale::Test, 1);
+        let b = generate(DatasetKind::CopperB, Scale::Test, 2);
+        assert_ne!(a.snapshots, b.snapshots);
+    }
+
+    #[test]
+    fn crystal_datasets_have_level_structure() {
+        let d = generate(DatasetKind::CopperB, Scale::Test, 3);
+        // x-coordinates should cluster near multiples of a/2 = 1.8075.
+        let step = 3.615 / 2.0;
+        let mut near = 0;
+        let xs = &d.snapshots[0].x;
+        for &v in xs {
+            let r = (v / step - (v / step).round()).abs();
+            if r < 0.15 {
+                near += 1;
+            }
+        }
+        assert!(near as f64 > xs.len() as f64 * 0.8, "{near}/{}", xs.len());
+    }
+
+    #[test]
+    fn temporal_regimes_are_ordered() {
+        // Pt changes far less per snapshot than Copper-B.
+        let pt = generate(DatasetKind::Pt, Scale::Test, 4);
+        let cu = generate(DatasetKind::CopperB, Scale::Test, 4);
+        let change = |d: &Dataset| -> f64 {
+            let a = &d.snapshots[0].x;
+            let b = &d.snapshots[1].x;
+            a.iter().zip(b.iter()).map(|(p, q)| (p - q).abs()).sum::<f64>() / a.len() as f64
+        };
+        assert!(change(&pt) < change(&cu) * 0.3, "{} vs {}", change(&pt), change(&cu));
+    }
+
+    #[test]
+    fn axis_series_shape() {
+        let d = generate(DatasetKind::Adk, Scale::Test, 5);
+        let xs = d.axis_series(0);
+        assert_eq!(xs.len(), d.len());
+        assert_eq!(xs[0].len(), d.atoms());
+    }
+
+    #[test]
+    fn paper_rows_cover_all() {
+        for kind in DatasetKind::MD.into_iter().chain(DatasetKind::HACC) {
+            let (state, code, m, n) = kind.paper_row();
+            assert!(!state.is_empty() && !code.is_empty() && m > 0 && n > 0);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Crystal lattice builders.
+//!
+//! The solid-state datasets (Copper, Pt, the tungsten matrix of Helium) are
+//! crystals: FCC for copper/platinum, BCC for tungsten. Lattice sites are
+//! what give MD coordinate streams their equally-spaced-level structure.
+
+use crate::vec3::Vec3;
+
+/// Cubic crystal structures supported by [`build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Structure {
+    /// Simple cubic: 1 site per unit cell.
+    Sc,
+    /// Body-centred cubic: 2 sites per unit cell.
+    Bcc,
+    /// Face-centred cubic: 4 sites per unit cell.
+    Fcc,
+}
+
+impl Structure {
+    /// Fractional basis positions within the unit cell.
+    pub fn basis(self) -> &'static [Vec3] {
+        const SC: [Vec3; 1] = [Vec3::new(0.0, 0.0, 0.0)];
+        const BCC: [Vec3; 2] = [Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.5, 0.5, 0.5)];
+        const FCC: [Vec3; 4] = [
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(0.5, 0.5, 0.0),
+            Vec3::new(0.5, 0.0, 0.5),
+            Vec3::new(0.0, 0.5, 0.5),
+        ];
+        match self {
+            Structure::Sc => &SC,
+            Structure::Bcc => &BCC,
+            Structure::Fcc => &FCC,
+        }
+    }
+
+    /// Sites per unit cell.
+    pub fn sites_per_cell(self) -> usize {
+        self.basis().len()
+    }
+}
+
+/// Builds `nx × ny × nz` unit cells of the given structure with lattice
+/// constant `a`, ordered cell-by-cell (z fastest) — the plane-by-plane
+/// ordering that produces the paper's zigzag spatial patterns.
+pub fn build(structure: Structure, nx: usize, ny: usize, nz: usize, a: f64) -> Vec<Vec3> {
+    let mut sites = Vec::with_capacity(nx * ny * nz * structure.sites_per_cell());
+    for ix in 0..nx {
+        for iy in 0..ny {
+            for iz in 0..nz {
+                let cell = Vec3::new(ix as f64, iy as f64, iz as f64);
+                for &b in structure.basis() {
+                    sites.push((cell + b) * a);
+                }
+            }
+        }
+    }
+    sites
+}
+
+/// Smallest cell grid of `structure` holding at least `n` sites, as
+/// `(nx, ny, nz)` with near-cubic aspect.
+pub fn cells_for(structure: Structure, n: usize) -> (usize, usize, usize) {
+    let per = structure.sites_per_cell();
+    let cells = n.div_ceil(per);
+    let side = (cells as f64).cbrt().ceil() as usize;
+    let side = side.max(1);
+    // Shrink one axis at a time while capacity still suffices.
+    let mut dims = [side, side, side];
+    for i in 0..3 {
+        while dims[i] > 1 && (dims[0] * dims[1] * dims[2] / dims[i]) * (dims[i] - 1) >= cells {
+            dims[i] -= 1;
+        }
+    }
+    (dims[0], dims[1], dims[2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_counts() {
+        assert_eq!(build(Structure::Sc, 2, 2, 2, 1.0).len(), 8);
+        assert_eq!(build(Structure::Bcc, 2, 2, 2, 1.0).len(), 16);
+        assert_eq!(build(Structure::Fcc, 3, 2, 1, 1.0).len(), 24);
+    }
+
+    #[test]
+    fn fcc_coordinates_are_half_integer_multiples() {
+        let a = 3.6;
+        for p in build(Structure::Fcc, 2, 2, 2, a) {
+            for c in [p.x, p.y, p.z] {
+                let steps = c / (a / 2.0);
+                assert!((steps - steps.round()).abs() < 1e-12, "{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn sites_are_distinct() {
+        let sites = build(Structure::Bcc, 3, 3, 3, 2.0);
+        for i in 0..sites.len() {
+            for j in i + 1..sites.len() {
+                assert!((sites[i] - sites[j]).norm() > 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cells_for_capacity() {
+        for (s, n) in [(Structure::Fcc, 100), (Structure::Bcc, 1037), (Structure::Sc, 7)] {
+            let (nx, ny, nz) = cells_for(s, n);
+            assert!(nx * ny * nz * s.sites_per_cell() >= n, "{s:?} {n}");
+        }
+    }
+
+    #[test]
+    fn z_fastest_ordering_produces_zigzag_planes() {
+        // Consecutive sites sweep z before y before x.
+        let sites = build(Structure::Sc, 2, 2, 4, 1.0);
+        let zs: Vec<f64> = sites.iter().take(4).map(|p| p.z).collect();
+        assert_eq!(zs, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(sites[4].y, 1.0); // next y-plane
+    }
+}

@@ -1,0 +1,157 @@
+//! Minimal 3-vector math for the MD engine.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A 3-D vector of `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Component constructor.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Splat constructor.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Self { x: v, y: v, z: v }
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y + self.z * self.z
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Applies the minimum-image convention for a cubic box of side `l`.
+    #[inline]
+    pub fn min_image(mut self, l: f64) -> Self {
+        let half = l * 0.5;
+        for c in [&mut self.x, &mut self.y, &mut self.z] {
+            if *c > half {
+                *c -= l;
+            } else if *c < -half {
+                *c += l;
+            }
+        }
+        self
+    }
+
+    /// Wraps a position into `[0, l)` on each axis.
+    #[inline]
+    pub fn wrap(mut self, l: f64) -> Self {
+        for c in [&mut self.x, &mut self.y, &mut self.z] {
+            *c = c.rem_euclid(l);
+        }
+        self
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, -5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, -3.0, 9.0));
+        assert_eq!(a - b, Vec3::new(-3.0, 7.0, -3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        assert_eq!(a.dot(b), 1.0 * 4.0 - 2.0 * 5.0 + 3.0 * 6.0);
+    }
+
+    #[test]
+    fn norms() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.norm_sq(), 25.0);
+        assert_eq!(v.norm(), 5.0);
+    }
+
+    #[test]
+    fn min_image_folds_into_half_box() {
+        let l = 10.0;
+        let v = Vec3::new(6.0, -6.0, 4.9).min_image(l);
+        assert_eq!(v, Vec3::new(-4.0, 4.0, 4.9));
+    }
+
+    #[test]
+    fn wrap_into_box() {
+        let l = 10.0;
+        let v = Vec3::new(12.5, -0.5, 10.0).wrap(l);
+        assert!((v.x - 2.5).abs() < 1e-12);
+        assert!((v.y - 9.5).abs() < 1e-12);
+        assert!(v.z.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests for the MD substrate: physical invariants of the engine
+//! and statistical invariants of the dataset generators.
+
+use mdz_sim::cells::CellList;
+use mdz_sim::crystal::{CosmoCloud, RandomWalkCloud, VibratingCrystal};
+use mdz_sim::lattice::{self, Structure};
+use mdz_sim::vec3::Vec3;
+use mdz_sim::{LjSimulation, SimConfig};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn pseudo_positions(n: usize, box_len: f64, seed: u64) -> Vec<Vec3> {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n).map(|_| Vec3::new(next(), next(), next()) * box_len).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cell_list_always_matches_brute_force(
+        n in 2usize..120,
+        box_len in 4.0f64..20.0,
+        r_cut in 1.0f64..4.0,
+        seed in any::<u64>(),
+    ) {
+        let pts = pseudo_positions(n, box_len, seed);
+        let mut brute = HashSet::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = (pts[i] - pts[j]).min_image(box_len);
+                if d.norm_sq() <= r_cut * r_cut {
+                    brute.insert((i, j));
+                }
+            }
+        }
+        let mut cl = CellList::new(box_len, r_cut);
+        cl.rebuild(&pts);
+        let mut fast = HashSet::new();
+        let mut duplicate = false;
+        cl.for_each_pair(&pts, |i, j, d| {
+            if d.norm_sq() <= r_cut * r_cut {
+                let key = if i < j { (i, j) } else { (j, i) };
+                duplicate |= !fast.insert(key);
+            }
+        });
+        prop_assert!(!duplicate, "a pair was visited twice");
+        prop_assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn lattice_sites_fill_requested_count(
+        n in 1usize..600,
+        structure in prop_oneof![Just(Structure::Sc), Just(Structure::Bcc), Just(Structure::Fcc)],
+    ) {
+        let (nx, ny, nz) = lattice::cells_for(structure, n);
+        let sites = lattice::build(structure, nx, ny, nz, 2.0);
+        prop_assert!(sites.len() >= n);
+        // Capacity is not wildly overshooting (within one shell of cells).
+        prop_assert!(sites.len() <= (n + structure.sites_per_cell() * (nx * ny + ny * nz + nx * nz + nx + ny + nz + 1)) * 2);
+    }
+
+    #[test]
+    fn vibrating_crystal_stays_near_sites(
+        sigma in 0.001f64..0.2,
+        corr in 0.0f64..0.999,
+        steps in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        let sites = lattice::build(Structure::Sc, 3, 3, 3, 2.0);
+        let mut c = VibratingCrystal::new(sites.clone(), sigma, corr, seed);
+        for _ in 0..steps {
+            c.advance();
+        }
+        let s = c.snapshot();
+        // Displacements are OU-stationary: almost surely within 6σ.
+        for (i, site) in sites.iter().enumerate() {
+            let d = Vec3::new(s.x[i], s.y[i], s.z[i]) - *site;
+            prop_assert!(d.norm() < 6.0 * sigma + 1e-12, "excursion {}", d.norm());
+        }
+    }
+
+    #[test]
+    fn random_walk_cloud_is_finite_and_deterministic(
+        n in 1usize..200,
+        steps in 0usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mut a = RandomWalkCloud::new(n, 0.5, 0.1, 0.5, seed);
+        let mut b = RandomWalkCloud::new(n, 0.5, 0.1, 0.5, seed);
+        for _ in 0..steps {
+            a.advance();
+            b.advance();
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        prop_assert_eq!(&sa, &sb);
+        for &v in sa.x.iter().chain(sa.y.iter()).chain(sa.z.iter()) {
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn cosmo_cloud_positions_finite(
+        n in 1usize..300,
+        clusters in 1usize..10,
+        steps in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut c = CosmoCloud::new(n, clusters, 3.0, 100.0, 0.05, seed);
+        for _ in 0..steps {
+            c.advance();
+        }
+        let s = c.snapshot();
+        prop_assert_eq!(s.len(), n);
+        for &v in s.x.iter().chain(s.y.iter()).chain(s.z.iter()) {
+            prop_assert!(v.is_finite());
+        }
+    }
+}
+
+#[test]
+fn lj_energy_conservation_over_seeds() {
+    for seed in [1u64, 2, 3] {
+        let cfg = SimConfig { n_target: 108, gamma: 0.0, dt: 0.002, seed, ..Default::default() };
+        let mut sim = LjSimulation::new(cfg);
+        sim.run(20);
+        let e0 = sim.total_energy();
+        sim.run(150);
+        let drift = (sim.total_energy() - e0).abs() / sim.len() as f64;
+        assert!(drift < 0.02, "seed {seed}: drift {drift}");
+    }
+}
+
+#[test]
+fn lj_rdf_has_liquid_structure() {
+    // The melted LJ system must show the canonical first coordination peak
+    // near r ≈ 1.1 σ and g(r) → 1 at large r.
+    let mut sim = LjSimulation::new(SimConfig { n_target: 500, ..Default::default() });
+    sim.run(400);
+    let s = sim.snapshot();
+    let cfg = mdz_analysis::rdf::RdfConfig {
+        box_len: sim.box_len,
+        r_max: (sim.box_len / 2.0).min(3.5),
+        bins: 70,
+    };
+    let (centers, g) = mdz_analysis::rdf::rdf(&s.x, &s.y, &s.z, &cfg);
+    let (peak_r, peak_g) = centers
+        .iter()
+        .zip(g.iter())
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(c, v)| (*c, *v))
+        .unwrap();
+    assert!((0.95..1.35).contains(&peak_r), "first peak at {peak_r}");
+    assert!(peak_g > 1.8, "peak height {peak_g}");
+    // Tail approaches the ideal-gas value.
+    let tail: f64 = g.iter().rev().take(8).sum::<f64>() / 8.0;
+    assert!((tail - 1.0).abs() < 0.35, "tail {tail}");
+}

@@ -1,0 +1,95 @@
+//! Head-to-head comparison of every compressor in the evaluation on one
+//! simulated dataset — a miniature of the paper's Fig. 12.
+//!
+//! ```sh
+//! cargo run --release --example baseline_comparison [dataset]
+//! ```
+
+use mdz::baselines::{all_baselines, BufferCompressor};
+use mdz::core::{Compressor, Decompressor, ErrorBound, MdzConfig};
+use mdz::sim::{datasets, DatasetKind, Scale};
+use std::time::Instant;
+
+fn main() {
+    let kind = match std::env::args().nth(1).as_deref() {
+        Some("copper-b") | None => DatasetKind::CopperB,
+        Some("helium-b") => DatasetKind::HeliumB,
+        Some("adk") => DatasetKind::Adk,
+        Some("lj") => DatasetKind::Lj,
+        Some(other) => {
+            eprintln!("unknown dataset '{other}' (try copper-b, helium-b, adk, lj)");
+            std::process::exit(2);
+        }
+    };
+    let d = datasets::generate(kind, Scale::Small, 1);
+    println!(
+        "{}: {} snapshots × {} atoms, eps = 1e-3 (value range), BS = 10\n",
+        kind.name(),
+        d.len(),
+        d.atoms()
+    );
+    let series = d.axis_series(0);
+    let raw = series.len() * d.atoms() * 8;
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in &series {
+        for &v in s {
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    let eps = 1e-3 * (max - min);
+
+    println!("{:>8}  {:>9}  {:>10}  {:>10}", "codec", "ratio", "comp MB/s", "max error");
+
+    // MDZ (adaptive).
+    {
+        let mut c = Compressor::new(MdzConfig::new(ErrorBound::Absolute(eps)));
+        let mut dec = Decompressor::new();
+        let mut total = 0;
+        let t0 = Instant::now();
+        let mut max_err = 0.0f64;
+        for chunk in series.chunks(10) {
+            let blob = c.compress_buffer(chunk).unwrap();
+            total += blob.len();
+            let out = dec.decompress_block(&blob).unwrap();
+            for (s, o) in chunk.iter().zip(out.iter()) {
+                for (a, b) in s.iter().zip(o.iter()) {
+                    max_err = max_err.max((a - b).abs());
+                }
+            }
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        println!(
+            "{:>8}  {:>8.1}x  {:>10.1}  {:>10.2e}",
+            "MDZ",
+            raw as f64 / total as f64,
+            raw as f64 / 1e6 / secs,
+            max_err
+        );
+    }
+
+    for codec in all_baselines().iter_mut() {
+        let mut total = 0;
+        let t0 = Instant::now();
+        let mut max_err = 0.0f64;
+        for chunk in series.chunks(10) {
+            let blob = codec.compress(chunk, eps);
+            total += blob.len();
+            let out = codec.decompress(&blob).unwrap();
+            for (s, o) in chunk.iter().zip(out.iter()) {
+                for (a, b) in s.iter().zip(o.iter()) {
+                    max_err = max_err.max((a - b).abs());
+                }
+            }
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        println!(
+            "{:>8}  {:>8.1}x  {:>10.1}  {:>10.2e}",
+            codec.name(),
+            raw as f64 / total as f64,
+            raw as f64 / 1e6 / secs,
+            max_err
+        );
+    }
+    println!("\nall codecs honour |error| ≤ {eps:.3e}");
+}

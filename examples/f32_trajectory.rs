@@ -1,0 +1,40 @@
+//! Single-precision trajectory compression through the public API.
+//!
+//! MD dump formats commonly store `f32`; this example compresses an `f32`
+//! buffer, inspects the block tag, and narrows the reconstruction back.
+//!
+//! ```sh
+//! cargo run --release --example f32_trajectory
+//! ```
+
+use mdz::core::{Compressor, Decompressor, ErrorBound, MdzConfig};
+
+fn main() {
+    let snapshots: Vec<Vec<f32>> = (0..8)
+        .map(|t| (0..5000).map(|i| (i % 16) as f32 * 1.8 + t as f32 * 1e-4).collect())
+        .collect();
+
+    let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3));
+    let mut compressor = Compressor::new(cfg);
+    let block = compressor.compress_buffer_f32(&snapshots).expect("compress");
+
+    let info = Decompressor::inspect(&block).expect("inspect");
+    println!("method:      {}", info.method);
+    println!("f32 source:  {}", info.source_f32);
+    let raw = snapshots.len() * snapshots[0].len() * 4;
+    println!("ratio:       {:.1}x vs raw f32 ({} → {} bytes)", raw as f64 / block.len() as f64, raw, block.len());
+
+    let restored = Decompressor::new().decompress_block_f32(&block).expect("decompress");
+    let mut max_err = 0.0f32;
+    for (s, r) in snapshots.iter().zip(restored.iter()) {
+        for (a, b) in s.iter().zip(r.iter()) {
+            max_err = max_err.max((a - b).abs());
+        }
+    }
+    println!("max error:   {max_err:.2e} (bound 1e-3)");
+    assert!(max_err <= 1.01e-3);
+
+    // A plain f64 decompressor call also works (widened values).
+    let wide = Decompressor::new().decompress_block(&block).expect("decompress f64");
+    println!("f64 view:    {} snapshots × {} values", wide.len(), wide[0].len());
+}

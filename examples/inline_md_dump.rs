@@ -1,0 +1,65 @@
+//! Inline dump-and-compress inside a live MD simulation — the paper's
+//! LAMMPS-integration scenario (Table VII).
+//!
+//! Runs the Lennard-Jones engine, captures a snapshot every 20 steps, and
+//! compresses each 10-snapshot buffer as it fills, reporting how much time
+//! the compressed output path takes relative to force computation.
+//!
+//! ```sh
+//! cargo run --release --example inline_md_dump
+//! ```
+
+use mdz::core::{Compressor, ErrorBound, MdzConfig};
+use mdz::sim::{LjSimulation, SimConfig, Snapshot};
+use std::time::Instant;
+
+fn main() {
+    let mut sim = LjSimulation::new(SimConfig { n_target: 2048, ..Default::default() });
+    println!("LJ liquid: {} atoms, box {:.2}σ", sim.len(), sim.box_len);
+
+    let mk = || Compressor::new(MdzConfig::new(ErrorBound::ValueRangeRelative(1e-3)));
+    let mut compressors = [mk(), mk(), mk()];
+    let mut pending: Vec<Snapshot> = Vec::new();
+
+    let steps = 1000;
+    let dump_every = 20;
+    let bs = 10;
+    let mut compute = 0.0f64;
+    let mut output = 0.0f64;
+    let mut raw_bytes = 0usize;
+    let mut compressed_bytes = 0usize;
+
+    let t_total = Instant::now();
+    for step in 0..steps {
+        let t0 = Instant::now();
+        sim.step();
+        compute += t0.elapsed().as_secs_f64();
+        if step % dump_every == 0 {
+            let t1 = Instant::now();
+            pending.push(sim.snapshot());
+            if pending.len() >= bs {
+                raw_bytes += pending.len() * pending[0].len() * 24;
+                for (axis, c) in compressors.iter_mut().enumerate() {
+                    let series: Vec<Vec<f64>> =
+                        pending.iter().map(|s| s.axis(axis).to_vec()).collect();
+                    compressed_bytes += c.compress_buffer(&series).expect("compress").len();
+                }
+                pending.clear();
+            }
+            output += t1.elapsed().as_secs_f64();
+        }
+    }
+    let total = t_total.elapsed().as_secs_f64();
+
+    println!("steps:           {steps} (dump every {dump_every}, buffer {bs})");
+    println!("total time:      {total:.2} s");
+    println!("force compute:   {:.1} %", compute / total * 100.0);
+    println!("dump + compress: {:.1} %", output / total * 100.0);
+    println!(
+        "dump volume:     {:.2} MB raw → {:.2} MB compressed ({:.1}x)",
+        raw_bytes as f64 / 1e6,
+        compressed_bytes as f64 / 1e6,
+        raw_bytes as f64 / compressed_bytes as f64
+    );
+    println!("temperature:     T* = {:.3}", sim.temperature());
+}

@@ -1,0 +1,46 @@
+//! Quickstart: compress a buffer of snapshots under an error bound.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mdz::core::{Compressor, Decompressor, ErrorBound, MdzConfig};
+
+fn main() {
+    // Ten snapshots of 10 000 "atoms" vibrating around crystal levels —
+    // the kind of data MD codes dump every few thousand timesteps.
+    let mut rng_state = 42u64;
+    let mut noise = move || {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        (rng_state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let snapshots: Vec<Vec<f64>> = (0..10)
+        .map(|_| (0..10_000).map(|i| (i % 20) as f64 * 1.8075 + noise() * 0.08).collect())
+        .collect();
+
+    // A value-range-relative bound of 1e-3, the paper's headline setting.
+    let cfg = MdzConfig::new(ErrorBound::ValueRangeRelative(1e-3));
+    let mut compressor = Compressor::new(cfg);
+    let block = compressor.compress_buffer(&snapshots).expect("compress");
+
+    let raw_bytes = snapshots.len() * snapshots[0].len() * 8;
+    println!("raw:        {raw_bytes} bytes");
+    println!("compressed: {} bytes", block.len());
+    println!("ratio:      {:.1}x", raw_bytes as f64 / block.len() as f64);
+    println!(
+        "method:     {} (chosen by ADP)",
+        compressor.current_adaptive_choice().expect("trial ran")
+    );
+
+    let mut decompressor = Decompressor::new();
+    let restored = decompressor.decompress_block(&block).expect("decompress");
+    let mut max_err = 0.0f64;
+    for (s, r) in snapshots.iter().zip(restored.iter()) {
+        for (a, b) in s.iter().zip(r.iter()) {
+            max_err = max_err.max((a - b).abs());
+        }
+    }
+    println!("max error:  {max_err:.2e}");
+}

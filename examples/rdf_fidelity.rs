@@ -1,0 +1,57 @@
+//! Physics-fidelity check: does lossy compression preserve the radial
+//! distribution function? (The paper's Fig. 14.)
+//!
+//! Compresses a simulated copper crystal at roughly 10× and compares the
+//! RDF of the decompressed snapshot with the original, for MDZ and for a
+//! deliberately coarse bound that violates the structure.
+//!
+//! ```sh
+//! cargo run --release --example rdf_fidelity
+//! ```
+
+use mdz::analysis::rdf::{rdf, rdf_distance, RdfConfig};
+use mdz::core::{Compressor, Decompressor, ErrorBound, MdzConfig};
+use mdz::sim::{datasets, DatasetKind, Scale};
+
+fn compress_axis(series: &[Vec<f64>], eps_rel: f64) -> Vec<Vec<f64>> {
+    let cfg = MdzConfig::new(ErrorBound::ValueRangeRelative(eps_rel));
+    let mut c = Compressor::new(cfg);
+    let mut d = Decompressor::new();
+    let mut out = Vec::new();
+    for chunk in series.chunks(10) {
+        let blob = c.compress_buffer(chunk).expect("compress");
+        out.extend(d.decompress_block(&blob).expect("decompress"));
+    }
+    out
+}
+
+fn main() {
+    let dataset = datasets::generate(DatasetKind::CopperB, Scale::Small, 11);
+    let box_len = dataset.box_len.expect("crystal has a box");
+    let cfg = RdfConfig { box_len, r_max: (box_len / 2.0).min(8.0), bins: 64 };
+
+    let s0 = &dataset.snapshots[0];
+    let (centers, g_orig) = rdf(&s0.x, &s0.y, &s0.z, &cfg);
+
+    for eps_rel in [1e-3, 3e-2] {
+        let xs = compress_axis(&dataset.axis_series(0), eps_rel);
+        let ys = compress_axis(&dataset.axis_series(1), eps_rel);
+        let zs = compress_axis(&dataset.axis_series(2), eps_rel);
+        let (_, g_dec) = rdf(&xs[0], &ys[0], &zs[0], &cfg);
+        let dist = rdf_distance(&g_orig, &g_dec);
+        println!("eps = {eps_rel:.0e}: RDF L1 distance = {dist:.4}");
+        // Print the first coordination peak before/after.
+        let peak = g_orig
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        println!(
+            "  first peak at r = {:.2}: g_orig = {:.2}, g_decompressed = {:.2}",
+            centers[peak], g_orig[peak], g_dec[peak]
+        );
+    }
+    println!("\nA tight bound (1e-3) preserves g(r); a loose one (3e-2) distorts it —");
+    println!("the reason Fig. 14 fixes the compression ratio when comparing compressors.");
+}

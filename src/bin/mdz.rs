@@ -1,0 +1,242 @@
+//! `mdz` — command-line trajectory compressor.
+//!
+//! ```text
+//! mdz compress   <in.xyz> <out.mdz> [--eps REL | --abs ABS] [--bs N] [--method M]
+//! mdz decompress <in.mdz> <out.xyz>
+//! mdz info       <in.mdz>
+//! mdz extract    <in.mdz> <frame-index>
+//! mdz verify     <original.xyz> <compressed.mdz>
+//! mdz gen        <dataset> <out.xyz> [--scale test|small|full] [--seed N]
+//! ```
+
+use mdz::archive;
+use mdz::core::{EntropyStage, ErrorBound, MdzConfig, Method};
+use mdz::sim::{datasets, DatasetKind, Scale};
+use mdz::xyz;
+use std::process::exit;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    exit(1)
+}
+
+fn parse_method(s: &str) -> Method {
+    match s.to_ascii_lowercase().as_str() {
+        "vq" => Method::Vq,
+        "vqt" => Method::Vqt,
+        "mt" => Method::Mt,
+        "mt2" => Method::Mt2,
+        "adaptive" | "adp" => Method::Adaptive,
+        _ => fail("unknown method (expected vq|vqt|mt|mt2|adaptive)"),
+    }
+}
+
+fn parse_dataset(s: &str) -> DatasetKind {
+    match s.to_ascii_lowercase().as_str() {
+        "copper-a" => DatasetKind::CopperA,
+        "copper-b" => DatasetKind::CopperB,
+        "helium-a" => DatasetKind::HeliumA,
+        "helium-b" => DatasetKind::HeliumB,
+        "adk" => DatasetKind::Adk,
+        "ifabp" => DatasetKind::Ifabp,
+        "pt" => DatasetKind::Pt,
+        "lj" => DatasetKind::Lj,
+        "hacc-1" => DatasetKind::Hacc1,
+        "hacc-2" => DatasetKind::Hacc2,
+        _ => fail("unknown dataset (try copper-b, helium-b, adk, lj, …)"),
+    }
+}
+
+struct Opts {
+    positional: Vec<String>,
+    eps: Option<f64>,
+    abs: Option<f64>,
+    bs: usize,
+    method: Method,
+    range_coded: bool,
+    scale: Scale,
+    seed: u64,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts {
+        positional: Vec::new(),
+        eps: None,
+        abs: None,
+        bs: 10,
+        method: Method::Adaptive,
+        range_coded: false,
+        scale: Scale::Small,
+        seed: 20220707,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "--eps" => o.eps = Some(value("--eps").parse().unwrap_or_else(|_| fail("bad --eps"))),
+            "--abs" => o.abs = Some(value("--abs").parse().unwrap_or_else(|_| fail("bad --abs"))),
+            "--bs" => o.bs = value("--bs").parse().unwrap_or_else(|_| fail("bad --bs")),
+            "--method" => o.method = parse_method(&value("--method")),
+            "--range-coded" => o.range_coded = true,
+            "--seed" => o.seed = value("--seed").parse().unwrap_or_else(|_| fail("bad --seed")),
+            "--scale" => {
+                o.scale = match value("--scale").as_str() {
+                    "test" => Scale::Test,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    _ => fail("bad --scale (test|small|full)"),
+                }
+            }
+            other if other.starts_with("--") => fail(&format!("unknown flag {other}")),
+            other => o.positional.push(other.to_string()),
+        }
+    }
+    o
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("usage: mdz <compress|decompress|info|extract|verify|gen> …");
+        exit(2);
+    };
+    let o = parse_opts(rest);
+    match cmd.as_str() {
+        "compress" => {
+            let [input, output] = &o.positional[..] else {
+                fail("compress needs <in.xyz> <out.mdz>");
+            };
+            let text = std::fs::read_to_string(input)
+                .unwrap_or_else(|e| fail(&format!("reading {input}: {e}")));
+            let traj = xyz::parse(&text).unwrap_or_else(|e| fail(&format!("parsing {input}: {e}")));
+            let bound = match (o.abs, o.eps) {
+                (Some(a), _) => ErrorBound::Absolute(a),
+                (None, Some(r)) => ErrorBound::ValueRangeRelative(r),
+                (None, None) => ErrorBound::ValueRangeRelative(1e-3),
+            };
+            let mut cfg = MdzConfig::new(bound).with_method(o.method);
+            if o.range_coded {
+                cfg = cfg.with_entropy(EntropyStage::Range);
+            }
+            let blob = archive::compress(&traj, cfg, o.bs)
+                .unwrap_or_else(|e| fail(&format!("compressing: {e}")));
+            std::fs::write(output, &blob)
+                .unwrap_or_else(|e| fail(&format!("writing {output}: {e}")));
+            let raw = traj.frames.len() * traj.frames[0].len() * 24;
+            println!(
+                "{} frames × {} atoms: {} → {} bytes ({:.1}x)",
+                traj.frames.len(),
+                traj.frames[0].len(),
+                raw,
+                blob.len(),
+                raw as f64 / blob.len() as f64
+            );
+        }
+        "decompress" => {
+            let [input, output] = &o.positional[..] else {
+                fail("decompress needs <in.mdz> <out.xyz>");
+            };
+            let blob =
+                std::fs::read(input).unwrap_or_else(|e| fail(&format!("reading {input}: {e}")));
+            let traj =
+                archive::decompress(&blob).unwrap_or_else(|e| fail(&format!("decompressing: {e}")));
+            std::fs::write(output, xyz::write(&traj))
+                .unwrap_or_else(|e| fail(&format!("writing {output}: {e}")));
+            println!("restored {} frames × {} atoms", traj.frames.len(), traj.frames[0].len());
+        }
+        "info" => {
+            let [input] = &o.positional[..] else {
+                fail("info needs <in.mdz>");
+            };
+            let blob =
+                std::fs::read(input).unwrap_or_else(|e| fail(&format!("reading {input}: {e}")));
+            let i = archive::info(&blob).unwrap_or_else(|e| fail(&format!("parsing: {e}")));
+            let raw = i.n_frames * i.n_atoms * 24;
+            println!("atoms:       {}", i.n_atoms);
+            println!("frames:      {}", i.n_frames);
+            println!("buffer size: {}", i.buffer_size);
+            println!("blocks:      {}", i.n_blocks);
+            let methods: Vec<String> =
+                i.method_counts.iter().map(|(m, c)| format!("{m} ×{c}")).collect();
+            println!("methods:     {}", methods.join(", "));
+            println!("size:        {} bytes ({:.1}x vs raw f64)", i.total_bytes, raw as f64 / i.total_bytes as f64);
+        }
+        "verify" => {
+            let [orig_path, mdz_path] = &o.positional[..] else {
+                fail("verify needs <original.xyz> <compressed.mdz>");
+            };
+            let text = std::fs::read_to_string(orig_path)
+                .unwrap_or_else(|e| fail(&format!("reading {orig_path}: {e}")));
+            let orig = xyz::parse(&text).unwrap_or_else(|e| fail(&format!("parsing: {e}")));
+            let blob = std::fs::read(mdz_path)
+                .unwrap_or_else(|e| fail(&format!("reading {mdz_path}: {e}")));
+            let dec =
+                archive::decompress(&blob).unwrap_or_else(|e| fail(&format!("decompressing: {e}")));
+            if dec.frames.len() != orig.frames.len()
+                || dec.frames.first().map(|f| f.len()) != orig.frames.first().map(|f| f.len())
+            {
+                fail("trajectory shapes differ");
+            }
+            let mut flat_o = Vec::new();
+            let mut flat_d = Vec::new();
+            for (a, b) in orig.frames.iter().zip(dec.frames.iter()) {
+                for axis in 0..3 {
+                    let (sa, sb) = match axis {
+                        0 => (&a.x, &b.x),
+                        1 => (&a.y, &b.y),
+                        _ => (&a.z, &b.z),
+                    };
+                    flat_o.extend_from_slice(sa);
+                    flat_d.extend_from_slice(sb);
+                }
+            }
+            let stats = mdz::analysis::ErrorStats::compute(&flat_o, &flat_d);
+            let raw = orig.frames.len() * orig.frames[0].len() * 24;
+            println!("frames:     {} × {} atoms", orig.frames.len(), orig.frames[0].len());
+            println!("ratio:      {:.1}x ({} → {} bytes)", raw as f64 / blob.len() as f64, raw, blob.len());
+            println!("max error:  {:.3e}", stats.max_error);
+            println!("NRMSE:      {:.3e}", stats.nrmse);
+            println!("PSNR:       {:.1} dB", stats.psnr);
+        }
+        "extract" => {
+            let [input, frame_str] = &o.positional[..] else {
+                fail("extract needs <in.mdz> <frame-index>");
+            };
+            let frame: usize = frame_str.parse().unwrap_or_else(|_| fail("bad frame index"));
+            let blob =
+                std::fs::read(input).unwrap_or_else(|e| fail(&format!("reading {input}: {e}")));
+            let f = archive::decompress_frame(&blob, frame)
+                .unwrap_or_else(|e| fail(&format!("extracting: {e}")));
+            println!("{}", f.len());
+            println!("frame {frame} extracted from {input}");
+            for i in 0..f.len() {
+                println!("X {:.10} {:.10} {:.10}", f.x[i], f.y[i], f.z[i]);
+            }
+        }
+        "gen" => {
+            let [dataset, output] = &o.positional[..] else {
+                fail("gen needs <dataset> <out.xyz>");
+            };
+            let kind = parse_dataset(dataset);
+            let d = datasets::generate(kind, o.scale, o.seed);
+            let traj = xyz::XyzTrajectory {
+                elements: vec!["X".to_string(); d.atoms()],
+                comments: (0..d.len()).map(|t| format!("{} frame {t}", kind.name())).collect(),
+                frames: d
+                    .snapshots
+                    .iter()
+                    .map(|s| mdz::core::Frame::new(s.x.clone(), s.y.clone(), s.z.clone()))
+                    .collect(),
+            };
+            std::fs::write(output, xyz::write(&traj))
+                .unwrap_or_else(|e| fail(&format!("writing {output}: {e}")));
+            println!("wrote {} — {} frames × {} atoms", output, d.len(), d.atoms());
+        }
+        _ => {
+            eprintln!("usage: mdz <compress|decompress|info|extract|verify|gen> …");
+            exit(2);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! MDZ — an efficient error-bounded lossy compressor for molecular dynamics.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`core`] — the MDZ compressor (VQ / VQT / MT predictors, ADP selection,
+//!   error-bounded quantization, container format),
+//! * [`sim`] — the molecular-dynamics substrate and dataset generators,
+//! * [`analysis`] — compression-quality metrics (PSNR, NRMSE, RDF, …),
+//! * [`baselines`] — re-implementations of the paper's comparison compressors,
+//! * [`lossless`] — from-scratch LZ77/Gorilla/FPC lossless codecs,
+//! * [`kmeans`] — optimal 1-D k-means used by the VQ predictor,
+//! * [`entropy`] — bit I/O, varints, and canonical Huffman coding.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mdz::core::{Compressor, ErrorBound, Method, MdzConfig};
+//!
+//! // Two snapshots of five atoms (one coordinate axis).
+//! let snapshots = vec![
+//!     vec![1.00, 2.01, 2.99, 4.02, 5.00],
+//!     vec![1.01, 2.02, 3.00, 4.01, 5.01],
+//! ];
+//! let config = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Adaptive);
+//! let mut compressor = Compressor::new(config);
+//! let compressed = compressor.compress_buffer(&snapshots).unwrap();
+//! let restored = mdz::core::decompress(&compressed).unwrap();
+//! for (s, r) in snapshots.iter().zip(restored.iter()) {
+//!     for (a, b) in s.iter().zip(r.iter()) {
+//!         assert!((a - b).abs() <= 1e-3);
+//!     }
+//! }
+//! ```
+
+pub mod archive;
+pub mod xyz;
+
+pub use mdz_analysis as analysis;
+pub use mdz_baselines as baselines;
+pub use mdz_core as core;
+pub use mdz_entropy as entropy;
+pub use mdz_kmeans as kmeans;
+pub use mdz_lossless as lossless;
+pub use mdz_sim as sim;

@@ -1,0 +1,191 @@
+//! Stress tests: long streams, atom-count changes mid-stream, escape-heavy
+//! data, extreme bounds, and mixed entropy stages — the interactions unit
+//! tests don't reach.
+
+use mdz::core::{
+    Compressor, Decompressor, EntropyStage, ErrorBound, MdzConfig, Method,
+};
+
+fn check(buf: &[Vec<f64>], out: &[Vec<f64>], eps: f64, tag: &str) {
+    assert_eq!(buf.len(), out.len(), "{tag}");
+    for (s, o) in buf.iter().zip(out.iter()) {
+        for (a, b) in s.iter().zip(o.iter()) {
+            if a.is_finite() {
+                assert!((a - b).abs() <= eps * (1.0 + 1e-9), "{tag}: |{a}-{b}| > {eps}");
+            } else {
+                assert_eq!(a.to_bits(), b.to_bits(), "{tag}");
+            }
+        }
+    }
+}
+
+fn xorshift(seed: u64) -> impl FnMut() -> f64 {
+    let mut s = seed | 1;
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[test]
+fn hundred_buffer_stream_all_methods() {
+    // Long stream: exercises ADP re-trials (interval 50) and reference reuse.
+    let eps = 1e-3;
+    for method in [Method::Vq, Method::Vqt, Method::Mt, Method::Mt2, Method::Adaptive] {
+        let cfg = MdzConfig::new(ErrorBound::Absolute(eps)).with_method(method);
+        let mut c = Compressor::new(cfg);
+        let mut d = Decompressor::new();
+        let mut rng = xorshift(0xABCDEF);
+        for t in 0..110 {
+            let buf: Vec<Vec<f64>> = (0..3)
+                .map(|k| {
+                    (0..50)
+                        .map(|i| (i % 5) as f64 * 2.0 + (rng() - 0.5) * 0.01 + (t * 3 + k) as f64 * 1e-5)
+                        .collect()
+                })
+                .collect();
+            let block = c.compress_buffer(&buf).unwrap();
+            let out = d.decompress_block(&block).unwrap();
+            check(&buf, &out, eps, &format!("{method:?} buffer {t}"));
+        }
+    }
+}
+
+#[test]
+fn atom_count_changes_mid_stream() {
+    // Growing systems (e.g. helium insertion) change N between buffers; the
+    // reference-snapshot logic must reset cleanly on both sides.
+    let eps = 1e-3;
+    for method in [Method::Mt, Method::Mt2, Method::Adaptive] {
+        let cfg = MdzConfig::new(ErrorBound::Absolute(eps)).with_method(method);
+        let mut c = Compressor::new(cfg);
+        let mut d = Decompressor::new();
+        for (t, n) in [40usize, 40, 55, 55, 30, 70].into_iter().enumerate() {
+            let buf: Vec<Vec<f64>> =
+                (0..4).map(|k| (0..n).map(|i| i as f64 + (t * 4 + k) as f64 * 1e-4).collect()).collect();
+            let block = c.compress_buffer(&buf).unwrap();
+            let out = d.decompress_block(&block).unwrap();
+            check(&buf, &out, eps, &format!("{method:?} N={n}"));
+        }
+    }
+}
+
+#[test]
+fn escape_heavy_data() {
+    // Values spanning 20 orders of magnitude force most points out of the
+    // quantizer range → heavy escape traffic.
+    let mut rng = xorshift(7);
+    let buf: Vec<Vec<f64>> = (0..5)
+        .map(|_| {
+            (0..200)
+                .map(|i| {
+                    let mag = 10f64.powi((i % 20) as i32 - 10);
+                    (rng() - 0.5) * mag
+                })
+                .collect()
+        })
+        .collect();
+    let eps = 1e-12;
+    for method in [Method::Vq, Method::Vqt, Method::Mt] {
+        let cfg = MdzConfig::new(ErrorBound::Absolute(eps)).with_method(method);
+        let mut c = Compressor::new(cfg);
+        let block = c.compress_buffer(&buf).unwrap();
+        let out = Decompressor::new().decompress_block(&block).unwrap();
+        check(&buf, &out, eps, &format!("{method:?} escapes"));
+    }
+}
+
+#[test]
+fn extreme_bounds() {
+    let buf: Vec<Vec<f64>> = (0..3).map(|t| (0..60).map(|i| i as f64 + t as f64).collect()).collect();
+    for eps in [1e-15, 1e-9, 1.0, 1e6] {
+        let cfg = MdzConfig::new(ErrorBound::Absolute(eps));
+        let mut c = Compressor::new(cfg);
+        let block = c.compress_buffer(&buf).unwrap();
+        let out = Decompressor::new().decompress_block(&block).unwrap();
+        check(&buf, &out, eps, &format!("eps {eps}"));
+    }
+}
+
+#[test]
+fn single_value_buffers() {
+    for method in [Method::Vq, Method::Vqt, Method::Mt, Method::Mt2] {
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-6)).with_method(method);
+        let mut c = Compressor::new(cfg);
+        let mut d = Decompressor::new();
+        for t in 0..5 {
+            let buf = vec![vec![42.0 + t as f64 * 1e-7]];
+            let block = c.compress_buffer(&buf).unwrap();
+            let out = d.decompress_block(&block).unwrap();
+            check(&buf, &out, 1e-6, &format!("{method:?} single"));
+        }
+    }
+}
+
+#[test]
+fn entropy_stage_mixing_across_streams() {
+    // Huffman-coded and range-coded blocks from independent streams decode
+    // independently of which compressor produced neighbours.
+    let eps = 1e-4;
+    let buf: Vec<Vec<f64>> =
+        (0..6).map(|t| (0..150).map(|i| (i % 9) as f64 + t as f64 * 1e-5).collect()).collect();
+    let mk = |stage| {
+        let cfg = MdzConfig::new(ErrorBound::Absolute(eps)).with_entropy(stage);
+        Compressor::new(cfg).compress_buffer(&buf).unwrap()
+    };
+    let huff = mk(EntropyStage::Huffman);
+    let range = mk(EntropyStage::Range);
+    for block in [&huff, &range] {
+        let out = Decompressor::new().decompress_block(block).unwrap();
+        check(&buf, &out, eps, "mixed stages");
+    }
+    // The decoders dispatch on the block flag, not ambient state.
+    let mut d = Decompressor::new();
+    d.decompress_block(&huff).unwrap();
+    d.decompress_block(&range).unwrap();
+}
+
+#[test]
+fn denormals_and_tiny_magnitudes() {
+    let buf: Vec<Vec<f64>> = (0..3)
+        .map(|_| {
+            vec![f64::MIN_POSITIVE, 5e-324, 1e-300, -1e-300, 0.0, -0.0, 1e-308]
+        })
+        .collect();
+    let eps = 1e-310;
+    let cfg = MdzConfig::new(ErrorBound::Absolute(eps));
+    let mut c = Compressor::new(cfg);
+    let block = c.compress_buffer(&buf).unwrap();
+    let out = Decompressor::new().decompress_block(&block).unwrap();
+    check(&buf, &out, eps, "denormals");
+}
+
+#[test]
+fn adversarial_lattice_plus_outliers() {
+    // Mostly-crystal data with rare wild outliers: the grid must survive
+    // detection and the outliers must escape.
+    let mut rng = xorshift(99);
+    let buf: Vec<Vec<f64>> = (0..8)
+        .map(|_| {
+            (0..300)
+                .map(|i| {
+                    if i % 97 == 0 {
+                        (rng() - 0.5) * 1e9
+                    } else {
+                        (i % 15) as f64 * 1.5 + (rng() - 0.5) * 0.02
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let eps = 1e-3;
+    for method in [Method::Vq, Method::Adaptive] {
+        let cfg = MdzConfig::new(ErrorBound::Absolute(eps)).with_method(method);
+        let mut c = Compressor::new(cfg);
+        let block = c.compress_buffer(&buf).unwrap();
+        let out = Decompressor::new().decompress_block(&block).unwrap();
+        check(&buf, &out, eps, &format!("{method:?} outliers"));
+    }
+}
