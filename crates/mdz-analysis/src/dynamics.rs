@@ -47,11 +47,7 @@ pub fn msd_curve(
 
 /// Normalized velocity autocorrelation `⟨v_0 · v_t⟩ / ⟨v_0 · v_0⟩` from
 /// per-axis velocity snapshots.
-pub fn vacf(
-    vx: &[Vec<f64>],
-    vy: &[Vec<f64>],
-    vz: &[Vec<f64>],
-) -> Vec<f64> {
+pub fn vacf(vx: &[Vec<f64>], vy: &[Vec<f64>], vz: &[Vec<f64>]) -> Vec<f64> {
     assert!(!vx.is_empty() && vx.len() == vy.len() && vy.len() == vz.len());
     let n = vx[0].len();
     assert!(n > 0);

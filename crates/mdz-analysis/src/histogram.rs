@@ -91,9 +91,7 @@ impl Histogram {
         (0..c.len())
             .filter(|&i| {
                 let v = c[i] as f64;
-                v > floor
-                    && (i == 0 || c[i - 1] < c[i])
-                    && (i + 1 == c.len() || c[i + 1] <= c[i])
+                v > floor && (i == 0 || c[i - 1] < c[i]) && (i + 1 == c.len() || c[i + 1] <= c[i])
             })
             .count()
     }

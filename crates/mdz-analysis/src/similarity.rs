@@ -15,11 +15,7 @@ pub fn similarity(s0: &[f64], si: &[f64], tau: f64) -> f64 {
     assert!(!s0.is_empty(), "empty input");
     let mut unchanged = 0usize;
     for (&a, &b) in s0.iter().zip(si.iter()) {
-        let ok = if b != 0.0 {
-            ((b - a) / b).abs() < tau
-        } else {
-            a == 0.0
-        };
+        let ok = if b != 0.0 { ((b - a) / b).abs() < tau } else { a == 0.0 };
         if ok {
             unchanged += 1;
         }

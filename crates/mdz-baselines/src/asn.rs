@@ -7,9 +7,10 @@
 //! buffer falls back to in-snapshot Lorenzo prediction. Residuals go
 //! through the standard quantization + Huffman + LZ tail.
 
+use crate::common::resolve_eps;
 use crate::common::{read_header, write_header, BaselineError, CodeSink, CodeSource, RADIUS};
-use crate::BufferCompressor;
 use mdz_core::LinearQuantizer;
+use mdz_core::{Codec, ErrorBound};
 
 const MAGIC: &[u8; 4] = b"BASN";
 
@@ -24,11 +25,27 @@ impl Asn {
     }
 }
 
-impl BufferCompressor for Asn {
+impl Codec for Asn {
     fn name(&self) -> &'static str {
         "ASN"
     }
 
+    fn reset(&mut self) {}
+
+    fn compress_buffer(
+        &mut self,
+        snapshots: &[Vec<f64>],
+        bound: ErrorBound,
+    ) -> mdz_core::Result<Vec<u8>> {
+        Ok(self.compress(snapshots, resolve_eps(bound, snapshots)))
+    }
+
+    fn decompress_buffer(&mut self, data: &[u8]) -> mdz_core::Result<Vec<Vec<f64>>> {
+        Ok(self.decompress(data)?)
+    }
+}
+
+impl Asn {
     fn compress(&mut self, snapshots: &[Vec<f64>], eps: f64) -> Vec<u8> {
         let m = snapshots.len();
         let n = snapshots[0].len();

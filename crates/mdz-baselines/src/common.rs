@@ -33,8 +33,46 @@ impl std::fmt::Display for BaselineError {
 
 impl std::error::Error for BaselineError {}
 
+impl From<BaselineError> for mdz_core::MdzError {
+    fn from(e: BaselineError) -> Self {
+        match e {
+            BaselineError::Stream(s) => mdz_core::MdzError::Stream(s),
+            BaselineError::Corrupt(w) => mdz_core::MdzError::BadHeader(w),
+        }
+    }
+}
+
 /// Result alias.
 pub type Result<T> = std::result::Result<T, BaselineError>;
+
+/// Resolves a per-call [`mdz_core::ErrorBound`] to the absolute `eps` the
+/// baseline coders operate in, scanning the buffer's value range for
+/// relative bounds (the same resolution MDZ applies internally).
+pub fn resolve_eps(bound: mdz_core::ErrorBound, snapshots: &[Vec<f64>]) -> f64 {
+    match bound {
+        mdz_core::ErrorBound::Absolute(e) => e,
+        mdz_core::ErrorBound::ValueRangeRelative(r) => {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for s in snapshots {
+                for &v in s {
+                    if v < lo {
+                        lo = v;
+                    }
+                    if v > hi {
+                        hi = v;
+                    }
+                }
+            }
+            let range = hi - lo;
+            if range > 0.0 && range.is_finite() {
+                r * range
+            } else {
+                f64::MIN_POSITIVE.max(1e-300)
+            }
+        }
+    }
+}
 
 /// Encoder-side accumulator for the classic SZ tail: quantization codes +
 /// escape list, Huffman-coded then LZ-compressed.
@@ -134,10 +172,7 @@ impl CodeSource {
     pub fn reconstruct(&self, quant: &LinearQuantizer, i: usize, prediction: f64) -> Result<f64> {
         let code = self.codes[i];
         if code == 0 {
-            self.escapes
-                .get(&i)
-                .copied()
-                .ok_or(BaselineError::Corrupt("missing escape value"))
+            self.escapes.get(&i).copied().ok_or(BaselineError::Corrupt("missing escape value"))
         } else {
             Ok(quant.reconstruct(code, prediction))
         }
@@ -153,11 +188,7 @@ pub fn write_header(out: &mut Vec<u8>, magic: &[u8; 4], m: usize, n: usize, eps:
 }
 
 /// Reads a baseline header, validating the magic.
-pub fn read_header(
-    data: &[u8],
-    pos: &mut usize,
-    magic: &[u8; 4],
-) -> Result<(usize, usize, f64)> {
+pub fn read_header(data: &[u8], pos: &mut usize, magic: &[u8; 4]) -> Result<(usize, usize, f64)> {
     let got = data.get(*pos..*pos + 4).ok_or(BaselineError::Corrupt("truncated magic"))?;
     if got != magic {
         return Err(BaselineError::Corrupt("magic mismatch"));

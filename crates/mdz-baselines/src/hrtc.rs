@@ -11,8 +11,9 @@
 //! anchor, and the slope grid is `eps/(4·len)` so the quantized line stays
 //! within `eps/2 + eps/4 < eps` of every point.
 
+use crate::common::resolve_eps;
 use crate::common::{read_header, write_header, BaselineError};
-use crate::BufferCompressor;
+use mdz_core::{Codec, ErrorBound};
 use mdz_entropy::{read_ivarint, read_uvarint, write_ivarint, write_uvarint};
 use mdz_lossless::lz77;
 
@@ -102,11 +103,27 @@ fn segment_series(series: &[f64], eps: f64) -> Vec<Segment> {
     segs
 }
 
-impl BufferCompressor for Hrtc {
+impl Codec for Hrtc {
     fn name(&self) -> &'static str {
         "HRTC"
     }
 
+    fn reset(&mut self) {}
+
+    fn compress_buffer(
+        &mut self,
+        snapshots: &[Vec<f64>],
+        bound: ErrorBound,
+    ) -> mdz_core::Result<Vec<u8>> {
+        Ok(self.compress(snapshots, resolve_eps(bound, snapshots)))
+    }
+
+    fn decompress_buffer(&mut self, data: &[u8]) -> mdz_core::Result<Vec<Vec<f64>>> {
+        Ok(self.decompress(data)?)
+    }
+}
+
+impl Hrtc {
     fn compress(&mut self, snapshots: &[Vec<f64>], eps: f64) -> Vec<u8> {
         let m = snapshots.len();
         let n = snapshots[0].len();
@@ -217,9 +234,8 @@ mod tests {
     #[test]
     fn linear_trajectories_collapse_to_single_segments() {
         // Perfectly linear in time: one segment per particle.
-        let snaps: Vec<Vec<f64>> = (0..20)
-            .map(|t| (0..100).map(|i| i as f64 + t as f64 * 0.01).collect())
-            .collect();
+        let snaps: Vec<Vec<f64>> =
+            (0..20).map(|t| (0..100).map(|i| i as f64 + t as f64 * 0.01).collect()).collect();
         let mut c = Hrtc::new();
         let size = check_round_trip(&mut c, &snaps, 1e-3);
         assert!(size < 20 * 100 * 2, "linear data should be tiny: {size}");

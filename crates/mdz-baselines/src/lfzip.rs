@@ -11,9 +11,10 @@
 //! The stream is traversed particle-major (each particle's time series
 //! contiguously), which is how a time-series compressor sees MD data.
 
+use crate::common::resolve_eps;
 use crate::common::{read_header, write_header, BaselineError, CodeSink, CodeSource, RADIUS};
-use crate::BufferCompressor;
 use mdz_core::LinearQuantizer;
+use mdz_core::{Codec, ErrorBound};
 
 const MAGIC: &[u8; 4] = b"LFZP";
 /// Filter order (LFZip default: 32; shortened to fit MD buffer depths).
@@ -52,11 +53,7 @@ impl Nlms {
     /// the history window fills.
     fn predict(&self) -> f64 {
         if self.filled < ORDER {
-            return if self.filled == 0 {
-                0.0
-            } else {
-                self.h[(self.head + ORDER - 1) % ORDER]
-            };
+            return if self.filled == 0 { 0.0 } else { self.h[(self.head + ORDER - 1) % ORDER] };
         }
         let mut p = 0.0;
         for k in 0..ORDER {
@@ -95,11 +92,27 @@ impl Nlms {
     }
 }
 
-impl BufferCompressor for Lfzip {
+impl Codec for Lfzip {
     fn name(&self) -> &'static str {
         "LFZip"
     }
 
+    fn reset(&mut self) {}
+
+    fn compress_buffer(
+        &mut self,
+        snapshots: &[Vec<f64>],
+        bound: ErrorBound,
+    ) -> mdz_core::Result<Vec<u8>> {
+        Ok(self.compress(snapshots, resolve_eps(bound, snapshots)))
+    }
+
+    fn decompress_buffer(&mut self, data: &[u8]) -> mdz_core::Result<Vec<Vec<f64>>> {
+        Ok(self.decompress(data)?)
+    }
+}
+
+impl Lfzip {
     fn compress(&mut self, snapshots: &[Vec<f64>], eps: f64) -> Vec<u8> {
         let m = snapshots.len();
         let n = snapshots[0].len();

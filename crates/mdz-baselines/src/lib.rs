@@ -21,8 +21,9 @@
 //!   reference [31]), included to test §II's claim that interpolation
 //!   compressors are sub-optimal on MD data.
 //!
-//! All baselines implement [`BufferCompressor`], the uniform harness
-//! interface the benchmark crate drives.
+//! All baselines implement [`mdz_core::Codec`] — the same interface MDZ
+//! itself exposes — so harnesses and archives drive every compressor in the
+//! evaluation uniformly, with no MDZ-vs-baseline special casing.
 
 pub mod asn;
 pub mod common;
@@ -34,23 +35,10 @@ pub mod sz3;
 pub mod tng;
 
 pub use common::BaselineError;
-
-/// Uniform interface over every compressor in the evaluation (baselines and
-/// MDZ itself, via an adapter in the bench crate).
-pub trait BufferCompressor {
-    /// Short display name used in experiment tables.
-    fn name(&self) -> &'static str;
-
-    /// Compresses one buffer (M snapshots × N values, one axis) under an
-    /// absolute error bound `eps`.
-    fn compress(&mut self, snapshots: &[Vec<f64>], eps: f64) -> Vec<u8>;
-
-    /// Decompresses a buffer produced by `compress`.
-    fn decompress(&mut self, data: &[u8]) -> Result<Vec<Vec<f64>>, BaselineError>;
-}
+pub use mdz_core::Codec;
 
 /// All six baselines, boxed for harness iteration.
-pub fn all_baselines() -> Vec<Box<dyn BufferCompressor>> {
+pub fn all_baselines() -> Vec<Box<dyn Codec>> {
     vec![
         Box::new(sz2::Sz2::new(sz2::Sz2Mode::TwoD)),
         Box::new(tng::Tng::new()),
@@ -64,14 +52,12 @@ pub fn all_baselines() -> Vec<Box<dyn BufferCompressor>> {
 
 #[cfg(test)]
 pub(crate) mod testutil {
+    use mdz_core::{Codec, ErrorBound};
+
     /// Shared round-trip checker used by every baseline's tests.
-    pub fn check_round_trip<C: super::BufferCompressor>(
-        c: &mut C,
-        snapshots: &[Vec<f64>],
-        eps: f64,
-    ) -> usize {
-        let blob = c.compress(snapshots, eps);
-        let out = c.decompress(&blob).expect("decompress");
+    pub fn check_round_trip<C: Codec>(c: &mut C, snapshots: &[Vec<f64>], eps: f64) -> usize {
+        let blob = c.compress_buffer(snapshots, ErrorBound::Absolute(eps)).expect("compress");
+        let out = c.decompress_buffer(&blob).expect("decompress");
         assert_eq!(out.len(), snapshots.len(), "{}: snapshot count", c.name());
         for (s, o) in snapshots.iter().zip(out.iter()) {
             assert_eq!(s.len(), o.len(), "{}: snapshot width", c.name());

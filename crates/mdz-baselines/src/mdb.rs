@@ -9,8 +9,9 @@
 //! parameters are emitted directly as varints/raw bits, which is exactly
 //! why its compression ratios collapse on MD data (Fig. 12's 1–6×).
 
+use crate::common::resolve_eps;
 use crate::common::{read_header, write_header, BaselineError};
-use crate::BufferCompressor;
+use mdz_core::{Codec, ErrorBound};
 use mdz_entropy::{read_ivarint, read_uvarint, write_ivarint, write_uvarint};
 
 const MAGIC: &[u8; 4] = b"BMDB";
@@ -139,11 +140,27 @@ fn segment_series(series: &[f64], eps: f64) -> Vec<Seg> {
     segs
 }
 
-impl BufferCompressor for Mdb {
+impl Codec for Mdb {
     fn name(&self) -> &'static str {
         "MDB"
     }
 
+    fn reset(&mut self) {}
+
+    fn compress_buffer(
+        &mut self,
+        snapshots: &[Vec<f64>],
+        bound: ErrorBound,
+    ) -> mdz_core::Result<Vec<u8>> {
+        Ok(self.compress(snapshots, resolve_eps(bound, snapshots)))
+    }
+
+    fn decompress_buffer(&mut self, data: &[u8]) -> mdz_core::Result<Vec<Vec<f64>>> {
+        Ok(self.decompress(data)?)
+    }
+}
+
+impl Mdb {
     fn compress(&mut self, snapshots: &[Vec<f64>], eps: f64) -> Vec<u8> {
         let m = snapshots.len();
         let n = snapshots[0].len();

@@ -9,9 +9,10 @@
 //!   and time continuity at once. The paper's Table IV shows 2-D beating
 //!   1-D by up to ~200 % on MD data, and uses 2-D in the evaluation.
 
+use crate::common::resolve_eps;
 use crate::common::{read_header, write_header, BaselineError, CodeSink, CodeSource, RADIUS};
-use crate::BufferCompressor;
 use mdz_core::LinearQuantizer;
+use mdz_core::{Codec, ErrorBound};
 
 const MAGIC: &[u8; 4] = b"BSZ2";
 
@@ -37,7 +38,7 @@ impl Sz2 {
     }
 }
 
-impl BufferCompressor for Sz2 {
+impl Codec for Sz2 {
     fn name(&self) -> &'static str {
         match self.mode {
             Sz2Mode::OneD => "SZ2-1D",
@@ -45,6 +46,22 @@ impl BufferCompressor for Sz2 {
         }
     }
 
+    fn reset(&mut self) {}
+
+    fn compress_buffer(
+        &mut self,
+        snapshots: &[Vec<f64>],
+        bound: ErrorBound,
+    ) -> mdz_core::Result<Vec<u8>> {
+        Ok(self.compress(snapshots, resolve_eps(bound, snapshots)))
+    }
+
+    fn decompress_buffer(&mut self, data: &[u8]) -> mdz_core::Result<Vec<Vec<f64>>> {
+        Ok(self.decompress(data)?)
+    }
+}
+
+impl Sz2 {
     fn compress(&mut self, snapshots: &[Vec<f64>], eps: f64) -> Vec<u8> {
         let m = snapshots.len();
         let n = snapshots[0].len();

@@ -12,9 +12,10 @@
 //! per-snapshot (space) or per-particle (time) — trying both and keeping
 //! the smaller output, which mirrors SZ3's dimension auto-tuning.
 
+use crate::common::resolve_eps;
 use crate::common::{read_header, write_header, BaselineError, CodeSink, CodeSource, RADIUS};
-use crate::BufferCompressor;
 use mdz_core::LinearQuantizer;
+use mdz_core::{Codec, ErrorBound};
 
 const MAGIC: &[u8; 4] = b"BSZ3";
 
@@ -143,11 +144,27 @@ fn compress_with_axis(snapshots: &[Vec<f64>], eps: f64, axis: Axis) -> Vec<u8> {
     out
 }
 
-impl BufferCompressor for Sz3 {
+impl Codec for Sz3 {
     fn name(&self) -> &'static str {
         "SZ3"
     }
 
+    fn reset(&mut self) {}
+
+    fn compress_buffer(
+        &mut self,
+        snapshots: &[Vec<f64>],
+        bound: ErrorBound,
+    ) -> mdz_core::Result<Vec<u8>> {
+        Ok(self.compress(snapshots, resolve_eps(bound, snapshots)))
+    }
+
+    fn decompress_buffer(&mut self, data: &[u8]) -> mdz_core::Result<Vec<Vec<f64>>> {
+        Ok(self.decompress(data)?)
+    }
+}
+
+impl Sz3 {
     fn compress(&mut self, snapshots: &[Vec<f64>], eps: f64) -> Vec<u8> {
         // Dimension auto-tuning: try both interpolation axes, keep smaller.
         let a = compress_with_axis(snapshots, eps, Axis::Space);
@@ -184,6 +201,9 @@ impl BufferCompressor for Sz3 {
             Axis::Time => {
                 let order = visit_order(m);
                 let mut series = vec![0.0f64; m];
+                // `out` is snapshot-major but this pass is particle-major,
+                // so indexing by `p` inside the loop is the natural shape.
+                #[allow(clippy::needless_range_loop)]
                 for p in 0..n {
                     let shifted: Vec<usize> = order.iter().map(|&k| p * m + k).collect();
                     decode_series(m, &shifted, &quant, &src, &mut series)?;

@@ -8,8 +8,9 @@
 //! stage. The error bound maps to the fixed-point step: `step = 2·eps`
 //! guarantees `|d − d'| ≤ eps`.
 
+use crate::common::resolve_eps;
 use crate::common::{read_header, write_header, BaselineError};
-use crate::BufferCompressor;
+use mdz_core::{Codec, ErrorBound};
 use mdz_entropy::{read_uvarint, write_ivarint, write_uvarint, zigzag_decode, zigzag_encode};
 use mdz_lossless::lz77;
 
@@ -28,11 +29,27 @@ impl Tng {
     }
 }
 
-impl BufferCompressor for Tng {
+impl Codec for Tng {
     fn name(&self) -> &'static str {
         "TNG"
     }
 
+    fn reset(&mut self) {}
+
+    fn compress_buffer(
+        &mut self,
+        snapshots: &[Vec<f64>],
+        bound: ErrorBound,
+    ) -> mdz_core::Result<Vec<u8>> {
+        Ok(self.compress(snapshots, resolve_eps(bound, snapshots)))
+    }
+
+    fn decompress_buffer(&mut self, data: &[u8]) -> mdz_core::Result<Vec<Vec<f64>>> {
+        Ok(self.decompress(data)?)
+    }
+}
+
+impl Tng {
     fn compress(&mut self, snapshots: &[Vec<f64>], eps: f64) -> Vec<u8> {
         let m = snapshots.len();
         let n = snapshots[0].len();
@@ -101,9 +118,8 @@ impl BufferCompressor for Tng {
             } else {
                 idx.checked_add(delta).ok_or(BaselineError::Corrupt("escape index overflow"))?
             };
-            let bytes = inner
-                .get(ipos..ipos + 8)
-                .ok_or(BaselineError::Corrupt("truncated escape"))?;
+            let bytes =
+                inner.get(ipos..ipos + 8).ok_or(BaselineError::Corrupt("truncated escape"))?;
             ipos += 8;
             escapes.insert(idx as usize, f64::from_le_bytes(bytes.try_into().unwrap()));
         }
@@ -146,9 +162,8 @@ mod tests {
     #[test]
     fn delta_coding_helps_on_sorted_coordinates() {
         // Monotone coordinates → small deltas → small varints.
-        let snaps: Vec<Vec<f64>> = (0..4)
-            .map(|_| (0..1000).map(|i| i as f64 * 0.5).collect())
-            .collect();
+        let snaps: Vec<Vec<f64>> =
+            (0..4).map(|_| (0..1000).map(|i| i as f64 * 0.5).collect()).collect();
         let mut c = Tng::new();
         let size = check_round_trip(&mut c, &snaps, 1e-3);
         assert!(size < 4 * 1000 * 2, "expected tight packing, got {size}");

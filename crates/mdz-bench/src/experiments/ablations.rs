@@ -2,10 +2,10 @@
 //! design decision DESIGN.md calls out.
 
 use super::Ctx;
-use crate::harness::{axis_eps, mdz_codec, run_dataset, Codec};
+use crate::harness::{axis_eps, mdz_codec, run_dataset};
 use crate::table::{fmt, Table};
 use mdz_core::quant::Quantized;
-use mdz_core::{Compressor, EntropyStage, ErrorBound, LinearQuantizer, MdzConfig, Method};
+use mdz_core::{Codec, Compressor, EntropyStage, ErrorBound, LinearQuantizer, MdzConfig, Method};
 use mdz_entropy::{huffman_encode, range_encode};
 use mdz_lossless::lz77;
 use mdz_sim::DatasetKind;
@@ -34,7 +34,8 @@ fn velocity_compressibility(ctx: &mut Ctx) -> Table {
         &["stream", "value range", "CR"],
     );
     let n = if ctx.scale == mdz_sim::Scale::Test { 200 } else { 2000 };
-    let mut sim = LjSimulation::new(SimConfig { n_target: n, seed: ctx.seed, ..Default::default() });
+    let mut sim =
+        LjSimulation::new(SimConfig { n_target: n, seed: ctx.seed, ..Default::default() });
     sim.run(200);
     let mut pos: Vec<Vec<f64>> = Vec::new();
     let mut vel: Vec<Vec<f64>> = Vec::new();
@@ -78,7 +79,8 @@ fn velocity_prediction(ctx: &mut Ctx) -> Table {
     );
     let n = if ctx.scale == mdz_sim::Scale::Test { 200 } else { 1000 };
     for interval in [1usize, 5, 20, 100, 400] {
-        let mut sim = LjSimulation::new(SimConfig { n_target: n, seed: ctx.seed, ..Default::default() });
+        let mut sim =
+            LjSimulation::new(SimConfig { n_target: n, seed: ctx.seed, ..Default::default() });
         sim.run(200); // melt
         let p0: Vec<_> = sim.positions().to_vec();
         let v0: Vec<_> = sim.velocities().to_vec();
@@ -185,7 +187,15 @@ fn pipeline_stages(ctx: &mut Ctx) -> Table {
     let mut prev = vec![0.0f64; n];
     for (s_idx, snap) in series.iter().enumerate() {
         for (i, &v) in snap.iter().enumerate() {
-            let pred = if s_idx == 0 { if i == 0 { 0.0 } else { prev[i - 1] } } else { prev[i] };
+            let pred = if s_idx == 0 {
+                if i == 0 {
+                    0.0
+                } else {
+                    prev[i - 1]
+                }
+            } else {
+                prev[i]
+            };
             let mut recon = v;
             let code = match quant.quantize(v, pred, &mut recon) {
                 Quantized::Code(c) => c,
@@ -221,10 +231,8 @@ fn pipeline_stages(ctx: &mut Ctx) -> Table {
 /// pays off on coherently drifting particles (cosmology), not on vibrating
 /// crystals.
 fn second_order(ctx: &mut Ctx) -> Table {
-    let mut t = Table::new(
-        "Ablation — MT vs MT2 (BS 10)",
-        &["dataset", "eps", "MT", "MT2", "MT2 gain %"],
-    );
+    let mut t =
+        Table::new("Ablation — MT vs MT2 (BS 10)", &["dataset", "eps", "MT", "MT2", "MT2 gain %"]);
     // At a loose bound, per-snapshot displacement quantizes to zero and
     // first-order prediction is already free; the second order pays off
     // once the bound is tight relative to the coherent drift.
@@ -268,7 +276,11 @@ fn grid_reuse(ctx: &mut Ctx) -> Table {
             total += c.compress_buffer(chunk).expect("compress").len();
         }
         let secs = t0.elapsed().as_secs_f64();
-        t.row(vec!["detect once (paper)".into(), fmt(raw as f64 / total as f64), fmt(raw as f64 / 1e6 / secs)]);
+        t.row(vec![
+            "detect once (paper)".into(),
+            fmt(raw as f64 / total as f64),
+            fmt(raw as f64 / 1e6 / secs),
+        ]);
     }
     // Redetect: a fresh compressor per buffer.
     {
@@ -279,13 +291,17 @@ fn grid_reuse(ctx: &mut Ctx) -> Table {
             total += Compressor::new(cfg).compress_buffer(chunk).expect("compress").len();
         }
         let secs = t0.elapsed().as_secs_f64();
-        t.row(vec!["re-detect per buffer".into(), fmt(raw as f64 / total as f64), fmt(raw as f64 / 1e6 / secs)]);
+        t.row(vec![
+            "re-detect per buffer".into(),
+            fmt(raw as f64 / total as f64),
+            fmt(raw as f64 / 1e6 / secs),
+        ]);
     }
     ctx.emit("ablation_grid_reuse", t)
 }
 
-/// Allow harness Codec reuse inside this module.
+/// Allow boxed codec reuse inside this module.
 #[allow(dead_code)]
-fn _codec_type_check(c: Codec) -> &'static str {
+fn _codec_type_check(c: Box<dyn Codec>) -> &'static str {
     c.name()
 }

@@ -74,10 +74,8 @@ pub fn fig3(ctx: &mut Ctx) -> Vec<Table> {
 
 /// Fig. 4: value distributions — histogram + multi-peak classification.
 pub fn fig4(ctx: &mut Ctx) -> Vec<Table> {
-    let mut hist = Table::new(
-        "Fig 4 — value distribution (x-axis)",
-        &["dataset", "bin center", "count"],
-    );
+    let mut hist =
+        Table::new("Fig 4 — value distribution (x-axis)", &["dataset", "bin center", "count"]);
     let mut class = Table::new(
         "Fig 4 — distribution classification",
         &["dataset", "peakedness", "peaks", "class"],
@@ -104,10 +102,8 @@ pub fn fig5(ctx: &mut Ctx) -> Vec<Table> {
         "Fig 5 — temporal series (x-axis, particles 0/1/2)",
         &["dataset", "particle", "snapshot", "value"],
     );
-    let mut class = Table::new(
-        "Fig 5 — temporal regime",
-        &["dataset", "temporal roughness", "regime"],
-    );
+    let mut class =
+        Table::new("Fig 5 — temporal regime", &["dataset", "temporal roughness", "regime"]);
     for kind in FIG_PANEL {
         let d = ctx.dataset(kind);
         let xs = d.axis_series(0);

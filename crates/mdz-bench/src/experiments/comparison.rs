@@ -4,6 +4,7 @@ use super::Ctx;
 use crate::harness::{eps_for_ratio, run_dataset, standard_codecs, sz2_1d_codec};
 use crate::table::{fmt, Table};
 use mdz_analysis::rdf::{rdf, rdf_distance, RdfConfig};
+use mdz_core::Codec;
 use mdz_lossless as lossless;
 use mdz_sim::{DatasetKind, Scale};
 
@@ -38,11 +39,8 @@ pub fn fig13(ctx: &mut Ctx) -> Vec<Table> {
         "Fig 13 — rate-distortion (BS 10)",
         &["dataset", "compressor", "eps", "bit rate", "PSNR dB"],
     );
-    let eps_list: &[f64] = if ctx.scale == Scale::Test {
-        &[1e-2, 1e-4]
-    } else {
-        &[1e-1, 1e-2, 1e-3, 1e-4, 1e-5]
-    };
+    let eps_list: &[f64] =
+        if ctx.scale == Scale::Test { &[1e-2, 1e-4] } else { &[1e-1, 1e-2, 1e-3, 1e-4, 1e-5] };
     let kinds: &[DatasetKind] = if ctx.scale == Scale::Test {
         &[DatasetKind::CopperB, DatasetKind::Lj]
     } else {
@@ -190,10 +188,8 @@ pub fn fig12var(ctx: &mut Ctx) -> Vec<Table> {
 
 /// Table IV: SZ2 1-D vs 2-D mode (Pt, LJ, Helium-A; ε = 1e-3, BS = 10).
 pub fn table4(ctx: &mut Ctx) -> Vec<Table> {
-    let mut t = Table::new(
-        "Table IV — SZ2 1D vs 2D CR (eps 1e-3, BS 10)",
-        &["dataset", "mode", "ratio"],
-    );
+    let mut t =
+        Table::new("Table IV — SZ2 1D vs 2D CR (eps 1e-3, BS 10)", &["dataset", "mode", "ratio"]);
     let bs = if ctx.scale == Scale::Test { 4 } else { 10 };
     for kind in [DatasetKind::Pt, DatasetKind::Lj, DatasetKind::HeliumA] {
         let d = ctx.dataset(kind).clone();

@@ -4,7 +4,7 @@
 use super::Ctx;
 use crate::harness::{axis_eps, mdz_codec, mdz_codec_with, run_dataset};
 use crate::table::{fmt, Table};
-use mdz_core::Method;
+use mdz_core::{Codec, ErrorBound, Method};
 use mdz_sim::{DatasetKind, Scale};
 
 /// Fig. 9: compressor performance vs quantization scale on Helium-B
@@ -51,7 +51,10 @@ pub fn table3(ctx: &mut Ctx) -> Vec<Table> {
                 let mut start = 0;
                 while start < series.len() {
                     let end = (start + 10).min(series.len());
-                    total += codec.compress(&series[start..end], eps).len();
+                    total += codec
+                        .compress_buffer(&series[start..end], ErrorBound::Absolute(eps))
+                        .expect("compress")
+                        .len();
                     start = end;
                 }
                 sizes[k] = total;
@@ -144,7 +147,10 @@ pub fn fig10(ctx: &mut Ctx) -> Vec<Table> {
         let buf = &stream[b * bs..(b + 1) * bs];
         let sizes: Vec<f64> = [&mut vq, &mut vqt, &mut mt]
             .into_iter()
-            .map(|c| raw_per_buffer as f64 / c.compress(buf, eps).len() as f64)
+            .map(|c| {
+                let blob = c.compress_buffer(buf, ErrorBound::Absolute(eps)).expect("compress");
+                raw_per_buffer as f64 / blob.len() as f64
+            })
             .collect();
         let adp_size = adp.compress_buffer(buf).expect("adp").len();
         let choice = adp.current_adaptive_choice().map(|m| m.to_string()).unwrap_or_default();

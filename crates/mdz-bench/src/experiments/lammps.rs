@@ -83,8 +83,7 @@ fn flush(
     match comps {
         Some(cs) => {
             for (axis, c) in cs.iter_mut().enumerate() {
-                let series: Vec<Vec<f64>> =
-                    pending.iter().map(|s| s.axis(axis).to_vec()).collect();
+                let series: Vec<Vec<f64>> = pending.iter().map(|s| s.axis(axis).to_vec()).collect();
                 let blob = c.compress_buffer(&series).expect("compress");
                 file.write_all(&blob).expect("write");
                 written += blob.len();

@@ -55,9 +55,27 @@ impl Ctx {
 
 /// Every experiment id, in paper order.
 pub const ALL: &[&str] = &[
-    "table1", "fig3", "fig4", "fig5", "fig8", "table2", "fig9", "table3", "fig10", "fig11",
-    "fig12", "fig12var", "fig13", "fig14", "fig15", "fig16", "table4", "table5", "table6",
-    "table7", "ablations",
+    "table1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig8",
+    "table2",
+    "fig9",
+    "table3",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig12var",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "ablations",
 ];
 
 /// Runs one experiment by id.

@@ -1,83 +1,26 @@
 //! Uniform codec harness over MDZ and the baselines.
+//!
+//! Every compressor under test — MDZ included — is a [`Codec`], so the
+//! harness holds `Box<dyn Codec>` values and never special-cases MDZ.
 
-use mdz_baselines::{asn::Asn, hrtc::Hrtc, lfzip::Lfzip, mdb::Mdb, sz2::Sz2, sz2::Sz2Mode, sz3::Sz3, tng::Tng};
-use mdz_baselines::{BaselineError, BufferCompressor};
-use mdz_core::{Compressor, Decompressor, ErrorBound, MdzConfig, Method};
+use mdz_baselines::{
+    asn::Asn, hrtc::Hrtc, lfzip::Lfzip, mdb::Mdb, sz2::Sz2, sz2::Sz2Mode, sz3::Sz3, tng::Tng,
+};
+use mdz_core::{Codec, ErrorBound, MdzCodec, MdzConfig, Method};
 use mdz_sim::Dataset;
 use std::time::Instant;
 
-/// A named, stateful compressor under test.
-pub struct Codec {
-    name: &'static str,
-    inner: CodecImpl,
-}
-
-enum CodecImpl {
-    Mdz {
-        method: Method,
-        radius: u32,
-        seq2: bool,
-        extended: bool,
-        comp: Option<Compressor>,
-        dec: Decompressor,
-    },
-    Baseline(Box<dyn BufferCompressor>),
-}
-
-impl Codec {
-    /// Display name.
-    pub fn name(&self) -> &'static str {
-        self.name
-    }
-
-    /// Resets cross-buffer state (fresh stream).
-    pub fn reset(&mut self) {
-        match &mut self.inner {
-            CodecImpl::Mdz { comp, dec, .. } => {
-                *comp = None;
-                *dec = Decompressor::new();
-            }
-            CodecImpl::Baseline(_) => {}
-        }
-    }
-
-    /// Compresses one buffer under absolute bound `eps`.
-    pub fn compress(&mut self, snapshots: &[Vec<f64>], eps: f64) -> Vec<u8> {
-        match &mut self.inner {
-            CodecImpl::Mdz { method, radius, seq2, extended, comp, .. } => {
-                let c = comp.get_or_insert_with(|| {
-                    Compressor::new(
-                        MdzConfig::new(ErrorBound::Absolute(eps))
-                            .with_method(*method)
-                            .with_radius(*radius)
-                            .with_seq2(*seq2)
-                            .with_extended_candidates(*extended),
-                    )
-                });
-                c.compress_buffer(snapshots).expect("mdz compress")
-            }
-            CodecImpl::Baseline(b) => b.compress(snapshots, eps),
-        }
-    }
-
-    /// Decompresses one buffer.
-    pub fn decompress(&mut self, data: &[u8]) -> Result<Vec<Vec<f64>>, BaselineError> {
-        match &mut self.inner {
-            CodecImpl::Mdz { dec, .. } => dec
-                .decompress_block(data)
-                .map_err(|_| BaselineError::Corrupt("mdz decompress failed")),
-            CodecImpl::Baseline(b) => b.decompress(data),
-        }
-    }
-}
-
 /// An MDZ codec for a specific method (with the paper's defaults).
-pub fn mdz_codec(method: Method) -> Codec {
+pub fn mdz_codec(method: Method) -> MdzCodec {
     mdz_codec_with(method, 512, true)
 }
 
 /// An MDZ codec with explicit radius / sequence settings (Figs. 9, Table III).
-pub fn mdz_codec_with(method: Method, radius: u32, seq2: bool) -> Codec {
+///
+/// The bound in the template configuration is a placeholder — the harness
+/// passes the resolved per-axis bound on every [`Codec::compress_buffer`]
+/// call.
+pub fn mdz_codec_with(method: Method, radius: u32, seq2: bool) -> MdzCodec {
     let name = match method {
         Method::Vq => "VQ",
         Method::Vqt => "VQT",
@@ -85,51 +28,36 @@ pub fn mdz_codec_with(method: Method, radius: u32, seq2: bool) -> Codec {
         Method::Mt2 => "MT2",
         Method::Adaptive => "MDZ",
     };
-    Codec {
-        name,
-        inner: CodecImpl::Mdz {
-            method,
-            radius,
-            seq2,
-            extended: false,
-            comp: None,
-            dec: Decompressor::new(),
-        },
-    }
+    let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3))
+        .with_method(method)
+        .with_radius(radius)
+        .with_seq2(seq2);
+    MdzCodec::with_name(name, cfg)
 }
 
 /// MDZ with the extended (MT2-including) adaptive candidate set.
-pub fn mdz_extended_codec() -> Codec {
-    Codec {
-        name: "MDZ+",
-        inner: CodecImpl::Mdz {
-            method: Method::Adaptive,
-            radius: 512,
-            seq2: true,
-            extended: true,
-            comp: None,
-            dec: Decompressor::new(),
-        },
-    }
+pub fn mdz_extended_codec() -> MdzCodec {
+    let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_extended_candidates(true);
+    MdzCodec::with_name("MDZ+", cfg)
 }
 
 /// The evaluation's standard line-up: MDZ (ADP) plus the six baselines.
-pub fn standard_codecs() -> Vec<Codec> {
+pub fn standard_codecs() -> Vec<Box<dyn Codec>> {
     vec![
-        mdz_codec(Method::Adaptive),
-        Codec { name: "SZ2", inner: CodecImpl::Baseline(Box::new(Sz2::new(Sz2Mode::TwoD))) },
-        Codec { name: "ASN", inner: CodecImpl::Baseline(Box::new(Asn::new())) },
-        Codec { name: "TNG", inner: CodecImpl::Baseline(Box::new(Tng::new())) },
-        Codec { name: "HRTC", inner: CodecImpl::Baseline(Box::new(Hrtc::new())) },
-        Codec { name: "MDB", inner: CodecImpl::Baseline(Box::new(Mdb::new())) },
-        Codec { name: "LFZip", inner: CodecImpl::Baseline(Box::new(Lfzip::new())) },
-        Codec { name: "SZ3", inner: CodecImpl::Baseline(Box::new(Sz3::new())) },
+        Box::new(mdz_codec(Method::Adaptive)),
+        Box::new(Sz2::new(Sz2Mode::TwoD)),
+        Box::new(Asn::new()),
+        Box::new(Tng::new()),
+        Box::new(Hrtc::new()),
+        Box::new(Mdb::new()),
+        Box::new(Lfzip::new()),
+        Box::new(Sz3::new()),
     ]
 }
 
 /// SZ2 in 1-D mode (Table IV).
-pub fn sz2_1d_codec() -> Codec {
-    Codec { name: "SZ2-1D", inner: CodecImpl::Baseline(Box::new(Sz2::new(Sz2Mode::OneD))) }
+pub fn sz2_1d_codec() -> Sz2 {
+    Sz2::new(Sz2Mode::OneD)
 }
 
 /// Measured outcome of one dataset run.
@@ -195,7 +123,7 @@ pub fn axis_eps(dataset: &Dataset, axis: usize, eps_rel: f64) -> f64 {
 /// Returns the metrics and (optionally, when `keep` is set) the
 /// decompressed snapshots for physics-fidelity analysis.
 pub fn run_dataset(
-    codec: &mut Codec,
+    codec: &mut dyn Codec,
     dataset: &Dataset,
     eps_rel: f64,
     bs: usize,
@@ -205,9 +133,8 @@ pub fn run_dataset(
     let mut metrics = RunMetrics::default();
     let m = dataset.len();
     let n = dataset.atoms();
-    let mut restored: Option<Vec<mdz_sim::Snapshot>> = keep.then(|| {
-        vec![mdz_sim::Snapshot { x: vec![0.0; n], y: vec![0.0; n], z: vec![0.0; n] }; m]
-    });
+    let mut restored: Option<Vec<mdz_sim::Snapshot>> = keep
+        .then(|| vec![mdz_sim::Snapshot { x: vec![0.0; n], y: vec![0.0; n], z: vec![0.0; n] }; m]);
 
     let mut sq_sum = 0.0f64;
     let mut count = 0usize;
@@ -224,11 +151,11 @@ pub fn run_dataset(
             let end = (start + bs).min(m);
             let buf = &series[start..end];
             let t0 = Instant::now();
-            let blob = codec.compress(buf, eps);
+            let blob = codec.compress_buffer(buf, ErrorBound::Absolute(eps)).expect("compress");
             metrics.compress_seconds += t0.elapsed().as_secs_f64();
             metrics.compressed_bytes += blob.len();
             let t1 = Instant::now();
-            let out = codec.decompress(&blob).expect("round trip");
+            let out = codec.decompress_buffer(&blob).expect("round trip");
             metrics.decompress_seconds += t1.elapsed().as_secs_f64();
             for (t, (orig, got)) in buf.iter().zip(out.iter()).enumerate() {
                 for (i, (&a, &b)) in orig.iter().zip(got.iter()).enumerate() {
@@ -271,7 +198,7 @@ pub fn run_dataset(
 
 /// Binary-searches the relative bound that puts `codec` at compression
 /// ratio ≈ `target` on `dataset` (used by the paper's CR=10 comparisons).
-pub fn eps_for_ratio(codec: &mut Codec, dataset: &Dataset, bs: usize, target: f64) -> f64 {
+pub fn eps_for_ratio(codec: &mut dyn Codec, dataset: &Dataset, bs: usize, target: f64) -> f64 {
     let mut lo = 1e-8f64.ln();
     let mut hi = 0.3f64.ln();
     for _ in 0..14 {

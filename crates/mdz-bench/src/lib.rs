@@ -1,7 +1,7 @@
 //! Benchmark harness regenerating every table and figure of the MDZ paper.
 //!
-//! The [`harness`] module provides a uniform [`harness::Codec`] view over
-//! MDZ (VQ / VQT / MT / ADP) and the six baselines, plus buffer-sliced
+//! The [`harness`] module drives MDZ (VQ / VQT / MT / ADP) and the six
+//! baselines uniformly through [`mdz_core::Codec`], plus buffer-sliced
 //! dataset runs that measure compression ratio, throughput, and error
 //! metrics. The [`experiments`] module contains one function per paper
 //! artifact (`table1` … `fig16`), each writing CSV into `results/` and
@@ -12,4 +12,5 @@ pub mod experiments;
 pub mod harness;
 pub mod table;
 
-pub use harness::{mdz_codec, standard_codecs, Codec, RunMetrics};
+pub use harness::{mdz_codec, standard_codecs, RunMetrics};
+pub use mdz_core::Codec;

@@ -68,11 +68,7 @@ fn fig11_adp_is_never_far_from_best() {
         let parse = |c: &String| c.parse::<f64>().unwrap_or(f64::NAN);
         let best = parse(&row[2]).max(parse(&row[3])).max(parse(&row[4]));
         let adp = parse(&row[5]);
-        assert!(
-            adp > best * 0.5,
-            "{}: ADP {adp} far below best {best}",
-            row[0]
-        );
+        assert!(adp > best * 0.5, "{}: ADP {adp} far below best {best}", row[0]);
     }
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,1338 +1,8 @@
-//! Buffer-level compression: the MDZ pipeline end to end.
+//! Buffer-level compression: the stable public path to the MDZ pipeline.
 //!
-//! A *buffer* is `M` snapshots × `N` values of one coordinate axis. The
-//! compressor is stateful across buffers (level grid computed once; the
-//! stream's initial snapshot retained as the MT reference), mirroring the
-//! paper's execution model where an MD code compresses every `BS` snapshots
-//! during the run. The [`Decompressor`] maintains the same state, so blocks
-//! must be decompressed in stream order — except pure-VQ blocks, which are
-//! fully self-contained (the paper's random-access property).
-//!
-//! ## Prediction-parity invariant
-//!
-//! Every prediction on the encoder side uses *reconstructed* values (what
-//! the decoder will have), never originals. This is what makes the error
-//! bound compose across time prediction chains.
-
-use crate::adaptive::AdaptiveState;
-use crate::format::{BlockHeader, Method, FLAG_F32, FLAG_FIRST_LORENZO, FLAG_GRID, FLAG_RANGE_CODED, FLAG_SEQ2};
-use crate::quant::{LinearQuantizer, Quantized};
-use crate::seq::{from_seq2, to_seq2};
-use crate::{MdzConfig, MdzError, Result};
-use crate::EntropyStage;
-use mdz_entropy::{
-    huffman::huffman_decode_at, huffman_encode, range::range_decode_at, range_encode,
-    read_uvarint, write_uvarint, zigzag_decode, zigzag_encode,
-};
-use mdz_kmeans::{detect_levels, LevelGrid, SelectConfig};
-use mdz_lossless::lz77;
-use std::collections::HashMap;
-
-/// Level indices beyond this magnitude escape (guards λ → 0 blowups).
-const MAX_LEVEL_MAG: f64 = (1u64 << 40) as f64;
-
-/// How each snapshot within a buffer is predicted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SnapshotMode {
-    /// Level-centroid prediction via the grid; emits J codes.
-    VqGrid,
-    /// In-snapshot previous-value prediction (first value predicted as 0).
-    Lorenzo,
-    /// Same index in the previous snapshot's reconstruction.
-    TimePrev,
-    /// Linear extrapolation from the two previous reconstructions.
-    TimePrev2,
-    /// Same index in the stream's reference (initial) snapshot.
-    TimeRef,
-}
-
-/// Cross-buffer state shared (by construction) between both endpoints.
-#[derive(Debug, Clone, Default)]
-struct CoreState {
-    /// Level grid: `None` = not yet attempted, `Some(None)` = attempted and
-    /// absent (data not level-structured), `Some(Some(g))` = detected.
-    grid: Option<Option<LevelGrid>>,
-    /// Reconstruction of the stream's first snapshot (the MT reference).
-    reference: Option<Vec<f64>>,
-}
-
-/// Stateful MDZ compressor for one axis stream.
-#[derive(Debug, Clone)]
-pub struct Compressor {
-    cfg: MdzConfig,
-    state: CoreState,
-    adaptive: AdaptiveState,
-}
-
-impl Compressor {
-    /// Creates a compressor; the configuration is validated on first use.
-    pub fn new(cfg: MdzConfig) -> Self {
-        Self { cfg, state: CoreState::default(), adaptive: AdaptiveState::new() }
-    }
-
-    /// The configured method (possibly [`Method::Adaptive`]).
-    pub fn method(&self) -> Method {
-        self.cfg.method
-    }
-
-    /// The concrete method the adaptive selector is currently using, if any
-    /// trial has run yet.
-    pub fn current_adaptive_choice(&self) -> Option<Method> {
-        self.adaptive.current()
-    }
-
-    /// Compresses one buffer of snapshots into a self-describing block.
-    ///
-    /// All snapshots must be non-empty and equally sized.
-    pub fn compress_buffer(&mut self, snapshots: &[Vec<f64>]) -> Result<Vec<u8>> {
-        self.cfg.validate()?;
-        validate_shape(snapshots)?;
-        match self.cfg.method {
-            Method::Adaptive => self.compress_adaptive(snapshots),
-            m => {
-                let (bytes, new_state) = encode_buffer(&self.cfg, &self.state, m, snapshots)?;
-                self.state = new_state;
-                Ok(bytes)
-            }
-        }
-    }
-
-    /// Compresses a buffer of single-precision snapshots.
-    ///
-    /// MD trajectory formats commonly store `f32`; values are widened
-    /// losslessly, compressed as usual, and the block is tagged so
-    /// [`Decompressor::decompress_block_f32`] can narrow the output again.
-    ///
-    /// The error bound is guaranteed in `f64` space; narrowing the
-    /// reconstruction back to `f32` adds at most half an `f32` ULP
-    /// (≈ 6e-8·|value|), which is far below any practical MD bound.
-    pub fn compress_buffer_f32(&mut self, snapshots: &[Vec<f32>]) -> Result<Vec<u8>> {
-        let widened: Vec<Vec<f64>> =
-            snapshots.iter().map(|s| s.iter().map(|&v| f64::from(v)).collect()).collect();
-        let mut block = self.compress_buffer(&widened)?;
-        // Tag the block: the flags byte sits right after magic + version + method.
-        let flags_at = crate::format::MAGIC.len() + 2;
-        block[flags_at] |= FLAG_F32;
-        Ok(block)
-    }
-
-    /// ADP: every `adapt_interval` buffers, compress with all three methods
-    /// and keep the smallest; in between, reuse the last winner.
-    fn compress_adaptive(&mut self, snapshots: &[Vec<f64>]) -> Result<Vec<u8>> {
-        if self.adaptive.trial_due(self.cfg.adapt_interval) {
-            let candidates: &[Method] =
-                if self.cfg.extended_candidates { &Method::EXTENDED } else { &Method::CONCRETE };
-            let mut best: Option<(Vec<u8>, CoreState, Method)> = None;
-            for &m in candidates {
-                let (bytes, state) = encode_buffer(&self.cfg, &self.state, m, snapshots)?;
-                let better = best.as_ref().is_none_or(|(b, _, _)| bytes.len() < b.len());
-                if better {
-                    best = Some((bytes, state, m));
-                }
-            }
-            let (bytes, state, method) = best.expect("three candidates evaluated");
-            self.state = state;
-            self.adaptive.record_winner(method);
-            Ok(bytes)
-        } else {
-            let m = self.adaptive.current().expect("winner recorded at first trial");
-            self.adaptive.tick();
-            let (bytes, state) = encode_buffer(&self.cfg, &self.state, m, snapshots)?;
-            self.state = state;
-            Ok(bytes)
-        }
-    }
-}
-
-/// Stateful MDZ decompressor (mirror of [`Compressor`] state).
-#[derive(Debug, Clone, Default)]
-pub struct Decompressor {
-    reference: Option<Vec<f64>>,
-}
-
-/// Parsed block metadata returned by [`Decompressor::inspect`].
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct BlockInfo {
-    /// Concrete method that produced the block.
-    pub method: Method,
-    /// Snapshots in the block.
-    pub n_snapshots: usize,
-    /// Values per snapshot.
-    pub n_values: usize,
-    /// Absolute error bound the block was coded under.
-    pub eps: f64,
-    /// Quantization radius (half the quantization scale).
-    pub radius: u32,
-    /// Level grid `(μ, λ)` when the VQ predictor was grid-backed.
-    pub grid: Option<(f64, f64)>,
-    /// Whether codes are Seq-2 (particle-major) interleaved.
-    pub seq2: bool,
-    /// Whether the entropy stage was the range coder.
-    pub range_coded: bool,
-    /// Whether the source data was `f32` (decompress with
-    /// [`Decompressor::decompress_block_f32`]).
-    pub source_f32: bool,
-    /// Compressed payload size in bytes (excluding the header).
-    pub payload_bytes: usize,
-}
-
-impl Decompressor {
-    /// Creates a decompressor with empty stream state.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Decompresses a single snapshot from a pure-VQ block without
-    /// reconstructing the others — the paper's random-access property
-    /// (§VI: "any snapshot data can be decompressed very quickly without a
-    /// need in decompressing other snapshots").
-    ///
-    /// Works on blocks whose snapshots are all independently coded (method
-    /// VQ, with or without a detected grid). Errors on VQT/MT blocks, whose
-    /// snapshots form prediction chains, and on out-of-range indices.
-    pub fn decompress_snapshot(block: &[u8], index: usize) -> Result<Vec<f64>> {
-        let mut pos = 0;
-        let header = BlockHeader::read(block, &mut pos)?;
-        if header.method != Method::Vq {
-            return Err(MdzError::BadInput("random access requires a VQ block"));
-        }
-        if index >= header.n_snapshots {
-            return Err(MdzError::BadInput("snapshot index out of range"));
-        }
-        let payload_len = read_uvarint(block, &mut pos)? as usize;
-        let end = pos
-            .checked_add(payload_len)
-            .filter(|&e| e <= block.len())
-            .ok_or(MdzError::BadHeader("truncated payload"))?;
-        let inner = lz77::decompress(&block[pos..end])?;
-        let all = decode_inner_one(&header, &inner, index)?;
-        Ok(all)
-    }
-
-    /// Parses a block's header without decompressing it — cheap
-    /// observability for tooling (`mdz info`, debuggers).
-    pub fn inspect(block: &[u8]) -> Result<BlockInfo> {
-        let mut pos = 0;
-        let header = BlockHeader::read(block, &mut pos)?;
-        let payload_len = read_uvarint(block, &mut pos)? as usize;
-        Ok(BlockInfo {
-            method: header.method,
-            n_snapshots: header.n_snapshots,
-            n_values: header.n_values,
-            eps: header.eps,
-            radius: header.radius,
-            grid: header.grid,
-            seq2: header.flags & FLAG_SEQ2 != 0,
-            range_coded: header.flags & FLAG_RANGE_CODED != 0,
-            source_f32: header.flags & FLAG_F32 != 0,
-            payload_bytes: payload_len,
-        })
-    }
-
-    /// Decompresses a block produced by [`Compressor::compress_buffer_f32`]
-    /// back into single-precision snapshots.
-    ///
-    /// Errors if the block was not tagged as `f32`-sourced.
-    pub fn decompress_block_f32(&mut self, block: &[u8]) -> Result<Vec<Vec<f32>>> {
-        let info = Self::inspect(block)?;
-        if !info.source_f32 {
-            return Err(MdzError::BadInput("block does not carry f32-source data"));
-        }
-        let wide = self.decompress_block(block)?;
-        // Clamp finite reconstructions into f32 range before narrowing: a
-        // huge error bound could push a reconstruction past f32::MAX, and
-        // saturating to infinity would break the bound. Clamping moves the
-        // value strictly closer to the (f32-representable) original.
-        let narrow = |v: f64| -> f32 {
-            if v.is_finite() {
-                v.clamp(f64::from(f32::MIN), f64::from(f32::MAX)) as f32
-            } else {
-                v as f32
-            }
-        };
-        Ok(wide.into_iter().map(|s| s.into_iter().map(narrow).collect()).collect())
-    }
-
-    /// Decompresses one block into its snapshots.
-    pub fn decompress_block(&mut self, block: &[u8]) -> Result<Vec<Vec<f64>>> {
-        let mut pos = 0;
-        let header = BlockHeader::read(block, &mut pos)?;
-        let payload_len = read_uvarint(block, &mut pos)? as usize;
-        let end = pos
-            .checked_add(payload_len)
-            .filter(|&e| e <= block.len())
-            .ok_or(MdzError::BadHeader("truncated payload"))?;
-        let inner = lz77::decompress(&block[pos..end])?;
-        let snapshots = decode_inner(&header, &inner, self.reference.as_deref())?;
-        // Mirror the compressor's reference-update rule.
-        if self.reference.as_ref().is_none_or(|r| r.len() != header.n_values) {
-            self.reference = Some(snapshots[0].clone());
-        }
-        Ok(snapshots)
-    }
-}
-
-fn validate_shape(snapshots: &[Vec<f64>]) -> Result<()> {
-    if snapshots.is_empty() {
-        return Err(MdzError::BadInput("buffer has no snapshots"));
-    }
-    let n = snapshots[0].len();
-    if n == 0 {
-        return Err(MdzError::BadInput("snapshots are empty"));
-    }
-    if snapshots.iter().any(|s| s.len() != n) {
-        return Err(MdzError::BadInput("ragged snapshots in buffer"));
-    }
-    Ok(())
-}
-
-/// Resolves the per-snapshot prediction modes for a buffer.
-fn snapshot_modes(
-    method: Method,
-    n_snapshots: usize,
-    grid: bool,
-    have_ref: bool,
-) -> Vec<SnapshotMode> {
-    let first = match method {
-        Method::Vq | Method::Vqt => {
-            if grid {
-                SnapshotMode::VqGrid
-            } else {
-                SnapshotMode::Lorenzo
-            }
-        }
-        Method::Mt | Method::Mt2 => {
-            if have_ref {
-                SnapshotMode::TimeRef
-            } else {
-                SnapshotMode::Lorenzo
-            }
-        }
-        Method::Adaptive => unreachable!("resolved before encoding"),
-    };
-    let mut modes = vec![first];
-    match method {
-        Method::Vq => modes.extend(std::iter::repeat_n(first, n_snapshots.saturating_sub(1))),
-        Method::Mt2 => {
-            // Second snapshot has only one predecessor; extrapolate after.
-            if n_snapshots > 1 {
-                modes.push(SnapshotMode::TimePrev);
-            }
-            modes.extend(
-                std::iter::repeat_n(SnapshotMode::TimePrev2, n_snapshots.saturating_sub(2)),
-            );
-        }
-        _ => modes
-            .extend(std::iter::repeat_n(SnapshotMode::TimePrev, n_snapshots.saturating_sub(1))),
-    }
-    modes
-}
-
-/// Encodes one buffer with a concrete method, returning the block bytes and
-/// the successor state (committed by the caller — adaptive trials discard).
-fn encode_buffer(
-    cfg: &MdzConfig,
-    state: &CoreState,
-    method: Method,
-    snapshots: &[Vec<f64>],
-) -> Result<(Vec<u8>, CoreState)> {
-    let m = snapshots.len();
-    let n = snapshots[0].len();
-    let mut state = state.clone();
-
-    // Resolve the error bound against the whole buffer.
-    let eps = {
-        let mut all_min = f64::INFINITY;
-        let mut all_max = f64::NEG_INFINITY;
-        for s in snapshots {
-            for &v in s {
-                if v < all_min {
-                    all_min = v;
-                }
-                if v > all_max {
-                    all_max = v;
-                }
-            }
-        }
-        match cfg.bound {
-            crate::ErrorBound::Absolute(e) => e,
-            crate::ErrorBound::ValueRangeRelative(r) => {
-                let range = all_max - all_min;
-                if range > 0.0 && range.is_finite() {
-                    r * range
-                } else {
-                    1e-300
-                }
-            }
-        }
-    };
-    let quant = LinearQuantizer::new(eps, cfg.radius);
-
-    // Level grid: detect once per stream, from the first snapshot seen by a
-    // VQ-family method (the paper computes F once, on the first snapshot).
-    if matches!(method, Method::Vq | Method::Vqt) && state.grid.is_none() {
-        let sel = SelectConfig {
-            max_k: cfg.max_levels,
-            sample_fraction: cfg.level_sample_fraction,
-            ..Default::default()
-        };
-        state.grid = Some(detect_levels(&snapshots[0], &sel));
-    }
-    let grid = state.grid.flatten();
-    let have_ref = state.reference.as_ref().is_some_and(|r| r.len() == n);
-    let modes = snapshot_modes(method, m, grid.is_some(), have_ref);
-
-    let mut b_codes: Vec<u32> = Vec::with_capacity(m * n);
-    let mut j_codes: Vec<u32> = Vec::new();
-    let mut escapes: Vec<(usize, f64)> = Vec::new();
-    let mut recon_prev: Vec<f64> = vec![0.0; n];
-    let mut recon_prev2: Vec<f64> = vec![0.0; n];
-    let mut recon_cur: Vec<f64> = vec![0.0; n];
-    let mut recon_first: Vec<f64> = Vec::new();
-    // Scratch for the extrapolated predictions of TimePrev2.
-    let mut extrapolated: Vec<f64> = Vec::new();
-
-    for (s_idx, snap) in snapshots.iter().enumerate() {
-        let mode = modes[s_idx];
-        match mode {
-            SnapshotMode::VqGrid => {
-                let g = grid.expect("mode implies grid");
-                encode_vq_snapshot(
-                    &quant, &g, snap, s_idx * n, &mut b_codes, &mut j_codes, &mut escapes,
-                    &mut recon_cur,
-                )
-            }
-            SnapshotMode::Lorenzo => encode_predicted_snapshot(
-                &quant,
-                snap,
-                s_idx * n,
-                PredSource::Lorenzo,
-                &mut b_codes,
-                &mut escapes,
-                &mut recon_cur,
-            ),
-            SnapshotMode::TimePrev => encode_predicted_snapshot(
-                &quant,
-                snap,
-                s_idx * n,
-                PredSource::Slice(&recon_prev),
-                &mut b_codes,
-                &mut escapes,
-                &mut recon_cur,
-            ),
-            SnapshotMode::TimePrev2 => {
-                extrapolated.clear();
-                extrapolated.extend(
-                    recon_prev.iter().zip(recon_prev2.iter()).map(|(&a, &b)| 2.0 * a - b),
-                );
-                encode_predicted_snapshot(
-                    &quant,
-                    snap,
-                    s_idx * n,
-                    PredSource::Slice(&extrapolated),
-                    &mut b_codes,
-                    &mut escapes,
-                    &mut recon_cur,
-                )
-            }
-            SnapshotMode::TimeRef => encode_predicted_snapshot(
-                &quant,
-                snap,
-                s_idx * n,
-                PredSource::Slice(state.reference.as_deref().expect("mode implies ref")),
-                &mut b_codes,
-                &mut escapes,
-                &mut recon_cur,
-            ),
-        }
-        if s_idx == 0 {
-            recon_first = recon_cur.clone();
-        }
-        std::mem::swap(&mut recon_prev2, &mut recon_prev);
-        std::mem::swap(&mut recon_prev, &mut recon_cur);
-    }
-
-    // Reference-update rule (mirrored by the decompressor).
-    if state.reference.as_ref().is_none_or(|r| r.len() != n) {
-        state.reference = Some(recon_first);
-    }
-
-    // Interleave, entropy-code, assemble.
-    let seq2 = cfg.seq2 && m > 1;
-    let b_ordered = if seq2 { to_seq2(&b_codes, m, n) } else { b_codes };
-    let vq_rows = modes.iter().filter(|&&md| md == SnapshotMode::VqGrid).count();
-    let j_ordered = if seq2 && vq_rows > 1 { to_seq2(&j_codes, vq_rows, n) } else { j_codes };
-
-    let mut inner = Vec::with_capacity(b_ordered.len() / 2 + 64);
-    match cfg.entropy {
-        EntropyStage::Huffman => {
-            inner.extend(huffman_encode(&b_ordered));
-            inner.extend(huffman_encode(&j_ordered));
-        }
-        EntropyStage::Range => {
-            inner.extend(range_encode(&b_ordered));
-            inner.extend(range_encode(&j_ordered));
-        }
-    }
-    write_uvarint(&mut inner, escapes.len() as u64);
-    let mut prev_idx = 0u64;
-    for (i, &(idx, v)) in escapes.iter().enumerate() {
-        let delta = if i == 0 { idx as u64 } else { idx as u64 - prev_idx };
-        write_uvarint(&mut inner, delta);
-        inner.extend_from_slice(&v.to_le_bytes());
-        prev_idx = idx as u64;
-    }
-
-    let payload = lz77::compress(&inner, lz77::Level::Default);
-    let mut flags = 0u8;
-    let grid_used = matches!(method, Method::Vq | Method::Vqt) && grid.is_some();
-    if grid_used {
-        flags |= FLAG_GRID;
-    }
-    if seq2 {
-        flags |= FLAG_SEQ2;
-    }
-    if modes[0] == SnapshotMode::Lorenzo && matches!(method, Method::Mt | Method::Mt2) {
-        flags |= FLAG_FIRST_LORENZO;
-    }
-    if cfg.entropy == EntropyStage::Range {
-        flags |= FLAG_RANGE_CODED;
-    }
-    let header = BlockHeader {
-        method,
-        flags,
-        n_snapshots: m,
-        n_values: n,
-        eps,
-        radius: cfg.radius,
-        grid: grid_used.then(|| {
-            let g = grid.expect("grid_used implies grid");
-            (g.mu, g.lambda)
-        }),
-    };
-    let mut out = Vec::with_capacity(payload.len() + 64);
-    header.write(&mut out);
-    write_uvarint(&mut out, payload.len() as u64);
-    out.extend_from_slice(&payload);
-    Ok((out, state))
-}
-
-/// Where a plain (non-VQ) snapshot gets its predictions.
-enum PredSource<'a> {
-    /// Previous reconstructed value within the same snapshot.
-    Lorenzo,
-    /// A fixed slice (previous snapshot or stream reference).
-    Slice(&'a [f64]),
-}
-
-/// Encodes a snapshot under value prediction, writing codes/escapes and the
-/// reconstruction.
-fn encode_predicted_snapshot(
-    quant: &LinearQuantizer,
-    snap: &[f64],
-    flat_base: usize,
-    source: PredSource<'_>,
-    b_codes: &mut Vec<u32>,
-    escapes: &mut Vec<(usize, f64)>,
-    recon: &mut [f64],
-) {
-    for (i, &d) in snap.iter().enumerate() {
-        let pred = match source {
-            PredSource::Lorenzo => {
-                if i == 0 {
-                    0.0
-                } else {
-                    recon[i - 1]
-                }
-            }
-            PredSource::Slice(s) => s[i],
-        };
-        match quant.quantize(d, pred, &mut recon[i]) {
-            Quantized::Code(c) => b_codes.push(c),
-            Quantized::Escape => {
-                b_codes.push(0);
-                escapes.push((flat_base + i, d));
-            }
-        }
-    }
-}
-
-/// Encodes a snapshot with VQ level prediction, emitting level-delta codes.
-#[allow(clippy::too_many_arguments)]
-fn encode_vq_snapshot(
-    quant: &LinearQuantizer,
-    grid: &LevelGrid,
-    snap: &[f64],
-    flat_base: usize,
-    b_codes: &mut Vec<u32>,
-    j_codes: &mut Vec<u32>,
-    escapes: &mut Vec<(usize, f64)>,
-    recon: &mut [f64],
-) {
-    let mut prev_level = 0i64;
-    for (i, &d) in snap.iter().enumerate() {
-        let mut escape = |recon_slot: &mut f64, b: &mut Vec<u32>, j: &mut Vec<u32>| {
-            b.push(0);
-            j.push(zigzag_encode(0) as u32);
-            escapes.push((flat_base + i, d));
-            *recon_slot = d;
-        };
-        let lf = ((d - grid.mu) / grid.lambda).round();
-        if !lf.is_finite() || lf.abs() > MAX_LEVEL_MAG {
-            escape(&mut recon[i], b_codes, j_codes);
-            continue;
-        }
-        let level = lf as i64;
-        let delta = level - prev_level;
-        let zz = zigzag_encode(delta);
-        if zz > u64::from(u32::MAX) {
-            escape(&mut recon[i], b_codes, j_codes);
-            continue;
-        }
-        let pred = grid.value_of(level);
-        match quant.quantize(d, pred, &mut recon[i]) {
-            Quantized::Code(c) => {
-                b_codes.push(c);
-                j_codes.push(zz as u32);
-                prev_level = level;
-            }
-            Quantized::Escape => escape(&mut recon[i], b_codes, j_codes),
-        }
-    }
-}
-
-/// Decodes one entropy-coded integer stream per the header's coder flag.
-fn decode_stream(header: &BlockHeader, inner: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
-    if header.flags & FLAG_RANGE_CODED != 0 {
-        Ok(range_decode_at(inner, pos)?)
-    } else {
-        Ok(huffman_decode_at(inner, pos)?)
-    }
-}
-
-/// Decodes exactly one snapshot of a VQ block's inner payload.
-///
-/// The entropy streams are sequential and must be decoded in full, but only
-/// the requested snapshot's values are dequantized and reconstructed.
-fn decode_inner_one(header: &BlockHeader, inner: &[u8], index: usize) -> Result<Vec<f64>> {
-    let m = header.n_snapshots;
-    let n = header.n_values;
-    let mut pos = 0;
-    let b_ordered = decode_stream(header, inner, &mut pos)?;
-    let j_ordered = decode_stream(header, inner, &mut pos)?;
-    if b_ordered.len() != m * n {
-        return Err(MdzError::Stream(mdz_entropy::EntropyError::Corrupt(
-            "quantization code count mismatch",
-        )));
-    }
-    let grid = header.grid.map(|(mu, lambda)| LevelGrid { mu, lambda, k: 0, fit_error: 0.0 });
-    let expect_j = if grid.is_some() { m * n } else { 0 };
-    if j_ordered.len() != expect_j {
-        return Err(MdzError::Stream(mdz_entropy::EntropyError::Corrupt(
-            "level code count mismatch",
-        )));
-    }
-    // Escapes for this snapshot only.
-    let escape_count = read_uvarint(inner, &mut pos)? as usize;
-    if escape_count > m * n {
-        return Err(MdzError::Stream(mdz_entropy::EntropyError::Corrupt(
-            "escape count exceeds block size",
-        )));
-    }
-    let mut escapes: HashMap<usize, f64> = HashMap::new();
-    let mut idx = 0u64;
-    let flat_base = index * n;
-    for i in 0..escape_count {
-        let delta = read_uvarint(inner, &mut pos)?;
-        idx = if i == 0 {
-            delta
-        } else {
-            idx.checked_add(delta).ok_or(MdzError::BadHeader("escape index overflow"))?
-        };
-        let bytes = inner
-            .get(pos..pos + 8)
-            .ok_or(MdzError::Stream(mdz_entropy::EntropyError::UnexpectedEof))?;
-        pos += 8;
-        let flat = idx as usize;
-        if flat >= flat_base && flat < flat_base + n {
-            escapes.insert(flat - flat_base, f64::from_le_bytes(bytes.try_into().unwrap()));
-        }
-    }
-    let seq2 = header.flags & FLAG_SEQ2 != 0;
-    // Extract this snapshot's codes straight out of the interleaved layout.
-    let pick = |ordered: &[u32], i: usize| -> u32 {
-        if seq2 && m > 1 && n > 1 {
-            ordered[i * m + index]
-        } else {
-            ordered[flat_base + i]
-        }
-    };
-    let quant = LinearQuantizer::new(header.eps, header.radius);
-    let mut snap = vec![0.0f64; n];
-    match &grid {
-        Some(g) => {
-            let mut level = 0i64;
-            for (i, out) in snap.iter_mut().enumerate() {
-                level = level.wrapping_add(zigzag_decode(u64::from(pick(&j_ordered, i))));
-                let code = pick(&b_ordered, i);
-                *out = if code == 0 {
-                    *escapes.get(&i).ok_or(MdzError::BadHeader("missing escape value"))?
-                } else {
-                    quant.reconstruct(code, g.value_of(level))
-                };
-            }
-        }
-        None => {
-            // Grid-less VQ blocks are Lorenzo-coded per snapshot — still
-            // independent of other snapshots.
-            for i in 0..n {
-                let pred = if i == 0 { 0.0 } else { snap[i - 1] };
-                let code = pick(&b_ordered, i);
-                snap[i] = if code == 0 {
-                    *escapes.get(&i).ok_or(MdzError::BadHeader("missing escape value"))?
-                } else {
-                    quant.reconstruct(code, pred)
-                };
-            }
-        }
-    }
-    Ok(snap)
-}
-
-/// Decodes the inner payload into snapshots.
-fn decode_inner(
-    header: &BlockHeader,
-    inner: &[u8],
-    reference: Option<&[f64]>,
-) -> Result<Vec<Vec<f64>>> {
-    let m = header.n_snapshots;
-    let n = header.n_values;
-    let mut pos = 0;
-    let b_ordered = decode_stream(header, inner, &mut pos)?;
-    let j_ordered = decode_stream(header, inner, &mut pos)?;
-    if b_ordered.len() != m * n {
-        return Err(MdzError::Stream(mdz_entropy::EntropyError::Corrupt(
-            "quantization code count mismatch",
-        )));
-    }
-    let escape_count = read_uvarint(inner, &mut pos)? as usize;
-    if escape_count > m * n {
-        return Err(MdzError::Stream(mdz_entropy::EntropyError::Corrupt(
-            "escape count exceeds block size",
-        )));
-    }
-    // Untrusted count: cap the eager allocation.
-    let mut escapes: HashMap<usize, f64> = HashMap::with_capacity(escape_count.min(1 << 20));
-    let mut idx = 0u64;
-    for i in 0..escape_count {
-        let delta = read_uvarint(inner, &mut pos)?;
-        idx = if i == 0 { delta } else { idx.checked_add(delta).ok_or(MdzError::BadHeader("escape index overflow"))? };
-        let bytes = inner
-            .get(pos..pos + 8)
-            .ok_or(MdzError::Stream(mdz_entropy::EntropyError::UnexpectedEof))?;
-        pos += 8;
-        escapes.insert(idx as usize, f64::from_le_bytes(bytes.try_into().unwrap()));
-    }
-
-    let seq2 = header.flags & FLAG_SEQ2 != 0;
-    let b_codes = if seq2 { from_seq2(&b_ordered, m, n) } else { b_ordered };
-    let grid = header.grid.map(|(mu, lambda)| LevelGrid { mu, lambda, k: 0, fit_error: 0.0 });
-    let have_ref = reference.is_some_and(|r| r.len() == n);
-    let first_lorenzo = header.flags & FLAG_FIRST_LORENZO != 0;
-    // Reconstruct per-snapshot modes exactly as the encoder chose them.
-    let modes = match header.method {
-        Method::Vq | Method::Vqt => snapshot_modes(header.method, m, grid.is_some(), have_ref),
-        Method::Mt | Method::Mt2 => {
-            if !first_lorenzo && !have_ref {
-                return Err(MdzError::BadInput(
-                    "MT block requires the stream's earlier blocks (reference snapshot)",
-                ));
-            }
-            snapshot_modes(header.method, m, false, !first_lorenzo)
-        }
-        Method::Adaptive => unreachable!("wire blocks are concrete"),
-    };
-    let vq_rows = modes.iter().filter(|&&md| md == SnapshotMode::VqGrid).count();
-    if j_ordered.len() != vq_rows * n {
-        return Err(MdzError::Stream(mdz_entropy::EntropyError::Corrupt(
-            "level code count mismatch",
-        )));
-    }
-    let j_codes = if seq2 && vq_rows > 1 { from_seq2(&j_ordered, vq_rows, n) } else { j_ordered };
-
-    let quant = LinearQuantizer::new(header.eps, header.radius);
-    let mut out: Vec<Vec<f64>> = Vec::with_capacity(m);
-    let mut j_row = 0usize;
-    for (s_idx, &mode) in modes.iter().enumerate() {
-        let mut snap = vec![0.0f64; n];
-        let flat_base = s_idx * n;
-        match mode {
-            SnapshotMode::VqGrid => {
-                let g = grid.as_ref().ok_or(MdzError::BadHeader("VQ block without grid"))?;
-                let j = &j_codes[j_row * n..(j_row + 1) * n];
-                j_row += 1;
-                let mut level = 0i64;
-                for i in 0..n {
-                    level = level.wrapping_add(zigzag_decode(u64::from(j[i])));
-                    let code = b_codes[flat_base + i];
-                    snap[i] = if code == 0 {
-                        *escapes
-                            .get(&(flat_base + i))
-                            .ok_or(MdzError::BadHeader("missing escape value"))?
-                    } else {
-                        quant.reconstruct(code, g.value_of(level))
-                    };
-                }
-            }
-            SnapshotMode::Lorenzo => {
-                for i in 0..n {
-                    let pred = if i == 0 { 0.0 } else { snap[i - 1] };
-                    let code = b_codes[flat_base + i];
-                    snap[i] = if code == 0 {
-                        *escapes
-                            .get(&(flat_base + i))
-                            .ok_or(MdzError::BadHeader("missing escape value"))?
-                    } else {
-                        quant.reconstruct(code, pred)
-                    };
-                }
-            }
-            SnapshotMode::TimePrev | SnapshotMode::TimeRef | SnapshotMode::TimePrev2 => {
-                let prev = out.last();
-                let prev2 = out.len().checked_sub(2).map(|i| &out[i]);
-                for i in 0..n {
-                    let pred = match mode {
-                        SnapshotMode::TimePrev => {
-                            prev.expect("TimePrev never on first snapshot")[i]
-                        }
-                        SnapshotMode::TimePrev2 => {
-                            let a = prev.expect("TimePrev2 needs two predecessors")[i];
-                            let b = prev2.expect("TimePrev2 needs two predecessors")[i];
-                            2.0 * a - b
-                        }
-                        _ => reference.expect("checked above")[i],
-                    };
-                    let code = b_codes[flat_base + i];
-                    snap[i] = if code == 0 {
-                        *escapes
-                            .get(&(flat_base + i))
-                            .ok_or(MdzError::BadHeader("missing escape value"))?
-                    } else {
-                        quant.reconstruct(code, pred)
-                    };
-                }
-            }
-        }
-        out.push(snap);
-    }
-    Ok(out)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::ErrorBound;
-
-    fn check_round_trip(snapshots: &[Vec<f64>], cfg: MdzConfig) -> (usize, Vec<Vec<f64>>) {
-        let eps_for = |buf: &[Vec<f64>]| {
-            let flat: Vec<f64> = buf.iter().flatten().copied().collect();
-            cfg.bound.absolute_for(&flat)
-        };
-        let eps = eps_for(snapshots);
-        let mut c = Compressor::new(cfg);
-        let block = c.compress_buffer(snapshots).unwrap();
-        let mut d = Decompressor::new();
-        let out = d.decompress_block(&block).unwrap();
-        assert_eq!(out.len(), snapshots.len());
-        for (s, o) in snapshots.iter().zip(out.iter()) {
-            assert_eq!(s.len(), o.len());
-            for (a, b) in s.iter().zip(o.iter()) {
-                if a.is_finite() {
-                    assert!((a - b).abs() <= eps, "{a} vs {b}, eps {eps}");
-                } else {
-                    assert_eq!(a.to_bits(), b.to_bits());
-                }
-            }
-        }
-        (block.len(), out)
-    }
-
-    fn lattice_buffer(m: usize, n: usize, drift: f64) -> Vec<Vec<f64>> {
-        let mut s = 99u64;
-        (0..m)
-            .map(|t| {
-                (0..n)
-                    .map(|i| {
-                        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-                        let u = (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
-                        (i % 16) as f64 * 3.0 + u * 0.02 + t as f64 * drift
-                    })
-                    .collect()
-            })
-            .collect()
-    }
-
-    #[test]
-    fn vq_round_trip_on_lattice() {
-        let snaps = lattice_buffer(5, 400, 0.0);
-        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Vq);
-        let (size, _) = check_round_trip(&snaps, cfg);
-        let raw = 5 * 400 * 8;
-        assert!(size < raw / 4, "VQ should compress lattice data well: {size} vs {raw}");
-    }
-
-    #[test]
-    fn vqt_round_trip() {
-        let snaps = lattice_buffer(10, 300, 1e-4);
-        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Vqt);
-        check_round_trip(&snaps, cfg);
-    }
-
-    #[test]
-    fn mt_round_trip() {
-        let snaps = lattice_buffer(10, 300, 1e-4);
-        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Mt);
-        check_round_trip(&snaps, cfg);
-    }
-
-    #[test]
-    fn adaptive_round_trip() {
-        let snaps = lattice_buffer(10, 300, 1e-4);
-        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3));
-        check_round_trip(&snaps, cfg);
-    }
-
-    #[test]
-    fn single_snapshot_buffer() {
-        let snaps = lattice_buffer(1, 500, 0.0);
-        for m in [Method::Vq, Method::Vqt, Method::Mt, Method::Adaptive] {
-            let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(m);
-            check_round_trip(&snaps, cfg);
-        }
-    }
-
-    #[test]
-    fn random_data_without_levels_falls_back() {
-        let mut s = 5u64;
-        let snaps: Vec<Vec<f64>> = (0..4)
-            .map(|_| {
-                (0..500)
-                    .map(|_| {
-                        s ^= s << 13;
-                        s ^= s >> 7;
-                        s ^= s << 17;
-                        (s >> 11) as f64 / (1u64 << 53) as f64 * 100.0
-                    })
-                    .collect()
-            })
-            .collect();
-        for m in [Method::Vq, Method::Vqt, Method::Mt] {
-            let cfg = MdzConfig::new(ErrorBound::Absolute(1e-2)).with_method(m);
-            check_round_trip(&snaps, cfg);
-        }
-    }
-
-    #[test]
-    fn value_range_relative_bound() {
-        let snaps = lattice_buffer(5, 200, 0.0);
-        let cfg = MdzConfig::new(ErrorBound::ValueRangeRelative(1e-3));
-        check_round_trip(&snaps, cfg);
-    }
-
-    #[test]
-    fn constant_data() {
-        let snaps = vec![vec![42.0; 100]; 5];
-        for m in [Method::Vq, Method::Vqt, Method::Mt] {
-            let cfg = MdzConfig::new(ErrorBound::Absolute(1e-6)).with_method(m);
-            let (size, _) = check_round_trip(&snaps, cfg);
-            assert!(size < 300, "constant data should compress to almost nothing: {size}");
-        }
-    }
-
-    #[test]
-    fn non_finite_values_survive_bit_exact() {
-        let mut snaps = lattice_buffer(3, 50, 0.0);
-        snaps[1][7] = f64::NAN;
-        snaps[2][9] = f64::INFINITY;
-        snaps[0][0] = f64::NEG_INFINITY;
-        for m in [Method::Vq, Method::Vqt, Method::Mt] {
-            let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(m);
-            check_round_trip(&snaps, cfg);
-        }
-    }
-
-    #[test]
-    fn multi_buffer_stream_with_state() {
-        // MT's reference comes from buffer 0; later buffers predict from it.
-        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-4)).with_method(Method::Mt);
-        let mut c = Compressor::new(cfg);
-        let mut d = Decompressor::new();
-        let base = lattice_buffer(1, 200, 0.0).pop().unwrap();
-        for t in 0..5 {
-            let buf: Vec<Vec<f64>> = (0..4)
-                .map(|k| base.iter().map(|&v| v + (t * 4 + k) as f64 * 1e-5).collect())
-                .collect();
-            let block = c.compress_buffer(&buf).unwrap();
-            let out = d.decompress_block(&block).unwrap();
-            for (s, o) in buf.iter().zip(out.iter()) {
-                for (a, b) in s.iter().zip(o.iter()) {
-                    assert!((a - b).abs() <= 1e-4);
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn mt_block_out_of_order_fails_cleanly() {
-        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-4)).with_method(Method::Mt);
-        let mut c = Compressor::new(cfg);
-        let b0 = c.compress_buffer(&lattice_buffer(3, 100, 0.0)).unwrap();
-        let b1 = c.compress_buffer(&lattice_buffer(3, 100, 1e-5)).unwrap();
-        // Fresh decompressor given block 1 first: must error, not garble.
-        let mut d = Decompressor::new();
-        assert!(d.decompress_block(&b1).is_err());
-        // In order works.
-        let mut d = Decompressor::new();
-        d.decompress_block(&b0).unwrap();
-        d.decompress_block(&b1).unwrap();
-    }
-
-    #[test]
-    fn vq_blocks_are_self_contained() {
-        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Vq);
-        let mut c = Compressor::new(cfg);
-        let _b0 = c.compress_buffer(&lattice_buffer(3, 100, 0.0)).unwrap();
-        let b1 = c.compress_buffer(&lattice_buffer(3, 100, 0.1)).unwrap();
-        // A fresh decompressor can open block 1 directly.
-        let mut d = Decompressor::new();
-        d.decompress_block(&b1).unwrap();
-    }
-
-    #[test]
-    fn seq1_and_seq2_both_round_trip() {
-        let snaps = lattice_buffer(8, 100, 1e-5);
-        for seq2 in [false, true] {
-            let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3))
-                .with_method(Method::Vqt)
-                .with_seq2(seq2);
-            check_round_trip(&snaps, cfg);
-        }
-    }
-
-    #[test]
-    fn quantization_radius_sweep() {
-        let snaps = lattice_buffer(4, 200, 1e-4);
-        for radius in [32u32, 512, 4096, 32768] {
-            let cfg = MdzConfig::new(ErrorBound::Absolute(1e-5))
-                .with_method(Method::Vqt)
-                .with_radius(radius);
-            check_round_trip(&snaps, cfg);
-        }
-    }
-
-    #[test]
-    fn invalid_inputs_rejected() {
-        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3));
-        let mut c = Compressor::new(cfg.clone());
-        assert!(matches!(c.compress_buffer(&[]), Err(MdzError::BadInput(_))));
-        assert!(matches!(c.compress_buffer(&[vec![]]), Err(MdzError::BadInput(_))));
-        assert!(matches!(
-            c.compress_buffer(&[vec![1.0], vec![1.0, 2.0]]),
-            Err(MdzError::BadInput(_))
-        ));
-        let mut c = Compressor::new(MdzConfig::new(ErrorBound::Absolute(-1.0)));
-        assert!(matches!(c.compress_buffer(&[vec![1.0]]), Err(MdzError::BadConfig(_))));
-    }
-
-    #[test]
-    fn corrupted_blocks_error_not_panic() {
-        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Vq);
-        let mut c = Compressor::new(cfg);
-        let block = c.compress_buffer(&lattice_buffer(3, 50, 0.0)).unwrap();
-        for cut in [0, 4, block.len() / 2, block.len() - 1] {
-            let mut d = Decompressor::new();
-            assert!(d.decompress_block(&block[..cut]).is_err(), "cut {cut}");
-        }
-        let mut bad = block.clone();
-        for i in 0..bad.len() {
-            bad[i] ^= 0xA5;
-            let mut d = Decompressor::new();
-            let _ = d.decompress_block(&bad);
-            bad[i] ^= 0xA5;
-        }
-    }
-
-    #[test]
-    fn f32_round_trip_within_bound() {
-        let snaps_f32: Vec<Vec<f32>> = (0..6)
-            .map(|t| (0..200).map(|i| (i % 11) as f32 * 2.5 + t as f32 * 1e-4).collect())
-            .collect();
-        let eps = 1e-3;
-        for m in [Method::Vq, Method::Vqt, Method::Mt, Method::Adaptive] {
-            let cfg = MdzConfig::new(ErrorBound::Absolute(eps)).with_method(m);
-            let mut c = Compressor::new(cfg);
-            let block = c.compress_buffer_f32(&snaps_f32).unwrap();
-            let info = Decompressor::inspect(&block).unwrap();
-            assert!(info.source_f32);
-            let out = Decompressor::new().decompress_block_f32(&block).unwrap();
-            for (s, o) in snaps_f32.iter().zip(out.iter()) {
-                for (a, b) in s.iter().zip(o.iter()) {
-                    // f64 bound + half an f32 ULP of slack.
-                    let slack = (a.abs() * 1e-7).max(1e-30) as f64;
-                    assert!(
-                        (f64::from(*a) - f64::from(*b)).abs() <= eps + slack,
-                        "{a} vs {b}"
-                    );
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn f32_decoder_rejects_f64_blocks() {
-        let snaps = lattice_buffer(3, 50, 0.0);
-        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3));
-        let mut c = Compressor::new(cfg);
-        let block = c.compress_buffer(&snaps).unwrap();
-        assert!(matches!(
-            Decompressor::new().decompress_block_f32(&block),
-            Err(MdzError::BadInput(_))
-        ));
-    }
-
-    #[test]
-    fn f32_non_finite_round_trip() {
-        let mut snaps: Vec<Vec<f32>> = vec![vec![1.0; 20]; 3];
-        snaps[1][3] = f32::NAN;
-        snaps[2][7] = f32::INFINITY;
-        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-4));
-        let mut c = Compressor::new(cfg);
-        let block = c.compress_buffer_f32(&snaps).unwrap();
-        let out = Decompressor::new().decompress_block_f32(&block).unwrap();
-        assert!(out[1][3].is_nan());
-        assert!(out[2][7].is_infinite());
-    }
-
-    #[test]
-    fn inspect_reports_block_metadata() {
-        let snaps = lattice_buffer(6, 100, 0.0);
-        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Vq);
-        let mut c = Compressor::new(cfg);
-        let block = c.compress_buffer(&snaps).unwrap();
-        let info = Decompressor::inspect(&block).unwrap();
-        assert_eq!(info.method, Method::Vq);
-        assert_eq!(info.n_snapshots, 6);
-        assert_eq!(info.n_values, 100);
-        assert_eq!(info.eps, 1e-3);
-        assert_eq!(info.radius, 512);
-        assert!(info.grid.is_some());
-        assert!(info.seq2);
-        assert!(!info.range_coded);
-        assert!(info.payload_bytes > 0 && info.payload_bytes < block.len());
-        assert!(Decompressor::inspect(&block[..4]).is_err());
-    }
-
-    #[test]
-    fn mt2_round_trips_and_wins_on_linear_drift() {
-        // Particles moving ballistically: x_t = x_0 + v·t. Second-order
-        // prediction is exact; first-order pays |v| per step.
-        let mut s = 9u64;
-        let n = 400;
-        let x0: Vec<f64> = (0..n).map(|i| (i % 10) as f64 * 3.0).collect();
-        let v: Vec<f64> = (0..n)
-            .map(|_| {
-                s ^= s << 13;
-                s ^= s >> 7;
-                s ^= s << 17;
-                ((s >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.1
-            })
-            .collect();
-        let snaps: Vec<Vec<f64>> = (0..12)
-            .map(|t| x0.iter().zip(v.iter()).map(|(&x, &vi)| x + vi * t as f64).collect())
-            .collect();
-        let size = |method| {
-            let cfg = MdzConfig::new(ErrorBound::Absolute(1e-4)).with_method(method);
-            check_round_trip(&snaps, cfg).0
-        };
-        let mt = size(Method::Mt);
-        let mt2 = size(Method::Mt2);
-        assert!(mt2 < mt / 2, "MT2 {mt2} should crush MT {mt} on ballistic data");
-    }
-
-    #[test]
-    fn extended_adaptive_picks_mt2_on_ballistic_data() {
-        let n = 300;
-        let x0: Vec<f64> = (0..n).map(|i| i as f64 * 0.37).collect();
-        let snaps: Vec<Vec<f64>> = (0..10)
-            .map(|t| {
-                x0.iter()
-                    .enumerate()
-                    .map(|(i, &x)| x + (i % 7) as f64 * 0.02 * t as f64)
-                    .collect()
-            })
-            .collect();
-        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-5)).with_extended_candidates(true);
-        let mut c = Compressor::new(cfg);
-        c.compress_buffer(&snaps).unwrap();
-        assert_eq!(c.current_adaptive_choice(), Some(Method::Mt2));
-    }
-
-    #[test]
-    fn mt2_multi_buffer_stream() {
-        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-4)).with_method(Method::Mt2);
-        let mut c = Compressor::new(cfg);
-        let mut d = Decompressor::new();
-        for t in 0..4 {
-            let buf: Vec<Vec<f64>> = (0..5)
-                .map(|k| (0..100).map(|i| i as f64 + (t * 5 + k) as f64 * 0.01).collect())
-                .collect();
-            let block = c.compress_buffer(&buf).unwrap();
-            let out = d.decompress_block(&block).unwrap();
-            for (sn, o) in buf.iter().zip(out.iter()) {
-                for (a, b) in sn.iter().zip(o.iter()) {
-                    assert!((a - b).abs() <= 1e-4);
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn range_coded_blocks_round_trip() {
-        let snaps = lattice_buffer(8, 200, 1e-4);
-        for m in [Method::Vq, Method::Vqt, Method::Mt, Method::Adaptive] {
-            let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3))
-                .with_method(m)
-                .with_entropy(crate::EntropyStage::Range);
-            check_round_trip(&snaps, cfg);
-        }
-    }
-
-    #[test]
-    fn range_coding_never_much_worse_than_huffman() {
-        let snaps = lattice_buffer(10, 400, 1e-4);
-        let size = |entropy| {
-            let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3))
-                .with_method(Method::Vqt)
-                .with_entropy(entropy);
-            Compressor::new(cfg).compress_buffer(&snaps).unwrap().len()
-        };
-        let h = size(crate::EntropyStage::Huffman);
-        let r = size(crate::EntropyStage::Range);
-        assert!(r <= h + h / 4, "range {r} vs huffman {h}");
-    }
-
-    #[test]
-    fn random_access_works_with_range_coding() {
-        let snaps = lattice_buffer(5, 120, 0.0);
-        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3))
-            .with_method(Method::Vq)
-            .with_entropy(crate::EntropyStage::Range);
-        let mut c = Compressor::new(cfg);
-        let block = c.compress_buffer(&snaps).unwrap();
-        let full = Decompressor::new().decompress_block(&block).unwrap();
-        for (i, want) in full.iter().enumerate() {
-            assert_eq!(&Decompressor::decompress_snapshot(&block, i).unwrap(), want);
-        }
-    }
-
-    #[test]
-    fn random_access_matches_full_decompression() {
-        let snaps = lattice_buffer(6, 150, 0.0);
-        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Vq);
-        let mut c = Compressor::new(cfg);
-        let block = c.compress_buffer(&snaps).unwrap();
-        let full = Decompressor::new().decompress_block(&block).unwrap();
-        for (i, want) in full.iter().enumerate() {
-            let got = Decompressor::decompress_snapshot(&block, i).unwrap();
-            assert_eq!(&got, want, "snapshot {i}");
-        }
-        assert!(Decompressor::decompress_snapshot(&block, 6).is_err());
-    }
-
-    #[test]
-    fn random_access_on_gridless_vq_block() {
-        // Random data → no level grid → Lorenzo fallback, still per-snapshot.
-        let mut s = 3u64;
-        let snaps: Vec<Vec<f64>> = (0..4)
-            .map(|_| {
-                (0..100)
-                    .map(|_| {
-                        s ^= s << 13;
-                        s ^= s >> 7;
-                        s ^= s << 17;
-                        (s >> 11) as f64 / (1u64 << 53) as f64 * 50.0
-                    })
-                    .collect()
-            })
-            .collect();
-        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Vq);
-        let mut c = Compressor::new(cfg);
-        let block = c.compress_buffer(&snaps).unwrap();
-        let full = Decompressor::new().decompress_block(&block).unwrap();
-        let got = Decompressor::decompress_snapshot(&block, 2).unwrap();
-        assert_eq!(got, full[2]);
-    }
-
-    #[test]
-    fn random_access_rejects_time_chained_blocks() {
-        let snaps = lattice_buffer(5, 80, 1e-4);
-        for m in [Method::Vqt, Method::Mt] {
-            let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(m);
-            let mut c = Compressor::new(cfg);
-            let block = c.compress_buffer(&snaps).unwrap();
-            assert!(matches!(
-                Decompressor::decompress_snapshot(&block, 0),
-                Err(MdzError::BadInput(_))
-            ));
-        }
-    }
-
-    #[test]
-    fn adaptive_picks_time_method_on_smooth_data() {
-        // Temporally near-constant, spatially random: MT/VQT should win.
-        let mut s = 77u64;
-        let base: Vec<f64> = (0..400)
-            .map(|_| {
-                s ^= s << 13;
-                s ^= s >> 7;
-                s ^= s << 17;
-                (s >> 11) as f64 / (1u64 << 53) as f64 * 50.0
-            })
-            .collect();
-        let snaps: Vec<Vec<f64>> = (0..10)
-            .map(|t| base.iter().map(|&v| v + t as f64 * 1e-6).collect())
-            .collect();
-        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-4));
-        let mut c = Compressor::new(cfg);
-        c.compress_buffer(&snaps).unwrap();
-        let chosen = c.current_adaptive_choice().unwrap();
-        assert!(
-            matches!(chosen, Method::Mt | Method::Vqt),
-            "expected a time-based method, got {chosen}"
-        );
-    }
-
-    #[test]
-    fn adaptive_picks_vq_on_time_noisy_lattice_data() {
-        // Strong levels but large temporal jumps: VQ should win.
-        let mut s = 13u64;
-        let snaps: Vec<Vec<f64>> = (0..10)
-            .map(|_| {
-                (0..400)
-                    .map(|_| {
-                        s ^= s << 13;
-                        s ^= s >> 7;
-                        s ^= s << 17;
-                        let level = (s % 12) as f64;
-                        let u = ((s >> 12) % 1000) as f64 / 1000.0 - 0.5;
-                        level * 5.0 + u * 0.02
-                    })
-                    .collect()
-            })
-            .collect();
-        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3));
-        let mut c = Compressor::new(cfg);
-        c.compress_buffer(&snaps).unwrap();
-        assert_eq!(c.current_adaptive_choice().unwrap(), Method::Vq);
-    }
-}
+//! The implementation lives in the stage-oriented `pipeline` module tree
+//! (`pipeline::predict` / `pipeline::encode` / `pipeline::decode`); this
+//! module re-exports its public surface under the historical
+//! `mdz_core::buffer` path.
+
+pub use crate::pipeline::{BlockInfo, Compressor, Decompressor};

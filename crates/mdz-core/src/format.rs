@@ -24,6 +24,11 @@ pub const MAGIC: [u8; 4] = *b"MDZB";
 /// Current format version.
 pub const VERSION: u8 = 1;
 
+/// Byte offset of the flags byte within a serialized block: right after the
+/// magic, the version byte, and the method byte. The `f32` tagging path
+/// patches this byte in place, so it is part of the format contract.
+pub const FLAGS_OFFSET: usize = MAGIC.len() + 2;
+
 /// The level grid was detected and is serialized in the header.
 pub const FLAG_GRID: u8 = 1 << 0;
 /// Codes are Seq-2 (particle-major) interleaved.
@@ -143,9 +148,7 @@ impl BlockHeader {
 
     /// Parses a header from `data` at `*pos`, advancing past it.
     pub fn read(data: &[u8], pos: &mut usize) -> Result<Self> {
-        let magic = data
-            .get(*pos..*pos + 4)
-            .ok_or(MdzError::BadHeader("truncated magic"))?;
+        let magic = data.get(*pos..*pos + 4).ok_or(MdzError::BadHeader("truncated magic"))?;
         if magic != MAGIC {
             return Err(MdzError::BadHeader("not an MDZ block"));
         }
@@ -155,7 +158,8 @@ impl BlockHeader {
         if version != VERSION {
             return Err(MdzError::BadHeader("unsupported version"));
         }
-        let method = Method::from_wire(*data.get(*pos).ok_or(MdzError::BadHeader("truncated method"))?)?;
+        let method =
+            Method::from_wire(*data.get(*pos).ok_or(MdzError::BadHeader("truncated method"))?)?;
         *pos += 1;
         let flags = *data.get(*pos).ok_or(MdzError::BadHeader("truncated flags"))?;
         *pos += 1;
@@ -164,14 +168,10 @@ impl BlockHeader {
         if n_snapshots == 0 || n_values == 0 {
             return Err(MdzError::BadHeader("empty block dimensions"));
         }
-        if n_snapshots.checked_mul(n_values).is_none()
-            || n_snapshots * n_values > (1usize << 34)
-        {
+        if n_snapshots.checked_mul(n_values).is_none() || n_snapshots * n_values > (1usize << 34) {
             return Err(MdzError::BadHeader("implausible block dimensions"));
         }
-        let eps_bytes = data
-            .get(*pos..*pos + 8)
-            .ok_or(MdzError::BadHeader("truncated eps"))?;
+        let eps_bytes = data.get(*pos..*pos + 8).ok_or(MdzError::BadHeader("truncated eps"))?;
         *pos += 8;
         let eps = f64::from_le_bytes(eps_bytes.try_into().unwrap());
         if !(eps > 0.0 && eps.is_finite()) {
@@ -213,6 +213,20 @@ mod tests {
             eps: 1e-3,
             radius: 512,
             grid: Some((-3.5, 2.25)),
+        }
+    }
+
+    #[test]
+    fn flags_offset_matches_serialized_layout() {
+        for flags in [0u8, FLAG_GRID | FLAG_SEQ2, FLAG_F32, 0xFF] {
+            let h = BlockHeader {
+                flags,
+                grid: (flags & FLAG_GRID != 0).then_some((-3.5, 2.25)),
+                ..sample_header()
+            };
+            let mut buf = Vec::new();
+            h.write(&mut buf);
+            assert_eq!(buf[FLAGS_OFFSET], flags);
         }
     }
 

@@ -42,7 +42,9 @@
 pub mod adaptive;
 pub mod bound;
 pub mod buffer;
+pub mod codec;
 pub mod format;
+pub(crate) mod pipeline;
 pub mod quant;
 pub mod seq;
 pub mod traj;
@@ -50,6 +52,7 @@ pub mod traj;
 pub use adaptive::AdaptiveState;
 pub use bound::ErrorBound;
 pub use buffer::{BlockInfo, Compressor, Decompressor};
+pub use codec::{Codec, MdzCodec};
 pub use format::Method;
 pub use quant::LinearQuantizer;
 pub use traj::{compress_frames, decompress_frames, Frame, TrajectoryCompressor};

@@ -1,0 +1,297 @@
+//! Decode stage: entropy decoding, de-interleaving, and reconstruction.
+//!
+//! Mirrors the encode stage exactly — per-snapshot modes are re-derived from
+//! the block header and every prediction goes through the shared
+//! [`Predictor`], so encoder and decoder cannot drift apart. Streaming
+//! decompression reuses [`DecodeScratch`]; the random-access path
+//! ([`decode_inner_one`]) is cold and allocates freely.
+
+use crate::format::{BlockHeader, Method, FLAG_FIRST_LORENZO, FLAG_RANGE_CODED, FLAG_SEQ2};
+use crate::quant::LinearQuantizer;
+use crate::seq::from_seq2_into;
+use crate::{MdzError, Result};
+use mdz_entropy::huffman::{huffman_decode_at, huffman_decode_at_into};
+use mdz_entropy::range::{range_decode_at, range_decode_at_into};
+use mdz_entropy::{read_uvarint, zigzag_decode};
+use mdz_kmeans::LevelGrid;
+use std::collections::HashMap;
+
+use super::predict::{snapshot_modes_into, Predictor, SnapshotMode};
+
+/// Reusable decode-side working storage, owned by a
+/// [`Decompressor`](super::Decompressor).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DecodeScratch {
+    /// LZ77-decompressed inner payload.
+    pub(crate) inner: Vec<u8>,
+    modes: Vec<SnapshotMode>,
+    b_ordered: Vec<u32>,
+    j_ordered: Vec<u32>,
+    b_codes: Vec<u32>,
+    j_codes: Vec<u32>,
+    escapes: HashMap<usize, f64>,
+    extrapolated: Vec<f64>,
+}
+
+/// Decodes one entropy-coded integer stream per the header's coder flag.
+fn decode_stream(header: &BlockHeader, inner: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
+    if header.flags & FLAG_RANGE_CODED != 0 {
+        Ok(range_decode_at(inner, pos)?)
+    } else {
+        Ok(huffman_decode_at(inner, pos)?)
+    }
+}
+
+/// [`decode_stream`] writing into a caller-owned vector (cleared first).
+fn decode_stream_into(
+    header: &BlockHeader,
+    inner: &[u8],
+    pos: &mut usize,
+    out: &mut Vec<u32>,
+) -> Result<()> {
+    if header.flags & FLAG_RANGE_CODED != 0 {
+        range_decode_at_into(inner, pos, out)?;
+    } else {
+        huffman_decode_at_into(inner, pos, out)?;
+    }
+    Ok(())
+}
+
+/// Decodes exactly one snapshot of a VQ block's inner payload.
+///
+/// The entropy streams are sequential and must be decoded in full, but only
+/// the requested snapshot's values are dequantized and reconstructed.
+pub(crate) fn decode_inner_one(
+    header: &BlockHeader,
+    inner: &[u8],
+    index: usize,
+) -> Result<Vec<f64>> {
+    let m = header.n_snapshots;
+    let n = header.n_values;
+    let mut pos = 0;
+    let b_ordered = decode_stream(header, inner, &mut pos)?;
+    let j_ordered = decode_stream(header, inner, &mut pos)?;
+    if b_ordered.len() != m * n {
+        return Err(MdzError::Stream(mdz_entropy::EntropyError::Corrupt(
+            "quantization code count mismatch",
+        )));
+    }
+    let grid = header.grid.map(|(mu, lambda)| LevelGrid { mu, lambda, k: 0, fit_error: 0.0 });
+    let expect_j = if grid.is_some() { m * n } else { 0 };
+    if j_ordered.len() != expect_j {
+        return Err(MdzError::Stream(mdz_entropy::EntropyError::Corrupt(
+            "level code count mismatch",
+        )));
+    }
+    // Escapes for this snapshot only.
+    let escape_count = read_uvarint(inner, &mut pos)? as usize;
+    if escape_count > m * n {
+        return Err(MdzError::Stream(mdz_entropy::EntropyError::Corrupt(
+            "escape count exceeds block size",
+        )));
+    }
+    let mut escapes: HashMap<usize, f64> = HashMap::new();
+    let mut idx = 0u64;
+    let flat_base = index * n;
+    for i in 0..escape_count {
+        let delta = read_uvarint(inner, &mut pos)?;
+        idx = if i == 0 {
+            delta
+        } else {
+            idx.checked_add(delta).ok_or(MdzError::BadHeader("escape index overflow"))?
+        };
+        let bytes = inner
+            .get(pos..pos + 8)
+            .ok_or(MdzError::Stream(mdz_entropy::EntropyError::UnexpectedEof))?;
+        pos += 8;
+        let flat = idx as usize;
+        if flat >= flat_base && flat < flat_base + n {
+            escapes.insert(flat - flat_base, f64::from_le_bytes(bytes.try_into().unwrap()));
+        }
+    }
+    let seq2 = header.flags & FLAG_SEQ2 != 0;
+    // Extract this snapshot's codes straight out of the interleaved layout.
+    let pick = |ordered: &[u32], i: usize| -> u32 {
+        if seq2 && m > 1 && n > 1 {
+            ordered[i * m + index]
+        } else {
+            ordered[flat_base + i]
+        }
+    };
+    let quant = LinearQuantizer::new(header.eps, header.radius);
+    let mut snap = vec![0.0f64; n];
+    match &grid {
+        Some(g) => {
+            let mut level = 0i64;
+            for (i, out) in snap.iter_mut().enumerate() {
+                level = level.wrapping_add(zigzag_decode(u64::from(pick(&j_ordered, i))));
+                let code = pick(&b_ordered, i);
+                *out = if code == 0 {
+                    *escapes.get(&i).ok_or(MdzError::BadHeader("missing escape value"))?
+                } else {
+                    quant.reconstruct(code, g.value_of(level))
+                };
+            }
+        }
+        None => {
+            // Grid-less VQ blocks are Lorenzo-coded per snapshot — still
+            // independent of other snapshots.
+            for i in 0..n {
+                let pred = Predictor::Lorenzo.predict(&snap, i);
+                let code = pick(&b_ordered, i);
+                snap[i] = if code == 0 {
+                    *escapes.get(&i).ok_or(MdzError::BadHeader("missing escape value"))?
+                } else {
+                    quant.reconstruct(code, pred)
+                };
+            }
+        }
+    }
+    Ok(snap)
+}
+
+/// Decodes the inner payload (`scratch.inner`) into snapshots.
+pub(crate) fn decode_inner(
+    header: &BlockHeader,
+    reference: Option<&[f64]>,
+    scratch: &mut DecodeScratch,
+) -> Result<Vec<Vec<f64>>> {
+    let DecodeScratch {
+        inner,
+        modes,
+        b_ordered,
+        j_ordered,
+        b_codes,
+        j_codes,
+        escapes,
+        extrapolated,
+    } = scratch;
+    let inner: &[u8] = inner;
+    let m = header.n_snapshots;
+    let n = header.n_values;
+    let mut pos = 0;
+    decode_stream_into(header, inner, &mut pos, b_ordered)?;
+    decode_stream_into(header, inner, &mut pos, j_ordered)?;
+    if b_ordered.len() != m * n {
+        return Err(MdzError::Stream(mdz_entropy::EntropyError::Corrupt(
+            "quantization code count mismatch",
+        )));
+    }
+    let escape_count = read_uvarint(inner, &mut pos)? as usize;
+    if escape_count > m * n {
+        return Err(MdzError::Stream(mdz_entropy::EntropyError::Corrupt(
+            "escape count exceeds block size",
+        )));
+    }
+    // Untrusted count: cap the eager allocation.
+    escapes.clear();
+    escapes.reserve(escape_count.min(1 << 20));
+    let mut idx = 0u64;
+    for i in 0..escape_count {
+        let delta = read_uvarint(inner, &mut pos)?;
+        idx = if i == 0 {
+            delta
+        } else {
+            idx.checked_add(delta).ok_or(MdzError::BadHeader("escape index overflow"))?
+        };
+        let bytes = inner
+            .get(pos..pos + 8)
+            .ok_or(MdzError::Stream(mdz_entropy::EntropyError::UnexpectedEof))?;
+        pos += 8;
+        escapes.insert(idx as usize, f64::from_le_bytes(bytes.try_into().unwrap()));
+    }
+
+    let seq2 = header.flags & FLAG_SEQ2 != 0;
+    let b_codes: &[u32] = if seq2 {
+        from_seq2_into(b_ordered, m, n, b_codes);
+        b_codes
+    } else {
+        b_ordered
+    };
+    let grid = header.grid.map(|(mu, lambda)| LevelGrid { mu, lambda, k: 0, fit_error: 0.0 });
+    let have_ref = reference.is_some_and(|r| r.len() == n);
+    let first_lorenzo = header.flags & FLAG_FIRST_LORENZO != 0;
+    // Reconstruct per-snapshot modes exactly as the encoder chose them.
+    match header.method {
+        Method::Vq | Method::Vqt => {
+            snapshot_modes_into(header.method, m, grid.is_some(), have_ref, modes)
+        }
+        Method::Mt | Method::Mt2 => {
+            if !first_lorenzo && !have_ref {
+                return Err(MdzError::BadInput(
+                    "MT block requires the stream's earlier blocks (reference snapshot)",
+                ));
+            }
+            snapshot_modes_into(header.method, m, false, !first_lorenzo, modes)
+        }
+        Method::Adaptive => unreachable!("wire blocks are concrete"),
+    }
+    let vq_rows = modes.iter().filter(|&&md| md == SnapshotMode::VqGrid).count();
+    if j_ordered.len() != vq_rows * n {
+        return Err(MdzError::Stream(mdz_entropy::EntropyError::Corrupt(
+            "level code count mismatch",
+        )));
+    }
+    let j_codes: &[u32] = if seq2 && vq_rows > 1 {
+        from_seq2_into(j_ordered, vq_rows, n, j_codes);
+        j_codes
+    } else {
+        j_ordered
+    };
+
+    let quant = LinearQuantizer::new(header.eps, header.radius);
+    let mut out: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut j_row = 0usize;
+    for (s_idx, &mode) in modes.iter().enumerate() {
+        let mut snap = vec![0.0f64; n];
+        let flat_base = s_idx * n;
+        match mode {
+            SnapshotMode::VqGrid => {
+                let g = grid.as_ref().ok_or(MdzError::BadHeader("VQ block without grid"))?;
+                let j = &j_codes[j_row * n..(j_row + 1) * n];
+                j_row += 1;
+                let mut level = 0i64;
+                for i in 0..n {
+                    level = level.wrapping_add(zigzag_decode(u64::from(j[i])));
+                    let code = b_codes[flat_base + i];
+                    snap[i] = if code == 0 {
+                        *escapes
+                            .get(&(flat_base + i))
+                            .ok_or(MdzError::BadHeader("missing escape value"))?
+                    } else {
+                        quant.reconstruct(code, g.value_of(level))
+                    };
+                }
+            }
+            _ => {
+                if mode == SnapshotMode::TimePrev2 {
+                    let a = out.last().expect("TimePrev2 needs two predecessors");
+                    let b = &out[out.len() - 2];
+                    extrapolated.clear();
+                    extrapolated.extend(a.iter().zip(b.iter()).map(|(&x, &y)| 2.0 * x - y));
+                }
+                let pred = match mode {
+                    SnapshotMode::Lorenzo => Predictor::Lorenzo,
+                    SnapshotMode::TimePrev => {
+                        Predictor::Slice(out.last().expect("TimePrev never on first snapshot"))
+                    }
+                    SnapshotMode::TimePrev2 => Predictor::Slice(extrapolated.as_slice()),
+                    SnapshotMode::TimeRef => Predictor::Slice(reference.expect("checked above")),
+                    SnapshotMode::VqGrid => unreachable!("handled above"),
+                };
+                for i in 0..n {
+                    let code = b_codes[flat_base + i];
+                    snap[i] = if code == 0 {
+                        *escapes
+                            .get(&(flat_base + i))
+                            .ok_or(MdzError::BadHeader("missing escape value"))?
+                    } else {
+                        quant.reconstruct(code, pred.predict(&snap, i))
+                    };
+                }
+            }
+        }
+        out.push(snap);
+    }
+    Ok(out)
+}

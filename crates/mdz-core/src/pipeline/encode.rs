@@ -1,0 +1,352 @@
+//! Encode stage: prediction, quantization, interleaving, entropy coding,
+//! and block assembly, writing into caller-owned buffers.
+//!
+//! The only entry point is [`encode_buffer_into`], which encodes one buffer
+//! with a concrete method and reports the state transition as a
+//! [`StateDelta`] for the caller to commit (adaptive trials discard the
+//! deltas of losing candidates). All intermediate storage lives in
+//! [`EncodeScratch`], so a warmed-up compressor re-encoding same-shaped
+//! buffers performs no heap allocation here.
+
+use crate::format::{
+    BlockHeader, Method, FLAG_FIRST_LORENZO, FLAG_GRID, FLAG_RANGE_CODED, FLAG_SEQ2,
+};
+use crate::quant::{LinearQuantizer, Quantized};
+use crate::seq::to_seq2_into;
+use crate::{EntropyStage, MdzConfig, Result};
+use mdz_entropy::huffman::huffman_encode_into;
+use mdz_entropy::range::range_encode_into;
+use mdz_entropy::{write_uvarint, zigzag_encode, HuffmanScratch, RangeScratch};
+use mdz_kmeans::{detect_levels, LevelGrid, SelectConfig};
+use mdz_lossless::lz77::{self, Lz77Scratch};
+
+use super::predict::{snapshot_modes_into, Predictor, SnapshotMode};
+use super::{CoreState, StateDelta};
+
+/// Level indices beyond this magnitude escape (guards λ → 0 blowups).
+const MAX_LEVEL_MAG: f64 = (1u64 << 40) as f64;
+
+/// Reusable encode-side working storage, owned by a
+/// [`Compressor`](super::Compressor).
+///
+/// Every vector is cleared (never shrunk) between buffers, so steady-state
+/// compression of same-shaped buffers runs allocation-free; the
+/// `alloc_free` integration test locks this in.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EncodeScratch {
+    modes: Vec<SnapshotMode>,
+    b_codes: Vec<u32>,
+    j_codes: Vec<u32>,
+    b_ordered: Vec<u32>,
+    j_ordered: Vec<u32>,
+    escapes: Vec<(usize, f64)>,
+    recon_prev: Vec<f64>,
+    recon_prev2: Vec<f64>,
+    recon_cur: Vec<f64>,
+    recon_first: Vec<f64>,
+    extrapolated: Vec<f64>,
+    inner: Vec<u8>,
+    payload: Vec<u8>,
+    huffman: HuffmanScratch,
+    range: RangeScratch,
+    lz77: Lz77Scratch,
+}
+
+/// Encodes one buffer with a concrete method into `out` (cleared first),
+/// returning the state transition for the caller to commit.
+pub(crate) fn encode_buffer_into(
+    cfg: &MdzConfig,
+    state: &CoreState,
+    method: Method,
+    snapshots: &[Vec<f64>],
+    out: &mut Vec<u8>,
+    scratch: &mut EncodeScratch,
+) -> Result<StateDelta> {
+    let m = snapshots.len();
+    let n = snapshots[0].len();
+    let EncodeScratch {
+        modes,
+        b_codes,
+        j_codes,
+        b_ordered,
+        j_ordered,
+        escapes,
+        recon_prev,
+        recon_prev2,
+        recon_cur,
+        recon_first,
+        extrapolated,
+        inner,
+        payload,
+        huffman,
+        range,
+        lz77: lz,
+    } = scratch;
+    let mut delta = StateDelta::default();
+
+    // Resolve the error bound against the whole buffer.
+    let eps = {
+        let mut all_min = f64::INFINITY;
+        let mut all_max = f64::NEG_INFINITY;
+        for s in snapshots {
+            for &v in s {
+                if v < all_min {
+                    all_min = v;
+                }
+                if v > all_max {
+                    all_max = v;
+                }
+            }
+        }
+        match cfg.bound {
+            crate::ErrorBound::Absolute(e) => e,
+            crate::ErrorBound::ValueRangeRelative(r) => {
+                let range = all_max - all_min;
+                if range > 0.0 && range.is_finite() {
+                    r * range
+                } else {
+                    1e-300
+                }
+            }
+        }
+    };
+    let quant = LinearQuantizer::new(eps, cfg.radius);
+
+    // Level grid: detect once per stream, from the first snapshot seen by a
+    // VQ-family method (the paper computes F once, on the first snapshot).
+    let grid: Option<LevelGrid> =
+        if matches!(method, Method::Vq | Method::Vqt) && state.grid.is_none() {
+            let sel = SelectConfig {
+                max_k: cfg.max_levels,
+                sample_fraction: cfg.level_sample_fraction,
+                ..Default::default()
+            };
+            let detected = detect_levels(&snapshots[0], &sel);
+            delta.grid = Some(detected);
+            detected
+        } else {
+            state.grid.flatten()
+        };
+    let have_ref = state.reference.as_ref().is_some_and(|r| r.len() == n);
+    snapshot_modes_into(method, m, grid.is_some(), have_ref, modes);
+
+    b_codes.clear();
+    b_codes.reserve(m * n);
+    j_codes.clear();
+    escapes.clear();
+    recon_prev.clear();
+    recon_prev.resize(n, 0.0);
+    recon_prev2.clear();
+    recon_prev2.resize(n, 0.0);
+    recon_cur.clear();
+    recon_cur.resize(n, 0.0);
+    recon_first.clear();
+
+    for (s_idx, snap) in snapshots.iter().enumerate() {
+        let mode = modes[s_idx];
+        match mode {
+            SnapshotMode::VqGrid => {
+                let g = grid.expect("mode implies grid");
+                encode_vq_snapshot(
+                    &quant,
+                    &g,
+                    snap,
+                    s_idx * n,
+                    b_codes,
+                    j_codes,
+                    escapes,
+                    recon_cur,
+                )
+            }
+            SnapshotMode::Lorenzo => encode_predicted_snapshot(
+                &quant,
+                snap,
+                s_idx * n,
+                Predictor::Lorenzo,
+                b_codes,
+                escapes,
+                recon_cur,
+            ),
+            SnapshotMode::TimePrev => encode_predicted_snapshot(
+                &quant,
+                snap,
+                s_idx * n,
+                Predictor::Slice(recon_prev.as_slice()),
+                b_codes,
+                escapes,
+                recon_cur,
+            ),
+            SnapshotMode::TimePrev2 => {
+                extrapolated.clear();
+                extrapolated
+                    .extend(recon_prev.iter().zip(recon_prev2.iter()).map(|(&a, &b)| 2.0 * a - b));
+                encode_predicted_snapshot(
+                    &quant,
+                    snap,
+                    s_idx * n,
+                    Predictor::Slice(extrapolated.as_slice()),
+                    b_codes,
+                    escapes,
+                    recon_cur,
+                )
+            }
+            SnapshotMode::TimeRef => encode_predicted_snapshot(
+                &quant,
+                snap,
+                s_idx * n,
+                Predictor::Slice(state.reference.as_deref().expect("mode implies ref")),
+                b_codes,
+                escapes,
+                recon_cur,
+            ),
+        }
+        if s_idx == 0 {
+            recon_first.extend_from_slice(recon_cur);
+        }
+        std::mem::swap(recon_prev2, recon_prev);
+        std::mem::swap(recon_prev, recon_cur);
+    }
+
+    // Reference-update rule (mirrored by the decompressor). The clone
+    // happens at most once per stream — steady state stays allocation-free.
+    if state.reference.as_ref().is_none_or(|r| r.len() != n) {
+        delta.reference = Some(recon_first.clone());
+    }
+
+    // Interleave, entropy-code, assemble.
+    let seq2 = cfg.seq2 && m > 1;
+    let b_ord: &[u32] = if seq2 {
+        to_seq2_into(b_codes, m, n, b_ordered);
+        b_ordered
+    } else {
+        b_codes
+    };
+    let vq_rows = modes.iter().filter(|&&md| md == SnapshotMode::VqGrid).count();
+    let j_ord: &[u32] = if seq2 && vq_rows > 1 {
+        to_seq2_into(j_codes, vq_rows, n, j_ordered);
+        j_ordered
+    } else {
+        j_codes
+    };
+
+    inner.clear();
+    match cfg.entropy {
+        EntropyStage::Huffman => {
+            huffman_encode_into(b_ord, inner, huffman);
+            huffman_encode_into(j_ord, inner, huffman);
+        }
+        EntropyStage::Range => {
+            range_encode_into(b_ord, inner, range);
+            range_encode_into(j_ord, inner, range);
+        }
+    }
+    write_uvarint(inner, escapes.len() as u64);
+    let mut prev_idx = 0u64;
+    for (i, &(idx, v)) in escapes.iter().enumerate() {
+        let delta_idx = if i == 0 { idx as u64 } else { idx as u64 - prev_idx };
+        write_uvarint(inner, delta_idx);
+        inner.extend_from_slice(&v.to_le_bytes());
+        prev_idx = idx as u64;
+    }
+
+    payload.clear();
+    lz77::compress_into(inner, lz77::Level::Default, payload, lz);
+    let mut flags = 0u8;
+    let grid_used = matches!(method, Method::Vq | Method::Vqt) && grid.is_some();
+    if grid_used {
+        flags |= FLAG_GRID;
+    }
+    if seq2 {
+        flags |= FLAG_SEQ2;
+    }
+    if modes[0] == SnapshotMode::Lorenzo && matches!(method, Method::Mt | Method::Mt2) {
+        flags |= FLAG_FIRST_LORENZO;
+    }
+    if cfg.entropy == EntropyStage::Range {
+        flags |= FLAG_RANGE_CODED;
+    }
+    let header = BlockHeader {
+        method,
+        flags,
+        n_snapshots: m,
+        n_values: n,
+        eps,
+        radius: cfg.radius,
+        grid: grid_used.then(|| {
+            let g = grid.expect("grid_used implies grid");
+            (g.mu, g.lambda)
+        }),
+    };
+    out.clear();
+    header.write(out);
+    write_uvarint(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    Ok(delta)
+}
+
+/// Encodes a snapshot under value prediction, writing codes/escapes and the
+/// reconstruction.
+fn encode_predicted_snapshot(
+    quant: &LinearQuantizer,
+    snap: &[f64],
+    flat_base: usize,
+    source: Predictor<'_>,
+    b_codes: &mut Vec<u32>,
+    escapes: &mut Vec<(usize, f64)>,
+    recon: &mut [f64],
+) {
+    for (i, &d) in snap.iter().enumerate() {
+        let pred = source.predict(recon, i);
+        match quant.quantize(d, pred, &mut recon[i]) {
+            Quantized::Code(c) => b_codes.push(c),
+            Quantized::Escape => {
+                b_codes.push(0);
+                escapes.push((flat_base + i, d));
+            }
+        }
+    }
+}
+
+/// Encodes a snapshot with VQ level prediction, emitting level-delta codes.
+#[allow(clippy::too_many_arguments)]
+fn encode_vq_snapshot(
+    quant: &LinearQuantizer,
+    grid: &LevelGrid,
+    snap: &[f64],
+    flat_base: usize,
+    b_codes: &mut Vec<u32>,
+    j_codes: &mut Vec<u32>,
+    escapes: &mut Vec<(usize, f64)>,
+    recon: &mut [f64],
+) {
+    let mut prev_level = 0i64;
+    for (i, &d) in snap.iter().enumerate() {
+        let mut escape = |recon_slot: &mut f64, b: &mut Vec<u32>, j: &mut Vec<u32>| {
+            b.push(0);
+            j.push(zigzag_encode(0) as u32);
+            escapes.push((flat_base + i, d));
+            *recon_slot = d;
+        };
+        let lf = ((d - grid.mu) / grid.lambda).round();
+        if !lf.is_finite() || lf.abs() > MAX_LEVEL_MAG {
+            escape(&mut recon[i], b_codes, j_codes);
+            continue;
+        }
+        let level = lf as i64;
+        let delta = level - prev_level;
+        let zz = zigzag_encode(delta);
+        if zz > u64::from(u32::MAX) {
+            escape(&mut recon[i], b_codes, j_codes);
+            continue;
+        }
+        let pred = grid.value_of(level);
+        match quant.quantize(d, pred, &mut recon[i]) {
+            Quantized::Code(c) => {
+                b_codes.push(c);
+                j_codes.push(zz as u32);
+                prev_level = level;
+            }
+            Quantized::Escape => escape(&mut recon[i], b_codes, j_codes),
+        }
+    }
+}

@@ -1,0 +1,894 @@
+//! Stage-oriented buffer pipeline: the MDZ compressor end to end.
+//!
+//! A *buffer* is `M` snapshots × `N` values of one coordinate axis. The
+//! pipeline is split by stage:
+//!
+//! * [`predict`] — the per-snapshot mode plan and the [`predict::Predictor`]
+//!   shared by both directions (the prediction-parity invariant lives here);
+//! * [`encode`] — prediction → quantization → Seq-2 interleaving → entropy
+//!   coding → LZ77 → block assembly, all into reusable scratch buffers;
+//! * [`decode`] — the exact mirror, re-deriving the mode plan from the block
+//!   header.
+//!
+//! The compressor is stateful across buffers (level grid computed once; the
+//! stream's initial snapshot retained as the MT reference), mirroring the
+//! paper's execution model where an MD code compresses every `BS` snapshots
+//! during the run. The [`Decompressor`] maintains the same state, so blocks
+//! must be decompressed in stream order — except pure-VQ blocks, which are
+//! fully self-contained (the paper's random-access property).
+//!
+//! ## Prediction-parity invariant
+//!
+//! Every prediction on the encoder side uses *reconstructed* values (what
+//! the decoder will have), never originals. This is what makes the error
+//! bound compose across time prediction chains.
+//!
+//! ## Scratch workspaces
+//!
+//! Both endpoints own reusable working storage
+//! ([`encode::EncodeScratch`] / [`decode::DecodeScratch`]): every
+//! intermediate vector is cleared, never shrunk, between buffers, so
+//! steady-state streaming compression performs no per-buffer heap
+//! allocation on the hot path (locked in by the `alloc_free` test).
+
+pub(crate) mod decode;
+pub(crate) mod encode;
+pub(crate) mod predict;
+
+use crate::adaptive::AdaptiveState;
+use crate::format::{
+    BlockHeader, Method, FLAGS_OFFSET, FLAG_F32, FLAG_RANGE_CODED, FLAG_SEQ2, MAGIC,
+};
+use crate::{ErrorBound, MdzConfig, MdzError, Result};
+use decode::{decode_inner, decode_inner_one, DecodeScratch};
+use encode::{encode_buffer_into, EncodeScratch};
+use mdz_entropy::read_uvarint;
+use mdz_kmeans::LevelGrid;
+use mdz_lossless::lz77;
+
+/// Cross-buffer state shared (by construction) between both endpoints.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CoreState {
+    /// Level grid: `None` = not yet attempted, `Some(None)` = attempted and
+    /// absent (data not level-structured), `Some(Some(g))` = detected.
+    grid: Option<Option<LevelGrid>>,
+    /// Reconstruction of the stream's first snapshot (the MT reference).
+    reference: Option<Vec<f64>>,
+}
+
+/// The state transition produced by encoding one buffer.
+///
+/// Committing is the caller's decision: adaptive trials encode with several
+/// methods against the *same* starting state and apply only the winner's
+/// delta, without cloning [`CoreState`] per candidate.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StateDelta {
+    /// `Some(outcome)` when level detection ran this buffer.
+    grid: Option<Option<LevelGrid>>,
+    /// `Some(recon)` when the stream reference was (re)established.
+    reference: Option<Vec<f64>>,
+}
+
+impl CoreState {
+    fn apply(&mut self, delta: StateDelta) {
+        if let Some(g) = delta.grid {
+            self.grid = Some(g);
+        }
+        if let Some(r) = delta.reference {
+            self.reference = Some(r);
+        }
+    }
+}
+
+/// Stateful MDZ compressor for one axis stream.
+#[derive(Debug, Clone)]
+pub struct Compressor {
+    cfg: MdzConfig,
+    state: CoreState,
+    adaptive: AdaptiveState,
+    scratch: EncodeScratch,
+    /// Best candidate block of the current adaptive trial.
+    trial_best: Vec<u8>,
+    /// Block being encoded by the current adaptive candidate.
+    trial_cur: Vec<u8>,
+}
+
+impl Compressor {
+    /// Creates a compressor; the configuration is validated on first use.
+    pub fn new(cfg: MdzConfig) -> Self {
+        Self {
+            cfg,
+            state: CoreState::default(),
+            adaptive: AdaptiveState::new(),
+            scratch: EncodeScratch::default(),
+            trial_best: Vec::new(),
+            trial_cur: Vec::new(),
+        }
+    }
+
+    /// The configured method (possibly [`Method::Adaptive`]).
+    pub fn method(&self) -> Method {
+        self.cfg.method
+    }
+
+    /// The concrete method the adaptive selector is currently using, if any
+    /// trial has run yet.
+    pub fn current_adaptive_choice(&self) -> Option<Method> {
+        self.adaptive.current()
+    }
+
+    /// Replaces the error bound applied to subsequent buffers.
+    ///
+    /// Stream state (level grid, MT reference) is kept; used by the
+    /// [`Codec`](crate::codec::Codec) layer, where the bound arrives per
+    /// call rather than at construction.
+    pub fn set_bound(&mut self, bound: ErrorBound) {
+        self.cfg.bound = bound;
+    }
+
+    /// Compresses one buffer of snapshots into a self-describing block.
+    ///
+    /// All snapshots must be non-empty and equally sized.
+    pub fn compress_buffer(&mut self, snapshots: &[Vec<f64>]) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.compress_buffer_into(snapshots, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::compress_buffer`] writing the block into a caller-owned
+    /// vector (cleared first).
+    ///
+    /// With a reused output vector, steady-state compression of same-shaped
+    /// buffers performs no heap allocation.
+    pub fn compress_buffer_into(
+        &mut self,
+        snapshots: &[Vec<f64>],
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        self.cfg.validate()?;
+        validate_shape(snapshots)?;
+        match self.cfg.method {
+            Method::Adaptive => self.compress_adaptive_into(snapshots, out),
+            m => {
+                let delta = encode_buffer_into(
+                    &self.cfg,
+                    &self.state,
+                    m,
+                    snapshots,
+                    out,
+                    &mut self.scratch,
+                )?;
+                self.state.apply(delta);
+                Ok(())
+            }
+        }
+    }
+
+    /// Compresses a buffer of single-precision snapshots.
+    ///
+    /// MD trajectory formats commonly store `f32`; values are widened
+    /// losslessly, compressed as usual, and the block is tagged so
+    /// [`Decompressor::decompress_block_f32`] can narrow the output again.
+    ///
+    /// The error bound is guaranteed in `f64` space; narrowing the
+    /// reconstruction back to `f32` adds at most half an `f32` ULP
+    /// (≈ 6e-8·|value|), which is far below any practical MD bound.
+    pub fn compress_buffer_f32(&mut self, snapshots: &[Vec<f32>]) -> Result<Vec<u8>> {
+        let widened: Vec<Vec<f64>> =
+            snapshots.iter().map(|s| s.iter().map(|&v| f64::from(v)).collect()).collect();
+        let mut block = self.compress_buffer(&widened)?;
+        block[FLAGS_OFFSET] |= FLAG_F32;
+        Ok(block)
+    }
+
+    /// ADP: every `adapt_interval` buffers, compress with all candidate
+    /// methods and keep the smallest; in between, reuse the last winner.
+    fn compress_adaptive_into(&mut self, snapshots: &[Vec<f64>], out: &mut Vec<u8>) -> Result<()> {
+        if self.adaptive.trial_due(self.cfg.adapt_interval) {
+            let candidates: &[Method] =
+                if self.cfg.extended_candidates { &Method::EXTENDED } else { &Method::CONCRETE };
+            let mut best: Option<(StateDelta, Method)> = None;
+            for &m in candidates {
+                let delta = encode_buffer_into(
+                    &self.cfg,
+                    &self.state,
+                    m,
+                    snapshots,
+                    &mut self.trial_cur,
+                    &mut self.scratch,
+                )?;
+                if best.is_none() || self.trial_cur.len() < self.trial_best.len() {
+                    std::mem::swap(&mut self.trial_best, &mut self.trial_cur);
+                    best = Some((delta, m));
+                }
+            }
+            let (delta, method) = best.expect("candidates evaluated");
+            self.state.apply(delta);
+            self.adaptive.record_winner(method);
+            out.clear();
+            out.extend_from_slice(&self.trial_best);
+            Ok(())
+        } else {
+            let m = self.adaptive.current().expect("winner recorded at first trial");
+            self.adaptive.tick();
+            let delta =
+                encode_buffer_into(&self.cfg, &self.state, m, snapshots, out, &mut self.scratch)?;
+            self.state.apply(delta);
+            Ok(())
+        }
+    }
+}
+
+/// Stateful MDZ decompressor (mirror of [`Compressor`] state).
+#[derive(Debug, Clone, Default)]
+pub struct Decompressor {
+    reference: Option<Vec<f64>>,
+    scratch: DecodeScratch,
+}
+
+/// Parsed block metadata returned by [`Decompressor::inspect`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockInfo {
+    /// Concrete method that produced the block.
+    pub method: Method,
+    /// Snapshots in the block.
+    pub n_snapshots: usize,
+    /// Values per snapshot.
+    pub n_values: usize,
+    /// Absolute error bound the block was coded under.
+    pub eps: f64,
+    /// Quantization radius (half the quantization scale).
+    pub radius: u32,
+    /// Level grid `(μ, λ)` when the VQ predictor was grid-backed.
+    pub grid: Option<(f64, f64)>,
+    /// Whether codes are Seq-2 (particle-major) interleaved.
+    pub seq2: bool,
+    /// Whether the entropy stage was the range coder.
+    pub range_coded: bool,
+    /// Whether the source data was `f32` (decompress with
+    /// [`Decompressor::decompress_block_f32`]).
+    pub source_f32: bool,
+    /// Compressed payload size in bytes (excluding the header).
+    pub payload_bytes: usize,
+}
+
+impl Decompressor {
+    /// Creates a decompressor with empty stream state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decompresses a single snapshot from a pure-VQ block without
+    /// reconstructing the others — the paper's random-access property
+    /// (§VI: "any snapshot data can be decompressed very quickly without a
+    /// need in decompressing other snapshots").
+    ///
+    /// Works on blocks whose snapshots are all independently coded (method
+    /// VQ, with or without a detected grid). Errors on VQT/MT blocks, whose
+    /// snapshots form prediction chains, and on out-of-range indices.
+    pub fn decompress_snapshot(block: &[u8], index: usize) -> Result<Vec<f64>> {
+        let mut pos = 0;
+        let header = BlockHeader::read(block, &mut pos)?;
+        if header.method != Method::Vq {
+            return Err(MdzError::BadInput("random access requires a VQ block"));
+        }
+        if index >= header.n_snapshots {
+            return Err(MdzError::BadInput("snapshot index out of range"));
+        }
+        let payload_len = read_uvarint(block, &mut pos)? as usize;
+        let end = pos
+            .checked_add(payload_len)
+            .filter(|&e| e <= block.len())
+            .ok_or(MdzError::BadHeader("truncated payload"))?;
+        let inner = lz77::decompress(&block[pos..end])?;
+        let all = decode_inner_one(&header, &inner, index)?;
+        Ok(all)
+    }
+
+    /// Parses a block's header without decompressing it — cheap
+    /// observability for tooling (`mdz info`, debuggers).
+    pub fn inspect(block: &[u8]) -> Result<BlockInfo> {
+        let mut pos = 0;
+        let header = BlockHeader::read(block, &mut pos)?;
+        let payload_len = read_uvarint(block, &mut pos)? as usize;
+        Ok(BlockInfo {
+            method: header.method,
+            n_snapshots: header.n_snapshots,
+            n_values: header.n_values,
+            eps: header.eps,
+            radius: header.radius,
+            grid: header.grid,
+            seq2: header.flags & FLAG_SEQ2 != 0,
+            range_coded: header.flags & FLAG_RANGE_CODED != 0,
+            source_f32: header.flags & FLAG_F32 != 0,
+            payload_bytes: payload_len,
+        })
+    }
+
+    /// Decompresses a block produced by [`Compressor::compress_buffer_f32`]
+    /// back into single-precision snapshots.
+    ///
+    /// Errors if the block was not tagged as `f32`-sourced.
+    pub fn decompress_block_f32(&mut self, block: &[u8]) -> Result<Vec<Vec<f32>>> {
+        if !block.starts_with(&MAGIC) {
+            return Err(MdzError::BadHeader("not an MDZ block"));
+        }
+        let flags = *block.get(FLAGS_OFFSET).ok_or(MdzError::BadHeader("truncated flags"))?;
+        if flags & FLAG_F32 == 0 {
+            return Err(MdzError::BadInput("block does not carry f32-source data"));
+        }
+        let wide = self.decompress_block(block)?;
+        // Clamp finite reconstructions into f32 range before narrowing: a
+        // huge error bound could push a reconstruction past f32::MAX, and
+        // saturating to infinity would break the bound. Clamping moves the
+        // value strictly closer to the (f32-representable) original.
+        let narrow = |v: f64| -> f32 {
+            if v.is_finite() {
+                v.clamp(f64::from(f32::MIN), f64::from(f32::MAX)) as f32
+            } else {
+                v as f32
+            }
+        };
+        Ok(wide.into_iter().map(|s| s.into_iter().map(narrow).collect()).collect())
+    }
+
+    /// Decompresses one block into its snapshots.
+    pub fn decompress_block(&mut self, block: &[u8]) -> Result<Vec<Vec<f64>>> {
+        let mut pos = 0;
+        let header = BlockHeader::read(block, &mut pos)?;
+        let payload_len = read_uvarint(block, &mut pos)? as usize;
+        let end = pos
+            .checked_add(payload_len)
+            .filter(|&e| e <= block.len())
+            .ok_or(MdzError::BadHeader("truncated payload"))?;
+        lz77::decompress_into(&block[pos..end], &mut self.scratch.inner)?;
+        let snapshots = decode_inner(&header, self.reference.as_deref(), &mut self.scratch)?;
+        // Mirror the compressor's reference-update rule.
+        if self.reference.as_ref().is_none_or(|r| r.len() != header.n_values) {
+            self.reference = Some(snapshots[0].clone());
+        }
+        Ok(snapshots)
+    }
+}
+
+pub(crate) fn validate_shape(snapshots: &[Vec<f64>]) -> Result<()> {
+    if snapshots.is_empty() {
+        return Err(MdzError::BadInput("buffer has no snapshots"));
+    }
+    let n = snapshots[0].len();
+    if n == 0 {
+        return Err(MdzError::BadInput("snapshots are empty"));
+    }
+    if snapshots.iter().any(|s| s.len() != n) {
+        return Err(MdzError::BadInput("ragged snapshots in buffer"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ErrorBound;
+
+    fn check_round_trip(snapshots: &[Vec<f64>], cfg: MdzConfig) -> (usize, Vec<Vec<f64>>) {
+        let eps_for = |buf: &[Vec<f64>]| {
+            let flat: Vec<f64> = buf.iter().flatten().copied().collect();
+            cfg.bound.absolute_for(&flat)
+        };
+        let eps = eps_for(snapshots);
+        let mut c = Compressor::new(cfg);
+        let block = c.compress_buffer(snapshots).unwrap();
+        let mut d = Decompressor::new();
+        let out = d.decompress_block(&block).unwrap();
+        assert_eq!(out.len(), snapshots.len());
+        for (s, o) in snapshots.iter().zip(out.iter()) {
+            assert_eq!(s.len(), o.len());
+            for (a, b) in s.iter().zip(o.iter()) {
+                if a.is_finite() {
+                    assert!((a - b).abs() <= eps, "{a} vs {b}, eps {eps}");
+                } else {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+        (block.len(), out)
+    }
+
+    fn lattice_buffer(m: usize, n: usize, drift: f64) -> Vec<Vec<f64>> {
+        let mut s = 99u64;
+        (0..m)
+            .map(|t| {
+                (0..n)
+                    .map(|i| {
+                        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let u = (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                        (i % 16) as f64 * 3.0 + u * 0.02 + t as f64 * drift
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn vq_round_trip_on_lattice() {
+        let snaps = lattice_buffer(5, 400, 0.0);
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Vq);
+        let (size, _) = check_round_trip(&snaps, cfg);
+        let raw = 5 * 400 * 8;
+        assert!(size < raw / 4, "VQ should compress lattice data well: {size} vs {raw}");
+    }
+
+    #[test]
+    fn vqt_round_trip() {
+        let snaps = lattice_buffer(10, 300, 1e-4);
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Vqt);
+        check_round_trip(&snaps, cfg);
+    }
+
+    #[test]
+    fn mt_round_trip() {
+        let snaps = lattice_buffer(10, 300, 1e-4);
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Mt);
+        check_round_trip(&snaps, cfg);
+    }
+
+    #[test]
+    fn adaptive_round_trip() {
+        let snaps = lattice_buffer(10, 300, 1e-4);
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3));
+        check_round_trip(&snaps, cfg);
+    }
+
+    #[test]
+    fn single_snapshot_buffer() {
+        let snaps = lattice_buffer(1, 500, 0.0);
+        for m in [Method::Vq, Method::Vqt, Method::Mt, Method::Adaptive] {
+            let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(m);
+            check_round_trip(&snaps, cfg);
+        }
+    }
+
+    #[test]
+    fn random_data_without_levels_falls_back() {
+        let mut s = 5u64;
+        let snaps: Vec<Vec<f64>> = (0..4)
+            .map(|_| {
+                (0..500)
+                    .map(|_| {
+                        s ^= s << 13;
+                        s ^= s >> 7;
+                        s ^= s << 17;
+                        (s >> 11) as f64 / (1u64 << 53) as f64 * 100.0
+                    })
+                    .collect()
+            })
+            .collect();
+        for m in [Method::Vq, Method::Vqt, Method::Mt] {
+            let cfg = MdzConfig::new(ErrorBound::Absolute(1e-2)).with_method(m);
+            check_round_trip(&snaps, cfg);
+        }
+    }
+
+    #[test]
+    fn value_range_relative_bound() {
+        let snaps = lattice_buffer(5, 200, 0.0);
+        let cfg = MdzConfig::new(ErrorBound::ValueRangeRelative(1e-3));
+        check_round_trip(&snaps, cfg);
+    }
+
+    #[test]
+    fn constant_data() {
+        let snaps = vec![vec![42.0; 100]; 5];
+        for m in [Method::Vq, Method::Vqt, Method::Mt] {
+            let cfg = MdzConfig::new(ErrorBound::Absolute(1e-6)).with_method(m);
+            let (size, _) = check_round_trip(&snaps, cfg);
+            assert!(size < 300, "constant data should compress to almost nothing: {size}");
+        }
+    }
+
+    #[test]
+    fn non_finite_values_survive_bit_exact() {
+        let mut snaps = lattice_buffer(3, 50, 0.0);
+        snaps[1][7] = f64::NAN;
+        snaps[2][9] = f64::INFINITY;
+        snaps[0][0] = f64::NEG_INFINITY;
+        for m in [Method::Vq, Method::Vqt, Method::Mt] {
+            let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(m);
+            check_round_trip(&snaps, cfg);
+        }
+    }
+
+    #[test]
+    fn multi_buffer_stream_with_state() {
+        // MT's reference comes from buffer 0; later buffers predict from it.
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-4)).with_method(Method::Mt);
+        let mut c = Compressor::new(cfg);
+        let mut d = Decompressor::new();
+        let base = lattice_buffer(1, 200, 0.0).pop().unwrap();
+        for t in 0..5 {
+            let buf: Vec<Vec<f64>> = (0..4)
+                .map(|k| base.iter().map(|&v| v + (t * 4 + k) as f64 * 1e-5).collect())
+                .collect();
+            let block = c.compress_buffer(&buf).unwrap();
+            let out = d.decompress_block(&block).unwrap();
+            for (s, o) in buf.iter().zip(out.iter()) {
+                for (a, b) in s.iter().zip(o.iter()) {
+                    assert!((a - b).abs() <= 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mt_block_out_of_order_fails_cleanly() {
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-4)).with_method(Method::Mt);
+        let mut c = Compressor::new(cfg);
+        let b0 = c.compress_buffer(&lattice_buffer(3, 100, 0.0)).unwrap();
+        let b1 = c.compress_buffer(&lattice_buffer(3, 100, 1e-5)).unwrap();
+        // Fresh decompressor given block 1 first: must error, not garble.
+        let mut d = Decompressor::new();
+        assert!(d.decompress_block(&b1).is_err());
+        // In order works.
+        let mut d = Decompressor::new();
+        d.decompress_block(&b0).unwrap();
+        d.decompress_block(&b1).unwrap();
+    }
+
+    #[test]
+    fn vq_blocks_are_self_contained() {
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Vq);
+        let mut c = Compressor::new(cfg);
+        let _b0 = c.compress_buffer(&lattice_buffer(3, 100, 0.0)).unwrap();
+        let b1 = c.compress_buffer(&lattice_buffer(3, 100, 0.1)).unwrap();
+        // A fresh decompressor can open block 1 directly.
+        let mut d = Decompressor::new();
+        d.decompress_block(&b1).unwrap();
+    }
+
+    #[test]
+    fn seq1_and_seq2_both_round_trip() {
+        let snaps = lattice_buffer(8, 100, 1e-5);
+        for seq2 in [false, true] {
+            let cfg =
+                MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Vqt).with_seq2(seq2);
+            check_round_trip(&snaps, cfg);
+        }
+    }
+
+    #[test]
+    fn quantization_radius_sweep() {
+        let snaps = lattice_buffer(4, 200, 1e-4);
+        for radius in [32u32, 512, 4096, 32768] {
+            let cfg = MdzConfig::new(ErrorBound::Absolute(1e-5))
+                .with_method(Method::Vqt)
+                .with_radius(radius);
+            check_round_trip(&snaps, cfg);
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3));
+        let mut c = Compressor::new(cfg.clone());
+        assert!(matches!(c.compress_buffer(&[]), Err(MdzError::BadInput(_))));
+        assert!(matches!(c.compress_buffer(&[vec![]]), Err(MdzError::BadInput(_))));
+        assert!(matches!(
+            c.compress_buffer(&[vec![1.0], vec![1.0, 2.0]]),
+            Err(MdzError::BadInput(_))
+        ));
+        let mut c = Compressor::new(MdzConfig::new(ErrorBound::Absolute(-1.0)));
+        assert!(matches!(c.compress_buffer(&[vec![1.0]]), Err(MdzError::BadConfig(_))));
+    }
+
+    #[test]
+    fn corrupted_blocks_error_not_panic() {
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Vq);
+        let mut c = Compressor::new(cfg);
+        let block = c.compress_buffer(&lattice_buffer(3, 50, 0.0)).unwrap();
+        for cut in [0, 4, block.len() / 2, block.len() - 1] {
+            let mut d = Decompressor::new();
+            assert!(d.decompress_block(&block[..cut]).is_err(), "cut {cut}");
+        }
+        let mut bad = block.clone();
+        for i in 0..bad.len() {
+            bad[i] ^= 0xA5;
+            let mut d = Decompressor::new();
+            let _ = d.decompress_block(&bad);
+            bad[i] ^= 0xA5;
+        }
+    }
+
+    #[test]
+    fn f32_round_trip_within_bound() {
+        let snaps_f32: Vec<Vec<f32>> = (0..6)
+            .map(|t| (0..200).map(|i| (i % 11) as f32 * 2.5 + t as f32 * 1e-4).collect())
+            .collect();
+        let eps = 1e-3;
+        for m in [Method::Vq, Method::Vqt, Method::Mt, Method::Adaptive] {
+            let cfg = MdzConfig::new(ErrorBound::Absolute(eps)).with_method(m);
+            let mut c = Compressor::new(cfg);
+            let block = c.compress_buffer_f32(&snaps_f32).unwrap();
+            let info = Decompressor::inspect(&block).unwrap();
+            assert!(info.source_f32);
+            let out = Decompressor::new().decompress_block_f32(&block).unwrap();
+            for (s, o) in snaps_f32.iter().zip(out.iter()) {
+                for (a, b) in s.iter().zip(o.iter()) {
+                    // f64 bound + half an f32 ULP of slack.
+                    let slack = (a.abs() * 1e-7).max(1e-30) as f64;
+                    assert!((f64::from(*a) - f64::from(*b)).abs() <= eps + slack, "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_decoder_rejects_f64_blocks() {
+        let snaps = lattice_buffer(3, 50, 0.0);
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3));
+        let mut c = Compressor::new(cfg);
+        let block = c.compress_buffer(&snaps).unwrap();
+        assert!(matches!(
+            Decompressor::new().decompress_block_f32(&block),
+            Err(MdzError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn f32_non_finite_round_trip() {
+        let mut snaps: Vec<Vec<f32>> = vec![vec![1.0; 20]; 3];
+        snaps[1][3] = f32::NAN;
+        snaps[2][7] = f32::INFINITY;
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-4));
+        let mut c = Compressor::new(cfg);
+        let block = c.compress_buffer_f32(&snaps).unwrap();
+        let out = Decompressor::new().decompress_block_f32(&block).unwrap();
+        assert!(out[1][3].is_nan());
+        assert!(out[2][7].is_infinite());
+    }
+
+    #[test]
+    fn inspect_reports_block_metadata() {
+        let snaps = lattice_buffer(6, 100, 0.0);
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Vq);
+        let mut c = Compressor::new(cfg);
+        let block = c.compress_buffer(&snaps).unwrap();
+        let info = Decompressor::inspect(&block).unwrap();
+        assert_eq!(info.method, Method::Vq);
+        assert_eq!(info.n_snapshots, 6);
+        assert_eq!(info.n_values, 100);
+        assert_eq!(info.eps, 1e-3);
+        assert_eq!(info.radius, 512);
+        assert!(info.grid.is_some());
+        assert!(info.seq2);
+        assert!(!info.range_coded);
+        assert!(info.payload_bytes > 0 && info.payload_bytes < block.len());
+        assert!(Decompressor::inspect(&block[..4]).is_err());
+    }
+
+    #[test]
+    fn mt2_round_trips_and_wins_on_linear_drift() {
+        // Particles moving ballistically: x_t = x_0 + v·t. Second-order
+        // prediction is exact; first-order pays |v| per step.
+        let mut s = 9u64;
+        let n = 400;
+        let x0: Vec<f64> = (0..n).map(|i| (i % 10) as f64 * 3.0).collect();
+        let v: Vec<f64> = (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.1
+            })
+            .collect();
+        let snaps: Vec<Vec<f64>> = (0..12)
+            .map(|t| x0.iter().zip(v.iter()).map(|(&x, &vi)| x + vi * t as f64).collect())
+            .collect();
+        let size = |method| {
+            let cfg = MdzConfig::new(ErrorBound::Absolute(1e-4)).with_method(method);
+            check_round_trip(&snaps, cfg).0
+        };
+        let mt = size(Method::Mt);
+        let mt2 = size(Method::Mt2);
+        assert!(mt2 < mt / 2, "MT2 {mt2} should crush MT {mt} on ballistic data");
+    }
+
+    #[test]
+    fn extended_adaptive_picks_mt2_on_ballistic_data() {
+        let n = 300;
+        let x0: Vec<f64> = (0..n).map(|i| i as f64 * 0.37).collect();
+        let snaps: Vec<Vec<f64>> = (0..10)
+            .map(|t| {
+                x0.iter().enumerate().map(|(i, &x)| x + (i % 7) as f64 * 0.02 * t as f64).collect()
+            })
+            .collect();
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-5)).with_extended_candidates(true);
+        let mut c = Compressor::new(cfg);
+        c.compress_buffer(&snaps).unwrap();
+        assert_eq!(c.current_adaptive_choice(), Some(Method::Mt2));
+    }
+
+    #[test]
+    fn mt2_multi_buffer_stream() {
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-4)).with_method(Method::Mt2);
+        let mut c = Compressor::new(cfg);
+        let mut d = Decompressor::new();
+        for t in 0..4 {
+            let buf: Vec<Vec<f64>> = (0..5)
+                .map(|k| (0..100).map(|i| i as f64 + (t * 5 + k) as f64 * 0.01).collect())
+                .collect();
+            let block = c.compress_buffer(&buf).unwrap();
+            let out = d.decompress_block(&block).unwrap();
+            for (sn, o) in buf.iter().zip(out.iter()) {
+                for (a, b) in sn.iter().zip(o.iter()) {
+                    assert!((a - b).abs() <= 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_coded_blocks_round_trip() {
+        let snaps = lattice_buffer(8, 200, 1e-4);
+        for m in [Method::Vq, Method::Vqt, Method::Mt, Method::Adaptive] {
+            let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3))
+                .with_method(m)
+                .with_entropy(crate::EntropyStage::Range);
+            check_round_trip(&snaps, cfg);
+        }
+    }
+
+    #[test]
+    fn range_coding_never_much_worse_than_huffman() {
+        let snaps = lattice_buffer(10, 400, 1e-4);
+        let size = |entropy| {
+            let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3))
+                .with_method(Method::Vqt)
+                .with_entropy(entropy);
+            Compressor::new(cfg).compress_buffer(&snaps).unwrap().len()
+        };
+        let h = size(crate::EntropyStage::Huffman);
+        let r = size(crate::EntropyStage::Range);
+        assert!(r <= h + h / 4, "range {r} vs huffman {h}");
+    }
+
+    #[test]
+    fn random_access_works_with_range_coding() {
+        let snaps = lattice_buffer(5, 120, 0.0);
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3))
+            .with_method(Method::Vq)
+            .with_entropy(crate::EntropyStage::Range);
+        let mut c = Compressor::new(cfg);
+        let block = c.compress_buffer(&snaps).unwrap();
+        let full = Decompressor::new().decompress_block(&block).unwrap();
+        for (i, want) in full.iter().enumerate() {
+            assert_eq!(&Decompressor::decompress_snapshot(&block, i).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn random_access_matches_full_decompression() {
+        let snaps = lattice_buffer(6, 150, 0.0);
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Vq);
+        let mut c = Compressor::new(cfg);
+        let block = c.compress_buffer(&snaps).unwrap();
+        let full = Decompressor::new().decompress_block(&block).unwrap();
+        for (i, want) in full.iter().enumerate() {
+            let got = Decompressor::decompress_snapshot(&block, i).unwrap();
+            assert_eq!(&got, want, "snapshot {i}");
+        }
+        assert!(Decompressor::decompress_snapshot(&block, 6).is_err());
+    }
+
+    #[test]
+    fn random_access_on_gridless_vq_block() {
+        // Random data → no level grid → Lorenzo fallback, still per-snapshot.
+        let mut s = 3u64;
+        let snaps: Vec<Vec<f64>> = (0..4)
+            .map(|_| {
+                (0..100)
+                    .map(|_| {
+                        s ^= s << 13;
+                        s ^= s >> 7;
+                        s ^= s << 17;
+                        (s >> 11) as f64 / (1u64 << 53) as f64 * 50.0
+                    })
+                    .collect()
+            })
+            .collect();
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Vq);
+        let mut c = Compressor::new(cfg);
+        let block = c.compress_buffer(&snaps).unwrap();
+        let full = Decompressor::new().decompress_block(&block).unwrap();
+        let got = Decompressor::decompress_snapshot(&block, 2).unwrap();
+        assert_eq!(got, full[2]);
+    }
+
+    #[test]
+    fn random_access_rejects_time_chained_blocks() {
+        let snaps = lattice_buffer(5, 80, 1e-4);
+        for m in [Method::Vqt, Method::Mt] {
+            let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(m);
+            let mut c = Compressor::new(cfg);
+            let block = c.compress_buffer(&snaps).unwrap();
+            assert!(matches!(
+                Decompressor::decompress_snapshot(&block, 0),
+                Err(MdzError::BadInput(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn adaptive_picks_time_method_on_smooth_data() {
+        // Temporally near-constant, spatially random: MT/VQT should win.
+        let mut s = 77u64;
+        let base: Vec<f64> = (0..400)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 11) as f64 / (1u64 << 53) as f64 * 50.0
+            })
+            .collect();
+        let snaps: Vec<Vec<f64>> =
+            (0..10).map(|t| base.iter().map(|&v| v + t as f64 * 1e-6).collect()).collect();
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-4));
+        let mut c = Compressor::new(cfg);
+        c.compress_buffer(&snaps).unwrap();
+        let chosen = c.current_adaptive_choice().unwrap();
+        assert!(
+            matches!(chosen, Method::Mt | Method::Vqt),
+            "expected a time-based method, got {chosen}"
+        );
+    }
+
+    #[test]
+    fn adaptive_picks_vq_on_time_noisy_lattice_data() {
+        // Strong levels but large temporal jumps: VQ should win.
+        let mut s = 13u64;
+        let snaps: Vec<Vec<f64>> = (0..10)
+            .map(|_| {
+                (0..400)
+                    .map(|_| {
+                        s ^= s << 13;
+                        s ^= s >> 7;
+                        s ^= s << 17;
+                        let level = (s % 12) as f64;
+                        let u = ((s >> 12) % 1000) as f64 / 1000.0 - 0.5;
+                        level * 5.0 + u * 0.02
+                    })
+                    .collect()
+            })
+            .collect();
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3));
+        let mut c = Compressor::new(cfg);
+        c.compress_buffer(&snaps).unwrap();
+        assert_eq!(c.current_adaptive_choice().unwrap(), Method::Vq);
+    }
+
+    #[test]
+    fn compress_into_matches_compress_and_reuses_buffer() {
+        for method in [Method::Vq, Method::Vqt, Method::Mt, Method::Mt2, Method::Adaptive] {
+            let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(method);
+            let mut a = Compressor::new(cfg.clone());
+            let mut b = Compressor::new(cfg);
+            let mut out = Vec::new();
+            for drift in [0.0, 1e-5, 2e-5] {
+                let buf = lattice_buffer(6, 120, drift);
+                let want = a.compress_buffer(&buf).unwrap();
+                b.compress_buffer_into(&buf, &mut out).unwrap();
+                assert_eq!(out, want, "method {method}, drift {drift}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_bound_applies_to_next_buffer() {
+        let snaps = lattice_buffer(4, 100, 0.0);
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Vq);
+        let mut c = Compressor::new(cfg);
+        c.compress_buffer(&snaps).unwrap();
+        c.set_bound(ErrorBound::Absolute(1e-6));
+        let block = c.compress_buffer(&snaps).unwrap();
+        assert_eq!(Decompressor::inspect(&block).unwrap().eps, 1e-6);
+    }
+}

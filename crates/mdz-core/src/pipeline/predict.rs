@@ -1,0 +1,106 @@
+//! Snapshot prediction: the mode plan and the value predictor shared by the
+//! encode and decode stages.
+//!
+//! ## Prediction-parity invariant
+//!
+//! The encoder and decoder must compute *bit-identical* predictions, or the
+//! error bound silently breaks. Both sides therefore funnel every non-VQ
+//! prediction through [`Predictor::predict`]: the encoder hands it the
+//! in-progress reconstruction, the decoder hands it the snapshot being
+//! rebuilt, and the arithmetic (including the two-step extrapolation for
+//! [`SnapshotMode::TimePrev2`], which is materialized into a slice before
+//! prediction on both sides) lives in exactly one place.
+
+use crate::format::Method;
+
+/// How each snapshot within a buffer is predicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SnapshotMode {
+    /// Level-centroid prediction via the grid; emits J codes.
+    VqGrid,
+    /// In-snapshot previous-value prediction (first value predicted as 0).
+    Lorenzo,
+    /// Same index in the previous snapshot's reconstruction.
+    TimePrev,
+    /// Linear extrapolation from the two previous reconstructions.
+    TimePrev2,
+    /// Same index in the stream's reference (initial) snapshot.
+    TimeRef,
+}
+
+/// Where a plain (non-VQ) snapshot gets its predictions.
+///
+/// `recon` in [`Predictor::predict`] is the snapshot currently being
+/// reconstructed — the encoder's reconstruction buffer or the decoder's
+/// output snapshot; only [`Predictor::Lorenzo`] reads it, and only at
+/// already-finalized indices (`i - 1`).
+pub(crate) enum Predictor<'a> {
+    /// Previous reconstructed value within the same snapshot.
+    Lorenzo,
+    /// A fixed slice: previous snapshot, two-step extrapolation, or the
+    /// stream reference.
+    Slice(&'a [f64]),
+}
+
+impl Predictor<'_> {
+    /// The prediction for value `i` of the current snapshot.
+    #[inline]
+    pub(crate) fn predict(&self, recon: &[f64], i: usize) -> f64 {
+        match self {
+            Predictor::Lorenzo => {
+                if i == 0 {
+                    0.0
+                } else {
+                    recon[i - 1]
+                }
+            }
+            Predictor::Slice(s) => s[i],
+        }
+    }
+}
+
+/// Resolves the per-snapshot prediction modes for a buffer, writing into a
+/// caller-owned vector (cleared first).
+pub(crate) fn snapshot_modes_into(
+    method: Method,
+    n_snapshots: usize,
+    grid: bool,
+    have_ref: bool,
+    modes: &mut Vec<SnapshotMode>,
+) {
+    let first = match method {
+        Method::Vq | Method::Vqt => {
+            if grid {
+                SnapshotMode::VqGrid
+            } else {
+                SnapshotMode::Lorenzo
+            }
+        }
+        Method::Mt | Method::Mt2 => {
+            if have_ref {
+                SnapshotMode::TimeRef
+            } else {
+                SnapshotMode::Lorenzo
+            }
+        }
+        Method::Adaptive => unreachable!("resolved before encoding"),
+    };
+    modes.clear();
+    modes.push(first);
+    match method {
+        Method::Vq => modes.extend(std::iter::repeat_n(first, n_snapshots.saturating_sub(1))),
+        Method::Mt2 => {
+            // Second snapshot has only one predecessor; extrapolate after.
+            if n_snapshots > 1 {
+                modes.push(SnapshotMode::TimePrev);
+            }
+            modes.extend(std::iter::repeat_n(
+                SnapshotMode::TimePrev2,
+                n_snapshots.saturating_sub(2),
+            ));
+        }
+        _ => {
+            modes.extend(std::iter::repeat_n(SnapshotMode::TimePrev, n_snapshots.saturating_sub(1)))
+        }
+    }
+}

@@ -12,26 +12,43 @@
 ///
 /// Returns the input unchanged (as a copy) when either dimension is ≤ 1.
 pub fn to_seq2(codes: &[u32], rows: usize, cols: usize) -> Vec<u32> {
-    assert_eq!(codes.len(), rows * cols, "shape mismatch");
-    if rows <= 1 || cols <= 1 {
-        return codes.to_vec();
-    }
     let mut out = Vec::with_capacity(codes.len());
+    to_seq2_into(codes, rows, cols, &mut out);
+    out
+}
+
+/// [`to_seq2`] writing into a caller-owned vector (cleared first).
+pub fn to_seq2_into(codes: &[u32], rows: usize, cols: usize, out: &mut Vec<u32>) {
+    assert_eq!(codes.len(), rows * cols, "shape mismatch");
+    out.clear();
+    if rows <= 1 || cols <= 1 {
+        out.extend_from_slice(codes);
+        return;
+    }
+    out.reserve(codes.len());
     for c in 0..cols {
         for r in 0..rows {
             out.push(codes[r * cols + c]);
         }
     }
-    out
 }
 
 /// Inverse of [`to_seq2`]: column-major back to row-major.
 pub fn from_seq2(codes: &[u32], rows: usize, cols: usize) -> Vec<u32> {
+    let mut out = Vec::with_capacity(codes.len());
+    from_seq2_into(codes, rows, cols, &mut out);
+    out
+}
+
+/// [`from_seq2`] writing into a caller-owned vector (cleared first).
+pub fn from_seq2_into(codes: &[u32], rows: usize, cols: usize, out: &mut Vec<u32>) {
     assert_eq!(codes.len(), rows * cols, "shape mismatch");
+    out.clear();
     if rows <= 1 || cols <= 1 {
-        return codes.to_vec();
+        out.extend_from_slice(codes);
+        return;
     }
-    let mut out = vec![0u32; codes.len()];
+    out.resize(codes.len(), 0);
     let mut idx = 0;
     for c in 0..cols {
         for r in 0..rows {
@@ -39,7 +56,6 @@ pub fn from_seq2(codes: &[u32], rows: usize, cols: usize) -> Vec<u32> {
             idx += 1;
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -3,11 +3,12 @@
 //! MD positions are `(x, y, z)` triples, but the paper compresses each axis
 //! as an independent stream (each axis may even pick a different method —
 //! Table VI shows ADP choosing VQ for x/y and MT for z on Copper-B). This
-//! module wraps three per-axis [`Compressor`]s behind one call and frames
-//! the three blocks in a tiny container.
+//! module wraps three per-axis [`Codec`]s behind one call and frames the
+//! three blocks in a tiny container. The axes are MDZ by default but any
+//! [`Codec`] mix works ([`TrajectoryCompressor::from_codecs`]).
 
-use crate::buffer::{Compressor, Decompressor};
-use crate::{MdzConfig, MdzError, Result};
+use crate::codec::{Codec, MdzCodec};
+use crate::{ErrorBound, MdzConfig, MdzError, Result};
 use mdz_entropy::{read_uvarint, write_uvarint};
 
 /// Container magic for a three-axis block group.
@@ -43,15 +44,23 @@ impl Frame {
 }
 
 /// Stateful three-axis compressor.
-#[derive(Debug, Clone)]
 pub struct TrajectoryCompressor {
-    axes: [Compressor; 3],
+    axes: [Box<dyn Codec>; 3],
+    bound: ErrorBound,
 }
 
 impl TrajectoryCompressor {
-    /// Creates one compressor per axis from a shared configuration.
+    /// Creates one MDZ codec per axis from a shared configuration.
     pub fn new(cfg: MdzConfig) -> Self {
-        Self { axes: [Compressor::new(cfg.clone()), Compressor::new(cfg.clone()), Compressor::new(cfg)] }
+        let bound = cfg.bound;
+        let axes: [Box<dyn Codec>; 3] =
+            std::array::from_fn(|_| Box::new(MdzCodec::from_config(cfg.clone())) as Box<dyn Codec>);
+        Self { axes, bound }
+    }
+
+    /// Builds a trajectory compressor from three arbitrary per-axis codecs.
+    pub fn from_codecs(axes: [Box<dyn Codec>; 3], bound: ErrorBound) -> Self {
+        Self { axes, bound }
     }
 
     /// Compresses a buffer of frames into one container blob.
@@ -62,15 +71,20 @@ impl TrajectoryCompressor {
         let xs: Vec<Vec<f64>> = frames.iter().map(|f| f.x.clone()).collect();
         let ys: Vec<Vec<f64>> = frames.iter().map(|f| f.y.clone()).collect();
         let zs: Vec<Vec<f64>> = frames.iter().map(|f| f.z.clone()).collect();
-        let blocks =
-            [self.axes[0].compress_buffer(&xs)?, self.axes[1].compress_buffer(&ys)?, self.axes[2].compress_buffer(&zs)?];
+        let blocks = [
+            self.axes[0].compress_buffer(&xs, self.bound)?,
+            self.axes[1].compress_buffer(&ys, self.bound)?,
+            self.axes[2].compress_buffer(&zs, self.bound)?,
+        ];
         Ok(assemble(&blocks))
     }
 
     /// Like [`Self::compress_buffer`] but compresses the three axes on
     /// scoped threads. The per-axis streams are independent by design
     /// (§III: each axis is a separate SZ stream), so the output is
-    /// byte-identical to the sequential path.
+    /// byte-identical to the sequential path. This is what `Codec: Send`
+    /// buys: each thread drives one axis codec (and its scratch workspace)
+    /// exclusively.
     pub fn compress_buffer_parallel(&mut self, frames: &[Frame]) -> Result<Vec<u8>> {
         if frames.is_empty() {
             return Err(MdzError::BadInput("buffer has no frames"));
@@ -80,14 +94,14 @@ impl TrajectoryCompressor {
             frames.iter().map(|f| f.y.clone()).collect(),
             frames.iter().map(|f| f.z.clone()).collect(),
         ];
-        let mut results: [Result<Vec<u8>>; 3] =
-            [Ok(Vec::new()), Ok(Vec::new()), Ok(Vec::new())];
+        let bound = self.bound;
+        let mut results: [Result<Vec<u8>>; 3] = [Ok(Vec::new()), Ok(Vec::new()), Ok(Vec::new())];
         std::thread::scope(|scope| {
             for ((axis, buf), slot) in
                 self.axes.iter_mut().zip(series.iter()).zip(results.iter_mut())
             {
                 scope.spawn(move || {
-                    *slot = axis.compress_buffer(buf);
+                    *slot = axis.compress_buffer(buf, bound);
                 });
             }
         });
@@ -108,15 +122,26 @@ fn assemble(blocks: &[Vec<u8>; 3]) -> Vec<u8> {
 }
 
 /// Stateful three-axis decompressor.
-#[derive(Debug, Clone, Default)]
 pub struct TrajectoryDecompressor {
-    axes: [Decompressor; 3],
+    axes: [Box<dyn Codec>; 3],
+}
+
+impl Default for TrajectoryDecompressor {
+    fn default() -> Self {
+        Self { axes: std::array::from_fn(|_| Box::new(MdzCodec::default()) as Box<dyn Codec>) }
+    }
 }
 
 impl TrajectoryDecompressor {
-    /// Creates a decompressor with empty stream state.
+    /// Creates an MDZ decompressor with empty stream state.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Builds a trajectory decompressor from three arbitrary per-axis
+    /// codecs (must match the codecs that produced the container).
+    pub fn from_codecs(axes: [Box<dyn Codec>; 3]) -> Self {
+        Self { axes }
     }
 
     /// Decompresses one container blob back into frames.
@@ -133,7 +158,7 @@ impl TrajectoryDecompressor {
                 .checked_add(len)
                 .filter(|&e| e <= data.len())
                 .ok_or(MdzError::BadHeader("truncated axis block"))?;
-            axes_out.push(self.axes[axis].decompress_block(&data[pos..end])?);
+            axes_out.push(self.axes[axis].decompress_buffer(&data[pos..end])?);
             pos = end;
         }
         let (xs, rest) = axes_out.split_at_mut(1);

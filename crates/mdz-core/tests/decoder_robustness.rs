@@ -1,0 +1,101 @@
+//! Decoder robustness: malformed, truncated, and corrupted blocks must
+//! produce `Err`, never a panic, an abort, or an implausible allocation.
+
+use mdz_core::format::{FLAGS_OFFSET, MAGIC, VERSION};
+use mdz_core::{Compressor, Decompressor, ErrorBound, MdzConfig, MdzError, Method};
+
+fn lattice(m: usize, n: usize) -> Vec<Vec<f64>> {
+    (0..m).map(|t| (0..n).map(|i| (i % 10) as f64 * 2.5 + t as f64 * 1e-4).collect()).collect()
+}
+
+fn block(method: Method) -> Vec<u8> {
+    let cfg = MdzConfig::new(ErrorBound::Absolute(1e-4)).with_method(method);
+    Compressor::new(cfg).compress_buffer(&lattice(6, 200)).unwrap()
+}
+
+#[test]
+fn every_truncated_prefix_errors() {
+    let blob = block(Method::Vqt);
+    for cut in 0..blob.len() {
+        assert!(
+            Decompressor::new().decompress_block(&blob[..cut]).is_err(),
+            "prefix of {cut}/{} bytes decoded successfully",
+            blob.len()
+        );
+    }
+}
+
+#[test]
+fn single_byte_corruption_never_panics() {
+    let blob = block(Method::Vq);
+    for i in 0..blob.len() {
+        for pattern in [0xFFu8, 0x01, 0x80] {
+            let mut bad = blob.clone();
+            bad[i] ^= pattern;
+            // Any outcome but a panic is acceptable; most flips must fail,
+            // but some (e.g. inside an escaped f64) decode to other values.
+            let _ = Decompressor::new().decompress_block(&bad);
+        }
+    }
+}
+
+#[test]
+fn wrong_magic_is_rejected() {
+    let mut blob = block(Method::Vq);
+    blob[0] = b'X';
+    assert_eq!(
+        Decompressor::new().decompress_block(&blob),
+        Err(MdzError::BadHeader("not an MDZ block"))
+    );
+    assert!(!MAGIC.starts_with(b"X"));
+}
+
+#[test]
+fn unknown_version_is_rejected() {
+    let mut blob = block(Method::Vq);
+    blob[MAGIC.len()] = VERSION + 1;
+    assert_eq!(
+        Decompressor::new().decompress_block(&blob),
+        Err(MdzError::BadHeader("unsupported version"))
+    );
+}
+
+#[test]
+fn corrupt_flags_do_not_panic() {
+    let blob = block(Method::Mt);
+    for flags in 0..=u8::MAX {
+        let mut bad = blob.clone();
+        bad[FLAGS_OFFSET] = flags;
+        let _ = Decompressor::new().decompress_block(&bad);
+    }
+}
+
+#[test]
+fn vq_blocks_decode_out_of_stream_order() {
+    // VQ is purely spatial: the second block of a stream must decode with a
+    // fresh decompressor that never saw the first.
+    let cfg = MdzConfig::new(ErrorBound::Absolute(1e-4)).with_method(Method::Vq);
+    let mut comp = Compressor::new(cfg);
+    let _first = comp.compress_buffer(&lattice(4, 150)).unwrap();
+    let second = comp.compress_buffer(&lattice(4, 150)).unwrap();
+    let out = Decompressor::new().decompress_block(&second).unwrap();
+    assert_eq!(out.len(), 4);
+}
+
+#[test]
+fn mid_stream_mt_block_errors_cleanly_without_reference() {
+    // MT blocks after the first depend on the stream's reference snapshot; a
+    // fresh decompressor must refuse them with an error, not misdecode.
+    let cfg = MdzConfig::new(ErrorBound::Absolute(1e-4)).with_method(Method::Mt);
+    let mut comp = Compressor::new(cfg);
+    let first = comp.compress_buffer(&lattice(4, 150)).unwrap();
+    let second = comp.compress_buffer(&lattice(4, 150)).unwrap();
+
+    assert!(Decompressor::new().decompress_block(&second).is_err());
+
+    // In stream order the same block decodes fine.
+    let mut dec = Decompressor::new();
+    dec.decompress_block(&first).unwrap();
+    let out = dec.decompress_block(&second).unwrap();
+    assert_eq!(out.len(), 4);
+}

@@ -1,0 +1,213 @@
+//! Golden-fixture format-stability tests.
+//!
+//! The on-disk block format is a compatibility contract: refactors of the
+//! encode pipeline must not change a single output byte for the fixed
+//! methods. These tests compress deterministic multi-buffer streams and
+//! compare the concatenated block bytes against fixtures checked into
+//! `tests/golden/`.
+//!
+//! To regenerate the fixtures after an *intentional* format change:
+//!
+//! ```text
+//! MDZ_BLESS=1 cargo test -p mdz-core --test format_stability
+//! ```
+//!
+//! and commit the updated `tests/golden/*.bin` files together with the
+//! format change and a version bump.
+
+use mdz_core::bound::ErrorBound;
+use mdz_core::buffer::{Compressor, Decompressor};
+use mdz_core::format::Method;
+use mdz_core::{EntropyStage, MdzConfig};
+use std::path::PathBuf;
+
+const N_PARTICLES: usize = 240;
+const SNAPSHOTS_PER_BUFFER: usize = 8;
+const N_BUFFERS: usize = 3;
+
+/// Deterministic LCG in [0, 1).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> f64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn gauss(&mut self) -> f64 {
+        let u1 = self.next().max(1e-12);
+        let u2 = self.next();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Einstein-crystal-like stream: equally spaced levels + small correlated
+/// thermal noise. Exercises grid detection (VQ), temporal smoothness (MT),
+/// and the Seq-2 interleave.
+fn lattice_stream() -> Vec<Vec<Vec<f64>>> {
+    let mut rng = Lcg(0x5EED_0001);
+    let spacing = 1.8075;
+    let sites: Vec<f64> = (0..N_PARTICLES).map(|i| (i % 24) as f64 * spacing).collect();
+    let mut disp: Vec<f64> = (0..N_PARTICLES).map(|_| rng.gauss() * 0.04).collect();
+    let mut buffers = Vec::new();
+    for _ in 0..N_BUFFERS {
+        let mut snapshots = Vec::new();
+        for _ in 0..SNAPSHOTS_PER_BUFFER {
+            let snap: Vec<f64> = sites.iter().zip(disp.iter()).map(|(s, d)| s + d).collect();
+            snapshots.push(snap);
+            for d in disp.iter_mut() {
+                *d = *d * 0.9 + rng.gauss() * 0.02;
+            }
+        }
+        buffers.push(snapshots);
+    }
+    buffers
+}
+
+/// Unstructured smooth stream (protein-like): no level grid, slow drift.
+fn smooth_stream() -> Vec<Vec<Vec<f64>>> {
+    let mut rng = Lcg(0x5EED_0002);
+    let mut pos: Vec<f64> = {
+        let mut p = 0.0;
+        (0..N_PARTICLES)
+            .map(|_| {
+                p += rng.gauss() * 0.7;
+                p
+            })
+            .collect()
+    };
+    let mut buffers = Vec::new();
+    for _ in 0..N_BUFFERS {
+        let mut snapshots = Vec::new();
+        for _ in 0..SNAPSHOTS_PER_BUFFER {
+            snapshots.push(pos.clone());
+            for p in pos.iter_mut() {
+                *p += rng.gauss() * 0.01;
+            }
+        }
+        buffers.push(snapshots);
+    }
+    buffers
+}
+
+/// Compresses a whole stream with one `Compressor`, framing each block with
+/// a little-endian u32 length so the fixture is self-delimiting.
+fn stream_bytes(cfg: MdzConfig, buffers: &[Vec<Vec<f64>>]) -> Vec<u8> {
+    let mut comp = Compressor::new(cfg);
+    let mut out = Vec::new();
+    for buf in buffers {
+        let block = comp.compress_buffer(buf).expect("compress");
+        out.extend_from_slice(&(block.len() as u32).to_le_bytes());
+        out.extend_from_slice(&block);
+    }
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.bin"))
+}
+
+fn check_golden(name: &str, bytes: &[u8]) {
+    let path = golden_path(name);
+    if std::env::var_os("MDZ_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, bytes).unwrap();
+        return;
+    }
+    let golden = std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {path:?}: {e}; run with MDZ_BLESS=1"));
+    assert_eq!(
+        golden,
+        bytes,
+        "{name}: block bytes diverged from the golden fixture — the on-disk \
+         format changed (lengths {} vs {})",
+        golden.len(),
+        bytes.len()
+    );
+}
+
+/// Every fixture must still decode to within the error bound — guards
+/// against blessing corrupt fixtures.
+fn check_decodes(bytes: &[u8], buffers: &[Vec<Vec<f64>>], eps: f64) {
+    let mut dec = Decompressor::new();
+    let mut pos = 0;
+    for buf in buffers {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        let block = &bytes[pos..pos + len];
+        let rec = dec.decompress_block(block).expect("decode");
+        assert_eq!(rec.len(), buf.len());
+        for (r, o) in rec.iter().zip(buf.iter()) {
+            for (a, b) in r.iter().zip(o.iter()) {
+                assert!((a - b).abs() <= eps * 1.000001, "bound violated: {a} vs {b}");
+            }
+        }
+        pos += len;
+    }
+    assert_eq!(pos, bytes.len());
+}
+
+fn cfg(method: Method) -> MdzConfig {
+    MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(method)
+}
+
+#[test]
+fn golden_vq_lattice() {
+    let buffers = lattice_stream();
+    let bytes = stream_bytes(cfg(Method::Vq), &buffers);
+    check_decodes(&bytes, &buffers, 1e-3);
+    check_golden("vq_lattice", &bytes);
+}
+
+#[test]
+fn golden_vqt_lattice() {
+    let buffers = lattice_stream();
+    let bytes = stream_bytes(cfg(Method::Vqt), &buffers);
+    check_decodes(&bytes, &buffers, 1e-3);
+    check_golden("vqt_lattice", &bytes);
+}
+
+#[test]
+fn golden_mt_lattice() {
+    let buffers = lattice_stream();
+    let bytes = stream_bytes(cfg(Method::Mt), &buffers);
+    check_decodes(&bytes, &buffers, 1e-3);
+    check_golden("mt_lattice", &bytes);
+}
+
+#[test]
+fn golden_mt2_smooth() {
+    let buffers = smooth_stream();
+    let bytes = stream_bytes(cfg(Method::Mt2), &buffers);
+    check_decodes(&bytes, &buffers, 1e-3);
+    check_golden("mt2_smooth", &bytes);
+}
+
+#[test]
+fn golden_vq_smooth_no_grid() {
+    // Smooth data has no level grid: exercises the Lorenzo fallback path.
+    let buffers = smooth_stream();
+    let bytes = stream_bytes(cfg(Method::Vq), &buffers);
+    check_decodes(&bytes, &buffers, 1e-3);
+    check_golden("vq_smooth", &bytes);
+}
+
+#[test]
+fn golden_mt_range_coded() {
+    let buffers = lattice_stream();
+    let bytes = stream_bytes(cfg(Method::Mt).with_entropy(EntropyStage::Range), &buffers);
+    check_decodes(&bytes, &buffers, 1e-3);
+    check_golden("mt_lattice_range", &bytes);
+}
+
+#[test]
+fn golden_vqt_no_seq2_relative_bound() {
+    // Value-range-relative bound resolves to a per-buffer absolute eps; the
+    // resolved value is part of the header and must stay stable too.
+    let buffers = lattice_stream();
+    let cfg = MdzConfig::new(ErrorBound::ValueRangeRelative(1e-4))
+        .with_method(Method::Vqt)
+        .with_seq2(false);
+    let bytes = stream_bytes(cfg, &buffers);
+    check_golden("vqt_lattice_noseq2_rel", &bytes);
+}

@@ -70,11 +70,35 @@ impl BitWriter {
 
     /// Flushes any partial byte (zero-padded on the right) and returns the buffer.
     pub fn finish(mut self) -> Vec<u8> {
+        self.flush_partial();
+        self.buf
+    }
+
+    /// Flushes any partial byte (zero-padded on the right) and returns the
+    /// accumulated bytes without consuming the writer.
+    ///
+    /// The writer is left in a flushed state: further writes would start a
+    /// new byte. Use [`BitWriter::clear`] to reuse the allocation for a
+    /// fresh stream.
+    pub fn flush(&mut self) -> &[u8] {
+        self.flush_partial();
+        &self.buf
+    }
+
+    /// Resets the writer to empty, keeping the buffer allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.nbits = 0;
+        self.acc = 0;
+    }
+
+    fn flush_partial(&mut self) {
         if self.nbits > 0 {
             self.acc <<= 8 - self.nbits;
             self.buf.push(self.acc as u8);
+            self.acc = 0;
+            self.nbits = 0;
         }
-        self.buf
     }
 }
 
@@ -163,14 +187,8 @@ mod tests {
 
     #[test]
     fn multi_bit_round_trip_mixed_widths() {
-        let values: Vec<(u64, u32)> = vec![
-            (0b1, 1),
-            (0b1011, 4),
-            (0xDEADBEEF, 32),
-            (0, 7),
-            (u64::MAX, 64),
-            (0x12345, 20),
-        ];
+        let values: Vec<(u64, u32)> =
+            vec![(0b1, 1), (0b1011, 4), (0xDEADBEEF, 32), (0, 7), (u64::MAX, 64), (0x12345, 20)];
         let mut w = BitWriter::new();
         for &(v, n) in &values {
             w.write_bits(v, n);

@@ -53,34 +53,50 @@ fn code_lengths(freqs: &[u64]) -> Vec<u8> {
     }
 }
 
+/// Heap entry for the Huffman tree construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Node {
+    freq: u64,
+    id: usize,
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on (freq, id); id tiebreak keeps construction deterministic.
+        other.freq.cmp(&self.freq).then(other.id.cmp(&self.id))
+    }
+}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// Computes tree depths for each entry of `freqs` with a standard two-queue
 /// Huffman construction over a binary heap.
 fn tree_depths(freqs: &[u64]) -> Vec<u8> {
-    #[derive(PartialEq, Eq)]
-    struct Node {
-        freq: u64,
-        id: usize,
-    }
-    impl Ord for Node {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            // Min-heap on (freq, id); id tiebreak keeps construction deterministic.
-            other.freq.cmp(&self.freq).then(other.id.cmp(&self.id))
-        }
-    }
-    impl PartialOrd for Node {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
+    let mut parent = Vec::new();
+    let mut heap = BinaryHeap::new();
+    let mut depth = Vec::new();
+    let mut out = Vec::new();
+    tree_depths_into(freqs, &mut parent, &mut heap, &mut depth, &mut out);
+    out
+}
 
+/// [`tree_depths`] writing into caller-owned buffers (no allocation once the
+/// buffers have grown to the working size).
+fn tree_depths_into(
+    freqs: &[u64],
+    parent: &mut Vec<usize>,
+    heap: &mut BinaryHeap<Node>,
+    depth: &mut Vec<u8>,
+    out: &mut Vec<u8>,
+) {
     let n = freqs.len();
     // parent[i] for 2n-1 tree nodes; leaves are 0..n.
-    let mut parent = vec![usize::MAX; 2 * n - 1];
-    let mut heap: BinaryHeap<Node> = freqs
-        .iter()
-        .enumerate()
-        .map(|(id, &freq)| Node { freq: freq.max(1), id })
-        .collect();
+    parent.clear();
+    parent.resize(2 * n - 1, usize::MAX);
+    heap.clear();
+    heap.extend(freqs.iter().enumerate().map(|(id, &freq)| Node { freq: freq.max(1), id }));
     let mut next_id = n;
     while heap.len() > 1 {
         let a = heap.pop().unwrap();
@@ -91,15 +107,16 @@ fn tree_depths(freqs: &[u64]) -> Vec<u8> {
         next_id += 1;
     }
     let root = next_id - 1;
-    let mut depth = vec![0u8; 2 * n - 1];
+    depth.clear();
+    depth.resize(2 * n - 1, 0u8);
     // Parents always have larger ids, so a reverse sweep resolves depths.
     for id in (0..2 * n - 1).rev() {
         if id != root {
             depth[id] = depth[parent[id]].saturating_add(1);
         }
     }
-    depth.truncate(n);
-    depth
+    out.clear();
+    out.extend_from_slice(&depth[..n]);
 }
 
 /// Assigns canonical codes to `(symbol, len)` pairs sorted by `(len, symbol)`.
@@ -184,11 +201,7 @@ impl HuffmanEncoder {
             _ => {
                 let freqs: Vec<u64> = entries.iter().map(|&(_, f)| f).collect();
                 let lens = code_lengths(&freqs);
-                table = entries
-                    .iter()
-                    .zip(lens.iter())
-                    .map(|(&(s, _), &l)| (s, l))
-                    .collect();
+                table = entries.iter().zip(lens.iter()).map(|(&(s, _), &l)| (s, l)).collect();
                 table.sort_unstable_by_key(|&(s, l)| (l, s));
             }
         }
@@ -239,10 +252,7 @@ impl HuffmanEncoder {
         }
         let mut bits = BitWriter::with_capacity(symbols.len() / 2);
         for &s in symbols {
-            let c = self
-                .map
-                .get(s)
-                .expect("symbol not present in encoder frequency set");
+            let c = self.map.get(s).expect("symbol not present in encoder frequency set");
             bits.write_bits(u64::from(c.code), u32::from(c.len));
         }
         let payload = bits.finish();
@@ -374,9 +384,146 @@ pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
     HuffmanEncoder::from_symbols(symbols).encode(symbols)
 }
 
+/// Reusable workspace for [`huffman_encode_into`].
+///
+/// Holds every intermediate buffer of the encode path (symbol counts, tree
+/// arrays, canonical table, bit accumulator) so a steady-state caller
+/// performs no heap allocation once the buffers have grown to the working
+/// set size.
+#[derive(Debug, Clone, Default)]
+pub struct HuffmanScratch {
+    counts: Vec<u64>,
+    entries: Vec<(u32, u64)>,
+    freqs: Vec<u64>,
+    lens: Vec<u8>,
+    parent: Vec<usize>,
+    depth: Vec<u8>,
+    heap: BinaryHeap<Node>,
+    table: Vec<(u32, u8)>,
+    codes: Vec<Code>,
+    dense: Vec<Code>,
+    sorted: Vec<(u32, u8)>,
+    bits: BitWriter,
+}
+
+/// Appends the stream [`huffman_encode`] would produce for `symbols` to
+/// `out`, reusing `scratch` for all intermediate state.
+///
+/// Output bytes are identical to [`huffman_encode`]. Allocation-free after
+/// warm-up for alphabets below the dense-counting limit (the case for
+/// quantization codes); the rare huge-alphabet path falls back to the
+/// allocating encoder.
+pub fn huffman_encode_into(symbols: &[u32], out: &mut Vec<u8>, scratch: &mut HuffmanScratch) {
+    let max = symbols.iter().copied().max().unwrap_or(0);
+    if u64::from(max) >= DENSE_LIMIT {
+        // Sparse-alphabet path: rare (symbols here are quantization codes,
+        // bounded by the radius); reuse the allocating hash-map encoder.
+        out.extend_from_slice(&huffman_encode(symbols));
+        return;
+    }
+    let HuffmanScratch {
+        counts,
+        entries,
+        freqs,
+        lens,
+        parent,
+        depth,
+        heap,
+        table,
+        codes,
+        dense,
+        sorted,
+        bits,
+    } = scratch;
+
+    // Dense count, mirroring `HuffmanEncoder::from_symbols`.
+    counts.clear();
+    counts.resize(max as usize + 1, 0);
+    for &s in symbols {
+        counts[s as usize] += 1;
+    }
+    entries.clear();
+    entries.extend(counts.iter().enumerate().filter(|&(_, &c)| c > 0).map(|(s, &c)| (s as u32, c)));
+
+    // Table construction, mirroring `from_sorted_entries`.
+    table.clear();
+    match entries.len() {
+        0 => {}
+        1 => table.push((entries[0].0, 1)),
+        _ => {
+            freqs.clear();
+            freqs.extend(entries.iter().map(|&(_, f)| f));
+            loop {
+                tree_depths_into(freqs, parent, heap, depth, lens);
+                if lens.iter().all(|&l| u32::from(l) <= MAX_CODE_LEN) {
+                    break;
+                }
+                for f in freqs.iter_mut() {
+                    *f = (*f >> 1) + 1;
+                }
+            }
+            table.extend(entries.iter().zip(lens.iter()).map(|(&(s, _), &l)| (s, l)));
+            table.sort_unstable_by_key(|&(s, l)| (l, s));
+        }
+    }
+
+    // Canonical codes and a dense symbol→code map (max < DENSE_LIMIT here).
+    codes.clear();
+    {
+        let mut code = 0u32;
+        let mut prev_len = 0u8;
+        for &(_, len) in table.iter() {
+            code <<= len - prev_len;
+            codes.push(Code { code, len });
+            code += 1;
+            prev_len = len;
+        }
+    }
+    dense.clear();
+    dense.resize(max as usize + 1, Code { code: 0, len: 0 });
+    for (&(s, _), &c) in table.iter().zip(codes.iter()) {
+        dense[s as usize] = c;
+    }
+
+    // Stream layout identical to `HuffmanEncoder::encode`.
+    write_uvarint(out, symbols.len() as u64);
+    write_uvarint(out, table.len() as u64);
+    sorted.clear();
+    sorted.extend_from_slice(table);
+    sorted.sort_unstable_by_key(|&(s, _)| s);
+    let mut prev = 0u32;
+    for (i, &(s, l)) in sorted.iter().enumerate() {
+        let delta = if i == 0 { u64::from(s) } else { u64::from(s - prev) };
+        write_uvarint(out, delta);
+        out.push(l);
+        prev = s;
+    }
+    if table.len() <= 1 {
+        return;
+    }
+    bits.clear();
+    for &s in symbols {
+        let c = dense[s as usize];
+        debug_assert!(c.len > 0, "symbol not present in encoder frequency set");
+        bits.write_bits(u64::from(c.code), u32::from(c.len));
+    }
+    let payload = bits.flush();
+    write_uvarint(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+}
+
 /// Decodes a stream produced by [`huffman_encode`], starting at `*pos` and
 /// advancing it past the stream.
 pub fn huffman_decode_at(data: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
+    let mut out = Vec::new();
+    huffman_decode_at_into(data, pos, &mut out)?;
+    Ok(out)
+}
+
+/// [`huffman_decode_at`] writing the symbols into a caller-owned vector
+/// (cleared first), so a streaming decoder can reuse the allocation.
+pub fn huffman_decode_at_into(data: &[u8], pos: &mut usize, out: &mut Vec<u32>) -> Result<()> {
+    out.clear();
     let count = read_uvarint(data, pos)? as usize;
     if count > (1 << 34) {
         return Err(EntropyError::Corrupt("implausible symbol count"));
@@ -387,9 +534,12 @@ pub fn huffman_decode_at(data: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
             if count != 0 {
                 return Err(EntropyError::Corrupt("nonzero count with empty alphabet"));
             }
-            Ok(Vec::new())
+            Ok(())
         }
-        1 => Ok(vec![dec.symbols[0]; count]),
+        1 => {
+            out.resize(count, dec.symbols[0]);
+            Ok(())
+        }
         _ => {
             let payload_len = read_uvarint(data, pos)? as usize;
             let end = pos
@@ -400,12 +550,12 @@ pub fn huffman_decode_at(data: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
             // Cap eager allocation: `count` is untrusted until the payload
             // actually yields that many symbols (a forged header must not
             // OOM us).
-            let mut out = Vec::with_capacity(count.min(1 << 20));
+            out.reserve(count.min(1 << 20));
             for _ in 0..count {
                 out.push(dec.decode_symbol(&mut bits)?);
             }
             *pos = end;
-            Ok(out)
+            Ok(())
         }
     }
 }
@@ -461,7 +611,8 @@ mod tests {
 
     #[test]
     fn large_sparse_alphabet() {
-        let v: Vec<u32> = (0..4000).map(|i| (i * 2_654_435_761u64 % 1_000_000_007) as u32).collect();
+        let v: Vec<u32> =
+            (0..4000).map(|i| (i * 2_654_435_761u64 % 1_000_000_007) as u32).collect();
         round_trip(&v);
     }
 
@@ -529,6 +680,58 @@ mod tests {
         let mut pos = 0;
         assert_eq!(huffman_decode_at(&buf, &mut pos).unwrap(), a);
         assert_eq!(huffman_decode_at(&buf, &mut pos).unwrap(), b);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn encode_into_is_byte_identical() {
+        let inputs: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![42; 1000],
+            (0..1000u32).map(|i| i % 17).collect(),
+            (0..4000u32).map(|i| (i as u64 * 2_654_435_761 % 1_000_000_007) as u32).collect(),
+            {
+                let mut v = vec![0u32; 100];
+                v.extend(vec![1u32; 3]);
+                v
+            },
+            {
+                // Fibonacci frequencies exercise the length limiter.
+                let mut v = Vec::new();
+                let (mut a, mut b) = (1u64, 1u64);
+                for s in 0..48u32 {
+                    for _ in 0..a.min(10_000) {
+                        v.push(s);
+                    }
+                    let c = a + b;
+                    a = b;
+                    b = c;
+                }
+                v
+            },
+        ];
+        let mut scratch = HuffmanScratch::default();
+        let mut out = Vec::new();
+        for v in &inputs {
+            // Reuse the same scratch across inputs: state must not leak.
+            out.clear();
+            huffman_encode_into(v, &mut out, &mut scratch);
+            assert_eq!(out, huffman_encode(v), "{} symbols", v.len());
+        }
+    }
+
+    #[test]
+    fn decode_at_into_reuses_buffer() {
+        let a: Vec<u32> = (0..100).map(|i| i % 3).collect();
+        let b: Vec<u32> = (0..50).map(|i| i % 7 + 100).collect();
+        let mut buf = huffman_encode(&a);
+        buf.extend(huffman_encode(&b));
+        let mut pos = 0;
+        let mut out = Vec::new();
+        huffman_decode_at_into(&buf, &mut pos, &mut out).unwrap();
+        assert_eq!(out, a);
+        huffman_decode_at_into(&buf, &mut pos, &mut out).unwrap();
+        assert_eq!(out, b);
         assert_eq!(pos, buf.len());
     }
 

@@ -18,8 +18,11 @@ pub mod range;
 pub mod varint;
 
 pub use bitio::{BitReader, BitWriter};
-pub use range::{range_decode, range_encode};
-pub use huffman::{huffman_decode, huffman_encode, HuffmanDecoder, HuffmanEncoder};
+pub use huffman::{
+    huffman_decode, huffman_encode, huffman_encode_into, HuffmanDecoder, HuffmanEncoder,
+    HuffmanScratch,
+};
+pub use range::{range_decode, range_encode, RangeScratch};
 pub use varint::{
     read_ivarint, read_uvarint, write_ivarint, write_uvarint, zigzag_decode, zigzag_encode,
 };

@@ -23,6 +23,7 @@ const RANGE_FLOOR: u64 = 1 << 48;
 const SHIFT: u32 = 56;
 
 /// Cumulative-frequency model shared by encoder and decoder.
+#[derive(Debug, Clone, Default)]
 struct Model {
     /// Distinct symbols, ascending.
     symbols: Vec<u32>,
@@ -31,20 +32,19 @@ struct Model {
 }
 
 impl Model {
-    /// Builds a model from `(symbol, count)` pairs sorted by symbol,
-    /// rescaling counts so they sum to ≤ [`MAX_TOTAL`] with every count ≥ 1.
-    fn from_counts(entries: &[(u32, u64)]) -> Self {
+    /// Rebuilds the model in place from `(symbol, count)` pairs sorted by
+    /// symbol, rescaling counts so they sum to ≤ [`MAX_TOTAL`] with every
+    /// count ≥ 1. `freqs` is a caller-owned scratch buffer.
+    fn rebuild(&mut self, entries: &[(u32, u64)], freqs: &mut Vec<u32>) {
         let total: u64 = entries.iter().map(|&(_, c)| c).sum::<u64>().max(1);
         let n = entries.len() as u64;
-        let mut freqs: Vec<u32> = entries
-            .iter()
-            .map(|&(_, c)| {
-                // Proportional share of (MAX_TOTAL − n), plus 1 so no symbol
-                // gets a zero slot.
-                let scaled = c * (MAX_TOTAL - n) / total;
-                (scaled + 1) as u32
-            })
-            .collect();
+        freqs.clear();
+        freqs.extend(entries.iter().map(|&(_, c)| {
+            // Proportional share of (MAX_TOTAL − n), plus 1 so no symbol
+            // gets a zero slot.
+            let scaled = c * (MAX_TOTAL - n) / total;
+            (scaled + 1) as u32
+        }));
         // Rounding can overshoot; shave the largest entries down.
         let mut sum: u64 = freqs.iter().map(|&f| u64::from(f)).sum();
         while sum > MAX_TOTAL {
@@ -57,14 +57,16 @@ impl Model {
             freqs[i] -= 1;
             sum -= 1;
         }
-        let mut cum = Vec::with_capacity(entries.len() + 1);
+        self.cum.clear();
+        self.cum.reserve(entries.len() + 1);
         let mut acc = 0u32;
-        cum.push(0);
-        for &f in &freqs {
+        self.cum.push(0);
+        for &f in freqs.iter() {
             acc += f;
-            cum.push(acc);
+            self.cum.push(acc);
         }
-        Self { symbols: entries.iter().map(|&(s, _)| s).collect(), cum }
+        self.symbols.clear();
+        self.symbols.extend(entries.iter().map(|&(s, _)| s));
     }
 
     fn total(&self) -> u32 {
@@ -134,8 +136,11 @@ struct RangeEncoder {
 }
 
 impl RangeEncoder {
-    fn new() -> Self {
-        Self { low: 0, range: u64::MAX, out: Vec::new() }
+    /// Starts an encoder that appends to `buf` (cleared first), so a caller
+    /// can recycle the payload allocation across streams.
+    fn with_buffer(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Self { low: 0, range: u64::MAX, out: buf }
     }
 
     #[inline]
@@ -253,60 +258,83 @@ impl<'a> RangeDecoder<'a> {
     }
 }
 
+/// Reusable workspace for [`range_encode_into`].
+#[derive(Debug, Clone, Default)]
+pub struct RangeScratch {
+    sorted: Vec<u32>,
+    entries: Vec<(u32, u64)>,
+    freqs: Vec<u32>,
+    model: Model,
+    payload: Vec<u8>,
+}
+
 /// Encodes `symbols` into a self-contained range-coded stream.
 pub fn range_encode(symbols: &[u32]) -> Vec<u8> {
     let mut out = Vec::new();
-    write_uvarint(&mut out, symbols.len() as u64);
-    // Count frequencies (dense when compact, sorted map otherwise).
-    let mut entries: Vec<(u32, u64)> = {
-        let mut sorted = symbols.to_vec();
-        sorted.sort_unstable();
-        let mut entries = Vec::new();
-        let mut i = 0;
-        while i < sorted.len() {
-            let s = sorted[i];
-            let mut j = i;
-            while j < sorted.len() && sorted[j] == s {
-                j += 1;
-            }
-            entries.push((s, (j - i) as u64));
-            i = j;
+    range_encode_into(symbols, &mut out, &mut RangeScratch::default());
+    out
+}
+
+/// Appends the stream [`range_encode`] produces for `symbols` to `out`,
+/// reusing `scratch` for the frequency model and payload buffer.
+pub fn range_encode_into(symbols: &[u32], out: &mut Vec<u8>, scratch: &mut RangeScratch) {
+    let RangeScratch { sorted, entries, freqs, model, payload } = scratch;
+    write_uvarint(out, symbols.len() as u64);
+    // Count frequencies via a sort + run scan (entries come out symbol-sorted).
+    sorted.clear();
+    sorted.extend_from_slice(symbols);
+    sorted.sort_unstable();
+    entries.clear();
+    let mut i = 0;
+    while i < sorted.len() {
+        let s = sorted[i];
+        let mut j = i;
+        while j < sorted.len() && sorted[j] == s {
+            j += 1;
         }
-        entries
-    };
+        entries.push((s, (j - i) as u64));
+        i = j;
+    }
     if entries.is_empty() {
-        return out;
+        return;
     }
     if entries.len() == 1 {
         // Degenerate: store the symbol only.
-        write_uvarint(&mut out, 1);
-        write_uvarint(&mut out, u64::from(entries[0].0));
-        return out;
+        write_uvarint(out, 1);
+        write_uvarint(out, u64::from(entries[0].0));
+        return;
     }
-    entries.sort_unstable_by_key(|&(s, _)| s);
-    let model = Model::from_counts(&entries);
-    write_uvarint(&mut out, 0); // tag: full model follows
-    model.write(&mut out);
+    model.rebuild(entries, freqs);
+    write_uvarint(out, 0); // tag: full model follows
+    model.write(out);
     let total = model.total();
-    let mut enc = RangeEncoder::new();
+    let mut enc = RangeEncoder::with_buffer(std::mem::take(payload));
     for &s in symbols {
         let i = model.index_of(s).expect("symbol in model");
         enc.encode(model.cum[i], model.cum[i + 1] - model.cum[i], total);
     }
-    let payload = enc.finish();
-    write_uvarint(&mut out, payload.len() as u64);
-    out.extend_from_slice(&payload);
-    out
+    *payload = enc.finish();
+    write_uvarint(out, payload.len() as u64);
+    out.extend_from_slice(payload);
 }
 
 /// Decodes a stream produced by [`range_encode`], advancing `*pos`.
 pub fn range_decode_at(data: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
+    let mut out = Vec::new();
+    range_decode_at_into(data, pos, &mut out)?;
+    Ok(out)
+}
+
+/// [`range_decode_at`] writing the symbols into a caller-owned vector
+/// (cleared first), so a streaming decoder can reuse the allocation.
+pub fn range_decode_at_into(data: &[u8], pos: &mut usize, out: &mut Vec<u32>) -> Result<()> {
+    out.clear();
     let count = read_uvarint(data, pos)? as usize;
     if count > (1 << 34) {
         return Err(EntropyError::Corrupt("implausible symbol count"));
     }
     if count == 0 {
-        return Ok(Vec::new());
+        return Ok(());
     }
     let tag = read_uvarint(data, pos)?;
     if tag == 1 {
@@ -314,7 +342,8 @@ pub fn range_decode_at(data: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
         if sym > u64::from(u32::MAX) {
             return Err(EntropyError::Corrupt("symbol exceeds u32"));
         }
-        return Ok(vec![sym as u32; count]);
+        out.resize(count, sym as u32);
+        return Ok(());
     }
     if tag != 0 {
         return Err(EntropyError::Corrupt("unknown stream tag"));
@@ -332,7 +361,7 @@ pub fn range_decode_at(data: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
     let total = model.total();
     // Cap eager allocation: `count` is untrusted (forged headers must not
     // OOM us); the decode loop below grows organically.
-    let mut out = Vec::with_capacity(count.min(1 << 20));
+    out.reserve(count.min(1 << 20));
     for _ in 0..count {
         let v = dec.decode_value(total);
         let i = model.slot_of(v);
@@ -340,7 +369,7 @@ pub fn range_decode_at(data: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
         dec.consume(model.cum[i], model.cum[i + 1] - model.cum[i], total);
     }
     *pos = end;
-    Ok(out)
+    Ok(())
 }
 
 /// Decodes a stream produced by [`range_encode`].
@@ -385,10 +414,7 @@ mod tests {
         }
         let range_size = round_trip(&v);
         let huff_size = crate::huffman::huffman_encode(&v).len();
-        assert!(
-            range_size < huff_size,
-            "range {range_size} should beat huffman {huff_size} here"
-        );
+        assert!(range_size < huff_size, "range {range_size} should beat huffman {huff_size} here");
     }
 
     #[test]
@@ -454,6 +480,30 @@ mod tests {
                 })
                 .collect();
             let _ = range_decode(&data);
+        }
+    }
+
+    #[test]
+    fn encode_into_with_reused_scratch_is_byte_identical() {
+        let inputs: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![7],
+            vec![42; 1000],
+            (0..2000u32).map(|i| i % 37).collect(),
+            (0..3000u32).map(|i| (i as u64 * 2_654_435_761 % 999_999_937) as u32).collect(),
+        ];
+        let mut scratch = RangeScratch::default();
+        let mut out = Vec::new();
+        for v in &inputs {
+            out.clear();
+            range_encode_into(v, &mut out, &mut scratch);
+            // Fresh-scratch encode (the public wrapper) must agree byte for
+            // byte: no state may leak between streams.
+            assert_eq!(out, range_encode(v), "{} symbols", v.len());
+            let mut pos = 0;
+            let mut dec = Vec::new();
+            range_decode_at_into(&out, &mut pos, &mut dec).unwrap();
+            assert_eq!(&dec, v);
         }
     }
 

@@ -315,7 +315,8 @@ mod tests {
 
     #[test]
     fn boundaries_partition_the_input() {
-        let mut data: Vec<f64> = (0..500).map(|i| ((i % 7) * 10) as f64 + (i % 3) as f64 * 0.01).collect();
+        let mut data: Vec<f64> =
+            (0..500).map(|i| ((i % 7) * 10) as f64 + (i % 3) as f64 * 0.01).collect();
         data.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let c = kmeans_1d(&data, 7);
         assert_eq!(c.starts[0], 0);

@@ -42,7 +42,8 @@ impl Predictors {
     #[inline]
     fn update(&mut self, actual: u64) {
         self.fcm[self.fcm_hash] = actual;
-        self.fcm_hash = (((self.fcm_hash << 6) as u64 ^ (actual >> 48)) as usize) & (TABLE_SIZE - 1);
+        self.fcm_hash =
+            (((self.fcm_hash << 6) as u64 ^ (actual >> 48)) as usize) & (TABLE_SIZE - 1);
         let delta = actual.wrapping_sub(self.last);
         self.dfcm[self.dfcm_hash] = delta;
         self.dfcm_hash =
@@ -126,9 +127,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<f64>> {
         // coded 4..=7 ↔ lzb 5..=8 (lzb 4 is never produced).
         let lzb = if coded >= 4 { coded + 1 } else { coded } as usize;
         let nbytes = 8 - lzb;
-        let chunk = data
-            .get(rpos..rpos + nbytes)
-            .ok_or(EntropyError::UnexpectedEof)?;
+        let chunk = data.get(rpos..rpos + nbytes).ok_or(EntropyError::UnexpectedEof)?;
         rpos += nbytes;
         let mut be = [0u8; 8];
         be[8 - nbytes..].copy_from_slice(chunk);

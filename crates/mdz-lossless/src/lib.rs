@@ -41,10 +41,7 @@ pub fn bytes_to_f64s(data: &[u8]) -> Result<Vec<f64>> {
     if !data.len().is_multiple_of(8) {
         return Err(mdz_entropy::EntropyError::Corrupt("byte length not a multiple of 8"));
     }
-    Ok(data
-        .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-        .collect())
+    Ok(data.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect())
 }
 
 #[cfg(test)]

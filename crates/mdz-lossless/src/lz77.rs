@@ -16,8 +16,8 @@
 //! short match tokens.
 
 use mdz_entropy::{
-    huffman::huffman_decode_at, read_uvarint, write_uvarint, BitReader, BitWriter, EntropyError,
-    HuffmanEncoder, Result,
+    huffman::{huffman_decode_at, huffman_encode_into},
+    read_uvarint, write_uvarint, BitReader, BitWriter, EntropyError, HuffmanScratch, Result,
 };
 
 /// Minimum match length worth emitting.
@@ -95,25 +95,26 @@ fn unbucket(k: u32, bits: &mut BitReader<'_>) -> Result<u64> {
     Ok((1u64 << extra_bits) + extra)
 }
 
-/// A parsed token stream before entropy coding.
-struct Tokens {
+/// Reusable workspace for [`compress_into`]: match-finder tables, the parsed
+/// token streams, and the Huffman encoder's scratch.
+#[derive(Debug, Clone, Default)]
+pub struct Lz77Scratch {
+    /// Hash-chain heads, indexed by 4-byte-prefix hash.
+    head: Vec<i64>,
+    /// Previous chain entry per window slot.
+    prev: Vec<i64>,
     /// Literal bytes (0..=255) or `MATCH_BASE + length_bucket`.
     litlen: Vec<u32>,
     /// Distance buckets, one per match, in token order.
     dist: Vec<u32>,
     /// Length extras then distance extras, per match, in token order.
     extra: BitWriter,
+    huffman: HuffmanScratch,
 }
 
 /// Finds the longest match for `pos` among the hash chain, at most `depth`
 /// candidates, within the window. Returns `(length, distance)`.
-fn best_match(
-    data: &[u8],
-    pos: usize,
-    head: &[i64],
-    prev: &[i64],
-    depth: usize,
-) -> (usize, usize) {
+fn best_match(data: &[u8], pos: usize, head: &[i64], prev: &[i64], depth: usize) -> (usize, usize) {
     let max_len = (data.len() - pos).min(MAX_MATCH);
     if max_len < MIN_MATCH {
         return (0, 0);
@@ -150,12 +151,17 @@ fn best_match(
     }
 }
 
-/// Greedy/lazy LZ77 parse producing the token streams.
-fn parse(data: &[u8], level: Level) -> Tokens {
-    let mut tokens = Tokens { litlen: Vec::new(), dist: Vec::new(), extra: BitWriter::new() };
+/// Greedy/lazy LZ77 parse writing the token streams into `scratch`.
+fn parse_into(data: &[u8], level: Level, scratch: &mut Lz77Scratch) {
+    let Lz77Scratch { head, prev, litlen, dist: dists, extra, .. } = scratch;
     let n = data.len();
-    let mut head = vec![i64::MIN; 1 << HASH_BITS];
-    let mut prev = vec![i64::MIN; WINDOW];
+    head.clear();
+    head.resize(1 << HASH_BITS, i64::MIN);
+    prev.clear();
+    prev.resize(WINDOW, i64::MIN);
+    litlen.clear();
+    dists.clear();
+    extra.clear();
     let depth = level.chain_depth();
     let lazy = level.lazy();
 
@@ -169,31 +175,31 @@ fn parse(data: &[u8], level: Level) -> Tokens {
 
     let mut i = 0;
     while i < n {
-        let (mut len, mut dist) = best_match(data, i, &head, &prev, depth);
+        let (mut len, mut dist) = best_match(data, i, head, prev, depth);
         if lazy && (MIN_MATCH..MAX_MATCH).contains(&len) && i + 1 < n {
             // Peek one position ahead; if it has a strictly longer match,
             // emit a literal now and take the later match.
-            insert(&mut head, &mut prev, data, i);
-            let (len2, dist2) = best_match(data, i + 1, &head, &prev, depth);
+            insert(head, prev, data, i);
+            let (len2, dist2) = best_match(data, i + 1, head, prev, depth);
             if len2 > len + 1 {
-                tokens.litlen.push(u32::from(data[i]));
+                litlen.push(u32::from(data[i]));
                 i += 1;
                 len = len2;
                 dist = dist2;
             }
         } else if len >= MIN_MATCH {
-            insert(&mut head, &mut prev, data, i);
+            insert(head, prev, data, i);
         }
         if len >= MIN_MATCH {
             let (lb, _, lextra) = bucket_of((len - MIN_MATCH) as u64);
             let (db, _, dextra) = bucket_of((dist - 1) as u64);
-            tokens.litlen.push(MATCH_BASE + lb);
-            tokens.dist.push(db);
+            litlen.push(MATCH_BASE + lb);
+            dists.push(db);
             if lb > 0 {
-                tokens.extra.write_bits(lextra, lb - 1);
+                extra.write_bits(lextra, lb - 1);
             }
             if db > 0 {
-                tokens.extra.write_bits(dextra, db - 1);
+                extra.write_bits(dextra, db - 1);
             }
             // Insert hash entries for the matched region (sparsely for speed).
             let start = i + 1;
@@ -201,17 +207,16 @@ fn parse(data: &[u8], level: Level) -> Tokens {
             let stride = if len > 64 { 4 } else { 1 };
             let mut j = start;
             while j < end {
-                insert(&mut head, &mut prev, data, j);
+                insert(head, prev, data, j);
                 j += stride;
             }
             i = end;
         } else {
-            insert(&mut head, &mut prev, data, i);
-            tokens.litlen.push(u32::from(data[i]));
+            insert(head, prev, data, i);
+            litlen.push(u32::from(data[i]));
             i += 1;
         }
     }
-    tokens
 }
 
 /// Compresses `data` at the given effort level.
@@ -219,19 +224,34 @@ fn parse(data: &[u8], level: Level) -> Tokens {
 /// Output layout: `uvarint(raw_len)` · huffman(litlen) · huffman(dist) ·
 /// `uvarint(extra_len)` · extra-bit bytes.
 pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
-    let tokens = parse(data, level);
     let mut out = Vec::with_capacity(data.len() / 2 + 16);
-    write_uvarint(&mut out, data.len() as u64);
-    out.extend(HuffmanEncoder::from_symbols(&tokens.litlen).encode(&tokens.litlen));
-    out.extend(HuffmanEncoder::from_symbols(&tokens.dist).encode(&tokens.dist));
-    let extra = tokens.extra.finish();
-    write_uvarint(&mut out, extra.len() as u64);
-    out.extend_from_slice(&extra);
+    compress_into(data, level, &mut out, &mut Lz77Scratch::default());
     out
+}
+
+/// Appends the stream [`compress`] produces for `data` to `out`, reusing
+/// `scratch` for the match finder, token streams, and Huffman workspace —
+/// allocation-free once the scratch has grown to the working-set size.
+pub fn compress_into(data: &[u8], level: Level, out: &mut Vec<u8>, scratch: &mut Lz77Scratch) {
+    parse_into(data, level, scratch);
+    write_uvarint(out, data.len() as u64);
+    huffman_encode_into(&scratch.litlen, out, &mut scratch.huffman);
+    huffman_encode_into(&scratch.dist, out, &mut scratch.huffman);
+    let extra = scratch.extra.flush();
+    write_uvarint(out, extra.len() as u64);
+    out.extend_from_slice(extra);
 }
 
 /// Decompresses a stream produced by [`compress`].
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    decompress_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// [`decompress`] writing into a caller-owned vector (cleared first).
+pub fn decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<()> {
+    out.clear();
     let mut pos = 0;
     let raw_len = read_uvarint(data, &mut pos)? as usize;
     if raw_len > (1 << 34) {
@@ -248,7 +268,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
 
     // Cap eager allocation: `raw_len` is untrusted until the token stream
     // actually produces that many bytes.
-    let mut out = Vec::with_capacity(raw_len.min(1 << 20));
+    out.reserve(raw_len.min(1 << 20));
     let mut next_dist = 0usize;
     for &sym in &litlen {
         if sym < MATCH_BASE {
@@ -281,7 +301,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
     if out.len() != raw_len {
         return Err(EntropyError::Corrupt("output shorter than declared length"));
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -419,6 +439,31 @@ mod tests {
         mdz_entropy::read_uvarint(&real, &mut pos).unwrap();
         forged.extend_from_slice(&real[pos..]);
         assert!(decompress(&forged).is_err());
+    }
+
+    #[test]
+    fn compress_into_with_reused_scratch_is_byte_identical() {
+        let inputs: Vec<Vec<u8>> = vec![
+            vec![],
+            b"abcd".to_vec(),
+            b"the quick brown fox jumps over the lazy dog. ".repeat(50),
+            vec![7u8; 20_000],
+            (0..30_000u32).map(|i| (i * 7 % 256) as u8).collect(),
+        ];
+        let mut scratch = Lz77Scratch::default();
+        let mut out = Vec::new();
+        for data in &inputs {
+            for level in [Level::Fast, Level::Default, Level::High] {
+                out.clear();
+                compress_into(data, level, &mut out, &mut scratch);
+                // Fresh-scratch compression must agree byte for byte: no
+                // match-finder or token state may leak between calls.
+                assert_eq!(out, compress(data, level), "{} bytes, {level:?}", data.len());
+                let mut rec = Vec::new();
+                decompress_into(&out, &mut rec).unwrap();
+                assert_eq!(&rec, data);
+            }
+        }
     }
 
     #[test]

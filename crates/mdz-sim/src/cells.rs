@@ -30,7 +30,13 @@ impl CellList {
         assert!(box_len > 0.0 && r_cut > 0.0);
         let n_cells = ((box_len / r_cut).floor() as usize).max(1);
         let cell_len = box_len / n_cells as f64;
-        Self { box_len, n_cells, cell_len, heads: vec![NONE; n_cells * n_cells * n_cells], next: Vec::new() }
+        Self {
+            box_len,
+            n_cells,
+            cell_len,
+            heads: vec![NONE; n_cells * n_cells * n_cells],
+            next: Vec::new(),
+        }
     }
 
     /// Number of cells per axis.

@@ -19,19 +19,12 @@
 //!
 //! All models are deterministic given their seed.
 
+use crate::rng::Rng;
 use crate::vec3::Vec3;
 use crate::Snapshot;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-fn gauss(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(1e-12..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-}
-
-fn gauss3(rng: &mut StdRng) -> Vec3 {
-    Vec3::new(gauss(rng), gauss(rng), gauss(rng))
+fn gauss3(rng: &mut Rng) -> Vec3 {
+    Vec3::new(rng.gauss(), rng.gauss(), rng.gauss())
 }
 
 /// Einstein crystal with OU thermal displacement and optional rare hops.
@@ -49,7 +42,7 @@ pub struct VibratingCrystal {
     pub hop_probability: f64,
     /// Lattice step used for hops.
     pub hop_step: f64,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl VibratingCrystal {
@@ -57,18 +50,10 @@ impl VibratingCrystal {
     pub fn new(sites: Vec<Vec3>, sigma: f64, correlation: f64, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&correlation));
         assert!(sigma >= 0.0);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         // Start from the stationary distribution.
         let displacement = (0..sites.len()).map(|_| gauss3(&mut rng) * sigma).collect();
-        Self {
-            sites,
-            displacement,
-            sigma,
-            correlation,
-            hop_probability: 0.0,
-            hop_step: 0.0,
-            rng,
-        }
+        Self { sites, displacement, sigma, correlation, hop_probability: 0.0, hop_step: 0.0, rng }
     }
 
     /// Enables rare lattice hops.
@@ -97,9 +82,9 @@ impl VibratingCrystal {
         }
         if self.hop_probability > 0.0 {
             for s in &mut self.sites {
-                if self.rng.gen::<f64>() < self.hop_probability {
-                    let axis = self.rng.gen_range(0..3);
-                    let dir = if self.rng.gen::<bool>() { 1.0 } else { -1.0 };
+                if self.rng.f64() < self.hop_probability {
+                    let axis = self.rng.index(3);
+                    let dir = if self.rng.bool() { 1.0 } else { -1.0 };
                     let step = self.hop_step * dir;
                     match axis {
                         0 => s.x += step,
@@ -130,7 +115,7 @@ pub struct RandomWalkCloud {
     pub correlation: f64,
     /// Slow anchor diffusion per snapshot (conformational drift).
     pub anchor_diffusion: f64,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl RandomWalkCloud {
@@ -138,7 +123,7 @@ impl RandomWalkCloud {
     /// attaches OU fluctuations of size `sigma`.
     pub fn new(n: usize, chain_step: f64, sigma: f64, correlation: f64, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&correlation));
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut anchor = Vec::with_capacity(n);
         let mut p = Vec3::ZERO;
         for _ in 0..n {
@@ -194,7 +179,7 @@ pub struct CosmoCloud {
     velocities: Vec<Vec3>,
     /// Per-snapshot random velocity perturbation.
     pub velocity_noise: f64,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl CosmoCloud {
@@ -210,15 +195,14 @@ impl CosmoCloud {
         seed: u64,
     ) -> Self {
         assert!(clusters > 0);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let centers: Vec<Vec3> = (0..clusters)
-            .map(|_| Vec3::new(rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()) * box_len)
-            .collect();
+        let mut rng = Rng::seed_from_u64(seed);
+        let centers: Vec<Vec3> =
+            (0..clusters).map(|_| Vec3::new(rng.f64(), rng.f64(), rng.f64()) * box_len).collect();
         let cluster_v: Vec<Vec3> = (0..clusters).map(|_| gauss3(&mut rng) * drift).collect();
         let mut positions = Vec::with_capacity(n);
         let mut velocities = Vec::with_capacity(n);
         for _ in 0..n {
-            let c = rng.gen_range(0..clusters);
+            let c = rng.index(clusters);
             positions.push(centers[c] + gauss3(&mut rng) * cluster_sigma);
             velocities.push(cluster_v[c] + gauss3(&mut rng) * (drift * 0.2));
         }

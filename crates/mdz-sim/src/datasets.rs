@@ -19,9 +19,8 @@
 use crate::crystal::{CosmoCloud, RandomWalkCloud, VibratingCrystal};
 use crate::engine::{LjSimulation, SimConfig};
 use crate::lattice::{self, Structure};
+use crate::rng::Rng;
 use crate::Snapshot;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The datasets of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -170,10 +169,18 @@ impl Dataset {
 pub fn generate(kind: DatasetKind, scale: Scale, seed: u64) -> Dataset {
     let (m, n) = scale.dims(kind);
     match kind {
-        DatasetKind::CopperA => crystal_dataset(kind, m, n, Structure::Fcc, 3.615, 0.05, 0.99, 0.0, seed),
-        DatasetKind::CopperB => crystal_dataset(kind, m, n, Structure::Fcc, 3.615, 0.08, 0.15, 0.0, seed),
-        DatasetKind::HeliumB => crystal_dataset(kind, m, n, Structure::Bcc, 3.165, 0.07, 0.30, 2e-4, seed),
-        DatasetKind::Pt => crystal_dataset(kind, m, n, Structure::Fcc, 3.92, 0.04, 0.995, 5e-5, seed),
+        DatasetKind::CopperA => {
+            crystal_dataset(kind, m, n, Structure::Fcc, 3.615, 0.05, 0.99, 0.0, seed)
+        }
+        DatasetKind::CopperB => {
+            crystal_dataset(kind, m, n, Structure::Fcc, 3.615, 0.08, 0.15, 0.0, seed)
+        }
+        DatasetKind::HeliumB => {
+            crystal_dataset(kind, m, n, Structure::Bcc, 3.165, 0.07, 0.30, 2e-4, seed)
+        }
+        DatasetKind::Pt => {
+            crystal_dataset(kind, m, n, Structure::Fcc, 3.92, 0.04, 0.995, 5e-5, seed)
+        }
         DatasetKind::HeliumA => helium_bubble(kind, m, n, seed),
         DatasetKind::Adk => protein(kind, m, n, 0.8, 0.35, 0.25, seed),
         DatasetKind::Ifabp => protein(kind, m, n, 0.6, 0.25, 0.55, seed),
@@ -224,8 +231,8 @@ fn helium_bubble(kind: DatasetKind, m: usize, n: usize, seed: u64) -> Dataset {
     let box_len = nx.max(ny).max(nz) as f64 * a;
     let mut matrix = VibratingCrystal::new(sites, 0.05, 0.9, seed);
     // Mobile helium: clustered random walkers near the box centre.
-    let mut bubble = RandomWalkCloud::new(n_mobile, 0.4, 0.08, 0.9, seed ^ 0xB0BB1E)
-        .with_anchor_diffusion(0.01);
+    let mut bubble =
+        RandomWalkCloud::new(n_mobile, 0.4, 0.08, 0.9, seed ^ 0xB0BB1E).with_anchor_diffusion(0.01);
     let mut snapshots = Vec::with_capacity(m);
     for _ in 0..m {
         let ms = matrix.snapshot();
@@ -251,8 +258,8 @@ fn protein(
     correlation: f64,
     seed: u64,
 ) -> Dataset {
-    let mut model = RandomWalkCloud::new(n, chain_step, sigma, correlation, seed)
-        .with_anchor_diffusion(0.002);
+    let mut model =
+        RandomWalkCloud::new(n, chain_step, sigma, correlation, seed).with_anchor_diffusion(0.002);
     let mut snapshots = Vec::with_capacity(m);
     for _ in 0..m {
         snapshots.push(model.snapshot());
@@ -282,15 +289,12 @@ fn cosmo(kind: DatasetKind, m: usize, n: usize, clusters: usize, seed: u64) -> D
     let box_len = 256.0;
     let mut model = CosmoCloud::new(n, clusters, 6.0, box_len, 0.08, seed);
     // Mix in a diffuse background component like real N-body fields.
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xC05);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xC05);
     let diffuse = n / 5;
     for i in 0..diffuse.min(model.len()) {
         // Re-scatter a fifth of the particles uniformly.
-        let p = crate::vec3::Vec3::new(
-            rng.gen::<f64>() * box_len,
-            rng.gen::<f64>() * box_len,
-            rng.gen::<f64>() * box_len,
-        );
+        let p =
+            crate::vec3::Vec3::new(rng.f64() * box_len, rng.f64() * box_len, rng.f64() * box_len);
         // Safe: indices in range by construction.
         model_scatter(&mut model, i, p);
     }

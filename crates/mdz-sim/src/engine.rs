@@ -9,10 +9,9 @@
 
 use crate::cells::CellList;
 use crate::lattice::{self, Structure};
+use crate::rng::Rng;
 use crate::vec3::Vec3;
 use crate::Snapshot;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration for an LJ simulation in reduced units.
 #[derive(Debug, Clone)]
@@ -57,7 +56,7 @@ pub struct LjSimulation {
     velocities: Vec<Vec3>,
     forces: Vec<Vec3>,
     cells: CellList,
-    rng: StdRng,
+    rng: Rng,
     /// Potential energy of the last force evaluation.
     pub potential_energy: f64,
 }
@@ -76,19 +75,13 @@ impl LjSimulation {
         // lattice into it (slight vacuum on short axes is fine for a melt).
         let max_cells = nx.max(ny).max(nz);
         let box_len = (max_cells as f64 * a).max(2.0 * cfg.r_cut + 1e-9);
-        let positions: Vec<Vec3> =
-            lattice::build(Structure::Fcc, nx, ny, nz, a).into_iter().map(|p| p.wrap(box_len)).collect();
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let positions: Vec<Vec3> = lattice::build(Structure::Fcc, nx, ny, nz, a)
+            .into_iter()
+            .map(|p| p.wrap(box_len))
+            .collect();
+        let mut rng = Rng::seed_from_u64(cfg.seed);
         let mut velocities: Vec<Vec3> = (0..n)
-            .map(|_| {
-                let g = |r: &mut StdRng| -> f64 {
-                    // Box-Muller.
-                    let u1: f64 = r.gen_range(1e-12..1.0);
-                    let u2: f64 = r.gen_range(0.0..1.0);
-                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-                };
-                Vec3::new(g(&mut rng), g(&mut rng), g(&mut rng)) * cfg.temperature.sqrt()
-            })
+            .map(|_| Vec3::new(rng.gauss(), rng.gauss(), rng.gauss()) * cfg.temperature.sqrt())
             .collect();
         // Remove centre-of-mass drift.
         let com: Vec3 = velocities.iter().fold(Vec3::ZERO, |acc, &v| acc + v) * (1.0 / n as f64);
@@ -195,12 +188,8 @@ impl LjSimulation {
             let c1 = (-self.cfg.gamma * dt).exp();
             let c2 = ((1.0 - c1 * c1) * self.cfg.temperature).sqrt();
             for v in &mut self.velocities {
-                let g = |r: &mut StdRng| -> f64 {
-                    let u1: f64 = r.gen_range(1e-12..1.0);
-                    let u2: f64 = r.gen_range(0.0..1.0);
-                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-                };
-                *v = *v * c1 + Vec3::new(g(&mut self.rng), g(&mut self.rng), g(&mut self.rng)) * c2;
+                let g = Vec3::new(self.rng.gauss(), self.rng.gauss(), self.rng.gauss());
+                *v = *v * c1 + g * c2;
             }
         }
     }

@@ -28,6 +28,7 @@ pub mod crystal;
 pub mod datasets;
 pub mod engine;
 pub mod lattice;
+pub mod rng;
 pub mod vec3;
 
 pub use datasets::{Dataset, DatasetKind, Scale};

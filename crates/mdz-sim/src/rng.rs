@@ -1,0 +1,162 @@
+//! Small deterministic PRNG for the simulation substrate.
+//!
+//! The generators in this crate only need reproducible, statistically decent
+//! randomness — not cryptographic strength and not the external `rand` crate
+//! (the workspace builds offline, see DESIGN.md). This is xoshiro256++ with
+//! SplitMix64 state expansion, the standard pairing recommended by the
+//! xoshiro authors: SplitMix64 decorrelates arbitrary u64 seeds (including 0
+//! and small integers) into full 256-bit state.
+//!
+//! Determinism is part of the contract: a given seed produces the same
+//! stream on every platform and every run, so datasets and experiments are
+//! reproducible byte-for-byte.
+
+/// Deterministic xoshiro256++ generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed (any value, including 0).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
+        }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++ scrambler).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        self.s = [s0, s1, s2 ^ t, s3.rotate_left(45)];
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` from the high 53 bits.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi);
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// Uniform index in `[0, n)` via Lemire's widening-multiply reduction.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
+    }
+
+    /// Fair coin flip.
+    #[inline]
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() >> 63 == 1
+    }
+
+    /// Standard-normal sample (Box–Muller; one of the pair is discarded for
+    /// simplicity — the generators here are not throughput-bound).
+    #[inline]
+    pub fn gauss(&mut self) -> f64 {
+        let u1 = self.f64_range(1e-12, 1.0);
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zero_seed_is_fine() {
+        let mut r = Rng::seed_from_u64(0);
+        let vals: Vec<u64> = (0..16).map(|_| r.next_u64()).collect();
+        assert!(vals.iter().any(|&v| v != 0));
+        assert_eq!(vals.iter().collect::<std::collections::HashSet<_>>().len(), 16);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_well_spread() {
+        let mut r = Rng::seed_from_u64(7);
+        let n = 20_000;
+        let mut acc = 0.0;
+        for _ in 0..n {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+            acc += v;
+        }
+        let mean = acc / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn index_covers_range_uniformly() {
+        let mut r = Rng::seed_from_u64(9);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[r.index(5)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 800, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut r = Rng::seed_from_u64(11);
+        let heads = (0..20_000).filter(|_| r.bool()).count();
+        assert!((heads as i64 - 10_000).abs() < 500, "heads {heads}");
+    }
+
+    #[test]
+    fn gauss_moments() {
+        let mut r = Rng::seed_from_u64(13);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.gauss()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -8,8 +8,8 @@
 //! cargo run --release --example adaptive_trajectory
 //! ```
 
-use mdz::core::{ErrorBound, Frame, MdzConfig, TrajectoryCompressor};
 use mdz::core::traj::TrajectoryDecompressor;
+use mdz::core::{ErrorBound, Frame, MdzConfig, TrajectoryCompressor};
 use mdz::sim::{datasets, DatasetKind, Scale};
 
 fn main() {
@@ -43,7 +43,12 @@ fn main() {
         let restored = decompressor.decompress_buffer(&blob).expect("decompress");
         assert_eq!(restored.len(), chunk.len());
         if b < 5 || b % 10 == 0 {
-            println!("buffer {b:>3}: {:>8} → {:>7} bytes ({:.1}x)", raw, blob.len(), raw as f64 / blob.len() as f64);
+            println!(
+                "buffer {b:>3}: {:>8} → {:>7} bytes ({:.1}x)",
+                raw,
+                blob.len(),
+                raw as f64 / blob.len() as f64
+            );
         }
     }
     println!(

@@ -5,8 +5,8 @@
 //! cargo run --release --example baseline_comparison [dataset]
 //! ```
 
-use mdz::baselines::{all_baselines, BufferCompressor};
-use mdz::core::{Compressor, Decompressor, ErrorBound, MdzConfig};
+use mdz::baselines::all_baselines;
+use mdz::core::{Codec, ErrorBound, MdzCodec, MdzConfig};
 use mdz::sim::{datasets, DatasetKind, Scale};
 use std::time::Instant;
 
@@ -41,41 +41,19 @@ fn main() {
 
     println!("{:>8}  {:>9}  {:>10}  {:>10}", "codec", "ratio", "comp MB/s", "max error");
 
-    // MDZ (adaptive).
-    {
-        let mut c = Compressor::new(MdzConfig::new(ErrorBound::Absolute(eps)));
-        let mut dec = Decompressor::new();
+    // MDZ (adaptive) and every baseline, through the same Codec interface.
+    let mdz: Box<dyn Codec> =
+        Box::new(MdzCodec::with_name("MDZ", MdzConfig::new(ErrorBound::Absolute(eps))));
+    let mut codecs = vec![mdz];
+    codecs.extend(all_baselines());
+    for codec in codecs.iter_mut() {
         let mut total = 0;
         let t0 = Instant::now();
         let mut max_err = 0.0f64;
         for chunk in series.chunks(10) {
-            let blob = c.compress_buffer(chunk).unwrap();
+            let blob = codec.compress_buffer(chunk, ErrorBound::Absolute(eps)).unwrap();
             total += blob.len();
-            let out = dec.decompress_block(&blob).unwrap();
-            for (s, o) in chunk.iter().zip(out.iter()) {
-                for (a, b) in s.iter().zip(o.iter()) {
-                    max_err = max_err.max((a - b).abs());
-                }
-            }
-        }
-        let secs = t0.elapsed().as_secs_f64();
-        println!(
-            "{:>8}  {:>8.1}x  {:>10.1}  {:>10.2e}",
-            "MDZ",
-            raw as f64 / total as f64,
-            raw as f64 / 1e6 / secs,
-            max_err
-        );
-    }
-
-    for codec in all_baselines().iter_mut() {
-        let mut total = 0;
-        let t0 = Instant::now();
-        let mut max_err = 0.0f64;
-        for chunk in series.chunks(10) {
-            let blob = codec.compress(chunk, eps);
-            total += blob.len();
-            let out = codec.decompress(&blob).unwrap();
+            let out = codec.decompress_buffer(&blob).unwrap();
             for (s, o) in chunk.iter().zip(out.iter()) {
                 for (a, b) in s.iter().zip(o.iter()) {
                     max_err = max_err.max((a - b).abs());

@@ -22,7 +22,12 @@ fn main() {
     println!("method:      {}", info.method);
     println!("f32 source:  {}", info.source_f32);
     let raw = snapshots.len() * snapshots[0].len() * 4;
-    println!("ratio:       {:.1}x vs raw f32 ({} → {} bytes)", raw as f64 / block.len() as f64, raw, block.len());
+    println!(
+        "ratio:       {:.1}x vs raw f32 ({} → {} bytes)",
+        raw as f64 / block.len() as f64,
+        raw,
+        block.len()
+    );
 
     let restored = Decompressor::new().decompress_block_f32(&block).expect("decompress");
     let mut max_err = 0.0f32;

@@ -41,12 +41,8 @@ fn main() {
         let dist = rdf_distance(&g_orig, &g_dec);
         println!("eps = {eps_rel:.0e}: RDF L1 distance = {dist:.4}");
         // Print the first coordination peak before/after.
-        let peak = g_orig
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let peak =
+            g_orig.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         println!(
             "  first peak at r = {:.2}: g_orig = {:.2}, g_decompressed = {:.2}",
             centers[peak], g_orig[peak], g_dec[peak]

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Full offline verification: format, lint, build, test.
+#
+# Runs entirely against the vendored workspace — no network access needed.
+# Usage: scripts/verify.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "verify: all checks passed"

@@ -49,7 +49,11 @@ pub struct ArchiveInfo {
 }
 
 /// Compresses a trajectory into an `.mdz` archive.
-pub fn compress(traj: &XyzTrajectory, cfg: MdzConfig, buffer_size: usize) -> Result<Vec<u8>, MdzError> {
+pub fn compress(
+    traj: &XyzTrajectory,
+    cfg: MdzConfig,
+    buffer_size: usize,
+) -> Result<Vec<u8>, MdzError> {
     if traj.frames.is_empty() {
         return Err(MdzError::BadInput("trajectory has no frames"));
     }
@@ -89,12 +93,8 @@ pub fn decompress(data: &[u8]) -> Result<XyzTrajectory, MdzError> {
     let meta_text =
         String::from_utf8(meta).map_err(|_| MdzError::BadHeader("metadata is not UTF-8"))?;
     let mut meta_lines = meta_text.lines();
-    let elements: Vec<String> = meta_lines
-        .next()
-        .unwrap_or("")
-        .split_whitespace()
-        .map(str::to_string)
-        .collect();
+    let elements: Vec<String> =
+        meta_lines.next().unwrap_or("").split_whitespace().map(str::to_string).collect();
     let comments: Vec<String> = meta_lines.map(str::to_string).collect();
 
     let mut decompressor = TrajectoryDecompressor::new();
@@ -158,9 +158,7 @@ pub fn info(data: &[u8]) -> Result<ArchiveInfo, MdzError> {
 /// and advances `*pos` past it.
 fn next_block<'a>(data: &'a [u8], pos: &mut usize) -> Result<&'a [u8], MdzError> {
     let len = read_uvarint(data, pos)? as usize;
-    let sum_bytes = data
-        .get(*pos..*pos + 8)
-        .ok_or(MdzError::BadHeader("truncated checksum"))?;
+    let sum_bytes = data.get(*pos..*pos + 8).ok_or(MdzError::BadHeader("truncated checksum"))?;
     *pos += 8;
     let expected = u64::from_le_bytes(sum_bytes.try_into().unwrap());
     let end = pos
@@ -192,9 +190,7 @@ pub fn decompress_frame(data: &[u8], frame: usize) -> Result<Frame, MdzError> {
     while pos < data.len() && blocks.len() <= target_block {
         blocks.push(next_block(data, &mut pos)?);
     }
-    let target = *blocks
-        .get(target_block)
-        .ok_or(MdzError::BadHeader("frame count mismatch"))?;
+    let target = *blocks.get(target_block).ok_or(MdzError::BadHeader("frame count mismatch"))?;
     // Fast path: VQ blocks need no stream state at all.
     if let Ok(f) = random_access_frame(target, within) {
         return Ok(f);
@@ -206,10 +202,7 @@ pub fn decompress_frame(data: &[u8], frame: usize) -> Result<Frame, MdzError> {
         decompressor.decompress_buffer(block)?;
     }
     let frames = decompressor.decompress_buffer(target)?;
-    frames
-        .into_iter()
-        .nth(within)
-        .ok_or(MdzError::BadHeader("frame missing from block"))
+    frames.into_iter().nth(within).ok_or(MdzError::BadHeader("frame missing from block"))
 }
 
 /// Random-access one frame out of a trajectory container (VQ blocks only).
@@ -332,8 +325,7 @@ mod tests {
     #[test]
     fn frame_extraction_vq_random_access() {
         let traj = sample_traj(25, 60);
-        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3))
-            .with_method(mdz_core::Method::Vq);
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(mdz_core::Method::Vq);
         let archive = compress(&traj, cfg, 10).unwrap();
         let full = decompress(&archive).unwrap();
         for k in [0usize, 7, 10, 24] {
@@ -346,8 +338,7 @@ mod tests {
     #[test]
     fn frame_extraction_streaming_fallback() {
         let traj = sample_traj(25, 60);
-        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3))
-            .with_method(mdz_core::Method::Mt);
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(mdz_core::Method::Mt);
         let archive = compress(&traj, cfg, 10).unwrap();
         let full = decompress(&archive).unwrap();
         for k in [0usize, 13, 24] {
@@ -364,7 +355,10 @@ mod tests {
         // Flip a byte deep in the block payload (past the header/meta).
         let idx = archive.len() - 3;
         archive[idx] ^= 0xFF;
-        assert!(matches!(decompress(&archive), Err(MdzError::BadHeader("block checksum mismatch"))));
+        assert!(matches!(
+            decompress(&archive),
+            Err(MdzError::BadHeader("block checksum mismatch"))
+        ));
     }
 
     #[test]

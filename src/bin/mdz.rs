@@ -161,7 +161,11 @@ fn main() {
             let methods: Vec<String> =
                 i.method_counts.iter().map(|(m, c)| format!("{m} ×{c}")).collect();
             println!("methods:     {}", methods.join(", "));
-            println!("size:        {} bytes ({:.1}x vs raw f64)", i.total_bytes, raw as f64 / i.total_bytes as f64);
+            println!(
+                "size:        {} bytes ({:.1}x vs raw f64)",
+                i.total_bytes,
+                raw as f64 / i.total_bytes as f64
+            );
         }
         "verify" => {
             let [orig_path, mdz_path] = &o.positional[..] else {
@@ -195,7 +199,12 @@ fn main() {
             let stats = mdz::analysis::ErrorStats::compute(&flat_o, &flat_d);
             let raw = orig.frames.len() * orig.frames[0].len() * 24;
             println!("frames:     {} × {} atoms", orig.frames.len(), orig.frames[0].len());
-            println!("ratio:      {:.1}x ({} → {} bytes)", raw as f64 / blob.len() as f64, raw, blob.len());
+            println!(
+                "ratio:      {:.1}x ({} → {} bytes)",
+                raw as f64 / blob.len() as f64,
+                raw,
+                blob.len()
+            );
             println!("max error:  {:.3e}", stats.max_error);
             println!("NRMSE:      {:.3e}", stats.nrmse);
             println!("PSNR:       {:.1} dB", stats.psnr);

@@ -3,8 +3,8 @@
 
 use mdz::analysis::rdf::{rdf, rdf_distance, RdfConfig};
 use mdz::analysis::ErrorStats;
-use mdz::baselines::BufferCompressor;
 use mdz::core::traj::TrajectoryDecompressor;
+use mdz::core::Codec;
 use mdz::core::{
     Compressor, Decompressor, ErrorBound, Frame, MdzConfig, Method, TrajectoryCompressor,
 };
@@ -59,8 +59,8 @@ fn every_dataset_round_trips_with_every_baseline() {
         let eps = axis_eps(&series, 1e-3);
         for codec in mdz::baselines::all_baselines().iter_mut() {
             for chunk in series.chunks(4) {
-                let blob = codec.compress(chunk, eps);
-                let out = codec.decompress(&blob).unwrap();
+                let blob = codec.compress_buffer(chunk, ErrorBound::Absolute(eps)).unwrap();
+                let out = codec.decompress_buffer(&blob).unwrap();
                 for (s, o) in chunk.iter().zip(out.iter()) {
                     for (a, b) in s.iter().zip(o.iter()) {
                         assert!(
@@ -129,10 +129,7 @@ fn mdz_beats_raw_storage_substantially_on_crystals() {
         total += c.compress_buffer(chunk).unwrap().len();
     }
     let raw = series.len() * d.atoms() * 8;
-    assert!(
-        total * 4 < raw,
-        "expected ≥4x compression on crystalline data: {raw} → {total}"
-    );
+    assert!(total * 4 < raw, "expected ≥4x compression on crystalline data: {raw} → {total}");
 }
 
 #[test]
@@ -161,10 +158,14 @@ fn decompressors_reject_cross_format_blobs() {
     let cfg = MdzConfig::new(ErrorBound::Absolute(eps));
     let mdz_blob = Compressor::new(cfg).compress_buffer(&series).unwrap();
     for codec in mdz::baselines::all_baselines().iter_mut() {
-        assert!(codec.decompress(&mdz_blob).is_err(), "{} accepted an MDZ block", codec.name());
+        assert!(
+            codec.decompress_buffer(&mdz_blob).is_err(),
+            "{} accepted an MDZ block",
+            codec.name()
+        );
     }
     let mut sz2 = mdz::baselines::sz2::Sz2::new(mdz::baselines::sz2::Sz2Mode::TwoD);
-    let sz2_blob = sz2.compress(&series, eps);
+    let sz2_blob = sz2.compress_buffer(&series, ErrorBound::Absolute(eps)).unwrap();
     assert!(Decompressor::new().decompress_block(&sz2_blob).is_err());
 }
 

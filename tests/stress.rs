@@ -2,9 +2,7 @@
 //! data, extreme bounds, and mixed entropy stages — the interactions unit
 //! tests don't reach.
 
-use mdz::core::{
-    Compressor, Decompressor, EntropyStage, ErrorBound, MdzConfig, Method,
-};
+use mdz::core::{Compressor, Decompressor, EntropyStage, ErrorBound, MdzConfig, Method};
 
 fn check(buf: &[Vec<f64>], out: &[Vec<f64>], eps: f64, tag: &str) {
     assert_eq!(buf.len(), out.len(), "{tag}");
@@ -42,7 +40,9 @@ fn hundred_buffer_stream_all_methods() {
             let buf: Vec<Vec<f64>> = (0..3)
                 .map(|k| {
                     (0..50)
-                        .map(|i| (i % 5) as f64 * 2.0 + (rng() - 0.5) * 0.01 + (t * 3 + k) as f64 * 1e-5)
+                        .map(|i| {
+                            (i % 5) as f64 * 2.0 + (rng() - 0.5) * 0.01 + (t * 3 + k) as f64 * 1e-5
+                        })
                         .collect()
                 })
                 .collect();
@@ -63,8 +63,9 @@ fn atom_count_changes_mid_stream() {
         let mut c = Compressor::new(cfg);
         let mut d = Decompressor::new();
         for (t, n) in [40usize, 40, 55, 55, 30, 70].into_iter().enumerate() {
-            let buf: Vec<Vec<f64>> =
-                (0..4).map(|k| (0..n).map(|i| i as f64 + (t * 4 + k) as f64 * 1e-4).collect()).collect();
+            let buf: Vec<Vec<f64>> = (0..4)
+                .map(|k| (0..n).map(|i| i as f64 + (t * 4 + k) as f64 * 1e-4).collect())
+                .collect();
             let block = c.compress_buffer(&buf).unwrap();
             let out = d.decompress_block(&block).unwrap();
             check(&buf, &out, eps, &format!("{method:?} N={n}"));
@@ -81,7 +82,7 @@ fn escape_heavy_data() {
         .map(|_| {
             (0..200)
                 .map(|i| {
-                    let mag = 10f64.powi((i % 20) as i32 - 10);
+                    let mag = 10f64.powi((i % 20) - 10);
                     (rng() - 0.5) * mag
                 })
                 .collect()
@@ -99,7 +100,8 @@ fn escape_heavy_data() {
 
 #[test]
 fn extreme_bounds() {
-    let buf: Vec<Vec<f64>> = (0..3).map(|t| (0..60).map(|i| i as f64 + t as f64).collect()).collect();
+    let buf: Vec<Vec<f64>> =
+        (0..3).map(|t| (0..60).map(|i| i as f64 + t as f64).collect()).collect();
     for eps in [1e-15, 1e-9, 1.0, 1e6] {
         let cfg = MdzConfig::new(ErrorBound::Absolute(eps));
         let mut c = Compressor::new(cfg);
@@ -150,9 +152,7 @@ fn entropy_stage_mixing_across_streams() {
 #[test]
 fn denormals_and_tiny_magnitudes() {
     let buf: Vec<Vec<f64>> = (0..3)
-        .map(|_| {
-            vec![f64::MIN_POSITIVE, 5e-324, 1e-300, -1e-300, 0.0, -0.0, 1e-308]
-        })
+        .map(|_| vec![f64::MIN_POSITIVE, 5e-324, 1e-300, -1e-300, 0.0, -0.0, 1e-308])
         .collect();
     let eps = 1e-310;
     let cfg = MdzConfig::new(ErrorBound::Absolute(eps));

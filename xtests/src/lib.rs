@@ -1,0 +1,3 @@
+//! Empty library target: this package only carries the opt-in test and
+//! bench targets declared in `Cargo.toml`. See the manifest header for why
+//! it lives outside the workspace.
