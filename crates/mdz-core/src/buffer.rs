@@ -5,4 +5,4 @@
 //! module re-exports its public surface under the historical
 //! `mdz_core::buffer` path.
 
-pub use crate::pipeline::{BlockInfo, Compressor, Decompressor};
+pub use crate::pipeline::{BlockInfo, Compressor, DecodeLimits, Decompressor};

@@ -7,7 +7,7 @@
 //! absolute bound, while streaming callers (the trajectory layer, archives)
 //! forward their configured bound buffer by buffer.
 
-use crate::buffer::{Compressor, Decompressor};
+use crate::buffer::{Compressor, DecodeLimits, Decompressor};
 use crate::format::Method;
 use crate::{ErrorBound, MdzConfig, Result};
 
@@ -94,6 +94,19 @@ impl MdzCodec {
     pub fn current_adaptive_choice(&self) -> Option<Method> {
         self.comp.current_adaptive_choice()
     }
+
+    /// Installs a decode budget on the decompression side; blocks whose
+    /// headers exceed it fail with [`crate::MdzError::LimitExceeded`].
+    /// Survives [`Codec::reset`].
+    pub fn with_decode_limits(mut self, limits: DecodeLimits) -> Self {
+        self.dec.set_limits(limits);
+        self
+    }
+
+    /// Replaces the decode budget applied to subsequent blocks.
+    pub fn set_decode_limits(&mut self, limits: DecodeLimits) {
+        self.dec.set_limits(limits);
+    }
 }
 
 impl Default for MdzCodec {
@@ -112,7 +125,7 @@ impl Codec for MdzCodec {
 
     fn reset(&mut self) {
         self.comp = Compressor::new(self.template.clone());
-        self.dec = Decompressor::new();
+        self.dec = Decompressor::with_limits(self.dec.limits());
     }
 
     fn compress_buffer(&mut self, snapshots: &[Vec<f64>], bound: ErrorBound) -> Result<Vec<u8>> {

@@ -51,11 +51,11 @@ pub mod traj;
 
 pub use adaptive::AdaptiveState;
 pub use bound::ErrorBound;
-pub use buffer::{BlockInfo, Compressor, Decompressor};
+pub use buffer::{BlockInfo, Compressor, DecodeLimits, Decompressor};
 pub use codec::{Codec, MdzCodec};
 pub use format::Method;
 pub use quant::LinearQuantizer;
-pub use traj::{compress_frames, decompress_frames, Frame, TrajectoryCompressor};
+pub use traj::{compress_frames, decompress_frames, Frame, TrajReader, TrajectoryCompressor};
 
 use mdz_entropy::EntropyError;
 
@@ -70,11 +70,29 @@ pub enum MdzError {
     BadInput(&'static str),
     /// Configuration is invalid (non-positive error bound, zero radius, …).
     BadConfig(&'static str),
+    /// The block body violates an invariant of the format (checksum
+    /// mismatch, out-of-range quantization code, forged count, …).
+    Corrupt {
+        /// Which invariant the input violated.
+        what: &'static str,
+    },
+    /// A header-declared size exceeded the caller's [`DecodeLimits`] budget.
+    LimitExceeded {
+        /// Which declared quantity blew the budget.
+        what: &'static str,
+        /// The budget that was in force.
+        limit: usize,
+    },
 }
 
 impl From<EntropyError> for MdzError {
     fn from(e: EntropyError) -> Self {
-        MdzError::Stream(e)
+        match e {
+            // Budget violations keep their identity so callers can tell
+            // "tune DecodeLimits" apart from "the bytes are bad".
+            EntropyError::LimitExceeded { what, limit } => MdzError::LimitExceeded { what, limit },
+            other => MdzError::Stream(other),
+        }
     }
 }
 
@@ -85,6 +103,10 @@ impl std::fmt::Display for MdzError {
             MdzError::BadHeader(w) => write!(f, "bad header: {w}"),
             MdzError::BadInput(w) => write!(f, "bad input: {w}"),
             MdzError::BadConfig(w) => write!(f, "bad config: {w}"),
+            MdzError::Corrupt { what } => write!(f, "corrupt block: {what}"),
+            MdzError::LimitExceeded { what, limit } => {
+                write!(f, "decode budget exceeded: {what} > {limit}")
+            }
         }
     }
 }

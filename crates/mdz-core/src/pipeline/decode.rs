@@ -10,13 +10,18 @@ use crate::format::{BlockHeader, Method, FLAG_FIRST_LORENZO, FLAG_RANGE_CODED, F
 use crate::quant::LinearQuantizer;
 use crate::seq::from_seq2_into;
 use crate::{MdzError, Result};
-use mdz_entropy::huffman::{huffman_decode_at, huffman_decode_at_into};
-use mdz_entropy::range::{range_decode_at, range_decode_at_into};
-use mdz_entropy::{read_uvarint, zigzag_decode};
+use mdz_entropy::huffman::huffman_decode_at_into_limited;
+use mdz_entropy::range::range_decode_at_into_limited;
+use mdz_entropy::{read_uvarint, zigzag_decode, StreamLimits};
 use mdz_kmeans::LevelGrid;
 use std::collections::HashMap;
 
 use super::predict::{snapshot_modes_into, Predictor, SnapshotMode};
+
+/// Bytes one serialized escape costs at minimum: a ≥1-byte index delta
+/// varint plus the 8-byte raw `f64` value. Bounds the escape count by the
+/// remaining input.
+const MIN_ESCAPE_BYTES: usize = 9;
 
 /// Reusable decode-side working storage, owned by a
 /// [`Decompressor`](super::Decompressor).
@@ -34,12 +39,19 @@ pub(crate) struct DecodeScratch {
 }
 
 /// Decodes one entropy-coded integer stream per the header's coder flag.
-fn decode_stream(header: &BlockHeader, inner: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
-    if header.flags & FLAG_RANGE_CODED != 0 {
-        Ok(range_decode_at(inner, pos)?)
-    } else {
-        Ok(huffman_decode_at(inner, pos)?)
-    }
+///
+/// `limits.max_items` is the validated block size `M·N`, so no stream can
+/// declare more symbols than the block holds values — the entropy decoders
+/// fail before any larger allocation.
+fn decode_stream(
+    header: &BlockHeader,
+    inner: &[u8],
+    pos: &mut usize,
+    limits: &StreamLimits,
+) -> Result<Vec<u32>> {
+    let mut out = Vec::new();
+    decode_stream_into(header, inner, pos, &mut out, limits)?;
+    Ok(out)
 }
 
 /// [`decode_stream`] writing into a caller-owned vector (cleared first).
@@ -48,11 +60,39 @@ fn decode_stream_into(
     inner: &[u8],
     pos: &mut usize,
     out: &mut Vec<u32>,
+    limits: &StreamLimits,
 ) -> Result<()> {
     if header.flags & FLAG_RANGE_CODED != 0 {
-        range_decode_at_into(inner, pos, out)?;
+        range_decode_at_into_limited(inner, pos, out, limits)?;
     } else {
-        huffman_decode_at_into(inner, pos, out)?;
+        huffman_decode_at_into_limited(inner, pos, out, limits)?;
+    }
+    Ok(())
+}
+
+/// Rejects quantization codes outside the header-declared scale.
+///
+/// Valid codes live in `[0, 2·radius)` — 0 is the escape marker, everything
+/// else maps to a residual of at most `radius` quanta. A code past the scale
+/// can only come from corruption; reconstructing from it would silently
+/// violate the error bound.
+fn check_codes(codes: &[u32], radius: u32) -> Result<()> {
+    let scale = u64::from(radius) * 2;
+    if codes.iter().any(|&c| u64::from(c) >= scale) {
+        return Err(MdzError::Corrupt { what: "quantization code out of range" });
+    }
+    Ok(())
+}
+
+/// Rejects escape counts the block could not legitimately contain: more
+/// escapes than block values, or more than the remaining input bytes could
+/// serialize (each escape costs ≥ [`MIN_ESCAPE_BYTES`]).
+fn check_escape_count(count: usize, block_values: usize, remaining: usize) -> Result<()> {
+    if count > block_values {
+        return Err(MdzError::Corrupt { what: "escape count exceeds block size" });
+    }
+    if count > remaining / MIN_ESCAPE_BYTES {
+        return Err(MdzError::Corrupt { what: "escape count exceeds input size" });
     }
     Ok(())
 }
@@ -68,28 +108,22 @@ pub(crate) fn decode_inner_one(
 ) -> Result<Vec<f64>> {
     let m = header.n_snapshots;
     let n = header.n_values;
+    let stream_limits = StreamLimits::with_max_items(m * n);
     let mut pos = 0;
-    let b_ordered = decode_stream(header, inner, &mut pos)?;
-    let j_ordered = decode_stream(header, inner, &mut pos)?;
+    let b_ordered = decode_stream(header, inner, &mut pos, &stream_limits)?;
+    let j_ordered = decode_stream(header, inner, &mut pos, &stream_limits)?;
     if b_ordered.len() != m * n {
-        return Err(MdzError::Stream(mdz_entropy::EntropyError::Corrupt(
-            "quantization code count mismatch",
-        )));
+        return Err(MdzError::Corrupt { what: "quantization code count mismatch" });
     }
+    check_codes(&b_ordered, header.radius)?;
     let grid = header.grid.map(|(mu, lambda)| LevelGrid { mu, lambda, k: 0, fit_error: 0.0 });
     let expect_j = if grid.is_some() { m * n } else { 0 };
     if j_ordered.len() != expect_j {
-        return Err(MdzError::Stream(mdz_entropy::EntropyError::Corrupt(
-            "level code count mismatch",
-        )));
+        return Err(MdzError::Corrupt { what: "level code count mismatch" });
     }
     // Escapes for this snapshot only.
     let escape_count = read_uvarint(inner, &mut pos)? as usize;
-    if escape_count > m * n {
-        return Err(MdzError::Stream(mdz_entropy::EntropyError::Corrupt(
-            "escape count exceeds block size",
-        )));
-    }
+    check_escape_count(escape_count, m * n, inner.len().saturating_sub(pos))?;
     let mut escapes: HashMap<usize, f64> = HashMap::new();
     let mut idx = 0u64;
     let flat_base = index * n;
@@ -98,8 +132,11 @@ pub(crate) fn decode_inner_one(
         idx = if i == 0 {
             delta
         } else {
-            idx.checked_add(delta).ok_or(MdzError::BadHeader("escape index overflow"))?
+            idx.checked_add(delta).ok_or(MdzError::Corrupt { what: "escape index overflow" })?
         };
+        if idx >= (m * n) as u64 {
+            return Err(MdzError::Corrupt { what: "escape index out of range" });
+        }
         let bytes = inner
             .get(pos..pos + 8)
             .ok_or(MdzError::Stream(mdz_entropy::EntropyError::UnexpectedEof))?;
@@ -169,21 +206,18 @@ pub(crate) fn decode_inner(
     let inner: &[u8] = inner;
     let m = header.n_snapshots;
     let n = header.n_values;
+    let stream_limits = StreamLimits::with_max_items(m * n);
     let mut pos = 0;
-    decode_stream_into(header, inner, &mut pos, b_ordered)?;
-    decode_stream_into(header, inner, &mut pos, j_ordered)?;
+    decode_stream_into(header, inner, &mut pos, b_ordered, &stream_limits)?;
+    decode_stream_into(header, inner, &mut pos, j_ordered, &stream_limits)?;
     if b_ordered.len() != m * n {
-        return Err(MdzError::Stream(mdz_entropy::EntropyError::Corrupt(
-            "quantization code count mismatch",
-        )));
+        return Err(MdzError::Corrupt { what: "quantization code count mismatch" });
     }
+    check_codes(b_ordered, header.radius)?;
     let escape_count = read_uvarint(inner, &mut pos)? as usize;
-    if escape_count > m * n {
-        return Err(MdzError::Stream(mdz_entropy::EntropyError::Corrupt(
-            "escape count exceeds block size",
-        )));
-    }
-    // Untrusted count: cap the eager allocation.
+    check_escape_count(escape_count, m * n, inner.len().saturating_sub(pos))?;
+    // The count is now input-proportional, so this reservation is bounded by
+    // the (already decompressed) inner payload size.
     escapes.clear();
     escapes.reserve(escape_count.min(1 << 20));
     let mut idx = 0u64;
@@ -192,8 +226,11 @@ pub(crate) fn decode_inner(
         idx = if i == 0 {
             delta
         } else {
-            idx.checked_add(delta).ok_or(MdzError::BadHeader("escape index overflow"))?
+            idx.checked_add(delta).ok_or(MdzError::Corrupt { what: "escape index overflow" })?
         };
+        if idx >= (m * n) as u64 {
+            return Err(MdzError::Corrupt { what: "escape index out of range" });
+        }
         let bytes = inner
             .get(pos..pos + 8)
             .ok_or(MdzError::Stream(mdz_entropy::EntropyError::UnexpectedEof))?;
@@ -224,13 +261,14 @@ pub(crate) fn decode_inner(
             }
             snapshot_modes_into(header.method, m, false, !first_lorenzo, modes)
         }
+        // SAFETY of unreachable: `Method::from_wire` (the only way a header
+        // gets a method) never yields `Adaptive` — hostile input cannot
+        // reach this arm.
         Method::Adaptive => unreachable!("wire blocks are concrete"),
     }
     let vq_rows = modes.iter().filter(|&&md| md == SnapshotMode::VqGrid).count();
     if j_ordered.len() != vq_rows * n {
-        return Err(MdzError::Stream(mdz_entropy::EntropyError::Corrupt(
-            "level code count mismatch",
-        )));
+        return Err(MdzError::Corrupt { what: "level code count mismatch" });
     }
     let j_codes: &[u32] = if seq2 && vq_rows > 1 {
         from_seq2_into(j_ordered, vq_rows, n, j_codes);
@@ -265,6 +303,10 @@ pub(crate) fn decode_inner(
             }
             _ => {
                 if mode == SnapshotMode::TimePrev2 {
+                    // SAFETY of expect/index: `snapshot_modes_into` assigns
+                    // TimePrev2 only from the third snapshot on, so two
+                    // reconstructed predecessors always exist regardless of
+                    // the block bytes.
                     let a = out.last().expect("TimePrev2 needs two predecessors");
                     let b = &out[out.len() - 2];
                     extrapolated.clear();
@@ -273,9 +315,14 @@ pub(crate) fn decode_inner(
                 let pred = match mode {
                     SnapshotMode::Lorenzo => Predictor::Lorenzo,
                     SnapshotMode::TimePrev => {
+                        // SAFETY of expect: `snapshot_modes_into` never
+                        // assigns TimePrev to snapshot 0.
                         Predictor::Slice(out.last().expect("TimePrev never on first snapshot"))
                     }
                     SnapshotMode::TimePrev2 => Predictor::Slice(extrapolated.as_slice()),
+                    // SAFETY of expect: TimeRef is only planned when
+                    // `have_ref` held above, which requires `reference` to be
+                    // `Some` with matching length.
                     SnapshotMode::TimeRef => Predictor::Slice(reference.expect("checked above")),
                     SnapshotMode::VqGrid => unreachable!("handled above"),
                 };

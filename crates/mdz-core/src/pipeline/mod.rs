@@ -42,9 +42,78 @@ use crate::format::{
 use crate::{ErrorBound, MdzConfig, MdzError, Result};
 use decode::{decode_inner, decode_inner_one, DecodeScratch};
 use encode::{encode_buffer_into, EncodeScratch};
-use mdz_entropy::read_uvarint;
+use mdz_entropy::{read_uvarint, StreamLimits};
 use mdz_kmeans::LevelGrid;
 use mdz_lossless::lz77;
+
+/// Decode-side resource budget enforced before any header-driven allocation.
+///
+/// Block headers are untrusted: a forged header can declare huge snapshot
+/// counts, value counts, or payload sizes. Every dimension below is checked
+/// against its budget right after header parsing — a violating block fails
+/// with [`MdzError::LimitExceeded`] before the decoder allocates anything
+/// proportional to the forged size. The defaults equal the format's
+/// structural plausibility caps (2³⁴ values), so default-constructed
+/// decompressors accept everything they did before; services decoding
+/// hostile input should set budgets matching their real data
+/// ([`Decompressor::with_limits`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeLimits {
+    /// Maximum snapshots (`M`) one block may declare.
+    pub max_snapshots: usize,
+    /// Maximum values per snapshot (`N`) one block may declare.
+    pub max_values_per_snapshot: usize,
+    /// Maximum total values (`M·N`) one block may declare.
+    pub max_total_values: usize,
+    /// Maximum decompressed inner-payload bytes (the LZ77 output holding
+    /// the entropy streams and escape list).
+    pub max_inner_bytes: usize,
+}
+
+impl Default for DecodeLimits {
+    fn default() -> Self {
+        Self {
+            max_snapshots: 1 << 34,
+            max_values_per_snapshot: 1 << 34,
+            max_total_values: 1 << 34,
+            max_inner_bytes: 1 << 34,
+        }
+    }
+}
+
+impl DecodeLimits {
+    /// Validates a parsed header against the budget.
+    fn check(&self, header: &BlockHeader) -> Result<()> {
+        if header.n_snapshots > self.max_snapshots {
+            return Err(MdzError::LimitExceeded {
+                what: "snapshot count",
+                limit: self.max_snapshots,
+            });
+        }
+        if header.n_values > self.max_values_per_snapshot {
+            return Err(MdzError::LimitExceeded {
+                what: "values per snapshot",
+                limit: self.max_values_per_snapshot,
+            });
+        }
+        // M·N cannot overflow: the header parser capped the product at 2³⁴.
+        if header.n_snapshots * header.n_values > self.max_total_values {
+            return Err(MdzError::LimitExceeded {
+                what: "total block values",
+                limit: self.max_total_values,
+            });
+        }
+        Ok(())
+    }
+
+    /// Budget for the LZ77-decompressed inner payload of a block with
+    /// `total` values: what a worst-case legitimate block could need (codes,
+    /// tables, and a full escape list), capped by `max_inner_bytes`.
+    fn inner_budget(&self, total: usize) -> StreamLimits {
+        let organic = total.saturating_mul(40).saturating_add(4096);
+        StreamLimits::with_max_items(organic.min(self.max_inner_bytes))
+    }
+}
 
 /// Cross-buffer state shared (by construction) between both endpoints.
 #[derive(Debug, Clone, Default)]
@@ -224,6 +293,7 @@ impl Compressor {
 pub struct Decompressor {
     reference: Option<Vec<f64>>,
     scratch: DecodeScratch,
+    limits: DecodeLimits,
 }
 
 /// Parsed block metadata returned by [`Decompressor::inspect`].
@@ -258,6 +328,21 @@ impl Decompressor {
         Self::default()
     }
 
+    /// Creates a decompressor enforcing the given [`DecodeLimits`].
+    pub fn with_limits(limits: DecodeLimits) -> Self {
+        Self { limits, ..Self::default() }
+    }
+
+    /// Replaces the decode budget applied to subsequent blocks.
+    pub fn set_limits(&mut self, limits: DecodeLimits) {
+        self.limits = limits;
+    }
+
+    /// The decode budget currently in force.
+    pub fn limits(&self) -> DecodeLimits {
+        self.limits
+    }
+
     /// Decompresses a single snapshot from a pure-VQ block without
     /// reconstructing the others — the paper's random-access property
     /// (§VI: "any snapshot data can be decompressed very quickly without a
@@ -267,8 +352,19 @@ impl Decompressor {
     /// VQ, with or without a detected grid). Errors on VQT/MT blocks, whose
     /// snapshots form prediction chains, and on out-of-range indices.
     pub fn decompress_snapshot(block: &[u8], index: usize) -> Result<Vec<f64>> {
+        Self::decompress_snapshot_limited(block, index, &DecodeLimits::default())
+    }
+
+    /// [`Decompressor::decompress_snapshot`] under an explicit decode
+    /// budget, for callers handling untrusted blocks.
+    pub fn decompress_snapshot_limited(
+        block: &[u8],
+        index: usize,
+        limits: &DecodeLimits,
+    ) -> Result<Vec<f64>> {
         let mut pos = 0;
         let header = BlockHeader::read(block, &mut pos)?;
+        limits.check(&header)?;
         if header.method != Method::Vq {
             return Err(MdzError::BadInput("random access requires a VQ block"));
         }
@@ -280,7 +376,9 @@ impl Decompressor {
             .checked_add(payload_len)
             .filter(|&e| e <= block.len())
             .ok_or(MdzError::BadHeader("truncated payload"))?;
-        let inner = lz77::decompress(&block[pos..end])?;
+        let budget = limits.inner_budget(header.n_snapshots * header.n_values);
+        let mut inner = Vec::new();
+        lz77::decompress_into_limited(&block[pos..end], &mut inner, &budget)?;
         let all = decode_inner_one(&header, &inner, index)?;
         Ok(all)
     }
@@ -336,12 +434,14 @@ impl Decompressor {
     pub fn decompress_block(&mut self, block: &[u8]) -> Result<Vec<Vec<f64>>> {
         let mut pos = 0;
         let header = BlockHeader::read(block, &mut pos)?;
+        self.limits.check(&header)?;
         let payload_len = read_uvarint(block, &mut pos)? as usize;
         let end = pos
             .checked_add(payload_len)
             .filter(|&e| e <= block.len())
             .ok_or(MdzError::BadHeader("truncated payload"))?;
-        lz77::decompress_into(&block[pos..end], &mut self.scratch.inner)?;
+        let budget = self.limits.inner_budget(header.n_snapshots * header.n_values);
+        lz77::decompress_into_limited(&block[pos..end], &mut self.scratch.inner, &budget)?;
         let snapshots = decode_inner(&header, self.reference.as_deref(), &mut self.scratch)?;
         // Mirror the compressor's reference-update rule.
         if self.reference.as_ref().is_none_or(|r| r.len() != header.n_values) {

@@ -8,6 +8,7 @@
 //! [`Codec`] mix works ([`TrajectoryCompressor::from_codecs`]).
 
 use crate::codec::{Codec, MdzCodec};
+use crate::format::{read_frame, write_frame, FRAME_MAGIC};
 use crate::{ErrorBound, MdzConfig, MdzError, Result};
 use mdz_entropy::{read_uvarint, write_uvarint};
 
@@ -107,6 +108,88 @@ impl TrajectoryCompressor {
         });
         let [x, y, z] = results;
         Ok(assemble(&[x?, y?, z?]))
+    }
+
+    /// Like [`Self::compress_buffer`] but wraps the container in a
+    /// checksummed [`crate::format::FRAME_MAGIC`] frame, so an archival
+    /// stream of buffers can be scanned with [`TrajReader`] and survives
+    /// localized corruption by dropping only the damaged buffer.
+    pub fn compress_buffer_framed(&mut self, frames: &[Frame]) -> Result<Vec<u8>> {
+        let container = self.compress_buffer(frames)?;
+        let mut out = Vec::with_capacity(container.len() + crate::format::FRAME_HEADER_LEN);
+        write_frame(&container, &mut out)?;
+        Ok(out)
+    }
+}
+
+/// Scanning reader over a stream of checksummed frames.
+///
+/// Yields each frame's verified payload in order. When a frame fails its
+/// checksum — or the stream contains garbage between frames — the reader
+/// *resynchronizes*: it scans forward for the next [`FRAME_MAGIC`] marker
+/// and continues from there, so one damaged buffer costs exactly that
+/// buffer, not the rest of the stream. [`TrajReader::skipped`] reports how
+/// many damaged regions were skipped.
+pub struct TrajReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    /// Contiguous damaged regions skipped so far (one region may span
+    /// several false magic hits).
+    skipped: usize,
+    /// Whether the scanner is currently inside a damaged region (so a chain
+    /// of failed resync candidates counts as one skip).
+    resyncing: bool,
+}
+
+impl<'a> TrajReader<'a> {
+    /// Starts scanning `data` from the beginning.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0, skipped: 0, resyncing: false }
+    }
+
+    /// Number of damaged regions skipped so far.
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// Byte offset the scanner will read next.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+impl<'a> Iterator for TrajReader<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        while self.pos < self.data.len() {
+            match read_frame(self.data, &mut self.pos) {
+                Ok(payload) => {
+                    self.resyncing = false;
+                    return Some(payload);
+                }
+                Err(_) => {
+                    if !self.resyncing {
+                        self.resyncing = true;
+                        self.skipped += 1;
+                    }
+                    // Scan forward for the next magic marker, starting one
+                    // byte past the failed position so a corrupt frame whose
+                    // magic is intact doesn't loop forever.
+                    match self.data[self.pos + 1..]
+                        .windows(FRAME_MAGIC.len())
+                        .position(|w| w == FRAME_MAGIC)
+                    {
+                        Some(off) => self.pos += 1 + off,
+                        None => {
+                            self.pos = self.data.len();
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+        None
     }
 }
 
@@ -266,5 +349,69 @@ mod tests {
     #[should_panic(expected = "equally long")]
     fn ragged_frame_panics() {
         let _ = Frame::new(vec![1.0], vec![1.0, 2.0], vec![1.0]);
+    }
+
+    #[test]
+    fn framed_buffer_round_trip() {
+        let fs = frames(4, 60);
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3));
+        let mut c = TrajectoryCompressor::new(cfg);
+        let framed = c.compress_buffer_framed(&fs).unwrap();
+        let mut reader = TrajReader::new(&framed);
+        let payload = reader.next().unwrap();
+        assert!(reader.next().is_none());
+        assert_eq!(reader.skipped(), 0);
+        let out = TrajectoryDecompressor::new().decompress_buffer(payload).unwrap();
+        assert_eq!(out.len(), fs.len());
+    }
+
+    #[test]
+    fn reader_recovers_all_intact_frames_around_a_corrupted_buffer() {
+        // Acceptance scenario: a stream of five framed buffers with the
+        // middle one damaged must yield the other four intact.
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Vq);
+        let mut c = TrajectoryCompressor::new(cfg);
+        let mut stream = Vec::new();
+        let mut offsets = Vec::new();
+        for t in 0..5 {
+            let fs = frames(3, 50 + t); // distinct sizes per buffer
+            offsets.push(stream.len());
+            stream.extend(c.compress_buffer_framed(&fs).unwrap());
+        }
+        offsets.push(stream.len());
+        // Smash bytes in the middle of buffer 2's payload.
+        let mid = (offsets[2] + offsets[3]) / 2;
+        for b in &mut stream[mid..mid + 8] {
+            *b ^= 0x5A;
+        }
+        let mut d = TrajectoryDecompressor::new();
+        let mut reader = TrajReader::new(&stream);
+        let mut recovered = Vec::new();
+        for payload in reader.by_ref() {
+            recovered.push(d.decompress_buffer(payload).unwrap().len());
+        }
+        assert_eq!(reader.skipped(), 1, "one damaged region");
+        assert_eq!(recovered, vec![3, 3, 3, 3], "four intact buffers recovered");
+    }
+
+    #[test]
+    fn reader_skips_leading_garbage_and_resynchronizes() {
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Vq);
+        let mut c = TrajectoryCompressor::new(cfg);
+        let fs = frames(2, 40);
+        let mut stream = vec![0xDEu8; 37]; // garbage prefix
+        stream.extend(c.compress_buffer_framed(&fs).unwrap());
+        let mut reader = TrajReader::new(&stream);
+        assert!(reader.next().is_some());
+        assert!(reader.next().is_none());
+        assert_eq!(reader.skipped(), 1);
+    }
+
+    #[test]
+    fn reader_on_pure_garbage_yields_nothing() {
+        let garbage: Vec<u8> = (0..1000u32).map(|i| (i * 31 % 251) as u8).collect();
+        let mut reader = TrajReader::new(&garbage);
+        assert!(reader.next().is_none());
+        assert!(reader.skipped() <= 1);
     }
 }

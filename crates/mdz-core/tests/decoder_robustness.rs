@@ -2,7 +2,7 @@
 //! produce `Err`, never a panic, an abort, or an implausible allocation.
 
 use mdz_core::format::{FLAGS_OFFSET, MAGIC, VERSION};
-use mdz_core::{Compressor, Decompressor, ErrorBound, MdzConfig, MdzError, Method};
+use mdz_core::{Compressor, DecodeLimits, Decompressor, ErrorBound, MdzConfig, MdzError, Method};
 
 fn lattice(m: usize, n: usize) -> Vec<Vec<f64>> {
     (0..m).map(|t| (0..n).map(|i| (i % 10) as f64 * 2.5 + t as f64 * 1e-4).collect()).collect()
@@ -68,6 +68,86 @@ fn corrupt_flags_do_not_panic() {
         bad[FLAGS_OFFSET] = flags;
         let _ = Decompressor::new().decompress_block(&bad);
     }
+}
+
+fn f32_block() -> Vec<u8> {
+    let snaps: Vec<Vec<f32>> = (0..6)
+        .map(|t| (0..200).map(|i| (i % 10) as f32 * 2.5 + t as f32 * 1e-3).collect())
+        .collect();
+    let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Vq);
+    Compressor::new(cfg).compress_buffer_f32(&snaps).unwrap()
+}
+
+#[test]
+fn f32_and_f64_paths_report_identical_errors_on_corruption() {
+    // The f32 decode path is the f64 path plus a flag gate, and corruption
+    // must not break that equivalence: for every single-byte corruption of
+    // an f32-sourced block, both paths fail (or succeed) identically. Only
+    // the flags byte is exempt: flipping FLAG_F32 legitimately diverges the
+    // gate.
+    let blob = f32_block();
+    for i in 0..blob.len() {
+        for pattern in [0xFFu8, 0x01, 0x80] {
+            if i == FLAGS_OFFSET {
+                continue;
+            }
+            let mut bad = blob.clone();
+            bad[i] ^= pattern;
+            let wide = Decompressor::new().decompress_block(&bad).map(|_| ());
+            let narrow = Decompressor::new().decompress_block_f32(&bad).map(|_| ());
+            assert_eq!(
+                wide, narrow,
+                "byte {i} ^ {pattern:#04x}: f64 and f32 decode disagree on the same bytes"
+            );
+        }
+    }
+}
+
+#[test]
+fn f32_and_f64_paths_both_reject_every_truncation() {
+    let blob = f32_block();
+    for cut in 0..blob.len() {
+        assert!(Decompressor::new().decompress_block(&blob[..cut]).is_err());
+        assert!(Decompressor::new().decompress_block_f32(&blob[..cut]).is_err());
+    }
+}
+
+#[test]
+fn decode_limits_reject_oversized_headers() {
+    let blob = block(Method::Vq);
+    // The seed block is 6 snapshots × 200 values; a budget below either
+    // dimension must reject it with `LimitExceeded`, not decode it.
+    let cases = [
+        DecodeLimits { max_snapshots: 5, ..DecodeLimits::default() },
+        DecodeLimits { max_values_per_snapshot: 199, ..DecodeLimits::default() },
+        DecodeLimits { max_total_values: 1199, ..DecodeLimits::default() },
+    ];
+    for limits in cases {
+        match Decompressor::with_limits(limits).decompress_block(&blob) {
+            Err(MdzError::LimitExceeded { .. }) => {}
+            other => panic!("expected LimitExceeded, got {other:?}"),
+        }
+    }
+    // At exactly the block's size the budget admits it.
+    let exact = DecodeLimits {
+        max_snapshots: 6,
+        max_values_per_snapshot: 200,
+        max_total_values: 1200,
+        ..DecodeLimits::default()
+    };
+    assert!(Decompressor::with_limits(exact).decompress_block(&blob).is_ok());
+}
+
+#[test]
+fn decode_limits_survive_codec_reset() {
+    use mdz_core::{Codec, MdzCodec};
+    let tight = DecodeLimits { max_snapshots: 5, ..DecodeLimits::default() };
+    let cfg = MdzConfig::new(ErrorBound::Absolute(1e-4)).with_method(Method::Vq);
+    let mut codec = MdzCodec::from_config(cfg).with_decode_limits(tight);
+    let blob = block(Method::Vq);
+    assert!(codec.decompress_buffer(&blob).is_err());
+    codec.reset();
+    assert!(codec.decompress_buffer(&blob).is_err(), "reset dropped the decode budget");
 }
 
 #[test]

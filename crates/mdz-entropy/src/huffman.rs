@@ -13,7 +13,7 @@
 
 use crate::bitio::{BitReader, BitWriter};
 use crate::varint::{read_uvarint, write_uvarint};
-use crate::{EntropyError, Result};
+use crate::{EntropyError, Result, StreamLimits};
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
 
@@ -279,17 +279,26 @@ impl HuffmanDecoder {
     /// Reads a canonical table from `data` at `*pos`.
     fn read_table(data: &[u8], pos: &mut usize) -> Result<Self> {
         let distinct = read_uvarint(data, pos)? as usize;
-        if distinct > (1 << 28) {
-            return Err(EntropyError::Corrupt("implausible alphabet size"));
+        // Each serialized entry costs at least two bytes (delta varint +
+        // length byte), so an alphabet larger than half the remaining input
+        // is structurally impossible — reject before `with_capacity`.
+        if distinct > data.len().saturating_sub(*pos) / 2 {
+            return Err(EntropyError::Corrupt("alphabet larger than its encoding"));
         }
         let mut pairs: Vec<(u32, u8)> = Vec::with_capacity(distinct);
         let mut prev = 0u64;
         for i in 0..distinct {
             let delta = read_uvarint(data, pos)?;
-            let sym = if i == 0 { delta } else { prev + delta };
-            if sym > u64::from(u32::MAX) {
-                return Err(EntropyError::Corrupt("symbol exceeds u32"));
+            if i > 0 && delta == 0 {
+                // Sorted-ascending symbols delta-code with strictly positive
+                // gaps; a zero delta means a duplicate symbol, which would
+                // silently shadow one of its two codes.
+                return Err(EntropyError::Corrupt("duplicate symbol in code table"));
             }
+            // `checked_add`: a forged delta near u64::MAX must not overflow.
+            let sym = if i == 0 { Some(delta) } else { prev.checked_add(delta) }
+                .filter(|&s| s <= u64::from(u32::MAX))
+                .ok_or(EntropyError::Corrupt("symbol exceeds u32"))?;
             let len = *data.get(*pos).ok_or(EntropyError::UnexpectedEof)?;
             *pos += 1;
             if distinct > 1 && (len == 0 || u32::from(len) > MAX_CODE_LEN) {
@@ -330,6 +339,14 @@ impl HuffmanDecoder {
                 return Err(EntropyError::Corrupt("code table violates Kraft inequality"));
             }
             code <<= 1;
+        }
+        // Completeness: after processing the deepest level, the next free
+        // code must sit exactly at 2^(max_len+1). Anything less leaves bit
+        // patterns that match no symbol — a decoder fed such a table would
+        // report "bit pattern matches no code" only when (and if) the hole
+        // is hit; reject the table up front instead.
+        if code != 1u64 << (dec.max_len + 1) {
+            return Err(EntropyError::Corrupt("incomplete code table"));
         }
         // Fast LUT for short codes.
         let lut_len = 1usize << LUT_BITS;
@@ -515,19 +532,42 @@ pub fn huffman_encode_into(symbols: &[u32], out: &mut Vec<u8>, scratch: &mut Huf
 /// Decodes a stream produced by [`huffman_encode`], starting at `*pos` and
 /// advancing it past the stream.
 pub fn huffman_decode_at(data: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
+    huffman_decode_at_limited(data, pos, &StreamLimits::default())
+}
+
+/// [`huffman_decode_at`] with a caller-supplied decode budget.
+pub fn huffman_decode_at_limited(
+    data: &[u8],
+    pos: &mut usize,
+    limits: &StreamLimits,
+) -> Result<Vec<u32>> {
     let mut out = Vec::new();
-    huffman_decode_at_into(data, pos, &mut out)?;
+    huffman_decode_at_into_limited(data, pos, &mut out, limits)?;
     Ok(out)
 }
 
 /// [`huffman_decode_at`] writing the symbols into a caller-owned vector
 /// (cleared first), so a streaming decoder can reuse the allocation.
 pub fn huffman_decode_at_into(data: &[u8], pos: &mut usize, out: &mut Vec<u32>) -> Result<()> {
+    huffman_decode_at_into_limited(data, pos, out, &StreamLimits::default())
+}
+
+/// [`huffman_decode_at_into`] with a caller-supplied decode budget.
+///
+/// The declared symbol count is checked against `limits` before any
+/// count-proportional allocation. The multi-symbol path additionally bounds
+/// the count by the payload's bit capacity (every symbol costs at least one
+/// bit when the alphabet has two or more entries); the single-symbol path
+/// carries no payload, so it can only be bounded by the budget.
+pub fn huffman_decode_at_into_limited(
+    data: &[u8],
+    pos: &mut usize,
+    out: &mut Vec<u32>,
+    limits: &StreamLimits,
+) -> Result<()> {
     out.clear();
     let count = read_uvarint(data, pos)? as usize;
-    if count > (1 << 34) {
-        return Err(EntropyError::Corrupt("implausible symbol count"));
-    }
+    limits.check_items(count, "huffman symbol count")?;
     let dec = HuffmanDecoder::read_table(data, pos)?;
     match dec.symbols.len() {
         0 => {
@@ -546,6 +586,11 @@ pub fn huffman_decode_at_into(data: &[u8], pos: &mut usize, out: &mut Vec<u32>) 
                 .checked_add(payload_len)
                 .filter(|&e| e <= data.len())
                 .ok_or(EntropyError::UnexpectedEof)?;
+            // With two or more symbols every code is at least one bit, so a
+            // count beyond the payload's bit capacity is a forged header.
+            if count > payload_len.saturating_mul(8) {
+                return Err(EntropyError::Corrupt("symbol count exceeds payload bits"));
+            }
             let mut bits = BitReader::new(&data[*pos..end]);
             // Cap eager allocation: `count` is untrusted until the payload
             // actually yields that many symbols (a forged header must not
@@ -733,6 +778,81 @@ mod tests {
         huffman_decode_at_into(&buf, &mut pos, &mut out).unwrap();
         assert_eq!(out, b);
         assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn oversubscribed_table_rejected() {
+        // Three symbols all claiming one-bit codes violate Kraft: only two
+        // one-bit codes exist. Layout: count=0, distinct=3, then
+        // (delta, len) entries (0,1) (1,1) (1,1).
+        let data = [0u8, 3, 0, 1, 1, 1, 1, 1];
+        assert_eq!(
+            huffman_decode(&data),
+            Err(EntropyError::Corrupt("code table violates Kraft inequality"))
+        );
+    }
+
+    #[test]
+    fn incomplete_table_rejected() {
+        // Two symbols with two-bit codes leave half of the two-bit code
+        // space unassigned — a decoder would hit "matches no code" only on
+        // unlucky payloads; the table itself must be rejected.
+        let data = [0u8, 2, 0, 2, 1, 2];
+        assert_eq!(huffman_decode(&data), Err(EntropyError::Corrupt("incomplete code table")));
+    }
+
+    #[test]
+    fn duplicate_symbol_rejected() {
+        // delta = 0 for the second entry repeats symbol 5.
+        let data = [0u8, 2, 5, 1, 0, 1];
+        assert_eq!(
+            huffman_decode(&data),
+            Err(EntropyError::Corrupt("duplicate symbol in code table"))
+        );
+    }
+
+    #[test]
+    fn alphabet_larger_than_input_rejected() {
+        // distinct = 2^28 with almost no bytes behind it.
+        let mut data = vec![0u8];
+        write_uvarint(&mut data, 1 << 28);
+        data.extend_from_slice(&[0, 1]);
+        assert_eq!(
+            huffman_decode(&data),
+            Err(EntropyError::Corrupt("alphabet larger than its encoding"))
+        );
+    }
+
+    #[test]
+    fn count_beyond_payload_bits_rejected() {
+        // A complete 2-symbol table with a 1-byte payload cannot yield 1000
+        // symbols (each costs at least one bit).
+        let mut data = Vec::new();
+        write_uvarint(&mut data, 1000); // forged count
+        data.extend_from_slice(&[2, 0, 1, 1, 1]); // table: {0:1, 1:1}
+        data.extend_from_slice(&[1, 0]); // payload_len=1, payload
+        assert_eq!(
+            huffman_decode(&data),
+            Err(EntropyError::Corrupt("symbol count exceeds payload bits"))
+        );
+    }
+
+    #[test]
+    fn degenerate_count_bounded_by_limits() {
+        // Single-symbol streams carry no payload, so a forged count can only
+        // be caught by the caller's budget.
+        let enc = huffman_encode(&[7u32; 1000]);
+        let limits = StreamLimits::with_max_items(100);
+        let mut pos = 0;
+        assert_eq!(
+            huffman_decode_at_limited(&enc, &mut pos, &limits),
+            Err(EntropyError::LimitExceeded { what: "huffman symbol count", limit: 100 })
+        );
+        // The same stream passes under a budget that admits it.
+        let mut pos = 0;
+        let out =
+            huffman_decode_at_limited(&enc, &mut pos, &StreamLimits::with_max_items(1000)).unwrap();
+        assert_eq!(out, vec![7u32; 1000]);
     }
 
     #[test]

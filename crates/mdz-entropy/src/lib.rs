@@ -19,10 +19,10 @@ pub mod varint;
 
 pub use bitio::{BitReader, BitWriter};
 pub use huffman::{
-    huffman_decode, huffman_encode, huffman_encode_into, HuffmanDecoder, HuffmanEncoder,
-    HuffmanScratch,
+    huffman_decode, huffman_decode_at_limited, huffman_encode, huffman_encode_into, HuffmanDecoder,
+    HuffmanEncoder, HuffmanScratch,
 };
-pub use range::{range_decode, range_encode, RangeScratch};
+pub use range::{range_decode, range_decode_at_limited, range_encode, RangeScratch};
 pub use varint::{
     read_ivarint, read_uvarint, write_ivarint, write_uvarint, zigzag_decode, zigzag_encode,
 };
@@ -34,6 +34,13 @@ pub enum EntropyError {
     UnexpectedEof,
     /// The stream violates a structural invariant of its format.
     Corrupt(&'static str),
+    /// A declared output size exceeded the caller's [`StreamLimits`] budget.
+    LimitExceeded {
+        /// Which declared quantity blew the budget.
+        what: &'static str,
+        /// The budget that was in force.
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for EntropyError {
@@ -41,7 +48,54 @@ impl std::fmt::Display for EntropyError {
         match self {
             EntropyError::UnexpectedEof => write!(f, "unexpected end of input"),
             EntropyError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
+            EntropyError::LimitExceeded { what, limit } => {
+                write!(f, "decode budget exceeded: {what} > {limit}")
+            }
         }
+    }
+}
+
+/// Decode-side resource budget threaded through every decoder whose output
+/// size is driven by an untrusted count.
+///
+/// Entropy streams are self-describing: the symbol count, alphabet size, and
+/// payload length all come from the (potentially hostile) input. Structural
+/// checks reject counts the input could never satisfy — e.g. a table larger
+/// than its own encoding — but some formats legitimately expand (a
+/// one-symbol Huffman stream or a single RLE run can declare an output
+/// million-fold larger than the input), so expansion can only be bounded by
+/// a caller-supplied budget. Counts above `max_items` fail with
+/// [`EntropyError::LimitExceeded`] *before* any proportional allocation.
+///
+/// The default budget equals the crate's historic plausibility cap (2³⁴
+/// items), so the non-`_limited` entry points behave as before; callers that
+/// know their real output size (e.g. a block decoder that has parsed `M·N`
+/// from a validated header) should pass a tight budget instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamLimits {
+    /// Maximum number of output items (symbols or bytes) one stream may
+    /// declare.
+    pub max_items: usize,
+}
+
+impl Default for StreamLimits {
+    fn default() -> Self {
+        Self { max_items: 1 << 34 }
+    }
+}
+
+impl StreamLimits {
+    /// A budget allowing at most `max_items` output items.
+    pub const fn with_max_items(max_items: usize) -> Self {
+        Self { max_items }
+    }
+
+    /// Checks a declared item count against the budget.
+    pub fn check_items(&self, count: usize, what: &'static str) -> Result<()> {
+        if count > self.max_items {
+            return Err(EntropyError::LimitExceeded { what, limit: self.max_items });
+        }
+        Ok(())
     }
 }
 

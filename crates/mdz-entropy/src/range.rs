@@ -12,7 +12,7 @@
 //! renormalization floor keeps `range / total` exact and the coder lossless.
 
 use crate::varint::{read_uvarint, write_uvarint};
-use crate::{EntropyError, Result};
+use crate::{EntropyError, Result, StreamLimits};
 
 /// Upper bound on the rescaled frequency total (16-bit).
 const TOTAL_BITS: u32 = 16;
@@ -98,8 +98,11 @@ impl Model {
 
     fn read(data: &[u8], pos: &mut usize) -> Result<Self> {
         let n = read_uvarint(data, pos)? as usize;
-        if n > (1 << 24) {
-            return Err(EntropyError::Corrupt("implausible alphabet size"));
+        // Each serialized entry costs at least two bytes (delta varint +
+        // frequency varint), so a model larger than half the remaining input
+        // is structurally impossible — reject before `with_capacity`.
+        if n > data.len().saturating_sub(*pos) / 2 {
+            return Err(EntropyError::Corrupt("model larger than its encoding"));
         }
         let mut symbols = Vec::with_capacity(n);
         let mut cum = Vec::with_capacity(n + 1);
@@ -108,10 +111,17 @@ impl Model {
         let mut acc = 0u64;
         for i in 0..n {
             let delta = read_uvarint(data, pos)?;
-            let sym = if i == 0 { delta } else { prev + delta };
-            if sym > u64::from(u32::MAX) {
-                return Err(EntropyError::Corrupt("symbol exceeds u32"));
+            if i > 0 && delta == 0 {
+                // Sorted-ascending symbols delta-code with strictly positive
+                // gaps; a zero delta means a duplicate symbol, which breaks
+                // the binary search used by the encoder side and silently
+                // shadows a slot on decode.
+                return Err(EntropyError::Corrupt("duplicate symbol in model"));
             }
+            // `checked_add`: a forged delta near u64::MAX must not overflow.
+            let sym = if i == 0 { Some(delta) } else { prev.checked_add(delta) }
+                .filter(|&s| s <= u64::from(u32::MAX))
+                .ok_or(EntropyError::Corrupt("symbol exceeds u32"))?;
             let freq = read_uvarint(data, pos)?;
             if freq == 0 || freq > MAX_TOTAL {
                 return Err(EntropyError::Corrupt("invalid frequency"));
@@ -320,19 +330,41 @@ pub fn range_encode_into(symbols: &[u32], out: &mut Vec<u8>, scratch: &mut Range
 
 /// Decodes a stream produced by [`range_encode`], advancing `*pos`.
 pub fn range_decode_at(data: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
+    range_decode_at_limited(data, pos, &StreamLimits::default())
+}
+
+/// [`range_decode_at`] with a caller-supplied decode budget.
+pub fn range_decode_at_limited(
+    data: &[u8],
+    pos: &mut usize,
+    limits: &StreamLimits,
+) -> Result<Vec<u32>> {
     let mut out = Vec::new();
-    range_decode_at_into(data, pos, &mut out)?;
+    range_decode_at_into_limited(data, pos, &mut out, limits)?;
     Ok(out)
 }
 
 /// [`range_decode_at`] writing the symbols into a caller-owned vector
 /// (cleared first), so a streaming decoder can reuse the allocation.
 pub fn range_decode_at_into(data: &[u8], pos: &mut usize, out: &mut Vec<u32>) -> Result<()> {
+    range_decode_at_into_limited(data, pos, out, &StreamLimits::default())
+}
+
+/// [`range_decode_at_into`] with a caller-supplied decode budget.
+///
+/// Unlike Huffman, a range-coded symbol can cost less than one bit, so the
+/// declared count cannot be bounded by the payload size; the budget is the
+/// only defense against a forged count (truncated payloads decode as
+/// zero-padding here — the container's CRC frame is what detects them).
+pub fn range_decode_at_into_limited(
+    data: &[u8],
+    pos: &mut usize,
+    out: &mut Vec<u32>,
+    limits: &StreamLimits,
+) -> Result<()> {
     out.clear();
     let count = read_uvarint(data, pos)? as usize;
-    if count > (1 << 34) {
-        return Err(EntropyError::Corrupt("implausible symbol count"));
-    }
+    limits.check_items(count, "range symbol count")?;
     if count == 0 {
         return Ok(());
     }
@@ -505,6 +537,56 @@ mod tests {
             range_decode_at_into(&out, &mut pos, &mut dec).unwrap();
             assert_eq!(&dec, v);
         }
+    }
+
+    #[test]
+    fn model_larger_than_input_rejected() {
+        // count=1, tag=0, then a model claiming 2^20 entries with no bytes
+        // behind it: must fail before any proportional allocation.
+        let mut data = Vec::new();
+        write_uvarint(&mut data, 1); // count
+        write_uvarint(&mut data, 0); // tag: model follows
+        write_uvarint(&mut data, 1 << 20); // forged model size
+        assert_eq!(
+            range_decode(&data),
+            Err(EntropyError::Corrupt("model larger than its encoding"))
+        );
+    }
+
+    #[test]
+    fn duplicate_model_symbol_rejected() {
+        // Model entries (5, f=1) then (delta=0, f=1) repeat symbol 5.
+        let mut data = Vec::new();
+        write_uvarint(&mut data, 1); // count
+        write_uvarint(&mut data, 0); // tag
+        write_uvarint(&mut data, 2); // model size
+        data.extend_from_slice(&[5, 1, 0, 1]);
+        assert_eq!(range_decode(&data), Err(EntropyError::Corrupt("duplicate symbol in model")));
+    }
+
+    #[test]
+    fn forged_count_bounded_by_limits() {
+        // The degenerate single-symbol path has no payload to cross-check, so
+        // the caller budget is the only bound on a forged count.
+        let enc = range_encode(&[42u32; 100_000]);
+        let limits = StreamLimits::with_max_items(1000);
+        let mut pos = 0;
+        assert_eq!(
+            range_decode_at_limited(&enc, &mut pos, &limits),
+            Err(EntropyError::LimitExceeded { what: "range symbol count", limit: 1000 })
+        );
+        // A full-model stream is budget-checked too.
+        let v: Vec<u32> = (0..2000).map(|i| i % 37).collect();
+        let enc = range_encode(&v);
+        let mut pos = 0;
+        assert_eq!(
+            range_decode_at_limited(&enc, &mut pos, &limits),
+            Err(EntropyError::LimitExceeded { what: "range symbol count", limit: 1000 })
+        );
+        let mut pos = 0;
+        let out =
+            range_decode_at_limited(&enc, &mut pos, &StreamLimits::with_max_items(2000)).unwrap();
+        assert_eq!(out, v);
     }
 
     #[test]

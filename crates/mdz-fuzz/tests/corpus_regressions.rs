@@ -1,0 +1,218 @@
+//! Replays the repository's `corpus/` of hostile-input regression seeds.
+//!
+//! Every `corpus/*.bin` file is a small crafted input that once exercised
+//! (or still exercises) a dangerous decode path: forged length fields,
+//! over-subscribed code tables, checksum mismatches, truncated containers.
+//! The filename prefix selects the decode entry point; every seed must
+//! produce a typed error — never a panic, never an allocation beyond the
+//! replay budget.
+//!
+//! Regenerate the seeds with `MDZ_BLESS_CORPUS=1 cargo test -p mdz-fuzz
+//! --test corpus_regressions` (the replay then runs against the fresh
+//! files). New regression inputs found by the fuzz campaigns should be
+//! added here with a matching prefix.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use mdz_core::format::{read_frame, write_frame};
+use mdz_core::traj::TrajectoryDecompressor;
+use mdz_core::{
+    Codec, Compressor, DecodeLimits, Decompressor, ErrorBound, MdzCodec, MdzConfig, Method,
+};
+use mdz_entropy::{
+    huffman_decode_at_limited, huffman_encode, range_decode_at_limited, range_encode, read_uvarint,
+    write_uvarint, StreamLimits,
+};
+use mdz_fuzz::CountingAlloc;
+use mdz_lossless::{lz77, rle};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Replay allocation budget per seed — orders of magnitude below what the
+/// forged length fields in these seeds request.
+const BUDGET: usize = 64 << 20;
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..").join("corpus")
+}
+
+fn tight_limits() -> DecodeLimits {
+    DecodeLimits {
+        max_snapshots: 1 << 10,
+        max_values_per_snapshot: 1 << 16,
+        max_total_values: 1 << 18,
+        max_inner_bytes: 1 << 22,
+    }
+}
+
+/// Dispatches a seed to its decode entry point; returns whether it errored.
+fn replay(name: &str, bytes: &[u8]) -> bool {
+    let stream_limits = StreamLimits::with_max_items(1 << 16);
+    if name.starts_with("huffman_") {
+        huffman_decode_at_limited(bytes, &mut 0, &stream_limits).is_err()
+    } else if name.starts_with("range_") {
+        range_decode_at_limited(bytes, &mut 0, &stream_limits).is_err()
+    } else if name.starts_with("lz77_") {
+        let mut out = Vec::new();
+        lz77::decompress_into_limited(bytes, &mut out, &StreamLimits::with_max_items(1 << 20))
+            .is_err()
+    } else if name.starts_with("rle_") {
+        rle::decompress_limited(bytes, &stream_limits).is_err()
+    } else if name.starts_with("block_") {
+        Decompressor::with_limits(tight_limits()).decompress_block(bytes).is_err()
+    } else if name.starts_with("frame_") {
+        read_frame(bytes, &mut 0).is_err()
+    } else if name.starts_with("traj_") {
+        let axes: [Box<dyn Codec>; 3] = std::array::from_fn(|_| {
+            Box::new(MdzCodec::default().with_decode_limits(tight_limits())) as Box<dyn Codec>
+        });
+        TrajectoryDecompressor::from_codecs(axes).decompress_buffer(bytes).is_err()
+    } else {
+        panic!("corpus file {name} has no known prefix");
+    }
+}
+
+/// Writes the seed corpus. Each entry is deterministic, so blessing twice
+/// produces byte-identical files.
+fn bless(dir: &Path) {
+    fs::create_dir_all(dir).unwrap();
+    let put = |name: &str, bytes: Vec<u8>| fs::write(dir.join(name), bytes).unwrap();
+
+    // A forged symbol count turned into an allocation request.
+    let valid = huffman_encode(&(0..64u32).map(|i| i % 7).collect::<Vec<_>>());
+    let mut pos = 0;
+    read_uvarint(&valid, &mut pos).unwrap();
+    let mut forged = Vec::new();
+    write_uvarint(&mut forged, u64::MAX);
+    forged.extend_from_slice(&valid[pos..]);
+    put("huffman_forged_count.bin", forged);
+
+    // Three length-1 codes: violates the Kraft inequality.
+    let mut b = Vec::new();
+    write_uvarint(&mut b, 4); // symbol count
+    write_uvarint(&mut b, 3); // distinct symbols
+    for (delta, len) in [(0u64, 1u8), (1, 1), (1, 1)] {
+        write_uvarint(&mut b, delta);
+        b.push(len);
+    }
+    write_uvarint(&mut b, 1); // payload length
+    b.push(0);
+    put("huffman_oversubscribed.bin", b);
+
+    // Lengths {1, 3, 3} leave unassigned bit patterns: incomplete table.
+    let mut b = Vec::new();
+    write_uvarint(&mut b, 4);
+    write_uvarint(&mut b, 3);
+    for (delta, len) in [(0u64, 1u8), (1, 3), (1, 3)] {
+        write_uvarint(&mut b, delta);
+        b.push(len);
+    }
+    write_uvarint(&mut b, 1);
+    b.push(0);
+    put("huffman_incomplete.bin", b);
+
+    // A zero delta duplicates the previous symbol.
+    let mut b = Vec::new();
+    write_uvarint(&mut b, 4);
+    write_uvarint(&mut b, 2);
+    for (delta, len) in [(5u64, 1u8), (0, 1)] {
+        write_uvarint(&mut b, delta);
+        b.push(len);
+    }
+    write_uvarint(&mut b, 1);
+    b.push(0);
+    put("huffman_duplicate_symbol.bin", b);
+
+    // Forged range-coder symbol count.
+    let valid = range_encode(&(0..64u32).map(|i| i % 5).collect::<Vec<_>>());
+    let mut pos = 0;
+    read_uvarint(&valid, &mut pos).unwrap();
+    let mut forged = Vec::new();
+    write_uvarint(&mut forged, u64::MAX);
+    forged.extend_from_slice(&valid[pos..]);
+    put("range_forged_count.bin", forged);
+
+    // A model claiming 1000 entries in a 2-byte body.
+    let mut b = Vec::new();
+    write_uvarint(&mut b, 10); // symbol count
+    b.push(0); // tag 0: full model follows
+    write_uvarint(&mut b, 1000); // model entries
+    b.extend_from_slice(&[1, 1]);
+    put("range_giant_model.bin", b);
+
+    // Forged LZ77 raw (decompressed) length.
+    let valid = lz77::compress(&vec![0x42u8; 2000], lz77::Level::Default);
+    let mut pos = 0;
+    read_uvarint(&valid, &mut pos).unwrap();
+    let mut forged = Vec::new();
+    write_uvarint(&mut forged, u64::MAX);
+    forged.extend_from_slice(&valid[pos..]);
+    put("lz77_forged_rawlen.bin", forged);
+
+    // An RLE stream declaring a u64::MAX output length.
+    let mut b = Vec::new();
+    write_uvarint(&mut b, u64::MAX);
+    for _ in 0..8 {
+        write_uvarint(&mut b, 255);
+        b.push(0xAA);
+    }
+    put("rle_bomb.bin", b);
+
+    // A valid VQ block whose snapshot count is forged to 2^30.
+    let cfg = MdzConfig::new(ErrorBound::Absolute(1e-4)).with_method(Method::Vq);
+    let snaps: Vec<Vec<f64>> = (0..6)
+        .map(|t| (0..200).map(|i| (i % 10) as f64 * 2.5 + t as f64 * 1e-4).collect())
+        .collect();
+    let mut blk = Compressor::new(cfg).compress_buffer(&snaps).unwrap();
+    let mut forged_m = Vec::new();
+    write_uvarint(&mut forged_m, 1 << 30);
+    // Header layout: magic(4) + version(1) + method(1) + flags(1), then M.
+    for (i, byte) in forged_m.iter().enumerate() {
+        blk[7 + i] = *byte;
+    }
+    put("block_forged_snapshots.bin", blk);
+
+    // A framed payload with its last byte flipped: checksum mismatch.
+    let mut fr = Vec::new();
+    write_frame(b"frame payload under test", &mut fr).unwrap();
+    let last = fr.len() - 1;
+    fr[last] ^= 0xFF;
+    put("frame_bad_crc.bin", fr);
+
+    // A trajectory container whose first axis length points past the end.
+    let mut b = b"MDZT".to_vec();
+    write_uvarint(&mut b, 1000);
+    put("traj_truncated_axis.bin", b);
+}
+
+#[test]
+fn corpus_seeds_all_error_within_budget() {
+    let dir = corpus_dir();
+    if std::env::var("MDZ_BLESS_CORPUS").is_ok() {
+        bless(&dir);
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| {
+            panic!(
+                "corpus directory {} unreadable ({e}); regenerate with MDZ_BLESS_CORPUS=1",
+                dir.display()
+            )
+        })
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "bin"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "corpus is empty; regenerate with MDZ_BLESS_CORPUS=1");
+    for path in entries {
+        let name = path.file_name().unwrap().to_str().unwrap().to_owned();
+        let bytes = fs::read(&path).unwrap();
+        let live_before = CountingAlloc::live();
+        CountingAlloc::reset_peak();
+        let errored = replay(&name, &bytes);
+        let used = CountingAlloc::peak().saturating_sub(live_before);
+        assert!(errored, "{name}: crafted hostile input decoded successfully");
+        assert!(used <= BUDGET, "{name}: replay allocated {used} bytes (budget {BUDGET})");
+    }
+}

@@ -23,6 +23,7 @@ pub mod lz77;
 pub mod rle;
 
 pub use lz77::{compress as lz_compress, decompress as lz_decompress, Level};
+pub use mdz_entropy::StreamLimits;
 
 /// Result alias shared with the entropy crate.
 pub type Result<T> = mdz_entropy::Result<T>;

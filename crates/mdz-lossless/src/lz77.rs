@@ -16,8 +16,9 @@
 //! short match tokens.
 
 use mdz_entropy::{
-    huffman::{huffman_decode_at, huffman_encode_into},
+    huffman::{huffman_decode_at_limited, huffman_encode_into},
     read_uvarint, write_uvarint, BitReader, BitWriter, EntropyError, HuffmanScratch, Result,
+    StreamLimits,
 };
 
 /// Minimum match length worth emitting.
@@ -251,14 +252,36 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
 
 /// [`decompress`] writing into a caller-owned vector (cleared first).
 pub fn decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<()> {
+    decompress_into_limited(data, out, &StreamLimits::default())
+}
+
+/// [`decompress_into`] with a caller-supplied decode budget.
+///
+/// `limits.max_items` bounds the declared raw (decompressed) length; the
+/// token streams are in turn bounded by that length (every token produces at
+/// least one output byte), so a forged header cannot drive any allocation
+/// past the budget.
+pub fn decompress_into_limited(
+    data: &[u8],
+    out: &mut Vec<u8>,
+    limits: &StreamLimits,
+) -> Result<()> {
     out.clear();
     let mut pos = 0;
     let raw_len = read_uvarint(data, &mut pos)? as usize;
-    if raw_len > (1 << 34) {
-        return Err(EntropyError::Corrupt("implausible raw length"));
+    limits.check_items(raw_len, "lz77 raw length")?;
+    // Each litlen token emits ≥ 1 output byte and there are at most as many
+    // distance symbols as match tokens, so both streams are bounded by the
+    // declared output size.
+    let token_limits = StreamLimits::with_max_items(raw_len);
+    let litlen = huffman_decode_at_limited(data, &mut pos, &token_limits)?;
+    if raw_len > litlen.len().saturating_mul(MAX_MATCH) {
+        // Even if every token were a maximal match, the stream could not
+        // reach the declared length — a forged header, caught before the
+        // output buffer grows.
+        return Err(EntropyError::Corrupt("declared length exceeds token capacity"));
     }
-    let litlen = huffman_decode_at(data, &mut pos)?;
-    let dist_syms = huffman_decode_at(data, &mut pos)?;
+    let dist_syms = huffman_decode_at_limited(data, &mut pos, &token_limits)?;
     let extra_len = read_uvarint(data, &mut pos)? as usize;
     let end = pos
         .checked_add(extra_len)

@@ -5,7 +5,7 @@
 //! quantization-code bytes appear, and RLE quantifies how much of the LZ
 //! stage's win comes from plain runs versus general repeats.
 
-use mdz_entropy::{read_uvarint, write_uvarint, EntropyError, Result};
+use mdz_entropy::{read_uvarint, write_uvarint, EntropyError, Result, StreamLimits};
 
 /// Compresses `data` as `(uvarint run_len, byte)` pairs.
 pub fn compress(data: &[u8]) -> Vec<u8> {
@@ -27,11 +27,18 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 
 /// Decompresses a stream produced by [`compress`].
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    decompress_limited(data, &StreamLimits::default())
+}
+
+/// [`decompress`] with a caller-supplied decode budget.
+///
+/// RLE legitimately expands (one `(run, byte)` pair can declare a
+/// million-byte run), so the declared total can only be bounded by the
+/// caller's budget, not by the input size.
+pub fn decompress_limited(data: &[u8], limits: &StreamLimits) -> Result<Vec<u8>> {
     let mut pos = 0;
     let total = read_uvarint(data, &mut pos)? as usize;
-    if total > (1 << 34) {
-        return Err(EntropyError::Corrupt("implausible length"));
-    }
+    limits.check_items(total, "rle output length")?;
     // Cap eager allocation: `total` is untrusted (a forged 16 GiB length
     // must not OOM the decoder before the runs fail to materialize).
     let mut out = Vec::with_capacity(total.min(1 << 20));
@@ -39,7 +46,10 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
         let run = read_uvarint(data, &mut pos)? as usize;
         let byte = *data.get(pos).ok_or(EntropyError::UnexpectedEof)?;
         pos += 1;
-        if run == 0 || out.len() + run > total {
+        // `total - out.len()` cannot underflow (loop condition); comparing
+        // against it instead of `out.len() + run` avoids overflow on a
+        // forged run length near u64::MAX.
+        if run == 0 || run > total - out.len() {
             return Err(EntropyError::Corrupt("invalid run length"));
         }
         out.extend(std::iter::repeat_n(byte, run));

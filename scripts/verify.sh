@@ -19,4 +19,10 @@ cargo build --release --workspace
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 
+# Bounded fuzz smoke: deterministic seeded campaigns over every decode
+# entry point. 5 000 iterations keeps this step to a few seconds; CI's
+# dedicated fuzz-smoke job runs the full 100 000-iteration budget.
+echo "==> fuzz smoke (MDZ_FUZZ_ITERS=${MDZ_FUZZ_ITERS:-5000})"
+MDZ_FUZZ_ITERS="${MDZ_FUZZ_ITERS:-5000}" cargo test -p mdz-fuzz --release --quiet
+
 echo "verify: all checks passed"
