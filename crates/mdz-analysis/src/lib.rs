@@ -4,9 +4,9 @@
 //!
 //! * [`error`] — MaxError, NRMSE, PSNR, bit rate, compression ratio
 //!   (Tables IV–VI, Figs. 12–13),
-//! * [`rdf`] — the radial distribution function `g(r)` under periodic
+//! * [`mod@rdf`] — the radial distribution function `g(r)` under periodic
 //!   boundaries (Fig. 14's physics-fidelity check),
-//! * [`similarity`] — the paper's Eq. 2 snapshot-similarity measure
+//! * [`mod@similarity`] — the paper's Eq. 2 snapshot-similarity measure
 //!   (Fig. 8),
 //! * [`histogram`] — value distributions (Fig. 4),
 //! * [`series`] — spatial/temporal series extraction helpers (Figs. 3, 5),

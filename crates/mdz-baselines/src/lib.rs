@@ -18,7 +18,7 @@
 //! * [`lfzip`] — LFZip with its NLMS adaptive linear predictor and uniform
 //!   residual quantizer.
 //! * [`sz3`] — SZ-Interp-style multilevel interpolation (the paper's
-//!   reference [31]), included to test §II's claim that interpolation
+//!   reference \[31\]), included to test §II's claim that interpolation
 //!   compressors are sub-optimal on MD data.
 //!
 //! All baselines implement [`mdz_core::Codec`] — the same interface MDZ

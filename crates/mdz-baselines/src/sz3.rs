@@ -1,6 +1,6 @@
 //! SZ3-style interpolation baseline.
 //!
-//! SZ3 / SZ-Interp (Zhao et al., ICDE 2021 — the paper's reference [31])
+//! SZ3 / SZ-Interp (Zhao et al., ICDE 2021 — the paper's reference \[31\])
 //! replaces Lorenzo prediction with level-by-level *spline interpolation*:
 //! grid points are reconstructed coarsest-first, and each finer level's
 //! points are predicted by interpolating already-reconstructed neighbours.

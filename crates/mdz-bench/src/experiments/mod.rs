@@ -9,12 +9,14 @@ mod characterization;
 mod comparison;
 mod core_exps;
 mod lammps;
+mod throughput;
 
 pub use ablations::ablations;
 pub use characterization::{fig3, fig4, fig5, fig8, table1, table2};
 pub use comparison::{fig12, fig12var, fig13, fig14, fig15, fig16, table4, table5, table6};
 pub use core_exps::{fig10, fig11, fig9, table3};
 pub use lammps::table7;
+pub use throughput::throughput;
 
 use crate::table::Table;
 use mdz_sim::{datasets, Dataset, DatasetKind, Scale};
@@ -26,13 +28,29 @@ pub struct Ctx {
     pub scale: Scale,
     pub out_dir: PathBuf,
     pub seed: u64,
+    /// Worker counts the throughput experiment sweeps (CLI `--workers`).
+    pub workers: Vec<usize>,
+    /// Timed repetitions per throughput measurement (CLI `--reps`).
+    pub reps: usize,
     cache: HashMap<DatasetKind, Dataset>,
 }
 
 impl Ctx {
     /// Creates a context writing CSVs under `out_dir`.
     pub fn new(scale: Scale, out_dir: PathBuf, seed: u64) -> Self {
-        Self { scale, out_dir, seed, cache: HashMap::new() }
+        Self { scale, out_dir, seed, workers: vec![1, 2, 4, 8], reps: 3, cache: HashMap::new() }
+    }
+
+    /// Overrides the worker sweep used by the throughput experiment.
+    pub fn with_workers(mut self, workers: Vec<usize>) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the timed repetitions per throughput measurement.
+    pub fn with_reps(mut self, reps: usize) -> Self {
+        self.reps = reps.max(1);
+        self
     }
 
     /// Returns the (cached) dataset of `kind` at the context scale.
@@ -76,6 +94,7 @@ pub const ALL: &[&str] = &[
     "table6",
     "table7",
     "ablations",
+    "throughput",
 ];
 
 /// Runs one experiment by id.
@@ -102,6 +121,7 @@ pub fn run(id: &str, ctx: &mut Ctx) -> Option<Vec<Table>> {
         "table6" => table6(ctx),
         "table7" => table7(ctx),
         "ablations" => ablations(ctx),
+        "throughput" => throughput(ctx),
         _ => return None,
     };
     Some(tables)

@@ -1,0 +1,197 @@
+//! Throughput sweep over the parallel block engine.
+//!
+//! Not a paper artifact: the paper reports single-threaded throughput only
+//! (Fig. 13). This experiment seeds the repository's performance
+//! trajectory — it sweeps worker counts over the ADP/VQ/VQT/MT codecs on
+//! the default dataset, measuring compression and decompression MB/s and
+//! the speedup against the serial path, and writes the machine-readable
+//! `BENCH_throughput.json` consumed by `scripts/verify.sh` and
+//! EXPERIMENTS.md.
+
+use super::Ctx;
+use crate::harness::{repeat_timed, TimingSummary};
+use crate::json::Json;
+use crate::table::{fmt, Table};
+use mdz_core::{
+    ErrorBound, Frame, MdzConfig, Method, ParallelOptions, ParallelTrajectoryCompressor,
+    ParallelTrajectoryDecompressor,
+};
+use mdz_sim::{DatasetKind, Scale};
+use std::time::Instant;
+
+/// The codecs the sweep covers, in report order.
+const CODECS: &[(&str, Method)] =
+    &[("ADP", Method::Adaptive), ("VQ", Method::Vq), ("VQT", Method::Vqt), ("MT", Method::Mt)];
+
+struct Entry {
+    codec: &'static str,
+    workers: usize,
+    compress: TimingSummary,
+    decompress: TimingSummary,
+    ratio: f64,
+    compress_speedup: f64,
+    decompress_speedup: f64,
+}
+
+/// Workers × codecs throughput sweep; writes `BENCH_throughput.json`
+/// alongside the usual CSV.
+pub fn throughput(ctx: &mut Ctx) -> Vec<Table> {
+    let kind = DatasetKind::CopperB;
+    let reps = ctx.reps.max(1);
+    let mut workers = ctx.workers.clone();
+    if !workers.contains(&1) {
+        // Speedups are reported against the measured serial path.
+        workers.insert(0, 1);
+    }
+
+    let hw_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let dataset = ctx.dataset(kind);
+    let frames: Vec<Frame> = dataset
+        .snapshots
+        .iter()
+        .map(|s| Frame::new(s.x.clone(), s.y.clone(), s.z.clone()))
+        .collect();
+    let raw_bytes = dataset.len() * dataset.atoms() * 3 * 8;
+    // Enough buffers per axis for real fan-out at every scale.
+    let bs = if matches!(ctx.scale, Scale::Test) { 3 } else { 10 };
+    let buffers: Vec<&[Frame]> = frames.chunks(bs).collect();
+
+    let mut entries: Vec<Entry> = Vec::new();
+    for &(name, method) in CODECS {
+        let cfg = MdzConfig::new(ErrorBound::ValueRangeRelative(1e-3)).with_method(method);
+        // One reference pass for the compressed size (bytes are identical
+        // for every worker count) and the decode input.
+        let containers = ParallelTrajectoryCompressor::new(cfg.clone())
+            .compress_buffers(&buffers)
+            .expect("compress");
+        let compressed: usize = containers.iter().map(Vec::len).sum();
+        let container_refs: Vec<&[u8]> = containers.iter().map(Vec::as_slice).collect();
+
+        let mut serial: Option<(f64, f64)> = None;
+        for &w in &workers {
+            let par = ParallelOptions::with_workers(w);
+            let compress = repeat_timed(reps, || {
+                // Fresh stream state per repetition, outside the clock.
+                let mut comp = ParallelTrajectoryCompressor::new(cfg.clone()).with_parallelism(par);
+                let t0 = Instant::now();
+                let out = comp.compress_buffers(&buffers).expect("compress");
+                let dt = t0.elapsed().as_secs_f64();
+                assert_eq!(out.iter().map(Vec::len).sum::<usize>(), compressed);
+                dt
+            });
+            let decompress = repeat_timed(reps, || {
+                let mut dec = ParallelTrajectoryDecompressor::new().with_parallelism(par);
+                let t0 = Instant::now();
+                let out = dec.decompress_buffers(&container_refs).expect("decompress");
+                let dt = t0.elapsed().as_secs_f64();
+                assert_eq!(out.len(), buffers.len());
+                dt
+            });
+            let (c_base, d_base) =
+                *serial.get_or_insert((compress.mbps(raw_bytes), decompress.mbps(raw_bytes)));
+            entries.push(Entry {
+                codec: name,
+                workers: w,
+                compress,
+                decompress,
+                ratio: raw_bytes as f64 / compressed.max(1) as f64,
+                compress_speedup: compress.mbps(raw_bytes) / c_base.max(1e-12),
+                decompress_speedup: decompress.mbps(raw_bytes) / d_base.max(1e-12),
+            });
+        }
+    }
+
+    write_json(ctx, kind, raw_bytes, bs, reps, hw_threads, &entries);
+
+    let mut table = Table::new(
+        &format!(
+            "Throughput sweep ({}, {} reps, min-of-reps, {} hw thread{})",
+            kind.name(),
+            reps,
+            hw_threads,
+            if hw_threads == 1 { "" } else { "s" }
+        ),
+        &[
+            "codec",
+            "workers",
+            "comp MB/s",
+            "comp speedup",
+            "dec MB/s",
+            "dec speedup",
+            "CR",
+            "comp s (min)",
+            "comp s (median)",
+        ],
+    );
+    for e in &entries {
+        table.row(vec![
+            e.codec.into(),
+            e.workers.to_string(),
+            fmt(e.compress.mbps(raw_bytes)),
+            fmt(e.compress_speedup),
+            fmt(e.decompress.mbps(raw_bytes)),
+            fmt(e.decompress_speedup),
+            fmt(e.ratio),
+            fmt(e.compress.min),
+            fmt(e.compress.median),
+        ]);
+    }
+    vec![ctx.emit("throughput", table)]
+}
+
+fn write_json(
+    ctx: &Ctx,
+    kind: DatasetKind,
+    raw_bytes: usize,
+    bs: usize,
+    reps: usize,
+    hw_threads: usize,
+    entries: &[Entry],
+) {
+    let timing = |t: &TimingSummary| {
+        Json::obj(vec![
+            ("min_seconds", Json::Num(t.min)),
+            ("median_seconds", Json::Num(t.median)),
+            ("mean_seconds", Json::Num(t.mean)),
+        ])
+    };
+    let doc = Json::obj(vec![
+        ("experiment", Json::Str("throughput".into())),
+        ("scale", Json::Str(format!("{:?}", ctx.scale).to_lowercase())),
+        ("dataset", Json::Str(kind.name().into())),
+        ("raw_bytes", Json::Num(raw_bytes as f64)),
+        ("buffer_snapshots", Json::Num(bs as f64)),
+        ("reps", Json::Num(reps as f64)),
+        // Wall-clock speedup is bounded by the machine: on a single-core
+        // runner, workers > 1 can only measure engine overhead.
+        ("hardware_threads", Json::Num(hw_threads as f64)),
+        (
+            "entries",
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|e| {
+                        Json::obj(vec![
+                            ("codec", Json::Str(e.codec.into())),
+                            ("workers", Json::Num(e.workers as f64)),
+                            ("compress_mbps", Json::Num(e.compress.mbps(raw_bytes))),
+                            ("decompress_mbps", Json::Num(e.decompress.mbps(raw_bytes))),
+                            ("ratio", Json::Num(e.ratio)),
+                            ("compress_speedup", Json::Num(e.compress_speedup)),
+                            ("decompress_speedup", Json::Num(e.decompress_speedup)),
+                            ("compress_timing", timing(&e.compress)),
+                            ("decompress_timing", timing(&e.decompress)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let path = ctx.out_dir.join("BENCH_throughput.json");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&path, doc.render()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}

@@ -10,7 +10,8 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod json;
 pub mod table;
 
-pub use harness::{mdz_codec, standard_codecs, RunMetrics};
+pub use harness::{mdz_codec, standard_codecs, RunMetrics, TimingSummary};
 pub use mdz_core::Codec;

@@ -1,0 +1,71 @@
+//! Schema validation for `BENCH_throughput.json`.
+//!
+//! By default this test runs the throughput experiment at Test scale with
+//! one repetition and validates the JSON it writes. When the
+//! `MDZ_BENCH_JSON` environment variable points at an existing file —
+//! `scripts/verify.sh` sets it to the artifact the `experiments` binary
+//! just produced — that file is validated instead, so the smoke check
+//! exercises the real CLI path.
+
+use mdz_bench::experiments::{self, Ctx};
+use mdz_bench::json::Json;
+use mdz_sim::Scale;
+
+fn validate(doc: &Json) {
+    for key in ["experiment", "scale", "dataset"] {
+        assert!(doc.get(key).and_then(Json::as_str).is_some(), "missing string field {key}");
+    }
+    assert_eq!(doc.get("experiment").unwrap().as_str(), Some("throughput"));
+    for key in ["raw_bytes", "buffer_snapshots", "reps", "hardware_threads"] {
+        let v = doc.get(key).and_then(Json::as_f64).unwrap_or_else(|| panic!("missing {key}"));
+        assert!(v > 0.0, "{key} must be positive, got {v}");
+    }
+    let entries = doc.get("entries").and_then(Json::as_array).expect("entries array");
+    assert!(!entries.is_empty(), "no entries");
+    let mut saw_serial_baseline = 0;
+    for (i, e) in entries.iter().enumerate() {
+        let codec = e.get("codec").and_then(Json::as_str).unwrap_or_else(|| panic!("entry {i}"));
+        assert!(["ADP", "VQ", "VQT", "MT"].contains(&codec), "unknown codec {codec}");
+        let workers = e.get("workers").and_then(Json::as_f64).expect("workers");
+        assert!(workers >= 1.0 && workers == workers.trunc(), "bad workers {workers}");
+        for key in
+            ["compress_mbps", "decompress_mbps", "ratio", "compress_speedup", "decompress_speedup"]
+        {
+            let v = e.get(key).and_then(Json::as_f64).unwrap_or_else(|| panic!("missing {key}"));
+            assert!(v.is_finite() && v > 0.0, "entry {i}: {key} = {v}");
+        }
+        assert!(e.get("ratio").unwrap().as_f64().unwrap() > 1.0, "entry {i}: CR below 1");
+        for side in ["compress_timing", "decompress_timing"] {
+            let t = e.get(side).unwrap_or_else(|| panic!("entry {i}: missing {side}"));
+            let min = t.get("min_seconds").and_then(Json::as_f64).expect("min_seconds");
+            let median = t.get("median_seconds").and_then(Json::as_f64).expect("median_seconds");
+            let mean = t.get("mean_seconds").and_then(Json::as_f64).expect("mean_seconds");
+            assert!(min > 0.0 && min <= median, "entry {i}: min {min} > median {median}");
+            assert!(mean >= min, "entry {i}: mean {mean} < min {min}");
+        }
+        if workers == 1.0 {
+            saw_serial_baseline += 1;
+            let s = e.get("compress_speedup").unwrap().as_f64().unwrap();
+            assert!((s - 1.0).abs() < 1e-9, "serial speedup must be 1.0, got {s}");
+        }
+    }
+    assert!(saw_serial_baseline > 0, "no serial baseline entries");
+}
+
+#[test]
+fn throughput_json_schema() {
+    if let Ok(path) = std::env::var("MDZ_BENCH_JSON") {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        validate(&Json::parse(&text).expect("valid JSON"));
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("mdz_throughput_json_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut ctx = Ctx::new(Scale::Test, dir.clone(), 42).with_workers(vec![1, 2]).with_reps(1);
+    let tables = experiments::run("throughput", &mut ctx).expect("throughput experiment");
+    assert!(!tables.is_empty() && !tables[0].rows.is_empty());
+    let text = std::fs::read_to_string(dir.join("BENCH_throughput.json")).expect("JSON written");
+    validate(&Json::parse(&text).expect("valid JSON"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

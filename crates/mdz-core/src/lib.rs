@@ -38,6 +38,13 @@
 //!     }
 //! }
 //! ```
+//!
+//! Batch entry points ([`Compressor::compress_buffers_parallel`],
+//! [`MdzCodec::compress_buffers`], [`ParallelTrajectoryCompressor`]) fan
+//! independent axis×buffer blocks across worker threads configured by
+//! [`ParallelOptions`]; their output is byte-identical to the serial path.
+
+#![deny(missing_docs)]
 
 pub mod adaptive;
 pub mod bound;
@@ -54,8 +61,13 @@ pub use bound::ErrorBound;
 pub use buffer::{BlockInfo, Compressor, DecodeLimits, Decompressor};
 pub use codec::{Codec, MdzCodec};
 pub use format::Method;
+pub use pipeline::parallel::ParallelOptions;
 pub use quant::LinearQuantizer;
-pub use traj::{compress_frames, decompress_frames, Frame, TrajReader, TrajectoryCompressor};
+pub use traj::{
+    compress_frames, decompress_frames, Frame, ParallelTrajectoryCompressor,
+    ParallelTrajectoryDecompressor, TrajReader, TrajWriter, TrajectoryCompressor,
+    TrajectoryDecompressor,
+};
 
 use mdz_entropy::EntropyError;
 
@@ -83,6 +95,16 @@ pub enum MdzError {
         /// The budget that was in force.
         limit: usize,
     },
+    /// An underlying I/O sink or source failed (streaming writers such as
+    /// [`TrajWriter`]). Carries the rendered [`std::io::Error`] so the
+    /// error type stays `Clone + PartialEq`.
+    Io(String),
+}
+
+impl From<std::io::Error> for MdzError {
+    fn from(e: std::io::Error) -> Self {
+        MdzError::Io(e.to_string())
+    }
 }
 
 impl From<EntropyError> for MdzError {
@@ -107,6 +129,7 @@ impl std::fmt::Display for MdzError {
             MdzError::LimitExceeded { what, limit } => {
                 write!(f, "decode budget exceeded: {what} > {limit}")
             }
+            MdzError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
 }

@@ -33,6 +33,7 @@
 
 pub(crate) mod decode;
 pub(crate) mod encode;
+pub mod parallel;
 pub(crate) mod predict;
 
 use crate::adaptive::AdaptiveState;

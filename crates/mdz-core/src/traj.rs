@@ -7,8 +7,10 @@
 //! three blocks in a tiny container. The axes are MDZ by default but any
 //! [`Codec`] mix works ([`TrajectoryCompressor::from_codecs`]).
 
+use crate::buffer::{Compressor, DecodeLimits, Decompressor};
 use crate::codec::{Codec, MdzCodec};
 use crate::format::{read_frame, write_frame, FRAME_MAGIC};
+use crate::pipeline::parallel::{compress_streams, decompress_streams, ParallelOptions};
 use crate::{ErrorBound, MdzConfig, MdzError, Result};
 use mdz_entropy::{read_uvarint, write_uvarint};
 
@@ -193,6 +195,42 @@ impl<'a> Iterator for TrajReader<'a> {
     }
 }
 
+/// Splits a trajectory container into its three per-axis blocks.
+fn split_container(data: &[u8]) -> Result<[&[u8]; 3]> {
+    let magic = data.get(..4).ok_or(MdzError::BadHeader("truncated container"))?;
+    if magic != TRAJ_MAGIC {
+        return Err(MdzError::BadHeader("not an MDZ trajectory container"));
+    }
+    let mut pos = 4;
+    let mut blocks = [&data[0..0]; 3];
+    for slot in &mut blocks {
+        let len = read_uvarint(data, &mut pos)? as usize;
+        let end = pos
+            .checked_add(len)
+            .filter(|&e| e <= data.len())
+            .ok_or(MdzError::BadHeader("truncated axis block"))?;
+        *slot = &data[pos..end];
+        pos = end;
+    }
+    Ok(blocks)
+}
+
+/// Zips three per-axis snapshot lists back into frames, checking that the
+/// axes agree on snapshot and particle counts.
+fn zip_frames(x: Vec<Vec<f64>>, y: Vec<Vec<f64>>, z: Vec<Vec<f64>>) -> Result<Vec<Frame>> {
+    if x.len() != y.len() || y.len() != z.len() {
+        return Err(MdzError::BadHeader("axis snapshot counts disagree"));
+    }
+    let mut frames = Vec::with_capacity(x.len());
+    for ((x, y), z) in x.into_iter().zip(y).zip(z) {
+        if x.len() != y.len() || y.len() != z.len() {
+            return Err(MdzError::BadHeader("axis particle counts disagree"));
+        }
+        frames.push(Frame { x, y, z });
+    }
+    Ok(frames)
+}
+
 /// Frames three per-axis blocks into the trajectory container.
 fn assemble(blocks: &[Vec<u8>; 3]) -> Vec<u8> {
     let mut out = Vec::with_capacity(blocks.iter().map(Vec::len).sum::<usize>() + 16);
@@ -229,34 +267,248 @@ impl TrajectoryDecompressor {
 
     /// Decompresses one container blob back into frames.
     pub fn decompress_buffer(&mut self, data: &[u8]) -> Result<Vec<Frame>> {
-        let magic = data.get(..4).ok_or(MdzError::BadHeader("truncated container"))?;
-        if magic != TRAJ_MAGIC {
-            return Err(MdzError::BadHeader("not an MDZ trajectory container"));
+        let blocks = split_container(data)?;
+        let x = self.axes[0].decompress_buffer(blocks[0])?;
+        let y = self.axes[1].decompress_buffer(blocks[1])?;
+        let z = self.axes[2].decompress_buffer(blocks[2])?;
+        zip_frames(x, y, z)
+    }
+}
+
+/// Three-axis compressor that fans axis×buffer blocks across workers.
+///
+/// Where [`TrajectoryCompressor`] parallelizes at most across the three
+/// axes (one thread each), this type feeds *every* axis×buffer block of a
+/// batch into the block engine
+/// ([`Compressor::compress_buffers_parallel`]), so a batch of `B` buffers
+/// exposes up to `3·B` units of work. Output is **byte-identical** to the
+/// serial path for every worker count. The axes are always MDZ codecs
+/// (the engine needs concrete [`Compressor`]s, not `dyn Codec`).
+pub struct ParallelTrajectoryCompressor {
+    axes: [Compressor; 3],
+    bound: ErrorBound,
+    par: ParallelOptions,
+}
+
+impl ParallelTrajectoryCompressor {
+    /// Creates one MDZ compressor per axis from a shared configuration,
+    /// initially serial — set workers with
+    /// [`ParallelTrajectoryCompressor::with_parallelism`].
+    pub fn new(cfg: MdzConfig) -> Self {
+        let bound = cfg.bound;
+        Self {
+            axes: std::array::from_fn(|_| Compressor::new(cfg.clone())),
+            bound,
+            par: ParallelOptions::serial(),
         }
-        let mut pos = 4;
-        let mut axes_out: Vec<Vec<Vec<f64>>> = Vec::with_capacity(3);
-        for axis in 0..3 {
-            let len = read_uvarint(data, &mut pos)? as usize;
-            let end = pos
-                .checked_add(len)
-                .filter(|&e| e <= data.len())
-                .ok_or(MdzError::BadHeader("truncated axis block"))?;
-            axes_out.push(self.axes[axis].decompress_buffer(&data[pos..end])?);
-            pos = end;
+    }
+
+    /// Installs a worker configuration for subsequent calls.
+    pub fn with_parallelism(mut self, par: ParallelOptions) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// Replaces the worker configuration applied to subsequent calls.
+    pub fn set_parallelism(&mut self, par: ParallelOptions) {
+        self.par = par;
+    }
+
+    /// Compresses an ordered batch of frame buffers into one container
+    /// blob per buffer, byte-identical to
+    /// [`TrajectoryCompressor::compress_buffer`] called in order.
+    ///
+    /// On error the stream state is unspecified; rebuild before reuse.
+    pub fn compress_buffers(&mut self, buffers: &[&[Frame]]) -> Result<Vec<Vec<u8>>> {
+        if buffers.iter().any(|frames| frames.is_empty()) {
+            return Err(MdzError::BadInput("buffer has no frames"));
         }
-        let (xs, rest) = axes_out.split_at_mut(1);
-        let (ys, zs) = rest.split_at_mut(1);
-        if xs[0].len() != ys[0].len() || ys[0].len() != zs[0].len() {
-            return Err(MdzError::BadHeader("axis snapshot counts disagree"));
+        // axis → buffer → snapshots
+        let series: [Vec<Vec<Vec<f64>>>; 3] = [
+            buffers.iter().map(|fs| fs.iter().map(|f| f.x.clone()).collect()).collect(),
+            buffers.iter().map(|fs| fs.iter().map(|f| f.y.clone()).collect()).collect(),
+            buffers.iter().map(|fs| fs.iter().map(|f| f.z.clone()).collect()).collect(),
+        ];
+        let refs: Vec<Vec<&[Vec<f64>]>> =
+            series.iter().map(|bufs| bufs.iter().map(Vec::as_slice).collect()).collect();
+        for axis in &mut self.axes {
+            axis.set_bound(self.bound);
         }
-        let mut frames = Vec::with_capacity(xs[0].len());
-        for ((x, y), z) in xs[0].drain(..).zip(ys[0].drain(..)).zip(zs[0].drain(..)) {
-            if x.len() != y.len() || y.len() != z.len() {
-                return Err(MdzError::BadHeader("axis particle counts disagree"));
-            }
-            frames.push(Frame { x, y, z });
+        let streams = self
+            .axes
+            .iter_mut()
+            .zip(refs.iter())
+            .map(|(axis, bufs)| (axis, bufs.as_slice()))
+            .collect();
+        let mut per_axis = compress_streams(streams, self.par.workers).into_iter();
+        let (xs, ys, zs) = (
+            per_axis.next().expect("three streams"),
+            per_axis.next().expect("three streams"),
+            per_axis.next().expect("three streams"),
+        );
+        // Surface the first failure in buffer order, then axis order.
+        let mut out = Vec::with_capacity(buffers.len());
+        for ((x, y), z) in xs.into_iter().zip(ys).zip(zs) {
+            out.push(assemble(&[x?, y?, z?]));
         }
-        Ok(frames)
+        Ok(out)
+    }
+
+    /// [`ParallelTrajectoryCompressor::compress_buffers`] with each
+    /// container wrapped in a checksummed frame, ready for a
+    /// [`TrajReader`]-scannable archival stream.
+    pub fn compress_buffers_framed(&mut self, buffers: &[&[Frame]]) -> Result<Vec<Vec<u8>>> {
+        let containers = self.compress_buffers(buffers)?;
+        containers
+            .into_iter()
+            .map(|c| {
+                let mut framed = Vec::with_capacity(c.len() + crate::format::FRAME_HEADER_LEN);
+                write_frame(&c, &mut framed)?;
+                Ok(framed)
+            })
+            .collect()
+    }
+}
+
+/// Three-axis decompressor that fans axis×buffer blocks across workers.
+///
+/// The decode mirror of [`ParallelTrajectoryCompressor`]: a batch of
+/// container blobs is split into per-axis block streams and fed to
+/// [`Decompressor::decompress_blocks_parallel`]. Results match
+/// [`TrajectoryDecompressor::decompress_buffer`] called in order.
+pub struct ParallelTrajectoryDecompressor {
+    axes: [Decompressor; 3],
+    par: ParallelOptions,
+}
+
+impl Default for ParallelTrajectoryDecompressor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParallelTrajectoryDecompressor {
+    /// Creates an MDZ decompressor with empty stream state, initially
+    /// serial.
+    pub fn new() -> Self {
+        Self { axes: std::array::from_fn(|_| Decompressor::new()), par: ParallelOptions::serial() }
+    }
+
+    /// Installs a worker configuration for subsequent calls.
+    pub fn with_parallelism(mut self, par: ParallelOptions) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// Replaces the worker configuration applied to subsequent calls.
+    pub fn set_parallelism(&mut self, par: ParallelOptions) {
+        self.par = par;
+    }
+
+    /// Installs a decode budget on all three axis decompressors.
+    pub fn with_decode_limits(mut self, limits: DecodeLimits) -> Self {
+        for axis in &mut self.axes {
+            axis.set_limits(limits);
+        }
+        self
+    }
+
+    /// Decompresses an ordered batch of container blobs back into frame
+    /// buffers.
+    ///
+    /// On error the stream state is unspecified; rebuild before reuse.
+    pub fn decompress_buffers(&mut self, containers: &[&[u8]]) -> Result<Vec<Vec<Frame>>> {
+        let split: Vec<[&[u8]; 3]> =
+            containers.iter().map(|c| split_container(c)).collect::<Result<_>>()?;
+        let blocks: Vec<Vec<&[u8]>> =
+            (0..3).map(|axis| split.iter().map(|s| s[axis]).collect()).collect();
+        let streams = self
+            .axes
+            .iter_mut()
+            .zip(blocks.iter())
+            .map(|(axis, bs)| (axis, bs.as_slice()))
+            .collect();
+        let mut per_axis = decompress_streams(streams, self.par.workers).into_iter();
+        let (xs, ys, zs) = (
+            per_axis.next().expect("three streams"),
+            per_axis.next().expect("three streams"),
+            per_axis.next().expect("three streams"),
+        );
+        let mut out = Vec::with_capacity(containers.len());
+        for ((x, y), z) in xs.into_iter().zip(ys).zip(zs) {
+            out.push(zip_frames(x?, y?, z?)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<'a> TrajReader<'a> {
+    /// Collects every intact frame payload remaining in the stream and
+    /// decodes them concurrently through `dec`.
+    ///
+    /// Corrupted regions are skipped exactly as in iteration (check
+    /// [`TrajReader::skipped`] afterwards); the surviving buffers decode
+    /// with the same results, in the same order, as a serial loop over
+    /// [`TrajectoryDecompressor::decompress_buffer`].
+    pub fn decode_all_parallel(
+        &mut self,
+        dec: &mut ParallelTrajectoryDecompressor,
+    ) -> Result<Vec<Vec<Frame>>> {
+        let payloads: Vec<&[u8]> = self.by_ref().collect();
+        dec.decompress_buffers(&payloads)
+    }
+}
+
+/// Streaming writer producing a [`TrajReader`]-compatible framed stream.
+///
+/// Wraps any [`std::io::Write`] sink and a [`ParallelTrajectoryCompressor`]:
+/// each buffer of frames is compressed (fanning blocks across the
+/// configured workers), wrapped in a checksummed frame, and appended to the
+/// sink. The byte stream is identical for every worker count.
+pub struct TrajWriter<W: std::io::Write> {
+    sink: W,
+    comp: ParallelTrajectoryCompressor,
+}
+
+impl<W: std::io::Write> TrajWriter<W> {
+    /// Creates a writer compressing with one MDZ codec per axis.
+    pub fn new(sink: W, cfg: MdzConfig) -> Self {
+        Self { sink, comp: ParallelTrajectoryCompressor::new(cfg) }
+    }
+
+    /// Installs a worker configuration for subsequent writes.
+    pub fn with_parallelism(mut self, par: ParallelOptions) -> Self {
+        self.comp.set_parallelism(par);
+        self
+    }
+
+    /// Compresses one buffer of frames and appends its frame to the sink.
+    /// Returns the number of bytes written.
+    pub fn write_buffer(&mut self, frames: &[Frame]) -> Result<usize> {
+        self.write_buffers(&[frames])
+    }
+
+    /// Compresses an ordered batch of buffers (fanning axis×buffer blocks
+    /// across workers) and appends their frames to the sink in order.
+    /// Returns the total number of bytes written.
+    pub fn write_buffers(&mut self, buffers: &[&[Frame]]) -> Result<usize> {
+        let framed = self.comp.compress_buffers_framed(buffers)?;
+        let mut written = 0;
+        for f in &framed {
+            self.sink.write_all(f)?;
+            written += f.len();
+        }
+        Ok(written)
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&mut self) -> Result<()> {
+        Ok(self.sink.flush()?)
+    }
+
+    /// Consumes the writer, returning the sink.
+    pub fn into_inner(self) -> W {
+        self.sink
     }
 }
 
@@ -413,5 +665,105 @@ mod tests {
         let mut reader = TrajReader::new(&garbage);
         assert!(reader.next().is_none());
         assert!(reader.skipped() <= 1);
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_trajectory_bytes() {
+        let buffers: Vec<Vec<Frame>> = (0..5).map(|k| frames(4, 80 + k)).collect();
+        let refs: Vec<&[Frame]> = buffers.iter().map(Vec::as_slice).collect();
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3));
+        let mut serial = TrajectoryCompressor::new(cfg.clone());
+        let want: Vec<Vec<u8>> = refs.iter().map(|b| serial.compress_buffer(b).unwrap()).collect();
+        for workers in [1, 4] {
+            let mut par = ParallelTrajectoryCompressor::new(cfg.clone())
+                .with_parallelism(ParallelOptions::with_workers(workers));
+            assert_eq!(par.compress_buffers(&refs).unwrap(), want, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn parallel_trajectory_decompressor_round_trips() {
+        let buffers: Vec<Vec<Frame>> = (0..4).map(|_| frames(4, 70)).collect();
+        let refs: Vec<&[Frame]> = buffers.iter().map(Vec::as_slice).collect();
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-4)).with_method(Method::Mt);
+        let mut c = ParallelTrajectoryCompressor::new(cfg)
+            .with_parallelism(ParallelOptions::with_workers(4));
+        let containers = c.compress_buffers(&refs).unwrap();
+        let container_refs: Vec<&[u8]> = containers.iter().map(Vec::as_slice).collect();
+        let mut d = ParallelTrajectoryDecompressor::new()
+            .with_parallelism(ParallelOptions::with_workers(4));
+        let out = d.decompress_buffers(&container_refs).unwrap();
+        assert_eq!(out.len(), 4);
+        for (got, want) in out.iter().zip(buffers.iter()) {
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(want.iter()) {
+                for (a, b) in g.x.iter().zip(w.x.iter()) {
+                    assert!((a - b).abs() <= 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traj_writer_stream_is_reader_compatible_and_worker_invariant() {
+        let buffers: Vec<Vec<Frame>> = (0..3).map(|_| frames(3, 60)).collect();
+        let refs: Vec<&[Frame]> = buffers.iter().map(Vec::as_slice).collect();
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3));
+        let stream_for = |workers: usize| -> Vec<u8> {
+            let mut w = TrajWriter::new(Vec::new(), cfg.clone())
+                .with_parallelism(ParallelOptions::with_workers(workers));
+            let n = w.write_buffers(&refs).unwrap();
+            w.flush().unwrap();
+            let out = w.into_inner();
+            assert_eq!(n, out.len());
+            out
+        };
+        let serial = stream_for(1);
+        assert_eq!(stream_for(4), serial);
+        let mut reader = TrajReader::new(&serial);
+        let mut dec = ParallelTrajectoryDecompressor::new()
+            .with_parallelism(ParallelOptions::with_workers(4));
+        let decoded = reader.decode_all_parallel(&mut dec).unwrap();
+        assert_eq!(reader.skipped(), 0);
+        assert_eq!(decoded.len(), 3);
+    }
+
+    #[test]
+    fn decode_all_parallel_skips_damaged_buffers() {
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(Method::Vq);
+        let mut w =
+            TrajWriter::new(Vec::new(), cfg).with_parallelism(ParallelOptions::with_workers(2));
+        let mut offsets = vec![0usize];
+        for t in 0..5 {
+            let n = w.write_buffer(&frames(3, 50 + t)).unwrap();
+            offsets.push(offsets.last().unwrap() + n);
+        }
+        let mut stream = w.into_inner();
+        let mid = (offsets[2] + offsets[3]) / 2;
+        for b in &mut stream[mid..mid + 8] {
+            *b ^= 0x5A;
+        }
+        let mut reader = TrajReader::new(&stream);
+        let mut dec = ParallelTrajectoryDecompressor::new()
+            .with_parallelism(ParallelOptions::with_workers(4));
+        let decoded = reader.decode_all_parallel(&mut dec).unwrap();
+        assert_eq!(reader.skipped(), 1);
+        assert_eq!(decoded.len(), 4, "four intact buffers recovered");
+    }
+
+    #[test]
+    fn writer_surfaces_io_errors() {
+        struct Failing;
+        impl std::io::Write for Failing {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3));
+        let mut w = TrajWriter::new(Failing, cfg);
+        assert!(matches!(w.write_buffer(&frames(2, 30)), Err(MdzError::Io(_))));
     }
 }

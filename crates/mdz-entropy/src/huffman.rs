@@ -8,7 +8,7 @@
 //!
 //! Codes are length-limited to [`MAX_CODE_LEN`] bits by frequency rescaling,
 //! which keeps decode state machine-word sized. Decoding uses a one-level
-//! lookup table for codes up to [`LUT_BITS`] bits and a canonical
+//! lookup table for codes up to `LUT_BITS` bits and a canonical
 //! first-code scan for longer ones.
 
 use crate::bitio::{BitReader, BitWriter};

@@ -12,6 +12,8 @@
 //! All decoders treat their input as untrusted: truncated or corrupted
 //! streams produce [`EntropyError`] values, never panics.
 
+#![deny(missing_docs)]
+
 pub mod bitio;
 pub mod huffman;
 pub mod range;

@@ -16,6 +16,8 @@
 //!
 //! All decoders return [`mdz_entropy::EntropyError`] on malformed input.
 
+#![deny(missing_docs)]
+
 pub mod fpc;
 pub mod fpzip_like;
 pub mod gorilla;

@@ -13,6 +13,9 @@ cargo fmt --all --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -24,5 +27,19 @@ cargo test --workspace --quiet
 # dedicated fuzz-smoke job runs the full 100 000-iteration budget.
 echo "==> fuzz smoke (MDZ_FUZZ_ITERS=${MDZ_FUZZ_ITERS:-5000})"
 MDZ_FUZZ_ITERS="${MDZ_FUZZ_ITERS:-5000}" cargo test -p mdz-fuzz --release --quiet
+
+# Parallel engine gate: byte-identity across worker counts, then a
+# 1-repetition throughput smoke whose JSON artifact is schema-checked by
+# the same validator EXPERIMENTS.md's numbers went through.
+echo "==> parallel determinism (serial vs workers=4)"
+cargo test -p mdz-core --release --quiet --test parallel_determinism
+
+echo "==> throughput smoke (1 rep, JSON schema check)"
+tmp_out="$(mktemp -d)"
+trap 'rm -rf "$tmp_out"' EXIT
+cargo run --release -p mdz-bench --bin experiments -- \
+    --scale test --reps 1 --workers 1,2 --out "$tmp_out" throughput > /dev/null
+MDZ_BENCH_JSON="$tmp_out/BENCH_throughput.json" \
+    cargo test -p mdz-bench --release --quiet --test throughput_json
 
 echo "verify: all checks passed"
