@@ -9,6 +9,7 @@ mod characterization;
 mod comparison;
 mod core_exps;
 mod lammps;
+mod latency;
 mod throughput;
 
 pub use ablations::ablations;
@@ -16,6 +17,7 @@ pub use characterization::{fig3, fig4, fig5, fig8, table1, table2};
 pub use comparison::{fig12, fig12var, fig13, fig14, fig15, fig16, table4, table5, table6};
 pub use core_exps::{fig10, fig11, fig9, table3};
 pub use lammps::table7;
+pub use latency::latency;
 pub use throughput::throughput;
 
 use crate::table::Table;
@@ -95,6 +97,7 @@ pub const ALL: &[&str] = &[
     "table7",
     "ablations",
     "throughput",
+    "latency",
 ];
 
 /// Runs one experiment by id.
@@ -122,6 +125,7 @@ pub fn run(id: &str, ctx: &mut Ctx) -> Option<Vec<Table>> {
         "table7" => table7(ctx),
         "ablations" => ablations(ctx),
         "throughput" => throughput(ctx),
+        "latency" => latency(ctx),
         _ => return None,
     };
     Some(tables)

@@ -1,0 +1,72 @@
+//! Schema validation for `BENCH_latency.json`.
+//!
+//! By default this test runs the latency experiment at Test scale and
+//! validates the JSON it writes. When `MDZ_BENCH_JSON` points at an
+//! existing file — `scripts/verify.sh` sets it to the artifact the
+//! `experiments` binary just produced — that file is validated instead.
+
+use mdz_bench::experiments::{self, Ctx};
+use mdz_bench::json::Json;
+use mdz_sim::Scale;
+
+fn validate(doc: &Json) {
+    for key in ["experiment", "scale", "dataset"] {
+        assert!(doc.get(key).and_then(Json::as_str).is_some(), "missing string field {key}");
+    }
+    assert_eq!(doc.get("experiment").unwrap().as_str(), Some("latency"));
+    for key in ["raw_bytes", "n_frames", "buffer_frames", "probes", "reps"] {
+        let v = doc.get(key).and_then(Json::as_f64).unwrap_or_else(|| panic!("missing {key}"));
+        assert!(v > 0.0, "{key} must be positive, got {v}");
+    }
+    let entries = doc.get("entries").and_then(Json::as_array).expect("entries array");
+    assert!(!entries.is_empty(), "no entries");
+    let mut intervals = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        let k = e
+            .get("epoch_interval")
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("entry {i}: missing epoch_interval"));
+        assert!(k >= 1.0 && k == k.trunc(), "entry {i}: bad epoch interval {k}");
+        intervals.push(k as usize);
+        for key in ["n_epochs", "archive_bytes", "speedup_vs_sequential", "buffers_per_probe"] {
+            let v = e.get(key).and_then(Json::as_f64).unwrap_or_else(|| panic!("missing {key}"));
+            assert!(v.is_finite() && v > 0.0, "entry {i}: {key} = {v}");
+        }
+        // O(epoch) contract, visible in the artifact itself: one probe may
+        // decode at most one epoch (plus nothing else).
+        let per_probe = e.get("buffers_per_probe").unwrap().as_f64().unwrap();
+        assert!(per_probe <= k + 1e-9, "entry {i}: probe decoded {per_probe} buffers > epoch {k}");
+        for side in ["probe_timing", "sequential_timing"] {
+            let t = e.get(side).unwrap_or_else(|| panic!("entry {i}: missing {side}"));
+            let min = t.get("min_seconds").and_then(Json::as_f64).expect("min_seconds");
+            let p50 = t.get("p50_seconds").and_then(Json::as_f64).expect("p50_seconds");
+            let p99 = t.get("p99_seconds").and_then(Json::as_f64).expect("p99_seconds");
+            let samples = t.get("samples").and_then(Json::as_f64).expect("samples");
+            assert!(min > 0.0 && min <= p50, "entry {i}: min {min} > p50 {p50}");
+            assert!(p50 <= p99, "entry {i}: p50 {p50} > p99 {p99}");
+            assert!(samples >= 1.0, "entry {i}: no samples");
+        }
+    }
+    // The sweep must cover more than one interval so the ratio-vs-seek
+    // trade-off is actually visible.
+    intervals.dedup();
+    assert!(intervals.len() >= 2, "sweep covers a single epoch interval");
+}
+
+#[test]
+fn latency_json_schema() {
+    if let Ok(path) = std::env::var("MDZ_BENCH_JSON") {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        validate(&Json::parse(&text).expect("valid JSON"));
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("mdz_latency_json_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut ctx = Ctx::new(Scale::Test, dir.clone(), 42).with_reps(2);
+    let tables = experiments::run("latency", &mut ctx).expect("latency experiment");
+    assert!(!tables.is_empty() && !tables[0].rows.is_empty());
+    let text = std::fs::read_to_string(dir.join("BENCH_latency.json")).expect("JSON written");
+    validate(&Json::parse(&text).expect("valid JSON"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

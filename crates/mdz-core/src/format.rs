@@ -215,62 +215,10 @@ pub const FRAME_VERSION: u8 = 1;
 /// crc32 u32 LE.
 pub const FRAME_HEADER_LEN: usize = FRAME_MAGIC.len() + 1 + 4 + 4;
 
-/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) lookup table,
-/// built at compile time so the coder stays dependency-free.
-const CRC32_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-};
-
-/// Incremental CRC-32 (IEEE) hasher.
-#[derive(Debug, Clone, Copy)]
-pub struct Crc32 {
-    state: u32,
-}
-
-impl Default for Crc32 {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Crc32 {
-    /// Starts a fresh checksum.
-    pub fn new() -> Self {
-        Self { state: !0 }
-    }
-
-    /// Feeds `data` into the checksum.
-    pub fn update(&mut self, data: &[u8]) {
-        for &b in data {
-            self.state =
-                CRC32_TABLE[((self.state ^ u32::from(b)) & 0xFF) as usize] ^ (self.state >> 8);
-        }
-    }
-
-    /// Finalizes and returns the checksum value.
-    pub fn finish(self) -> u32 {
-        !self.state
-    }
-}
-
-/// One-shot CRC-32 of `data`.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut h = Crc32::new();
-    h.update(data);
-    h.finish()
-}
+// The CRC-32 implementation lives in the shared checksum module; it stays
+// re-exported here because the frame layer is where it entered the format
+// contract.
+pub use crate::checksum::{crc32, Crc32};
 
 /// Wraps `payload` in a checksummed, self-delimiting frame appended to
 /// `out`.
@@ -431,14 +379,6 @@ mod tests {
     #[should_panic(expected = "not a wire method")]
     fn adaptive_has_no_wire_form() {
         let _ = Method::Adaptive.to_wire();
-    }
-
-    #[test]
-    fn crc32_matches_reference_vectors() {
-        // IEEE CRC-32 check values (RFC 3720 appendix / zlib).
-        assert_eq!(crc32(b""), 0);
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
     }
 
     #[test]

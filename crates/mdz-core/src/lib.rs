@@ -49,6 +49,7 @@
 pub mod adaptive;
 pub mod bound;
 pub mod buffer;
+pub mod checksum;
 pub mod codec;
 pub mod format;
 pub(crate) mod pipeline;

@@ -196,6 +196,17 @@ impl Compressor {
         self.cfg.bound = bound;
     }
 
+    /// Drops all cross-buffer stream state (level grid, MT reference,
+    /// adaptive history), keeping the configuration and scratch storage.
+    ///
+    /// The next buffer is encoded exactly as the first buffer of a fresh
+    /// stream, so it decodes standalone — this is the keyframe re-anchoring
+    /// hook the `mdz-store` epoch layer is built on.
+    pub fn reset_stream(&mut self) {
+        self.state = CoreState::default();
+        self.adaptive = AdaptiveState::new();
+    }
+
     /// Compresses one buffer of snapshots into a self-describing block.
     ///
     /// All snapshots must be non-empty and equally sized.
@@ -342,6 +353,16 @@ impl Decompressor {
     /// The decode budget currently in force.
     pub fn limits(&self) -> DecodeLimits {
         self.limits
+    }
+
+    /// Drops the cross-buffer stream state (the MT reference snapshot),
+    /// keeping the decode budget and scratch storage.
+    ///
+    /// Mirror of [`Compressor::reset_stream`]: a decoder reset at the same
+    /// buffer boundary as the compressor reproduces the stream exactly, so
+    /// epoch-anchored archives can be decoded from any keyframe.
+    pub fn reset_stream(&mut self) {
+        self.reference = None;
     }
 
     /// Decompresses a single snapshot from a pure-VQ block without
@@ -979,6 +1000,26 @@ mod tests {
                 b.compress_buffer_into(&buf, &mut out).unwrap();
                 assert_eq!(out, want, "method {method}, drift {drift}");
             }
+        }
+    }
+
+    #[test]
+    fn reset_stream_re_anchors_both_endpoints() {
+        for method in [Method::Vq, Method::Vqt, Method::Mt, Method::Mt2, Method::Adaptive] {
+            let cfg = MdzConfig::new(ErrorBound::Absolute(1e-4)).with_method(method);
+            let mut c = Compressor::new(cfg);
+            let b0 = c.compress_buffer(&lattice_buffer(4, 120, 1e-5)).unwrap();
+            let _b1 = c.compress_buffer(&lattice_buffer(4, 120, 2e-5)).unwrap();
+            c.reset_stream();
+            // After the reset the compressor re-emits a self-starting block…
+            let b0_again = c.compress_buffer(&lattice_buffer(4, 120, 1e-5)).unwrap();
+            assert_eq!(b0, b0_again, "method {method}");
+            // …and a decoder reset at the same boundary tracks the stream.
+            let mut d = Decompressor::new();
+            d.decompress_block(&b0).unwrap();
+            d.reset_stream();
+            let out = d.decompress_block(&b0_again).unwrap();
+            assert_eq!(out, Decompressor::new().decompress_block(&b0).unwrap());
         }
     }
 

@@ -196,7 +196,10 @@ impl<'a> Iterator for TrajReader<'a> {
 }
 
 /// Splits a trajectory container into its three per-axis blocks.
-fn split_container(data: &[u8]) -> Result<[&[u8]; 3]> {
+///
+/// Public for layers that address axis blocks individually (the `mdz-store`
+/// epoch decoder); most callers want [`TrajectoryDecompressor`] instead.
+pub fn split_container(data: &[u8]) -> Result<[&[u8]; 3]> {
     let magic = data.get(..4).ok_or(MdzError::BadHeader("truncated container"))?;
     if magic != TRAJ_MAGIC {
         return Err(MdzError::BadHeader("not an MDZ trajectory container"));
@@ -232,6 +235,14 @@ fn zip_frames(x: Vec<Vec<f64>>, y: Vec<Vec<f64>>, z: Vec<Vec<f64>>) -> Result<Ve
 }
 
 /// Frames three per-axis blocks into the trajectory container.
+///
+/// Inverse of [`split_container`]; public for layers that produce axis
+/// blocks through [`crate::Compressor`] directly (the `mdz-store` epoch
+/// writer) yet must stay byte-compatible with [`TrajectoryCompressor`].
+pub fn assemble_container(blocks: &[Vec<u8>; 3]) -> Vec<u8> {
+    assemble(blocks)
+}
+
 fn assemble(blocks: &[Vec<u8>; 3]) -> Vec<u8> {
     let mut out = Vec::with_capacity(blocks.iter().map(Vec::len).sum::<usize>() + 16);
     out.extend_from_slice(&TRAJ_MAGIC);

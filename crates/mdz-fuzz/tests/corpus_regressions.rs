@@ -15,10 +15,11 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use mdz_core::checksum::{crc32, fnv1a64};
 use mdz_core::format::{read_frame, write_frame};
 use mdz_core::traj::TrajectoryDecompressor;
 use mdz_core::{
-    Codec, Compressor, DecodeLimits, Decompressor, ErrorBound, MdzCodec, MdzConfig, Method,
+    Codec, Compressor, DecodeLimits, Decompressor, ErrorBound, Frame, MdzCodec, MdzConfig, Method,
 };
 use mdz_entropy::{
     huffman_decode_at_limited, huffman_encode, range_decode_at_limited, range_encode, read_uvarint,
@@ -26,6 +27,7 @@ use mdz_entropy::{
 };
 use mdz_fuzz::CountingAlloc;
 use mdz_lossless::{lz77, rle};
+use mdz_store::{write_store, ArchiveIndex, ReaderOptions, StoreOptions, StoreReader};
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
@@ -69,6 +71,17 @@ fn replay(name: &str, bytes: &[u8]) -> bool {
             Box::new(MdzCodec::default().with_decode_limits(tight_limits())) as Box<dyn Codec>
         });
         TrajectoryDecompressor::from_codecs(axes).decompress_buffer(bytes).is_err()
+    } else if name.starts_with("store_") {
+        // Open parses the header + footer index; the read walks the block
+        // records (FNV oracle) and the epoch decoder, so seeds may fail at
+        // either stage.
+        let opts = ReaderOptions { cache_epochs: 2, limits: tight_limits() };
+        StoreReader::with_options(bytes.to_vec(), opts)
+            .and_then(|r| {
+                let n = r.index().n_frames;
+                r.read_frames(0..n)
+            })
+            .is_err()
     } else {
         panic!("corpus file {name} has no known prefix");
     }
@@ -185,6 +198,69 @@ fn bless(dir: &Path) {
     let mut b = b"MDZT".to_vec();
     write_uvarint(&mut b, 1000);
     put("traj_truncated_axis.bin", b);
+
+    // --- Indexed store archives (version 2): footer and keyframe tampers.
+    let store_frames: Vec<Frame> = (0..10)
+        .map(|t| {
+            let axis =
+                |p: usize| (0..40).map(|i| ((i * p) % 9) as f64 * 1.5 + t as f64 * 1e-4).collect();
+            Frame::new(axis(1), axis(2), axis(3))
+        })
+        .collect();
+    let mut sopts =
+        StoreOptions::new(MdzConfig::new(ErrorBound::Absolute(1e-4)).with_method(Method::Vq));
+    sopts.buffer_size = 3;
+    sopts.epoch_interval = 2;
+    let valid = write_store(&store_frames, &[], &[], &sopts).unwrap();
+    let trailer = valid.len() - 17; // crc32(4) + payload_len(8) + version(1) + magic(4)
+
+    // Footer CRC flipped: the index must be rejected before it is trusted.
+    let mut bad = valid.clone();
+    bad[trailer] ^= 0xFF;
+    put("store_footer_bad_crc.bin", bad);
+
+    // Footer block count forged to u64::MAX *with a recomputed CRC*, so the
+    // forged count survives the checksum and must be stopped by the header
+    // cross-check instead of becoming an allocation request.
+    let payload_len =
+        u64::from_le_bytes(valid[trailer + 4..trailer + 12].try_into().unwrap()) as usize;
+    let payload_start = trailer - payload_len;
+    let mut pos = payload_start;
+    read_uvarint(&valid, &mut pos).unwrap(); // skip the real block count
+    let mut payload = Vec::new();
+    write_uvarint(&mut payload, u64::MAX);
+    payload.extend_from_slice(&valid[pos..trailer]);
+    let mut forged = valid[..payload_start].to_vec();
+    forged.extend_from_slice(&payload);
+    forged.extend_from_slice(&crc32(&payload).to_le_bytes());
+    forged.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    forged.push(1); // footer version
+    forged.extend_from_slice(b"MDZI");
+    put("store_footer_forged_count.bin", forged);
+
+    // Trailer cut mid-way: too short to even locate the footer.
+    put("store_truncated_footer.bin", valid[..valid.len() - 9].to_vec());
+
+    // One bit in a block record body: the FNV record checksum must catch it.
+    let index = ArchiveIndex::parse(&valid).unwrap();
+    let rec = index.blocks[0].offset;
+    let mut pos = rec;
+    let rec_len = read_uvarint(&valid, &mut pos).unwrap() as usize;
+    let body = pos + 8; // past the stored checksum
+    let mut bad = valid.clone();
+    bad[body + 4] ^= 0x01;
+    put("store_block_bad_checksum.bin", bad);
+
+    // Keyframe container with a forged axis length *and* a recomputed record
+    // checksum: hostile bytes that reach the epoch decoder itself. The
+    // container opens with "MDZT"; the axis-0 length uvarint right after it
+    // is replaced with ~2^35, which must fail the bounds check rather than
+    // turn into an allocation.
+    let mut bad = valid.clone();
+    bad[body + 4..body + 9].copy_from_slice(&[0xFF, 0xFF, 0xFF, 0xFF, 0x7F]);
+    let sum = fnv1a64(&bad[body..body + rec_len]);
+    bad[pos..pos + 8].copy_from_slice(&sum.to_le_bytes());
+    put("store_keyframe_forged_axis.bin", bad);
 }
 
 #[test]

@@ -25,6 +25,7 @@ use mdz_entropy::{
 };
 use mdz_fuzz::{default_iters, CountingAlloc, Mutator};
 use mdz_lossless::{lz77, rle};
+use mdz_store::{write_store, Precision, ReaderOptions, StoreOptions, StoreReader};
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
@@ -330,6 +331,46 @@ fn fuzz_concurrent_block_decode_differential() {
                 Some(first_err),
                 "parallel decode surfaced a different first error"
             ),
+        }
+    });
+}
+
+#[test]
+fn fuzz_store_archive() {
+    // Indexed store archives: mutations land in the footer index, the
+    // epoch/keyframe headers, and the block records. Opening parses the
+    // header + footer; reading walks `record_at` (FNV oracle) and the epoch
+    // decoder. The triad plus an identity check: unmutated seeds must open
+    // and read back their full frame range.
+    let store_frames = frames(60, 10);
+    let seeds: Vec<Vec<u8>> = [
+        (Method::Mt, Precision::F64, 2usize),
+        (Method::Vq, Precision::F64, 1),
+        (Method::Vqt, Precision::F32, 4),
+    ]
+    .iter()
+    .map(|&(method, precision, k)| {
+        let mut opts =
+            StoreOptions::new(MdzConfig::new(ErrorBound::Absolute(1e-3)).with_method(method));
+        opts.buffer_size = 3;
+        opts.epoch_interval = k;
+        opts.precision = precision;
+        write_store(&store_frames, &["Cu".into()], &[], &opts).unwrap()
+    })
+    .collect();
+    let limits = tight_limits();
+    campaign("store", 0x4d445a0b, &seeds.clone(), 256 * MB, |_, base_idx, input| {
+        let opts = ReaderOptions { cache_epochs: 2, limits };
+        let got = StoreReader::with_options(input.to_vec(), opts).and_then(|r| {
+            let n = r.index().n_frames;
+            r.read_frames(0..n)
+        });
+        if input == seeds[base_idx] {
+            assert_eq!(
+                got.expect("identity archive must read").len(),
+                store_frames.len(),
+                "identity archive returned the wrong frame count"
+            );
         }
     });
 }

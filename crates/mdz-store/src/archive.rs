@@ -1,0 +1,547 @@
+//! The indexed `.mdz` archive (container version 2) and its index parser.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic "MDZA" · version u8 (= 2) · flags u8
+//! uvarint n_atoms · uvarint n_frames · uvarint buffer_size · uvarint epoch_interval
+//! uvarint meta_len · meta                  — LZ-compressed element + comment text
+//! repeated: uvarint block_len · u64 fnv1a checksum (LE) · trajectory container
+//! footer payload: uvarint n_blocks · per-block uvarint offset delta
+//! footer trailer: crc32(payload) u32 LE · payload_len u64 LE · footer version u8 · "MDZI"
+//! ```
+//!
+//! The body is byte-compatible with the version-1 archive except for two
+//! additions:
+//!
+//! * **Epochs** — every `epoch_interval` buffers the compressor re-anchors
+//!   its stream state ([`mdz_core::Compressor::reset_stream`]), so the first
+//!   buffer of each epoch decodes standalone and a reader can start decoding
+//!   at any epoch boundary instead of replaying from frame zero.
+//! * **Footer index** — byte offsets of every block record, checksummed and
+//!   framed from the *end* of the file so it can be located without scanning.
+//!   Offsets in the payload are delta-coded (first entry absolute).
+//!
+//! Version-1 archives carry neither, but [`ArchiveIndex::parse`] still
+//! accepts them by scanning the block records once: the whole archive is
+//! treated as a single epoch, so seeks replay from the start — correct, just
+//! not O(epoch).
+
+use mdz_core::checksum::{crc32, fnv1a64};
+use mdz_core::traj::assemble_container;
+use mdz_core::{Compressor, Frame, MdzConfig, MdzError, Result};
+use mdz_entropy::{read_uvarint, write_uvarint};
+use mdz_lossless::lz77;
+use mdz_lossless::StreamLimits;
+
+/// Archive magic (shared with version 1).
+pub const MAGIC: [u8; 4] = *b"MDZA";
+/// Container version written by [`write_store`].
+pub const VERSION_V2: u8 = 2;
+/// Footer trailer magic, the last four bytes of a version-2 archive.
+pub const FOOTER_MAGIC: [u8; 4] = *b"MDZI";
+/// Version of the footer trailer layout.
+pub const FOOTER_VERSION: u8 = 1;
+/// Fixed trailer size: crc32 (4) + payload length (8) + version (1) + magic (4).
+pub const FOOTER_TRAILER_LEN: usize = 17;
+/// Header flag bit: coordinates were narrowed to `f32` before compression.
+pub const STORE_FLAG_F32: u8 = 0b0000_0001;
+
+/// Coordinate precision the store compresses at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full `f64` coordinates (default).
+    #[default]
+    F64,
+    /// Narrow to `f32` before compression; decoded values are widened back.
+    /// The error bound then holds relative to the narrowed values.
+    F32,
+}
+
+/// Options for [`write_store`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Compressor configuration applied to each axis stream.
+    pub cfg: MdzConfig,
+    /// Frames per buffer (block).
+    pub buffer_size: usize,
+    /// Buffers per epoch: the compressor re-anchors every this many buffers.
+    /// `1` makes every buffer standalone; larger values trade seek
+    /// granularity for ratio (MT/VQT predictors keep their history longer).
+    pub epoch_interval: usize,
+    /// Coordinate precision.
+    pub precision: Precision,
+}
+
+impl StoreOptions {
+    /// Paper-style defaults: 128-frame buffers, 8-buffer epochs, `f64`.
+    pub fn new(cfg: MdzConfig) -> Self {
+        Self { cfg, buffer_size: 128, epoch_interval: 8, precision: Precision::F64 }
+    }
+}
+
+/// One block record in the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockEntry {
+    /// Absolute byte offset of the record (its leading length uvarint).
+    pub offset: usize,
+    /// Index of the first frame stored in this block.
+    pub frame_start: usize,
+    /// Number of frames stored in this block.
+    pub n_frames: usize,
+    /// Epoch the block belongs to (`block index / epoch_interval`).
+    pub epoch: usize,
+}
+
+/// Parsed archive header plus the block index.
+#[derive(Debug, Clone)]
+pub struct ArchiveIndex {
+    /// Container version (1 or 2).
+    pub version: u8,
+    /// Whether coordinates were narrowed to `f32` before compression.
+    pub f32_source: bool,
+    /// Atoms per frame.
+    pub n_atoms: usize,
+    /// Total frames in the archive.
+    pub n_frames: usize,
+    /// Frames per buffer.
+    pub buffer_size: usize,
+    /// Buffers per epoch (for version 1: the whole archive is one epoch).
+    pub epoch_interval: usize,
+    /// Element symbols from the metadata block.
+    pub elements: Vec<String>,
+    /// Per-frame comment lines from the metadata block.
+    pub comments: Vec<String>,
+    /// One entry per block, in file order.
+    pub blocks: Vec<BlockEntry>,
+}
+
+impl ArchiveIndex {
+    /// Number of epochs the archive divides into.
+    pub fn n_epochs(&self) -> usize {
+        self.blocks.len().div_ceil(self.epoch_interval.max(1))
+    }
+
+    /// Block indices belonging to `epoch` (clamped to the block count).
+    pub fn epoch_blocks(&self, epoch: usize) -> std::ops::Range<usize> {
+        let start = epoch.saturating_mul(self.epoch_interval).min(self.blocks.len());
+        let end = start.saturating_add(self.epoch_interval).min(self.blocks.len());
+        start..end
+    }
+
+    /// First frame index covered by `epoch`.
+    pub fn epoch_frame_start(&self, epoch: usize) -> usize {
+        self.epoch_blocks(epoch).start * self.buffer_size
+    }
+
+    /// Parses a version-1 or version-2 archive into an index without
+    /// decoding any frame data.
+    pub fn parse(data: &[u8]) -> Result<Self> {
+        let header = parse_store_header(data)?;
+        let expected_blocks = header.n_frames.div_ceil(header.buffer_size);
+        let (blocks, epoch_interval) = match header.version {
+            VERSION_V2 => {
+                let offsets = parse_footer(data, header.body_start, expected_blocks)?;
+                (offsets, header.epoch_interval)
+            }
+            // Version 1: no footer — scan the record lengths once. The whole
+            // archive forms a single epoch (no re-anchor points exist).
+            _ => (scan_v1_records(data, header.body_start, expected_blocks)?, expected_blocks),
+        };
+        let entries = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, &offset)| BlockEntry {
+                offset,
+                frame_start: i * header.buffer_size,
+                n_frames: header.buffer_size.min(header.n_frames - i * header.buffer_size),
+                epoch: i / epoch_interval.max(1),
+            })
+            .collect();
+        Ok(ArchiveIndex {
+            version: header.version,
+            f32_source: header.f32_source,
+            n_atoms: header.n_atoms,
+            n_frames: header.n_frames,
+            buffer_size: header.buffer_size,
+            epoch_interval: epoch_interval.max(1),
+            elements: header.elements,
+            comments: header.comments,
+            blocks: entries,
+        })
+    }
+}
+
+/// Reads the block record at `offset`, verifying its FNV-1a checksum, and
+/// returns the contained trajectory container bytes.
+pub fn record_at(data: &[u8], offset: usize) -> Result<&[u8]> {
+    let mut pos = offset;
+    if pos >= data.len() {
+        return Err(MdzError::Corrupt { what: "block offset past end of archive" });
+    }
+    let len = read_uvarint(data, &mut pos)? as usize;
+    let sum_bytes =
+        data.get(pos..pos + 8).ok_or(MdzError::Corrupt { what: "truncated block checksum" })?;
+    pos += 8;
+    let expected = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= data.len())
+        .ok_or(MdzError::Corrupt { what: "truncated block record" })?;
+    let block = &data[pos..end];
+    if fnv1a64(block) != expected {
+        return Err(MdzError::Corrupt { what: "block checksum mismatch" });
+    }
+    Ok(block)
+}
+
+/// Compresses a trajectory into an indexed version-2 archive.
+///
+/// `elements` and `comments` are stored losslessly (same metadata block as
+/// version 1); pass empty slices when the source has none.
+pub fn write_store(
+    frames: &[Frame],
+    elements: &[String],
+    comments: &[String],
+    opts: &StoreOptions,
+) -> Result<Vec<u8>> {
+    if frames.is_empty() {
+        return Err(MdzError::BadInput("trajectory has no frames"));
+    }
+    let n_atoms = frames[0].len();
+    if frames.iter().any(|f| f.len() != n_atoms || f.y.len() != n_atoms || f.z.len() != n_atoms) {
+        return Err(MdzError::BadInput("ragged frames: atom counts differ"));
+    }
+    if opts.buffer_size == 0 {
+        return Err(MdzError::BadConfig("buffer_size must be positive"));
+    }
+    if opts.epoch_interval == 0 {
+        return Err(MdzError::BadConfig("epoch_interval must be positive"));
+    }
+    opts.cfg.validate()?;
+
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION_V2);
+    out.push(match opts.precision {
+        Precision::F64 => 0,
+        Precision::F32 => STORE_FLAG_F32,
+    });
+    write_uvarint(&mut out, n_atoms as u64);
+    write_uvarint(&mut out, frames.len() as u64);
+    write_uvarint(&mut out, opts.buffer_size as u64);
+    write_uvarint(&mut out, opts.epoch_interval as u64);
+    let mut meta = String::new();
+    meta.push_str(&elements.join(" "));
+    meta.push('\n');
+    for c in comments {
+        meta.push_str(c);
+        meta.push('\n');
+    }
+    let meta_c = lz77::compress(meta.as_bytes(), lz77::Level::Default);
+    write_uvarint(&mut out, meta_c.len() as u64);
+    out.extend_from_slice(&meta_c);
+
+    // One compressor per axis so the epoch re-anchor resets all three
+    // streams together; `assemble_container` keeps the block layout
+    // byte-compatible with `TrajectoryCompressor` output.
+    let mut axes = [
+        Compressor::new(opts.cfg.clone()),
+        Compressor::new(opts.cfg.clone()),
+        Compressor::new(opts.cfg.clone()),
+    ];
+    let mut offsets = Vec::new();
+    for (i, chunk) in frames.chunks(opts.buffer_size).enumerate() {
+        if i > 0 && i % opts.epoch_interval == 0 {
+            for c in axes.iter_mut() {
+                c.reset_stream();
+            }
+        }
+        let blocks = compress_chunk(&mut axes, chunk, opts.precision)?;
+        let container = assemble_container(&blocks);
+        offsets.push(out.len());
+        write_uvarint(&mut out, container.len() as u64);
+        out.extend_from_slice(&fnv1a64(&container).to_le_bytes());
+        out.extend_from_slice(&container);
+    }
+
+    // Footer: delta-coded offsets, CRC-framed from the end of the file.
+    let mut payload = Vec::new();
+    write_uvarint(&mut payload, offsets.len() as u64);
+    let mut prev = 0usize;
+    for &off in &offsets {
+        write_uvarint(&mut payload, (off - prev) as u64);
+        prev = off;
+    }
+    let crc = crc32(&payload);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.push(FOOTER_VERSION);
+    out.extend_from_slice(&FOOTER_MAGIC);
+    Ok(out)
+}
+
+fn compress_chunk(
+    axes: &mut [Compressor; 3],
+    chunk: &[Frame],
+    precision: Precision,
+) -> Result<[Vec<u8>; 3]> {
+    let mut blocks: [Vec<u8>; 3] = Default::default();
+    for (j, comp) in axes.iter_mut().enumerate() {
+        fn pick(f: &Frame, axis: usize) -> &[f64] {
+            match axis {
+                0 => &f.x,
+                1 => &f.y,
+                _ => &f.z,
+            }
+        }
+        blocks[j] = match precision {
+            Precision::F64 => {
+                let snaps: Vec<Vec<f64>> = chunk.iter().map(|f| pick(f, j).to_vec()).collect();
+                comp.compress_buffer(&snaps)?
+            }
+            Precision::F32 => {
+                let snaps: Vec<Vec<f32>> =
+                    chunk.iter().map(|f| pick(f, j).iter().map(|&v| v as f32).collect()).collect();
+                comp.compress_buffer_f32(&snaps)?
+            }
+        };
+    }
+    Ok(blocks)
+}
+
+struct StoreHeader {
+    version: u8,
+    f32_source: bool,
+    n_atoms: usize,
+    n_frames: usize,
+    buffer_size: usize,
+    epoch_interval: usize,
+    elements: Vec<String>,
+    comments: Vec<String>,
+    /// Offset of the first block record.
+    body_start: usize,
+}
+
+fn parse_store_header(data: &[u8]) -> Result<StoreHeader> {
+    let magic = data.get(..4).ok_or(MdzError::BadHeader("truncated magic"))?;
+    if magic != MAGIC {
+        return Err(MdzError::BadHeader("not an MDZ archive"));
+    }
+    let version = *data.get(4).ok_or(MdzError::BadHeader("truncated version"))?;
+    if version != 1 && version != VERSION_V2 {
+        return Err(MdzError::BadHeader("unsupported archive version"));
+    }
+    let mut pos = 5;
+    let mut f32_source = false;
+    if version == VERSION_V2 {
+        let flags = *data.get(5).ok_or(MdzError::BadHeader("truncated flags"))?;
+        if flags & !STORE_FLAG_F32 != 0 {
+            return Err(MdzError::BadHeader("unknown store flags"));
+        }
+        f32_source = flags & STORE_FLAG_F32 != 0;
+        pos = 6;
+    }
+    let n_atoms = read_uvarint(data, &mut pos)? as usize;
+    let n_frames = read_uvarint(data, &mut pos)? as usize;
+    let buffer_size = read_uvarint(data, &mut pos)? as usize;
+    let epoch_interval =
+        if version == VERSION_V2 { read_uvarint(data, &mut pos)? as usize } else { 0 };
+    if n_atoms == 0 || n_frames == 0 || buffer_size == 0 {
+        return Err(MdzError::BadHeader("zero atom, frame, or buffer count"));
+    }
+    if version == VERSION_V2 && epoch_interval == 0 {
+        return Err(MdzError::BadHeader("zero epoch interval"));
+    }
+    let meta_len = read_uvarint(data, &mut pos)? as usize;
+    let meta_end = pos
+        .checked_add(meta_len)
+        .filter(|&e| e <= data.len())
+        .ok_or(MdzError::BadHeader("truncated metadata"))?;
+    // Bound the metadata expansion by a multiple of its compressed size so a
+    // forged header cannot force a huge allocation before any checksum runs.
+    let budget = meta_len.saturating_mul(64).clamp(1 << 12, 1 << 26);
+    let mut meta = Vec::new();
+    lz77::decompress_into_limited(
+        &data[pos..meta_end],
+        &mut meta,
+        &StreamLimits::with_max_items(budget),
+    )
+    .map_err(|_| MdzError::BadHeader("metadata stream is corrupt"))?;
+    let meta_text =
+        String::from_utf8(meta).map_err(|_| MdzError::BadHeader("metadata is not UTF-8"))?;
+    let mut meta_lines = meta_text.lines();
+    let elements = meta_lines.next().unwrap_or("").split_whitespace().map(str::to_string).collect();
+    let comments = meta_lines.map(str::to_string).collect();
+    Ok(StoreHeader {
+        version,
+        f32_source,
+        n_atoms,
+        n_frames,
+        buffer_size,
+        epoch_interval,
+        elements,
+        comments,
+        body_start: meta_end,
+    })
+}
+
+/// Locates, checksums, and decodes the footer; returns absolute offsets.
+fn parse_footer(data: &[u8], body_start: usize, expected_blocks: usize) -> Result<Vec<usize>> {
+    let len = data.len();
+    if len < body_start + FOOTER_TRAILER_LEN {
+        return Err(MdzError::Corrupt { what: "archive too short for footer" });
+    }
+    if data[len - 4..] != FOOTER_MAGIC {
+        return Err(MdzError::Corrupt { what: "footer magic missing" });
+    }
+    if data[len - 5] != FOOTER_VERSION {
+        return Err(MdzError::Corrupt { what: "unsupported footer version" });
+    }
+    let payload_len = u64::from_le_bytes(data[len - 13..len - 5].try_into().unwrap()) as usize;
+    let expected_crc = u32::from_le_bytes(data[len - 17..len - 13].try_into().unwrap());
+    let payload_end = len - FOOTER_TRAILER_LEN;
+    let payload_start = payload_end
+        .checked_sub(payload_len)
+        .filter(|&s| s >= body_start)
+        .ok_or(MdzError::Corrupt { what: "footer length out of range" })?;
+    let payload = &data[payload_start..payload_end];
+    if crc32(payload) != expected_crc {
+        return Err(MdzError::Corrupt { what: "footer checksum mismatch" });
+    }
+    let mut pos = 0;
+    let n_blocks = read_uvarint(payload, &mut pos)
+        .map_err(|_| MdzError::Corrupt { what: "footer block count is corrupt" })?
+        as usize;
+    if n_blocks != expected_blocks {
+        return Err(MdzError::Corrupt { what: "footer block count disagrees with header" });
+    }
+    // Each delta is at least one payload byte, so the count is implicitly
+    // bounded by the (already CRC-validated) payload size.
+    if n_blocks > payload.len() {
+        return Err(MdzError::Corrupt { what: "footer block count exceeds payload" });
+    }
+    let mut offsets = Vec::with_capacity(n_blocks);
+    let mut prev = 0usize;
+    for i in 0..n_blocks {
+        let delta = read_uvarint(payload, &mut pos)
+            .map_err(|_| MdzError::Corrupt { what: "footer offset is corrupt" })?
+            as usize;
+        if i > 0 && delta == 0 {
+            return Err(MdzError::Corrupt { what: "footer offsets not increasing" });
+        }
+        let off = prev
+            .checked_add(delta)
+            .filter(|&o| o >= body_start && o < payload_start)
+            .ok_or(MdzError::Corrupt { what: "footer offset out of range" })?;
+        offsets.push(off);
+        prev = off;
+    }
+    if pos != payload.len() {
+        return Err(MdzError::Corrupt { what: "footer payload has trailing bytes" });
+    }
+    Ok(offsets)
+}
+
+/// Scans a version-1 body once, recording each record's start offset.
+/// Checksums are deferred to decode time ([`record_at`]).
+fn scan_v1_records(data: &[u8], body_start: usize, expected_blocks: usize) -> Result<Vec<usize>> {
+    let mut offsets = Vec::new();
+    let mut pos = body_start;
+    while pos < data.len() && offsets.len() < expected_blocks {
+        let start = pos;
+        let len = read_uvarint(data, &mut pos)? as usize;
+        let end = pos
+            .checked_add(8)
+            .and_then(|p| p.checked_add(len))
+            .filter(|&e| e <= data.len())
+            .ok_or(MdzError::Corrupt { what: "truncated v1 block record" })?;
+        offsets.push(start);
+        pos = end;
+    }
+    if offsets.len() != expected_blocks {
+        return Err(MdzError::Corrupt { what: "v1 archive is missing blocks" });
+    }
+    Ok(offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdz_core::ErrorBound;
+
+    fn frames(n_frames: usize, n_atoms: usize) -> Vec<Frame> {
+        (0..n_frames)
+            .map(|t| {
+                let coord = |axis: usize| {
+                    (0..n_atoms)
+                        .map(|i| (i % 7) as f64 * 2.5 + t as f64 * 1e-3 + axis as f64)
+                        .collect::<Vec<f64>>()
+                };
+                Frame::new(coord(0), coord(1), coord(2))
+            })
+            .collect()
+    }
+
+    fn opts() -> StoreOptions {
+        let mut o = StoreOptions::new(MdzConfig::new(ErrorBound::Absolute(1e-3)));
+        o.buffer_size = 4;
+        o.epoch_interval = 2;
+        o
+    }
+
+    #[test]
+    fn index_round_trips_header_fields() {
+        let f = frames(19, 12);
+        let data = write_store(&f, &["H".into(), "O".into()], &["c0".into()], &opts()).unwrap();
+        let idx = ArchiveIndex::parse(&data).unwrap();
+        assert_eq!(idx.version, VERSION_V2);
+        assert_eq!(idx.n_atoms, 12);
+        assert_eq!(idx.n_frames, 19);
+        assert_eq!(idx.buffer_size, 4);
+        assert_eq!(idx.epoch_interval, 2);
+        assert_eq!(idx.blocks.len(), 5);
+        assert_eq!(idx.n_epochs(), 3);
+        assert_eq!(idx.elements, vec!["H".to_string(), "O".to_string()]);
+        assert_eq!(idx.comments, vec!["c0".to_string()]);
+        // Last block holds the 3 tail frames.
+        assert_eq!(idx.blocks[4].n_frames, 3);
+        assert_eq!(idx.blocks[4].epoch, 2);
+        // Every offset must point at a checksummed record.
+        for b in &idx.blocks {
+            record_at(&data, b.offset).unwrap();
+        }
+    }
+
+    #[test]
+    fn footer_corruption_is_detected() {
+        let data = write_store(&frames(10, 6), &[], &[], &opts()).unwrap();
+        // Flip one payload byte: CRC mismatch.
+        let mut bad = data.clone();
+        let n = bad.len();
+        bad[n - FOOTER_TRAILER_LEN - 1] ^= 0xff;
+        assert!(matches!(ArchiveIndex::parse(&bad), Err(MdzError::Corrupt { .. })));
+        // Damage the magic.
+        let mut bad = data.clone();
+        let n = bad.len();
+        bad[n - 1] ^= 0x01;
+        assert!(matches!(ArchiveIndex::parse(&bad), Err(MdzError::Corrupt { .. })));
+        // Truncate the trailer.
+        let short = &data[..data.len() - 3];
+        assert!(ArchiveIndex::parse(short).is_err());
+    }
+
+    #[test]
+    fn record_checksum_mismatch_is_detected() {
+        let data = write_store(&frames(10, 6), &[], &[], &opts()).unwrap();
+        let idx = ArchiveIndex::parse(&data).unwrap();
+        let mut bad = data.clone();
+        // Corrupt one byte inside the first block's container body.
+        bad[idx.blocks[0].offset + 12] ^= 0x40;
+        assert!(matches!(
+            record_at(&bad, idx.blocks[0].offset),
+            Err(MdzError::Corrupt { what: "block checksum mismatch" })
+        ));
+    }
+}

@@ -1,0 +1,64 @@
+//! `mdzd` — serve an MDZ archive over TCP.
+//!
+//! ```text
+//! mdzd <archive.mdz> [addr] [--threads N] [--cache-epochs N]
+//! ```
+//!
+//! `addr` defaults to `127.0.0.1:7979`. The process serves until killed.
+
+use std::process::ExitCode;
+
+use mdz_store::{ReaderOptions, Server, ServerConfig, StoreReader};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("mdzd: {msg}");
+            eprintln!("usage: mdzd <archive.mdz> [addr] [--threads N] [--cache-epochs N]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut archive = None;
+    let mut addr = "127.0.0.1:7979".to_string();
+    let mut cfg = ServerConfig::default();
+    let mut reader_opts = ReaderOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                cfg.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threads needs a positive integer")?;
+            }
+            "--cache-epochs" => {
+                reader_opts.cache_epochs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--cache-epochs needs a positive integer")?;
+            }
+            other if archive.is_none() => archive = Some(other.to_string()),
+            other => addr = other.to_string(),
+        }
+    }
+    let path = archive.ok_or("missing archive path")?;
+    let data = std::fs::read(&path).map_err(|e| format!("read {path}: {e}"))?;
+    let reader =
+        StoreReader::with_options(data, reader_opts).map_err(|e| format!("open {path}: {e}"))?;
+    let idx = reader.index();
+    eprintln!(
+        "mdzd: serving {path} (v{}, {} frames × {} atoms, {} blocks, epoch interval {})",
+        idx.version,
+        idx.n_frames,
+        idx.n_atoms,
+        idx.blocks.len(),
+        idx.epoch_interval
+    );
+    let server = Server::bind(reader, &addr, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
+    eprintln!("mdzd: listening on {}", server.local_addr().map_err(|e| e.to_string())?);
+    server.run().map_err(|e| e.to_string())
+}

@@ -1,0 +1,104 @@
+//! A blocking client for the `mdzd` protocol.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::ops::Range;
+
+use mdz_core::Frame;
+
+use crate::protocol::{
+    parse_frames, parse_info, parse_stats, read_message, write_message, Request, Status, StoreInfo,
+};
+use crate::reader::StatsSnapshot;
+
+/// Errors a [`Client`] can surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The TCP connection failed; carries the rendered [`std::io::Error`].
+    Io(String),
+    /// The server answered with a non-OK status.
+    Server {
+        /// The wire status code.
+        status: Status,
+        /// The server's human-readable message.
+        message: String,
+    },
+    /// The server's bytes violated the protocol.
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Server { status, message } => {
+                write!(f, "server error ({status:?}): {message}")
+            }
+            ClientError::Protocol(w) => write!(f, "protocol violation: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e.to_string())
+    }
+}
+
+/// A connected `mdzd` client. One request is in flight at a time; reconnect
+/// by constructing a new client.
+pub struct Client {
+    stream: TcpStream,
+    max_response_bytes: usize,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Ok(Client { stream: TcpStream::connect(addr)?, max_response_bytes: 1 << 28 })
+    }
+
+    /// Caps how large a response body this client will read (default 256 MiB).
+    pub fn with_max_response_bytes(mut self, max: usize) -> Client {
+        self.max_response_bytes = max;
+        self
+    }
+
+    fn round_trip(&mut self, req: Request) -> Result<Vec<u8>, ClientError> {
+        write_message(&mut self.stream, &req.encode())?;
+        let body = read_message(&mut self.stream, self.max_response_bytes)?
+            .ok_or(ClientError::Protocol("server closed the connection mid-request"))?;
+        match body.first().copied().and_then(Status::from_byte) {
+            Some(Status::Ok) => Ok(body),
+            Some(status) => Err(ClientError::Server {
+                status,
+                message: String::from_utf8_lossy(&body[1..]).into_owned(),
+            }),
+            None => Err(ClientError::Protocol("unknown response status")),
+        }
+    }
+
+    /// Fetches the frames in `range` (end-exclusive).
+    pub fn get(&mut self, range: Range<usize>) -> Result<Vec<Frame>, ClientError> {
+        let body =
+            self.round_trip(Request::Get { start: range.start as u64, end: range.end as u64 })?;
+        let (start, frames) = parse_frames(&body).map_err(ClientError::Protocol)?;
+        if start != range.start as u64 || frames.len() != range.len() {
+            return Err(ClientError::Protocol("response range disagrees with request"));
+        }
+        Ok(frames)
+    }
+
+    /// Fetches the server's counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        let body = self.round_trip(Request::Stats)?;
+        parse_stats(&body).map_err(ClientError::Protocol)
+    }
+
+    /// Fetches the served archive's metadata.
+    pub fn info(&mut self) -> Result<StoreInfo, ClientError> {
+        let body = self.round_trip(Request::Info)?;
+        parse_info(&body).map_err(ClientError::Protocol)
+    }
+}

@@ -1,0 +1,53 @@
+//! mdz-store: a random-access indexed trajectory store and query server for
+//! MDZ archives.
+//!
+//! The MDZ pipeline is stream-oriented: VQT/MT predictors chain each buffer
+//! to its predecessors, so a plain archive only decodes front to back. This
+//! crate makes stored trajectories *seekable* and *servable*:
+//!
+//! * **Indexed archives** ([`archive`]) — container version 2 re-anchors the
+//!   compressor every `epoch_interval` buffers and appends a checksummed
+//!   footer index of block offsets, so reading any frame costs one epoch of
+//!   decoding instead of the whole prefix. Version-1 archives still open
+//!   (as a single epoch).
+//! * **Random-access reads** ([`reader`]) — [`StoreReader::read_frames`]
+//!   maps a frame range to its epochs, decodes through an LRU cache of
+//!   decoded epochs, and exposes atomic counters ([`StatsSnapshot`]).
+//! * **Serving** ([`server`], [`client`], [`protocol`]) — `mdzd` answers
+//!   GET/STATS/INFO requests over a length-prefixed binary protocol on TCP,
+//!   with per-connection decode budgets; built entirely on `std`.
+//!
+//! # Example
+//!
+//! ```
+//! use mdz_core::{ErrorBound, Frame, MdzConfig};
+//! use mdz_store::{write_store, StoreOptions, StoreReader};
+//!
+//! let frames: Vec<Frame> = (0..32)
+//!     .map(|t| {
+//!         let axis: Vec<f64> = (0..10).map(|i| i as f64 + t as f64 * 1e-3).collect();
+//!         Frame::new(axis.clone(), axis.clone(), axis)
+//!     })
+//!     .collect();
+//! let mut opts = StoreOptions::new(MdzConfig::new(ErrorBound::Absolute(1e-3)));
+//! opts.buffer_size = 4;
+//! opts.epoch_interval = 2;
+//! let archive = write_store(&frames, &[], &[], &opts).unwrap();
+//! let reader = StoreReader::open(archive).unwrap();
+//! let middle = reader.read_frames(10..14).unwrap();
+//! assert_eq!(middle.len(), 4);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod archive;
+pub mod client;
+pub mod protocol;
+pub mod reader;
+pub mod server;
+
+pub use archive::{write_store, ArchiveIndex, BlockEntry, Precision, StoreOptions};
+pub use client::{Client, ClientError};
+pub use protocol::{Request, Status, StoreInfo};
+pub use reader::{ReaderOptions, StatsSnapshot, StoreReader};
+pub use server::{Server, ServerConfig, ServerHandle};

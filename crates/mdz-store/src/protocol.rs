@@ -1,0 +1,369 @@
+//! Length-prefixed binary protocol spoken between `mdzd` and its clients.
+//!
+//! Every message — request or response — is framed as a `u32` little-endian
+//! body length followed by the body. Request bodies start with an opcode
+//! byte, response bodies with a status byte; all integers are `u64` LE.
+//!
+//! ```text
+//! GET   request : op=1 · start u64 · end u64            (end-exclusive)
+//! STATS request : op=2
+//! INFO  request : op=3
+//!
+//! OK GET   body : status=0 · start u64 · n_frames u64 · n_atoms u64
+//!                 · per frame: x[n_atoms] f64 · y[n_atoms] f64 · z[n_atoms] f64
+//! OK STATS body : status=0 · requests · bytes_out · cache_hits
+//!                 · cache_misses · decode_errors · buffers_decoded  (u64 each)
+//! OK INFO  body : status=0 · version · n_atoms · n_frames
+//!                 · buffer_size · epoch_interval · n_blocks         (u64 each)
+//! error    body : status≠0 · UTF-8 message (to end of body)
+//! ```
+//!
+//! Both endpoints bound what they will read: servers cap request bodies at
+//! [`MAX_REQUEST_BODY`], clients cap response bodies at a configurable
+//! budget — a hostile peer cannot force either side into an unbounded
+//! allocation.
+
+use std::io::{self, Read, Write};
+
+use mdz_core::{Frame, MdzError};
+
+use crate::reader::StatsSnapshot;
+
+/// Largest request body a server will read. Requests are tiny and fixed
+/// shape; anything larger is hostile or a framing bug.
+pub const MAX_REQUEST_BODY: usize = 64;
+
+/// Opcode for a frame-range read.
+pub const OP_GET: u8 = 1;
+/// Opcode for a counters snapshot.
+pub const OP_STATS: u8 = 2;
+/// Opcode for archive metadata.
+pub const OP_INFO: u8 = 3;
+
+/// Response status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// The request succeeded; the payload follows.
+    Ok = 0,
+    /// The request was malformed (unknown opcode, short body, bad frame).
+    BadRequest = 1,
+    /// The requested frame range lies outside the archive.
+    OutOfRange = 2,
+    /// Serving the request would exceed a server-side budget.
+    LimitExceeded = 3,
+    /// The archive bytes failed validation while decoding.
+    Corrupt = 4,
+    /// An unexpected server-side failure.
+    Internal = 5,
+}
+
+impl Status {
+    /// Decodes a wire status byte.
+    pub fn from_byte(b: u8) -> Option<Status> {
+        Some(match b {
+            0 => Status::Ok,
+            1 => Status::BadRequest,
+            2 => Status::OutOfRange,
+            3 => Status::LimitExceeded,
+            4 => Status::Corrupt,
+            5 => Status::Internal,
+            _ => return None,
+        })
+    }
+
+    /// Maps a decode-path error onto the wire status vocabulary.
+    pub fn from_error(e: &MdzError) -> Status {
+        match e {
+            MdzError::BadInput(_) => Status::OutOfRange,
+            MdzError::LimitExceeded { .. } => Status::LimitExceeded,
+            MdzError::Corrupt { .. } | MdzError::BadHeader(_) | MdzError::Stream(_) => {
+                Status::Corrupt
+            }
+            _ => Status::Internal,
+        }
+    }
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Read frames `start..end` (end-exclusive).
+    Get {
+        /// First frame index.
+        start: u64,
+        /// One past the last frame index.
+        end: u64,
+    },
+    /// Snapshot the server's counters.
+    Stats,
+    /// Describe the served archive.
+    Info,
+}
+
+impl Request {
+    /// Encodes the request body (unframed).
+    pub fn encode(&self) -> Vec<u8> {
+        match *self {
+            Request::Get { start, end } => {
+                let mut body = Vec::with_capacity(17);
+                body.push(OP_GET);
+                body.extend_from_slice(&start.to_le_bytes());
+                body.extend_from_slice(&end.to_le_bytes());
+                body
+            }
+            Request::Stats => vec![OP_STATS],
+            Request::Info => vec![OP_INFO],
+        }
+    }
+
+    /// Parses a request body.
+    pub fn parse(body: &[u8]) -> std::result::Result<Request, &'static str> {
+        match body.first() {
+            Some(&OP_GET) => {
+                if body.len() != 17 {
+                    return Err("GET body must be 17 bytes");
+                }
+                let start = u64::from_le_bytes(body[1..9].try_into().unwrap());
+                let end = u64::from_le_bytes(body[9..17].try_into().unwrap());
+                Ok(Request::Get { start, end })
+            }
+            Some(&OP_STATS) if body.len() == 1 => Ok(Request::Stats),
+            Some(&OP_INFO) if body.len() == 1 => Ok(Request::Info),
+            Some(_) => Err("unknown opcode or trailing bytes"),
+            None => Err("empty request body"),
+        }
+    }
+}
+
+/// Archive metadata reported by an INFO response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreInfo {
+    /// Container version (1 or 2).
+    pub version: u64,
+    /// Atoms per frame.
+    pub n_atoms: u64,
+    /// Total frames.
+    pub n_frames: u64,
+    /// Frames per buffer.
+    pub buffer_size: u64,
+    /// Buffers per epoch.
+    pub epoch_interval: u64,
+    /// Block (buffer) count.
+    pub n_blocks: u64,
+}
+
+/// Builds an error response body.
+pub fn encode_error(status: Status, message: &str) -> Vec<u8> {
+    let mut body = Vec::with_capacity(1 + message.len());
+    body.push(status as u8);
+    body.extend_from_slice(message.as_bytes());
+    body
+}
+
+/// Builds an OK GET response body from decoded frames.
+pub fn encode_frames(start: u64, n_atoms: usize, frames: &[Frame]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(25 + frames.len() * n_atoms * 24);
+    body.push(Status::Ok as u8);
+    body.extend_from_slice(&start.to_le_bytes());
+    body.extend_from_slice(&(frames.len() as u64).to_le_bytes());
+    body.extend_from_slice(&(n_atoms as u64).to_le_bytes());
+    for f in frames {
+        for axis in [&f.x, &f.y, &f.z] {
+            for v in axis.iter() {
+                body.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+    body
+}
+
+/// Parses an OK GET response body (status byte already consumed is NOT
+/// assumed: `body` includes it). Returns `(start, frames)`.
+pub fn parse_frames(body: &[u8]) -> std::result::Result<(u64, Vec<Frame>), &'static str> {
+    if body.len() < 25 || body[0] != Status::Ok as u8 {
+        return Err("short or non-OK GET body");
+    }
+    let start = u64::from_le_bytes(body[1..9].try_into().unwrap());
+    let n_frames = u64::from_le_bytes(body[9..17].try_into().unwrap()) as usize;
+    let n_atoms = u64::from_le_bytes(body[17..25].try_into().unwrap()) as usize;
+    let expect = n_frames
+        .checked_mul(n_atoms)
+        .and_then(|v| v.checked_mul(24))
+        .and_then(|v| v.checked_add(25))
+        .ok_or("frame payload size overflows")?;
+    if body.len() != expect {
+        return Err("GET body length disagrees with its header");
+    }
+    let mut pos = 25;
+    let mut frames = Vec::with_capacity(n_frames);
+    for _ in 0..n_frames {
+        let mut axes: [Vec<f64>; 3] = Default::default();
+        for axis in axes.iter_mut() {
+            axis.reserve_exact(n_atoms);
+            for _ in 0..n_atoms {
+                axis.push(f64::from_le_bytes(body[pos..pos + 8].try_into().unwrap()));
+                pos += 8;
+            }
+        }
+        let [x, y, z] = axes;
+        frames.push(Frame::new(x, y, z));
+    }
+    Ok((start, frames))
+}
+
+/// Builds an OK STATS response body.
+pub fn encode_stats(s: &StatsSnapshot) -> Vec<u8> {
+    let mut body = Vec::with_capacity(49);
+    body.push(Status::Ok as u8);
+    for v in
+        [s.requests, s.bytes_out, s.cache_hits, s.cache_misses, s.decode_errors, s.buffers_decoded]
+    {
+        body.extend_from_slice(&v.to_le_bytes());
+    }
+    body
+}
+
+/// Parses an OK STATS response body.
+pub fn parse_stats(body: &[u8]) -> std::result::Result<StatsSnapshot, &'static str> {
+    if body.len() != 49 || body[0] != Status::Ok as u8 {
+        return Err("short or non-OK STATS body");
+    }
+    let at = |i: usize| u64::from_le_bytes(body[1 + i * 8..9 + i * 8].try_into().unwrap());
+    Ok(StatsSnapshot {
+        requests: at(0),
+        bytes_out: at(1),
+        cache_hits: at(2),
+        cache_misses: at(3),
+        decode_errors: at(4),
+        buffers_decoded: at(5),
+    })
+}
+
+/// Builds an OK INFO response body.
+pub fn encode_info(i: &StoreInfo) -> Vec<u8> {
+    let mut body = Vec::with_capacity(49);
+    body.push(Status::Ok as u8);
+    for v in [i.version, i.n_atoms, i.n_frames, i.buffer_size, i.epoch_interval, i.n_blocks] {
+        body.extend_from_slice(&v.to_le_bytes());
+    }
+    body
+}
+
+/// Parses an OK INFO response body.
+pub fn parse_info(body: &[u8]) -> std::result::Result<StoreInfo, &'static str> {
+    if body.len() != 49 || body[0] != Status::Ok as u8 {
+        return Err("short or non-OK INFO body");
+    }
+    let at = |i: usize| u64::from_le_bytes(body[1 + i * 8..9 + i * 8].try_into().unwrap());
+    Ok(StoreInfo {
+        version: at(0),
+        n_atoms: at(1),
+        n_frames: at(2),
+        buffer_size: at(3),
+        epoch_interval: at(4),
+        n_blocks: at(5),
+    })
+}
+
+/// Writes one framed message.
+pub fn write_message(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one framed message, refusing bodies larger than `max_body`.
+///
+/// Returns `Ok(None)` on clean EOF at a frame boundary (the peer closed the
+/// connection between messages).
+pub fn read_message(r: &mut impl Read, max_body: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated frame length"))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > max_body {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max_body}-byte budget"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [Request::Get { start: 3, end: 999 }, Request::Stats, Request::Info] {
+            assert_eq!(Request::parse(&req.encode()).unwrap(), req);
+        }
+        assert!(Request::parse(&[]).is_err());
+        assert!(Request::parse(&[OP_GET, 1, 2]).is_err());
+        assert!(Request::parse(&[OP_STATS, 0]).is_err());
+        assert!(Request::parse(&[99]).is_err());
+    }
+
+    #[test]
+    fn frame_payload_round_trips() {
+        let frames = vec![
+            Frame::new(vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]),
+            Frame::new(vec![-1.5, 0.25], vec![0.0, 9.0], vec![7.0, 8.0]),
+        ];
+        let body = encode_frames(42, 2, &frames);
+        let (start, back) = parse_frames(&body).unwrap();
+        assert_eq!(start, 42);
+        assert_eq!(back, frames);
+        // Truncated and inflated bodies are rejected.
+        assert!(parse_frames(&body[..body.len() - 1]).is_err());
+        let mut long = body.clone();
+        long.push(0);
+        assert!(parse_frames(&long).is_err());
+    }
+
+    #[test]
+    fn stats_and_info_round_trip() {
+        let s = StatsSnapshot {
+            requests: 1,
+            bytes_out: 2,
+            cache_hits: 3,
+            cache_misses: 4,
+            decode_errors: 5,
+            buffers_decoded: 6,
+        };
+        assert_eq!(parse_stats(&encode_stats(&s)).unwrap(), s);
+        let i = StoreInfo {
+            version: 2,
+            n_atoms: 10,
+            n_frames: 1000,
+            buffer_size: 128,
+            epoch_interval: 8,
+            n_blocks: 8,
+        };
+        assert_eq!(parse_info(&encode_info(&i)).unwrap(), i);
+    }
+
+    #[test]
+    fn framing_enforces_the_budget() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &[1, 2, 3]).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_message(&mut r, 8).unwrap().unwrap(), vec![1, 2, 3]);
+        assert!(read_message(&mut r, 8).unwrap().is_none());
+        let mut oversized = Vec::new();
+        write_message(&mut oversized, &[0u8; 16]).unwrap();
+        assert!(read_message(&mut oversized.as_slice(), 8).is_err());
+    }
+}

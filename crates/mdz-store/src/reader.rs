@@ -1,0 +1,397 @@
+//! Random-access reads over an indexed archive: epoch decoding, the LRU
+//! cache of decoded epochs, and the shared request counters.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mdz_core::traj::split_container;
+use mdz_core::{DecodeLimits, Decompressor, Frame, MdzError, Result};
+
+use crate::archive::{record_at, ArchiveIndex};
+
+/// Tuning knobs for [`StoreReader`].
+#[derive(Debug, Clone)]
+pub struct ReaderOptions {
+    /// Decoded epochs kept in the cache (LRU eviction). Each entry holds the
+    /// epoch's frames in full precision, so size this against
+    /// `epoch_interval × buffer_size × n_atoms × 24` bytes per entry.
+    pub cache_epochs: usize,
+    /// Decode budget applied to every block this reader decodes.
+    pub limits: DecodeLimits,
+}
+
+impl Default for ReaderOptions {
+    fn default() -> Self {
+        Self { cache_epochs: 4, limits: DecodeLimits::default() }
+    }
+}
+
+/// Monotonic request counters, shared by every clone of a [`StoreReader`].
+///
+/// All counters are atomics updated with relaxed ordering: they are
+/// statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    requests: AtomicU64,
+    bytes_out: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    decode_errors: AtomicU64,
+    buffers_decoded: AtomicU64,
+}
+
+/// A point-in-time copy of [`StoreStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Requests served (incremented by the serving layer, not by local reads).
+    pub requests: u64,
+    /// Response payload bytes written by the serving layer.
+    pub bytes_out: u64,
+    /// Epoch lookups satisfied from the cache.
+    pub cache_hits: u64,
+    /// Epoch lookups that had to decode.
+    pub cache_misses: u64,
+    /// Decode attempts that failed (corrupt records, budget violations).
+    pub decode_errors: u64,
+    /// Buffers decoded since the reader was opened. The random-access
+    /// guarantee is expressed against this counter: one `read_frames` call
+    /// touching a single buffer grows it by at most one epoch's worth.
+    pub buffers_decoded: u64,
+}
+
+impl StoreStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            buffers_decoded: self.buffers_decoded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct CacheEntry {
+    last_used: u64,
+    frames: Arc<Vec<Frame>>,
+}
+
+#[derive(Default)]
+struct EpochCache {
+    map: HashMap<usize, CacheEntry>,
+    tick: u64,
+}
+
+struct Store {
+    data: Vec<u8>,
+    index: ArchiveIndex,
+    opts: ReaderOptions,
+    cache: Mutex<EpochCache>,
+    stats: StoreStats,
+}
+
+/// A cheaply cloneable handle for random-access reads over one archive.
+///
+/// All clones share the archive bytes, the epoch cache, and the stats
+/// counters, so a server can hand one clone to each worker thread.
+#[derive(Clone)]
+pub struct StoreReader {
+    store: Arc<Store>,
+}
+
+impl StoreReader {
+    /// Parses `data` (a version-1 or version-2 archive) with default options.
+    pub fn open(data: Vec<u8>) -> Result<Self> {
+        Self::with_options(data, ReaderOptions::default())
+    }
+
+    /// Parses `data` with explicit cache and decode-budget options.
+    pub fn with_options(data: Vec<u8>, opts: ReaderOptions) -> Result<Self> {
+        let index = ArchiveIndex::parse(&data)?;
+        Ok(Self {
+            store: Arc::new(Store {
+                data,
+                index,
+                opts,
+                cache: Mutex::new(EpochCache::default()),
+                stats: StoreStats::default(),
+            }),
+        })
+    }
+
+    /// The parsed header and block index.
+    pub fn index(&self) -> &ArchiveIndex {
+        &self.store.index
+    }
+
+    /// A point-in-time copy of the shared counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.store.stats.snapshot()
+    }
+
+    /// Records one served request and its response payload size. Called by
+    /// the serving layer; local [`read_frames`](Self::read_frames) calls do
+    /// not count as requests.
+    pub fn record_request(&self, bytes_out: u64) {
+        self.store.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.store.stats.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+    }
+
+    /// Records a request that failed before a payload was produced.
+    pub fn record_failed_request(&self) {
+        self.store.stats.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decodes the frames in `range` (end-exclusive), touching only the
+    /// epochs that overlap it.
+    ///
+    /// Reads go through the shared epoch cache; a miss decodes the whole
+    /// containing epoch with this reader's [`DecodeLimits`] and caches it.
+    /// The result is byte-identical to slicing the same range out of a full
+    /// sequential decompression of the archive.
+    pub fn read_frames(&self, range: Range<usize>) -> Result<Vec<Frame>> {
+        self.read_frames_limited(range, &self.store.opts.limits)
+    }
+
+    /// [`read_frames`](Self::read_frames) with a caller-supplied decode
+    /// budget — the serving layer passes its per-connection limits here.
+    /// Cache hits bypass the budget (the work was already done).
+    pub fn read_frames_limited(
+        &self,
+        range: Range<usize>,
+        limits: &DecodeLimits,
+    ) -> Result<Vec<Frame>> {
+        let idx = &self.store.index;
+        if range.start > range.end || range.end > idx.n_frames {
+            return Err(MdzError::BadInput("frame range out of bounds"));
+        }
+        if range.is_empty() {
+            return Ok(Vec::new());
+        }
+        let bs = idx.buffer_size;
+        let k = idx.epoch_interval;
+        let first_epoch = range.start / bs / k;
+        let last_epoch = (range.end - 1) / bs / k;
+        let mut out = Vec::new();
+        for epoch in first_epoch..=last_epoch {
+            let frames = self.epoch_frames(epoch, limits)?;
+            let epoch_start = idx.epoch_frame_start(epoch);
+            let lo = range.start.max(epoch_start) - epoch_start;
+            let hi = (range.end - epoch_start).min(frames.len());
+            out.extend(frames[lo..hi].iter().cloned());
+        }
+        Ok(out)
+    }
+
+    /// Returns `epoch`'s decoded frames, from cache or by decoding.
+    fn epoch_frames(&self, epoch: usize, limits: &DecodeLimits) -> Result<Arc<Vec<Frame>>> {
+        let stats = &self.store.stats;
+        {
+            let mut cache = self.store.cache.lock().unwrap();
+            cache.tick += 1;
+            let tick = cache.tick;
+            if let Some(entry) = cache.map.get_mut(&epoch) {
+                entry.last_used = tick;
+                stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&entry.frames));
+            }
+        }
+        // Decode outside the lock so other epochs stay readable. Two threads
+        // racing on the same cold epoch may both decode it — the counters
+        // report the work actually done, and the cache keeps one copy.
+        stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let frames = match self.decode_epoch(epoch, limits) {
+            Ok(f) => Arc::new(f),
+            Err(e) => {
+                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        let mut cache = self.store.cache.lock().unwrap();
+        cache.tick += 1;
+        let tick = cache.tick;
+        while cache.map.len() >= self.store.opts.cache_epochs.max(1) {
+            let Some((&oldest, _)) = cache.map.iter().min_by_key(|(_, entry)| entry.last_used)
+            else {
+                break;
+            };
+            cache.map.remove(&oldest);
+        }
+        cache.map.insert(epoch, CacheEntry { last_used: tick, frames: Arc::clone(&frames) });
+        Ok(frames)
+    }
+
+    /// Decodes every buffer of `epoch` with fresh per-axis decompressors.
+    ///
+    /// The writer re-anchored the compressor at the epoch's first buffer, so
+    /// starting from empty stream state here reproduces the sequential
+    /// decode exactly; within the epoch the axis decompressors carry their
+    /// state from buffer to buffer as usual.
+    fn decode_epoch(&self, epoch: usize, limits: &DecodeLimits) -> Result<Vec<Frame>> {
+        let store = &*self.store;
+        let idx = &store.index;
+        let blocks = idx.epoch_blocks(epoch);
+        if blocks.is_empty() {
+            return Err(MdzError::BadInput("epoch index out of bounds"));
+        }
+        let containers = idx.blocks[blocks.clone()]
+            .iter()
+            .map(|b| record_at(&store.data, b.offset))
+            .collect::<Result<Vec<&[u8]>>>()?;
+        let expected_frames: usize = idx.blocks[blocks.clone()].iter().map(|b| b.n_frames).sum();
+
+        // The three axis streams are independent; decode them concurrently.
+        let decode_axis = |axis: usize| -> Result<Vec<Vec<f64>>> {
+            let mut dec = Decompressor::with_limits(*limits);
+            let mut snapshots = Vec::new();
+            for container in &containers {
+                let parts = split_container(container)?;
+                if idx.f32_source {
+                    let narrow = dec.decompress_block_f32(parts[axis])?;
+                    snapshots.extend(
+                        narrow
+                            .into_iter()
+                            .map(|s| s.into_iter().map(f64::from).collect::<Vec<f64>>()),
+                    );
+                } else {
+                    snapshots.extend(dec.decompress_block(parts[axis])?);
+                }
+            }
+            Ok(snapshots)
+        };
+        let (x, y, z) = std::thread::scope(|s| {
+            let hy = s.spawn(|| decode_axis(1));
+            let hz = s.spawn(|| decode_axis(2));
+            let x = decode_axis(0);
+            (
+                x,
+                hy.join().expect("axis decode thread panicked"),
+                hz.join().expect("axis decode thread panicked"),
+            )
+        });
+        let (x, y, z) = (x?, y?, z?);
+
+        if x.len() != expected_frames || y.len() != expected_frames || z.len() != expected_frames {
+            return Err(MdzError::Corrupt { what: "epoch frame count disagrees with index" });
+        }
+        let mut frames = Vec::with_capacity(expected_frames);
+        for ((sx, sy), sz) in x.into_iter().zip(y).zip(z) {
+            if sx.len() != idx.n_atoms || sy.len() != idx.n_atoms || sz.len() != idx.n_atoms {
+                return Err(MdzError::Corrupt { what: "axis atom count disagrees with header" });
+            }
+            frames.push(Frame::new(sx, sy, sz));
+        }
+        self.store.stats.buffers_decoded.fetch_add(containers.len() as u64, Ordering::Relaxed);
+        Ok(frames)
+    }
+}
+
+impl std::fmt::Debug for StoreReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreReader")
+            .field("n_frames", &self.store.index.n_frames)
+            .field("n_blocks", &self.store.index.blocks.len())
+            .field("epoch_interval", &self.store.index.epoch_interval)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::{write_store, StoreOptions};
+    use mdz_core::{ErrorBound, MdzConfig};
+
+    fn frames(n_frames: usize, n_atoms: usize) -> Vec<Frame> {
+        (0..n_frames)
+            .map(|t| {
+                let coord = |axis: usize| {
+                    (0..n_atoms)
+                        .map(|i| (i % 5) as f64 * 1.5 + t as f64 * 1e-3 + axis as f64)
+                        .collect::<Vec<f64>>()
+                };
+                Frame::new(coord(0), coord(1), coord(2))
+            })
+            .collect()
+    }
+
+    fn small_store() -> StoreReader {
+        let mut opts = StoreOptions::new(MdzConfig::new(ErrorBound::Absolute(1e-3)));
+        opts.buffer_size = 4;
+        opts.epoch_interval = 2;
+        let data = write_store(&frames(20, 8), &[], &[], &opts).unwrap();
+        StoreReader::open(data).unwrap()
+    }
+
+    #[test]
+    fn read_matches_full_read_on_subranges() {
+        let reader = small_store();
+        let full = reader.read_frames(0..20).unwrap();
+        for (start, end) in [(0, 20), (0, 1), (19, 20), (3, 9), (7, 8), (4, 16), (10, 10)] {
+            let part = reader.read_frames(start..end).unwrap();
+            assert_eq!(part, full[start..end], "range {start}..{end}");
+        }
+    }
+
+    #[test]
+    #[allow(clippy::reversed_empty_ranges)] // inverted range is the point
+    fn out_of_bounds_ranges_error() {
+        let reader = small_store();
+        assert!(reader.read_frames(0..21).is_err());
+        assert!(reader.read_frames(5..4).is_err());
+        assert!(reader.read_frames(0..0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cache_hits_and_misses_are_counted() {
+        let reader = small_store();
+        reader.read_frames(0..4).unwrap();
+        let after_first = reader.stats();
+        assert_eq!(after_first.cache_misses, 1);
+        assert_eq!(after_first.cache_hits, 0);
+        reader.read_frames(4..8).unwrap(); // same epoch (K=2, bs=4)
+        let after_second = reader.stats();
+        assert_eq!(after_second.cache_misses, 1);
+        assert_eq!(after_second.cache_hits, 1);
+        assert_eq!(after_second.buffers_decoded, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_epoch() {
+        let mut opts = StoreOptions::new(MdzConfig::new(ErrorBound::Absolute(1e-3)));
+        opts.buffer_size = 2;
+        opts.epoch_interval = 1;
+        let data = write_store(&frames(12, 4), &[], &[], &opts).unwrap();
+        let reader = StoreReader::with_options(
+            data,
+            ReaderOptions { cache_epochs: 2, ..Default::default() },
+        )
+        .unwrap();
+        reader.read_frames(0..2).unwrap(); // epoch 0: miss
+        reader.read_frames(2..4).unwrap(); // epoch 1: miss
+        reader.read_frames(0..2).unwrap(); // epoch 0: hit (now most recent)
+        reader.read_frames(4..6).unwrap(); // epoch 2: miss, evicts epoch 1
+        reader.read_frames(2..4).unwrap(); // epoch 1: miss again
+        let s = reader.stats();
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 4);
+    }
+
+    #[test]
+    fn tight_limits_are_enforced_and_counted() {
+        let reader = {
+            let mut opts = StoreOptions::new(MdzConfig::new(ErrorBound::Absolute(1e-3)));
+            opts.buffer_size = 4;
+            opts.epoch_interval = 2;
+            let data = write_store(&frames(8, 8), &[], &[], &opts).unwrap();
+            StoreReader::open(data).unwrap()
+        };
+        let tight = DecodeLimits { max_snapshots: 1, ..Default::default() };
+        let err = reader.read_frames_limited(0..4, &tight).unwrap_err();
+        assert!(matches!(err, MdzError::LimitExceeded { .. }), "{err:?}");
+        assert_eq!(reader.stats().decode_errors, 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! The `mdzd` serving layer: a TCP accept loop feeding a fixed worker pool,
+//! one [`StoreReader`] clone per connection handler.
+//!
+//! The server is built only on `std::net` / `std::thread`. Each worker owns
+//! a per-connection [`DecodeLimits`] (from [`ServerConfig`]); a request that
+//! would decode past that budget is refused with [`Status::LimitExceeded`]
+//! rather than letting one client monopolize memory. The epoch cache inside
+//! the shared [`StoreReader`] makes concurrent overlapping reads cheap:
+//! whichever connection decodes an epoch first populates it for the rest.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+use mdz_core::DecodeLimits;
+
+use crate::protocol::{
+    encode_error, encode_frames, encode_info, encode_stats, read_message, write_message, Request,
+    Status, StoreInfo, MAX_REQUEST_BODY,
+};
+use crate::reader::StoreReader;
+
+/// Serving-side budgets and sizing.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling connections.
+    pub threads: usize,
+    /// Largest frame count a single GET may request.
+    pub max_frames_per_request: usize,
+    /// Decode budget each connection's reads run under.
+    pub limits: DecodeLimits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { threads: 4, max_frames_per_request: 1 << 20, limits: DecodeLimits::default() }
+    }
+}
+
+/// A bound (but not yet running) store server.
+pub struct Server {
+    listener: TcpListener,
+    reader: StoreReader,
+    cfg: ServerConfig,
+    stop: Arc<AtomicBool>,
+}
+
+/// Shutdown handle for a running [`Server`]; cheap to clone across threads.
+#[derive(Clone)]
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Asks the accept loop to exit. Idempotent; safe from any thread.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept`; poke it awake with a throwaway
+        // connection so it observes the flag without waiting for a client.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(
+        reader: StoreReader,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server { listener, reader, cfg, stop: Arc::new(AtomicBool::new(false)) })
+    }
+
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop [`run`](Self::run) from another thread.
+    pub fn handle(&self) -> std::io::Result<ServerHandle> {
+        Ok(ServerHandle { stop: Arc::clone(&self.stop), addr: self.local_addr()? })
+    }
+
+    /// Accepts connections until [`ServerHandle::shutdown`] is called,
+    /// dispatching each to the worker pool. Returns once every queued
+    /// connection has drained and the workers have joined.
+    pub fn run(self) -> std::io::Result<()> {
+        let Server { listener, reader, cfg, stop } = self;
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = cfg.threads.max(1);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let rx = Arc::clone(&rx);
+                let reader = reader.clone();
+                let cfg = cfg.clone();
+                s.spawn(move || loop {
+                    let conn = rx.lock().unwrap().recv();
+                    match conn {
+                        Ok(stream) => handle_connection(stream, &reader, &cfg),
+                        Err(_) => break, // accept loop gone, queue drained
+                    }
+                });
+            }
+            for conn in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    // Transient accept errors (peer reset mid-handshake, fd
+                    // pressure) should not take the server down.
+                    Err(_) => continue,
+                }
+            }
+            drop(tx);
+        });
+        Ok(())
+    }
+}
+
+/// Serves one connection until the peer closes it or framing breaks.
+fn handle_connection(mut stream: TcpStream, reader: &StoreReader, cfg: &ServerConfig) {
+    loop {
+        let body = match read_message(&mut stream, MAX_REQUEST_BODY) {
+            Ok(Some(body)) => body,
+            Ok(None) => return, // clean close between requests
+            Err(_) => {
+                // Oversized or truncated frame: answer if the socket still
+                // writes, then drop the connection — resync is impossible.
+                reader.record_failed_request();
+                let resp = encode_error(Status::BadRequest, "malformed frame");
+                let _ = write_message(&mut stream, &resp);
+                // Drain (bounded) what the peer already sent before closing,
+                // otherwise the kernel RSTs the error response off the wire.
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+                let _ = std::io::copy(
+                    &mut std::io::Read::take(&mut stream, 1 << 20),
+                    &mut std::io::sink(),
+                );
+                return;
+            }
+        };
+        let response = match Request::parse(&body) {
+            Ok(req) => respond(req, reader, cfg),
+            Err(msg) => encode_error(Status::BadRequest, msg),
+        };
+        reader.record_request(response.len() as u64);
+        if write_message(&mut stream, &response).is_err() {
+            return;
+        }
+        let _ = stream.flush();
+    }
+}
+
+/// Computes the response body for one parsed request.
+fn respond(req: Request, reader: &StoreReader, cfg: &ServerConfig) -> Vec<u8> {
+    match req {
+        Request::Get { start, end } => {
+            if start > end {
+                return encode_error(Status::BadRequest, "start exceeds end");
+            }
+            let span = end - start;
+            if span > cfg.max_frames_per_request as u64 {
+                return encode_error(
+                    Status::LimitExceeded,
+                    "requested span exceeds max_frames_per_request",
+                );
+            }
+            let n_frames = reader.index().n_frames as u64;
+            if end > n_frames {
+                return encode_error(Status::OutOfRange, "frame range past end of archive");
+            }
+            match reader.read_frames_limited(start as usize..end as usize, &cfg.limits) {
+                Ok(frames) => encode_frames(start, reader.index().n_atoms, &frames),
+                Err(e) => encode_error(Status::from_error(&e), &e.to_string()),
+            }
+        }
+        Request::Stats => encode_stats(&reader.stats()),
+        Request::Info => {
+            let idx = reader.index();
+            encode_info(&StoreInfo {
+                version: u64::from(idx.version),
+                n_atoms: idx.n_atoms as u64,
+                n_frames: idx.n_frames as u64,
+                buffer_size: idx.buffer_size as u64,
+                epoch_interval: idx.epoch_interval as u64,
+                n_blocks: idx.blocks.len() as u64,
+            })
+        }
+    }
+}

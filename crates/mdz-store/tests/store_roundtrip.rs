@@ -1,0 +1,239 @@
+//! Store-level correctness properties.
+//!
+//! The central contract: `StoreReader::read_frames(range)` is byte-identical
+//! to slicing `range` out of a full sequential decode of the archive. The
+//! sequential reference here is implemented from the wire format directly
+//! (header scan, record walk, per-axis decompressors reset at epoch
+//! boundaries) so it shares none of the footer/index/cache code under test.
+
+use mdz_core::{Decompressor, ErrorBound, Frame, MdzConfig, Method};
+use mdz_entropy::read_uvarint;
+use mdz_store::{write_store, Precision, StoreOptions, StoreReader};
+
+/// Deterministic pseudo-random walk: jittery but compressible coordinates.
+fn make_frames(n_frames: usize, n_atoms: usize, seed: u64) -> Vec<Frame> {
+    let mut state = seed | 1;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let mut frames = Vec::with_capacity(n_frames);
+    let mut base: Vec<(f64, f64, f64)> = (0..n_atoms)
+        .map(|i| ((i % 9) as f64 * 2.0, (i % 7) as f64 * 3.0, (i % 5) as f64 * 1.5))
+        .collect();
+    for _ in 0..n_frames {
+        for p in base.iter_mut() {
+            p.0 += rnd() * 1e-2;
+            p.1 += rnd() * 1e-2;
+            p.2 += rnd() * 1e-2;
+        }
+        frames.push(Frame::new(
+            base.iter().map(|p| p.0).collect(),
+            base.iter().map(|p| p.1).collect(),
+            base.iter().map(|p| p.2).collect(),
+        ));
+    }
+    frames
+}
+
+/// Sequential reference decode straight off the wire format.
+fn sequential_decode(data: &[u8]) -> Vec<Frame> {
+    assert_eq!(&data[..4], b"MDZA");
+    assert_eq!(data[4], 2, "reference decoder only speaks v2");
+    let f32_source = data[5] & 1 != 0;
+    let mut pos = 6;
+    let n_atoms = read_uvarint(data, &mut pos).unwrap() as usize;
+    let n_frames = read_uvarint(data, &mut pos).unwrap() as usize;
+    let bs = read_uvarint(data, &mut pos).unwrap() as usize;
+    let k = read_uvarint(data, &mut pos).unwrap() as usize;
+    let meta_len = read_uvarint(data, &mut pos).unwrap() as usize;
+    pos += meta_len;
+
+    let n_blocks = n_frames.div_ceil(bs);
+    let mut axes = [Decompressor::new(), Decompressor::new(), Decompressor::new()];
+    let mut frames: Vec<Frame> = Vec::with_capacity(n_frames);
+    for block_idx in 0..n_blocks {
+        if block_idx > 0 && block_idx % k == 0 {
+            // The writer re-anchored here; a sequential decoder must drop
+            // its reference state or later MT buffers decode against stale
+            // snapshots.
+            for d in axes.iter_mut() {
+                d.reset_stream();
+            }
+        }
+        let len = read_uvarint(data, &mut pos).unwrap() as usize;
+        pos += 8; // fnv1a checksum — the reference trusts the bytes
+        let container = &data[pos..pos + len];
+        pos += len;
+        assert_eq!(&container[..4], b"MDZT");
+        let mut cpos = 4;
+        let mut per_axis: Vec<Vec<Vec<f64>>> = Vec::with_capacity(3);
+        for axis in axes.iter_mut() {
+            let blen = read_uvarint(container, &mut cpos).unwrap() as usize;
+            let block = &container[cpos..cpos + blen];
+            cpos += blen;
+            let snaps = if f32_source {
+                axis.decompress_block_f32(block)
+                    .unwrap()
+                    .into_iter()
+                    .map(|s| s.into_iter().map(f64::from).collect())
+                    .collect()
+            } else {
+                axis.decompress_block(block).unwrap()
+            };
+            per_axis.push(snaps);
+        }
+        let [x, y, z]: [Vec<Vec<f64>>; 3] = per_axis.try_into().unwrap();
+        for ((sx, sy), sz) in x.into_iter().zip(y).zip(z) {
+            assert_eq!(sx.len(), n_atoms);
+            frames.push(Frame::new(sx, sy, sz));
+        }
+    }
+    assert_eq!(frames.len(), n_frames);
+    frames
+}
+
+#[test]
+fn every_range_matches_sequential_decode_across_codecs() {
+    let n_frames = 40;
+    let frames = make_frames(n_frames, 16, 0x5eed);
+    let methods = [Method::Adaptive, Method::Vq, Method::Vqt, Method::Mt];
+    let precisions = [Precision::F64, Precision::F32];
+    let intervals = [1usize, 4, 16];
+    for method in methods {
+        for precision in precisions {
+            for k in intervals {
+                let mut opts = StoreOptions::new(
+                    MdzConfig::new(ErrorBound::Absolute(1e-4)).with_method(method),
+                );
+                opts.buffer_size = 4;
+                opts.epoch_interval = k;
+                opts.precision = precision;
+                let data = write_store(&frames, &[], &[], &opts).unwrap();
+                let reference = sequential_decode(&data);
+                let reader = StoreReader::open(data).unwrap();
+                let label = format!("{method:?}/{precision:?}/K={k}");
+                // Every single-buffer range, plus straddling and full spans.
+                let mut ranges: Vec<(usize, usize)> =
+                    (0..n_frames / 4).map(|b| (b * 4, b * 4 + 4)).collect();
+                ranges.extend([(0, n_frames), (3, 21), (15, 17), (39, 40), (0, 1), (6, 6)]);
+                for (start, end) in ranges {
+                    let got = reader.read_frames(start..end).unwrap();
+                    assert_eq!(got, reference[start..end], "{label} range {start}..{end}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn one_buffer_read_decodes_at_most_one_epoch() {
+    // 64 buffers of 2 frames, 4 buffers per epoch → 16 epochs.
+    let frames = make_frames(128, 8, 0xabcd);
+    let mut opts = StoreOptions::new(MdzConfig::new(ErrorBound::Absolute(1e-4)));
+    opts.buffer_size = 2;
+    opts.epoch_interval = 4;
+    let data = write_store(&frames, &[], &[], &opts).unwrap();
+    let reader = StoreReader::open(data).unwrap();
+    assert_eq!(reader.index().blocks.len(), 64);
+    assert_eq!(reader.index().n_epochs(), 16);
+
+    // Buffer 37 holds frames 74..76 and lives in epoch 9 (buffers 36..40).
+    let before = reader.stats().buffers_decoded;
+    let got = reader.read_frames(74..76).unwrap();
+    assert_eq!(got.len(), 2);
+    let decoded = reader.stats().buffers_decoded - before;
+    assert!(
+        decoded <= opts.epoch_interval as u64,
+        "single-buffer read decoded {decoded} buffers — more than one epoch"
+    );
+    // A re-read is pure cache: no further decoding at all.
+    let before = reader.stats().buffers_decoded;
+    reader.read_frames(74..76).unwrap();
+    assert_eq!(reader.stats().buffers_decoded, before);
+}
+
+#[test]
+fn v1_archives_open_as_a_single_epoch() {
+    use mdz_core::checksum::fnv1a64;
+    use mdz_core::traj::{TrajectoryCompressor, TrajectoryDecompressor};
+    use mdz_entropy::write_uvarint;
+    use mdz_lossless::lz77;
+
+    // Hand-rolled v1 archive, matching the `mdz` crate's writer layout.
+    let frames = make_frames(20, 6, 0x11);
+    let bs = 4usize;
+    let mut data = Vec::new();
+    data.extend_from_slice(b"MDZA");
+    data.push(1);
+    write_uvarint(&mut data, 6);
+    write_uvarint(&mut data, 20);
+    write_uvarint(&mut data, bs as u64);
+    let meta = lz77::compress(b"H O\n", lz77::Level::Default);
+    write_uvarint(&mut data, meta.len() as u64);
+    data.extend_from_slice(&meta);
+    let cfg = MdzConfig::new(ErrorBound::Absolute(1e-4)).with_method(Method::Mt);
+    let mut comp = TrajectoryCompressor::new(cfg);
+    for chunk in frames.chunks(bs) {
+        let block = comp.compress_buffer(chunk).unwrap();
+        write_uvarint(&mut data, block.len() as u64);
+        data.extend_from_slice(&fnv1a64(&block).to_le_bytes());
+        data.extend_from_slice(&block);
+    }
+
+    // Sequential reference via the stock trajectory decompressor.
+    let mut reference = Vec::new();
+    {
+        let mut pos = 8; // magic (4) + version (1) + 3 single-byte uvarints
+        let meta_len = read_uvarint(&data, &mut pos).unwrap() as usize;
+        pos += meta_len;
+        let mut dec = TrajectoryDecompressor::new();
+        while pos < data.len() {
+            let len = read_uvarint(&data, &mut pos).unwrap() as usize;
+            pos += 8;
+            reference.extend(dec.decompress_buffer(&data[pos..pos + len]).unwrap());
+            pos += len;
+        }
+    }
+
+    let reader = StoreReader::open(data).unwrap();
+    let idx = reader.index();
+    assert_eq!(idx.version, 1);
+    assert_eq!(idx.epoch_interval, 5, "v1 archive must form one epoch");
+    assert_eq!(idx.n_epochs(), 1);
+    assert_eq!(idx.elements, vec!["H".to_string(), "O".to_string()]);
+    for (start, end) in [(0, 20), (7, 13), (16, 20), (0, 4)] {
+        assert_eq!(reader.read_frames(start..end).unwrap(), reference[start..end]);
+    }
+}
+
+#[test]
+fn f32_store_round_trips_within_bound() {
+    let frames = make_frames(16, 8, 0x22);
+    let eps = 1e-3;
+    let mut opts = StoreOptions::new(MdzConfig::new(ErrorBound::Absolute(eps)));
+    opts.buffer_size = 4;
+    opts.epoch_interval = 2;
+    opts.precision = Precision::F32;
+    let data = write_store(&frames, &[], &[], &opts).unwrap();
+    let reader = StoreReader::open(data).unwrap();
+    assert!(reader.index().f32_source);
+    let got = reader.read_frames(0..16).unwrap();
+    for (orig, dec) in frames.iter().zip(&got) {
+        for axis in 0..3 {
+            let (o, d): (&[f64], &[f64]) = match axis {
+                0 => (&orig.x, &dec.x),
+                1 => (&orig.y, &dec.y),
+                _ => (&orig.z, &dec.z),
+            };
+            for (a, b) in o.iter().zip(d) {
+                // Bound holds against the f32-narrowed source, so allow the
+                // narrowing ulp on top of eps.
+                let narrowed = *a as f32 as f64;
+                assert!((narrowed - b).abs() <= eps * (1.0 + 1e-6), "{a} vs {b}");
+            }
+        }
+    }
+}

@@ -42,4 +42,35 @@ cargo run --release -p mdz-bench --bin experiments -- \
 MDZ_BENCH_JSON="$tmp_out/BENCH_throughput.json" \
     cargo test -p mdz-bench --release --quiet --test throughput_json
 
+echo "==> latency smoke (1 rep, JSON schema check)"
+cargo run --release -p mdz-bench --bin experiments -- \
+    --scale test --reps 1 --out "$tmp_out" latency > /dev/null
+MDZ_BENCH_JSON="$tmp_out/BENCH_latency.json" \
+    cargo test -p mdz-bench --release --quiet --test latency_json
+
+# Store smoke: compress simulated frames into a version-2 archive, serve
+# it on an ephemeral loopback port, and require the served range to
+# byte-match a local random-access read before shutting the server down.
+echo "==> store smoke (archive -> serve -> query -> stats -> shutdown)"
+mdz=target/release/mdz
+"$mdz" gen lj "$tmp_out/traj.xyz" --scale test --seed 7 > /dev/null
+"$mdz" store "$tmp_out/traj.xyz" "$tmp_out/traj.mdz" --bs 1 --epoch 2 > /dev/null
+"$mdz" get "$tmp_out/traj.mdz" 1..3 > "$tmp_out/local.txt" 2> /dev/null
+"$mdz" serve "$tmp_out/traj.mdz" 127.0.0.1:0 --threads 2 2> "$tmp_out/serve.log" &
+server_pid=$!
+trap 'kill "$server_pid" 2> /dev/null; rm -rf "$tmp_out"' EXIT
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/.* on //p' "$tmp_out/serve.log" | head -n 1)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "store smoke: server did not start"; exit 1; }
+"$mdz" query "$addr" 1..3 > "$tmp_out/remote.txt" 2> /dev/null
+cmp "$tmp_out/local.txt" "$tmp_out/remote.txt"
+"$mdz" stats "$addr" | grep -q "^requests:"
+kill "$server_pid"
+wait "$server_pid" 2> /dev/null || true
+trap 'rm -rf "$tmp_out"' EXIT
+
 echo "verify: all checks passed"

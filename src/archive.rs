@@ -17,20 +17,11 @@
 //! losslessly so `compress → decompress` reproduces a valid XYZ file.
 
 use crate::xyz::XyzTrajectory;
+use mdz_core::checksum::fnv1a64 as fnv1a;
 use mdz_core::traj::TrajectoryDecompressor;
 use mdz_core::{Frame, MdzConfig, MdzError, TrajectoryCompressor};
 use mdz_entropy::{read_uvarint, write_uvarint};
 use mdz_lossless::lz77;
-
-/// FNV-1a 64-bit checksum.
-fn fnv1a(data: &[u8]) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    for &b in data {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
 
 const MAGIC: [u8; 4] = *b"MDZA";
 const VERSION: u8 = 1;

@@ -7,11 +7,22 @@
 //! mdz extract    <in.mdz> <frame-index>
 //! mdz verify     <original.xyz> <compressed.mdz>
 //! mdz gen        <dataset> <out.xyz> [--scale test|small|full] [--seed N]
+//! mdz store      <in.xyz> <out.mdz> [--bs N] [--epoch K] [--f32] [bound/method flags]
+//! mdz get        <in.mdz> <start..end>
+//! mdz serve      <in.mdz> <addr> [--threads N]
+//! mdz query      <addr> <start..end>
+//! mdz stats      <addr>
 //! ```
+//!
+//! `store` writes the indexed container version 2 (epoch re-anchors +
+//! footer index); `get` random-access-reads it locally; `serve`/`query`/
+//! `stats` speak the `mdzd` TCP protocol. `decompress` and `info` accept
+//! both container versions.
 
 use mdz::archive;
-use mdz::core::{EntropyStage, ErrorBound, MdzConfig, Method};
+use mdz::core::{EntropyStage, ErrorBound, Frame, MdzConfig, Method};
 use mdz::sim::{datasets, DatasetKind, Scale};
+use mdz::store::{write_store, Client, Precision, Server, ServerConfig, StoreOptions, StoreReader};
 use mdz::xyz;
 use std::process::exit;
 
@@ -56,6 +67,9 @@ struct Opts {
     range_coded: bool,
     scale: Scale,
     seed: u64,
+    epoch: usize,
+    f32: bool,
+    threads: usize,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -68,6 +82,9 @@ fn parse_opts(args: &[String]) -> Opts {
         range_coded: false,
         scale: Scale::Small,
         seed: 20220707,
+        epoch: 8,
+        f32: false,
+        threads: 4,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -80,6 +97,11 @@ fn parse_opts(args: &[String]) -> Opts {
             "--bs" => o.bs = value("--bs").parse().unwrap_or_else(|_| fail("bad --bs")),
             "--method" => o.method = parse_method(&value("--method")),
             "--range-coded" => o.range_coded = true,
+            "--epoch" => o.epoch = value("--epoch").parse().unwrap_or_else(|_| fail("bad --epoch")),
+            "--f32" => o.f32 = true,
+            "--threads" => {
+                o.threads = value("--threads").parse().unwrap_or_else(|_| fail("bad --threads"))
+            }
             "--seed" => o.seed = value("--seed").parse().unwrap_or_else(|_| fail("bad --seed")),
             "--scale" => {
                 o.scale = match value("--scale").as_str() {
@@ -96,10 +118,45 @@ fn parse_opts(args: &[String]) -> Opts {
     o
 }
 
+/// Parses a `start..end` frame range.
+fn parse_range(s: &str) -> std::ops::Range<usize> {
+    let Some((a, b)) = s.split_once("..") else {
+        fail("range must look like <start>..<end>");
+    };
+    let start = a.parse().unwrap_or_else(|_| fail("bad range start"));
+    let end = b.parse().unwrap_or_else(|_| fail("bad range end"));
+    start..end
+}
+
+/// Chooses the error bound from `--abs` / `--eps` (value-range-relative
+/// 1e-3 by default, matching `compress`).
+fn bound_from(o: &Opts) -> ErrorBound {
+    match (o.abs, o.eps) {
+        (Some(a), _) => ErrorBound::Absolute(a),
+        (None, Some(r)) => ErrorBound::ValueRangeRelative(r),
+        (None, None) => ErrorBound::ValueRangeRelative(1e-3),
+    }
+}
+
+/// Prints frames in the same per-atom layout `extract` uses.
+fn print_frames(start: usize, frames: &[Frame]) {
+    for (off, f) in frames.iter().enumerate() {
+        println!("# frame {}", start + off);
+        for i in 0..f.len() {
+            println!("X {:.10} {:.10} {:.10}", f.x[i], f.y[i], f.z[i]);
+        }
+    }
+}
+
+/// True when the blob is an indexed (container version 2) archive.
+fn is_v2_archive(blob: &[u8]) -> bool {
+    blob.get(..4) == Some(b"MDZA") && blob.get(4) == Some(&2)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: mdz <compress|decompress|info|extract|verify|gen> …");
+        eprintln!("usage: mdz <compress|decompress|info|extract|verify|gen|store|get|serve|query|stats> …");
         exit(2);
     };
     let o = parse_opts(rest);
@@ -111,12 +168,7 @@ fn main() {
             let text = std::fs::read_to_string(input)
                 .unwrap_or_else(|e| fail(&format!("reading {input}: {e}")));
             let traj = xyz::parse(&text).unwrap_or_else(|e| fail(&format!("parsing {input}: {e}")));
-            let bound = match (o.abs, o.eps) {
-                (Some(a), _) => ErrorBound::Absolute(a),
-                (None, Some(r)) => ErrorBound::ValueRangeRelative(r),
-                (None, None) => ErrorBound::ValueRangeRelative(1e-3),
-            };
-            let mut cfg = MdzConfig::new(bound).with_method(o.method);
+            let mut cfg = MdzConfig::new(bound_from(&o)).with_method(o.method);
             if o.range_coded {
                 cfg = cfg.with_entropy(EntropyStage::Range);
             }
@@ -140,8 +192,23 @@ fn main() {
             };
             let blob =
                 std::fs::read(input).unwrap_or_else(|e| fail(&format!("reading {input}: {e}")));
-            let traj =
-                archive::decompress(&blob).unwrap_or_else(|e| fail(&format!("decompressing: {e}")));
+            // Indexed (v2) archives go through the store reader; v1 through
+            // the streaming decompressor.
+            let traj = if is_v2_archive(&blob) {
+                let reader = StoreReader::open(blob)
+                    .unwrap_or_else(|e| fail(&format!("opening store: {e}")));
+                let n = reader.index().n_frames;
+                let frames = reader
+                    .read_frames(0..n)
+                    .unwrap_or_else(|e| fail(&format!("decompressing: {e}")));
+                xyz::XyzTrajectory {
+                    elements: reader.index().elements.clone(),
+                    comments: reader.index().comments.clone(),
+                    frames,
+                }
+            } else {
+                archive::decompress(&blob).unwrap_or_else(|e| fail(&format!("decompressing: {e}")))
+            };
             std::fs::write(output, xyz::write(&traj))
                 .unwrap_or_else(|e| fail(&format!("writing {output}: {e}")));
             println!("restored {} frames × {} atoms", traj.frames.len(), traj.frames[0].len());
@@ -152,6 +219,26 @@ fn main() {
             };
             let blob =
                 std::fs::read(input).unwrap_or_else(|e| fail(&format!("reading {input}: {e}")));
+            if is_v2_archive(&blob) {
+                let total_bytes = blob.len();
+                let reader = StoreReader::open(blob)
+                    .unwrap_or_else(|e| fail(&format!("opening store: {e}")));
+                let idx = reader.index();
+                let raw = idx.n_frames * idx.n_atoms * 24;
+                println!("atoms:          {}", idx.n_atoms);
+                println!("frames:         {}", idx.n_frames);
+                println!("buffer size:    {}", idx.buffer_size);
+                println!("blocks:         {}", idx.blocks.len());
+                println!("epoch interval: {}", idx.epoch_interval);
+                println!("epochs:         {}", idx.n_epochs());
+                println!("precision:      {}", if idx.f32_source { "f32" } else { "f64" });
+                println!(
+                    "size:           {} bytes ({:.1}x vs raw f64)",
+                    total_bytes,
+                    raw as f64 / total_bytes as f64
+                );
+                return;
+            }
             let i = archive::info(&blob).unwrap_or_else(|e| fail(&format!("parsing: {e}")));
             let raw = i.n_frames * i.n_atoms * 24;
             println!("atoms:       {}", i.n_atoms);
@@ -243,8 +330,104 @@ fn main() {
                 .unwrap_or_else(|e| fail(&format!("writing {output}: {e}")));
             println!("wrote {} — {} frames × {} atoms", output, d.len(), d.atoms());
         }
+        "store" => {
+            let [input, output] = &o.positional[..] else {
+                fail("store needs <in.xyz> <out.mdz>");
+            };
+            let text = std::fs::read_to_string(input)
+                .unwrap_or_else(|e| fail(&format!("reading {input}: {e}")));
+            let traj = xyz::parse(&text).unwrap_or_else(|e| fail(&format!("parsing {input}: {e}")));
+            let mut cfg = MdzConfig::new(bound_from(&o)).with_method(o.method);
+            if o.range_coded {
+                cfg = cfg.with_entropy(EntropyStage::Range);
+            }
+            let mut opts = StoreOptions::new(cfg);
+            opts.buffer_size = o.bs;
+            opts.epoch_interval = o.epoch;
+            opts.precision = if o.f32 { Precision::F32 } else { Precision::F64 };
+            let blob = write_store(&traj.frames, &traj.elements, &traj.comments, &opts)
+                .unwrap_or_else(|e| fail(&format!("compressing: {e}")));
+            std::fs::write(output, &blob)
+                .unwrap_or_else(|e| fail(&format!("writing {output}: {e}")));
+            let raw = traj.frames.len() * traj.frames[0].len() * 24;
+            println!(
+                "{} frames × {} atoms in {} epochs: {} → {} bytes ({:.1}x)",
+                traj.frames.len(),
+                traj.frames[0].len(),
+                traj.frames.chunks(o.bs.max(1)).count().div_ceil(o.epoch.max(1)),
+                raw,
+                blob.len(),
+                raw as f64 / blob.len() as f64
+            );
+        }
+        "get" => {
+            let [input, range_str] = &o.positional[..] else {
+                fail("get needs <in.mdz> <start..end>");
+            };
+            let range = parse_range(range_str);
+            let blob =
+                std::fs::read(input).unwrap_or_else(|e| fail(&format!("reading {input}: {e}")));
+            let reader =
+                StoreReader::open(blob).unwrap_or_else(|e| fail(&format!("opening store: {e}")));
+            let frames = reader
+                .read_frames(range.clone())
+                .unwrap_or_else(|e| fail(&format!("reading frames: {e}")));
+            print_frames(range.start, &frames);
+            let s = reader.stats();
+            eprintln!(
+                "read {} frames ({} buffers decoded, {} cache hits)",
+                frames.len(),
+                s.buffers_decoded,
+                s.cache_hits
+            );
+        }
+        "serve" => {
+            let [input, addr] = &o.positional[..] else {
+                fail("serve needs <in.mdz> <addr>");
+            };
+            let blob =
+                std::fs::read(input).unwrap_or_else(|e| fail(&format!("reading {input}: {e}")));
+            let reader =
+                StoreReader::open(blob).unwrap_or_else(|e| fail(&format!("opening store: {e}")));
+            let cfg = ServerConfig { threads: o.threads, ..Default::default() };
+            let server = Server::bind(reader, addr.as_str(), cfg)
+                .unwrap_or_else(|e| fail(&format!("binding {addr}: {e}")));
+            let local = server.local_addr().unwrap_or_else(|e| fail(&format!("local addr: {e}")));
+            eprintln!("mdz: serving {input} on {local}");
+            server.run().unwrap_or_else(|e| fail(&format!("serving: {e}")));
+        }
+        "query" => {
+            let [addr, range_str] = &o.positional[..] else {
+                fail("query needs <addr> <start..end>");
+            };
+            let range = parse_range(range_str);
+            let mut client = Client::connect(addr.as_str())
+                .unwrap_or_else(|e| fail(&format!("connecting {addr}: {e}")));
+            let frames = client.get(range.clone()).unwrap_or_else(|e| fail(&format!("query: {e}")));
+            print_frames(range.start, &frames);
+            eprintln!("fetched {} frames from {addr}", frames.len());
+        }
+        "stats" => {
+            let [addr] = &o.positional[..] else {
+                fail("stats needs <addr>");
+            };
+            let mut client = Client::connect(addr.as_str())
+                .unwrap_or_else(|e| fail(&format!("connecting {addr}: {e}")));
+            let s = client.stats().unwrap_or_else(|e| fail(&format!("stats: {e}")));
+            let i = client.info().unwrap_or_else(|e| fail(&format!("info: {e}")));
+            println!(
+                "archive:         v{} · {} frames × {} atoms",
+                i.version, i.n_frames, i.n_atoms
+            );
+            println!("requests:        {}", s.requests);
+            println!("bytes out:       {}", s.bytes_out);
+            println!("cache hits:      {}", s.cache_hits);
+            println!("cache misses:    {}", s.cache_misses);
+            println!("decode errors:   {}", s.decode_errors);
+            println!("buffers decoded: {}", s.buffers_decoded);
+        }
         _ => {
-            eprintln!("usage: mdz <compress|decompress|info|extract|verify|gen> …");
+            eprintln!("usage: mdz <compress|decompress|info|extract|verify|gen|store|get|serve|query|stats> …");
             exit(2);
         }
     }

@@ -9,7 +9,9 @@
 //! * [`baselines`] — re-implementations of the paper's comparison compressors,
 //! * [`lossless`] — from-scratch LZ77/Gorilla/FPC lossless codecs,
 //! * [`kmeans`] — optimal 1-D k-means used by the VQ predictor,
-//! * [`entropy`] — bit I/O, varints, and canonical Huffman coding.
+//! * [`entropy`] — bit I/O, varints, and canonical Huffman coding,
+//! * [`store`] — the random-access indexed trajectory store and `mdzd`
+//!   query server.
 //!
 //! # Quickstart
 //!
@@ -42,3 +44,4 @@ pub use mdz_entropy as entropy;
 pub use mdz_kmeans as kmeans;
 pub use mdz_lossless as lossless;
 pub use mdz_sim as sim;
+pub use mdz_store as store;
