@@ -26,5 +26,5 @@ pub mod similarity;
 pub use dynamics::{msd_axis, msd_curve, vacf};
 pub use error::{bit_rate, compression_ratio, max_error, nrmse, psnr, ErrorStats};
 pub use histogram::Histogram;
-pub use rdf::{rdf, RdfConfig};
+pub use rdf::{first_peak, rdf, rdf_distance, RdfConfig};
 pub use similarity::similarity;

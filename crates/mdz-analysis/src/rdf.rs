@@ -152,6 +152,18 @@ pub fn rdf_distance(g1: &[f64], g2: &[f64]) -> f64 {
     g1.iter().zip(g2.iter()).map(|(a, b)| (a - b).abs()).sum::<f64>() / g1.len() as f64
 }
 
+/// The center of the first bin where `g` rises above `threshold` — the
+/// location of the RDF's first coordination shell.
+///
+/// Returns `None` when no bin exceeds the threshold (a flat or empty
+/// curve), rather than treating "no structure" as a programming error:
+/// heavily compressed or gas-like data legitimately has no peak. The
+/// global argmax is deliberately not used — in a crystal the second shell
+/// can out-count the first (12 neighbours at `a·√2` versus 6 at `a`).
+pub fn first_peak(centers: &[f64], g: &[f64], threshold: f64) -> Option<f64> {
+    centers.iter().zip(g.iter()).find(|&(_, &v)| v > threshold).map(|(c, _)| *c)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,15 +216,8 @@ mod tests {
         }
         let (centers, g) = rdf(&x, &y, &z, &RdfConfig { box_len: l, r_max: 4.0, bins: 40 });
         // First peak: the first bin where g rises well above the gas level.
-        // (The global max may be the second shell — 12 neighbours at a·√2
-        // versus 6 at a — so we must not assert on argmax.)
-        let first_peak = centers
-            .iter()
-            .zip(g.iter())
-            .find(|&(_, &v)| v > 3.0)
-            .map(|(c, _)| *c)
-            .expect("no peak found");
-        assert!((first_peak - 2.0).abs() < 0.15, "first peak at {first_peak}");
+        let peak = first_peak(&centers, &g, 3.0).expect("crystal RDF must have a first shell");
+        assert!((peak - 2.0).abs() < 0.15, "first peak at {peak}");
         // No pairs below the lattice spacing.
         for (c, &v) in centers.iter().zip(g.iter()) {
             if *c < 1.8 {
@@ -242,6 +247,19 @@ mod tests {
         let g = vec![0.5, 1.0, 1.5];
         assert_eq!(rdf_distance(&g, &g), 0.0);
         assert!((rdf_distance(&g, &[0.5, 1.0, 2.5]) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_peak_is_none_for_flat_or_empty_curves() {
+        // A flat ideal-gas curve never crosses a threshold above 1.
+        let centers: Vec<f64> = (0..10).map(|b| b as f64 * 0.5 + 0.25).collect();
+        let flat = vec![1.0; 10];
+        assert_eq!(first_peak(&centers, &flat, 3.0), None);
+        // Empty histograms have no peak either.
+        assert_eq!(first_peak(&[], &[], 0.0), None);
+        // The first crossing wins even when a later bin is taller.
+        let bumpy = vec![0.0, 4.0, 1.0, 9.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        assert_eq!(first_peak(&centers, &bumpy, 3.0), Some(centers[1]));
     }
 
     #[test]

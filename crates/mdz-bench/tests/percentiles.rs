@@ -1,0 +1,76 @@
+//! Property-style coverage for [`TimingSummary`]'s nearest-rank
+//! percentiles: for every sample count up to 300 the p50/p99 the summary
+//! reports must equal the textbook integer-arithmetic nearest rank, and
+//! the float-epsilon guard in the rank computation must never produce an
+//! out-of-range index (the loop would panic if it did).
+
+use mdz_bench::TimingSummary;
+
+/// Distinct, unsorted samples so rank k maps to exactly one value and the
+/// summary's internal sort is actually exercised. Sorted value at rank k
+/// (1-based) is `k as f64 * 0.25`.
+fn samples(n: usize) -> Vec<f64> {
+    let mut s: Vec<f64> = (1..=n).map(|k| k as f64 * 0.25).collect();
+    s.reverse();
+    // Interleave a little so the order is not merely reversed.
+    if n >= 4 {
+        s.swap(0, n / 2);
+        s.swap(1, n - 2);
+    }
+    s
+}
+
+/// Textbook nearest-rank: the ⌈p·n⌉-th smallest sample (1-based), with the
+/// ceiling computed in exact integer arithmetic for p = percent/100.
+fn reference_rank(percent: usize, n: usize) -> usize {
+    ((percent * n).div_ceil(100)).clamp(1, n)
+}
+
+#[test]
+fn p50_and_p99_match_integer_nearest_rank_for_all_counts_up_to_300() {
+    for n in 1..=300 {
+        let summary = TimingSummary::from_samples(&samples(n));
+        assert_eq!(summary.reps, n);
+        for (percent, got) in [(50, summary.p50), (99, summary.p99)] {
+            let want = reference_rank(percent, n) as f64 * 0.25;
+            assert_eq!(got, want, "p{percent} with {n} samples");
+        }
+        // min/median sanity while we are here: both derive from the same
+        // sorted array, so a bad sort would surface in all three.
+        assert_eq!(summary.min, 0.25, "min with {n} samples");
+    }
+}
+
+#[test]
+fn boundary_rep_counts() {
+    // n = 1: every percentile is the single sample.
+    let one = TimingSummary::from_samples(&[7.5]);
+    assert_eq!((one.p50, one.p99, one.median), (7.5, 7.5, 7.5));
+
+    // n = 2: p50 is the first sample (⌈0.5·2⌉ = 1), p99 the second, and
+    // the median averages the pair.
+    let two = TimingSummary::from_samples(&[4.0, 2.0]);
+    assert_eq!((two.p50, two.p99), (2.0, 4.0));
+    assert_eq!(two.median, 3.0);
+
+    // n = 99: ⌈0.99·99⌉ = 99 — the maximum, not sample 98. A naive
+    // `(0.99 * 99.0).ceil()` gets this right only because the guard's
+    // epsilon is far smaller than the 0.01 slack; assert it explicitly.
+    let ninety_nine = TimingSummary::from_samples(&samples(99));
+    assert_eq!(ninety_nine.p99, 99.0 * 0.25);
+
+    // n = 100: 0.99 × 100 is exactly 99 in f64; the epsilon guard must
+    // keep the ceiling at 99 (second-largest), not let it round to 100.
+    let hundred = TimingSummary::from_samples(&samples(100));
+    assert_eq!(hundred.p99, 99.0 * 0.25);
+    assert_eq!(hundred.p50, 50.0 * 0.25);
+}
+
+#[test]
+fn degenerate_inputs_stay_in_range() {
+    // Empty input is all zeros, not a panic.
+    assert_eq!(TimingSummary::from_samples(&[]), TimingSummary::default());
+    // Identical samples: every percentile is that value.
+    let flat = TimingSummary::from_samples(&[1.5; 64]);
+    assert_eq!((flat.p50, flat.p99, flat.min, flat.mean), (1.5, 1.5, 1.5, 1.5));
+}

@@ -62,6 +62,7 @@ pub use bound::ErrorBound;
 pub use buffer::{BlockInfo, Compressor, DecodeLimits, Decompressor};
 pub use codec::{Codec, MdzCodec};
 pub use format::Method;
+pub use mdz_obs::{Obs, Recorder};
 pub use pipeline::parallel::ParallelOptions;
 pub use quant::LinearQuantizer;
 pub use traj::{

@@ -19,6 +19,7 @@ use mdz_entropy::range::range_encode_into;
 use mdz_entropy::{write_uvarint, zigzag_encode, HuffmanScratch, RangeScratch};
 use mdz_kmeans::{detect_levels, LevelGrid, SelectConfig};
 use mdz_lossless::lz77::{self, Lz77Scratch};
+use mdz_obs::Obs;
 
 use super::predict::{snapshot_modes_into, Predictor, SnapshotMode};
 use super::{CoreState, StateDelta};
@@ -54,6 +55,9 @@ pub(crate) struct EncodeScratch {
 
 /// Encodes one buffer with a concrete method into `out` (cleared first),
 /// returning the state transition for the caller to commit.
+///
+/// `obs` records per-stage timings (`core.encode.*_seconds`) and pipeline
+/// counters; pass a no-op handle to skip all measurement.
 pub(crate) fn encode_buffer_into(
     cfg: &MdzConfig,
     state: &CoreState,
@@ -61,6 +65,7 @@ pub(crate) fn encode_buffer_into(
     snapshots: &[Vec<f64>],
     out: &mut Vec<u8>,
     scratch: &mut EncodeScratch,
+    obs: &Obs,
 ) -> Result<StateDelta> {
     let m = snapshots.len();
     let n = snapshots[0].len();
@@ -122,6 +127,10 @@ pub(crate) fn encode_buffer_into(
                 ..Default::default()
             };
             let detected = detect_levels(&snapshots[0], &sel);
+            obs.incr("core.grid.detect_runs", 1);
+            if detected.is_some() {
+                obs.incr("core.grid.detected", 1);
+            }
             delta.grid = Some(detected);
             detected
         } else {
@@ -142,6 +151,10 @@ pub(crate) fn encode_buffer_into(
     recon_cur.resize(n, 0.0);
     recon_first.clear();
 
+    // Prediction and quantization are one fused loop in this pipeline
+    // (each value is predicted and immediately quantized against the
+    // prediction), so they are timed as a single stage.
+    let predict_quantize = obs.span("core.encode.predict_quantize_seconds");
     for (s_idx, snap) in snapshots.iter().enumerate() {
         let mode = modes[s_idx];
         match mode {
@@ -206,6 +219,10 @@ pub(crate) fn encode_buffer_into(
         std::mem::swap(recon_prev2, recon_prev);
         std::mem::swap(recon_prev, recon_cur);
     }
+    predict_quantize.finish();
+    obs.incr("core.encode.buffers", 1);
+    obs.incr("core.encode.values", (m * n) as u64);
+    obs.incr("core.encode.escapes", escapes.len() as u64);
 
     // Reference-update rule (mirrored by the decompressor). The clone
     // happens at most once per stream — steady state stays allocation-free.
@@ -230,6 +247,7 @@ pub(crate) fn encode_buffer_into(
     };
 
     inner.clear();
+    let entropy = obs.span("core.encode.entropy_seconds");
     match cfg.entropy {
         EntropyStage::Huffman => {
             huffman_encode_into(b_ord, inner, huffman);
@@ -240,6 +258,7 @@ pub(crate) fn encode_buffer_into(
             range_encode_into(j_ord, inner, range);
         }
     }
+    entropy.finish();
     write_uvarint(inner, escapes.len() as u64);
     let mut prev_idx = 0u64;
     for (i, &(idx, v)) in escapes.iter().enumerate() {
@@ -250,7 +269,10 @@ pub(crate) fn encode_buffer_into(
     }
 
     payload.clear();
-    lz77::compress_into(inner, lz77::Level::Default, payload, lz);
+    {
+        let _t = obs.span("core.encode.lossless_seconds");
+        lz77::compress_into(inner, lz77::Level::Default, payload, lz);
+    }
     let mut flags = 0u8;
     let grid_used = matches!(method, Method::Vq | Method::Vqt) && grid.is_some();
     if grid_used {

@@ -46,6 +46,7 @@ use encode::{encode_buffer_into, EncodeScratch};
 use mdz_entropy::{read_uvarint, StreamLimits};
 use mdz_kmeans::LevelGrid;
 use mdz_lossless::lz77;
+use mdz_obs::Obs;
 
 /// Decode-side resource budget enforced before any header-driven allocation.
 ///
@@ -161,6 +162,8 @@ pub struct Compressor {
     trial_best: Vec<u8>,
     /// Block being encoded by the current adaptive candidate.
     trial_cur: Vec<u8>,
+    /// Metrics handle; a no-op unless a recorder was attached.
+    obs: Obs,
 }
 
 impl Compressor {
@@ -173,7 +176,15 @@ impl Compressor {
             scratch: EncodeScratch::default(),
             trial_best: Vec::new(),
             trial_cur: Vec::new(),
+            obs: Obs::noop(),
         }
+    }
+
+    /// Attaches a metrics handle; every subsequent buffer records
+    /// per-stage timings and pipeline counters through it. The default
+    /// handle is a no-op, so un-instrumented use costs nothing.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The configured method (possibly [`Method::Adaptive`]).
@@ -238,6 +249,7 @@ impl Compressor {
                     snapshots,
                     out,
                     &mut self.scratch,
+                    &self.obs,
                 )?;
                 self.state.apply(delta);
                 Ok(())
@@ -277,6 +289,7 @@ impl Compressor {
                     snapshots,
                     &mut self.trial_cur,
                     &mut self.scratch,
+                    &self.obs,
                 )?;
                 if best.is_none() || self.trial_cur.len() < self.trial_best.len() {
                     std::mem::swap(&mut self.trial_best, &mut self.trial_cur);
@@ -286,17 +299,38 @@ impl Compressor {
             let (delta, method) = best.expect("candidates evaluated");
             self.state.apply(delta);
             self.adaptive.record_winner(method);
+            self.obs.incr("core.adp.trials", 1);
+            self.obs.incr(adp_win_counter(method), 1);
             out.clear();
             out.extend_from_slice(&self.trial_best);
             Ok(())
         } else {
             let m = self.adaptive.current().expect("winner recorded at first trial");
             self.adaptive.tick();
-            let delta =
-                encode_buffer_into(&self.cfg, &self.state, m, snapshots, out, &mut self.scratch)?;
+            let delta = encode_buffer_into(
+                &self.cfg,
+                &self.state,
+                m,
+                snapshots,
+                out,
+                &mut self.scratch,
+                &self.obs,
+            )?;
             self.state.apply(delta);
             Ok(())
         }
+    }
+}
+
+/// The ADP winner counter for a concrete method.
+fn adp_win_counter(method: Method) -> &'static str {
+    match method {
+        Method::Vq => "core.adp.win.vq",
+        Method::Vqt => "core.adp.win.vqt",
+        Method::Mt => "core.adp.win.mt",
+        Method::Mt2 => "core.adp.win.mt2",
+        // ADP trials only ever record concrete winners.
+        Method::Adaptive => "core.adp.win.other",
     }
 }
 
@@ -306,6 +340,7 @@ pub struct Decompressor {
     reference: Option<Vec<f64>>,
     scratch: DecodeScratch,
     limits: DecodeLimits,
+    obs: Obs,
 }
 
 /// Parsed block metadata returned by [`Decompressor::inspect`].
@@ -348,6 +383,12 @@ impl Decompressor {
     /// Replaces the decode budget applied to subsequent blocks.
     pub fn set_limits(&mut self, limits: DecodeLimits) {
         self.limits = limits;
+    }
+
+    /// Attaches a metrics handle; subsequent blocks record per-stage
+    /// decode timings through it (no-op by default).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The decode budget currently in force.
@@ -463,8 +504,14 @@ impl Decompressor {
             .filter(|&e| e <= block.len())
             .ok_or(MdzError::BadHeader("truncated payload"))?;
         let budget = self.limits.inner_budget(header.n_snapshots * header.n_values);
-        lz77::decompress_into_limited(&block[pos..end], &mut self.scratch.inner, &budget)?;
+        {
+            let _t = self.obs.span("core.decode.lossless_seconds");
+            lz77::decompress_into_limited(&block[pos..end], &mut self.scratch.inner, &budget)?;
+        }
+        let reconstruct = self.obs.span("core.decode.reconstruct_seconds");
         let snapshots = decode_inner(&header, self.reference.as_deref(), &mut self.scratch)?;
+        reconstruct.finish();
+        self.obs.incr("core.decode.blocks", 1);
         // Mirror the compressor's reference-update rule.
         if self.reference.as_ref().is_none_or(|r| r.len() != header.n_values) {
             self.reference = Some(snapshots[0].clone());

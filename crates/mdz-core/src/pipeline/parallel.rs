@@ -40,6 +40,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use mdz_obs::Obs;
+
 use crate::format::BlockHeader;
 use crate::{MdzConfig, Method, Result};
 
@@ -97,9 +99,14 @@ impl ParallelOptions {
 /// next unclaimed block — coarse-grained work stealing without a deque.
 /// With `workers <= 1` or fewer than two jobs everything runs inline on
 /// the caller thread.
+///
+/// `obs` records one `core.parallel.worker_jobs` observation per worker
+/// (the inline path counts as a single worker), exposing how evenly the
+/// atomic-cursor scheduler spread the batch.
 fn fan_out<J, C, R>(
     jobs: &[J],
     workers: usize,
+    obs: &Obs,
     make_ctx: impl Fn() -> C + Sync,
     run: impl Fn(&mut C, &J) -> R + Sync,
 ) -> Vec<R>
@@ -109,6 +116,9 @@ where
 {
     if workers <= 1 || jobs.len() <= 1 {
         let mut ctx = make_ctx();
+        if !jobs.is_empty() {
+            obs.observe("core.parallel.worker_jobs", jobs.len() as f64);
+        }
         return jobs.iter().map(|j| run(&mut ctx, j)).collect();
     }
     let threads = workers.min(jobs.len());
@@ -135,6 +145,7 @@ where
         for handle in handles {
             match handle.join() {
                 Ok(local) => {
+                    obs.observe("core.parallel.worker_jobs", local.len() as f64);
                     for (i, r) in local {
                         slots[i] = Some(r);
                     }
@@ -173,7 +184,11 @@ pub(crate) fn compress_streams<'a>(
 ) -> Vec<Vec<Result<Vec<u8>>>> {
     let mut outs: Vec<Vec<Option<Result<Vec<u8>>>>> =
         streams.iter().map(|(_, bufs)| (0..bufs.len()).map(|_| None).collect()).collect();
+    // Engine-wide metrics (queue depth, worker spread) go to the first
+    // stream's recorder; per-block counters go to each block's own stream.
+    let engine_obs = streams.first().map(|(c, _)| c.obs.clone()).unwrap_or_default();
     let mut cfgs: Vec<MdzConfig> = Vec::with_capacity(streams.len());
+    let mut obses: Vec<Obs> = Vec::with_capacity(streams.len());
     let mut epochs: Vec<CoreState> = Vec::new();
     let mut jobs: Vec<EncodeJob<'a>> = Vec::new();
     let mut slot_of: Vec<(usize, usize)> = Vec::new(); // job slot -> (stream, buffer)
@@ -182,6 +197,7 @@ pub(crate) fn compress_streams<'a>(
     // order; defer the rest against an epoch snapshot of the stream state.
     for (si, (comp, bufs)) in streams.into_iter().enumerate() {
         cfgs.push(comp.cfg.clone());
+        obses.push(comp.obs.clone());
         // Epoch index currently valid for this stream (`None` right after
         // a state-changing encode, so the next deferral re-snapshots).
         let mut cur_epoch: Option<usize> = None;
@@ -219,9 +235,11 @@ pub(crate) fn compress_streams<'a>(
                     epochs.push(comp.state.clone());
                     epochs.len() - 1
                 });
+                comp.obs.incr("core.parallel.deferred_blocks", 1);
                 jobs.push(EncodeJob { cfg: si, epoch, method, snapshots: buf });
                 slot_of.push((si, slot));
             } else {
+                comp.obs.incr("core.parallel.serial_blocks", 1);
                 let mut block = Vec::new();
                 let r = comp.compress_buffer_into(buf, &mut block);
                 outs[si][slot] = Some(r.map(|()| block));
@@ -232,9 +250,11 @@ pub(crate) fn compress_streams<'a>(
 
     // Phase 2: fan the deferred blocks out. Each worker owns one scratch
     // workspace for its lifetime (zero-alloc steady state per worker).
+    engine_obs.gauge("core.parallel.queue_depth", jobs.len() as u64);
     let results = fan_out(
         &jobs,
         workers,
+        &engine_obs,
         EncodeScratch::default,
         |scratch: &mut EncodeScratch, job: &EncodeJob<'a>| {
             let mut block = Vec::new();
@@ -245,6 +265,7 @@ pub(crate) fn compress_streams<'a>(
                 job.snapshots,
                 &mut block,
                 scratch,
+                &obses[job.cfg],
             );
             r.map(|delta| {
                 debug_assert!(
@@ -288,13 +309,16 @@ pub(crate) fn decompress_streams(
     type SlotResults = Vec<Option<Result<Vec<Vec<f64>>>>>;
     let mut outs: Vec<SlotResults> =
         streams.iter().map(|(_, blocks)| (0..blocks.len()).map(|_| None).collect()).collect();
+    let engine_obs = streams.first().map(|(d, _)| d.obs.clone()).unwrap_or_default();
     let mut limits = Vec::with_capacity(streams.len());
+    let mut obses: Vec<Obs> = Vec::with_capacity(streams.len());
     let mut epochs: Vec<Vec<f64>> = Vec::new();
     let mut jobs: Vec<DecodeJob<'_>> = Vec::new();
     let mut slot_of: Vec<(usize, usize)> = Vec::new();
 
     for (si, (dec, blocks)) in streams.into_iter().enumerate() {
         limits.push(dec.limits());
+        obses.push(dec.obs.clone());
         let mut cur_epoch: Option<usize> = None;
         for (slot, block) in blocks.iter().enumerate() {
             // A block leaves decoder state untouched iff the established
@@ -308,6 +332,7 @@ pub(crate) fn decompress_streams(
                 }
             };
             if deferrable {
+                dec.obs.incr("core.parallel.deferred_blocks", 1);
                 let epoch = *cur_epoch.get_or_insert_with(|| {
                     epochs.push(dec.reference.clone().expect("deferrable implies reference"));
                     epochs.len() - 1
@@ -318,6 +343,7 @@ pub(crate) fn decompress_streams(
                 // State-changing (or malformed) block: decode in order on
                 // the caller thread. Errors leave state untouched, exactly
                 // like the serial loop.
+                dec.obs.incr("core.parallel.serial_blocks", 1);
                 outs[si][slot] = Some(dec.decompress_block(block));
                 cur_epoch = None;
             }
@@ -332,12 +358,15 @@ pub(crate) fn decompress_streams(
         /// re-cloning the reference for runs of same-epoch jobs.
         loaded: Option<usize>,
     }
+    engine_obs.gauge("core.parallel.queue_depth", jobs.len() as u64);
     let results = fan_out(
         &jobs,
         workers,
+        &engine_obs,
         || Ctx { dec: Decompressor::default(), loaded: None },
         |ctx: &mut Ctx, job: &DecodeJob<'_>| {
             ctx.dec.set_limits(limits[job.stream]);
+            ctx.dec.obs = obses[job.stream].clone();
             if ctx.loaded != Some(job.epoch) {
                 ctx.dec.reference = Some(epochs[job.epoch].clone());
                 ctx.loaded = Some(job.epoch);

@@ -29,7 +29,7 @@
 
 use mdz_core::checksum::{crc32, fnv1a64};
 use mdz_core::traj::assemble_container;
-use mdz_core::{Compressor, Frame, MdzConfig, MdzError, Result};
+use mdz_core::{Compressor, Frame, MdzConfig, MdzError, Obs, Result};
 use mdz_entropy::{read_uvarint, write_uvarint};
 use mdz_lossless::lz77;
 use mdz_lossless::StreamLimits;
@@ -71,12 +71,22 @@ pub struct StoreOptions {
     pub epoch_interval: usize,
     /// Coordinate precision.
     pub precision: Precision,
+    /// Recorder attached to the per-axis compressors, so writing an
+    /// archive surfaces pipeline metrics (`core.encode.*`, ADP winner
+    /// counts) in a caller registry. No-op (free) by default.
+    pub obs: Obs,
 }
 
 impl StoreOptions {
     /// Paper-style defaults: 128-frame buffers, 8-buffer epochs, `f64`.
     pub fn new(cfg: MdzConfig) -> Self {
-        Self { cfg, buffer_size: 128, epoch_interval: 8, precision: Precision::F64 }
+        Self {
+            cfg,
+            buffer_size: 128,
+            epoch_interval: 8,
+            precision: Precision::F64,
+            obs: Obs::noop(),
+        }
     }
 }
 
@@ -250,6 +260,9 @@ pub fn write_store(
         Compressor::new(opts.cfg.clone()),
         Compressor::new(opts.cfg.clone()),
     ];
+    for c in axes.iter_mut() {
+        c.set_obs(opts.obs.clone());
+    }
     let mut offsets = Vec::new();
     for (i, chunk) in frames.chunks(opts.buffer_size).enumerate() {
         if i > 0 && i % opts.epoch_interval == 0 {

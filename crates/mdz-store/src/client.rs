@@ -4,9 +4,11 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::ops::Range;
 
 use mdz_core::Frame;
+use mdz_obs::MetricsSnapshot;
 
 use crate::protocol::{
-    parse_frames, parse_info, parse_stats, read_message, write_message, Request, Status, StoreInfo,
+    parse_frames, parse_info, parse_metrics, parse_stats, read_message, write_message, Request,
+    Status, StoreInfo,
 };
 use crate::reader::StatsSnapshot;
 
@@ -100,5 +102,15 @@ impl Client {
     pub fn info(&mut self) -> Result<StoreInfo, ClientError> {
         let body = self.round_trip(Request::Info)?;
         parse_info(&body).map_err(ClientError::Protocol)
+    }
+
+    /// Fetches a full metrics snapshot (counters, gauges, histograms).
+    ///
+    /// The snapshot is taken before the server accounts for the METRICS
+    /// request itself, so the returned counters cover every *prior*
+    /// request.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        let body = self.round_trip(Request::Metrics)?;
+        parse_metrics(&body).map_err(ClientError::Protocol)
     }
 }

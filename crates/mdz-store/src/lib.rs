@@ -12,10 +12,14 @@
 //!   (as a single epoch).
 //! * **Random-access reads** ([`reader`]) — [`StoreReader::read_frames`]
 //!   maps a frame range to its epochs, decodes through an LRU cache of
-//!   decoded epochs, and exposes atomic counters ([`StatsSnapshot`]).
+//!   decoded epochs, and records into a shared metrics [`Registry`]
+//!   (core counters also surface as a [`StatsSnapshot`]).
 //! * **Serving** ([`server`], [`client`], [`protocol`]) — `mdzd` answers
-//!   GET/STATS/INFO requests over a length-prefixed binary protocol on TCP,
-//!   with per-connection decode budgets; built entirely on `std`.
+//!   GET/STATS/INFO/METRICS requests over a length-prefixed binary
+//!   protocol on TCP, with per-connection decode budgets; built entirely
+//!   on `std`. METRICS returns the full registry snapshot
+//!   ([`MetricsSnapshot`]): request/cache/error counters plus per-request
+//!   latency histograms.
 //!
 //! # Example
 //!
@@ -48,6 +52,7 @@ pub mod server;
 
 pub use archive::{write_store, ArchiveIndex, BlockEntry, Precision, StoreOptions};
 pub use client::{Client, ClientError};
+pub use mdz_obs::{HistogramSnapshot, MetricsSnapshot, Registry};
 pub use protocol::{Request, Status, StoreInfo};
 pub use reader::{ReaderOptions, StatsSnapshot, StoreReader};
 pub use server::{Server, ServerConfig, ServerHandle};

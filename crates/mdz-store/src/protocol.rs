@@ -5,18 +5,28 @@
 //! byte, response bodies with a status byte; all integers are `u64` LE.
 //!
 //! ```text
-//! GET   request : op=1 · start u64 · end u64            (end-exclusive)
-//! STATS request : op=2
-//! INFO  request : op=3
+//! GET     request : op=1 · start u64 · end u64          (end-exclusive)
+//! STATS   request : op=2
+//! INFO    request : op=3
+//! METRICS request : op=4
 //!
-//! OK GET   body : status=0 · start u64 · n_frames u64 · n_atoms u64
-//!                 · per frame: x[n_atoms] f64 · y[n_atoms] f64 · z[n_atoms] f64
-//! OK STATS body : status=0 · requests · bytes_out · cache_hits
-//!                 · cache_misses · decode_errors · buffers_decoded  (u64 each)
-//! OK INFO  body : status=0 · version · n_atoms · n_frames
-//!                 · buffer_size · epoch_interval · n_blocks         (u64 each)
-//! error    body : status≠0 · UTF-8 message (to end of body)
+//! OK GET     body : status=0 · start u64 · n_frames u64 · n_atoms u64
+//!                   · per frame: x[n_atoms] f64 · y[n_atoms] f64 · z[n_atoms] f64
+//! OK STATS   body : status=0 · requests · bytes_out · cache_hits
+//!                   · cache_misses · decode_errors · buffers_decoded  (u64 each)
+//! OK INFO    body : status=0 · version · n_atoms · n_frames
+//!                   · buffer_size · epoch_interval · n_blocks         (u64 each)
+//! OK METRICS body : status=0
+//!                   · n_counters u32 · per: name_len u16 · name · value u64
+//!                   · n_gauges   u32 · per: name_len u16 · name · value u64
+//!                   · n_hists    u32 · per: name_len u16 · name · count u64
+//!                     · sum f64 · min f64 · max f64 · p50 f64 · p99 f64
+//! error      body : status≠0 · UTF-8 message (to end of body)
 //! ```
+//!
+//! METRICS is a purely additive verb: version-1 servers answer it with
+//! `BadRequest` and version-1 clients simply never send it, so mixed
+//! deployments keep working.
 //!
 //! Both endpoints bound what they will read: servers cap request bodies at
 //! [`MAX_REQUEST_BODY`], clients cap response bodies at a configurable
@@ -26,6 +36,7 @@
 use std::io::{self, Read, Write};
 
 use mdz_core::{Frame, MdzError};
+use mdz_obs::{HistogramSnapshot, MetricsSnapshot};
 
 use crate::reader::StatsSnapshot;
 
@@ -39,6 +50,8 @@ pub const OP_GET: u8 = 1;
 pub const OP_STATS: u8 = 2;
 /// Opcode for archive metadata.
 pub const OP_INFO: u8 = 3;
+/// Opcode for a full metrics snapshot (counters, gauges, histograms).
+pub const OP_METRICS: u8 = 4;
 
 /// Response status codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +112,8 @@ pub enum Request {
     Stats,
     /// Describe the served archive.
     Info,
+    /// Snapshot every metric the server's registry has recorded.
+    Metrics,
 }
 
 impl Request {
@@ -114,6 +129,7 @@ impl Request {
             }
             Request::Stats => vec![OP_STATS],
             Request::Info => vec![OP_INFO],
+            Request::Metrics => vec![OP_METRICS],
         }
     }
 
@@ -130,6 +146,7 @@ impl Request {
             }
             Some(&OP_STATS) if body.len() == 1 => Ok(Request::Stats),
             Some(&OP_INFO) if body.len() == 1 => Ok(Request::Info),
+            Some(&OP_METRICS) if body.len() == 1 => Ok(Request::Metrics),
             Some(_) => Err("unknown opcode or trailing bytes"),
             None => Err("empty request body"),
         }
@@ -266,6 +283,94 @@ pub fn parse_info(body: &[u8]) -> std::result::Result<StoreInfo, &'static str> {
     })
 }
 
+/// Builds an OK METRICS response body from a registry snapshot.
+pub fn encode_metrics(m: &MetricsSnapshot) -> Vec<u8> {
+    fn put_name(body: &mut Vec<u8>, name: &str) {
+        // Metric names are short static strings; u16 is generous.
+        let len = name.len().min(u16::MAX as usize);
+        body.extend_from_slice(&(len as u16).to_le_bytes());
+        body.extend_from_slice(&name.as_bytes()[..len]);
+    }
+    let mut body = vec![Status::Ok as u8];
+    for family in [&m.counters, &m.gauges] {
+        body.extend_from_slice(&(family.len() as u32).to_le_bytes());
+        for (name, value) in family {
+            put_name(&mut body, name);
+            body.extend_from_slice(&value.to_le_bytes());
+        }
+    }
+    body.extend_from_slice(&(m.histograms.len() as u32).to_le_bytes());
+    for h in &m.histograms {
+        put_name(&mut body, &h.name);
+        body.extend_from_slice(&h.count.to_le_bytes());
+        for v in [h.sum, h.min, h.max, h.p50, h.p99] {
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    body
+}
+
+/// Parses an OK METRICS response body.
+///
+/// Every length is validated against the remaining bytes before any
+/// allocation, so a hostile body cannot claim more entries than it carries.
+pub fn parse_metrics(body: &[u8]) -> std::result::Result<MetricsSnapshot, &'static str> {
+    if body.is_empty() || body[0] != Status::Ok as u8 {
+        return Err("short or non-OK METRICS body");
+    }
+    let mut pos = 1usize;
+    let take = |pos: &mut usize, n: usize| -> std::result::Result<&[u8], &'static str> {
+        let slice = body.get(*pos..*pos + n).ok_or("truncated METRICS body")?;
+        *pos += n;
+        Ok(slice)
+    };
+    let take_u32 = |pos: &mut usize| -> std::result::Result<usize, &'static str> {
+        Ok(u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()) as usize)
+    };
+    let take_u64 = |pos: &mut usize| -> std::result::Result<u64, &'static str> {
+        Ok(u64::from_le_bytes(take(pos, 8)?.try_into().unwrap()))
+    };
+    let take_f64 = |pos: &mut usize| -> std::result::Result<f64, &'static str> {
+        Ok(f64::from_le_bytes(take(pos, 8)?.try_into().unwrap()))
+    };
+    let take_name = |pos: &mut usize| -> std::result::Result<String, &'static str> {
+        let len = u16::from_le_bytes(take(pos, 2)?.try_into().unwrap()) as usize;
+        let raw = take(pos, len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| "metric name is not UTF-8")
+    };
+    let take_pairs = |pos: &mut usize| -> std::result::Result<Vec<(String, u64)>, &'static str> {
+        let n = take_u32(pos)?;
+        // Each entry needs at least 10 bytes; reject forged counts early.
+        if n > (body.len() - *pos) / 10 {
+            return Err("METRICS entry count disagrees with body length");
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = take_name(pos)?;
+            out.push((name, take_u64(pos)?));
+        }
+        Ok(out)
+    };
+    let counters = take_pairs(&mut pos)?;
+    let gauges = take_pairs(&mut pos)?;
+    let n_hist = take_u32(&mut pos)?;
+    if n_hist > (body.len() - pos) / 50 {
+        return Err("METRICS entry count disagrees with body length");
+    }
+    let mut histograms = Vec::with_capacity(n_hist);
+    for _ in 0..n_hist {
+        let name = take_name(&mut pos)?;
+        let count = take_u64(&mut pos)?;
+        let (sum, min) = (take_f64(&mut pos)?, take_f64(&mut pos)?);
+        let (max, p50, p99) = (take_f64(&mut pos)?, take_f64(&mut pos)?, take_f64(&mut pos)?);
+        histograms.push(HistogramSnapshot { name, count, sum, min, max, p50, p99 });
+    }
+    if pos != body.len() {
+        return Err("METRICS body has trailing bytes");
+    }
+    Ok(MetricsSnapshot { counters, gauges, histograms })
+}
+
 /// Writes one framed message.
 pub fn write_message(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
     w.write_all(&(body.len() as u32).to_le_bytes())?;
@@ -307,13 +412,48 @@ mod tests {
 
     #[test]
     fn requests_round_trip() {
-        for req in [Request::Get { start: 3, end: 999 }, Request::Stats, Request::Info] {
+        for req in
+            [Request::Get { start: 3, end: 999 }, Request::Stats, Request::Info, Request::Metrics]
+        {
             assert_eq!(Request::parse(&req.encode()).unwrap(), req);
         }
         assert!(Request::parse(&[]).is_err());
         assert!(Request::parse(&[OP_GET, 1, 2]).is_err());
         assert!(Request::parse(&[OP_STATS, 0]).is_err());
+        assert!(Request::parse(&[OP_METRICS, 0]).is_err());
         assert!(Request::parse(&[99]).is_err());
+    }
+
+    #[test]
+    fn metrics_round_trip() {
+        let m = MetricsSnapshot {
+            counters: vec![("store.requests".into(), 7), ("server.requests.get".into(), 3)],
+            gauges: vec![("core.parallel.queue_depth".into(), 12)],
+            histograms: vec![HistogramSnapshot {
+                name: "server.request_seconds".into(),
+                count: 7,
+                sum: 0.42,
+                min: 0.01,
+                max: 0.2,
+                p50: 0.05,
+                p99: 0.19,
+            }],
+        };
+        let body = encode_metrics(&m);
+        assert_eq!(parse_metrics(&body).unwrap(), m);
+        // An empty snapshot round-trips too.
+        let empty = MetricsSnapshot::default();
+        assert_eq!(parse_metrics(&encode_metrics(&empty)).unwrap(), empty);
+        // Truncations, forged counts, and trailing bytes are rejected.
+        for cut in [0, 1, 5, body.len() - 1] {
+            assert!(parse_metrics(&body[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut forged = body.clone();
+        forged[1] = 0xFF; // counter count low byte
+        assert!(parse_metrics(&forged).is_err());
+        let mut long = body;
+        long.push(0);
+        assert!(parse_metrics(&long).is_err());
     }
 
     #[test]

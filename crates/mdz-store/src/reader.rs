@@ -1,13 +1,13 @@
 //! Random-access reads over an indexed archive: epoch decoding, the LRU
-//! cache of decoded epochs, and the shared request counters.
+//! cache of decoded epochs, and the shared metrics registry.
 
 use std::collections::HashMap;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use mdz_core::traj::split_container;
-use mdz_core::{DecodeLimits, Decompressor, Frame, MdzError, Result};
+use mdz_core::{DecodeLimits, Decompressor, Frame, MdzError, Obs, Result};
+use mdz_obs::{MetricsSnapshot, Registry};
 
 use crate::archive::{record_at, ArchiveIndex};
 
@@ -28,21 +28,9 @@ impl Default for ReaderOptions {
     }
 }
 
-/// Monotonic request counters, shared by every clone of a [`StoreReader`].
-///
-/// All counters are atomics updated with relaxed ordering: they are
-/// statistics, not synchronization.
-#[derive(Debug, Default)]
-pub struct StoreStats {
-    requests: AtomicU64,
-    bytes_out: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    decode_errors: AtomicU64,
-    buffers_decoded: AtomicU64,
-}
-
-/// A point-in-time copy of [`StoreStats`].
+/// A point-in-time copy of the reader's core counters, derived from the
+/// shared [`Registry`] (see [`StoreReader::metrics`] for the full
+/// snapshot including server-side histograms).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
     /// Requests served (incremented by the serving layer, not by local reads).
@@ -61,19 +49,6 @@ pub struct StatsSnapshot {
     pub buffers_decoded: u64,
 }
 
-impl StoreStats {
-    fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
-            bytes_out: self.bytes_out.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            decode_errors: self.decode_errors.load(Ordering::Relaxed),
-            buffers_decoded: self.buffers_decoded.load(Ordering::Relaxed),
-        }
-    }
-}
-
 struct CacheEntry {
     last_used: u64,
     frames: Arc<Vec<Frame>>,
@@ -90,7 +65,12 @@ struct Store {
     index: ArchiveIndex,
     opts: ReaderOptions,
     cache: Mutex<EpochCache>,
-    stats: StoreStats,
+    /// Shared metrics registry: the reader's `store.*` counters land here
+    /// alongside whatever the serving layer and the core pipeline record.
+    registry: Arc<Registry>,
+    /// Recorder handle passed to the per-axis decompressors, so pipeline
+    /// stage timings (`core.decode.*`) accrue to the same registry.
+    obs: Obs,
 }
 
 /// A cheaply cloneable handle for random-access reads over one archive.
@@ -108,16 +88,30 @@ impl StoreReader {
         Self::with_options(data, ReaderOptions::default())
     }
 
-    /// Parses `data` with explicit cache and decode-budget options.
+    /// Parses `data` with explicit cache and decode-budget options,
+    /// recording into a fresh private [`Registry`].
     pub fn with_options(data: Vec<u8>, opts: ReaderOptions) -> Result<Self> {
+        Self::with_registry(data, opts, Arc::new(Registry::new()))
+    }
+
+    /// Parses `data` recording into a caller-supplied [`Registry`] — use
+    /// this to aggregate reader, server, and pipeline metrics in one place
+    /// (the serving layer snapshots it for the METRICS verb).
+    pub fn with_registry(
+        data: Vec<u8>,
+        opts: ReaderOptions,
+        registry: Arc<Registry>,
+    ) -> Result<Self> {
         let index = ArchiveIndex::parse(&data)?;
+        let obs = Obs::new(Arc::clone(&registry) as Arc<dyn mdz_core::Recorder>);
         Ok(Self {
             store: Arc::new(Store {
                 data,
                 index,
                 opts,
                 cache: Mutex::new(EpochCache::default()),
-                stats: StoreStats::default(),
+                registry,
+                obs,
             }),
         })
     }
@@ -127,22 +121,41 @@ impl StoreReader {
         &self.store.index
     }
 
-    /// A point-in-time copy of the shared counters.
+    /// The shared metrics registry every clone of this reader records into.
+    pub fn recorder(&self) -> Arc<Registry> {
+        Arc::clone(&self.store.registry)
+    }
+
+    /// A full point-in-time snapshot of every metric recorded against this
+    /// reader's registry (counters, gauges, and latency histograms).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.store.registry.snapshot()
+    }
+
+    /// A point-in-time copy of the core counters.
     pub fn stats(&self) -> StatsSnapshot {
-        self.store.stats.snapshot()
+        let r = &self.store.registry;
+        StatsSnapshot {
+            requests: r.counter("store.requests"),
+            bytes_out: r.counter("store.bytes_out"),
+            cache_hits: r.counter("store.cache.hits"),
+            cache_misses: r.counter("store.cache.misses"),
+            decode_errors: r.counter("store.decode_errors"),
+            buffers_decoded: r.counter("store.buffers_decoded"),
+        }
     }
 
     /// Records one served request and its response payload size. Called by
     /// the serving layer; local [`read_frames`](Self::read_frames) calls do
     /// not count as requests.
     pub fn record_request(&self, bytes_out: u64) {
-        self.store.stats.requests.fetch_add(1, Ordering::Relaxed);
-        self.store.stats.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+        self.store.obs.incr("store.requests", 1);
+        self.store.obs.incr("store.bytes_out", bytes_out);
     }
 
     /// Records a request that failed before a payload was produced.
     pub fn record_failed_request(&self) {
-        self.store.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.store.obs.incr("store.requests", 1);
     }
 
     /// Decodes the frames in `range` (end-exclusive), touching only the
@@ -188,25 +201,25 @@ impl StoreReader {
 
     /// Returns `epoch`'s decoded frames, from cache or by decoding.
     fn epoch_frames(&self, epoch: usize, limits: &DecodeLimits) -> Result<Arc<Vec<Frame>>> {
-        let stats = &self.store.stats;
+        let obs = &self.store.obs;
         {
             let mut cache = self.store.cache.lock().unwrap();
             cache.tick += 1;
             let tick = cache.tick;
             if let Some(entry) = cache.map.get_mut(&epoch) {
                 entry.last_used = tick;
-                stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                obs.incr("store.cache.hits", 1);
                 return Ok(Arc::clone(&entry.frames));
             }
         }
         // Decode outside the lock so other epochs stay readable. Two threads
         // racing on the same cold epoch may both decode it — the counters
         // report the work actually done, and the cache keeps one copy.
-        stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        obs.incr("store.cache.misses", 1);
         let frames = match self.decode_epoch(epoch, limits) {
             Ok(f) => Arc::new(f),
             Err(e) => {
-                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                obs.incr("store.decode_errors", 1);
                 return Err(e);
             }
         };
@@ -246,6 +259,7 @@ impl StoreReader {
         // The three axis streams are independent; decode them concurrently.
         let decode_axis = |axis: usize| -> Result<Vec<Vec<f64>>> {
             let mut dec = Decompressor::with_limits(*limits);
+            dec.set_obs(self.store.obs.clone());
             let mut snapshots = Vec::new();
             for container in &containers {
                 let parts = split_container(container)?;
@@ -266,11 +280,7 @@ impl StoreReader {
             let hy = s.spawn(|| decode_axis(1));
             let hz = s.spawn(|| decode_axis(2));
             let x = decode_axis(0);
-            (
-                x,
-                hy.join().expect("axis decode thread panicked"),
-                hz.join().expect("axis decode thread panicked"),
-            )
+            (x, join_axis(hy.join()), join_axis(hz.join()))
         });
         let (x, y, z) = (x?, y?, z?);
 
@@ -284,8 +294,22 @@ impl StoreReader {
             }
             frames.push(Frame::new(sx, sy, sz));
         }
-        self.store.stats.buffers_decoded.fetch_add(containers.len() as u64, Ordering::Relaxed);
+        self.store.obs.incr("store.buffers_decoded", containers.len() as u64);
         Ok(frames)
+    }
+}
+
+/// Maps an axis-decode thread's join result into the reader's error type.
+///
+/// A panic on a worker thread must not take the whole process (and every
+/// other connection a server is juggling) down with it: the panic payload
+/// is dropped here and surfaces as a [`MdzError::Corrupt`] on this request
+/// only, which the caller's decode-error accounting then counts like any
+/// other failed decode.
+fn join_axis<T>(joined: std::thread::Result<Result<T>>) -> Result<T> {
+    match joined {
+        Ok(r) => r,
+        Err(_payload) => Err(MdzError::Corrupt { what: "axis decode thread panicked" }),
     }
 }
 
@@ -393,5 +417,33 @@ mod tests {
         let err = reader.read_frames_limited(0..4, &tight).unwrap_err();
         assert!(matches!(err, MdzError::LimitExceeded { .. }), "{err:?}");
         assert_eq!(reader.stats().decode_errors, 1);
+    }
+
+    #[test]
+    fn panicked_axis_thread_maps_to_corrupt_error() {
+        let joined = std::thread::scope(|s| {
+            s.spawn(|| -> Result<Vec<Vec<f64>>> { panic!("injected axis panic") }).join()
+        });
+        let err = join_axis(joined).unwrap_err();
+        assert_eq!(err, MdzError::Corrupt { what: "axis decode thread panicked" });
+    }
+
+    #[test]
+    fn shared_registry_sees_reader_counters() {
+        let mut opts = StoreOptions::new(MdzConfig::new(ErrorBound::Absolute(1e-3)));
+        opts.buffer_size = 4;
+        opts.epoch_interval = 2;
+        let data = write_store(&frames(8, 8), &[], &[], &opts).unwrap();
+        let registry = Arc::new(Registry::new());
+        let reader =
+            StoreReader::with_registry(data, ReaderOptions::default(), Arc::clone(&registry))
+                .unwrap();
+        reader.read_frames(0..8).unwrap();
+        assert_eq!(registry.counter("store.cache.misses"), 1);
+        assert_eq!(registry.counter("store.buffers_decoded"), 2);
+        // The axis decompressors record pipeline metrics into the same
+        // registry: 3 axes × 2 buffers.
+        assert_eq!(registry.counter("core.decode.blocks"), 6);
+        assert!(reader.metrics().histogram("core.decode.reconstruct_seconds").is_some());
     }
 }

@@ -9,16 +9,17 @@
 //! whichever connection decodes an epoch first populates it for the rest.
 
 use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 
 use mdz_core::DecodeLimits;
+use mdz_obs::Obs;
 
 use crate::protocol::{
-    encode_error, encode_frames, encode_info, encode_stats, read_message, write_message, Request,
-    Status, StoreInfo, MAX_REQUEST_BODY,
+    encode_error, encode_frames, encode_info, encode_metrics, encode_stats, read_message,
+    write_message, Request, Status, StoreInfo, MAX_REQUEST_BODY,
 };
 use crate::reader::StoreReader;
 
@@ -60,7 +61,16 @@ impl ServerHandle {
         self.stop.store(true, Ordering::SeqCst);
         // The accept loop blocks in `accept`; poke it awake with a throwaway
         // connection so it observes the flag without waiting for a client.
-        let _ = TcpStream::connect(self.addr);
+        // A wildcard bind (0.0.0.0 / ::) reports the wildcard as its local
+        // address, which is not connectable — substitute loopback.
+        let mut target = self.addr;
+        if target.ip().is_unspecified() {
+            target.set_ip(match target.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(target);
     }
 }
 
@@ -128,7 +138,13 @@ impl Server {
 }
 
 /// Serves one connection until the peer closes it or framing breaks.
+///
+/// All per-request metrics (opcode and status counters, latency
+/// histograms, `store.requests`) are recorded *after* [`respond`] returns,
+/// so a METRICS response reflects every request except the in-flight one
+/// that produced it.
 fn handle_connection(mut stream: TcpStream, reader: &StoreReader, cfg: &ServerConfig) {
+    let obs = Obs::new(reader.recorder());
     loop {
         let body = match read_message(&mut stream, MAX_REQUEST_BODY) {
             Ok(Some(body)) => body,
@@ -137,6 +153,8 @@ fn handle_connection(mut stream: TcpStream, reader: &StoreReader, cfg: &ServerCo
                 // Oversized or truncated frame: answer if the socket still
                 // writes, then drop the connection — resync is impossible.
                 reader.record_failed_request();
+                obs.incr("server.requests.bad", 1);
+                obs.incr(status_counter(Status::BadRequest as u8), 1);
                 let resp = encode_error(Status::BadRequest, "malformed frame");
                 let _ = write_message(&mut stream, &resp);
                 // Drain (bounded) what the peer already sent before closing,
@@ -150,15 +168,52 @@ fn handle_connection(mut stream: TcpStream, reader: &StoreReader, cfg: &ServerCo
                 return;
             }
         };
-        let response = match Request::parse(&body) {
-            Ok(req) => respond(req, reader, cfg),
+        let parsed = Request::parse(&body);
+        let request_timer = obs.span("server.request_seconds");
+        let response = match parsed {
+            Ok(req) => {
+                let get_timer =
+                    matches!(req, Request::Get { .. }).then(|| obs.span("server.get_seconds"));
+                let r = respond(req, reader, cfg);
+                if let Some(t) = get_timer {
+                    t.finish();
+                }
+                r
+            }
             Err(msg) => encode_error(Status::BadRequest, msg),
         };
+        request_timer.finish();
+        obs.incr("store.bytes_in", body.len() as u64);
+        obs.incr(opcode_counter(&parsed), 1);
+        obs.incr(status_counter(response.first().copied().unwrap_or(Status::Internal as u8)), 1);
         reader.record_request(response.len() as u64);
         if write_message(&mut stream, &response).is_err() {
             return;
         }
         let _ = stream.flush();
+    }
+}
+
+/// The per-opcode request counter a parsed (or unparseable) request bumps.
+fn opcode_counter(parsed: &std::result::Result<Request, &'static str>) -> &'static str {
+    match parsed {
+        Ok(Request::Get { .. }) => "server.requests.get",
+        Ok(Request::Stats) => "server.requests.stats",
+        Ok(Request::Info) => "server.requests.info",
+        Ok(Request::Metrics) => "server.requests.metrics",
+        Err(_) => "server.requests.bad",
+    }
+}
+
+/// The per-status counter for a response's leading status byte.
+fn status_counter(byte: u8) -> &'static str {
+    match Status::from_byte(byte) {
+        Some(Status::Ok) => "server.status.ok",
+        Some(Status::BadRequest) => "server.status.bad_request",
+        Some(Status::OutOfRange) => "server.status.out_of_range",
+        Some(Status::LimitExceeded) => "server.status.limit_exceeded",
+        Some(Status::Corrupt) => "server.status.corrupt",
+        Some(Status::Internal) | None => "server.status.internal",
     }
 }
 
@@ -186,6 +241,7 @@ fn respond(req: Request, reader: &StoreReader, cfg: &ServerConfig) -> Vec<u8> {
             }
         }
         Request::Stats => encode_stats(&reader.stats()),
+        Request::Metrics => encode_metrics(&reader.metrics()),
         Request::Info => {
             let idx = reader.index();
             encode_info(&StoreInfo {

@@ -1,0 +1,84 @@
+//! Failure-path regression tests for the serving layer: a poisoned block
+//! must produce a typed error response — never a dead server — and
+//! shutdown must work no matter which address the listener was bound to.
+
+use mdz_core::{ErrorBound, Frame, MdzConfig};
+use mdz_store::{
+    write_store, Client, ClientError, Server, ServerConfig, Status, StoreOptions, StoreReader,
+};
+
+fn make_archive(n_frames: usize, n_atoms: usize) -> Vec<u8> {
+    let frames: Vec<Frame> = (0..n_frames)
+        .map(|t| {
+            let axis = |off: f64| -> Vec<f64> {
+                (0..n_atoms).map(|i| (i % 4) as f64 * 2.0 + t as f64 * 1e-3 + off).collect()
+            };
+            Frame::new(axis(0.0), axis(1.0), axis(2.0))
+        })
+        .collect();
+    let mut opts = StoreOptions::new(MdzConfig::new(ErrorBound::Absolute(1e-4)));
+    opts.buffer_size = 4;
+    opts.epoch_interval = 2;
+    write_store(&frames, &[], &[], &opts).unwrap()
+}
+
+#[test]
+fn corrupt_block_gets_an_error_response_and_the_server_keeps_serving() {
+    let mut data = make_archive(24, 6);
+    // Locate epoch 1's first block through a throwaway reader, then flip a
+    // byte inside its record so its checksum no longer matches. Epoch 0
+    // stays pristine.
+    let poisoned_offset = {
+        let probe = StoreReader::open(data.clone()).unwrap();
+        let block = &probe.index().blocks[2];
+        assert_eq!(block.epoch, 1);
+        block.offset + 12
+    };
+    data[poisoned_offset] ^= 0xFF;
+
+    let reader = StoreReader::open(data).unwrap();
+    let stats_reader = reader.clone();
+    let server = Server::bind(reader, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle().unwrap();
+    let join = std::thread::spawn(move || server.run().unwrap());
+
+    let mut client = Client::connect(addr).unwrap();
+    // Healthy epoch 0 serves fine.
+    assert_eq!(client.get(0..8).unwrap().len(), 8);
+    // The poisoned epoch yields a typed Corrupt error, not a hang or a
+    // dropped connection.
+    match client.get(8..12) {
+        Err(ClientError::Server { status: Status::Corrupt, .. }) => {}
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    // Same connection keeps working afterwards…
+    assert_eq!(client.get(4..8).unwrap().len(), 4);
+    // …and so do fresh connections.
+    let mut second = Client::connect(addr).unwrap();
+    assert_eq!(second.get(16..24).unwrap().len(), 8);
+    assert_eq!(stats_reader.stats().decode_errors, 1);
+
+    drop(client);
+    drop(second);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn shutdown_works_against_a_wildcard_bind() {
+    // Binding 0.0.0.0 makes `local_addr()` report the wildcard address;
+    // shutdown must still be able to poke the accept loop awake.
+    let reader = StoreReader::open(make_archive(8, 4)).unwrap();
+    let server = Server::bind(reader, "0.0.0.0:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    assert!(addr.ip().is_unspecified());
+    let handle = server.handle().unwrap();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    // Prove the server is actually serving before asking it to stop.
+    let mut client = Client::connect(("127.0.0.1", addr.port())).unwrap();
+    assert_eq!(client.info().unwrap().n_frames, 8);
+    drop(client);
+    handle.shutdown();
+    join.join().unwrap();
+}

@@ -69,6 +69,21 @@ done
 "$mdz" query "$addr" 1..3 > "$tmp_out/remote.txt" 2> /dev/null
 cmp "$tmp_out/local.txt" "$tmp_out/remote.txt"
 "$mdz" stats "$addr" | grep -q "^requests:"
+
+# Metrics smoke: fetch the full METRICS snapshot as JSON and validate it
+# against the traffic just driven — 1 GET (query) plus STATS + INFO (the
+# stats command); the METRICS request itself is excluded from its own
+# snapshot. The range 1..3 spans two cold epochs (bs=1, epoch=2).
+echo "==> metrics smoke (METRICS verb, JSON schema + exact counters)"
+"$mdz" stats "$addr" --metrics --json > "$tmp_out/BENCH_metrics.json"
+MDZ_BENCH_JSON="$tmp_out/BENCH_metrics.json" \
+MDZ_METRICS_EXPECT_REQUESTS=3 \
+MDZ_METRICS_EXPECT_GETS=1 \
+MDZ_METRICS_EXPECT_CACHE_MISSES=2 \
+MDZ_METRICS_EXPECT_CACHE_HITS=0 \
+MDZ_METRICS_EXPECT_ERRORS=0 \
+    cargo test -p mdz-bench --release --quiet --test metrics_json
+"$mdz" stats "$addr" --metrics | grep -q "store.requests"
 kill "$server_pid"
 wait "$server_pid" 2> /dev/null || true
 trap 'rm -rf "$tmp_out"' EXIT

@@ -11,13 +11,16 @@
 //! mdz get        <in.mdz> <start..end>
 //! mdz serve      <in.mdz> <addr> [--threads N]
 //! mdz query      <addr> <start..end>
-//! mdz stats      <addr>
+//! mdz stats      <addr> [--metrics [--json]]
 //! ```
 //!
 //! `store` writes the indexed container version 2 (epoch re-anchors +
 //! footer index); `get` random-access-reads it locally; `serve`/`query`/
 //! `stats` speak the `mdzd` TCP protocol. `decompress` and `info` accept
-//! both container versions.
+//! both container versions. `stats --metrics` fetches the server's full
+//! metrics snapshot (counters, gauges, latency histograms) via the
+//! METRICS verb; `--json` emits it as schema-tagged JSON instead of the
+//! aligned text table.
 
 use mdz::archive;
 use mdz::core::{EntropyStage, ErrorBound, Frame, MdzConfig, Method};
@@ -70,6 +73,8 @@ struct Opts {
     epoch: usize,
     f32: bool,
     threads: usize,
+    metrics: bool,
+    json: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -85,6 +90,8 @@ fn parse_opts(args: &[String]) -> Opts {
         epoch: 8,
         f32: false,
         threads: 4,
+        metrics: false,
+        json: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -99,6 +106,8 @@ fn parse_opts(args: &[String]) -> Opts {
             "--range-coded" => o.range_coded = true,
             "--epoch" => o.epoch = value("--epoch").parse().unwrap_or_else(|_| fail("bad --epoch")),
             "--f32" => o.f32 = true,
+            "--metrics" => o.metrics = true,
+            "--json" => o.json = true,
             "--threads" => {
                 o.threads = value("--threads").parse().unwrap_or_else(|_| fail("bad --threads"))
             }
@@ -413,6 +422,13 @@ fn main() {
             };
             let mut client = Client::connect(addr.as_str())
                 .unwrap_or_else(|e| fail(&format!("connecting {addr}: {e}")));
+            if o.metrics {
+                // One METRICS round trip and nothing else, so the snapshot
+                // is not perturbed by extra STATS/INFO requests.
+                let m = client.metrics().unwrap_or_else(|e| fail(&format!("metrics: {e}")));
+                print!("{}", if o.json { m.to_json() } else { m.render_text() });
+                return;
+            }
             let s = client.stats().unwrap_or_else(|e| fail(&format!("stats: {e}")));
             let i = client.info().unwrap_or_else(|e| fail(&format!("info: {e}")));
             println!(
