@@ -10,6 +10,7 @@ mod comparison;
 mod core_exps;
 mod lammps;
 mod latency;
+mod quantizer;
 mod throughput;
 
 pub use ablations::ablations;
@@ -18,6 +19,7 @@ pub use comparison::{fig12, fig12var, fig13, fig14, fig15, fig16, table4, table5
 pub use core_exps::{fig10, fig11, fig9, table3};
 pub use lammps::table7;
 pub use latency::latency;
+pub use quantizer::quantizer;
 pub use throughput::throughput;
 
 use crate::table::Table;
@@ -98,6 +100,7 @@ pub const ALL: &[&str] = &[
     "ablations",
     "throughput",
     "latency",
+    "quantizer",
 ];
 
 /// Runs one experiment by id.
@@ -126,6 +129,7 @@ pub fn run(id: &str, ctx: &mut Ctx) -> Option<Vec<Table>> {
         "ablations" => ablations(ctx),
         "throughput" => throughput(ctx),
         "latency" => latency(ctx),
+        "quantizer" => quantizer(ctx),
         _ => return None,
     };
     Some(tables)

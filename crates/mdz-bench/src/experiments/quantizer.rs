@@ -1,0 +1,171 @@
+//! Quantizer-stage ratio comparison: fixed-scale linear vs bit-adaptive.
+//!
+//! Runs the adaptive pipeline twice at the same absolute bound — once with
+//! the paper's fixed-radius linear quantizer only, once with bit-adaptive
+//! per-chunk candidates enabled — over a crystal corpus (where the fixed
+//! scale is well matched) and the non-crystal `Gas` corpus (where per-atom
+//! step magnitudes span decades and the fixed scale forces escapes). The
+//! error bound is re-verified for every value on both sides; the
+//! machine-readable `BENCH_quantizer.json` is schema-checked by
+//! `tests/quantizer_json.rs` and `scripts/verify.sh`.
+
+use super::Ctx;
+use crate::json::Json;
+use crate::table::{fmt, Table};
+use mdz_core::{Codec, Decompressor, ErrorBound, MdzCodec, MdzConfig};
+use mdz_sim::{Dataset, DatasetKind, Scale};
+
+/// Absolute bound both compositions run under. Chosen so the `Gas`
+/// corpus's fastest atoms overflow the fixed 512-code radius (forcing
+/// 9-byte escapes) while the bit-adaptive stage still covers them with
+/// wide per-chunk codes.
+const EPS: f64 = 1e-3;
+
+struct Entry {
+    dataset: &'static str,
+    codec: &'static str,
+    raw_bytes: usize,
+    compressed_bytes: usize,
+    max_abs_err: f64,
+    bound_ok: bool,
+    blocks: usize,
+    ba_blocks: usize,
+}
+
+impl Entry {
+    fn ratio(&self) -> f64 {
+        self.raw_bytes as f64 / self.compressed_bytes.max(1) as f64
+    }
+}
+
+/// Runs `codec` over all three axes of `dataset` in buffers of `bs`
+/// snapshots at the fixed absolute bound, verifying the bound per value
+/// and counting how many emitted blocks used the bit-adaptive stage.
+fn run(codec: &mut MdzCodec, dataset: &Dataset, bs: usize) -> Entry {
+    let m = dataset.len();
+    let n = dataset.atoms();
+    let mut entry = Entry {
+        dataset: dataset.kind.name(),
+        codec: codec.name(),
+        raw_bytes: 3 * m * n * 8,
+        compressed_bytes: 0,
+        max_abs_err: 0.0,
+        bound_ok: true,
+        blocks: 0,
+        ba_blocks: 0,
+    };
+    for axis in 0..3 {
+        codec.reset();
+        let series = dataset.axis_series(axis);
+        let mut start = 0;
+        while start < m {
+            let end = (start + bs).min(m);
+            let buf = &series[start..end];
+            let blob = codec.compress_buffer(buf, ErrorBound::Absolute(EPS)).expect("compress");
+            entry.compressed_bytes += blob.len();
+            entry.blocks += 1;
+            if Decompressor::inspect(&blob).expect("inspect").bit_adaptive {
+                entry.ba_blocks += 1;
+            }
+            let out = codec.decompress_buffer(&blob).expect("round trip");
+            for (orig, got) in buf.iter().zip(out.iter()) {
+                for (&a, &b) in orig.iter().zip(got.iter()) {
+                    if !a.is_finite() {
+                        continue;
+                    }
+                    let e = (a - b).abs();
+                    entry.max_abs_err = entry.max_abs_err.max(e);
+                    if e > EPS * (1.0 + 1e-9) {
+                        entry.bound_ok = false;
+                    }
+                }
+            }
+            start = end;
+        }
+    }
+    entry
+}
+
+/// Linear-only vs bit-adaptive-candidate adaptive compression on crystal
+/// and gas corpora; writes `BENCH_quantizer.json` alongside the usual CSV.
+pub fn quantizer(ctx: &mut Ctx) -> Vec<Table> {
+    let bs = if matches!(ctx.scale, Scale::Test) { 2 } else { 10 };
+    let kinds = [DatasetKind::CopperB, DatasetKind::Gas];
+    let mut entries: Vec<Entry> = Vec::new();
+    for kind in kinds {
+        let dataset = ctx.dataset(kind).clone();
+        let base = MdzConfig::new(ErrorBound::Absolute(EPS));
+        let mut linear = MdzCodec::from_config(base.clone());
+        let mut bit_adaptive = MdzCodec::from_config(base.with_bit_adaptive_candidates(true));
+        entries.push(run(&mut linear, &dataset, bs));
+        entries.push(run(&mut bit_adaptive, &dataset, bs));
+    }
+
+    write_json(ctx, bs, &entries);
+
+    let mut table = Table::new(
+        &format!("Quantizer stage comparison (absolute bound {EPS}, buffer = {bs} snapshots)"),
+        &[
+            "dataset",
+            "codec",
+            "raw bytes",
+            "compressed bytes",
+            "ratio",
+            "max abs err",
+            "bound ok",
+            "BA blocks",
+            "blocks",
+        ],
+    );
+    for e in &entries {
+        table.row(vec![
+            e.dataset.to_string(),
+            e.codec.to_string(),
+            e.raw_bytes.to_string(),
+            e.compressed_bytes.to_string(),
+            fmt(e.ratio()),
+            fmt(e.max_abs_err),
+            e.bound_ok.to_string(),
+            e.ba_blocks.to_string(),
+            e.blocks.to_string(),
+        ]);
+    }
+    vec![ctx.emit("quantizer", table)]
+}
+
+fn write_json(ctx: &Ctx, bs: usize, entries: &[Entry]) {
+    let doc = Json::obj(vec![
+        ("experiment", Json::Str("quantizer".into())),
+        ("scale", Json::Str(format!("{:?}", ctx.scale).to_lowercase())),
+        ("bound_abs", Json::Num(EPS)),
+        ("buffer_snapshots", Json::Num(bs as f64)),
+        (
+            "entries",
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|e| {
+                        Json::obj(vec![
+                            ("dataset", Json::Str(e.dataset.into())),
+                            ("codec", Json::Str(e.codec.into())),
+                            ("raw_bytes", Json::Num(e.raw_bytes as f64)),
+                            ("compressed_bytes", Json::Num(e.compressed_bytes as f64)),
+                            ("ratio", Json::Num(e.ratio())),
+                            ("max_abs_err", Json::Num(e.max_abs_err)),
+                            ("bound_ok", Json::Bool(e.bound_ok)),
+                            ("bit_adaptive_blocks", Json::Num(e.ba_blocks as f64)),
+                            ("blocks", Json::Num(e.blocks as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let path = ctx.out_dir.join("BENCH_quantizer.json");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&path, doc.render()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}

@@ -1,12 +1,46 @@
-//! ADP: runtime selection of the best concrete method (paper §VI-D).
+//! ADP: runtime selection of the best pipeline composition (paper §VI-D).
 //!
 //! Data patterns are stable over short horizons but drift over long ones
-//! (Fig. 10), so MDZ periodically re-evaluates VQ, VQT, and MT on a live
-//! buffer — compressing it with all three and keeping the smallest output —
+//! (Fig. 10), so MDZ periodically re-evaluates its candidate compositions on
+//! a live buffer — compressing it with each and keeping the smallest output —
 //! then reuses the winner for the next `interval − 1` buffers. The paper
 //! uses an interval of 50, keeping the evaluation overhead under 6 %.
+//!
+//! The paper's candidate space is the three concrete methods (VQ, VQT, MT)
+//! over the fixed-scale quantizer. With the stage-composition refactor a
+//! candidate is a [`Candidate`] — a (method, quantizer) pair — so enabling
+//! [`crate::MdzConfig::bit_adaptive_candidates`] (or
+//! `extended_candidates`) enlarges the product space ADP ranks without
+//! touching the selector logic.
 
 use crate::format::Method;
+use crate::QuantizerKind;
+
+/// One point of the composition space ADP selects over: a concrete method
+/// paired with a quantizer stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Candidate {
+    /// Concrete prediction method (never [`Method::Adaptive`]).
+    pub method: Method,
+    /// Quantizer stage coding the residuals.
+    pub quantizer: QuantizerKind,
+}
+
+impl Candidate {
+    /// Pairs `method` with the classic fixed-scale quantizer.
+    pub fn linear(method: Method) -> Self {
+        Self { method, quantizer: QuantizerKind::Linear }
+    }
+}
+
+impl std::fmt::Display for Candidate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.quantizer {
+            QuantizerKind::Linear => write!(f, "{}", self.method),
+            QuantizerKind::BitAdaptive { .. } => write!(f, "{}+BA", self.method),
+        }
+    }
+}
 
 /// Selector state carried by a [`crate::Compressor`].
 #[derive(Debug, Clone, Default)]
@@ -14,7 +48,7 @@ pub struct AdaptiveState {
     /// Buffers compressed since the last trial.
     since_trial: u32,
     /// Winner of the most recent trial.
-    current: Option<Method>,
+    current: Option<Candidate>,
 }
 
 impl AdaptiveState {
@@ -23,15 +57,15 @@ impl AdaptiveState {
         Self::default()
     }
 
-    /// Whether the next buffer should be a three-way trial.
+    /// Whether the next buffer should be a full candidate trial.
     pub fn trial_due(&self, interval: u32) -> bool {
         self.current.is_none() || self.since_trial >= interval
     }
 
     /// Records a trial winner and resets the interval counter.
-    pub fn record_winner(&mut self, method: Method) {
-        debug_assert!(!matches!(method, Method::Adaptive));
-        self.current = Some(method);
+    pub fn record_winner(&mut self, winner: Candidate) {
+        debug_assert!(!matches!(winner.method, Method::Adaptive));
+        self.current = Some(winner);
         self.since_trial = 1;
     }
 
@@ -40,8 +74,8 @@ impl AdaptiveState {
         self.since_trial += 1;
     }
 
-    /// The method currently in force, if a trial has run.
-    pub fn current(&self) -> Option<Method> {
+    /// The composition currently in force, if a trial has run.
+    pub fn current(&self) -> Option<Candidate> {
         self.current
     }
 }
@@ -60,7 +94,7 @@ mod tests {
     fn trial_cadence_matches_interval() {
         let mut s = AdaptiveState::new();
         assert!(s.trial_due(5));
-        s.record_winner(Method::Vqt);
+        s.record_winner(Candidate::linear(Method::Vqt));
         // Buffers 2..=5 reuse the winner; buffer 6 re-trials.
         for _ in 0..4 {
             assert!(!s.trial_due(5));
@@ -72,9 +106,17 @@ mod tests {
     #[test]
     fn winner_is_remembered() {
         let mut s = AdaptiveState::new();
-        s.record_winner(Method::Mt);
-        assert_eq!(s.current(), Some(Method::Mt));
-        s.record_winner(Method::Vq);
-        assert_eq!(s.current(), Some(Method::Vq));
+        s.record_winner(Candidate::linear(Method::Mt));
+        assert_eq!(s.current(), Some(Candidate::linear(Method::Mt)));
+        let ba = Candidate { method: Method::Vq, quantizer: QuantizerKind::BIT_ADAPTIVE_DEFAULT };
+        s.record_winner(ba);
+        assert_eq!(s.current(), Some(ba));
+    }
+
+    #[test]
+    fn candidate_display_tags_quantizer() {
+        assert_eq!(Candidate::linear(Method::Vqt).to_string(), "VQT");
+        let ba = Candidate { method: Method::Mt, quantizer: QuantizerKind::BIT_ADAPTIVE_DEFAULT };
+        assert_eq!(ba.to_string(), "MT+BA");
     }
 }

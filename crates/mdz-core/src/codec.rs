@@ -7,10 +7,11 @@
 //! absolute bound, while streaming callers (the trajectory layer, archives)
 //! forward their configured bound buffer by buffer.
 
+use crate::adaptive::Candidate;
 use crate::buffer::{Compressor, DecodeLimits, Decompressor};
 use crate::format::Method;
 use crate::pipeline::parallel::ParallelOptions;
-use crate::{ErrorBound, MdzConfig, Result};
+use crate::{ErrorBound, MdzConfig, QuantizerKind, Result};
 
 /// A stateful, error-bounded buffer compressor/decompressor pair.
 ///
@@ -68,15 +69,24 @@ pub struct MdzCodec {
 }
 
 impl MdzCodec {
-    /// Wraps a configuration, deriving the display name from its method.
+    /// Wraps a configuration, deriving the display name from its method and
+    /// quantizer stage (a `+BA` tag marks bit-adaptive compositions).
     pub fn from_config(cfg: MdzConfig) -> Self {
-        let name = match (cfg.method, cfg.extended_candidates) {
-            (Method::Vq, _) => "VQ",
-            (Method::Vqt, _) => "VQT",
-            (Method::Mt, _) => "MT",
-            (Method::Mt2, _) => "MT2",
-            (Method::Adaptive, false) => "MDZ (Adaptive)",
-            (Method::Adaptive, true) => "MDZ+ (extended)",
+        let ba = matches!(cfg.quantizer, QuantizerKind::BitAdaptive { .. })
+            || (cfg.method == Method::Adaptive && cfg.bit_adaptive_candidates);
+        let name = match (cfg.method, cfg.extended_candidates, ba) {
+            (Method::Vq, _, false) => "VQ",
+            (Method::Vq, _, true) => "VQ+BA",
+            (Method::Vqt, _, false) => "VQT",
+            (Method::Vqt, _, true) => "VQT+BA",
+            (Method::Mt, _, false) => "MT",
+            (Method::Mt, _, true) => "MT+BA",
+            (Method::Mt2, _, false) => "MT2",
+            (Method::Mt2, _, true) => "MT2+BA",
+            (Method::Adaptive, false, false) => "MDZ (Adaptive)",
+            (Method::Adaptive, false, true) => "MDZ (Adaptive+BA)",
+            (Method::Adaptive, true, false) => "MDZ+ (extended)",
+            (Method::Adaptive, true, true) => "MDZ+ (extended+BA)",
         };
         Self::with_name(name, cfg)
     }
@@ -101,6 +111,12 @@ impl MdzCodec {
     /// trial has run yet.
     pub fn current_adaptive_choice(&self) -> Option<Method> {
         self.comp.current_adaptive_choice()
+    }
+
+    /// The full (method, quantizer) composition the adaptive selector is
+    /// currently using, if any trial has run yet.
+    pub fn current_adaptive_candidate(&self) -> Option<Candidate> {
+        self.comp.current_adaptive_candidate()
     }
 
     /// Installs a decode budget on the decompression side; blocks whose

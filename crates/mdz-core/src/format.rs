@@ -21,8 +21,18 @@ use mdz_entropy::{read_uvarint, write_uvarint};
 
 /// Block magic bytes.
 pub const MAGIC: [u8; 4] = *b"MDZB";
-/// Current format version.
+/// Format version of classic fixed-scale blocks.
 pub const VERSION: u8 = 1;
+/// Format version of blocks carrying [`FLAG_BIT_ADAPTIVE`].
+///
+/// Bit-adaptive blocks change the wire encoding of the `B` code stream
+/// (per-chunk bit widths instead of one entropy-coded stream), so version-1
+/// decoders must reject them outright rather than misparse the payload. The
+/// version byte and the flag are redundant on purpose: each one
+/// cross-checks the other, so a forged flag on a version-1 block (or a
+/// stripped flag on a version-2 block) fails header validation instead of
+/// reaching the payload parser.
+pub const VERSION_BIT_ADAPTIVE: u8 = 2;
 
 /// Byte offset of the flags byte within a serialized block: right after the
 /// magic, the version byte, and the method byte. The `f32` tagging path
@@ -41,6 +51,11 @@ pub const FLAG_RANGE_CODED: u8 = 1 << 3;
 /// The source data was `f32`; decompress with
 /// [`crate::Decompressor::decompress_block_f32`] to recover it.
 pub const FLAG_F32: u8 = 1 << 4;
+/// The `B` code stream is bit-adaptive: packed with per-chunk bit widths by
+/// [`crate::BitAdaptiveQuantizer`] instead of entropy-coded over the fixed
+/// `[1, 2·radius)` alphabet. Implies (and requires) the block version byte
+/// [`VERSION_BIT_ADAPTIVE`].
+pub const FLAG_BIT_ADAPTIVE: u8 = 1 << 5;
 
 /// MDZ compression method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -130,7 +145,7 @@ impl BlockHeader {
     /// Serializes the header into `out`.
     pub fn write(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&MAGIC);
-        out.push(VERSION);
+        out.push(if self.flags & FLAG_BIT_ADAPTIVE != 0 { VERSION_BIT_ADAPTIVE } else { VERSION });
         out.push(self.method.to_wire());
         out.push(self.flags);
         write_uvarint(out, self.n_snapshots as u64);
@@ -155,7 +170,7 @@ impl BlockHeader {
         *pos += 4;
         let version = *data.get(*pos).ok_or(MdzError::BadHeader("truncated version"))?;
         *pos += 1;
-        if version != VERSION {
+        if version != VERSION && version != VERSION_BIT_ADAPTIVE {
             return Err(MdzError::BadHeader("unsupported version"));
         }
         let method =
@@ -163,6 +178,12 @@ impl BlockHeader {
         *pos += 1;
         let flags = *data.get(*pos).ok_or(MdzError::BadHeader("truncated flags"))?;
         *pos += 1;
+        // The version byte and the bit-adaptive flag must agree; a mismatch
+        // means the block was tampered with or mis-assembled.
+        let expect_ba = version == VERSION_BIT_ADAPTIVE;
+        if (flags & FLAG_BIT_ADAPTIVE != 0) != expect_ba {
+            return Err(MdzError::BadHeader("version/flag mismatch for bit-adaptive stream"));
+        }
         let n_snapshots = read_uvarint(data, pos)? as usize;
         let n_values = read_uvarint(data, pos)? as usize;
         if n_snapshots == 0 || n_values == 0 {
@@ -365,6 +386,49 @@ mod tests {
             *b = 0xFF;
         }
         assert!(BlockHeader::read(&bad, &mut 0).is_err());
+    }
+
+    #[test]
+    fn bit_adaptive_header_uses_version_two() {
+        let h = BlockHeader {
+            flags: FLAG_BIT_ADAPTIVE | FLAG_SEQ2,
+            grid: None,
+            method: Method::Mt,
+            ..sample_header()
+        };
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        assert_eq!(buf[4], VERSION_BIT_ADAPTIVE);
+        let mut pos = 0;
+        let parsed = BlockHeader::read(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        assert_eq!(parsed.flags, h.flags);
+    }
+
+    #[test]
+    fn version_flag_mismatch_rejected_both_ways() {
+        // Forged flag on a version-1 block.
+        let mut buf = Vec::new();
+        BlockHeader { flags: 0, grid: None, method: Method::Mt, ..sample_header() }.write(&mut buf);
+        buf[FLAGS_OFFSET] |= FLAG_BIT_ADAPTIVE;
+        assert_eq!(
+            BlockHeader::read(&buf, &mut 0).map(|h| h.flags).unwrap_err(),
+            MdzError::BadHeader("version/flag mismatch for bit-adaptive stream")
+        );
+        // Stripped flag on a version-2 block.
+        let mut buf = Vec::new();
+        BlockHeader { flags: FLAG_BIT_ADAPTIVE, grid: None, method: Method::Mt, ..sample_header() }
+            .write(&mut buf);
+        buf[FLAGS_OFFSET] &= !FLAG_BIT_ADAPTIVE;
+        assert!(BlockHeader::read(&buf, &mut 0).is_err());
+        // Unknown future versions stay rejected.
+        let mut buf = Vec::new();
+        sample_header().write(&mut buf);
+        buf[4] = 3;
+        assert_eq!(
+            BlockHeader::read(&buf, &mut 0).map(|h| h.flags).unwrap_err(),
+            MdzError::BadHeader("unsupported version")
+        );
     }
 
     #[test]

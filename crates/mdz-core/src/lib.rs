@@ -55,16 +55,18 @@ pub mod format;
 pub(crate) mod pipeline;
 pub mod quant;
 pub mod seq;
+pub mod stage;
 pub mod traj;
 
-pub use adaptive::AdaptiveState;
+pub use adaptive::{AdaptiveState, Candidate};
 pub use bound::ErrorBound;
 pub use buffer::{BlockInfo, Compressor, DecodeLimits, Decompressor};
 pub use codec::{Codec, MdzCodec};
 pub use format::Method;
 pub use mdz_obs::{Obs, Recorder};
 pub use pipeline::parallel::ParallelOptions;
-pub use quant::LinearQuantizer;
+pub use quant::{BitAdaptiveQuantizer, LinearQuantizer};
+pub use stage::{HuffmanStage, LosslessStage, Lz77Stage, Quantizer, RangeStage};
 pub use traj::{
     compress_frames, decompress_frames, Frame, ParallelTrajectoryCompressor,
     ParallelTrajectoryDecompressor, TrajReader, TrajWriter, TrajectoryCompressor,
@@ -164,6 +166,43 @@ pub struct MdzConfig {
     /// Include the second-order predictor [`Method::Mt2`] among the
     /// adaptive candidates (extension; off by default to match the paper).
     pub extended_candidates: bool,
+    /// Which quantizer codes residuals (the classic fixed linear scale by
+    /// default; bit-adaptive blocks carry the version-2 flag).
+    pub quantizer: QuantizerKind,
+    /// Let the adaptive selector also trial bit-adaptive quantization and
+    /// keep whichever composition compresses best (off by default so ADP
+    /// output matches the paper's fixed-scale pipeline bit for bit).
+    pub bit_adaptive_candidates: bool,
+}
+
+/// Which quantizer stage a [`Compressor`] composes into its pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QuantizerKind {
+    /// Fixed `[1, 2·radius)` linear scale ([`LinearQuantizer`]; default).
+    #[default]
+    Linear,
+    /// Per-chunk bit widths sized to local residual magnitude
+    /// ([`BitAdaptiveQuantizer`]), serialized behind
+    /// [`format::FLAG_BIT_ADAPTIVE`].
+    BitAdaptive {
+        /// Codes per width region in the wire format.
+        chunk: usize,
+    },
+}
+
+impl QuantizerKind {
+    /// Bit-adaptive quantization with the default chunk size.
+    pub const BIT_ADAPTIVE_DEFAULT: QuantizerKind =
+        QuantizerKind::BitAdaptive { chunk: BitAdaptiveQuantizer::DEFAULT_CHUNK };
+}
+
+impl std::fmt::Display for QuantizerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantizerKind::Linear => write!(f, "linear"),
+            QuantizerKind::BitAdaptive { .. } => write!(f, "bit-adaptive"),
+        }
+    }
 }
 
 /// Which entropy coder the pipeline's third stage uses.
@@ -193,6 +232,8 @@ impl MdzConfig {
             max_levels: 150,
             entropy: EntropyStage::default(),
             extended_candidates: false,
+            quantizer: QuantizerKind::default(),
+            bit_adaptive_candidates: false,
         }
     }
 
@@ -226,6 +267,18 @@ impl MdzConfig {
         self
     }
 
+    /// Overrides the quantizer stage.
+    pub fn with_quantizer(mut self, quantizer: QuantizerKind) -> Self {
+        self.quantizer = quantizer;
+        self
+    }
+
+    /// Adds bit-adaptive quantization to the adaptive candidate set.
+    pub fn with_bit_adaptive_candidates(mut self, on: bool) -> Self {
+        self.bit_adaptive_candidates = on;
+        self
+    }
+
     /// Validates field ranges.
     pub fn validate(&self) -> Result<()> {
         if self.radius < 2 || self.radius > (1 << 24) {
@@ -233,6 +286,11 @@ impl MdzConfig {
         }
         if self.adapt_interval == 0 {
             return Err(MdzError::BadConfig("adapt_interval must be positive"));
+        }
+        if let QuantizerKind::BitAdaptive { chunk } = self.quantizer {
+            if !(1..=BitAdaptiveQuantizer::MAX_CHUNK).contains(&chunk) {
+                return Err(MdzError::BadConfig("bit-adaptive chunk must be in [1, 2^20]"));
+            }
         }
         self.bound.validate()
     }

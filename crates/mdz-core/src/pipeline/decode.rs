@@ -2,16 +2,21 @@
 //!
 //! Mirrors the encode stage exactly — per-snapshot modes are re-derived from
 //! the block header and every prediction goes through the shared
-//! [`Predictor`], so encoder and decoder cannot drift apart. Streaming
-//! decompression reuses [`DecodeScratch`]; the random-access path
-//! ([`decode_inner_one`]) is cold and allocates freely.
+//! [`Predictor`], so encoder and decoder cannot drift apart. The quantizer
+//! and entropy stages are rebuilt from the header flags ([`HeaderQuantizer`],
+//! [`HeaderEntropy`]) and the body is generic over
+//! [`Quantizer`](crate::stage::Quantizer), so linear and bit-adaptive blocks
+//! share one reconstruction path. Streaming decompression reuses
+//! [`DecodeScratch`]; the random-access path ([`decode_inner_one`]) is cold
+//! and allocates freely.
 
-use crate::format::{BlockHeader, Method, FLAG_FIRST_LORENZO, FLAG_RANGE_CODED, FLAG_SEQ2};
-use crate::quant::LinearQuantizer;
+use crate::format::{
+    BlockHeader, Method, FLAG_BIT_ADAPTIVE, FLAG_FIRST_LORENZO, FLAG_RANGE_CODED, FLAG_SEQ2,
+};
+use crate::quant::{BitAdaptiveQuantizer, LinearQuantizer};
 use crate::seq::from_seq2_into;
+use crate::stage::{EntropyStage, HuffmanStage, Quantizer, RangeStage};
 use crate::{MdzError, Result};
-use mdz_entropy::huffman::huffman_decode_at_into_limited;
-use mdz_entropy::range::range_decode_at_into_limited;
 use mdz_entropy::{read_uvarint, zigzag_decode, StreamLimits};
 use mdz_kmeans::LevelGrid;
 use std::collections::HashMap;
@@ -38,47 +43,70 @@ pub(crate) struct DecodeScratch {
     extrapolated: Vec<f64>,
 }
 
-/// Decodes one entropy-coded integer stream per the header's coder flag.
+/// The quantizer stage a parsed header declares, rebuilt decoder-side.
 ///
-/// `limits.max_items` is the validated block size `M·N`, so no stream can
-/// declare more symbols than the block holds values — the entropy decoders
-/// fail before any larger allocation.
-fn decode_stream(
-    header: &BlockHeader,
-    inner: &[u8],
-    pos: &mut usize,
-    limits: &StreamLimits,
-) -> Result<Vec<u32>> {
-    let mut out = Vec::new();
-    decode_stream_into(header, inner, pos, &mut out, limits)?;
-    Ok(out)
+/// Dispatching once here keeps the per-value reconstruction loops
+/// monomorphized over the concrete quantizer instead of paying a virtual
+/// call per value.
+enum HeaderQuantizer {
+    /// Classic fixed `[1, 2·radius)` scale (format version 1).
+    Linear(LinearQuantizer),
+    /// Per-chunk bit widths (format version 2; the chunk size itself
+    /// travels inside the B stream, so the header only fixes `eps` and the
+    /// escape radius).
+    BitAdaptive(BitAdaptiveQuantizer),
 }
 
-/// [`decode_stream`] writing into a caller-owned vector (cleared first).
-fn decode_stream_into(
-    header: &BlockHeader,
-    inner: &[u8],
-    pos: &mut usize,
-    out: &mut Vec<u32>,
-    limits: &StreamLimits,
-) -> Result<()> {
-    if header.flags & FLAG_RANGE_CODED != 0 {
-        range_decode_at_into_limited(inner, pos, out, limits)?;
-    } else {
-        huffman_decode_at_into_limited(inner, pos, out, limits)?;
+impl HeaderQuantizer {
+    fn from_header(header: &BlockHeader) -> Self {
+        if header.flags & FLAG_BIT_ADAPTIVE != 0 {
+            // The chunk size passed here is irrelevant: `decode_codes` reads
+            // the authoritative chunk size from the stream itself.
+            HeaderQuantizer::BitAdaptive(BitAdaptiveQuantizer::with_wire_radius(
+                header.eps,
+                header.radius,
+                BitAdaptiveQuantizer::DEFAULT_CHUNK,
+            ))
+        } else {
+            HeaderQuantizer::Linear(LinearQuantizer::new(header.eps, header.radius))
+        }
     }
-    Ok(())
 }
 
-/// Rejects quantization codes outside the header-declared scale.
+/// The entropy stage a parsed header declares.
+enum HeaderEntropy {
+    /// Canonical Huffman coding.
+    Huffman(HuffmanStage),
+    /// Static range coding ([`FLAG_RANGE_CODED`]).
+    Range(RangeStage),
+}
+
+impl HeaderEntropy {
+    fn from_header(header: &BlockHeader) -> Self {
+        if header.flags & FLAG_RANGE_CODED != 0 {
+            HeaderEntropy::Range(RangeStage::default())
+        } else {
+            HeaderEntropy::Huffman(HuffmanStage::default())
+        }
+    }
+
+    fn as_dyn(&mut self) -> &mut dyn EntropyStage {
+        match self {
+            HeaderEntropy::Huffman(s) => s,
+            HeaderEntropy::Range(s) => s,
+        }
+    }
+}
+
+/// Rejects quantization codes outside the quantizer's code space.
 ///
-/// Valid codes live in `[0, 2·radius)` — 0 is the escape marker, everything
-/// else maps to a residual of at most `radius` quanta. A code past the scale
-/// can only come from corruption; reconstructing from it would silently
-/// violate the error bound.
-fn check_codes(codes: &[u32], radius: u32) -> Result<()> {
-    let scale = u64::from(radius) * 2;
-    if codes.iter().any(|&c| u64::from(c) >= scale) {
+/// Valid codes live in `[0, space)` — 0 is the escape marker, everything
+/// else maps to an in-bound residual. A code past the space can only come
+/// from corruption; reconstructing from it would silently violate the error
+/// bound. The space comes from [`Quantizer::code_space`], never re-derived
+/// from the raw header radius.
+fn check_codes(codes: &[u32], space: u64) -> Result<()> {
+    if codes.iter().any(|&c| u64::from(c) >= space) {
         return Err(MdzError::Corrupt { what: "quantization code out of range" });
     }
     Ok(())
@@ -106,16 +134,32 @@ pub(crate) fn decode_inner_one(
     inner: &[u8],
     index: usize,
 ) -> Result<Vec<f64>> {
+    match HeaderQuantizer::from_header(header) {
+        HeaderQuantizer::Linear(q) => decode_inner_one_with(header, inner, index, &q),
+        HeaderQuantizer::BitAdaptive(q) => decode_inner_one_with(header, inner, index, &q),
+    }
+}
+
+/// [`decode_inner_one`] monomorphized over the header's quantizer stage.
+fn decode_inner_one_with<Q: Quantizer>(
+    header: &BlockHeader,
+    inner: &[u8],
+    index: usize,
+    quant: &Q,
+) -> Result<Vec<f64>> {
     let m = header.n_snapshots;
     let n = header.n_values;
     let stream_limits = StreamLimits::with_max_items(m * n);
+    let mut entropy = HeaderEntropy::from_header(header);
     let mut pos = 0;
-    let b_ordered = decode_stream(header, inner, &mut pos, &stream_limits)?;
-    let j_ordered = decode_stream(header, inner, &mut pos, &stream_limits)?;
+    let mut b_ordered = Vec::new();
+    quant.decode_codes(inner, &mut pos, entropy.as_dyn(), &mut b_ordered, &stream_limits)?;
+    let mut j_ordered = Vec::new();
+    entropy.as_dyn().decode_at_into(inner, &mut pos, &mut j_ordered, &stream_limits)?;
     if b_ordered.len() != m * n {
         return Err(MdzError::Corrupt { what: "quantization code count mismatch" });
     }
-    check_codes(&b_ordered, header.radius)?;
+    check_codes(&b_ordered, quant.code_space())?;
     let grid = header.grid.map(|(mu, lambda)| LevelGrid { mu, lambda, k: 0, fit_error: 0.0 });
     let expect_j = if grid.is_some() { m * n } else { 0 };
     if j_ordered.len() != expect_j {
@@ -155,7 +199,6 @@ pub(crate) fn decode_inner_one(
             ordered[flat_base + i]
         }
     };
-    let quant = LinearQuantizer::new(header.eps, header.radius);
     let mut snap = vec![0.0f64; n];
     match &grid {
         Some(g) => {
@@ -193,6 +236,19 @@ pub(crate) fn decode_inner(
     reference: Option<&[f64]>,
     scratch: &mut DecodeScratch,
 ) -> Result<Vec<Vec<f64>>> {
+    match HeaderQuantizer::from_header(header) {
+        HeaderQuantizer::Linear(q) => decode_inner_with(header, reference, scratch, &q),
+        HeaderQuantizer::BitAdaptive(q) => decode_inner_with(header, reference, scratch, &q),
+    }
+}
+
+/// [`decode_inner`] monomorphized over the header's quantizer stage.
+fn decode_inner_with<Q: Quantizer>(
+    header: &BlockHeader,
+    reference: Option<&[f64]>,
+    scratch: &mut DecodeScratch,
+    quant: &Q,
+) -> Result<Vec<Vec<f64>>> {
     let DecodeScratch {
         inner,
         modes,
@@ -207,13 +263,14 @@ pub(crate) fn decode_inner(
     let m = header.n_snapshots;
     let n = header.n_values;
     let stream_limits = StreamLimits::with_max_items(m * n);
+    let mut entropy = HeaderEntropy::from_header(header);
     let mut pos = 0;
-    decode_stream_into(header, inner, &mut pos, b_ordered, &stream_limits)?;
-    decode_stream_into(header, inner, &mut pos, j_ordered, &stream_limits)?;
+    quant.decode_codes(inner, &mut pos, entropy.as_dyn(), b_ordered, &stream_limits)?;
+    entropy.as_dyn().decode_at_into(inner, &mut pos, j_ordered, &stream_limits)?;
     if b_ordered.len() != m * n {
         return Err(MdzError::Corrupt { what: "quantization code count mismatch" });
     }
-    check_codes(b_ordered, header.radius)?;
+    check_codes(b_ordered, quant.code_space())?;
     let escape_count = read_uvarint(inner, &mut pos)? as usize;
     check_escape_count(escape_count, m * n, inner.len().saturating_sub(pos))?;
     // The count is now input-proportional, so this reservation is bounded by
@@ -277,7 +334,6 @@ pub(crate) fn decode_inner(
         j_ordered
     };
 
-    let quant = LinearQuantizer::new(header.eps, header.radius);
     let mut out: Vec<Vec<f64>> = Vec::with_capacity(m);
     let mut j_row = 0usize;
     for (s_idx, &mode) in modes.iter().enumerate() {

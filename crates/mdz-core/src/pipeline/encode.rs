@@ -2,23 +2,25 @@
 //! and block assembly, writing into caller-owned buffers.
 //!
 //! The only entry point is [`encode_buffer_into`], which encodes one buffer
-//! with a concrete method and reports the state transition as a
-//! [`StateDelta`] for the caller to commit (adaptive trials discard the
-//! deltas of losing candidates). All intermediate storage lives in
-//! [`EncodeScratch`], so a warmed-up compressor re-encoding same-shaped
-//! buffers performs no heap allocation here.
+//! with a concrete (method, quantizer) composition and reports the state
+//! transition as a [`StateDelta`] for the caller to commit (adaptive trials
+//! discard the deltas of losing candidates). The pipeline is assembled from
+//! the stage traits in [`crate::stage`] — the quantizer is a generic
+//! [`Quantizer`] parameter (monomorphized, so the fixed-scale hot loop costs
+//! nothing), and the entropy/lossless stages are the trait objects owned by
+//! [`EncodeScratch`]. All intermediate storage lives in [`EncodeScratch`],
+//! so a warmed-up compressor re-encoding same-shaped buffers performs no
+//! heap allocation here (bit-adaptive width tables excepted).
 
 use crate::format::{
     BlockHeader, Method, FLAG_FIRST_LORENZO, FLAG_GRID, FLAG_RANGE_CODED, FLAG_SEQ2,
 };
-use crate::quant::{LinearQuantizer, Quantized};
+use crate::quant::{BitAdaptiveQuantizer, LinearQuantizer, Quantized};
 use crate::seq::to_seq2_into;
-use crate::{EntropyStage, MdzConfig, Result};
-use mdz_entropy::huffman::huffman_encode_into;
-use mdz_entropy::range::range_encode_into;
-use mdz_entropy::{write_uvarint, zigzag_encode, HuffmanScratch, RangeScratch};
+use crate::stage::{HuffmanStage, LosslessStage, Lz77Stage, Quantizer, RangeStage};
+use crate::{EntropyStage, MdzConfig, QuantizerKind, Result};
+use mdz_entropy::{write_uvarint, zigzag_encode};
 use mdz_kmeans::{detect_levels, LevelGrid, SelectConfig};
-use mdz_lossless::lz77::{self, Lz77Scratch};
 use mdz_obs::Obs;
 
 use super::predict::{snapshot_modes_into, Predictor, SnapshotMode};
@@ -32,7 +34,8 @@ const MAX_LEVEL_MAG: f64 = (1u64 << 40) as f64;
 ///
 /// Every vector is cleared (never shrunk) between buffers, so steady-state
 /// compression of same-shaped buffers runs allocation-free; the
-/// `alloc_free` integration test locks this in.
+/// `alloc_free` integration test locks this in. The entropy and lossless
+/// stages live here too, carrying their own scratch.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct EncodeScratch {
     modes: Vec<SnapshotMode>,
@@ -48,20 +51,75 @@ pub(crate) struct EncodeScratch {
     extrapolated: Vec<f64>,
     inner: Vec<u8>,
     payload: Vec<u8>,
-    huffman: HuffmanScratch,
-    range: RangeScratch,
-    lz77: Lz77Scratch,
+    huffman: HuffmanStage,
+    range: RangeStage,
+    lz77: Lz77Stage,
 }
 
-/// Encodes one buffer with a concrete method into `out` (cleared first),
-/// returning the state transition for the caller to commit.
+/// Resolves the configured error bound against one buffer's value range.
+fn resolve_eps(cfg: &MdzConfig, snapshots: &[Vec<f64>]) -> f64 {
+    let mut all_min = f64::INFINITY;
+    let mut all_max = f64::NEG_INFINITY;
+    for s in snapshots {
+        for &v in s {
+            if v < all_min {
+                all_min = v;
+            }
+            if v > all_max {
+                all_max = v;
+            }
+        }
+    }
+    match cfg.bound {
+        crate::ErrorBound::Absolute(e) => e,
+        crate::ErrorBound::ValueRangeRelative(r) => {
+            let range = all_max - all_min;
+            if range > 0.0 && range.is_finite() {
+                r * range
+            } else {
+                1e-300
+            }
+        }
+    }
+}
+
+/// Encodes one buffer with a concrete (method, quantizer) composition into
+/// `out` (cleared first), returning the state transition for the caller to
+/// commit.
 ///
 /// `obs` records per-stage timings (`core.encode.*_seconds`) and pipeline
 /// counters; pass a no-op handle to skip all measurement.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn encode_buffer_into(
     cfg: &MdzConfig,
     state: &CoreState,
     method: Method,
+    quantizer: QuantizerKind,
+    snapshots: &[Vec<f64>],
+    out: &mut Vec<u8>,
+    scratch: &mut EncodeScratch,
+    obs: &Obs,
+) -> Result<StateDelta> {
+    let eps = resolve_eps(cfg, snapshots);
+    match quantizer {
+        QuantizerKind::Linear => {
+            let quant = LinearQuantizer::new(eps, cfg.radius);
+            encode_with(cfg, state, method, &quant, snapshots, out, scratch, obs)
+        }
+        QuantizerKind::BitAdaptive { chunk } => {
+            let quant = BitAdaptiveQuantizer::new(eps, chunk);
+            encode_with(cfg, state, method, &quant, snapshots, out, scratch, obs)
+        }
+    }
+}
+
+/// The composition body, monomorphized per quantizer.
+#[allow(clippy::too_many_arguments)]
+fn encode_with<Q: Quantizer>(
+    cfg: &MdzConfig,
+    state: &CoreState,
+    method: Method,
+    quant: &Q,
     snapshots: &[Vec<f64>],
     out: &mut Vec<u8>,
     scratch: &mut EncodeScratch,
@@ -85,37 +143,10 @@ pub(crate) fn encode_buffer_into(
         payload,
         huffman,
         range,
-        lz77: lz,
+        lz77: lossless,
     } = scratch;
     let mut delta = StateDelta::default();
-
-    // Resolve the error bound against the whole buffer.
-    let eps = {
-        let mut all_min = f64::INFINITY;
-        let mut all_max = f64::NEG_INFINITY;
-        for s in snapshots {
-            for &v in s {
-                if v < all_min {
-                    all_min = v;
-                }
-                if v > all_max {
-                    all_max = v;
-                }
-            }
-        }
-        match cfg.bound {
-            crate::ErrorBound::Absolute(e) => e,
-            crate::ErrorBound::ValueRangeRelative(r) => {
-                let range = all_max - all_min;
-                if range > 0.0 && range.is_finite() {
-                    r * range
-                } else {
-                    1e-300
-                }
-            }
-        }
-    };
-    let quant = LinearQuantizer::new(eps, cfg.radius);
+    let eps = quant.eps();
 
     // Level grid: detect once per stream, from the first snapshot seen by a
     // VQ-family method (the paper computes F once, on the first snapshot).
@@ -160,19 +191,10 @@ pub(crate) fn encode_buffer_into(
         match mode {
             SnapshotMode::VqGrid => {
                 let g = grid.expect("mode implies grid");
-                encode_vq_snapshot(
-                    &quant,
-                    &g,
-                    snap,
-                    s_idx * n,
-                    b_codes,
-                    j_codes,
-                    escapes,
-                    recon_cur,
-                )
+                encode_vq_snapshot(quant, &g, snap, s_idx * n, b_codes, j_codes, escapes, recon_cur)
             }
             SnapshotMode::Lorenzo => encode_predicted_snapshot(
-                &quant,
+                quant,
                 snap,
                 s_idx * n,
                 Predictor::Lorenzo,
@@ -181,7 +203,7 @@ pub(crate) fn encode_buffer_into(
                 recon_cur,
             ),
             SnapshotMode::TimePrev => encode_predicted_snapshot(
-                &quant,
+                quant,
                 snap,
                 s_idx * n,
                 Predictor::Slice(recon_prev.as_slice()),
@@ -194,7 +216,7 @@ pub(crate) fn encode_buffer_into(
                 extrapolated
                     .extend(recon_prev.iter().zip(recon_prev2.iter()).map(|(&a, &b)| 2.0 * a - b));
                 encode_predicted_snapshot(
-                    &quant,
+                    quant,
                     snap,
                     s_idx * n,
                     Predictor::Slice(extrapolated.as_slice()),
@@ -204,7 +226,7 @@ pub(crate) fn encode_buffer_into(
                 )
             }
             SnapshotMode::TimeRef => encode_predicted_snapshot(
-                &quant,
+                quant,
                 snap,
                 s_idx * n,
                 Predictor::Slice(state.reference.as_deref().expect("mode implies ref")),
@@ -247,17 +269,17 @@ pub(crate) fn encode_buffer_into(
     };
 
     inner.clear();
+    let entropy_stage: &mut dyn crate::stage::EntropyStage = match cfg.entropy {
+        EntropyStage::Huffman => huffman,
+        EntropyStage::Range => range,
+    };
     let entropy = obs.span("core.encode.entropy_seconds");
-    match cfg.entropy {
-        EntropyStage::Huffman => {
-            huffman_encode_into(b_ord, inner, huffman);
-            huffman_encode_into(j_ord, inner, huffman);
-        }
-        EntropyStage::Range => {
-            range_encode_into(b_ord, inner, range);
-            range_encode_into(j_ord, inner, range);
-        }
-    }
+    // The quantizer owns the wire representation of its code stream: the
+    // fixed-scale quantizer routes through the entropy stage unchanged, the
+    // bit-adaptive one writes its width-table packing instead. The J stream
+    // (level-index deltas) is always entropy-coded.
+    quant.encode_codes(b_ord, entropy_stage, inner);
+    entropy_stage.encode_into(j_ord, inner);
     entropy.finish();
     write_uvarint(inner, escapes.len() as u64);
     let mut prev_idx = 0u64;
@@ -271,9 +293,9 @@ pub(crate) fn encode_buffer_into(
     payload.clear();
     {
         let _t = obs.span("core.encode.lossless_seconds");
-        lz77::compress_into(inner, lz77::Level::Default, payload, lz);
+        lossless.compress_into(inner, payload);
     }
-    let mut flags = 0u8;
+    let mut flags = quant.wire_flags();
     let grid_used = matches!(method, Method::Vq | Method::Vqt) && grid.is_some();
     if grid_used {
         flags |= FLAG_GRID;
@@ -293,7 +315,7 @@ pub(crate) fn encode_buffer_into(
         n_snapshots: m,
         n_values: n,
         eps,
-        radius: cfg.radius,
+        radius: quant.wire_radius(),
         grid: grid_used.then(|| {
             let g = grid.expect("grid_used implies grid");
             (g.mu, g.lambda)
@@ -308,8 +330,8 @@ pub(crate) fn encode_buffer_into(
 
 /// Encodes a snapshot under value prediction, writing codes/escapes and the
 /// reconstruction.
-fn encode_predicted_snapshot(
-    quant: &LinearQuantizer,
+fn encode_predicted_snapshot<Q: Quantizer>(
+    quant: &Q,
     snap: &[f64],
     flat_base: usize,
     source: Predictor<'_>,
@@ -331,8 +353,8 @@ fn encode_predicted_snapshot(
 
 /// Encodes a snapshot with VQ level prediction, emitting level-delta codes.
 #[allow(clippy::too_many_arguments)]
-fn encode_vq_snapshot(
-    quant: &LinearQuantizer,
+fn encode_vq_snapshot<Q: Quantizer>(
+    quant: &Q,
     grid: &LevelGrid,
     snap: &[f64],
     flat_base: usize,

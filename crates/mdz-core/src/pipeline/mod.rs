@@ -36,11 +36,12 @@ pub(crate) mod encode;
 pub mod parallel;
 pub(crate) mod predict;
 
-use crate::adaptive::AdaptiveState;
+use crate::adaptive::{AdaptiveState, Candidate};
 use crate::format::{
-    BlockHeader, Method, FLAGS_OFFSET, FLAG_F32, FLAG_RANGE_CODED, FLAG_SEQ2, MAGIC,
+    BlockHeader, Method, FLAGS_OFFSET, FLAG_BIT_ADAPTIVE, FLAG_F32, FLAG_RANGE_CODED, FLAG_SEQ2,
+    MAGIC,
 };
-use crate::{ErrorBound, MdzConfig, MdzError, Result};
+use crate::{ErrorBound, MdzConfig, MdzError, QuantizerKind, Result};
 use decode::{decode_inner, decode_inner_one, DecodeScratch};
 use encode::{encode_buffer_into, EncodeScratch};
 use mdz_entropy::{read_uvarint, StreamLimits};
@@ -195,6 +196,12 @@ impl Compressor {
     /// The concrete method the adaptive selector is currently using, if any
     /// trial has run yet.
     pub fn current_adaptive_choice(&self) -> Option<Method> {
+        self.adaptive.current().map(|c| c.method)
+    }
+
+    /// The full (method, quantizer) composition the adaptive selector is
+    /// currently using, if any trial has run yet.
+    pub fn current_adaptive_candidate(&self) -> Option<Candidate> {
         self.adaptive.current()
     }
 
@@ -246,6 +253,7 @@ impl Compressor {
                     &self.cfg,
                     &self.state,
                     m,
+                    self.cfg.quantizer,
                     snapshots,
                     out,
                     &mut self.scratch,
@@ -274,43 +282,65 @@ impl Compressor {
         Ok(block)
     }
 
-    /// ADP: every `adapt_interval` buffers, compress with all candidate
-    /// methods and keep the smallest; in between, reuse the last winner.
-    fn compress_adaptive_into(&mut self, snapshots: &[Vec<f64>], out: &mut Vec<u8>) -> Result<()> {
-        if self.adaptive.trial_due(self.cfg.adapt_interval) {
-            let candidates: &[Method] =
-                if self.cfg.extended_candidates { &Method::EXTENDED } else { &Method::CONCRETE };
-            let mut best: Option<(StateDelta, Method)> = None;
-            for &m in candidates {
-                let delta = encode_buffer_into(
-                    &self.cfg,
-                    &self.state,
-                    m,
-                    snapshots,
-                    &mut self.trial_cur,
-                    &mut self.scratch,
-                    &self.obs,
-                )?;
-                if best.is_none() || self.trial_cur.len() < self.trial_best.len() {
-                    std::mem::swap(&mut self.trial_best, &mut self.trial_cur);
-                    best = Some((delta, m));
+    /// The quantizer stages ADP trials: the configured one first (so the
+    /// candidate ordering — and therefore every tie-break — is unchanged
+    /// when the bit-adaptive pool is off), then the extra pool members.
+    fn trial_quantizers(&self) -> Vec<QuantizerKind> {
+        let mut quantizers = vec![self.cfg.quantizer];
+        if self.cfg.bit_adaptive_candidates {
+            for q in [QuantizerKind::Linear, QuantizerKind::BIT_ADAPTIVE_DEFAULT] {
+                if !quantizers.contains(&q) {
+                    quantizers.push(q);
                 }
             }
-            let (delta, method) = best.expect("candidates evaluated");
+        }
+        quantizers
+    }
+
+    /// ADP: every `adapt_interval` buffers, compress with all candidate
+    /// compositions (method × quantizer) and keep the smallest; in between,
+    /// reuse the last winner.
+    fn compress_adaptive_into(&mut self, snapshots: &[Vec<f64>], out: &mut Vec<u8>) -> Result<()> {
+        if self.adaptive.trial_due(self.cfg.adapt_interval) {
+            let methods: &[Method] =
+                if self.cfg.extended_candidates { &Method::EXTENDED } else { &Method::CONCRETE };
+            let quantizers = self.trial_quantizers();
+            let mut best: Option<(StateDelta, Candidate)> = None;
+            for &m in methods {
+                for &q in &quantizers {
+                    let delta = encode_buffer_into(
+                        &self.cfg,
+                        &self.state,
+                        m,
+                        q,
+                        snapshots,
+                        &mut self.trial_cur,
+                        &mut self.scratch,
+                        &self.obs,
+                    )?;
+                    if best.is_none() || self.trial_cur.len() < self.trial_best.len() {
+                        std::mem::swap(&mut self.trial_best, &mut self.trial_cur);
+                        best = Some((delta, Candidate { method: m, quantizer: q }));
+                    }
+                }
+            }
+            let (delta, winner) = best.expect("candidates evaluated");
             self.state.apply(delta);
-            self.adaptive.record_winner(method);
+            self.adaptive.record_winner(winner);
             self.obs.incr("core.adp.trials", 1);
-            self.obs.incr(adp_win_counter(method), 1);
+            self.obs.incr(adp_win_counter(winner.method), 1);
+            self.obs.incr(adp_quant_win_counter(winner.quantizer), 1);
             out.clear();
             out.extend_from_slice(&self.trial_best);
             Ok(())
         } else {
-            let m = self.adaptive.current().expect("winner recorded at first trial");
+            let c = self.adaptive.current().expect("winner recorded at first trial");
             self.adaptive.tick();
             let delta = encode_buffer_into(
                 &self.cfg,
                 &self.state,
-                m,
+                c.method,
+                c.quantizer,
                 snapshots,
                 out,
                 &mut self.scratch,
@@ -331,6 +361,14 @@ fn adp_win_counter(method: Method) -> &'static str {
         Method::Mt2 => "core.adp.win.mt2",
         // ADP trials only ever record concrete winners.
         Method::Adaptive => "core.adp.win.other",
+    }
+}
+
+/// The ADP winner counter for a quantizer stage.
+fn adp_quant_win_counter(quantizer: QuantizerKind) -> &'static str {
+    match quantizer {
+        QuantizerKind::Linear => "core.adp.win.quant.linear",
+        QuantizerKind::BitAdaptive { .. } => "core.adp.win.quant.bit_adaptive",
     }
 }
 
@@ -362,6 +400,9 @@ pub struct BlockInfo {
     pub seq2: bool,
     /// Whether the entropy stage was the range coder.
     pub range_coded: bool,
+    /// Whether residual codes use bit-adaptive (per-chunk width)
+    /// quantization — a format-version-2 block.
+    pub bit_adaptive: bool,
     /// Whether the source data was `f32` (decompress with
     /// [`Decompressor::decompress_block_f32`]).
     pub source_f32: bool,
@@ -461,6 +502,7 @@ impl Decompressor {
             grid: header.grid,
             seq2: header.flags & FLAG_SEQ2 != 0,
             range_coded: header.flags & FLAG_RANGE_CODED != 0,
+            bit_adaptive: header.flags & FLAG_BIT_ADAPTIVE != 0,
             source_f32: header.flags & FLAG_F32 != 0,
             payload_bytes: payload_len,
         })

@@ -42,8 +42,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use mdz_obs::Obs;
 
+use crate::adaptive::Candidate;
 use crate::format::BlockHeader;
-use crate::{MdzConfig, Method, Result};
+use crate::{MdzConfig, Method, QuantizerKind, Result};
 
 use super::encode::{encode_buffer_into, EncodeScratch};
 use super::{validate_shape, Compressor, CoreState, Decompressor};
@@ -166,6 +167,8 @@ struct EncodeJob<'a> {
     epoch: usize,
     /// Concrete method the serial path would have used for this buffer.
     method: Method,
+    /// Quantizer stage the serial path would have composed.
+    quantizer: QuantizerKind,
     /// The buffer's snapshots.
     snapshots: &'a [Vec<f64>],
 }
@@ -207,27 +210,28 @@ pub(crate) fn compress_streams<'a>(
                 continue;
             }
             let is_adaptive = comp.cfg.method == Method::Adaptive;
-            // The concrete method a non-state-changing encode would use;
-            // `None` marks an adaptive trial (always serial).
-            let concrete: Option<Method> = if is_adaptive {
+            // The concrete composition a non-state-changing encode would
+            // use; `None` marks an adaptive trial (always serial).
+            let concrete: Option<Candidate> = if is_adaptive {
                 if comp.adaptive.trial_due(comp.cfg.adapt_interval) {
                     None
                 } else {
                     comp.adaptive.current()
                 }
             } else {
-                Some(comp.cfg.method)
+                Some(Candidate { method: comp.cfg.method, quantizer: comp.cfg.quantizer })
             };
-            let deferrable = concrete.is_some_and(|m| {
+            let deferrable = concrete.is_some_and(|c| {
                 let n = buf[0].len();
                 // Mirrors the two state-delta sources in
                 // `encode_buffer_into`: first-use level detection and
                 // (re-)establishing the reference snapshot.
-                let detects = matches!(m, Method::Vq | Method::Vqt) && comp.state.grid.is_none();
+                let detects =
+                    matches!(c.method, Method::Vq | Method::Vqt) && comp.state.grid.is_none();
                 let sets_ref = comp.state.reference.as_ref().is_none_or(|r| r.len() != n);
                 !detects && !sets_ref
             });
-            if let (true, Some(method)) = (deferrable, concrete) {
+            if let (true, Some(candidate)) = (deferrable, concrete) {
                 if is_adaptive {
                     comp.adaptive.tick();
                 }
@@ -236,7 +240,13 @@ pub(crate) fn compress_streams<'a>(
                     epochs.len() - 1
                 });
                 comp.obs.incr("core.parallel.deferred_blocks", 1);
-                jobs.push(EncodeJob { cfg: si, epoch, method, snapshots: buf });
+                jobs.push(EncodeJob {
+                    cfg: si,
+                    epoch,
+                    method: candidate.method,
+                    quantizer: candidate.quantizer,
+                    snapshots: buf,
+                });
                 slot_of.push((si, slot));
             } else {
                 comp.obs.incr("core.parallel.serial_blocks", 1);
@@ -262,6 +272,7 @@ pub(crate) fn compress_streams<'a>(
                 &cfgs[job.cfg],
                 &epochs[job.epoch],
                 job.method,
+                job.quantizer,
                 job.snapshots,
                 &mut block,
                 scratch,

@@ -52,8 +52,17 @@ fn wrong_magic_is_rejected() {
 
 #[test]
 fn unknown_version_is_rejected() {
+    // Version 2 exists (bit-adaptive) but requires the matching flag, so a
+    // re-stamped v1 block is a version/flag mismatch, not a silent decode.
     let mut blob = block(Method::Vq);
     blob[MAGIC.len()] = VERSION + 1;
+    assert_eq!(
+        Decompressor::new().decompress_block(&blob),
+        Err(MdzError::BadHeader("version/flag mismatch for bit-adaptive stream"))
+    );
+    // Genuinely unknown versions stay rejected outright.
+    let mut blob = block(Method::Vq);
+    blob[MAGIC.len()] = VERSION + 2;
     assert_eq!(
         Decompressor::new().decompress_block(&blob),
         Err(MdzError::BadHeader("unsupported version"))

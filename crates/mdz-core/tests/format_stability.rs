@@ -18,7 +18,7 @@
 use mdz_core::bound::ErrorBound;
 use mdz_core::buffer::{Compressor, Decompressor};
 use mdz_core::format::Method;
-use mdz_core::{EntropyStage, MdzConfig};
+use mdz_core::{EntropyStage, MdzConfig, QuantizerKind};
 use std::path::PathBuf;
 
 const N_PARTICLES: usize = 240;
@@ -83,6 +83,29 @@ fn smooth_stream() -> Vec<Vec<Vec<f64>>> {
             snapshots.push(pos.clone());
             for p in pos.iter_mut() {
                 *p += rng.gauss() * 0.01;
+            }
+        }
+        buffers.push(snapshots);
+    }
+    buffers
+}
+
+/// Mixed-scale stream: per-particle step magnitudes span decades, so the
+/// fixed 512-code linear scale escapes on the fast tail while the
+/// bit-adaptive stage covers it with wide per-chunk codes. Exercises the
+/// version-2 block path and the adaptive (method × quantizer) trial.
+fn spread_stream() -> Vec<Vec<Vec<f64>>> {
+    let mut rng = Lcg(0x5EED_0003);
+    let mut pos: Vec<f64> = (0..N_PARTICLES).map(|_| rng.next() * 100.0).collect();
+    let sigma: Vec<f64> =
+        (0..N_PARTICLES).map(|i| 10f64.powf(-3.0 + 4.0 * i as f64 / N_PARTICLES as f64)).collect();
+    let mut buffers = Vec::new();
+    for _ in 0..N_BUFFERS {
+        let mut snapshots = Vec::new();
+        for _ in 0..SNAPSHOTS_PER_BUFFER {
+            snapshots.push(pos.clone());
+            for (p, s) in pos.iter_mut().zip(sigma.iter()) {
+                *p += rng.gauss() * s;
             }
         }
         buffers.push(snapshots);
@@ -198,6 +221,82 @@ fn golden_mt_range_coded() {
     let bytes = stream_bytes(cfg(Method::Mt).with_entropy(EntropyStage::Range), &buffers);
     check_decodes(&bytes, &buffers, 1e-3);
     check_golden("mt_lattice_range", &bytes);
+}
+
+/// f32 counterpart of [`stream_bytes`], feeding the narrow-input entry
+/// point (`FLAG_F32` blocks).
+fn stream_bytes_f32(cfg: MdzConfig, buffers: &[Vec<Vec<f64>>]) -> Vec<u8> {
+    let mut comp = Compressor::new(cfg);
+    let mut out = Vec::new();
+    for buf in buffers {
+        let narrow: Vec<Vec<f32>> =
+            buf.iter().map(|s| s.iter().map(|&v| v as f32).collect()).collect();
+        let block = comp.compress_buffer_f32(&narrow).expect("compress f32");
+        out.extend_from_slice(&(block.len() as u32).to_le_bytes());
+        out.extend_from_slice(&block);
+    }
+    out
+}
+
+#[test]
+fn golden_adaptive_lattice() {
+    // The full adaptive trial (method selection + winner reuse across the
+    // stream) is part of the byte contract too.
+    let buffers = lattice_stream();
+    let bytes = stream_bytes(cfg(Method::Adaptive), &buffers);
+    check_decodes(&bytes, &buffers, 1e-3);
+    check_golden("adp_lattice", &bytes);
+}
+
+#[test]
+fn golden_vq_lattice_f32() {
+    let buffers = lattice_stream();
+    let bytes = stream_bytes_f32(cfg(Method::Vq), &buffers);
+    check_golden("vq_lattice_f32", &bytes);
+}
+
+#[test]
+fn golden_adaptive_lattice_f32() {
+    let buffers = lattice_stream();
+    let bytes = stream_bytes_f32(cfg(Method::Adaptive), &buffers);
+    check_golden("adp_lattice_f32", &bytes);
+}
+
+#[test]
+fn golden_vqt_bit_adaptive() {
+    // Forced bit-adaptive quantizer: every block is version 2 and carries
+    // the per-region width table.
+    let buffers = smooth_stream();
+    let bytes = stream_bytes(
+        cfg(Method::Vqt).with_quantizer(QuantizerKind::BitAdaptive { chunk: 16 }),
+        &buffers,
+    );
+    check_decodes(&bytes, &buffers, 1e-3);
+    check_golden("vqt_smooth_bit_adaptive", &bytes);
+}
+
+#[test]
+fn golden_adaptive_bit_adaptive_candidates() {
+    // Adaptive trial over the (method × quantizer) product space on the
+    // mixed-scale stream: the winner must include the bit-adaptive stage,
+    // pinning the enlarged candidate ordering byte for byte.
+    let buffers = spread_stream();
+    let config = MdzConfig::new(ErrorBound::Absolute(1e-3)).with_bit_adaptive_candidates(true);
+    let bytes = stream_bytes(config, &buffers);
+    check_decodes(&bytes, &buffers, 1e-3);
+    // At least one emitted block actually uses the version-2 format.
+    let mut pos = 0;
+    let mut ba_blocks = 0;
+    while pos < bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        if Decompressor::inspect(&bytes[pos..pos + len]).unwrap().bit_adaptive {
+            ba_blocks += 1;
+        }
+        pos += len;
+    }
+    assert!(ba_blocks > 0, "bit-adaptive candidate never won on the mixed-scale stream");
+    check_golden("adp_spread_bit_adaptive", &bytes);
 }
 
 #[test]

@@ -16,10 +16,11 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use mdz_core::checksum::{crc32, fnv1a64};
-use mdz_core::format::{read_frame, write_frame};
+use mdz_core::format::{read_frame, write_frame, FLAGS_OFFSET, FLAG_BIT_ADAPTIVE, MAGIC};
 use mdz_core::traj::TrajectoryDecompressor;
 use mdz_core::{
     Codec, Compressor, DecodeLimits, Decompressor, ErrorBound, Frame, MdzCodec, MdzConfig, Method,
+    QuantizerKind,
 };
 use mdz_entropy::{
     huffman_decode_at_limited, huffman_encode, range_decode_at_limited, range_encode, read_uvarint,
@@ -186,6 +187,34 @@ fn bless(dir: &Path) {
         blk[7 + i] = *byte;
     }
     put("block_forged_snapshots.bin", blk);
+
+    // --- Bit-adaptive (version 2) blocks: the version/flag redundancy and
+    // the per-region width table are enforced on every decode path.
+    let ba_cfg = MdzConfig::new(ErrorBound::Absolute(1e-4))
+        .with_method(Method::Vq)
+        .with_quantizer(QuantizerKind::BitAdaptive { chunk: 4 });
+    let ba = Compressor::new(ba_cfg).compress_buffer(&snaps).unwrap();
+
+    // A v1 block with the bit-adaptive flag forged on: the version/flag
+    // cross-check must reject it before any stage trusts the flag.
+    let v1_cfg = MdzConfig::new(ErrorBound::Absolute(1e-4)).with_method(Method::Vq);
+    let mut forged = Compressor::new(v1_cfg).compress_buffer(&snaps).unwrap();
+    forged[FLAGS_OFFSET] |= FLAG_BIT_ADAPTIVE;
+    put("block_ba_forged_flag.bin", forged);
+
+    // A bit-adaptive block with its flag stripped (version byte still 2):
+    // the same cross-check fires in the other direction.
+    let mut stripped = ba.clone();
+    stripped[FLAGS_OFFSET] &= !FLAG_BIT_ADAPTIVE;
+    put("block_ba_stripped_flag.bin", stripped);
+
+    // Version bumped past the known range on an otherwise valid BA block.
+    let mut vers = ba.clone();
+    vers[MAGIC.len()] = 3;
+    put("block_ba_wrong_version.bin", vers);
+
+    // Truncated mid-payload: the width table / packed codes run dry.
+    put("block_ba_truncated.bin", ba[..ba.len() * 3 / 4].to_vec());
 
     // A framed payload with its last byte flipped: checksum mismatch.
     let mut fr = Vec::new();

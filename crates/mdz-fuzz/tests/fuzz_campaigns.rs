@@ -14,11 +14,11 @@
 
 use std::sync::Mutex;
 
-use mdz_core::format::{read_frame, write_frame};
+use mdz_core::format::{read_frame, write_frame, FLAGS_OFFSET, FLAG_BIT_ADAPTIVE};
 use mdz_core::traj::TrajectoryDecompressor;
 use mdz_core::{
     Codec, Compressor, DecodeLimits, Decompressor, EntropyStage, ErrorBound, Frame, MdzCodec,
-    MdzConfig, Method, ParallelOptions, TrajReader, TrajectoryCompressor,
+    MdzConfig, Method, ParallelOptions, QuantizerKind, TrajReader, TrajectoryCompressor,
 };
 use mdz_entropy::{
     huffman_decode_at_limited, huffman_encode, range_decode_at_limited, range_encode, StreamLimits,
@@ -202,6 +202,67 @@ fn fuzz_block_decode_f64() {
         let got = Decompressor::with_limits(limits).decompress_block(input);
         if input == seeds[base_idx] {
             assert!(got.is_ok(), "identity input must decode");
+        }
+    });
+}
+
+/// Values whose step magnitudes span decades (so the per-chunk width
+/// table is fully exercised) plus sparse huge outliers that overflow even
+/// the bit-adaptive cap and land in the escape list.
+fn spiky(m: usize, n: usize) -> Vec<Vec<f64>> {
+    (0..m)
+        .map(|t| {
+            (0..n)
+                .map(|i| {
+                    let base = (i % 10) as f64 * 2.5 + t as f64 * 1e-4;
+                    if i % 97 == 0 {
+                        base + 1e9 * (t as f64 + 1.0)
+                    } else {
+                        base + ((t * i) % 13) as f64 * 0.05
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn ba_block(method: Method, chunk: usize, entropy: EntropyStage) -> Vec<u8> {
+    let cfg = MdzConfig::new(ErrorBound::Absolute(1e-4))
+        .with_method(method)
+        .with_entropy(entropy)
+        .with_quantizer(QuantizerKind::BitAdaptive { chunk });
+    Compressor::new(cfg).compress_buffer(&spiky(6, 200)).unwrap()
+}
+
+#[test]
+fn fuzz_bit_adaptive_block_decode() {
+    // Version-2 blocks whose payload carries the per-region width table:
+    // chunk = 1 maximizes width bytes, chunk = 4 mixes widths inside a
+    // snapshot, the default chunk exercises the common layout, and the
+    // range-coded seed covers the other entropy stage around it.
+    let seeds = vec![
+        ba_block(Method::Vq, 1, EntropyStage::Huffman),
+        ba_block(Method::Vqt, 4, EntropyStage::Huffman),
+        ba_block(Method::Mt, 64, EntropyStage::Huffman),
+        ba_block(Method::Vq, 64, EntropyStage::Range),
+    ];
+    let limits = tight_limits();
+    for s in &seeds {
+        assert!(Decompressor::inspect(s).unwrap().bit_adaptive);
+        assert!(Decompressor::with_limits(limits).decompress_block(s).is_ok());
+    }
+    // A v1 block with the bit-adaptive flag forged on rides along as a
+    // mutation source; the version/flag cross-check rejects it outright.
+    let mut forged = block(Method::Vq, EntropyStage::Huffman);
+    forged[FLAGS_OFFSET] |= FLAG_BIT_ADAPTIVE;
+    assert!(Decompressor::with_limits(limits).decompress_block(&forged).is_err());
+    let mut seeds = seeds;
+    seeds.push(forged);
+    let accepts = [true, true, true, true, false];
+    campaign("block-bit-adaptive", 0x4d445a0c, &seeds.clone(), 128 * MB, |_, base_idx, input| {
+        let got = Decompressor::with_limits(limits).decompress_block(input);
+        if input == seeds[base_idx] {
+            assert_eq!(got.is_ok(), accepts[base_idx], "identity seed acceptance changed");
         }
     });
 }

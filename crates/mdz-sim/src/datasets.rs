@@ -45,6 +45,12 @@ pub enum DatasetKind {
     Hacc1,
     /// Cosmological particle field #2.
     Hacc2,
+    /// Non-crystal stress scenario (not in the paper): free gas particles
+    /// whose per-particle step sizes span several orders of magnitude, so
+    /// no single quantization scale fits the whole population. Exercises
+    /// bit-adaptive quantization; deliberately excluded from
+    /// [`DatasetKind::MD`]/[`DatasetKind::HACC`].
+    Gas,
 }
 
 impl DatasetKind {
@@ -76,6 +82,7 @@ impl DatasetKind {
             DatasetKind::Lj => "LJ",
             DatasetKind::Hacc1 => "HACC-1",
             DatasetKind::Hacc2 => "HACC-2",
+            DatasetKind::Gas => "Gas",
         }
     }
 
@@ -92,6 +99,8 @@ impl DatasetKind {
             DatasetKind::Lj => ("Liquid", "LAMMPS", 50, 6_912_000),
             DatasetKind::Hacc1 => ("Cosmology", "HACC", 30, 15_767_098),
             DatasetKind::Hacc2 => ("Cosmology", "HACC", 80, 13_131_491),
+            // Synthetic stress scenario, not a Table I row.
+            DatasetKind::Gas => ("Gas", "synthetic", 100, 20_000),
         }
     }
 }
@@ -123,6 +132,7 @@ impl Scale {
             DatasetKind::Lj => ((4, 256), (10, 4000), (20, 16384)),
             DatasetKind::Hacc1 => ((4, 600), (10, 20000), (30, 100000)),
             DatasetKind::Hacc2 => ((6, 500), (20, 15000), (80, 65536)),
+            DatasetKind::Gas => ((6, 400), (40, 4000), (100, 20000)),
         };
         match self {
             Scale::Test => test,
@@ -187,6 +197,7 @@ pub fn generate(kind: DatasetKind, scale: Scale, seed: u64) -> Dataset {
         DatasetKind::Lj => lj_engine(kind, m, n, seed),
         DatasetKind::Hacc1 => cosmo(kind, m, n, 40, seed),
         DatasetKind::Hacc2 => cosmo(kind, m, n, 60, seed),
+        DatasetKind::Gas => gas(kind, m, n, seed),
     }
 }
 
@@ -312,6 +323,34 @@ fn model_scatter(model: &mut CosmoCloud, i: usize, p: crate::vec3::Vec3) {
     model.scatter(i, p);
 }
 
+/// Gas: uncorrelated free flight with per-particle step sizes spread
+/// log-uniformly over ~3.5 decades (10⁻³ … ~3 Å per snapshot).
+///
+/// Slow particles need fine quantization steps while fast ones overflow any
+/// fixed `[1, 2·radius)` scale and fall back to 9-byte escapes — the regime
+/// bit-adaptive quantization is built for. Step sizes vary smoothly with
+/// particle index, so after Seq-2 (particle-major) interleaving,
+/// neighbouring codes share magnitude and per-chunk widths stay coherent.
+fn gas(kind: DatasetKind, m: usize, n: usize, seed: u64) -> Dataset {
+    let box_len = 200.0;
+    let mut rng = Rng::seed_from_u64(seed ^ 0x6A50_6A50);
+    let mut x: Vec<f64> = (0..n).map(|_| rng.f64() * box_len).collect();
+    let mut y: Vec<f64> = (0..n).map(|_| rng.f64() * box_len).collect();
+    let mut z: Vec<f64> = (0..n).map(|_| rng.f64() * box_len).collect();
+    let sigma: Vec<f64> =
+        (0..n).map(|i| 10f64.powf(-3.0 + 3.5 * i as f64 / n.max(1) as f64)).collect();
+    let mut snapshots = Vec::with_capacity(m);
+    for _ in 0..m {
+        snapshots.push(Snapshot { x: x.clone(), y: y.clone(), z: z.clone() });
+        for i in 0..n {
+            x[i] += rng.gauss() * sigma[i];
+            y[i] += rng.gauss() * sigma[i];
+            z[i] += rng.gauss() * sigma[i];
+        }
+    }
+    Dataset { kind, snapshots, box_len: Some(box_len) }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,6 +422,26 @@ mod tests {
         let xs = d.axis_series(0);
         assert_eq!(xs.len(), d.len());
         assert_eq!(xs[0].len(), d.atoms());
+    }
+
+    #[test]
+    fn gas_step_sizes_span_decades() {
+        let d = generate(DatasetKind::Gas, Scale::Test, 9);
+        assert_eq!(d.len(), Scale::Test.dims(DatasetKind::Gas).0);
+        let a = &d.snapshots[0].x;
+        let b = &d.snapshots[1].x;
+        let n = a.len();
+        // Per-particle displacement magnitude grows with index: the slow
+        // decile moves orders of magnitude less than the fast decile.
+        let mean_abs = |range: std::ops::Range<usize>| -> f64 {
+            range.clone().map(|i| (a[i] - b[i]).abs()).sum::<f64>() / range.len() as f64
+        };
+        let slow = mean_abs(0..n / 10);
+        let fast = mean_abs(n - n / 10..n);
+        assert!(fast > slow * 100.0, "fast {fast} vs slow {slow}");
+        // Determinism and same-shape snapshots, like every other dataset.
+        let again = generate(DatasetKind::Gas, Scale::Test, 9);
+        assert_eq!(d.snapshots, again.snapshots);
     }
 
     #[test]

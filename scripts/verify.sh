@@ -48,6 +48,18 @@ cargo run --release -p mdz-bench --bin experiments -- \
 MDZ_BENCH_JSON="$tmp_out/BENCH_latency.json" \
     cargo test -p mdz-bench --release --quiet --test latency_json
 
+# Bit-adaptive gate: the round-trip/bound tests for the version-2 block
+# format, then the quantizer-comparison experiment whose JSON artifact
+# must show the gas-corpus win at a per-value-verified bound.
+echo "==> bit-adaptive round-trip smoke"
+cargo test -p mdz-core --release --quiet --test bit_adaptive_bound
+
+echo "==> quantizer smoke (JSON schema check)"
+cargo run --release -p mdz-bench --bin experiments -- \
+    --scale test --out "$tmp_out" quantizer > /dev/null
+MDZ_BENCH_JSON="$tmp_out/BENCH_quantizer.json" \
+    cargo test -p mdz-bench --release --quiet --test quantizer_json
+
 # Store smoke: compress simulated frames into a version-2 archive, serve
 # it on an ephemeral loopback port, and require the served range to
 # byte-match a local random-access read before shutting the server down.
