@@ -100,14 +100,38 @@ pub enum MdzError {
         limit: usize,
     },
     /// An underlying I/O sink or source failed (streaming writers such as
-    /// [`TrajWriter`]). Carries the rendered [`std::io::Error`] so the
-    /// error type stays `Clone + PartialEq`.
-    Io(String),
+    /// [`TrajWriter`], archive storage backends). Carries the
+    /// [`std::io::ErrorKind`] plus the rendered message so the error type
+    /// stays `Clone + PartialEq` while callers can still tell a timeout
+    /// (`TimedOut`/`WouldBlock`) from a hard failure.
+    Io {
+        /// Kind of the underlying [`std::io::Error`].
+        kind: std::io::ErrorKind,
+        /// Rendered error message.
+        msg: String,
+    },
+}
+
+impl MdzError {
+    /// Builds an [`MdzError::Io`] from a kind and message.
+    pub fn io(kind: std::io::ErrorKind, msg: impl Into<String>) -> Self {
+        MdzError::Io { kind, msg: msg.into() }
+    }
+
+    /// True when this is an I/O timeout (`TimedOut` or `WouldBlock`) — the
+    /// class of transient failure retry policies may safely retry.
+    pub fn is_io_timeout(&self) -> bool {
+        matches!(
+            self,
+            MdzError::Io { kind: std::io::ErrorKind::TimedOut, .. }
+                | MdzError::Io { kind: std::io::ErrorKind::WouldBlock, .. }
+        )
+    }
 }
 
 impl From<std::io::Error> for MdzError {
     fn from(e: std::io::Error) -> Self {
-        MdzError::Io(e.to_string())
+        MdzError::Io { kind: e.kind(), msg: e.to_string() }
     }
 }
 
@@ -133,7 +157,7 @@ impl std::fmt::Display for MdzError {
             MdzError::LimitExceeded { what, limit } => {
                 write!(f, "decode budget exceeded: {what} > {limit}")
             }
-            MdzError::Io(e) => write!(f, "i/o error: {e}"),
+            MdzError::Io { msg, .. } => write!(f, "i/o error: {msg}"),
         }
     }
 }

@@ -775,6 +775,6 @@ mod tests {
         }
         let cfg = MdzConfig::new(ErrorBound::Absolute(1e-3));
         let mut w = TrajWriter::new(Failing, cfg);
-        assert!(matches!(w.write_buffer(&frames(2, 30)), Err(MdzError::Io(_))));
+        assert!(matches!(w.write_buffer(&frames(2, 30)), Err(MdzError::Io { .. })));
     }
 }

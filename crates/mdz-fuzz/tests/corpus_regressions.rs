@@ -28,7 +28,9 @@ use mdz_entropy::{
 };
 use mdz_fuzz::CountingAlloc;
 use mdz_lossless::{lz77, rle};
-use mdz_store::{write_store, ArchiveIndex, ReaderOptions, StoreOptions, StoreReader};
+use mdz_store::{
+    append_store, write_store, ArchiveIndex, MemIo, ReaderOptions, StoreOptions, StoreReader,
+};
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
@@ -72,6 +74,24 @@ fn replay(name: &str, bytes: &[u8]) -> bool {
             Box::new(MdzCodec::default().with_decode_limits(tight_limits())) as Box<dyn Codec>
         });
         TrajectoryDecompressor::from_codecs(axes).decompress_buffer(bytes).is_err()
+    } else if name.starts_with("fault_append_") {
+        // Torn-append seeds carry a dual obligation: the strict open must
+        // reject the file, AND the recovery scan must find the last valid
+        // footer and read every frame it published.
+        let opts = ReaderOptions { cache_epochs: 2, limits: tight_limits() };
+        let strict_rejects = StoreReader::with_options(bytes.to_vec(), opts)
+            .and_then(|r| {
+                let n = r.index().n_frames;
+                r.read_frames(0..n)
+            })
+            .is_err();
+        let recovers = StoreReader::recover(bytes.to_vec())
+            .and_then(|(r, _)| {
+                let n = r.index().n_frames;
+                r.read_frames(0..n)
+            })
+            .is_ok();
+        strict_rejects && recovers
     } else if name.starts_with("store_") {
         // Open parses the header + footer index; the read walks the block
         // records (FNV oracle) and the epoch decoder, so seeds may fail at
@@ -248,14 +268,14 @@ fn bless(dir: &Path) {
     bad[trailer] ^= 0xFF;
     put("store_footer_bad_crc.bin", bad);
 
-    // Footer block count forged to u64::MAX *with a recomputed CRC*, so the
-    // forged count survives the checksum and must be stopped by the header
-    // cross-check instead of becoming an allocation request.
+    // Footer frame count forged to u64::MAX *with a recomputed CRC*, so the
+    // forged count survives the checksum and must be stopped by the
+    // block-count cross-check instead of becoming an allocation request.
     let payload_len =
         u64::from_le_bytes(valid[trailer + 4..trailer + 12].try_into().unwrap()) as usize;
     let payload_start = trailer - payload_len;
     let mut pos = payload_start;
-    read_uvarint(&valid, &mut pos).unwrap(); // skip the real block count
+    read_uvarint(&valid, &mut pos).unwrap(); // skip the real frame count
     let mut payload = Vec::new();
     write_uvarint(&mut payload, u64::MAX);
     payload.extend_from_slice(&valid[pos..trailer]);
@@ -263,7 +283,7 @@ fn bless(dir: &Path) {
     forged.extend_from_slice(&payload);
     forged.extend_from_slice(&crc32(&payload).to_le_bytes());
     forged.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    forged.push(1); // footer version
+    forged.push(2); // footer version
     forged.extend_from_slice(b"MDZI");
     put("store_footer_forged_count.bin", forged);
 
@@ -290,6 +310,33 @@ fn bless(dir: &Path) {
     let sum = fnv1a64(&bad[body..body + rec_len]);
     bad[pos..pos + 8].copy_from_slice(&sum.to_le_bytes());
     put("store_keyframe_forged_axis.bin", bad);
+
+    // --- Torn appends: archives whose tail died mid-append. The strict
+    // open must reject them, but `StoreReader::recover` must walk back to
+    // the last durable footer and serve its frames in full.
+    let mut aopts =
+        StoreOptions::new(MdzConfig::new(ErrorBound::Absolute(1e-4)).with_method(Method::Vq));
+    aopts.buffer_size = 2;
+    aopts.epoch_interval = 2;
+    let appendable = write_store(&store_frames, &[], &[], &aopts).unwrap();
+    let pre_len = appendable.len();
+    let mut io = MemIo::new(appendable);
+    append_store(&mut io, &store_frames[..4], &aopts).unwrap();
+    let appended = io.into_bytes();
+
+    // Cut inside the appended footer's trailer: the new generation was
+    // never published, so recovery lands on the pre-append footer.
+    put("fault_append_torn_footer.bin", appended[..appended.len() - 9].to_vec());
+
+    // Cut mid-way through the appended block records.
+    let cut = pre_len + (appended.len() - pre_len) / 3;
+    put("fault_append_partial_block.bin", appended[..cut].to_vec());
+
+    // A completed append followed by tail garbage (a crashed *next* append
+    // that never reached its footer): recovery keeps the whole append.
+    let mut garbage = appended.clone();
+    garbage.extend_from_slice(b"\xde\xad\xbe\xefscratch bytes from a dead append\x00\x00");
+    put("fault_append_garbage_tail.bin", garbage);
 }
 
 #[test]

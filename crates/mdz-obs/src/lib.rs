@@ -20,7 +20,13 @@
 //! Metric names are `&'static str` by design: instrumentation points name
 //! their metrics statically (`"core.encode.entropy_seconds"`), which keeps
 //! recording allocation-free and makes the full metric vocabulary
-//! greppable.
+//! greppable. The vocabulary is catalogued in DESIGN.md §11; the
+//! robustness families added with the crash-consistent store —
+//! `store.recover.*` (recovery scans and truncated bytes),
+//! `server.conn.*` / `server.drain.closed` (admission, shedding, deadline
+//! kills, graceful drain), and `client.retries` — follow the same
+//! additive-only rule as the rest: names are the API and are never
+//! renamed or reused.
 //!
 //! # Example
 //!

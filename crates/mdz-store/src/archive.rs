@@ -1,4 +1,5 @@
-//! The indexed `.mdz` archive (container version 2) and its index parser.
+//! The indexed `.mdz` archive (container version 2): writer, appender,
+//! recovery scan, and index parser.
 //!
 //! Layout:
 //!
@@ -7,7 +8,9 @@
 //! uvarint n_atoms · uvarint n_frames · uvarint buffer_size · uvarint epoch_interval
 //! uvarint meta_len · meta                  — LZ-compressed element + comment text
 //! repeated: uvarint block_len · u64 fnv1a checksum (LE) · trajectory container
-//! footer payload: uvarint n_blocks · per-block uvarint offset delta
+//! footer payload (v2): uvarint n_frames · uvarint n_blocks
+//!                      · per-block uvarint offset delta
+//!                      · uvarint n_epochs · per-epoch uvarint start-block delta
 //! footer trailer: crc32(payload) u32 LE · payload_len u64 LE · footer version u8 · "MDZI"
 //! ```
 //!
@@ -22,11 +25,34 @@
 //!   framed from the *end* of the file so it can be located without scanning.
 //!   Offsets in the payload are delta-coded (first entry absolute).
 //!
-//! Version-1 archives carry neither, but [`ArchiveIndex::parse`] still
-//! accepts them by scanning the block records once: the whole archive is
-//! treated as a single epoch, so seeks replay from the start — correct, just
-//! not O(epoch).
+//! # Appends and crash consistency
+//!
+//! Archives are appendable ([`append_store`]) under a footer-flip protocol:
+//! new block records are written *after* the current footer's trailer, the
+//! data is synced, and only then is a fresh footer written at the new tail
+//! and synced. The old footer's bytes become dead padding between the last
+//! old block and the first new one — readers never look at them, because the
+//! footer is located from the end of the file. A crash at any point leaves
+//! either the old footer as the last valid one (the append never happened)
+//! or the new footer fully durable (the append happened); [`recover_slice`]
+//! scans backward to the last CRC-valid footer and [`recover_store`]
+//! truncates any garbage tail after it. All writes flow through
+//! [`crate::io::StoreIo`], which is how the crash-consistency tests inject
+//! faults deterministically ([`crate::io::FaultIo`]).
+//!
+//! Because an append changes the frame count and the epoch anchor points but
+//! must not rewrite the header in place, the footer written by this module
+//! (version 2) carries the authoritative `n_frames` and the explicit list of
+//! epoch start blocks; the header's `n_frames` is the creation-time count
+//! and only a lower bound after appends. Version-1 footers (fixed epoch
+//! stride, header-authoritative frame count) are still parsed.
+//!
+//! Version-1 archives carry neither epochs nor footer, but
+//! [`ArchiveIndex::parse`] still accepts them by scanning the block records
+//! once: the whole archive is treated as a single epoch, so seeks replay
+//! from the start — correct, just not O(epoch).
 
+use crate::io::{MemIo, StoreIo};
 use mdz_core::checksum::{crc32, fnv1a64};
 use mdz_core::traj::assemble_container;
 use mdz_core::{Compressor, Frame, MdzConfig, MdzError, Obs, Result};
@@ -40,8 +66,13 @@ pub const MAGIC: [u8; 4] = *b"MDZA";
 pub const VERSION_V2: u8 = 2;
 /// Footer trailer magic, the last four bytes of a version-2 archive.
 pub const FOOTER_MAGIC: [u8; 4] = *b"MDZI";
-/// Version of the footer trailer layout.
+/// Legacy footer layout: block offsets only; frame count and epoch stride
+/// come from the header. Still parsed, no longer written.
 pub const FOOTER_VERSION: u8 = 1;
+/// Footer layout written by [`create_store`]/[`append_store`]: carries the
+/// authoritative frame count and explicit epoch start blocks, so appends
+/// never rewrite the header.
+pub const FOOTER_VERSION_V2: u8 = 2;
 /// Fixed trailer size: crc32 (4) + payload length (8) + version (1) + magic (4).
 pub const FOOTER_TRAILER_LEN: usize = 17;
 /// Header flag bit: coordinates were narrowed to `f32` before compression.
@@ -99,7 +130,7 @@ pub struct BlockEntry {
     pub frame_start: usize,
     /// Number of frames stored in this block.
     pub n_frames: usize,
-    /// Epoch the block belongs to (`block index / epoch_interval`).
+    /// Epoch the block belongs to.
     pub epoch: usize,
 }
 
@@ -112,12 +143,18 @@ pub struct ArchiveIndex {
     pub f32_source: bool,
     /// Atoms per frame.
     pub n_atoms: usize,
-    /// Total frames in the archive.
+    /// Total frames in the archive (from the footer when it carries a frame
+    /// count — the header's count is creation-time only).
     pub n_frames: usize,
     /// Frames per buffer.
     pub buffer_size: usize,
-    /// Buffers per epoch (for version 1: the whole archive is one epoch).
+    /// Nominal buffers per epoch (for version 1: the whole archive is one
+    /// epoch). Appended segments re-anchor on their own stride, so use
+    /// [`ArchiveIndex::epoch_starts`] — not this — to locate anchors.
     pub epoch_interval: usize,
+    /// Block index at which each epoch starts (first entry is always 0,
+    /// strictly increasing). The authoritative re-anchor points.
+    pub epoch_starts: Vec<usize>,
     /// Element symbols from the metadata block.
     pub elements: Vec<String>,
     /// Per-frame comment lines from the metadata block.
@@ -129,13 +166,14 @@ pub struct ArchiveIndex {
 impl ArchiveIndex {
     /// Number of epochs the archive divides into.
     pub fn n_epochs(&self) -> usize {
-        self.blocks.len().div_ceil(self.epoch_interval.max(1))
+        self.epoch_starts.len()
     }
 
     /// Block indices belonging to `epoch` (clamped to the block count).
     pub fn epoch_blocks(&self, epoch: usize) -> std::ops::Range<usize> {
-        let start = epoch.saturating_mul(self.epoch_interval).min(self.blocks.len());
-        let end = start.saturating_add(self.epoch_interval).min(self.blocks.len());
+        let n = self.blocks.len();
+        let start = self.epoch_starts.get(epoch).copied().unwrap_or(n).min(n);
+        let end = self.epoch_starts.get(epoch + 1).copied().unwrap_or(n).min(n);
         start..end
     }
 
@@ -144,42 +182,63 @@ impl ArchiveIndex {
         self.epoch_blocks(epoch).start * self.buffer_size
     }
 
+    /// Epoch containing `frame` (clamped to the last epoch).
+    pub fn epoch_of_frame(&self, frame: usize) -> usize {
+        let block = frame / self.buffer_size.max(1);
+        epoch_of_block(&self.epoch_starts, block)
+    }
+
     /// Parses a version-1 or version-2 archive into an index without
     /// decoding any frame data.
     pub fn parse(data: &[u8]) -> Result<Self> {
         let header = parse_store_header(data)?;
-        let expected_blocks = header.n_frames.div_ceil(header.buffer_size);
-        let (blocks, epoch_interval) = match header.version {
-            VERSION_V2 => {
-                let offsets = parse_footer(data, header.body_start, expected_blocks)?;
-                (offsets, header.epoch_interval)
-            }
+        let footer = match header.version {
+            VERSION_V2 => parse_footer(data, &header)?,
             // Version 1: no footer — scan the record lengths once. The whole
             // archive forms a single epoch (no re-anchor points exist).
-            _ => (scan_v1_records(data, header.body_start, expected_blocks)?, expected_blocks),
+            _ => {
+                let expected_blocks = header.n_frames.div_ceil(header.buffer_size);
+                FooterInfo {
+                    offsets: scan_v1_records(data, header.body_start, expected_blocks)?,
+                    n_frames: header.n_frames,
+                    epoch_starts: vec![0],
+                }
+            }
         };
-        let entries = blocks
+        let epoch_interval = if header.version == VERSION_V2 {
+            header.epoch_interval.max(1)
+        } else {
+            footer.offsets.len().max(1)
+        };
+        let entries = footer
+            .offsets
             .iter()
             .enumerate()
             .map(|(i, &offset)| BlockEntry {
                 offset,
                 frame_start: i * header.buffer_size,
-                n_frames: header.buffer_size.min(header.n_frames - i * header.buffer_size),
-                epoch: i / epoch_interval.max(1),
+                n_frames: header.buffer_size.min(footer.n_frames - i * header.buffer_size),
+                epoch: epoch_of_block(&footer.epoch_starts, i),
             })
             .collect();
         Ok(ArchiveIndex {
             version: header.version,
             f32_source: header.f32_source,
             n_atoms: header.n_atoms,
-            n_frames: header.n_frames,
+            n_frames: footer.n_frames,
             buffer_size: header.buffer_size,
-            epoch_interval: epoch_interval.max(1),
+            epoch_interval,
+            epoch_starts: footer.epoch_starts,
             elements: header.elements,
             comments: header.comments,
             blocks: entries,
         })
     }
+}
+
+/// Epoch that block `block` belongs to, given the epoch start list.
+fn epoch_of_block(epoch_starts: &[usize], block: usize) -> usize {
+    epoch_starts.partition_point(|&s| s <= block).saturating_sub(1)
 }
 
 /// Reads the block record at `offset`, verifying its FNV-1a checksum, and
@@ -205,16 +264,35 @@ pub fn record_at(data: &[u8], offset: usize) -> Result<&[u8]> {
     Ok(block)
 }
 
-/// Compresses a trajectory into an indexed version-2 archive.
+/// Compresses a trajectory into an indexed version-2 archive in memory.
 ///
 /// `elements` and `comments` are stored losslessly (same metadata block as
-/// version 1); pass empty slices when the source has none.
+/// version 1); pass empty slices when the source has none. Convenience
+/// wrapper around [`create_store`] over a [`MemIo`].
 pub fn write_store(
     frames: &[Frame],
     elements: &[String],
     comments: &[String],
     opts: &StoreOptions,
 ) -> Result<Vec<u8>> {
+    let mut io = MemIo::new(Vec::new());
+    create_store(&mut io, frames, elements, comments, opts)?;
+    Ok(io.into_bytes())
+}
+
+/// Compresses a trajectory into an indexed version-2 archive on `io`,
+/// replacing any existing contents.
+///
+/// Durability protocol: header and block records are written first and
+/// synced, then the footer is written at the tail and synced. The archive
+/// is published (readable) only once the footer is durable.
+pub fn create_store(
+    io: &mut dyn StoreIo,
+    frames: &[Frame],
+    elements: &[String],
+    comments: &[String],
+    opts: &StoreOptions,
+) -> Result<()> {
     if frames.is_empty() {
         return Err(MdzError::BadInput("trajectory has no frames"));
     }
@@ -230,17 +308,17 @@ pub fn write_store(
     }
     opts.cfg.validate()?;
 
-    let mut out = Vec::new();
-    out.extend_from_slice(&MAGIC);
-    out.push(VERSION_V2);
-    out.push(match opts.precision {
+    let mut head = Vec::new();
+    head.extend_from_slice(&MAGIC);
+    head.push(VERSION_V2);
+    head.push(match opts.precision {
         Precision::F64 => 0,
         Precision::F32 => STORE_FLAG_F32,
     });
-    write_uvarint(&mut out, n_atoms as u64);
-    write_uvarint(&mut out, frames.len() as u64);
-    write_uvarint(&mut out, opts.buffer_size as u64);
-    write_uvarint(&mut out, opts.epoch_interval as u64);
+    write_uvarint(&mut head, n_atoms as u64);
+    write_uvarint(&mut head, frames.len() as u64);
+    write_uvarint(&mut head, opts.buffer_size as u64);
+    write_uvarint(&mut head, opts.epoch_interval as u64);
     let mut meta = String::new();
     meta.push_str(&elements.join(" "));
     meta.push('\n');
@@ -249,12 +327,115 @@ pub fn write_store(
         meta.push('\n');
     }
     let meta_c = lz77::compress(meta.as_bytes(), lz77::Level::Default);
-    write_uvarint(&mut out, meta_c.len() as u64);
-    out.extend_from_slice(&meta_c);
+    write_uvarint(&mut head, meta_c.len() as u64);
+    head.extend_from_slice(&meta_c);
 
-    // One compressor per axis so the epoch re-anchor resets all three
-    // streams together; `assemble_container` keeps the block layout
-    // byte-compatible with `TrajectoryCompressor` output.
+    io.truncate(0)?;
+    io.write_at(0, &head)?;
+    let mut pos = head.len() as u64;
+    let offsets = write_blocks(io, &mut pos, frames, opts.buffer_size, opts.epoch_interval, opts)?;
+    io.sync()?;
+
+    let epoch_starts: Vec<usize> = (0..offsets.len()).step_by(opts.epoch_interval).collect();
+    let footer = footer_bytes(frames.len(), &offsets, &epoch_starts);
+    io.write_at(pos, &footer)?;
+    io.sync()?;
+    Ok(())
+}
+
+/// Report returned by [`append_store`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendReport {
+    /// Frames added by this append.
+    pub appended_frames: usize,
+    /// Block records added by this append.
+    pub appended_blocks: usize,
+    /// Garbage tail bytes truncated by the implicit recovery pass before
+    /// appending (0 for a cleanly closed archive).
+    pub recovered_bytes: usize,
+    /// Total frames in the archive after the append.
+    pub n_frames: usize,
+}
+
+/// Appends frames to an existing version-2 archive under the footer-flip
+/// protocol (see the module docs): recover to the last valid footer, write
+/// the new block records after its trailer, sync the data, then write and
+/// sync a fresh footer at the new tail. A crash at any point leaves the
+/// archive readable as either the pre-append or the post-append state.
+///
+/// The archive's geometry wins: frames are blocked by its `buffer_size`,
+/// the appended segment re-anchors on its `epoch_interval` stride (starting
+/// with a fresh anchor at the segment's first block), and `opts.precision`
+/// must match the archive's. `opts.buffer_size`/`opts.epoch_interval` are
+/// ignored. The archive's frame count must be a multiple of its buffer size
+/// (a partial tail block cannot be extended in place).
+pub fn append_store(
+    io: &mut dyn StoreIo,
+    frames: &[Frame],
+    opts: &StoreOptions,
+) -> Result<AppendReport> {
+    let data = io.read_all()?;
+    let (valid_len, index) = recover_slice(&data)?;
+    let recovered_bytes = data.len() - valid_len;
+    drop(data);
+    if recovered_bytes > 0 {
+        io.truncate(valid_len as u64)?;
+        io.sync()?;
+    }
+    if index.version != VERSION_V2 {
+        return Err(MdzError::BadInput("append requires a version-2 archive"));
+    }
+    if frames.is_empty() {
+        return Err(MdzError::BadInput("no frames to append"));
+    }
+    if frames.iter().any(|f| {
+        f.len() != index.n_atoms || f.y.len() != index.n_atoms || f.z.len() != index.n_atoms
+    }) {
+        return Err(MdzError::BadInput("appended frames disagree with archive atom count"));
+    }
+    if index.n_frames % index.buffer_size != 0 {
+        return Err(MdzError::BadInput("append requires the archive's last block to be full"));
+    }
+    if (opts.precision == Precision::F32) != index.f32_source {
+        return Err(MdzError::BadConfig("append precision must match the archive"));
+    }
+    opts.cfg.validate()?;
+
+    let base_blocks = index.blocks.len();
+    let mut pos = valid_len as u64;
+    let new_offsets =
+        write_blocks(io, &mut pos, frames, index.buffer_size, index.epoch_interval, opts)?;
+    io.sync()?;
+
+    let mut offsets: Vec<usize> = index.blocks.iter().map(|b| b.offset).collect();
+    offsets.extend_from_slice(&new_offsets);
+    let mut epoch_starts = index.epoch_starts.clone();
+    epoch_starts
+        .extend((0..new_offsets.len()).step_by(index.epoch_interval).map(|j| base_blocks + j));
+    let n_frames = index.n_frames + frames.len();
+    let footer = footer_bytes(n_frames, &offsets, &epoch_starts);
+    io.write_at(pos, &footer)?;
+    io.sync()?;
+    Ok(AppendReport {
+        appended_frames: frames.len(),
+        appended_blocks: new_offsets.len(),
+        recovered_bytes,
+        n_frames,
+    })
+}
+
+/// Compresses `frames` into block records at `*pos`, advancing it; returns
+/// the absolute offset of each record. Fresh per-axis compressors anchor the
+/// segment's first block; the stream re-anchors every `epoch_interval`
+/// blocks after that.
+fn write_blocks(
+    io: &mut dyn StoreIo,
+    pos: &mut u64,
+    frames: &[Frame],
+    buffer_size: usize,
+    epoch_interval: usize,
+    opts: &StoreOptions,
+) -> Result<Vec<usize>> {
     let mut axes = [
         Compressor::new(opts.cfg.clone()),
         Compressor::new(opts.cfg.clone()),
@@ -264,35 +445,162 @@ pub fn write_store(
         c.set_obs(opts.obs.clone());
     }
     let mut offsets = Vec::new();
-    for (i, chunk) in frames.chunks(opts.buffer_size).enumerate() {
-        if i > 0 && i % opts.epoch_interval == 0 {
+    let mut record = Vec::new();
+    for (i, chunk) in frames.chunks(buffer_size).enumerate() {
+        if i > 0 && i % epoch_interval == 0 {
             for c in axes.iter_mut() {
                 c.reset_stream();
             }
         }
         let blocks = compress_chunk(&mut axes, chunk, opts.precision)?;
         let container = assemble_container(&blocks);
-        offsets.push(out.len());
-        write_uvarint(&mut out, container.len() as u64);
-        out.extend_from_slice(&fnv1a64(&container).to_le_bytes());
-        out.extend_from_slice(&container);
+        record.clear();
+        write_uvarint(&mut record, container.len() as u64);
+        record.extend_from_slice(&fnv1a64(&container).to_le_bytes());
+        record.extend_from_slice(&container);
+        io.write_at(*pos, &record)?;
+        offsets.push(*pos as usize);
+        *pos += record.len() as u64;
     }
+    Ok(offsets)
+}
 
-    // Footer: delta-coded offsets, CRC-framed from the end of the file.
+/// Serializes a version-2 footer (payload + trailer) for the given state.
+fn footer_bytes(n_frames: usize, offsets: &[usize], epoch_starts: &[usize]) -> Vec<u8> {
     let mut payload = Vec::new();
+    write_uvarint(&mut payload, n_frames as u64);
     write_uvarint(&mut payload, offsets.len() as u64);
     let mut prev = 0usize;
-    for &off in &offsets {
+    for &off in offsets {
         write_uvarint(&mut payload, (off - prev) as u64);
         prev = off;
     }
+    write_uvarint(&mut payload, epoch_starts.len() as u64);
+    let mut prev = 0usize;
+    for &s in epoch_starts {
+        write_uvarint(&mut payload, (s - prev) as u64);
+        prev = s;
+    }
     let crc = crc32(&payload);
-    out.extend_from_slice(&payload);
+    let mut out = payload;
     out.extend_from_slice(&crc.to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    out.push(FOOTER_VERSION);
+    out.extend_from_slice(&((out.len() - 4) as u64).to_le_bytes());
+    out.push(FOOTER_VERSION_V2);
     out.extend_from_slice(&FOOTER_MAGIC);
-    Ok(out)
+    out
+}
+
+/// Report returned by [`recover_store`] and [`crate::StoreReader::recover`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoverReport {
+    /// Length of the valid archive prefix (position of the last durable
+    /// footer's end).
+    pub valid_len: usize,
+    /// Garbage tail bytes past the last valid footer (0 when the archive
+    /// was already cleanly closed).
+    pub truncated_bytes: usize,
+}
+
+/// Finds the longest valid archive prefix of `data`: the strict parse if it
+/// succeeds, otherwise the rightmost prefix ending in a fully CRC-valid
+/// footer (the crash-recovery scan). Returns the prefix length and its
+/// parsed index. Fails only when no valid footer exists at all (e.g. the
+/// header itself is torn).
+pub fn recover_slice(data: &[u8]) -> Result<(usize, ArchiveIndex)> {
+    let strict_err = match ArchiveIndex::parse(data) {
+        Ok(idx) => return Ok((data.len(), idx)),
+        Err(e) => e,
+    };
+    let Ok(header) = parse_store_header(data) else {
+        return Err(strict_err);
+    };
+    if header.version != VERSION_V2 {
+        // Version 1 has no footers to scan for; the strict error stands.
+        return Err(strict_err);
+    }
+    let min_end = header.body_start + FOOTER_TRAILER_LEN;
+    let mut end = data.len().saturating_sub(1);
+    while end >= min_end {
+        if data[end - 4..end] == FOOTER_MAGIC {
+            if let Ok(idx) = ArchiveIndex::parse(&data[..end]) {
+                return Ok((end, idx));
+            }
+        }
+        end -= 1;
+    }
+    Err(MdzError::Corrupt { what: "no valid footer found; archive is unrecoverable" })
+}
+
+/// Truncates `io` back to its last valid footer (no-op when the archive is
+/// already cleanly closed). Errors when no valid footer exists.
+pub fn recover_store(io: &mut dyn StoreIo) -> Result<RecoverReport> {
+    let data = io.read_all()?;
+    let (valid_len, _) = recover_slice(&data)?;
+    let truncated_bytes = data.len() - valid_len;
+    if truncated_bytes > 0 {
+        io.truncate(valid_len as u64)?;
+        io.sync()?;
+    }
+    Ok(RecoverReport { valid_len, truncated_bytes })
+}
+
+/// Summary returned by [`verify_archive`] for an intact archive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Total frames indexed.
+    pub n_frames: usize,
+    /// Block records checked.
+    pub n_blocks: usize,
+    /// Epochs the archive divides into.
+    pub n_epochs: usize,
+    /// Archive length in bytes.
+    pub archive_len: usize,
+}
+
+/// First integrity fault found by [`verify_archive`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyFault {
+    /// Byte offset of the corrupt region (0 when the header itself is bad;
+    /// the valid-prefix length when only the tail is garbage).
+    pub offset: usize,
+    /// Human-readable description of the fault.
+    pub what: String,
+}
+
+impl std::fmt::Display for VerifyFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt at byte {}: {}", self.offset, self.what)
+    }
+}
+
+/// Walks every integrity check in the archive — header, footer CRC, and
+/// each block record's FNV checksum — and reports the first corrupt offset.
+/// Dead bytes *between* append generations (superseded footers) are legal
+/// and not a fault; trailing bytes after the last valid footer are.
+pub fn verify_archive(data: &[u8]) -> std::result::Result<VerifyReport, VerifyFault> {
+    let idx = match ArchiveIndex::parse(data) {
+        Ok(idx) => idx,
+        Err(err) => {
+            return Err(match recover_slice(data) {
+                Ok((valid_len, _)) => VerifyFault {
+                    offset: valid_len,
+                    what: format!("trailing bytes after the last valid footer ({err})"),
+                },
+                Err(_) => VerifyFault { offset: 0, what: err.to_string() },
+            })
+        }
+    };
+    for b in &idx.blocks {
+        if let Err(err) = record_at(data, b.offset) {
+            return Err(VerifyFault { offset: b.offset, what: err.to_string() });
+        }
+    }
+    Ok(VerifyReport {
+        n_frames: idx.n_frames,
+        n_blocks: idx.blocks.len(),
+        n_epochs: idx.n_epochs(),
+        archive_len: data.len(),
+    })
 }
 
 fn compress_chunk(
@@ -400,16 +708,26 @@ fn parse_store_header(data: &[u8]) -> Result<StoreHeader> {
     })
 }
 
-/// Locates, checksums, and decodes the footer; returns absolute offsets.
-fn parse_footer(data: &[u8], body_start: usize, expected_blocks: usize) -> Result<Vec<usize>> {
+/// Decoded footer state: block offsets plus (for version-2 footers) the
+/// authoritative frame count and epoch anchor list.
+struct FooterInfo {
+    offsets: Vec<usize>,
+    n_frames: usize,
+    epoch_starts: Vec<usize>,
+}
+
+/// Locates, checksums, and decodes the footer at the end of `data`.
+fn parse_footer(data: &[u8], header: &StoreHeader) -> Result<FooterInfo> {
     let len = data.len();
+    let body_start = header.body_start;
     if len < body_start + FOOTER_TRAILER_LEN {
         return Err(MdzError::Corrupt { what: "archive too short for footer" });
     }
     if data[len - 4..] != FOOTER_MAGIC {
         return Err(MdzError::Corrupt { what: "footer magic missing" });
     }
-    if data[len - 5] != FOOTER_VERSION {
+    let footer_version = data[len - 5];
+    if footer_version != FOOTER_VERSION && footer_version != FOOTER_VERSION_V2 {
         return Err(MdzError::Corrupt { what: "unsupported footer version" });
     }
     let payload_len = u64::from_le_bytes(data[len - 13..len - 5].try_into().unwrap()) as usize;
@@ -424,11 +742,23 @@ fn parse_footer(data: &[u8], body_start: usize, expected_blocks: usize) -> Resul
         return Err(MdzError::Corrupt { what: "footer checksum mismatch" });
     }
     let mut pos = 0;
+    let n_frames = if footer_version == FOOTER_VERSION_V2 {
+        let n = read_uvarint(payload, &mut pos)
+            .map_err(|_| MdzError::Corrupt { what: "footer frame count is corrupt" })?
+            as usize;
+        // The header count is frozen at creation time; appends only grow it.
+        if n < header.n_frames {
+            return Err(MdzError::Corrupt { what: "footer frame count below header count" });
+        }
+        n
+    } else {
+        header.n_frames
+    };
     let n_blocks = read_uvarint(payload, &mut pos)
         .map_err(|_| MdzError::Corrupt { what: "footer block count is corrupt" })?
         as usize;
-    if n_blocks != expected_blocks {
-        return Err(MdzError::Corrupt { what: "footer block count disagrees with header" });
+    if n_blocks != n_frames.div_ceil(header.buffer_size) {
+        return Err(MdzError::Corrupt { what: "footer block count disagrees with frame count" });
     }
     // Each delta is at least one payload byte, so the count is implicitly
     // bounded by the (already CRC-validated) payload size.
@@ -451,10 +781,40 @@ fn parse_footer(data: &[u8], body_start: usize, expected_blocks: usize) -> Resul
         offsets.push(off);
         prev = off;
     }
+    let epoch_starts = if footer_version == FOOTER_VERSION_V2 {
+        let n_epochs = read_uvarint(payload, &mut pos)
+            .map_err(|_| MdzError::Corrupt { what: "footer epoch count is corrupt" })?
+            as usize;
+        if n_epochs == 0 || n_epochs > n_blocks {
+            return Err(MdzError::Corrupt { what: "footer epoch count out of range" });
+        }
+        let mut starts = Vec::with_capacity(n_epochs);
+        let mut prev = 0usize;
+        for i in 0..n_epochs {
+            let delta = read_uvarint(payload, &mut pos)
+                .map_err(|_| MdzError::Corrupt { what: "footer epoch start is corrupt" })?
+                as usize;
+            if i == 0 && delta != 0 {
+                return Err(MdzError::Corrupt { what: "first epoch must start at block 0" });
+            }
+            if i > 0 && delta == 0 {
+                return Err(MdzError::Corrupt { what: "footer epoch starts not increasing" });
+            }
+            let s = prev
+                .checked_add(delta)
+                .filter(|&s| s < n_blocks)
+                .ok_or(MdzError::Corrupt { what: "footer epoch start out of range" })?;
+            starts.push(s);
+            prev = s;
+        }
+        starts
+    } else {
+        (0..n_blocks).step_by(header.epoch_interval.max(1)).collect()
+    };
     if pos != payload.len() {
         return Err(MdzError::Corrupt { what: "footer payload has trailing bytes" });
     }
-    Ok(offsets)
+    Ok(FooterInfo { offsets, n_frames, epoch_starts })
 }
 
 /// Scans a version-1 body once, recording each record's start offset.
@@ -516,6 +876,7 @@ mod tests {
         assert_eq!(idx.epoch_interval, 2);
         assert_eq!(idx.blocks.len(), 5);
         assert_eq!(idx.n_epochs(), 3);
+        assert_eq!(idx.epoch_starts, vec![0, 2, 4]);
         assert_eq!(idx.elements, vec!["H".to_string(), "O".to_string()]);
         assert_eq!(idx.comments, vec!["c0".to_string()]);
         // Last block holds the 3 tail frames.
@@ -556,5 +917,93 @@ mod tests {
             record_at(&bad, idx.blocks[0].offset),
             Err(MdzError::Corrupt { what: "block checksum mismatch" })
         ));
+    }
+
+    #[test]
+    fn append_extends_index_and_preserves_prefix_bytes() {
+        let base = write_store(&frames(8, 6), &[], &[], &opts()).unwrap();
+        let mut io = MemIo::new(base.clone());
+        let extra = frames(6, 6);
+        let report = append_store(&mut io, &extra, &opts()).unwrap();
+        assert_eq!(report.appended_frames, 6);
+        assert_eq!(report.appended_blocks, 2);
+        assert_eq!(report.recovered_bytes, 0);
+        assert_eq!(report.n_frames, 14);
+        let out = io.into_bytes();
+        // Footer flip never rewrites published bytes: the base archive is a
+        // byte-exact prefix of the appended one.
+        assert_eq!(out[..base.len()], base[..]);
+        let idx = ArchiveIndex::parse(&out).unwrap();
+        assert_eq!(idx.n_frames, 14);
+        assert_eq!(idx.blocks.len(), 4);
+        // Base had epochs [0], appended segment anchors at block 2.
+        assert_eq!(idx.epoch_starts, vec![0, 2]);
+        assert_eq!(idx.blocks[3].epoch, 1);
+        for b in &idx.blocks {
+            record_at(&out, b.offset).unwrap();
+        }
+        assert!(verify_archive(&out).is_ok());
+    }
+
+    #[test]
+    fn append_rejects_partial_tail_and_mismatches() {
+        // 10 frames at buffer_size 4: partial last block.
+        let partial = write_store(&frames(10, 6), &[], &[], &opts()).unwrap();
+        let mut io = MemIo::new(partial);
+        assert!(matches!(
+            append_store(&mut io, &frames(4, 6), &opts()),
+            Err(MdzError::BadInput(_))
+        ));
+        // Atom-count mismatch.
+        let base = write_store(&frames(8, 6), &[], &[], &opts()).unwrap();
+        let mut io = MemIo::new(base.clone());
+        assert!(matches!(
+            append_store(&mut io, &frames(4, 7), &opts()),
+            Err(MdzError::BadInput(_))
+        ));
+        // Precision mismatch.
+        let mut io = MemIo::new(base);
+        let mut f32_opts = opts();
+        f32_opts.precision = Precision::F32;
+        assert!(matches!(
+            append_store(&mut io, &frames(4, 6), &f32_opts),
+            Err(MdzError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn recover_truncates_garbage_tail() {
+        let data = write_store(&frames(8, 6), &[], &[], &opts()).unwrap();
+        let mut dirty = data.clone();
+        dirty.extend_from_slice(b"torn append garbage that never got a footer");
+        assert!(ArchiveIndex::parse(&dirty).is_err());
+        let (valid_len, idx) = recover_slice(&dirty).unwrap();
+        assert_eq!(valid_len, data.len());
+        assert_eq!(idx.n_frames, 8);
+        let mut io = MemIo::new(dirty);
+        let report = recover_store(&mut io).unwrap();
+        assert_eq!(report.valid_len, data.len());
+        assert_eq!(report.truncated_bytes, 43);
+        assert_eq!(io.into_bytes(), data);
+    }
+
+    #[test]
+    fn verify_reports_first_corrupt_offset() {
+        let data = write_store(&frames(8, 6), &[], &[], &opts()).unwrap();
+        let ok = verify_archive(&data).unwrap();
+        assert_eq!(ok.n_frames, 8);
+        assert_eq!(ok.n_blocks, 2);
+        // Corrupt the second block body: footer still validates, so verify
+        // must pinpoint the record.
+        let idx = ArchiveIndex::parse(&data).unwrap();
+        let mut bad = data.clone();
+        bad[idx.blocks[1].offset + 12] ^= 0x40;
+        let fault = verify_archive(&bad).unwrap_err();
+        assert_eq!(fault.offset, idx.blocks[1].offset);
+        // Garbage tail: fault at the valid-prefix boundary.
+        let mut dirty = data.clone();
+        dirty.extend_from_slice(&[0xAB; 9]);
+        let fault = verify_archive(&dirty).unwrap_err();
+        assert_eq!(fault.offset, data.len());
     }
 }

@@ -2,20 +2,32 @@
 //!
 //! ```text
 //! mdzd <archive.mdz> [addr] [--threads N] [--cache-epochs N]
+//!      [--max-conns N] [--read-timeout-ms N] [--write-timeout-ms N]
+//!      [--idle-timeout-ms N]
 //! ```
 //!
 //! `addr` defaults to `127.0.0.1:7979`. The process serves until killed.
+//! The archive is opened through the crash-recovery scan, so a file left
+//! with a torn append (garbage after the last valid footer) still serves
+//! its published frames; the on-disk file is not modified (run
+//! `mdz recover` to truncate it).
 
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
-use mdz_store::{ReaderOptions, Server, ServerConfig, StoreReader};
+use mdz_store::{ReaderOptions, Registry, Server, ServerConfig, StoreReader};
 
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("mdzd: {msg}");
-            eprintln!("usage: mdzd <archive.mdz> [addr] [--threads N] [--cache-epochs N]");
+            eprintln!(
+                "usage: mdzd <archive.mdz> [addr] [--threads N] [--cache-epochs N] \
+                 [--max-conns N] [--read-timeout-ms N] [--write-timeout-ms N] \
+                 [--idle-timeout-ms N]"
+            );
             ExitCode::FAILURE
         }
     }
@@ -27,19 +39,27 @@ fn run() -> Result<(), String> {
     let mut cfg = ServerConfig::default();
     let mut reader_opts = ReaderOptions::default();
     let mut args = std::env::args().skip(1);
+    fn take_usize(args: &mut impl Iterator<Item = String>, what: &str) -> Result<usize, String> {
+        args.next()
+            .and_then(|v| v.parse::<usize>().ok())
+            .ok_or(format!("{what} needs a positive integer"))
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--threads" => {
-                cfg.threads = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("--threads needs a positive integer")?;
+            "--threads" => cfg.threads = take_usize(&mut args, "--threads")?,
+            "--cache-epochs" => reader_opts.cache_epochs = take_usize(&mut args, "--cache-epochs")?,
+            "--max-conns" => cfg.max_connections = take_usize(&mut args, "--max-conns")?,
+            "--read-timeout-ms" => {
+                cfg.read_timeout =
+                    Duration::from_millis(take_usize(&mut args, "--read-timeout-ms")? as u64)
             }
-            "--cache-epochs" => {
-                reader_opts.cache_epochs = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("--cache-epochs needs a positive integer")?;
+            "--write-timeout-ms" => {
+                cfg.write_timeout =
+                    Duration::from_millis(take_usize(&mut args, "--write-timeout-ms")? as u64)
+            }
+            "--idle-timeout-ms" => {
+                cfg.idle_timeout =
+                    Duration::from_millis(take_usize(&mut args, "--idle-timeout-ms")? as u64)
             }
             other if archive.is_none() => archive = Some(other.to_string()),
             other => addr = other.to_string(),
@@ -47,16 +67,24 @@ fn run() -> Result<(), String> {
     }
     let path = archive.ok_or("missing archive path")?;
     let data = std::fs::read(&path).map_err(|e| format!("read {path}: {e}"))?;
-    let reader =
-        StoreReader::with_options(data, reader_opts).map_err(|e| format!("open {path}: {e}"))?;
+    let (reader, report) =
+        StoreReader::recover_with_registry(data, reader_opts, Arc::new(Registry::new()))
+            .map_err(|e| format!("open {path}: {e}"))?;
+    if report.truncated_bytes > 0 {
+        eprintln!(
+            "mdzd: {path} has a torn tail: serving the {} valid bytes, ignoring {} garbage \
+             bytes (run `mdz recover` to repair the file)",
+            report.valid_len, report.truncated_bytes
+        );
+    }
     let idx = reader.index();
     eprintln!(
-        "mdzd: serving {path} (v{}, {} frames × {} atoms, {} blocks, epoch interval {})",
+        "mdzd: serving {path} (v{}, {} frames × {} atoms, {} blocks, {} epochs)",
         idx.version,
         idx.n_frames,
         idx.n_atoms,
         idx.blocks.len(),
-        idx.epoch_interval
+        idx.n_epochs()
     );
     let server = Server::bind(reader, &addr, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
     eprintln!("mdzd: listening on {}", server.local_addr().map_err(|e| e.to_string())?);

@@ -1,10 +1,19 @@
-//! A blocking client for the `mdzd` protocol.
+//! A blocking client for the `mdzd` protocol, with an optional
+//! retry-with-backoff policy for transient failures.
+//!
+//! Error classification drives retries: connect failures and I/O timeouts
+//! are transient (the request may simply never have reached the server);
+//! BUSY is the server shedding load and is retryable after a backoff;
+//! every other application error (bad range, corrupt archive, protocol
+//! violations, a connection dying mid-response) is *not* retried — the
+//! failure is real, or retrying could observe a half-processed request.
 
 use std::net::{TcpStream, ToSocketAddrs};
 use std::ops::Range;
+use std::time::Duration;
 
 use mdz_core::Frame;
-use mdz_obs::MetricsSnapshot;
+use mdz_obs::{MetricsSnapshot, Obs};
 
 use crate::protocol::{
     parse_frames, parse_info, parse_metrics, parse_stats, read_message, write_message, Request,
@@ -17,6 +26,10 @@ use crate::reader::StatsSnapshot;
 pub enum ClientError {
     /// The TCP connection failed; carries the rendered [`std::io::Error`].
     Io(String),
+    /// An I/O operation exceeded its deadline (`TimedOut`/`WouldBlock`).
+    /// Split from [`ClientError::Io`] so retry policies can treat timeouts
+    /// as transient.
+    Timeout(String),
     /// The server answered with a non-OK status.
     Server {
         /// The wire status code.
@@ -32,6 +45,7 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Timeout(e) => write!(f, "i/o timeout: {e}"),
             ClientError::Server { status, message } => {
                 write!(f, "server error ({status:?}): {message}")
             }
@@ -44,8 +58,176 @@ impl std::error::Error for ClientError {}
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
-        ClientError::Io(e.to_string())
+        match e.kind() {
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+                ClientError::Timeout(e.to_string())
+            }
+            _ => ClientError::Io(e.to_string()),
+        }
     }
+}
+
+/// Retry policy with decorrelated-jitter backoff.
+///
+/// Sleep durations follow the decorrelated-jitter scheme: each sleep is
+/// drawn uniformly from `base ..= min(cap, prev * 3)`, which spreads
+/// retrying clients apart instead of letting them thunder in lockstep.
+/// Only transient errors are retried — see [`RetryPolicy::should_retry`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Minimum (and first) backoff sleep.
+    pub base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub cap: Duration,
+    /// Whether a [`Status::Busy`] response is retried (default true — the
+    /// server shed load, backing off is exactly what it asked for).
+    pub retry_busy: bool,
+    /// Seed for the jitter PRNG, making backoff sequences reproducible in
+    /// tests. [`RetryPolicy::default`] derives one from the process.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // Seed from process identity + wall clock: distinct across client
+        // processes so their jitter decorrelates, without any extra deps.
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64)
+            .unwrap_or(0);
+        Self {
+            max_retries: 3,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(1),
+            retry_busy: true,
+            seed: (u64::from(std::process::id()) << 32) ^ nanos,
+        }
+    }
+}
+
+/// Which stage of a request an error surfaced in; connect-stage I/O errors
+/// are transient (nothing was sent), request-stage ones may not be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryStage {
+    /// Establishing the TCP connection.
+    Connect,
+    /// Sending the request / reading the response.
+    Request,
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy { max_retries: 0, ..Default::default() }
+    }
+
+    /// Whether `err`, surfaced at `stage`, is worth retrying.
+    ///
+    /// Retryable: any connect-stage I/O error, timeouts at either stage,
+    /// and BUSY (if `retry_busy`). Never retried: application errors
+    /// (`Server` with any other status), protocol violations, and
+    /// request-stage I/O errors such as a mid-response disconnect — the
+    /// server may have already acted on the request.
+    pub fn should_retry(&self, err: &ClientError, stage: RetryStage) -> bool {
+        match err {
+            ClientError::Timeout(_) => true,
+            ClientError::Io(_) => stage == RetryStage::Connect,
+            ClientError::Server { status: Status::Busy, .. } => self.retry_busy,
+            ClientError::Server { .. } | ClientError::Protocol(_) => false,
+        }
+    }
+}
+
+/// splitmix64: the tiny deterministic PRNG behind the backoff jitter.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Decorrelated-jitter state: yields each backoff sleep in turn.
+struct Backoff {
+    policy_base: Duration,
+    policy_cap: Duration,
+    prev: Duration,
+    rng: u64,
+}
+
+impl Backoff {
+    fn new(policy: &RetryPolicy) -> Self {
+        let base = policy.base.max(Duration::from_millis(1));
+        Backoff {
+            policy_base: base,
+            policy_cap: policy.cap.max(base),
+            prev: base,
+            rng: policy.seed,
+        }
+    }
+
+    fn next_sleep(&mut self) -> Duration {
+        let lo = self.policy_base.as_nanos() as u64;
+        let hi = (self.prev.as_nanos() as u64).saturating_mul(3).max(lo + 1);
+        let span = hi - lo;
+        let nanos = lo + splitmix64(&mut self.rng) % span;
+        let sleep = Duration::from_nanos(nanos).min(self.policy_cap);
+        self.prev = sleep;
+        sleep
+    }
+}
+
+/// Runs `attempt` under `policy`, sleeping with decorrelated jitter between
+/// retries. Each attempt reports errors tagged with the [`RetryStage`] they
+/// surfaced in; non-retryable errors propagate immediately. Retries are
+/// counted on `obs` as `client.retries`.
+pub fn with_retry<T>(
+    policy: &RetryPolicy,
+    obs: &Obs,
+    mut attempt: impl FnMut() -> Result<T, (RetryStage, ClientError)>,
+) -> Result<T, ClientError> {
+    let mut backoff = Backoff::new(policy);
+    let mut tries_left = policy.max_retries;
+    loop {
+        match attempt() {
+            Ok(v) => return Ok(v),
+            Err((stage, err)) => {
+                if tries_left == 0 || !policy.should_retry(&err, stage) {
+                    return Err(err);
+                }
+                tries_left -= 1;
+                obs.incr("client.retries", 1);
+                std::thread::sleep(backoff.next_sleep());
+            }
+        }
+    }
+}
+
+/// Connects under `policy`, retrying transient connect failures.
+pub fn connect_with_retry(
+    addr: impl ToSocketAddrs,
+    policy: &RetryPolicy,
+    obs: &Obs,
+) -> Result<Client, ClientError> {
+    with_retry(policy, obs, || Client::connect(&addr).map_err(|e| (RetryStage::Connect, e)))
+}
+
+/// Fetches `range` under `policy`, opening a fresh connection per attempt
+/// (GET is idempotent, and a failed connection cannot be reused). Retries
+/// connect errors, timeouts, and BUSY per the policy; application errors
+/// and mid-response disconnects propagate immediately.
+pub fn get_with_retry(
+    addr: impl ToSocketAddrs,
+    range: Range<usize>,
+    policy: &RetryPolicy,
+    obs: &Obs,
+) -> Result<Vec<Frame>, ClientError> {
+    with_retry(policy, obs, || {
+        let mut client = Client::connect(&addr).map_err(|e| (RetryStage::Connect, e))?;
+        client.get(range.clone()).map_err(|e| (RetryStage::Request, e))
+    })
 }
 
 /// A connected `mdzd` client. One request is in flight at a time; reconnect
@@ -65,6 +247,18 @@ impl Client {
     pub fn with_max_response_bytes(mut self, max: usize) -> Client {
         self.max_response_bytes = max;
         self
+    }
+
+    /// Applies read/write deadlines to the underlying socket, so a stalled
+    /// server surfaces as [`ClientError::Timeout`] instead of hanging.
+    pub fn set_timeouts(
+        &self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(read)?;
+        self.stream.set_write_timeout(write)?;
+        Ok(())
     }
 
     fn round_trip(&mut self, req: Request) -> Result<Vec<u8>, ClientError> {
@@ -112,5 +306,102 @@ impl Client {
     pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
         let body = self.round_trip(Request::Metrics)?;
         parse_metrics(&body).map_err(ClientError::Protocol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_errors_classify_timeouts() {
+        let t: ClientError = std::io::Error::new(std::io::ErrorKind::TimedOut, "slow").into();
+        assert!(matches!(t, ClientError::Timeout(_)));
+        let io: ClientError =
+            std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "no").into();
+        assert!(matches!(io, ClientError::Io(_)));
+    }
+
+    #[test]
+    fn retry_classification_matches_policy() {
+        let policy = RetryPolicy::default();
+        let timeout = ClientError::Timeout("t".into());
+        let io = ClientError::Io("i".into());
+        let busy = ClientError::Server { status: Status::Busy, message: String::new() };
+        let corrupt = ClientError::Server { status: Status::Corrupt, message: String::new() };
+        assert!(policy.should_retry(&timeout, RetryStage::Connect));
+        assert!(policy.should_retry(&timeout, RetryStage::Request));
+        assert!(policy.should_retry(&io, RetryStage::Connect));
+        assert!(!policy.should_retry(&io, RetryStage::Request));
+        assert!(policy.should_retry(&busy, RetryStage::Request));
+        assert!(!policy.should_retry(&corrupt, RetryStage::Request));
+        assert!(!policy.should_retry(&ClientError::Protocol("x"), RetryStage::Request));
+        let no_busy = RetryPolicy { retry_busy: false, ..RetryPolicy::default() };
+        assert!(!no_busy.should_retry(&busy, RetryStage::Request));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_decorrelated() {
+        let policy = RetryPolicy {
+            max_retries: 8,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(50),
+            retry_busy: true,
+            seed: 0x6d64_7a00,
+        };
+        let sleeps: Vec<Duration> = {
+            let mut b = Backoff::new(&policy);
+            (0..8).map(|_| b.next_sleep()).collect()
+        };
+        let again: Vec<Duration> = {
+            let mut b = Backoff::new(&policy);
+            (0..8).map(|_| b.next_sleep()).collect()
+        };
+        assert_eq!(sleeps, again, "same seed, same schedule");
+        for s in &sleeps {
+            assert!(*s >= policy.base && *s <= policy.cap, "{s:?} out of bounds");
+        }
+        // A different seed must produce a different schedule.
+        let other = Backoff::new(&RetryPolicy { seed: 1, ..policy.clone() });
+        let other: Vec<Duration> = {
+            let mut b = other;
+            (0..8).map(|_| b.next_sleep()).collect()
+        };
+        assert_ne!(sleeps, other, "seeds decorrelate schedules");
+    }
+
+    #[test]
+    fn with_retry_stops_on_fatal_and_counts_retries() {
+        let registry = std::sync::Arc::new(mdz_obs::Registry::new());
+        let obs =
+            Obs::new(std::sync::Arc::clone(&registry) as std::sync::Arc<dyn mdz_obs::Recorder>);
+        let policy = RetryPolicy {
+            max_retries: 5,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            retry_busy: true,
+            seed: 7,
+        };
+        // Two transient failures, then success.
+        let mut calls = 0;
+        let out = with_retry(&policy, &obs, || {
+            calls += 1;
+            if calls < 3 {
+                Err((RetryStage::Connect, ClientError::Timeout("t".into())))
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(out.unwrap(), 3);
+        assert_eq!(registry.counter("client.retries"), 2);
+        // A fatal error stops immediately.
+        let mut calls = 0;
+        let out: Result<(), _> = with_retry(&policy, &obs, || {
+            calls += 1;
+            Err((RetryStage::Request, ClientError::Protocol("broken")))
+        });
+        assert!(matches!(out, Err(ClientError::Protocol(_))));
+        assert_eq!(calls, 1);
+        assert_eq!(registry.counter("client.retries"), 2, "fatal errors are not retried");
     }
 }

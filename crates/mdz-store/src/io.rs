@@ -1,0 +1,356 @@
+//! Pluggable archive storage backends: the [`StoreIo`] trait, the real
+//! file backend ([`FileIo`]), an in-memory backend ([`MemIo`]), and a
+//! deterministic fault-injecting backend ([`FaultIo`]) used by the
+//! crash-consistency tests.
+//!
+//! Every byte the archive writer persists flows through [`StoreIo`], so
+//! durability is a property of the *call sequence* (`write_at` … `sync` …
+//! `write_at` footer … `sync`) rather than of fsync calls scattered through
+//! the writer. [`FaultIo`] exploits that: it counts mutating operations and
+//! injects a crash at the Nth one, modelling a kernel that kept, dropped, or
+//! tore the buffered writes — which lets tests sweep *every* crash point of
+//! an append deterministically.
+
+use mdz_core::{MdzError, Result};
+
+/// Abstract random-access storage for a single archive.
+///
+/// Contract assumed by the writer and by [`FaultIo`]'s crash model:
+///
+/// * `write_at` buffers data; it is not durable until the next `sync`.
+/// * `sync` makes everything written so far durable (fsync semantics).
+/// * `truncate` discards bytes at the tail; like writes, the new length is
+///   only durable after `sync`.
+/// * After any error, the backend may refuse all further operations (a
+///   crashed [`FaultIo`] does).
+pub trait StoreIo: Send {
+    /// Current length of the backing store in bytes.
+    fn len(&mut self) -> Result<u64>;
+    /// True when the backing store holds no bytes.
+    fn is_empty(&mut self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+    /// Reads the entire backing store.
+    fn read_all(&mut self) -> Result<Vec<u8>>;
+    /// Writes `buf` at absolute `offset`, extending the store if needed.
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> Result<()>;
+    /// Truncates the store to `len` bytes.
+    fn truncate(&mut self, len: u64) -> Result<()>;
+    /// Makes all preceding writes durable (fsync).
+    fn sync(&mut self) -> Result<()>;
+}
+
+/// [`StoreIo`] over a real file. `sync` maps to `File::sync_all`.
+pub struct FileIo {
+    file: std::fs::File,
+}
+
+impl FileIo {
+    /// Opens (or creates) `path` for read/write archive access.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(FileIo { file })
+    }
+}
+
+impl StoreIo for FileIo {
+    fn len(&mut self) -> Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>> {
+        use std::io::{Read, Seek, SeekFrom};
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut buf = Vec::new();
+        self.file.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> Result<()> {
+        use std::io::{Seek, SeekFrom, Write};
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(buf)?;
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<()> {
+        self.file.set_len(len)?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file.sync_all()?;
+        Ok(())
+    }
+}
+
+/// [`StoreIo`] over an in-memory byte vector. `sync` is a no-op; useful for
+/// tests and for building archives in memory ([`crate::write_store`]).
+#[derive(Debug, Default, Clone)]
+pub struct MemIo {
+    bytes: Vec<u8>,
+}
+
+impl MemIo {
+    /// Wraps `bytes` as an in-memory store.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        MemIo { bytes }
+    }
+
+    /// Consumes the store and returns its bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+fn write_at_vec(bytes: &mut Vec<u8>, offset: u64, buf: &[u8]) {
+    let offset = offset as usize;
+    let end = offset + buf.len();
+    if bytes.len() < end {
+        bytes.resize(end, 0);
+    }
+    bytes[offset..end].copy_from_slice(buf);
+}
+
+impl StoreIo for MemIo {
+    fn len(&mut self) -> Result<u64> {
+        Ok(self.bytes.len() as u64)
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>> {
+        Ok(self.bytes.clone())
+    }
+
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> Result<()> {
+        write_at_vec(&mut self.bytes, offset, buf);
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<()> {
+        self.bytes.truncate(len as usize);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// What the simulated kernel does with in-flight data at the crash point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The operation fails before taking effect, but everything buffered so
+    /// far happens to reach disk (the page cache survived the crash).
+    FailOp,
+    /// The crash loses every write since the last `sync`; only durable
+    /// bytes survive (the page cache was lost).
+    DropUnsynced,
+    /// For a `write_at`, a seeded prefix of the buffer lands and the rest
+    /// is lost (a torn write). For `sync`/`truncate` this degrades to
+    /// [`FaultMode::FailOp`].
+    TornWrite,
+}
+
+/// A deterministic crash plan: fail the `fault_op`-th mutating operation
+/// (0-based, counting `write_at`/`truncate`/`sync`) in the given mode.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Index of the mutating operation to fail (0-based).
+    pub fault_op: usize,
+    /// Crash semantics at the fault point.
+    pub mode: FaultMode,
+    /// Seed for torn-write prefix lengths.
+    pub seed: u64,
+}
+
+/// In-memory [`StoreIo`] that injects a crash at a planned operation.
+///
+/// Tracks two images: `durable` (bytes guaranteed on disk — as of the last
+/// `sync`) and `current` (durable plus buffered writes). At the crash point
+/// the plan's [`FaultMode`] decides which image — or which torn hybrid —
+/// survives; [`FaultIo::disk_image`] returns it, simulating what a reader
+/// would find after reboot. Every operation after the crash fails.
+#[derive(Debug, Clone)]
+pub struct FaultIo {
+    durable: Vec<u8>,
+    current: Vec<u8>,
+    ops: usize,
+    plan: Option<FaultPlan>,
+    crashed: Option<Vec<u8>>,
+}
+
+impl FaultIo {
+    /// Wraps `bytes` (treated as already durable) with no crash planned.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        FaultIo { durable: bytes.clone(), current: bytes, ops: 0, plan: None, crashed: None }
+    }
+
+    /// Arms a crash plan. Call before driving writes.
+    pub fn set_plan(&mut self, plan: FaultPlan) {
+        self.plan = Some(plan);
+    }
+
+    /// Number of mutating operations performed so far (the crash point
+    /// sweep bound: run once unplanned, then sweep `0..ops_performed()`).
+    pub fn ops_performed(&self) -> usize {
+        self.ops
+    }
+
+    /// True once the planned crash has fired.
+    pub fn has_crashed(&self) -> bool {
+        self.crashed.is_some()
+    }
+
+    /// The bytes a reader would find on disk after the crash (or the
+    /// current image if no crash fired).
+    pub fn disk_image(&self) -> Vec<u8> {
+        match &self.crashed {
+            Some(image) => image.clone(),
+            None => self.current.clone(),
+        }
+    }
+
+    /// Deterministic torn-write prefix length in `0..=len`.
+    fn torn_len(&self, seed: u64, len: usize) -> usize {
+        // splitmix64 over (seed, op index) — deterministic per crash point.
+        let mut z = seed ^ (self.ops as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z % (len as u64 + 1)) as usize
+    }
+
+    /// Returns `Err` if this op is the planned crash (recording the disk
+    /// image) or if a crash already fired. `partial` applies the torn
+    /// prefix of a write before the image is captured.
+    fn gate(&mut self, partial: Option<(u64, &[u8])>) -> Result<()> {
+        if self.crashed.is_some() {
+            return Err(MdzError::io(
+                std::io::ErrorKind::NotConnected,
+                "storage backend crashed by fault injection",
+            ));
+        }
+        let Some(plan) = self.plan else {
+            self.ops += 1;
+            return Ok(());
+        };
+        if self.ops != plan.fault_op {
+            self.ops += 1;
+            return Ok(());
+        }
+        let image = match (plan.mode, partial) {
+            (FaultMode::DropUnsynced, _) => self.durable.clone(),
+            (FaultMode::TornWrite, Some((offset, buf))) => {
+                let n = self.torn_len(plan.seed, buf.len());
+                let mut image = self.current.clone();
+                write_at_vec(&mut image, offset, &buf[..n]);
+                image
+            }
+            // FailOp, and TornWrite on sync/truncate: nothing of this op
+            // takes effect, but prior buffered writes survive.
+            (FaultMode::FailOp | FaultMode::TornWrite, _) => self.current.clone(),
+        };
+        self.crashed = Some(image);
+        Err(MdzError::io(std::io::ErrorKind::Other, "injected storage fault"))
+    }
+}
+
+impl StoreIo for FaultIo {
+    fn len(&mut self) -> Result<u64> {
+        Ok(self.current.len() as u64)
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>> {
+        Ok(self.current.clone())
+    }
+
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> Result<()> {
+        self.gate(Some((offset, buf)))?;
+        write_at_vec(&mut self.current, offset, buf);
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<()> {
+        self.gate(None)?;
+        self.current.truncate(len as usize);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.gate(None)?;
+        self.durable = self.current.clone();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_io_roundtrip_and_extend() {
+        let mut io = MemIo::new(vec![1, 2, 3]);
+        io.write_at(2, &[9, 9]).unwrap();
+        assert_eq!(io.read_all().unwrap(), vec![1, 2, 9, 9]);
+        io.truncate(1).unwrap();
+        assert_eq!(io.len().unwrap(), 1);
+        io.write_at(3, &[7]).unwrap();
+        assert_eq!(io.into_bytes(), vec![1, 0, 0, 7]);
+    }
+
+    #[test]
+    fn fault_io_drop_unsynced_reverts_to_durable() {
+        let mut io = FaultIo::new(vec![1, 2]);
+        io.write_at(2, &[3]).unwrap(); // op 0
+        io.sync().unwrap(); // op 1
+        io.write_at(3, &[4]).unwrap(); // op 2
+        io.set_plan(FaultPlan { fault_op: 3, mode: FaultMode::DropUnsynced, seed: 0 });
+        assert!(io.sync().is_err()); // op 3 crashes
+        assert!(io.has_crashed());
+        assert_eq!(io.disk_image(), vec![1, 2, 3]); // durable as of op 1
+        assert!(io.write_at(0, &[0]).is_err()); // dead after crash
+    }
+
+    #[test]
+    fn fault_io_fail_op_keeps_buffered_writes() {
+        let mut io = FaultIo::new(vec![]);
+        io.set_plan(FaultPlan { fault_op: 1, mode: FaultMode::FailOp, seed: 0 });
+        io.write_at(0, &[5, 6]).unwrap(); // op 0
+        assert!(io.write_at(2, &[7]).is_err()); // op 1 crashes before effect
+        assert_eq!(io.disk_image(), vec![5, 6]);
+    }
+
+    #[test]
+    fn fault_io_torn_write_applies_prefix() {
+        let buf = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        let mut any_torn = false;
+        for seed in 0..32u64 {
+            let mut io = FaultIo::new(vec![]);
+            io.set_plan(FaultPlan { fault_op: 0, mode: FaultMode::TornWrite, seed });
+            assert!(io.write_at(0, &buf).is_err());
+            let image = io.disk_image();
+            assert!(image.len() <= buf.len());
+            assert_eq!(image[..], buf[..image.len()]);
+            if !image.is_empty() && image.len() < buf.len() {
+                any_torn = true;
+            }
+        }
+        assert!(any_torn, "some seed must produce a strict prefix");
+    }
+
+    #[test]
+    fn fault_io_unplanned_run_counts_ops() {
+        let mut io = FaultIo::new(vec![]);
+        io.write_at(0, &[1]).unwrap();
+        io.sync().unwrap();
+        io.truncate(0).unwrap();
+        assert_eq!(io.ops_performed(), 3);
+        assert!(!io.has_crashed());
+    }
+}

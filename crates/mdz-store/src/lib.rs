@@ -20,6 +20,13 @@
 //!   on `std`. METRICS returns the full registry snapshot
 //!   ([`MetricsSnapshot`]): request/cache/error counters plus per-request
 //!   latency histograms.
+//! * **Crash consistency** ([`io`], [`append_store`], [`recover_store`]) —
+//!   archives are appendable under a footer-flip protocol (new blocks, data
+//!   sync, new footer, footer sync), all storage flows through the
+//!   [`StoreIo`] trait, and a deterministic fault injector ([`FaultIo`])
+//!   proves that a crash at any write leaves the archive readable as either
+//!   the pre-append or post-append state. [`StoreReader::recover`] and
+//!   [`verify_archive`] expose the recovery scan and a full integrity walk.
 //!
 //! # Example
 //!
@@ -46,13 +53,21 @@
 
 pub mod archive;
 pub mod client;
+pub mod io;
 pub mod protocol;
 pub mod reader;
 pub mod server;
 
-pub use archive::{write_store, ArchiveIndex, BlockEntry, Precision, StoreOptions};
-pub use client::{Client, ClientError};
-pub use mdz_obs::{HistogramSnapshot, MetricsSnapshot, Registry};
+pub use archive::{
+    append_store, create_store, recover_slice, recover_store, verify_archive, write_store,
+    AppendReport, ArchiveIndex, BlockEntry, Precision, RecoverReport, StoreOptions, VerifyFault,
+    VerifyReport,
+};
+pub use client::{
+    connect_with_retry, get_with_retry, with_retry, Client, ClientError, RetryPolicy, RetryStage,
+};
+pub use io::{FaultIo, FaultMode, FaultPlan, FileIo, MemIo, StoreIo};
+pub use mdz_obs::{HistogramSnapshot, MetricsSnapshot, Obs, Registry};
 pub use protocol::{Request, Status, StoreInfo};
 pub use reader::{ReaderOptions, StatsSnapshot, StoreReader};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -26,7 +26,8 @@
 //!
 //! METRICS is a purely additive verb: version-1 servers answer it with
 //! `BadRequest` and version-1 clients simply never send it, so mixed
-//! deployments keep working.
+//! deployments keep working. The BUSY status (load shedding at the
+//! connection cap) is additive the same way.
 //!
 //! Both endpoints bound what they will read: servers cap request bodies at
 //! [`MAX_REQUEST_BODY`], clients cap response bodies at a configurable
@@ -69,6 +70,11 @@ pub enum Status {
     Corrupt = 4,
     /// An unexpected server-side failure.
     Internal = 5,
+    /// The server is at its connection cap and shed this connection; the
+    /// request (if any) was not processed and may be retried elsewhere or
+    /// after a backoff. Additive like METRICS: version-1 servers never send
+    /// it, and older clients surface it as a protocol error.
+    Busy = 6,
 }
 
 impl Status {
@@ -81,6 +87,7 @@ impl Status {
             3 => Status::LimitExceeded,
             4 => Status::Corrupt,
             5 => Status::Internal,
+            6 => Status::Busy,
             _ => return None,
         })
     }

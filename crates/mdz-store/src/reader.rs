@@ -9,7 +9,7 @@ use mdz_core::traj::split_container;
 use mdz_core::{DecodeLimits, Decompressor, Frame, MdzError, Obs, Result};
 use mdz_obs::{MetricsSnapshot, Registry};
 
-use crate::archive::{record_at, ArchiveIndex};
+use crate::archive::{record_at, recover_slice, ArchiveIndex, RecoverReport};
 
 /// Tuning knobs for [`StoreReader`].
 #[derive(Debug, Clone)]
@@ -116,6 +116,34 @@ impl StoreReader {
         })
     }
 
+    /// Opens `data` after a crash: scans back to the last valid footer,
+    /// drops any garbage tail (a torn append), and reads the archive as of
+    /// that footer. Equivalent to [`open`](Self::open) when the archive is
+    /// cleanly closed. The in-memory copy is truncated; use
+    /// [`crate::recover_store`] to repair the file itself.
+    pub fn recover(data: Vec<u8>) -> Result<(Self, RecoverReport)> {
+        Self::recover_with_registry(data, ReaderOptions::default(), Arc::new(Registry::new()))
+    }
+
+    /// [`recover`](Self::recover) with explicit options and a caller
+    /// registry. Records `store.recover.count` and
+    /// `store.recover.truncated_bytes` when a tail was dropped.
+    pub fn recover_with_registry(
+        mut data: Vec<u8>,
+        opts: ReaderOptions,
+        registry: Arc<Registry>,
+    ) -> Result<(Self, RecoverReport)> {
+        let (valid_len, _) = recover_slice(&data)?;
+        let truncated_bytes = data.len() - valid_len;
+        data.truncate(valid_len);
+        let reader = Self::with_registry(data, opts, registry)?;
+        if truncated_bytes > 0 {
+            reader.store.obs.incr("store.recover.count", 1);
+            reader.store.obs.incr("store.recover.truncated_bytes", truncated_bytes as u64);
+        }
+        Ok((reader, RecoverReport { valid_len, truncated_bytes }))
+    }
+
     /// The parsed header and block index.
     pub fn index(&self) -> &ArchiveIndex {
         &self.store.index
@@ -184,10 +212,11 @@ impl StoreReader {
         if range.is_empty() {
             return Ok(Vec::new());
         }
-        let bs = idx.buffer_size;
-        let k = idx.epoch_interval;
-        let first_epoch = range.start / bs / k;
-        let last_epoch = (range.end - 1) / bs / k;
+        // Epoch boundaries are irregular after appends (each appended
+        // segment anchors its own epochs), so map frames through the
+        // index's epoch-start list rather than a fixed stride.
+        let first_epoch = idx.epoch_of_frame(range.start);
+        let last_epoch = idx.epoch_of_frame(range.end - 1);
         let mut out = Vec::new();
         for epoch in first_epoch..=last_epoch {
             let frames = self.epoch_frames(epoch, limits)?;

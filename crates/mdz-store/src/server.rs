@@ -7,12 +7,34 @@
 //! rather than letting one client monopolize memory. The epoch cache inside
 //! the shared [`StoreReader`] makes concurrent overlapping reads cheap:
 //! whichever connection decodes an epoch first populates it for the rest.
+//!
+//! # Degradation under hostile load
+//!
+//! Every per-connection budget is explicit in [`ServerConfig`]:
+//!
+//! * **Connection cap** — when `max_connections` handlers are already
+//!   admitted, new connections get a framed [`Status::Busy`] response and
+//!   are closed instead of piling up in the accept queue.
+//! * **Idle deadline** — a connection that sends no request within
+//!   `idle_timeout` is closed (`server.conn.idle_closed`).
+//! * **Read deadline** — a request that starts arriving but stalls is cut
+//!   off after `read_timeout` (`server.conn.read_timeouts`).
+//! * **Write deadline** — a stalled reader (a peer that requests data and
+//!   never drains its socket) is disconnected once a response write blocks
+//!   for `write_timeout` (`server.conn.write_timeouts`), freeing the worker.
+//! * **Bounded request bodies** — frame lengths are validated against
+//!   `max_request_body` before any allocation.
+//!
+//! Shutdown drains gracefully: the accept loop stops admitting, in-flight
+//! requests finish (bounded by the read/write deadlines), and idle or queued
+//! connections are closed at the next poll tick (`server.drain.closed`).
 
 use std::io::Write;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use mdz_core::DecodeLimits;
 use mdz_obs::Obs;
@@ -23,6 +45,10 @@ use crate::protocol::{
 };
 use crate::reader::StoreReader;
 
+/// How often a blocked prefix read wakes up to check the stop flag and the
+/// idle deadline.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
 /// Serving-side budgets and sizing.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -32,11 +58,32 @@ pub struct ServerConfig {
     pub max_frames_per_request: usize,
     /// Decode budget each connection's reads run under.
     pub limits: DecodeLimits,
+    /// Connections admitted concurrently; beyond this, new connections are
+    /// shed with a framed [`Status::Busy`] response.
+    pub max_connections: usize,
+    /// Largest request body accepted, enforced before allocation.
+    pub max_request_body: usize,
+    /// Budget for a started request to finish arriving (also bounds the
+    /// post-error drain that lets an error response reach the peer).
+    pub read_timeout: Duration,
+    /// Budget for a blocked response write before the connection is cut.
+    pub write_timeout: Duration,
+    /// How long a connection may sit between requests before it is closed.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { threads: 4, max_frames_per_request: 1 << 20, limits: DecodeLimits::default() }
+        Self {
+            threads: 4,
+            max_frames_per_request: 1 << 20,
+            limits: DecodeLimits::default(),
+            max_connections: 256,
+            max_request_body: MAX_REQUEST_BODY,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(60),
+        }
     }
 }
 
@@ -96,22 +143,30 @@ impl Server {
     }
 
     /// Accepts connections until [`ServerHandle::shutdown`] is called,
-    /// dispatching each to the worker pool. Returns once every queued
-    /// connection has drained and the workers have joined.
+    /// dispatching each to the worker pool. Returns once in-flight requests
+    /// have finished (deadline-bounded) and the workers have joined.
     pub fn run(self) -> std::io::Result<()> {
         let Server { listener, reader, cfg, stop } = self;
+        let obs = Obs::new(reader.recorder());
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = cfg.threads.max(1);
+        // Admitted-but-unfinished connections (queued + being served).
+        let active = Arc::new(AtomicUsize::new(0));
         std::thread::scope(|s| {
             for _ in 0..workers {
                 let rx = Arc::clone(&rx);
                 let reader = reader.clone();
                 let cfg = cfg.clone();
+                let stop = Arc::clone(&stop);
+                let active = Arc::clone(&active);
                 s.spawn(move || loop {
                     let conn = rx.lock().unwrap().recv();
                     match conn {
-                        Ok(stream) => handle_connection(stream, &reader, &cfg),
+                        Ok(stream) => {
+                            handle_connection(stream, &reader, &cfg, &stop);
+                            active.fetch_sub(1, Ordering::AcqRel);
+                        }
                         Err(_) => break, // accept loop gone, queue drained
                     }
                 });
@@ -121,7 +176,34 @@ impl Server {
                     break;
                 }
                 match conn {
-                    Ok(stream) => {
+                    Ok(mut stream) => {
+                        if active.load(Ordering::Acquire) >= cfg.max_connections.max(1) {
+                            // Shed load with a typed response instead of
+                            // letting connections pile up unanswered. The
+                            // handshake (read one request, answer BUSY) runs
+                            // on a throwaway thread so a slow peer cannot
+                            // stall the accept loop; reading the request
+                            // first means the close is a clean FIN — closing
+                            // with unread bytes would RST the connection and
+                            // the client could lose the BUSY response.
+                            obs.incr("server.conn.rejected_busy", 1);
+                            obs.incr(status_counter(Status::Busy as u8), 1);
+                            let obs = obs.clone();
+                            let read_timeout = cfg.read_timeout;
+                            let write_timeout = cfg.write_timeout;
+                            let max_body = cfg.max_request_body;
+                            std::thread::spawn(move || {
+                                set_read_timeout(&stream, read_timeout, &obs);
+                                set_write_timeout(&stream, write_timeout, &obs);
+                                let _ = read_message(&mut stream, max_body);
+                                let resp =
+                                    encode_error(Status::Busy, "server at connection capacity");
+                                let _ = write_message(&mut stream, &resp);
+                            });
+                            continue;
+                        }
+                        active.fetch_add(1, Ordering::AcqRel);
+                        obs.incr("server.conn.accepted", 1);
                         if tx.send(stream).is_err() {
                             break;
                         }
@@ -137,19 +219,138 @@ impl Server {
     }
 }
 
-/// Serves one connection until the peer closes it or framing breaks.
+/// Applies a read timeout, counting (rather than ignoring) sockopt failures.
+fn set_read_timeout(stream: &TcpStream, timeout: Duration, obs: &Obs) {
+    let timeout = timeout.max(Duration::from_millis(1));
+    if stream.set_read_timeout(Some(timeout)).is_err() {
+        obs.incr("server.sockopt_errors", 1);
+    }
+}
+
+/// Applies a write timeout, counting (rather than ignoring) sockopt failures.
+fn set_write_timeout(stream: &TcpStream, timeout: Duration, obs: &Obs) {
+    let timeout = timeout.max(Duration::from_millis(1));
+    if stream.set_write_timeout(Some(timeout)).is_err() {
+        obs.incr("server.sockopt_errors", 1);
+    }
+}
+
+/// Outcome of waiting for the next framed request on a connection.
+enum NextRequest {
+    /// A complete request body arrived.
+    Body(Vec<u8>),
+    /// The peer closed cleanly at a frame boundary.
+    CleanClose,
+    /// No request arrived within the idle deadline.
+    IdleTimeout,
+    /// The server is shutting down and no request was in flight.
+    Draining,
+    /// A request started arriving but stalled past the read deadline.
+    SlowBody,
+    /// Oversized frame length or a prefix truncated mid-frame.
+    Malformed,
+    /// Hard socket error; nothing more can be read or written.
+    Gone,
+}
+
+/// Reads one framed request, polling so the idle deadline and the stop flag
+/// are observed even while the peer is silent. The 4-byte length prefix is
+/// accumulated across poll ticks; the body is then read under the full
+/// `read_timeout`.
+fn next_request(
+    stream: &mut TcpStream,
+    cfg: &ServerConfig,
+    stop: &AtomicBool,
+    obs: &Obs,
+) -> NextRequest {
+    use std::io::Read;
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0usize;
+    set_read_timeout(stream, POLL_INTERVAL.min(cfg.idle_timeout), obs);
+    let idle_deadline = Instant::now() + cfg.idle_timeout;
+    let mut started_at: Option<Instant> = None;
+    while filled < 4 {
+        if stop.load(Ordering::SeqCst) && filled == 0 {
+            return NextRequest::Draining;
+        }
+        match stream.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return NextRequest::CleanClose,
+            Ok(0) => return NextRequest::Malformed,
+            Ok(n) => {
+                filled += n;
+                started_at.get_or_insert_with(Instant::now);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                match started_at {
+                    // Mid-prefix stalls run against the read deadline.
+                    Some(t) if t.elapsed() >= cfg.read_timeout => return NextRequest::SlowBody,
+                    None if Instant::now() >= idle_deadline => return NextRequest::IdleTimeout,
+                    _ => {}
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return NextRequest::Gone,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > cfg.max_request_body {
+        return NextRequest::Malformed;
+    }
+    set_read_timeout(stream, cfg.read_timeout, obs);
+    let mut body = vec![0u8; len];
+    match stream.read_exact(&mut body) {
+        Ok(()) => NextRequest::Body(body),
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            NextRequest::SlowBody
+        }
+        Err(_) => NextRequest::Gone,
+    }
+}
+
+/// Serves one connection until the peer closes it, a deadline fires, or
+/// framing breaks.
 ///
 /// All per-request metrics (opcode and status counters, latency
 /// histograms, `store.requests`) are recorded *after* [`respond`] returns,
 /// so a METRICS response reflects every request except the in-flight one
 /// that produced it.
-fn handle_connection(mut stream: TcpStream, reader: &StoreReader, cfg: &ServerConfig) {
+fn handle_connection(
+    mut stream: TcpStream,
+    reader: &StoreReader,
+    cfg: &ServerConfig,
+    stop: &AtomicBool,
+) {
     let obs = Obs::new(reader.recorder());
+    set_write_timeout(&stream, cfg.write_timeout, &obs);
     loop {
-        let body = match read_message(&mut stream, MAX_REQUEST_BODY) {
-            Ok(Some(body)) => body,
-            Ok(None) => return, // clean close between requests
-            Err(_) => {
+        let body = match next_request(&mut stream, cfg, stop, &obs) {
+            NextRequest::Body(body) => body,
+            NextRequest::CleanClose | NextRequest::Gone => return,
+            NextRequest::Draining => {
+                obs.incr("server.drain.closed", 1);
+                return;
+            }
+            NextRequest::IdleTimeout => {
+                obs.incr("server.conn.idle_closed", 1);
+                return;
+            }
+            NextRequest::SlowBody => {
+                // The request never finished arriving; no response can be
+                // framed reliably, so just cut the connection.
+                obs.incr("server.conn.read_timeouts", 1);
+                return;
+            }
+            NextRequest::Malformed => {
                 // Oversized or truncated frame: answer if the socket still
                 // writes, then drop the connection — resync is impossible.
                 reader.record_failed_request();
@@ -160,7 +361,7 @@ fn handle_connection(mut stream: TcpStream, reader: &StoreReader, cfg: &ServerCo
                 // Drain (bounded) what the peer already sent before closing,
                 // otherwise the kernel RSTs the error response off the wire.
                 let _ = stream.shutdown(std::net::Shutdown::Write);
-                let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+                set_read_timeout(&stream, cfg.read_timeout, &obs);
                 let _ = std::io::copy(
                     &mut std::io::Read::take(&mut stream, 1 << 20),
                     &mut std::io::sink(),
@@ -187,7 +388,12 @@ fn handle_connection(mut stream: TcpStream, reader: &StoreReader, cfg: &ServerCo
         obs.incr(opcode_counter(&parsed), 1);
         obs.incr(status_counter(response.first().copied().unwrap_or(Status::Internal as u8)), 1);
         reader.record_request(response.len() as u64);
-        if write_message(&mut stream, &response).is_err() {
+        if let Err(e) = write_message(&mut stream, &response) {
+            // A stalled reader shows up as a blocked write hitting the
+            // write deadline; count it so operators can see shed peers.
+            if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) {
+                obs.incr("server.conn.write_timeouts", 1);
+            }
             return;
         }
         let _ = stream.flush();
@@ -213,6 +419,7 @@ fn status_counter(byte: u8) -> &'static str {
         Some(Status::OutOfRange) => "server.status.out_of_range",
         Some(Status::LimitExceeded) => "server.status.limit_exceeded",
         Some(Status::Corrupt) => "server.status.corrupt",
+        Some(Status::Busy) => "server.status.busy",
         Some(Status::Internal) | None => "server.status.internal",
     }
 }

@@ -1,0 +1,157 @@
+//! Client error-path coverage: connection refused, a connection dying
+//! mid-response, a BUSY server, and a request deadline each surface a
+//! *typed* error, and the retry policy retries exactly the transient ones.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mdz_store::protocol::{encode_error, read_message, write_message};
+use mdz_store::{
+    connect_with_retry, get_with_retry, Client, ClientError, Obs, Registry, RetryPolicy,
+    RetryStage, Status,
+};
+
+fn test_policy(max_retries: u32, retry_busy: bool) -> RetryPolicy {
+    RetryPolicy {
+        max_retries,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(5),
+        retry_busy,
+        seed: 0xc11e47,
+    }
+}
+
+/// A single-purpose fake server: accepts connections, reads one framed
+/// request per connection, and lets `respond` write whatever bytes it
+/// wants before closing. Returns the address and a shared accept counter.
+fn fake_server(
+    connections: usize,
+    respond: impl Fn(&mut TcpStream) + Send + 'static,
+) -> (std::net::SocketAddr, Arc<AtomicUsize>, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let accepts = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&accepts);
+    let join = std::thread::spawn(move || {
+        for _ in 0..connections {
+            let Ok((mut stream, _)) = listener.accept() else { return };
+            counter.fetch_add(1, Ordering::SeqCst);
+            // Consume the request so the eventual close is a clean FIN and
+            // the client reliably sees our response bytes.
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+            let _ = read_message(&mut stream, 64);
+            respond(&mut stream);
+        }
+    });
+    (addr, accepts, join)
+}
+
+#[test]
+fn connection_refused_is_io_and_retried_at_connect_stage() {
+    // Bind then immediately drop: nothing listens on this port.
+    let addr = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
+    match Client::connect(addr).map(|_| ()) {
+        Err(ClientError::Io(_)) => {}
+        other => panic!("expected Io, got {other:?}"),
+    }
+
+    // The same failure through the retry layer: connect errors are
+    // transient, so every allowed retry is spent (and counted).
+    let registry = Arc::new(Registry::new());
+    let obs = Obs::new(Arc::clone(&registry) as Arc<dyn mdz_obs::Recorder>);
+    let policy = test_policy(2, true);
+    match connect_with_retry(addr, &policy, &obs) {
+        Err(ClientError::Io(_)) => {}
+        other => panic!("expected Io after retries, got {:?}", other.err()),
+    }
+    assert_eq!(registry.counter("client.retries"), 2);
+
+    // The identical error at the Request stage must NOT be retried: the
+    // request may already have executed server-side.
+    let io_err = ClientError::Io("broken pipe".into());
+    assert!(policy.should_retry(&io_err, RetryStage::Connect));
+    assert!(!policy.should_retry(&io_err, RetryStage::Request));
+}
+
+#[test]
+fn mid_response_disconnect_is_io_and_never_retried() {
+    // The server advertises a 100-byte response, sends 10, and hangs up.
+    let (addr, accepts, join) = fake_server(1, |stream| {
+        let _ = stream.write_all(&100u32.to_le_bytes());
+        let _ = stream.write_all(&[0u8; 10]);
+    });
+
+    let err = get_with_retry(addr, 0..4, &test_policy(3, true), &Obs::noop())
+        .expect_err("truncated response must fail");
+    match err {
+        ClientError::Io(_) => {}
+        other => panic!("expected Io, got {other:?}"),
+    }
+    // One accept: a connection dying mid-response is not transient — the
+    // request may have half-executed — so the policy must not retry it.
+    assert_eq!(accepts.load(Ordering::SeqCst), 1);
+    join.join().unwrap();
+}
+
+#[test]
+fn busy_response_is_typed_and_retried_only_when_the_policy_allows() {
+    let busy = |stream: &mut TcpStream| {
+        let _ = write_message(stream, &encode_error(Status::Busy, "shed"));
+    };
+
+    // retry_busy = false: exactly one attempt, typed BUSY error out.
+    let (addr, accepts, join) = fake_server(1, busy);
+    let err = get_with_retry(addr, 0..4, &test_policy(3, false), &Obs::noop())
+        .expect_err("BUSY must surface");
+    match &err {
+        ClientError::Server { status: Status::Busy, .. } => {}
+        other => panic!("expected BUSY, got {other:?}"),
+    }
+    assert_eq!(accepts.load(Ordering::SeqCst), 1);
+    join.join().unwrap();
+
+    // retry_busy = true: the policy spends every retry (1 + 2 attempts)
+    // before giving up on a persistently busy server.
+    let (addr, accepts, join) = fake_server(3, busy);
+    let registry = Arc::new(Registry::new());
+    let obs = Obs::new(Arc::clone(&registry) as Arc<dyn mdz_obs::Recorder>);
+    let err = get_with_retry(addr, 0..4, &test_policy(2, true), &obs)
+        .expect_err("still busy after retries");
+    assert!(matches!(err, ClientError::Server { status: Status::Busy, .. }));
+    assert_eq!(accepts.load(Ordering::SeqCst), 3);
+    assert_eq!(registry.counter("client.retries"), 2);
+    join.join().unwrap();
+}
+
+#[test]
+fn request_deadline_surfaces_a_typed_timeout() {
+    // A server that accepts, reads the request, and never answers.
+    let (addr, _accepts, join) = fake_server(1, |stream| {
+        // Hold the connection open until the client has timed out.
+        let mut buf = [0u8; 1];
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.read(&mut buf);
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .set_timeouts(Some(Duration::from_millis(100)), Some(Duration::from_millis(100)))
+        .unwrap();
+    let err = client.get(0..4).expect_err("no response must time out");
+    match &err {
+        ClientError::Timeout(_) => {}
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    // Timeouts are transient at every stage: the policy may retry them.
+    let policy = test_policy(1, false);
+    assert!(policy.should_retry(&err, RetryStage::Connect));
+    assert!(policy.should_retry(&err, RetryStage::Request));
+    drop(client);
+    join.join().unwrap();
+}

@@ -80,7 +80,7 @@ done
 [ -n "$addr" ] || { echo "store smoke: server did not start"; exit 1; }
 "$mdz" query "$addr" 1..3 > "$tmp_out/remote.txt" 2> /dev/null
 cmp "$tmp_out/local.txt" "$tmp_out/remote.txt"
-"$mdz" stats "$addr" | grep -q "^requests:"
+"$mdz" stats "$addr" | grep "^requests:" >/dev/null
 
 # Metrics smoke: fetch the full METRICS snapshot as JSON and validate it
 # against the traffic just driven — 1 GET (query) plus STATS + INFO (the
@@ -95,9 +95,29 @@ MDZ_METRICS_EXPECT_CACHE_MISSES=2 \
 MDZ_METRICS_EXPECT_CACHE_HITS=0 \
 MDZ_METRICS_EXPECT_ERRORS=0 \
     cargo test -p mdz-bench --release --quiet --test metrics_json
-"$mdz" stats "$addr" --metrics | grep -q "store.requests"
+"$mdz" stats "$addr" --metrics | grep "store.requests" >/dev/null
 kill "$server_pid"
 wait "$server_pid" 2> /dev/null || true
 trap 'rm -rf "$tmp_out"' EXIT
+
+# Crash-consistency smoke: the exhaustive fault-point sweep, then the CLI
+# side of the same story — append under the footer-flip protocol, verify
+# the full CRC walk, tear the tail with deterministic junk, require verify
+# to fail, recover, and require verify to pass again on the pre-tear bytes.
+echo "==> crash-consistency sweep (every fault point, ADP/VQ x f32/f64)"
+cargo test -p mdz-store --release --quiet --test crash_recovery
+
+echo "==> append/verify/recover smoke (torn tail repaired by mdz recover)"
+"$mdz" gen lj "$tmp_out/more.xyz" --scale test --seed 8 > /dev/null
+"$mdz" append "$tmp_out/traj.mdz" "$tmp_out/more.xyz" > /dev/null
+"$mdz" verify "$tmp_out/traj.mdz" > /dev/null
+cp "$tmp_out/traj.mdz" "$tmp_out/clean.mdz"
+printf 'torn append scratch bytes' >> "$tmp_out/traj.mdz"
+if "$mdz" verify "$tmp_out/traj.mdz" > /dev/null 2>&1; then
+    echo "crash smoke: verify accepted a torn tail"; exit 1
+fi
+"$mdz" recover "$tmp_out/traj.mdz" > /dev/null
+"$mdz" verify "$tmp_out/traj.mdz" > /dev/null
+cmp "$tmp_out/traj.mdz" "$tmp_out/clean.mdz"
 
 echo "verify: all checks passed"

@@ -5,12 +5,15 @@
 //! mdz decompress <in.mdz> <out.xyz>
 //! mdz info       <in.mdz>
 //! mdz extract    <in.mdz> <frame-index>
-//! mdz verify     <original.xyz> <compressed.mdz>
+//! mdz verify     <archive.mdz>                 # integrity walk (CRC every frame)
+//! mdz verify     <original.xyz> <compressed.mdz>  # error-bound check
 //! mdz gen        <dataset> <out.xyz> [--scale test|small|full] [--seed N]
 //! mdz store      <in.xyz> <out.mdz> [--bs N] [--epoch K] [--f32] [bound/method flags]
+//! mdz append     <archive.mdz> <in.xyz> [--f32] [bound/method flags]
+//! mdz recover    <archive.mdz>
 //! mdz get        <in.mdz> <start..end>
 //! mdz serve      <in.mdz> <addr> [--threads N]
-//! mdz query      <addr> <start..end>
+//! mdz query      <addr> <start..end> [--retries N]
 //! mdz stats      <addr> [--metrics [--json]]
 //! ```
 //!
@@ -21,11 +24,21 @@
 //! metrics snapshot (counters, gauges, latency histograms) via the
 //! METRICS verb; `--json` emits it as schema-tagged JSON instead of the
 //! aligned text table.
+//!
+//! `append` extends an existing v2 archive in place under the footer-flip
+//! protocol (crash-safe: a torn append leaves the old archive intact).
+//! One-argument `verify` walks every block and footer checksum and exits
+//! non-zero at the first corrupt offset; `recover` truncates a torn tail
+//! back to the last valid footer. `query --retries N` retries connect and
+//! timeout failures (and BUSY responses) with decorrelated-jitter backoff.
 
 use mdz::archive;
 use mdz::core::{EntropyStage, ErrorBound, Frame, MdzConfig, Method};
 use mdz::sim::{datasets, DatasetKind, Scale};
-use mdz::store::{write_store, Client, Precision, Server, ServerConfig, StoreOptions, StoreReader};
+use mdz::store::{
+    append_store, get_with_retry, recover_store, verify_archive, write_store, Client, FileIo,
+    Precision, RetryPolicy, Server, ServerConfig, StoreOptions, StoreReader,
+};
 use mdz::xyz;
 use std::process::exit;
 
@@ -75,6 +88,7 @@ struct Opts {
     threads: usize,
     metrics: bool,
     json: bool,
+    retries: Option<u32>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -92,6 +106,7 @@ fn parse_opts(args: &[String]) -> Opts {
         threads: 4,
         metrics: false,
         json: false,
+        retries: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -108,6 +123,10 @@ fn parse_opts(args: &[String]) -> Opts {
             "--f32" => o.f32 = true,
             "--metrics" => o.metrics = true,
             "--json" => o.json = true,
+            "--retries" => {
+                o.retries =
+                    Some(value("--retries").parse().unwrap_or_else(|_| fail("bad --retries")))
+            }
             "--threads" => {
                 o.threads = value("--threads").parse().unwrap_or_else(|_| fail("bad --threads"))
             }
@@ -165,7 +184,7 @@ fn is_v2_archive(blob: &[u8]) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: mdz <compress|decompress|info|extract|verify|gen|store|get|serve|query|stats> …");
+        eprintln!("usage: mdz <compress|decompress|info|extract|verify|gen|store|append|recover|get|serve|query|stats> …");
         exit(2);
     };
     let o = parse_opts(rest);
@@ -264,8 +283,25 @@ fn main() {
             );
         }
         "verify" => {
+            // One-argument form: full integrity walk of an indexed archive —
+            // header, every block CRC, and the footer — reporting the first
+            // corrupt byte offset and exiting non-zero.
+            if let [archive_path] = &o.positional[..] {
+                let blob = std::fs::read(archive_path)
+                    .unwrap_or_else(|e| fail(&format!("reading {archive_path}: {e}")));
+                match verify_archive(&blob) {
+                    Ok(r) => {
+                        println!(
+                            "{archive_path}: ok — {} frames in {} blocks / {} epochs, {} bytes",
+                            r.n_frames, r.n_blocks, r.n_epochs, r.archive_len
+                        );
+                        return;
+                    }
+                    Err(fault) => fail(&format!("{archive_path}: {fault}")),
+                }
+            }
             let [orig_path, mdz_path] = &o.positional[..] else {
-                fail("verify needs <original.xyz> <compressed.mdz>");
+                fail("verify needs <archive.mdz> or <original.xyz> <compressed.mdz>");
             };
             let text = std::fs::read_to_string(orig_path)
                 .unwrap_or_else(|e| fail(&format!("reading {orig_path}: {e}")));
@@ -369,6 +405,51 @@ fn main() {
                 raw as f64 / blob.len() as f64
             );
         }
+        "append" => {
+            let [archive_path, input] = &o.positional[..] else {
+                fail("append needs <archive.mdz> <in.xyz>");
+            };
+            let text = std::fs::read_to_string(input)
+                .unwrap_or_else(|e| fail(&format!("reading {input}: {e}")));
+            let traj = xyz::parse(&text).unwrap_or_else(|e| fail(&format!("parsing {input}: {e}")));
+            let mut cfg = MdzConfig::new(bound_from(&o)).with_method(o.method);
+            if o.range_coded {
+                cfg = cfg.with_entropy(EntropyStage::Range);
+            }
+            let mut opts = StoreOptions::new(cfg);
+            opts.precision = if o.f32 { Precision::F32 } else { Precision::F64 };
+            let mut io = FileIo::open(archive_path)
+                .unwrap_or_else(|e| fail(&format!("opening {archive_path}: {e}")));
+            let report = append_store(&mut io, &traj.frames, &opts)
+                .unwrap_or_else(|e| fail(&format!("appending: {e}")));
+            if report.recovered_bytes > 0 {
+                eprintln!(
+                    "note: truncated {} garbage bytes from a torn tail before appending",
+                    report.recovered_bytes
+                );
+            }
+            println!(
+                "appended {} frames in {} blocks; archive now holds {} frames",
+                report.appended_frames, report.appended_blocks, report.n_frames
+            );
+        }
+        "recover" => {
+            let [archive_path] = &o.positional[..] else {
+                fail("recover needs <archive.mdz>");
+            };
+            let mut io = FileIo::open(archive_path)
+                .unwrap_or_else(|e| fail(&format!("opening {archive_path}: {e}")));
+            let report =
+                recover_store(&mut io).unwrap_or_else(|e| fail(&format!("recovering: {e}")));
+            if report.truncated_bytes == 0 {
+                println!("{archive_path}: clean — {} bytes, nothing to do", report.valid_len);
+            } else {
+                println!(
+                    "{archive_path}: truncated {} garbage bytes; {} valid bytes remain",
+                    report.truncated_bytes, report.valid_len
+                );
+            }
+        }
         "get" => {
             let [input, range_str] = &o.positional[..] else {
                 fail("get needs <in.mdz> <start..end>");
@@ -410,9 +491,18 @@ fn main() {
                 fail("query needs <addr> <start..end>");
             };
             let range = parse_range(range_str);
-            let mut client = Client::connect(addr.as_str())
-                .unwrap_or_else(|e| fail(&format!("connecting {addr}: {e}")));
-            let frames = client.get(range.clone()).unwrap_or_else(|e| fail(&format!("query: {e}")));
+            let frames = match o.retries {
+                Some(n) => {
+                    let policy = RetryPolicy { max_retries: n, ..RetryPolicy::default() };
+                    get_with_retry(addr.as_str(), range.clone(), &policy, &mdz::store::Obs::noop())
+                        .unwrap_or_else(|e| fail(&format!("query: {e}")))
+                }
+                None => {
+                    let mut client = Client::connect(addr.as_str())
+                        .unwrap_or_else(|e| fail(&format!("connecting {addr}: {e}")));
+                    client.get(range.clone()).unwrap_or_else(|e| fail(&format!("query: {e}")))
+                }
+            };
             print_frames(range.start, &frames);
             eprintln!("fetched {} frames from {addr}", frames.len());
         }
@@ -443,7 +533,7 @@ fn main() {
             println!("buffers decoded: {}", s.buffers_decoded);
         }
         _ => {
-            eprintln!("usage: mdz <compress|decompress|info|extract|verify|gen|store|get|serve|query|stats> …");
+            eprintln!("usage: mdz <compress|decompress|info|extract|verify|gen|store|append|recover|get|serve|query|stats> …");
             exit(2);
         }
     }
