@@ -1,0 +1,249 @@
+//! Live-ingest benchmark: a simulated producer streams frames into a
+//! running `mdzd` through APPEND while follower clients tail the growing
+//! archive.
+//!
+//! Not a paper artifact: the paper's pipeline compresses offline. This
+//! experiment measures what the live-archive path costs and delivers —
+//! append throughput (server-side compression + two syncs per chunk on the
+//! acknowledgment path) and read-behind-write staleness (how long after a
+//! chunk is durably acknowledged each follower first observes its frames).
+//! Every follower's stream is also checked bit-exact against an offline
+//! decode of the final archive, which is the whole point of followers only
+//! ever seeing footer-covered frames. The machine-readable
+//! `BENCH_ingest.json` is schema-checked by `tests/ingest_json.rs` and
+//! `scripts/verify.sh`.
+
+use super::Ctx;
+use crate::harness::TimingSummary;
+use crate::json::Json;
+use crate::table::{fmt, Table};
+use mdz_core::{ErrorBound, Frame, MdzConfig};
+use mdz_sim::{DatasetKind, Scale};
+use mdz_store::{
+    write_store, AppendSink, Client, MemIo, Precision, Server, ServerConfig, StoreIo, StoreOptions,
+    StoreReader,
+};
+use std::time::{Duration, Instant};
+
+/// Ingest-vs-tail run over a live server; writes `BENCH_ingest.json`
+/// alongside the usual CSV.
+pub fn ingest(ctx: &mut Ctx) -> Vec<Table> {
+    let kind = DatasetKind::CopperB;
+    let dataset = ctx.dataset(kind);
+    let frames: Vec<Frame> = dataset
+        .snapshots
+        .iter()
+        .map(|s| Frame::new(s.x.clone(), s.y.clone(), s.z.clone()))
+        .collect();
+    let n_frames = frames.len();
+    let n_atoms = dataset.atoms();
+    let (bs, n_appends, followers) =
+        if matches!(ctx.scale, Scale::Test) { (2, 3, 2) } else { (10, 8, 4) };
+
+    // Chunk boundaries: every append except the last lands on a block
+    // boundary (the footer-flip protocol requires full blocks before the
+    // next append).
+    let chunk = ((n_frames / (n_appends + 1)) / bs * bs).max(bs).min(n_frames);
+    let mut bounds = vec![0, chunk];
+    while *bounds.last().unwrap() < n_frames {
+        let next = (bounds.last().unwrap() + chunk).min(n_frames);
+        bounds.push(next);
+        if bounds.len() > n_appends + 1 {
+            *bounds.last_mut().unwrap() = n_frames;
+            break;
+        }
+    }
+    bounds.dedup();
+
+    let mut opts = StoreOptions::new(MdzConfig::new(ErrorBound::ValueRangeRelative(1e-3)));
+    opts.buffer_size = bs;
+    opts.epoch_interval = 4;
+    let initial = write_store(&frames[..bounds[1]], &[], &[], &opts).expect("write store");
+
+    let reader = StoreReader::open(initial.clone()).expect("open store");
+    let server = Server::bind(reader, "127.0.0.1:0", ServerConfig::default())
+        .expect("bind")
+        .with_append_sink(AppendSink::new(Box::new(MemIo::new(initial)), opts.clone()));
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle().expect("handle");
+    let serving = std::thread::spawn(move || server.run());
+
+    // Followers tail from frame 0 in their own threads, recording when each
+    // position first became visible to them.
+    let follower_threads: Vec<_> = (0..followers)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut follower = Client::connect(addr)
+                    .expect("follower connect")
+                    .follow(0)
+                    .expect("follow")
+                    .with_poll_interval(Duration::from_millis(2));
+                let mut seen: Vec<Frame> = Vec::new();
+                let mut observations: Vec<(usize, Instant)> = Vec::new();
+                while seen.len() < n_frames {
+                    let batch = follower.next_batch().expect("next_batch");
+                    seen.extend(batch);
+                    observations.push((follower.position(), Instant::now()));
+                }
+                (seen, observations)
+            })
+        })
+        .collect();
+
+    // The producer: one APPEND per chunk, each acknowledged only once
+    // durable. Ack instants are the staleness reference points.
+    let mut producer = Client::connect(addr).expect("producer connect");
+    let mut append_samples = Vec::new();
+    let mut ack_points: Vec<(usize, Instant)> = Vec::new();
+    let ingest_t0 = Instant::now();
+    for w in bounds.windows(2).skip(1) {
+        let t0 = Instant::now();
+        let ack = producer.append(&frames[w[0]..w[1]], Precision::F64).expect("append");
+        append_samples.push(t0.elapsed().as_secs_f64());
+        assert_eq!(ack.n_frames as usize, w[1], "ack frame count");
+        ack_points.push((w[1], Instant::now()));
+    }
+    let ingest_wall = ingest_t0.elapsed().as_secs_f64();
+    let appended_frames = n_frames - bounds[1];
+
+    // Offline reference: replay the same appends into a local image
+    // (compression is deterministic, so this archive is byte-identical to
+    // the server's) and decode it sequentially.
+    let mut offline_io = MemIo::new(write_store(&frames[..bounds[1]], &[], &[], &opts).unwrap());
+    for w in bounds.windows(2).skip(1) {
+        mdz_store::append_store(&mut offline_io, &frames[w[0]..w[1]], &opts).expect("offline");
+    }
+    let offline = StoreReader::open(offline_io.read_all().expect("offline image"))
+        .expect("offline open")
+        .read_frames(0..n_frames)
+        .expect("offline decode");
+
+    let mut staleness_samples = Vec::new();
+    let mut bitexact = true;
+    for t in follower_threads {
+        let (seen, observations) = t.join().expect("follower thread");
+        bitexact &= frames_equal(&seen, &offline);
+        for &(end, t_ack) in &ack_points {
+            if let Some(&(_, t_obs)) = observations.iter().find(|(pos, _)| *pos >= end) {
+                staleness_samples.push((t_obs - t_ack.min(t_obs)).as_secs_f64());
+            }
+        }
+    }
+    handle.shutdown();
+    serving.join().expect("server thread").expect("server run");
+    assert!(bitexact, "a follower's stream diverged from the offline decode");
+
+    let append = TimingSummary::from_samples(&append_samples);
+    let staleness = TimingSummary::from_samples(&staleness_samples);
+    let frames_per_second = appended_frames as f64 / ingest_wall.max(1e-12);
+    let raw_mb_per_second = frames_per_second * (n_atoms * 24) as f64 / 1e6;
+
+    write_json(
+        ctx,
+        kind,
+        n_frames,
+        n_atoms,
+        bs,
+        bounds.len() - 2,
+        followers,
+        appended_frames,
+        frames_per_second,
+        raw_mb_per_second,
+        &append,
+        &staleness,
+        bitexact,
+    );
+
+    let mut table = Table::new(
+        &format!(
+            "Live ingest ({}, {} appends × ~{} frames, {} followers)",
+            kind.name(),
+            bounds.len() - 2,
+            chunk,
+            followers
+        ),
+        &[
+            "appended frames",
+            "append p50 s",
+            "append p99 s",
+            "frames/s",
+            "raw MB/s",
+            "staleness p50 s",
+            "staleness p99 s",
+            "bit-exact",
+        ],
+    );
+    table.row(vec![
+        appended_frames.to_string(),
+        fmt(append.p50),
+        fmt(append.p99),
+        fmt(frames_per_second),
+        fmt(raw_mb_per_second),
+        fmt(staleness.p50),
+        fmt(staleness.p99),
+        bitexact.to_string(),
+    ]);
+    vec![ctx.emit("ingest", table)]
+}
+
+/// Bit-exact frame comparison (decoded values are deterministic, so
+/// follower streams must match the offline decode exactly).
+fn frames_equal(a: &[Frame], b: &[Frame]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(fa, fb)| {
+            fa.x.iter().zip(&fb.x).all(|(p, q)| p.to_bits() == q.to_bits())
+                && fa.y.iter().zip(&fb.y).all(|(p, q)| p.to_bits() == q.to_bits())
+                && fa.z.iter().zip(&fb.z).all(|(p, q)| p.to_bits() == q.to_bits())
+        })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    ctx: &Ctx,
+    kind: DatasetKind,
+    n_frames: usize,
+    n_atoms: usize,
+    bs: usize,
+    n_appends: usize,
+    followers: usize,
+    appended_frames: usize,
+    frames_per_second: f64,
+    raw_mb_per_second: f64,
+    append: &TimingSummary,
+    staleness: &TimingSummary,
+    bitexact: bool,
+) {
+    let timing = |t: &TimingSummary| {
+        Json::obj(vec![
+            ("min_seconds", Json::Num(t.min)),
+            ("median_seconds", Json::Num(t.median)),
+            ("mean_seconds", Json::Num(t.mean)),
+            ("p50_seconds", Json::Num(t.p50)),
+            ("p99_seconds", Json::Num(t.p99)),
+            ("samples", Json::Num(t.reps as f64)),
+        ])
+    };
+    let doc = Json::obj(vec![
+        ("experiment", Json::Str("ingest".into())),
+        ("scale", Json::Str(format!("{:?}", ctx.scale).to_lowercase())),
+        ("dataset", Json::Str(kind.name().into())),
+        ("n_frames", Json::Num(n_frames as f64)),
+        ("n_atoms", Json::Num(n_atoms as f64)),
+        ("buffer_frames", Json::Num(bs as f64)),
+        ("appends", Json::Num(n_appends as f64)),
+        ("followers", Json::Num(followers as f64)),
+        ("appended_frames", Json::Num(appended_frames as f64)),
+        ("append_frames_per_second", Json::Num(frames_per_second)),
+        ("append_raw_mb_per_second", Json::Num(raw_mb_per_second)),
+        ("append_timing", timing(append)),
+        ("staleness_timing", timing(staleness)),
+        ("followers_bitexact", Json::Bool(bitexact)),
+    ]);
+    let path = ctx.out_dir.join("BENCH_ingest.json");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&path, doc.render()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}

@@ -8,6 +8,7 @@ mod ablations;
 mod characterization;
 mod comparison;
 mod core_exps;
+mod ingest;
 mod lammps;
 mod latency;
 mod quantizer;
@@ -17,6 +18,7 @@ pub use ablations::ablations;
 pub use characterization::{fig3, fig4, fig5, fig8, table1, table2};
 pub use comparison::{fig12, fig12var, fig13, fig14, fig15, fig16, table4, table5, table6};
 pub use core_exps::{fig10, fig11, fig9, table3};
+pub use ingest::ingest;
 pub use lammps::table7;
 pub use latency::latency;
 pub use quantizer::quantizer;
@@ -101,6 +103,7 @@ pub const ALL: &[&str] = &[
     "throughput",
     "latency",
     "quantizer",
+    "ingest",
 ];
 
 /// Runs one experiment by id.
@@ -130,6 +133,7 @@ pub fn run(id: &str, ctx: &mut Ctx) -> Option<Vec<Table>> {
         "throughput" => throughput(ctx),
         "latency" => latency(ctx),
         "quantizer" => quantizer(ctx),
+        "ingest" => ingest(ctx),
         _ => return None,
     };
     Some(tables)

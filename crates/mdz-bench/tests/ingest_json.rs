@@ -1,0 +1,79 @@
+//! Schema validation for `BENCH_ingest.json`.
+//!
+//! By default this test runs the ingest experiment at Test scale — a live
+//! in-process server, a real APPEND producer, and real tailing followers —
+//! and validates the JSON it writes. When `MDZ_BENCH_JSON` points at an
+//! existing file — `scripts/verify.sh` sets it to the artifact the
+//! `experiments` binary just produced — that file is validated instead.
+
+use mdz_bench::experiments::{self, Ctx};
+use mdz_bench::json::Json;
+use mdz_sim::Scale;
+
+fn validate(doc: &Json) {
+    for key in ["experiment", "scale", "dataset"] {
+        assert!(doc.get(key).and_then(Json::as_str).is_some(), "missing string field {key}");
+    }
+    assert_eq!(doc.get("experiment").unwrap().as_str(), Some("ingest"));
+    for key in [
+        "n_frames",
+        "n_atoms",
+        "buffer_frames",
+        "appends",
+        "followers",
+        "appended_frames",
+        "append_frames_per_second",
+        "append_raw_mb_per_second",
+    ] {
+        let v = doc.get(key).and_then(Json::as_f64).unwrap_or_else(|| panic!("missing {key}"));
+        assert!(v.is_finite() && v > 0.0, "{key} must be positive, got {v}");
+    }
+    let appended =
+        doc.get("appended_frames").and_then(Json::as_f64).expect("appended_frames") as usize;
+    let total = doc.get("n_frames").and_then(Json::as_f64).expect("n_frames") as usize;
+    assert!(appended < total, "some frames must predate the live phase");
+    for side in ["append_timing", "staleness_timing"] {
+        let t = doc.get(side).unwrap_or_else(|| panic!("missing {side}"));
+        let min = t.get("min_seconds").and_then(Json::as_f64).expect("min_seconds");
+        let p50 = t.get("p50_seconds").and_then(Json::as_f64).expect("p50_seconds");
+        let p99 = t.get("p99_seconds").and_then(Json::as_f64).expect("p99_seconds");
+        let samples = t.get("samples").and_then(Json::as_f64).expect("samples");
+        assert!(min >= 0.0 && min <= p50, "{side}: min {min} > p50 {p50}");
+        assert!(p50 <= p99, "{side}: p50 {p50} > p99 {p99}");
+        assert!(samples >= 1.0, "{side}: no samples");
+    }
+    // Every staleness reference point (append × follower) must have been
+    // observed — a missing sample means a follower never caught up.
+    let appends = doc.get("appends").and_then(Json::as_f64).expect("appends");
+    let followers = doc.get("followers").and_then(Json::as_f64).expect("followers");
+    let staleness_samples = doc
+        .get("staleness_timing")
+        .and_then(|t| t.get("samples"))
+        .and_then(Json::as_f64)
+        .expect("staleness samples");
+    assert_eq!(staleness_samples, appends * followers, "followers missed durable chunks");
+    // The correctness bit the whole design hangs on: follower streams are
+    // bit-exact prefixes of the offline decode.
+    assert!(
+        matches!(doc.get("followers_bitexact"), Some(Json::Bool(true))),
+        "followers_bitexact must be true"
+    );
+}
+
+#[test]
+fn ingest_json_schema() {
+    if let Ok(path) = std::env::var("MDZ_BENCH_JSON") {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        validate(&Json::parse(&text).expect("valid JSON"));
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("mdz_ingest_json_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut ctx = Ctx::new(Scale::Test, dir.clone(), 42);
+    let tables = experiments::run("ingest", &mut ctx).expect("ingest experiment");
+    assert!(!tables.is_empty() && !tables[0].rows.is_empty());
+    let text = std::fs::read_to_string(dir.join("BENCH_ingest.json")).expect("JSON written");
+    validate(&Json::parse(&text).expect("valid JSON"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -29,7 +29,8 @@ use mdz_entropy::{
 use mdz_fuzz::CountingAlloc;
 use mdz_lossless::{lz77, rle};
 use mdz_store::{
-    append_store, write_store, ArchiveIndex, MemIo, ReaderOptions, StoreOptions, StoreReader,
+    append_store, write_store, ArchiveIndex, FaultIo, FaultMode, FaultPlan, MemIo, ReaderOptions,
+    StoreOptions, StoreReader,
 };
 
 #[global_allocator]
@@ -92,6 +93,29 @@ fn replay(name: &str, bytes: &[u8]) -> bool {
             })
             .is_ok();
         strict_rejects && recovers
+    } else if name.starts_with("live_append_") {
+        // Live-ingest seeds: images a tailing reader may be handed while a
+        // remote writer is appending (or after one crashed). Same dual
+        // obligation as fault_append_, plus the live-reader one: a reader
+        // that recovered the image and then *refreshes* from the very same
+        // hostile bytes must see a no-op — never a regression, never an
+        // error, and every published frame must decode.
+        let opts = ReaderOptions { cache_epochs: 2, limits: tight_limits() };
+        let strict_rejects = StoreReader::with_options(bytes.to_vec(), opts)
+            .and_then(|r| {
+                let n = r.index().n_frames;
+                r.read_frames(0..n)
+            })
+            .is_err();
+        let live_ok = StoreReader::recover(bytes.to_vec())
+            .and_then(|(r, _)| {
+                let n0 = r.index().n_frames;
+                let report = r.refresh(bytes.to_vec())?;
+                let frames = r.read_frames(0..report.n_frames)?;
+                Ok(report.n_frames >= n0 && frames.len() == report.n_frames)
+            })
+            .unwrap_or(false);
+        strict_rejects && live_ok
     } else if name.starts_with("store_") {
         // Open parses the header + footer index; the read walks the block
         // records (FNV oracle) and the epoch decoder, so seeds may fail at
@@ -337,6 +361,63 @@ fn bless(dir: &Path) {
     let mut garbage = appended.clone();
     garbage.extend_from_slice(b"\xde\xad\xbe\xefscratch bytes from a dead append\x00\x00");
     put("fault_append_garbage_tail.bin", garbage);
+
+    // --- Live ingest: hostile images a tailing reader can be handed while
+    // a remote writer appends (or after one crashed mid-append). Beyond
+    // the strict-rejects/recover-serves dual obligation, the replay also
+    // refreshes a recovered reader from these bytes and demands a no-op.
+    let live_base = write_store(&store_frames, &[], &[], &aopts).unwrap();
+    let mut io = MemIo::new(live_base.clone());
+    append_store(&mut io, &store_frames[..4], &aopts).unwrap();
+    let live_appended = io.into_bytes();
+
+    // A remote (server-side) append whose footer write was torn by a
+    // crash: the appended blocks are all present and synced, but the new
+    // generation was never published. Recovery must land on the
+    // pre-append footer. The fault plan is deterministic, so blessing is
+    // reproducible; the footer write is the third-from-last storage op
+    // (write footer · sync · — the final sync never runs).
+    let n_ops = {
+        let mut dry = FaultIo::new(live_base.clone());
+        append_store(&mut dry, &store_frames[..4], &aopts).unwrap();
+        dry.ops_performed()
+    };
+    let mut torn = FaultIo::new(live_base.clone());
+    torn.set_plan(FaultPlan {
+        fault_op: n_ops - 2,
+        mode: FaultMode::TornWrite,
+        seed: 0x6c69_7665_5f61_7070,
+    });
+    append_store(&mut torn, &store_frames[..4], &aopts).unwrap_err();
+    put("live_append_torn_remote.bin", torn.disk_image());
+
+    // A stale copy of the *pre-append* footer duplicated at the tail —
+    // what a buggy writer replaying an old generation would leave — cut
+    // inside its trailing magic. A complete duplicate would parse as a
+    // valid regressed archive (which `StoreReader::refresh` rejects via
+    // its monotone-extension check, unit-tested in mdz-store); the strict
+    // open only rejects the truncated form, so that is what the corpus
+    // pins. Recovery must serve the real (appended) footer before it.
+    let base_trailer = live_base.len() - 17;
+    let base_payload_len =
+        u64::from_le_bytes(live_base[base_trailer + 4..base_trailer + 12].try_into().unwrap())
+            as usize;
+    let old_footer = &live_base[base_trailer - base_payload_len..];
+    let mut dup = live_appended.clone();
+    dup.extend_from_slice(&old_footer[..old_footer.len() - 2]);
+    put("live_append_duplicate_footer.bin", dup);
+
+    // Garbage tail containing a forged footer trailer — correct magic,
+    // version byte, and a plausible payload length, but a bogus CRC. The
+    // recovery scan must not be fooled by the embedded magic and must
+    // keep walking back to the genuine footer.
+    let mut fooled = live_appended.clone();
+    fooled.extend_from_slice(b"leftover frames from a dead writer");
+    fooled.extend_from_slice(&0xdead_beefu32.to_le_bytes()); // bogus crc32
+    fooled.extend_from_slice(&24u64.to_le_bytes()); // plausible payload len
+    fooled.push(2); // footer version
+    fooled.extend_from_slice(b"MDZI");
+    put("live_append_garbage_follower.bin", fooled);
 }
 
 #[test]

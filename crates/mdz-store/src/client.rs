@@ -1,5 +1,6 @@
 //! A blocking client for the `mdzd` protocol, with an optional
-//! retry-with-backoff policy for transient failures.
+//! retry-with-backoff policy for transient failures and a tail-following
+//! reader for live archives.
 //!
 //! Error classification drives retries: connect failures and I/O timeouts
 //! are transient (the request may simply never have reached the server);
@@ -7,21 +8,36 @@
 //! every other application error (bad range, corrupt archive, protocol
 //! violations, a connection dying mid-response) is *not* retried — the
 //! failure is real, or retrying could observe a half-processed request.
+//!
+//! [`Client::follow`] turns a connection into a [`Follower`] that polls the
+//! server's INFO frame count and streams newly durable frames as they land,
+//! transparently reconnecting across server restarts (INFO and GET are
+//! idempotent, so a retried poll can never double-deliver).
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::ops::Range;
 use std::time::Duration;
 
 use mdz_core::Frame;
 use mdz_obs::{MetricsSnapshot, Obs};
 
+use crate::archive::Precision;
 use crate::protocol::{
-    parse_frames, parse_info, parse_metrics, parse_stats, read_message, write_message, Request,
-    Status, StoreInfo,
+    parse_append_ack, parse_frames, parse_info, parse_metrics, parse_stats, read_message,
+    write_message, AppendAck, Request, Status, StoreInfo,
 };
 use crate::reader::StatsSnapshot;
 
 /// Errors a [`Client`] can surface.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::{ClientError, Status};
+///
+/// let err = ClientError::Server { status: Status::OutOfRange, message: "gone".into() };
+/// assert!(err.to_string().contains("OutOfRange"));
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientError {
     /// The TCP connection failed; carries the rendered [`std::io::Error`].
@@ -73,6 +89,16 @@ impl From<std::io::Error> for ClientError {
 /// drawn uniformly from `base ..= min(cap, prev * 3)`, which spreads
 /// retrying clients apart instead of letting them thunder in lockstep.
 /// Only transient errors are retried — see [`RetryPolicy::should_retry`].
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use mdz_store::RetryPolicy;
+///
+/// let policy = RetryPolicy { max_retries: 5, base: Duration::from_millis(10), ..Default::default() };
+/// assert_eq!(policy.max_retries, 5);
+/// ```
 #[derive(Debug, Clone)]
 pub struct RetryPolicy {
     /// Retries after the initial attempt (0 disables retrying).
@@ -109,6 +135,17 @@ impl Default for RetryPolicy {
 
 /// Which stage of a request an error surfaced in; connect-stage I/O errors
 /// are transient (nothing was sent), request-stage ones may not be.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::{ClientError, RetryPolicy, RetryStage};
+///
+/// let io = ClientError::Io("refused".into());
+/// let policy = RetryPolicy::default();
+/// assert!(policy.should_retry(&io, RetryStage::Connect));
+/// assert!(!policy.should_retry(&io, RetryStage::Request));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RetryStage {
     /// Establishing the TCP connection.
@@ -119,6 +156,14 @@ pub enum RetryStage {
 
 impl RetryPolicy {
     /// A policy that never retries.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mdz_store::RetryPolicy;
+    ///
+    /// assert_eq!(RetryPolicy::none().max_retries, 0);
+    /// ```
     pub fn none() -> Self {
         RetryPolicy { max_retries: 0, ..Default::default() }
     }
@@ -130,6 +175,17 @@ impl RetryPolicy {
     /// (`Server` with any other status), protocol violations, and
     /// request-stage I/O errors such as a mid-response disconnect — the
     /// server may have already acted on the request.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mdz_store::{ClientError, RetryPolicy, RetryStage, Status};
+    ///
+    /// let policy = RetryPolicy::default();
+    /// let busy = ClientError::Server { status: Status::Busy, message: String::new() };
+    /// assert!(policy.should_retry(&busy, RetryStage::Request));
+    /// assert!(!policy.should_retry(&ClientError::Protocol("x"), RetryStage::Request));
+    /// ```
     pub fn should_retry(&self, err: &ClientError, stage: RetryStage) -> bool {
         match err {
             ClientError::Timeout(_) => true,
@@ -183,6 +239,21 @@ impl Backoff {
 /// retries. Each attempt reports errors tagged with the [`RetryStage`] they
 /// surfaced in; non-retryable errors propagate immediately. Retries are
 /// counted on `obs` as `client.retries`.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use mdz_store::{with_retry, ClientError, Obs, RetryPolicy, RetryStage};
+///
+/// let policy = RetryPolicy { max_retries: 3, base: Duration::from_millis(1), ..Default::default() };
+/// let mut calls = 0;
+/// let out = with_retry(&policy, &Obs::noop(), || {
+///     calls += 1;
+///     if calls < 2 { Err((RetryStage::Connect, ClientError::Timeout("slow".into()))) } else { Ok(calls) }
+/// });
+/// assert_eq!(out.unwrap(), 2);
+/// ```
 pub fn with_retry<T>(
     policy: &RetryPolicy,
     obs: &Obs,
@@ -206,6 +277,15 @@ pub fn with_retry<T>(
 }
 
 /// Connects under `policy`, retrying transient connect failures.
+///
+/// # Examples
+///
+/// ```no_run
+/// use mdz_store::{connect_with_retry, Obs, RetryPolicy};
+///
+/// let client = connect_with_retry("127.0.0.1:7979", &RetryPolicy::default(), &Obs::noop())?;
+/// # Ok::<(), mdz_store::ClientError>(())
+/// ```
 pub fn connect_with_retry(
     addr: impl ToSocketAddrs,
     policy: &RetryPolicy,
@@ -218,6 +298,16 @@ pub fn connect_with_retry(
 /// (GET is idempotent, and a failed connection cannot be reused). Retries
 /// connect errors, timeouts, and BUSY per the policy; application errors
 /// and mid-response disconnects propagate immediately.
+///
+/// # Examples
+///
+/// ```no_run
+/// use mdz_store::{get_with_retry, Obs, RetryPolicy};
+///
+/// let frames = get_with_retry("127.0.0.1:7979", 0..10, &RetryPolicy::default(), &Obs::noop())?;
+/// assert_eq!(frames.len(), 10);
+/// # Ok::<(), mdz_store::ClientError>(())
+/// ```
 pub fn get_with_retry(
     addr: impl ToSocketAddrs,
     range: Range<usize>,
@@ -232,6 +322,18 @@ pub fn get_with_retry(
 
 /// A connected `mdzd` client. One request is in flight at a time; reconnect
 /// by constructing a new client.
+///
+/// # Examples
+///
+/// ```no_run
+/// use mdz_store::Client;
+///
+/// let mut client = Client::connect("127.0.0.1:7979")?;
+/// let info = client.info()?;
+/// let tail = client.get(info.n_frames as usize - 1..info.n_frames as usize)?;
+/// assert_eq!(tail.len(), 1);
+/// # Ok::<(), mdz_store::ClientError>(())
+/// ```
 pub struct Client {
     stream: TcpStream,
     max_response_bytes: usize,
@@ -239,11 +341,29 @@ pub struct Client {
 
 impl Client {
     /// Connects to a running server.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use mdz_store::Client;
+    ///
+    /// let client = Client::connect("127.0.0.1:7979")?;
+    /// # Ok::<(), mdz_store::ClientError>(())
+    /// ```
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
         Ok(Client { stream: TcpStream::connect(addr)?, max_response_bytes: 1 << 28 })
     }
 
     /// Caps how large a response body this client will read (default 256 MiB).
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use mdz_store::Client;
+    ///
+    /// let client = Client::connect("127.0.0.1:7979")?.with_max_response_bytes(1 << 20);
+    /// # Ok::<(), mdz_store::ClientError>(())
+    /// ```
     pub fn with_max_response_bytes(mut self, max: usize) -> Client {
         self.max_response_bytes = max;
         self
@@ -251,6 +371,17 @@ impl Client {
 
     /// Applies read/write deadlines to the underlying socket, so a stalled
     /// server surfaces as [`ClientError::Timeout`] instead of hanging.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use std::time::Duration;
+    /// use mdz_store::Client;
+    ///
+    /// let client = Client::connect("127.0.0.1:7979")?;
+    /// client.set_timeouts(Some(Duration::from_secs(5)), Some(Duration::from_secs(5)))?;
+    /// # Ok::<(), mdz_store::ClientError>(())
+    /// ```
     pub fn set_timeouts(
         &self,
         read: Option<Duration>,
@@ -261,7 +392,7 @@ impl Client {
         Ok(())
     }
 
-    fn round_trip(&mut self, req: Request) -> Result<Vec<u8>, ClientError> {
+    fn round_trip(&mut self, req: &Request) -> Result<Vec<u8>, ClientError> {
         write_message(&mut self.stream, &req.encode())?;
         let body = read_message(&mut self.stream, self.max_response_bytes)?
             .ok_or(ClientError::Protocol("server closed the connection mid-request"))?;
@@ -276,9 +407,20 @@ impl Client {
     }
 
     /// Fetches the frames in `range` (end-exclusive).
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use mdz_store::Client;
+    ///
+    /// let mut client = Client::connect("127.0.0.1:7979")?;
+    /// let frames = client.get(0..4)?;
+    /// assert_eq!(frames.len(), 4);
+    /// # Ok::<(), mdz_store::ClientError>(())
+    /// ```
     pub fn get(&mut self, range: Range<usize>) -> Result<Vec<Frame>, ClientError> {
         let body =
-            self.round_trip(Request::Get { start: range.start as u64, end: range.end as u64 })?;
+            self.round_trip(&Request::Get { start: range.start as u64, end: range.end as u64 })?;
         let (start, frames) = parse_frames(&body).map_err(ClientError::Protocol)?;
         if start != range.start as u64 || frames.len() != range.len() {
             return Err(ClientError::Protocol("response range disagrees with request"));
@@ -287,14 +429,38 @@ impl Client {
     }
 
     /// Fetches the server's counters.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use mdz_store::Client;
+    ///
+    /// let mut client = Client::connect("127.0.0.1:7979")?;
+    /// println!("requests served: {}", client.stats()?.requests);
+    /// # Ok::<(), mdz_store::ClientError>(())
+    /// ```
     pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
-        let body = self.round_trip(Request::Stats)?;
+        let body = self.round_trip(&Request::Stats)?;
         parse_stats(&body).map_err(ClientError::Protocol)
     }
 
     /// Fetches the served archive's metadata.
+    ///
+    /// On a live archive the frame count grows between calls; poll this (or
+    /// use [`follow`](Self::follow)) to watch for newly durable frames.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use mdz_store::Client;
+    ///
+    /// let mut client = Client::connect("127.0.0.1:7979")?;
+    /// let info = client.info()?;
+    /// println!("{} frames x {} atoms", info.n_frames, info.n_atoms);
+    /// # Ok::<(), mdz_store::ClientError>(())
+    /// ```
     pub fn info(&mut self) -> Result<StoreInfo, ClientError> {
-        let body = self.round_trip(Request::Info)?;
+        let body = self.round_trip(&Request::Info)?;
         parse_info(&body).map_err(ClientError::Protocol)
     }
 
@@ -303,9 +469,261 @@ impl Client {
     /// The snapshot is taken before the server accounts for the METRICS
     /// request itself, so the returned counters cover every *prior*
     /// request.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use mdz_store::Client;
+    ///
+    /// let mut client = Client::connect("127.0.0.1:7979")?;
+    /// let snap = client.metrics()?;
+    /// println!("{}", snap.render_text());
+    /// # Ok::<(), mdz_store::ClientError>(())
+    /// ```
     pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
-        let body = self.round_trip(Request::Metrics)?;
+        let body = self.round_trip(&Request::Metrics)?;
         parse_metrics(&body).map_err(ClientError::Protocol)
+    }
+
+    /// Appends `frames` to the served archive (live servers only).
+    ///
+    /// `precision` selects the wire encoding — use [`Precision::F32`]
+    /// against an archive created with `--f32` (the server rejects a
+    /// mismatch). The returned [`AppendAck`] is a durability
+    /// acknowledgment: the server replies only after the appended frames
+    /// are synced under a fresh footer, so an acked frame survives a
+    /// server crash. On error nothing may be assumed — the append either
+    /// never happened or was recovered away; re-check [`info`](Self::info)
+    /// before resending (APPEND is not idempotent).
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use mdz_core::Frame;
+    /// use mdz_store::{Client, Precision};
+    ///
+    /// let mut client = Client::connect("127.0.0.1:7979")?;
+    /// let frame = Frame::new(vec![1.0], vec![2.0], vec![3.0]);
+    /// let ack = client.append(&[frame], Precision::F64)?;
+    /// println!("archive now holds {} frames", ack.n_frames);
+    /// # Ok::<(), mdz_store::ClientError>(())
+    /// ```
+    pub fn append(
+        &mut self,
+        frames: &[Frame],
+        precision: Precision,
+    ) -> Result<AppendAck, ClientError> {
+        let body = self.round_trip(&Request::Append { precision, frames: frames.to_vec() })?;
+        parse_append_ack(&body).map_err(ClientError::Protocol)
+    }
+
+    /// Turns this connection into a [`Follower`] that streams frames from
+    /// `from_frame` onward, polling for newly durable frames as the
+    /// archive grows.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mdz_core::{ErrorBound, Frame, MdzConfig};
+    /// use mdz_store::{
+    ///     write_store, AppendSink, Client, MemIo, Precision, Server, ServerConfig,
+    ///     StoreOptions, StoreReader,
+    /// };
+    ///
+    /// let frames: Vec<Frame> = (0..8)
+    ///     .map(|t| {
+    ///         let axis: Vec<f64> = (0..4).map(|i| i as f64 + t as f64 * 1e-3).collect();
+    ///         Frame::new(axis.clone(), axis.clone(), axis)
+    ///     })
+    ///     .collect();
+    /// let mut opts = StoreOptions::new(MdzConfig::new(ErrorBound::Absolute(1e-3)));
+    /// opts.buffer_size = 4;
+    /// opts.epoch_interval = 2;
+    /// let archive = write_store(&frames[..4], &[], &[], &opts).unwrap();
+    ///
+    /// // A live server: the sink is a MemIo copy of the served archive.
+    /// let reader = StoreReader::open(archive.clone()).unwrap();
+    /// let server = Server::bind(reader, "127.0.0.1:0", ServerConfig::default())
+    ///     .unwrap()
+    ///     .with_append_sink(AppendSink::new(Box::new(MemIo::new(archive)), opts));
+    /// let addr = server.local_addr().unwrap();
+    /// let handle = server.handle().unwrap();
+    /// let serving = std::thread::spawn(move || server.run());
+    ///
+    /// // Appended frames become visible to a follower started at frame 0.
+    /// let mut producer = Client::connect(addr).unwrap();
+    /// producer.append(&frames[4..], Precision::F64).unwrap();
+    /// let mut follower = Client::connect(addr).unwrap().follow(0).unwrap();
+    /// let mut seen = Vec::new();
+    /// while seen.len() < 8 {
+    ///     seen.extend(follower.next_batch().unwrap());
+    /// }
+    /// assert_eq!(follower.position(), 8);
+    ///
+    /// handle.shutdown();
+    /// serving.join().unwrap().unwrap();
+    /// ```
+    pub fn follow(self, from_frame: usize) -> Result<Follower, ClientError> {
+        let addr = self.stream.peer_addr()?;
+        Ok(Follower {
+            addr,
+            conn: Some(self),
+            next: from_frame,
+            poll_interval: Duration::from_millis(100),
+            max_batch: 1 << 12,
+            obs: Obs::noop(),
+        })
+    }
+}
+
+/// A tail-following reader over a live archive: repeatedly polls the
+/// server's frame count and fetches whatever landed past its position.
+///
+/// Followers only ever observe durable frames — the server publishes a
+/// frame only once its footer is synced — so the stream a follower emits is
+/// a monotonically growing, bit-exact prefix of the archive's offline
+/// decode, across server crashes and restarts included. Transient failures
+/// (connection refused while the server restarts, timeouts, BUSY shedding)
+/// are absorbed by reconnecting and re-polling; real application errors
+/// propagate.
+///
+/// Construct with [`Client::follow`]; see there for a runnable example.
+pub struct Follower {
+    addr: SocketAddr,
+    conn: Option<Client>,
+    next: usize,
+    poll_interval: Duration,
+    max_batch: usize,
+    obs: Obs,
+}
+
+impl Follower {
+    /// Sets how long [`next_batch`](Self::next_batch) sleeps between polls
+    /// when no new frames are available (default 100 ms).
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use std::time::Duration;
+    /// use mdz_store::Client;
+    ///
+    /// let follower = Client::connect("127.0.0.1:7979")?
+    ///     .follow(0)?
+    ///     .with_poll_interval(Duration::from_millis(250));
+    /// # Ok::<(), mdz_store::ClientError>(())
+    /// ```
+    pub fn with_poll_interval(mut self, interval: Duration) -> Follower {
+        self.poll_interval = interval.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Caps how many frames one [`next_batch`](Self::next_batch) call
+    /// fetches (default 4096), bounding response sizes against the
+    /// server's per-request limits.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use mdz_store::Client;
+    ///
+    /// let follower = Client::connect("127.0.0.1:7979")?.follow(0)?.with_max_batch(128);
+    /// # Ok::<(), mdz_store::ClientError>(())
+    /// ```
+    pub fn with_max_batch(mut self, max_batch: usize) -> Follower {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Attaches a recorder: polls, reconnects, and delivered frames are
+    /// counted as `client.follow.*`.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use mdz_store::{Client, Obs};
+    ///
+    /// let follower = Client::connect("127.0.0.1:7979")?.follow(0)?.with_obs(Obs::noop());
+    /// # Ok::<(), mdz_store::ClientError>(())
+    /// ```
+    pub fn with_obs(mut self, obs: Obs) -> Follower {
+        self.obs = obs;
+        self
+    }
+
+    /// The index of the next frame this follower will deliver: everything
+    /// before it has already been returned by
+    /// [`next_batch`](Self::next_batch).
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use mdz_store::Client;
+    ///
+    /// let follower = Client::connect("127.0.0.1:7979")?.follow(42)?;
+    /// assert_eq!(follower.position(), 42);
+    /// # Ok::<(), mdz_store::ClientError>(())
+    /// ```
+    pub fn position(&self) -> usize {
+        self.next
+    }
+
+    /// Blocks until new durable frames are available past
+    /// [`position`](Self::position), then returns them (at most
+    /// `max_batch`) and advances.
+    ///
+    /// Transient errors — the server restarting, timeouts, BUSY — are
+    /// retried indefinitely at the poll cadence (the follower is a tailing
+    /// process; callers bound it by frame count or by dropping it). Fatal
+    /// errors (corrupt archive, protocol violations) propagate.
+    pub fn next_batch(&mut self) -> Result<Vec<Frame>, ClientError> {
+        loop {
+            match self.try_advance() {
+                Ok(Some(frames)) => {
+                    self.obs.incr("client.follow.frames", frames.len() as u64);
+                    return Ok(frames);
+                }
+                Ok(None) => {
+                    self.obs.incr("client.follow.polls_empty", 1);
+                    std::thread::sleep(self.poll_interval);
+                }
+                Err(e) if is_transient_for_follow(&e) => {
+                    self.conn = None;
+                    self.obs.incr("client.follow.reconnects", 1);
+                    std::thread::sleep(self.poll_interval);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One poll step: INFO, then a GET if the archive has grown. `None`
+    /// means no new frames yet. INFO and GET are idempotent, so a failure
+    /// here can be retried without double-delivering.
+    fn try_advance(&mut self) -> Result<Option<Vec<Frame>>, ClientError> {
+        if self.conn.is_none() {
+            self.conn = Some(Client::connect(self.addr)?);
+        }
+        let client = self.conn.as_mut().unwrap();
+        let available = client.info()?.n_frames as usize;
+        if available <= self.next {
+            return Ok(None);
+        }
+        let end = available.min(self.next + self.max_batch);
+        let frames = client.get(self.next..end)?;
+        self.next = end;
+        Ok(Some(frames))
+    }
+}
+
+/// Whether a follower should absorb `err` by reconnecting: its requests are
+/// idempotent reads, so even a mid-response disconnect (the server was
+/// killed) is safe to retry — unlike the general client policy.
+fn is_transient_for_follow(err: &ClientError) -> bool {
+    match err {
+        ClientError::Io(_) | ClientError::Timeout(_) => true,
+        ClientError::Server { status: Status::Busy, .. } => true,
+        ClientError::Protocol(msg) => *msg == "server closed the connection mid-request",
+        ClientError::Server { .. } => false,
     }
 }
 
@@ -338,6 +756,26 @@ mod tests {
         assert!(!policy.should_retry(&ClientError::Protocol("x"), RetryStage::Request));
         let no_busy = RetryPolicy { retry_busy: false, ..RetryPolicy::default() };
         assert!(!no_busy.should_retry(&busy, RetryStage::Request));
+    }
+
+    #[test]
+    fn follower_transient_classification_covers_restarts() {
+        // Everything a dying-and-restarting server can throw at a follower
+        // is absorbed; real application errors are not.
+        assert!(is_transient_for_follow(&ClientError::Io("refused".into())));
+        assert!(is_transient_for_follow(&ClientError::Timeout("t".into())));
+        assert!(is_transient_for_follow(&ClientError::Server {
+            status: Status::Busy,
+            message: String::new()
+        }));
+        assert!(is_transient_for_follow(&ClientError::Protocol(
+            "server closed the connection mid-request"
+        )));
+        assert!(!is_transient_for_follow(&ClientError::Protocol("unknown response status")));
+        assert!(!is_transient_for_follow(&ClientError::Server {
+            status: Status::Corrupt,
+            message: String::new()
+        }));
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //!   on `std`. METRICS returns the full registry snapshot
 //!   ([`MetricsSnapshot`]): request/cache/error counters plus per-request
 //!   latency histograms.
+//! * **Live ingest** ([`AppendSink`], [`StoreReader::refresh`],
+//!   [`Follower`]) — a server started with an append sink also answers
+//!   APPEND: frames are compressed server-side under the footer-flip
+//!   protocol and acknowledged only once durable, the shared reader
+//!   refreshes in place (cached epochs stay valid), and clients tail the
+//!   growing archive with [`Client::follow`].
 //! * **Crash consistency** ([`io`], [`append_store`], [`recover_store`]) —
 //!   archives are appendable under a footer-flip protocol (new blocks, data
 //!   sync, new footer, footer sync), all storage flows through the
@@ -64,10 +70,11 @@ pub use archive::{
     VerifyReport,
 };
 pub use client::{
-    connect_with_retry, get_with_retry, with_retry, Client, ClientError, RetryPolicy, RetryStage,
+    connect_with_retry, get_with_retry, with_retry, Client, ClientError, Follower, RetryPolicy,
+    RetryStage,
 };
 pub use io::{FaultIo, FaultMode, FaultPlan, FileIo, MemIo, StoreIo};
 pub use mdz_obs::{HistogramSnapshot, MetricsSnapshot, Obs, Registry};
-pub use protocol::{Request, Status, StoreInfo};
-pub use reader::{ReaderOptions, StatsSnapshot, StoreReader};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use protocol::{AppendAck, Request, Status, StoreInfo};
+pub use reader::{ReaderOptions, RefreshReport, StatsSnapshot, StoreReader};
+pub use server::{AppendSink, Server, ServerConfig, ServerHandle};

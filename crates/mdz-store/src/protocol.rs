@@ -9,6 +9,9 @@
 //! STATS   request : op=2
 //! INFO    request : op=3
 //! METRICS request : op=4
+//! APPEND  request : op=5 · flags u8 (bit0: f32 payload) · n_frames u64
+//!                   · n_atoms u64 · per frame: x[n_atoms] · y[n_atoms]
+//!                   · z[n_atoms] (f64 LE each, or f32 LE when bit0 is set)
 //!
 //! OK GET     body : status=0 · start u64 · n_frames u64 · n_atoms u64
 //!                   · per frame: x[n_atoms] f64 · y[n_atoms] f64 · z[n_atoms] f64
@@ -21,40 +24,141 @@
 //!                   · n_gauges   u32 · per: name_len u16 · name · value u64
 //!                   · n_hists    u32 · per: name_len u16 · name · count u64
 //!                     · sum f64 · min f64 · max f64 · p50 f64 · p99 f64
+//! OK APPEND  body : status=0 · start u64 (first appended frame index)
+//!                   · n_frames u64 (total after append) · appended_blocks u64
 //! error      body : status≠0 · UTF-8 message (to end of body)
 //! ```
 //!
 //! METRICS is a purely additive verb: version-1 servers answer it with
 //! `BadRequest` and version-1 clients simply never send it, so mixed
 //! deployments keep working. The BUSY status (load shedding at the
-//! connection cap) is additive the same way.
+//! connection cap) and the APPEND verb (answered with `BadRequest` by a
+//! read-only server) are additive the same way.
+//!
+//! An OK APPEND response is a durability acknowledgment: the server replies
+//! only after the footer-flip append protocol has completed — new blocks
+//! synced, then the fresh footer synced — so an acknowledged frame survives
+//! a server crash (see `FORMAT.md` §1.2).
 //!
 //! Both endpoints bound what they will read: servers cap request bodies at
-//! [`MAX_REQUEST_BODY`], clients cap response bodies at a configurable
-//! budget — a hostile peer cannot force either side into an unbounded
-//! allocation.
+//! [`MAX_REQUEST_BODY`] ([`MAX_APPEND_BODY`] when live appends are
+//! enabled), clients cap response bodies at a configurable budget — a
+//! hostile peer cannot force either side into an unbounded allocation.
 
 use std::io::{self, Read, Write};
 
 use mdz_core::{Frame, MdzError};
 use mdz_obs::{HistogramSnapshot, MetricsSnapshot};
 
+use crate::archive::Precision;
 use crate::reader::StatsSnapshot;
 
-/// Largest request body a server will read. Requests are tiny and fixed
-/// shape; anything larger is hostile or a framing bug.
+/// Largest request body a server will read for the control verbs
+/// (GET/STATS/INFO/METRICS). Those requests are tiny and fixed shape;
+/// anything larger is hostile or a framing bug.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::protocol::{Request, MAX_REQUEST_BODY};
+///
+/// let body = Request::Get { start: 0, end: 100 }.encode();
+/// assert!(body.len() <= MAX_REQUEST_BODY);
+/// ```
 pub const MAX_REQUEST_BODY: usize = 64;
 
+/// Default budget for APPEND request bodies on a live server (64 MiB —
+/// roughly 900k atoms × 128 frames of f64 coordinates per request).
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::protocol::{MAX_APPEND_BODY, MAX_REQUEST_BODY};
+///
+/// assert!(MAX_APPEND_BODY > MAX_REQUEST_BODY);
+/// ```
+pub const MAX_APPEND_BODY: usize = 1 << 26;
+
 /// Opcode for a frame-range read.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::protocol::{Request, OP_GET};
+///
+/// assert_eq!(Request::Get { start: 0, end: 1 }.encode()[0], OP_GET);
+/// ```
 pub const OP_GET: u8 = 1;
 /// Opcode for a counters snapshot.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::protocol::{Request, OP_STATS};
+///
+/// assert_eq!(Request::Stats.encode()[0], OP_STATS);
+/// ```
 pub const OP_STATS: u8 = 2;
 /// Opcode for archive metadata.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::protocol::{Request, OP_INFO};
+///
+/// assert_eq!(Request::Info.encode()[0], OP_INFO);
+/// ```
 pub const OP_INFO: u8 = 3;
 /// Opcode for a full metrics snapshot (counters, gauges, histograms).
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::protocol::{Request, OP_METRICS};
+///
+/// assert_eq!(Request::Metrics.encode()[0], OP_METRICS);
+/// ```
 pub const OP_METRICS: u8 = 4;
+/// Opcode for a live append of raw frames.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_core::Frame;
+/// use mdz_store::protocol::{Request, OP_APPEND};
+/// use mdz_store::Precision;
+///
+/// let frames = vec![Frame::new(vec![1.0], vec![2.0], vec![3.0])];
+/// let body = Request::Append { precision: Precision::F64, frames }.encode();
+/// assert_eq!(body[0], OP_APPEND);
+/// ```
+pub const OP_APPEND: u8 = 5;
+
+/// Flag bit in an APPEND request: coordinates are packed as `f32` LE.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_core::Frame;
+/// use mdz_store::protocol::{Request, APPEND_FLAG_F32};
+/// use mdz_store::Precision;
+///
+/// let frames = vec![Frame::new(vec![1.0], vec![2.0], vec![3.0])];
+/// let body = Request::Append { precision: Precision::F32, frames }.encode();
+/// assert_eq!(body[1] & APPEND_FLAG_F32, APPEND_FLAG_F32);
+/// ```
+pub const APPEND_FLAG_F32: u8 = 0b0000_0001;
 
 /// Response status codes.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::protocol::Status;
+///
+/// assert_eq!(Status::from_byte(Status::Busy as u8), Some(Status::Busy));
+/// assert_eq!(Status::from_byte(200), None);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum Status {
@@ -79,6 +183,16 @@ pub enum Status {
 
 impl Status {
     /// Decodes a wire status byte.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mdz_store::protocol::Status;
+    ///
+    /// assert_eq!(Status::from_byte(0), Some(Status::Ok));
+    /// assert_eq!(Status::from_byte(6), Some(Status::Busy));
+    /// assert_eq!(Status::from_byte(99), None);
+    /// ```
     pub fn from_byte(b: u8) -> Option<Status> {
         Some(match b {
             0 => Status::Ok,
@@ -93,6 +207,16 @@ impl Status {
     }
 
     /// Maps a decode-path error onto the wire status vocabulary.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mdz_core::MdzError;
+    /// use mdz_store::protocol::Status;
+    ///
+    /// let err = MdzError::BadInput("frame range out of bounds");
+    /// assert_eq!(Status::from_error(&err), Status::OutOfRange);
+    /// ```
     pub fn from_error(e: &MdzError) -> Status {
         match e {
             MdzError::BadInput(_) => Status::OutOfRange,
@@ -106,7 +230,16 @@ impl Status {
 }
 
 /// A parsed client request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::protocol::Request;
+///
+/// let req = Request::Get { start: 3, end: 9 };
+/// assert_eq!(Request::parse(&req.encode()).unwrap(), req);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Read frames `start..end` (end-exclusive).
     Get {
@@ -121,12 +254,29 @@ pub enum Request {
     Info,
     /// Snapshot every metric the server's registry has recorded.
     Metrics,
+    /// Append raw frames to the served archive (live servers only).
+    Append {
+        /// Wire precision of the coordinate payload. `F32` halves the
+        /// request size; the server must have been opened at the matching
+        /// store precision.
+        precision: Precision,
+        /// The frames to compress and append, in order.
+        frames: Vec<Frame>,
+    },
 }
 
 impl Request {
     /// Encodes the request body (unframed).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mdz_store::protocol::{Request, OP_STATS};
+    ///
+    /// assert_eq!(Request::Stats.encode(), vec![OP_STATS]);
+    /// ```
     pub fn encode(&self) -> Vec<u8> {
-        match *self {
+        match self {
             Request::Get { start, end } => {
                 let mut body = Vec::with_capacity(17);
                 body.push(OP_GET);
@@ -137,10 +287,55 @@ impl Request {
             Request::Stats => vec![OP_STATS],
             Request::Info => vec![OP_INFO],
             Request::Metrics => vec![OP_METRICS],
+            Request::Append { precision, frames } => {
+                let n_atoms = frames.first().map_or(0, Frame::len);
+                let width = match precision {
+                    Precision::F64 => 8,
+                    Precision::F32 => 4,
+                };
+                let mut body = Vec::with_capacity(18 + frames.len() * n_atoms * 3 * width);
+                body.push(OP_APPEND);
+                body.push(match precision {
+                    Precision::F64 => 0,
+                    Precision::F32 => APPEND_FLAG_F32,
+                });
+                body.extend_from_slice(&(frames.len() as u64).to_le_bytes());
+                body.extend_from_slice(&(n_atoms as u64).to_le_bytes());
+                for f in frames {
+                    for axis in [&f.x, &f.y, &f.z] {
+                        for &v in axis.iter() {
+                            match precision {
+                                Precision::F64 => body.extend_from_slice(&v.to_le_bytes()),
+                                Precision::F32 => body.extend_from_slice(&(v as f32).to_le_bytes()),
+                            }
+                        }
+                    }
+                }
+                body
+            }
         }
     }
 
     /// Parses a request body.
+    ///
+    /// The body length is validated against the counts it claims before any
+    /// frame is allocated, so a forged header cannot force an oversized
+    /// allocation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mdz_core::Frame;
+    /// use mdz_store::protocol::Request;
+    /// use mdz_store::Precision;
+    ///
+    /// let req = Request::Append {
+    ///     precision: Precision::F64,
+    ///     frames: vec![Frame::new(vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0])],
+    /// };
+    /// assert_eq!(Request::parse(&req.encode()).unwrap(), req);
+    /// assert!(Request::parse(&[99]).is_err());
+    /// ```
     pub fn parse(body: &[u8]) -> std::result::Result<Request, &'static str> {
         match body.first() {
             Some(&OP_GET) => {
@@ -154,13 +349,80 @@ impl Request {
             Some(&OP_STATS) if body.len() == 1 => Ok(Request::Stats),
             Some(&OP_INFO) if body.len() == 1 => Ok(Request::Info),
             Some(&OP_METRICS) if body.len() == 1 => Ok(Request::Metrics),
+            Some(&OP_APPEND) => parse_append(body),
             Some(_) => Err("unknown opcode or trailing bytes"),
             None => Err("empty request body"),
         }
     }
 }
 
+/// Parses an APPEND request body (opcode byte included).
+fn parse_append(body: &[u8]) -> std::result::Result<Request, &'static str> {
+    if body.len() < 18 {
+        return Err("short APPEND body");
+    }
+    let flags = body[1];
+    if flags & !APPEND_FLAG_F32 != 0 {
+        return Err("unknown APPEND flags");
+    }
+    let precision = if flags & APPEND_FLAG_F32 != 0 { Precision::F32 } else { Precision::F64 };
+    let width: usize = match precision {
+        Precision::F64 => 8,
+        Precision::F32 => 4,
+    };
+    let n_frames = u64::from_le_bytes(body[2..10].try_into().unwrap()) as usize;
+    let n_atoms = u64::from_le_bytes(body[10..18].try_into().unwrap()) as usize;
+    if n_frames == 0 || n_atoms == 0 {
+        return Err("APPEND carries no frames");
+    }
+    let expect = n_frames
+        .checked_mul(n_atoms)
+        .and_then(|v| v.checked_mul(3 * width))
+        .and_then(|v| v.checked_add(18))
+        .ok_or("APPEND payload size overflows")?;
+    if body.len() != expect {
+        return Err("APPEND body length disagrees with its header");
+    }
+    let mut pos = 18;
+    let mut frames = Vec::with_capacity(n_frames);
+    for _ in 0..n_frames {
+        let mut axes: [Vec<f64>; 3] = Default::default();
+        for axis in axes.iter_mut() {
+            axis.reserve_exact(n_atoms);
+            for _ in 0..n_atoms {
+                let v = match precision {
+                    Precision::F64 => f64::from_le_bytes(body[pos..pos + 8].try_into().unwrap()),
+                    Precision::F32 => {
+                        f64::from(f32::from_le_bytes(body[pos..pos + 4].try_into().unwrap()))
+                    }
+                };
+                axis.push(v);
+                pos += width;
+            }
+        }
+        let [x, y, z] = axes;
+        frames.push(Frame::new(x, y, z));
+    }
+    Ok(Request::Append { precision, frames })
+}
+
 /// Archive metadata reported by an INFO response.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::protocol::{encode_info, parse_info, StoreInfo};
+///
+/// let info = StoreInfo {
+///     version: 2,
+///     n_atoms: 10,
+///     n_frames: 1000,
+///     buffer_size: 128,
+///     epoch_interval: 8,
+///     n_blocks: 8,
+/// };
+/// assert_eq!(parse_info(&encode_info(&info)).unwrap(), info);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreInfo {
     /// Container version (1 or 2).
@@ -177,7 +439,40 @@ pub struct StoreInfo {
     pub n_blocks: u64,
 }
 
+/// Durability acknowledgment returned by an OK APPEND response.
+///
+/// Receiving one means the appended frames are on disk under a synced
+/// footer: a server crash after the acknowledgment cannot lose them.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::protocol::{encode_append_ack, parse_append_ack, AppendAck};
+///
+/// let ack = AppendAck { start: 128, n_frames: 256, appended_blocks: 1 };
+/// assert_eq!(parse_append_ack(&encode_append_ack(&ack)).unwrap(), ack);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendAck {
+    /// Index of the first frame this append added.
+    pub start: u64,
+    /// Total frames in the archive after the append.
+    pub n_frames: u64,
+    /// Block records this append added.
+    pub appended_blocks: u64,
+}
+
 /// Builds an error response body.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::protocol::{encode_error, Status};
+///
+/// let body = encode_error(Status::OutOfRange, "no such frame");
+/// assert_eq!(body[0], Status::OutOfRange as u8);
+/// assert_eq!(&body[1..], b"no such frame");
+/// ```
 pub fn encode_error(status: Status, message: &str) -> Vec<u8> {
     let mut body = Vec::with_capacity(1 + message.len());
     body.push(status as u8);
@@ -186,6 +481,17 @@ pub fn encode_error(status: Status, message: &str) -> Vec<u8> {
 }
 
 /// Builds an OK GET response body from decoded frames.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_core::Frame;
+/// use mdz_store::protocol::{encode_frames, parse_frames};
+///
+/// let frames = vec![Frame::new(vec![1.0], vec![2.0], vec![3.0])];
+/// let (start, back) = parse_frames(&encode_frames(7, 1, &frames)).unwrap();
+/// assert_eq!((start, back), (7, frames));
+/// ```
 pub fn encode_frames(start: u64, n_atoms: usize, frames: &[Frame]) -> Vec<u8> {
     let mut body = Vec::with_capacity(25 + frames.len() * n_atoms * 24);
     body.push(Status::Ok as u8);
@@ -204,6 +510,18 @@ pub fn encode_frames(start: u64, n_atoms: usize, frames: &[Frame]) -> Vec<u8> {
 
 /// Parses an OK GET response body (status byte already consumed is NOT
 /// assumed: `body` includes it). Returns `(start, frames)`.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_core::Frame;
+/// use mdz_store::protocol::{encode_frames, parse_frames};
+///
+/// let frames = vec![Frame::new(vec![1.5, 2.5], vec![0.0, 1.0], vec![9.0, 8.0])];
+/// let body = encode_frames(0, 2, &frames);
+/// assert_eq!(parse_frames(&body).unwrap().1, frames);
+/// assert!(parse_frames(&body[..body.len() - 1]).is_err());
+/// ```
 pub fn parse_frames(body: &[u8]) -> std::result::Result<(u64, Vec<Frame>), &'static str> {
     if body.len() < 25 || body[0] != Status::Ok as u8 {
         return Err("short or non-OK GET body");
@@ -237,6 +555,16 @@ pub fn parse_frames(body: &[u8]) -> std::result::Result<(u64, Vec<Frame>), &'sta
 }
 
 /// Builds an OK STATS response body.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::protocol::{encode_stats, parse_stats};
+/// use mdz_store::StatsSnapshot;
+///
+/// let stats = StatsSnapshot { requests: 4, ..Default::default() };
+/// assert_eq!(parse_stats(&encode_stats(&stats)).unwrap(), stats);
+/// ```
 pub fn encode_stats(s: &StatsSnapshot) -> Vec<u8> {
     let mut body = Vec::with_capacity(49);
     body.push(Status::Ok as u8);
@@ -249,6 +577,18 @@ pub fn encode_stats(s: &StatsSnapshot) -> Vec<u8> {
 }
 
 /// Parses an OK STATS response body.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::protocol::{encode_stats, parse_stats};
+/// use mdz_store::StatsSnapshot;
+///
+/// let stats = StatsSnapshot { cache_hits: 2, cache_misses: 1, ..Default::default() };
+/// let body = encode_stats(&stats);
+/// assert_eq!(parse_stats(&body).unwrap(), stats);
+/// assert!(parse_stats(&body[..10]).is_err());
+/// ```
 pub fn parse_stats(body: &[u8]) -> std::result::Result<StatsSnapshot, &'static str> {
     if body.len() != 49 || body[0] != Status::Ok as u8 {
         return Err("short or non-OK STATS body");
@@ -265,6 +605,22 @@ pub fn parse_stats(body: &[u8]) -> std::result::Result<StatsSnapshot, &'static s
 }
 
 /// Builds an OK INFO response body.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::protocol::{encode_info, Status, StoreInfo};
+///
+/// let info = StoreInfo {
+///     version: 2,
+///     n_atoms: 3,
+///     n_frames: 12,
+///     buffer_size: 4,
+///     epoch_interval: 2,
+///     n_blocks: 3,
+/// };
+/// assert_eq!(encode_info(&info)[0], Status::Ok as u8);
+/// ```
 pub fn encode_info(i: &StoreInfo) -> Vec<u8> {
     let mut body = Vec::with_capacity(49);
     body.push(Status::Ok as u8);
@@ -275,6 +631,23 @@ pub fn encode_info(i: &StoreInfo) -> Vec<u8> {
 }
 
 /// Parses an OK INFO response body.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::protocol::{encode_info, parse_info, StoreInfo};
+///
+/// let info = StoreInfo {
+///     version: 2,
+///     n_atoms: 3,
+///     n_frames: 12,
+///     buffer_size: 4,
+///     epoch_interval: 2,
+///     n_blocks: 3,
+/// };
+/// assert_eq!(parse_info(&encode_info(&info)).unwrap(), info);
+/// assert!(parse_info(&[0u8; 10]).is_err());
+/// ```
 pub fn parse_info(body: &[u8]) -> std::result::Result<StoreInfo, &'static str> {
     if body.len() != 49 || body[0] != Status::Ok as u8 {
         return Err("short or non-OK INFO body");
@@ -290,7 +663,60 @@ pub fn parse_info(body: &[u8]) -> std::result::Result<StoreInfo, &'static str> {
     })
 }
 
+/// Builds an OK APPEND response body (the durability acknowledgment).
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::protocol::{encode_append_ack, AppendAck, Status};
+///
+/// let body = encode_append_ack(&AppendAck { start: 8, n_frames: 16, appended_blocks: 2 });
+/// assert_eq!(body[0], Status::Ok as u8);
+/// assert_eq!(body.len(), 25);
+/// ```
+pub fn encode_append_ack(ack: &AppendAck) -> Vec<u8> {
+    let mut body = Vec::with_capacity(25);
+    body.push(Status::Ok as u8);
+    for v in [ack.start, ack.n_frames, ack.appended_blocks] {
+        body.extend_from_slice(&v.to_le_bytes());
+    }
+    body
+}
+
+/// Parses an OK APPEND response body.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::protocol::{encode_append_ack, parse_append_ack, AppendAck};
+///
+/// let ack = AppendAck { start: 0, n_frames: 8, appended_blocks: 2 };
+/// let body = encode_append_ack(&ack);
+/// assert_eq!(parse_append_ack(&body).unwrap(), ack);
+/// assert!(parse_append_ack(&body[..24]).is_err());
+/// ```
+pub fn parse_append_ack(body: &[u8]) -> std::result::Result<AppendAck, &'static str> {
+    if body.len() != 25 || body[0] != Status::Ok as u8 {
+        return Err("short or non-OK APPEND body");
+    }
+    let at = |i: usize| u64::from_le_bytes(body[1 + i * 8..9 + i * 8].try_into().unwrap());
+    Ok(AppendAck { start: at(0), n_frames: at(1), appended_blocks: at(2) })
+}
+
 /// Builds an OK METRICS response body from a registry snapshot.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::protocol::{encode_metrics, parse_metrics};
+/// use mdz_store::MetricsSnapshot;
+///
+/// let snap = MetricsSnapshot {
+///     counters: vec![("store.requests".into(), 7)],
+///     ..Default::default()
+/// };
+/// assert_eq!(parse_metrics(&encode_metrics(&snap)).unwrap(), snap);
+/// ```
 pub fn encode_metrics(m: &MetricsSnapshot) -> Vec<u8> {
     fn put_name(body: &mut Vec<u8>, name: &str) {
         // Metric names are short static strings; u16 is generous.
@@ -321,6 +747,17 @@ pub fn encode_metrics(m: &MetricsSnapshot) -> Vec<u8> {
 ///
 /// Every length is validated against the remaining bytes before any
 /// allocation, so a hostile body cannot claim more entries than it carries.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::protocol::{encode_metrics, parse_metrics};
+/// use mdz_store::MetricsSnapshot;
+///
+/// let body = encode_metrics(&MetricsSnapshot::default());
+/// assert_eq!(parse_metrics(&body).unwrap(), MetricsSnapshot::default());
+/// assert!(parse_metrics(&[]).is_err());
+/// ```
 pub fn parse_metrics(body: &[u8]) -> std::result::Result<MetricsSnapshot, &'static str> {
     if body.is_empty() || body[0] != Status::Ok as u8 {
         return Err("short or non-OK METRICS body");
@@ -379,6 +816,16 @@ pub fn parse_metrics(body: &[u8]) -> std::result::Result<MetricsSnapshot, &'stat
 }
 
 /// Writes one framed message.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::protocol::write_message;
+///
+/// let mut buf = Vec::new();
+/// write_message(&mut buf, &[1, 2, 3]).unwrap();
+/// assert_eq!(buf, vec![3, 0, 0, 0, 1, 2, 3]);
+/// ```
 pub fn write_message(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
     w.write_all(&(body.len() as u32).to_le_bytes())?;
     w.write_all(body)?;
@@ -389,6 +836,19 @@ pub fn write_message(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
 ///
 /// Returns `Ok(None)` on clean EOF at a frame boundary (the peer closed the
 /// connection between messages).
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::protocol::{read_message, write_message};
+///
+/// let mut buf = Vec::new();
+/// write_message(&mut buf, &[1, 2, 3]).unwrap();
+/// let mut r = buf.as_slice();
+/// assert_eq!(read_message(&mut r, 8).unwrap(), Some(vec![1, 2, 3]));
+/// assert_eq!(read_message(&mut r, 8).unwrap(), None); // clean EOF
+/// assert!(read_message(&mut buf.as_slice(), 2).is_err()); // over budget
+/// ```
 pub fn read_message(r: &mut impl Read, max_body: usize) -> io::Result<Option<Vec<u8>>> {
     let mut len_bytes = [0u8; 4];
     let mut filled = 0;
@@ -429,6 +889,58 @@ mod tests {
         assert!(Request::parse(&[OP_STATS, 0]).is_err());
         assert!(Request::parse(&[OP_METRICS, 0]).is_err());
         assert!(Request::parse(&[99]).is_err());
+    }
+
+    #[test]
+    fn append_requests_round_trip_both_precisions() {
+        let frames = vec![
+            Frame::new(vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]),
+            Frame::new(vec![-1.5, 0.25], vec![0.0, 9.0], vec![7.0, 8.0]),
+        ];
+        let f64_req = Request::Append { precision: Precision::F64, frames: frames.clone() };
+        assert_eq!(Request::parse(&f64_req.encode()).unwrap(), f64_req);
+        // f32 wire precision narrows each coordinate once (these values are
+        // exactly representable, so the round trip is exact here).
+        let f32_req = Request::Append { precision: Precision::F32, frames };
+        assert_eq!(Request::parse(&f32_req.encode()).unwrap(), f32_req);
+        let f32_body = f32_req.encode();
+        let f64_body = f64_req.encode();
+        assert_eq!(f64_body.len() - 18, 2 * (f32_body.len() - 18));
+    }
+
+    #[test]
+    fn append_request_rejects_forged_and_short_bodies() {
+        let frames = vec![Frame::new(vec![1.0], vec![2.0], vec![3.0])];
+        let body = Request::Append { precision: Precision::F64, frames }.encode();
+        // Truncation and inflation both break the exact-length contract.
+        assert!(Request::parse(&body[..body.len() - 1]).is_err());
+        let mut long = body.clone();
+        long.push(0);
+        assert!(Request::parse(&long).is_err());
+        // Forged frame count: claims more frames than the body carries.
+        let mut forged = body.clone();
+        forged[2] = 0xFF;
+        assert!(Request::parse(&forged).is_err());
+        // Unknown flag bits are reserved.
+        let mut flagged = body.clone();
+        flagged[1] |= 0b1000_0000;
+        assert!(Request::parse(&flagged).is_err());
+        // Zero frames or atoms is meaningless.
+        assert!(Request::parse(&[OP_APPEND, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0])
+            .is_err());
+        assert!(Request::parse(&body[..10]).is_err());
+    }
+
+    #[test]
+    fn append_ack_round_trips() {
+        let ack = AppendAck { start: 128, n_frames: 192, appended_blocks: 4 };
+        let body = encode_append_ack(&ack);
+        assert_eq!(body.len(), 25);
+        assert_eq!(parse_append_ack(&body).unwrap(), ack);
+        assert!(parse_append_ack(&body[..24]).is_err());
+        let mut bad = body.clone();
+        bad[0] = Status::Internal as u8;
+        assert!(parse_append_ack(&bad).is_err());
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Random-access reads over an indexed archive: epoch decoding, the LRU
-//! cache of decoded epochs, and the shared metrics registry.
+//! cache of decoded epochs, live refresh of a growing archive, and the
+//! shared metrics registry.
 
 use std::collections::HashMap;
 use std::ops::Range;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 use mdz_core::traj::split_container;
 use mdz_core::{DecodeLimits, Decompressor, Frame, MdzError, Obs, Result};
@@ -49,6 +50,20 @@ pub struct StatsSnapshot {
     pub buffers_decoded: u64,
 }
 
+/// Report returned by [`StoreReader::refresh`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshReport {
+    /// Frames newly visible through this reader after the refresh.
+    pub frames_added: usize,
+    /// Block records newly visible after the refresh.
+    pub blocks_added: usize,
+    /// Total frames visible after the refresh.
+    pub n_frames: usize,
+    /// Garbage tail bytes ignored by the recovery scan inside the refresh
+    /// (an in-flight append whose footer has not landed yet).
+    pub truncated_bytes: usize,
+}
+
 struct CacheEntry {
     last_used: u64,
     frames: Arc<Vec<Frame>>,
@@ -60,9 +75,18 @@ struct EpochCache {
     tick: u64,
 }
 
+/// The swappable part of the store: archive bytes plus the parsed index.
+///
+/// [`StoreReader::refresh`] replaces both atomically under the write lock;
+/// readers snapshot the two `Arc`s once per call and never observe a torn
+/// mix of old bytes with a new index.
+struct ArchiveState {
+    data: Arc<Vec<u8>>,
+    index: Arc<ArchiveIndex>,
+}
+
 struct Store {
-    data: Vec<u8>,
-    index: ArchiveIndex,
+    state: RwLock<ArchiveState>,
     opts: ReaderOptions,
     cache: Mutex<EpochCache>,
     /// Shared metrics registry: the reader's `store.*` counters land here
@@ -76,7 +100,9 @@ struct Store {
 /// A cheaply cloneable handle for random-access reads over one archive.
 ///
 /// All clones share the archive bytes, the epoch cache, and the stats
-/// counters, so a server can hand one clone to each worker thread.
+/// counters, so a server can hand one clone to each worker thread. A live
+/// archive (one still being appended to) is picked up via
+/// [`refresh`](Self::refresh) — existing clones all observe the new frames.
 #[derive(Clone)]
 pub struct StoreReader {
     store: Arc<Store>,
@@ -106,8 +132,7 @@ impl StoreReader {
         let obs = Obs::new(Arc::clone(&registry) as Arc<dyn mdz_core::Recorder>);
         Ok(Self {
             store: Arc::new(Store {
-                data,
-                index,
+                state: RwLock::new(ArchiveState { data: Arc::new(data), index: Arc::new(index) }),
                 opts,
                 cache: Mutex::new(EpochCache::default()),
                 registry,
@@ -144,9 +169,65 @@ impl StoreReader {
         Ok((reader, RecoverReport { valid_len, truncated_bytes }))
     }
 
-    /// The parsed header and block index.
-    pub fn index(&self) -> &ArchiveIndex {
-        &self.store.index
+    /// The parsed header and block index, as of the last successful
+    /// [`refresh`](Self::refresh) (or open). The returned `Arc` is a
+    /// consistent snapshot: a concurrent refresh swaps in a new index
+    /// without mutating snapshots already handed out.
+    pub fn index(&self) -> Arc<ArchiveIndex> {
+        Arc::clone(&self.store.state.read().unwrap().index)
+    }
+
+    /// Re-reads a (possibly grown) copy of the archive bytes and publishes
+    /// any newly durable frames to every clone of this reader.
+    ///
+    /// `data` is the current on-disk image; the recovery scan inside drops
+    /// any torn tail (an append whose footer has not landed yet), so it is
+    /// always safe to call with bytes read mid-append. The refresh is
+    /// accepted only when the new image is a *monotone extension* of the
+    /// current state:
+    ///
+    /// * same geometry (atom count, buffer size, precision, version),
+    /// * the frame count never shrinks,
+    /// * every currently indexed block keeps its offset, and
+    /// * every current epoch anchor is preserved.
+    ///
+    /// Those invariants are exactly what the footer-flip append protocol
+    /// guarantees, and they are what make the epoch cache refresh-safe: a
+    /// decoded epoch's block range never changes once a footer covering it
+    /// lands, so cached entries stay valid and only the tail grows. A
+    /// violation (the file was replaced, truncated, or rewritten in place)
+    /// is rejected with [`MdzError::Corrupt`] and counted under
+    /// `reader.refresh.rejected`; the reader keeps serving its current
+    /// state.
+    ///
+    /// Records `reader.refresh.count` and `reader.refresh.frames_added`.
+    pub fn refresh(&self, mut data: Vec<u8>) -> Result<RefreshReport> {
+        let obs = &self.store.obs;
+        let (valid_len, new_index) = match recover_slice(&data) {
+            Ok(ok) => ok,
+            Err(e) => {
+                obs.incr("reader.refresh.rejected", 1);
+                return Err(e);
+            }
+        };
+        let truncated_bytes = data.len() - valid_len;
+        data.truncate(valid_len);
+
+        let mut state = self.store.state.write().unwrap();
+        let old = &state.index;
+        if let Err(what) = validate_monotone_extension(old, &new_index) {
+            obs.incr("reader.refresh.rejected", 1);
+            return Err(MdzError::Corrupt { what });
+        }
+        let frames_added = new_index.n_frames - old.n_frames;
+        let blocks_added = new_index.blocks.len() - old.blocks.len();
+        let n_frames = new_index.n_frames;
+        state.data = Arc::new(data);
+        state.index = Arc::new(new_index);
+        drop(state);
+        obs.incr("reader.refresh.count", 1);
+        obs.incr("reader.refresh.frames_added", frames_added as u64);
+        Ok(RefreshReport { frames_added, blocks_added, n_frames, truncated_bytes })
     }
 
     /// The shared metrics registry every clone of this reader records into.
@@ -205,7 +286,10 @@ impl StoreReader {
         range: Range<usize>,
         limits: &DecodeLimits,
     ) -> Result<Vec<Frame>> {
-        let idx = &self.store.index;
+        // One consistent snapshot per call: a concurrent refresh can land a
+        // new index mid-read without this read observing mixed state.
+        let snap = self.snapshot();
+        let idx = &snap.index;
         if range.start > range.end || range.end > idx.n_frames {
             return Err(MdzError::BadInput("frame range out of bounds"));
         }
@@ -219,7 +303,7 @@ impl StoreReader {
         let last_epoch = idx.epoch_of_frame(range.end - 1);
         let mut out = Vec::new();
         for epoch in first_epoch..=last_epoch {
-            let frames = self.epoch_frames(epoch, limits)?;
+            let frames = self.epoch_frames(&snap, epoch, limits)?;
             let epoch_start = idx.epoch_frame_start(epoch);
             let lo = range.start.max(epoch_start) - epoch_start;
             let hi = (range.end - epoch_start).min(frames.len());
@@ -228,8 +312,23 @@ impl StoreReader {
         Ok(out)
     }
 
+    /// Clones the current `(data, index)` pair under the read lock.
+    fn snapshot(&self) -> Snapshot {
+        let state = self.store.state.read().unwrap();
+        Snapshot { data: Arc::clone(&state.data), index: Arc::clone(&state.index) }
+    }
+
     /// Returns `epoch`'s decoded frames, from cache or by decoding.
-    fn epoch_frames(&self, epoch: usize, limits: &DecodeLimits) -> Result<Arc<Vec<Frame>>> {
+    ///
+    /// The cache is keyed by epoch number, which is stable across refreshes:
+    /// appends only ever add epochs past the current tail, so an entry
+    /// decoded from an older snapshot is still correct.
+    fn epoch_frames(
+        &self,
+        snap: &Snapshot,
+        epoch: usize,
+        limits: &DecodeLimits,
+    ) -> Result<Arc<Vec<Frame>>> {
         let obs = &self.store.obs;
         {
             let mut cache = self.store.cache.lock().unwrap();
@@ -245,7 +344,7 @@ impl StoreReader {
         // racing on the same cold epoch may both decode it — the counters
         // report the work actually done, and the cache keeps one copy.
         obs.incr("store.cache.misses", 1);
-        let frames = match self.decode_epoch(epoch, limits) {
+        let frames = match self.decode_epoch(snap, epoch, limits) {
             Ok(f) => Arc::new(f),
             Err(e) => {
                 obs.incr("store.decode_errors", 1);
@@ -272,16 +371,21 @@ impl StoreReader {
     /// starting from empty stream state here reproduces the sequential
     /// decode exactly; within the epoch the axis decompressors carry their
     /// state from buffer to buffer as usual.
-    fn decode_epoch(&self, epoch: usize, limits: &DecodeLimits) -> Result<Vec<Frame>> {
-        let store = &*self.store;
-        let idx = &store.index;
+    fn decode_epoch(
+        &self,
+        snap: &Snapshot,
+        epoch: usize,
+        limits: &DecodeLimits,
+    ) -> Result<Vec<Frame>> {
+        let idx = &snap.index;
+        let data = &snap.data;
         let blocks = idx.epoch_blocks(epoch);
         if blocks.is_empty() {
             return Err(MdzError::BadInput("epoch index out of bounds"));
         }
         let containers = idx.blocks[blocks.clone()]
             .iter()
-            .map(|b| record_at(&store.data, b.offset))
+            .map(|b| record_at(data, b.offset))
             .collect::<Result<Vec<&[u8]>>>()?;
         let expected_frames: usize = idx.blocks[blocks.clone()].iter().map(|b| b.n_frames).sum();
 
@@ -328,6 +432,44 @@ impl StoreReader {
     }
 }
 
+/// A consistent `(data, index)` pair taken once per read.
+struct Snapshot {
+    data: Arc<Vec<u8>>,
+    index: Arc<ArchiveIndex>,
+}
+
+/// Checks that `new` extends `old` without rewriting anything a reader may
+/// already have decoded or cached. Returns the violated invariant.
+fn validate_monotone_extension(
+    old: &ArchiveIndex,
+    new: &ArchiveIndex,
+) -> std::result::Result<(), &'static str> {
+    if new.version != old.version
+        || new.f32_source != old.f32_source
+        || new.n_atoms != old.n_atoms
+        || new.buffer_size != old.buffer_size
+    {
+        return Err("refresh: archive geometry changed");
+    }
+    if new.n_frames < old.n_frames {
+        return Err("refresh: frame count went backwards");
+    }
+    if new.n_frames > old.n_frames && old.n_frames % old.buffer_size != 0 {
+        return Err("refresh: a partial tail block was extended in place");
+    }
+    if new.blocks.len() < old.blocks.len()
+        || old.blocks.iter().zip(&new.blocks).any(|(o, n)| o.offset != n.offset)
+    {
+        return Err("refresh: published block offsets changed");
+    }
+    if new.epoch_starts.len() < old.epoch_starts.len()
+        || old.epoch_starts != new.epoch_starts[..old.epoch_starts.len()]
+    {
+        return Err("refresh: published epoch anchors changed");
+    }
+    Ok(())
+}
+
 /// Maps an axis-decode thread's join result into the reader's error type.
 ///
 /// A panic on a worker thread must not take the whole process (and every
@@ -344,10 +486,11 @@ fn join_axis<T>(joined: std::thread::Result<Result<T>>) -> Result<T> {
 
 impl std::fmt::Debug for StoreReader {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let idx = self.index();
         f.debug_struct("StoreReader")
-            .field("n_frames", &self.store.index.n_frames)
-            .field("n_blocks", &self.store.index.blocks.len())
-            .field("epoch_interval", &self.store.index.epoch_interval)
+            .field("n_frames", &idx.n_frames)
+            .field("n_blocks", &idx.blocks.len())
+            .field("epoch_interval", &idx.epoch_interval)
             .finish()
     }
 }
@@ -355,7 +498,8 @@ impl std::fmt::Debug for StoreReader {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::archive::{write_store, StoreOptions};
+    use crate::archive::{append_store, write_store, StoreOptions};
+    use crate::io::MemIo;
     use mdz_core::{ErrorBound, MdzConfig};
 
     fn frames(n_frames: usize, n_atoms: usize) -> Vec<Frame> {
@@ -474,5 +618,90 @@ mod tests {
         // registry: 3 axes × 2 buffers.
         assert_eq!(registry.counter("core.decode.blocks"), 6);
         assert!(reader.metrics().histogram("core.decode.reconstruct_seconds").is_some());
+    }
+
+    fn store_opts() -> StoreOptions {
+        let mut opts = StoreOptions::new(MdzConfig::new(ErrorBound::Absolute(1e-3)));
+        opts.buffer_size = 4;
+        opts.epoch_interval = 2;
+        opts
+    }
+
+    #[test]
+    fn refresh_publishes_appended_frames_to_existing_clones() {
+        let all = frames(16, 6);
+        let base = write_store(&all[..8], &[], &[], &store_opts()).unwrap();
+        let reader = StoreReader::open(base.clone()).unwrap();
+        let clone = reader.clone();
+        assert_eq!(clone.index().n_frames, 8);
+
+        let mut io = MemIo::new(base);
+        append_store(&mut io, &all[8..], &store_opts()).unwrap();
+        let grown = io.into_bytes();
+        let report = reader.refresh(grown.clone()).unwrap();
+        assert_eq!(report.frames_added, 8);
+        assert_eq!(report.n_frames, 16);
+        assert_eq!(report.truncated_bytes, 0);
+        // The clone sees the new tail and it matches an offline decode.
+        assert_eq!(clone.index().n_frames, 16);
+        let offline = StoreReader::open(grown).unwrap().read_frames(0..16).unwrap();
+        assert_eq!(clone.read_frames(0..16).unwrap(), offline);
+        assert_eq!(reader.recorder().counter("reader.refresh.count"), 1);
+        assert_eq!(reader.recorder().counter("reader.refresh.frames_added"), 8);
+    }
+
+    #[test]
+    fn refresh_with_torn_tail_keeps_last_durable_footer() {
+        let all = frames(16, 6);
+        let base = write_store(&all[..8], &[], &[], &store_opts()).unwrap();
+        let reader = StoreReader::open(base.clone()).unwrap();
+        let mut io = MemIo::new(base.clone());
+        append_store(&mut io, &all[8..], &store_opts()).unwrap();
+        let mut torn = io.into_bytes();
+        torn.extend_from_slice(b"in-flight append, footer not yet durable");
+        let report = reader.refresh(torn).unwrap();
+        assert_eq!(report.frames_added, 8);
+        assert_eq!(report.truncated_bytes, 40);
+        assert_eq!(reader.index().n_frames, 16);
+    }
+
+    #[test]
+    fn refresh_rejects_non_monotone_images() {
+        let all = frames(16, 6);
+        let base = write_store(&all[..8], &[], &[], &store_opts()).unwrap();
+        let mut io = MemIo::new(base.clone());
+        append_store(&mut io, &all[8..], &store_opts()).unwrap();
+        let grown = io.into_bytes();
+
+        let reader = StoreReader::open(grown.clone()).unwrap();
+        // Shrinking back to the base image must be rejected.
+        let err = reader.refresh(base).unwrap_err();
+        assert!(matches!(err, MdzError::Corrupt { .. }), "{err:?}");
+        assert_eq!(reader.index().n_frames, 16);
+        // A different archive with other geometry must be rejected too.
+        let other = write_store(&frames(8, 5), &[], &[], &store_opts()).unwrap();
+        assert!(reader.refresh(other).is_err());
+        assert_eq!(reader.recorder().counter("reader.refresh.rejected"), 2);
+        // The identical image is a no-op refresh (still counted).
+        let report = reader.refresh(grown).unwrap();
+        assert_eq!(report.frames_added, 0);
+        assert_eq!(reader.recorder().counter("reader.refresh.count"), 1);
+    }
+
+    #[test]
+    fn refresh_keeps_cached_epochs_valid() {
+        let all = frames(16, 6);
+        let base = write_store(&all[..8], &[], &[], &store_opts()).unwrap();
+        let reader = StoreReader::open(base.clone()).unwrap();
+        let before = reader.read_frames(0..8).unwrap(); // warms epoch 0
+        let misses_before = reader.stats().cache_misses;
+
+        let mut io = MemIo::new(base);
+        append_store(&mut io, &all[8..], &store_opts()).unwrap();
+        reader.refresh(io.into_bytes()).unwrap();
+        // Re-reading the old range is served from cache, bit-exact.
+        let after = reader.read_frames(0..8).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(reader.stats().cache_misses, misses_before);
     }
 }

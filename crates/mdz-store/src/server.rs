@@ -23,11 +23,23 @@
 //!   never drains its socket) is disconnected once a response write blocks
 //!   for `write_timeout` (`server.conn.write_timeouts`), freeing the worker.
 //! * **Bounded request bodies** — frame lengths are validated against
-//!   `max_request_body` before any allocation.
+//!   `max_request_body` before any allocation (`max_append_body` when live
+//!   appends are enabled, since APPEND carries raw coordinate payloads).
 //!
 //! Shutdown drains gracefully: the accept loop stops admitting, in-flight
 //! requests finish (bounded by the read/write deadlines), and idle or queued
 //! connections are closed at the next poll tick (`server.drain.closed`).
+//!
+//! # Live ingest
+//!
+//! A server built with [`Server::with_append_sink`] also answers APPEND:
+//! frames are compressed server-side through [`crate::append_store`]'s
+//! footer-flip protocol against the sink's [`StoreIo`], under the sink's
+//! per-archive write lock (one append at a time; readers are never blocked).
+//! The OK response is sent only after the second sync — it is a durability
+//! acknowledgment — and the shared [`StoreReader`] is refreshed under the
+//! same lock so followers observe the new frames immediately. Without a
+//! sink, APPEND is answered with [`Status::BadRequest`] (read-only server).
 
 use std::io::Write;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -36,12 +48,15 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use mdz_core::DecodeLimits;
+use mdz_core::{DecodeLimits, Frame, MdzError};
 use mdz_obs::Obs;
 
+use crate::archive::{append_store, Precision, StoreOptions};
+use crate::io::StoreIo;
 use crate::protocol::{
-    encode_error, encode_frames, encode_info, encode_metrics, encode_stats, read_message,
-    write_message, Request, Status, StoreInfo, MAX_REQUEST_BODY,
+    encode_append_ack, encode_error, encode_frames, encode_info, encode_metrics, encode_stats,
+    read_message, write_message, AppendAck, Request, Status, StoreInfo, MAX_APPEND_BODY,
+    MAX_REQUEST_BODY,
 };
 use crate::reader::StoreReader;
 
@@ -63,6 +78,10 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Largest request body accepted, enforced before allocation.
     pub max_request_body: usize,
+    /// Largest APPEND request body accepted when a sink is attached
+    /// (APPEND bodies carry raw coordinates, so they dwarf the control
+    /// verbs). Ignored on a read-only server.
+    pub max_append_body: usize,
     /// Budget for a started request to finish arriving (also bounds the
     /// post-error drain that lets an error response reach the peer).
     pub read_timeout: Duration,
@@ -80,10 +99,65 @@ impl Default for ServerConfig {
             limits: DecodeLimits::default(),
             max_connections: 256,
             max_request_body: MAX_REQUEST_BODY,
+            max_append_body: MAX_APPEND_BODY,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(60),
         }
+    }
+}
+
+/// The writable side of a live archive: the storage the server appends to,
+/// serialized by a per-archive write lock.
+///
+/// The lock covers the whole footer-flip append (recover → write blocks →
+/// sync → footer → sync) *and* the subsequent [`StoreReader::refresh`], so
+/// concurrent APPEND requests execute one at a time and the reader's
+/// published state advances in footer order. Readers never take this lock —
+/// they snapshot the reader's own state and are unaffected by an in-flight
+/// append.
+pub struct AppendSink {
+    io: Mutex<Box<dyn StoreIo>>,
+    opts: StoreOptions,
+}
+
+impl AppendSink {
+    /// Wraps the storage backing the served archive. `opts` configures the
+    /// server-side compressor (error bound, method, precision); the
+    /// archive's own geometry (buffer size, epoch stride) wins over
+    /// `opts.buffer_size`/`opts.epoch_interval` as in [`append_store`].
+    pub fn new(io: Box<dyn StoreIo>, opts: StoreOptions) -> Self {
+        Self { io: Mutex::new(io), opts }
+    }
+
+    /// Runs one locked append + refresh cycle. Returns only after the
+    /// appended frames are durable (second sync done) and published to
+    /// `reader`.
+    fn append(
+        &self,
+        frames: &[Frame],
+        precision: Precision,
+        reader: &StoreReader,
+    ) -> Result<AppendAck, MdzError> {
+        let mut io = self.io.lock().unwrap();
+        let mut opts = self.opts.clone();
+        opts.precision = precision;
+        let report = append_store(io.as_mut(), frames, &opts)?;
+        // Publish to followers while still holding the write lock, so a
+        // racing append cannot interleave an older image into refresh().
+        let data = io.read_all()?;
+        reader.refresh(data)?;
+        Ok(AppendAck {
+            start: (report.n_frames - report.appended_frames) as u64,
+            n_frames: report.n_frames as u64,
+            appended_blocks: report.appended_blocks as u64,
+        })
+    }
+}
+
+impl std::fmt::Debug for AppendSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppendSink").finish_non_exhaustive()
     }
 }
 
@@ -93,6 +167,7 @@ pub struct Server {
     reader: StoreReader,
     cfg: ServerConfig,
     stop: Arc<AtomicBool>,
+    sink: Option<Arc<AppendSink>>,
 }
 
 /// Shutdown handle for a running [`Server`]; cheap to clone across threads.
@@ -129,7 +204,15 @@ impl Server {
         cfg: ServerConfig,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        Ok(Server { listener, reader, cfg, stop: Arc::new(AtomicBool::new(false)) })
+        Ok(Server { listener, reader, cfg, stop: Arc::new(AtomicBool::new(false)), sink: None })
+    }
+
+    /// Enables live ingest: the server will answer APPEND requests by
+    /// compressing into `sink` and refreshing its reader. See the module
+    /// docs for the locking and durability discipline.
+    pub fn with_append_sink(mut self, sink: AppendSink) -> Server {
+        self.sink = Some(Arc::new(sink));
+        self
     }
 
     /// The address the server actually bound (resolves port 0).
@@ -146,8 +229,15 @@ impl Server {
     /// dispatching each to the worker pool. Returns once in-flight requests
     /// have finished (deadline-bounded) and the workers have joined.
     pub fn run(self) -> std::io::Result<()> {
-        let Server { listener, reader, cfg, stop } = self;
+        let Server { listener, reader, cfg, stop, sink } = self;
         let obs = Obs::new(reader.recorder());
+        // APPEND bodies carry raw coordinates; everything else is tiny. The
+        // framing budget only widens when a sink is actually attached.
+        let body_budget = if sink.is_some() {
+            cfg.max_append_body.max(cfg.max_request_body)
+        } else {
+            cfg.max_request_body
+        };
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = cfg.threads.max(1);
@@ -160,11 +250,19 @@ impl Server {
                 let cfg = cfg.clone();
                 let stop = Arc::clone(&stop);
                 let active = Arc::clone(&active);
+                let sink = sink.clone();
                 s.spawn(move || loop {
                     let conn = rx.lock().unwrap().recv();
                     match conn {
                         Ok(stream) => {
-                            handle_connection(stream, &reader, &cfg, &stop);
+                            handle_connection(
+                                stream,
+                                &reader,
+                                &cfg,
+                                &stop,
+                                sink.as_deref(),
+                                body_budget,
+                            );
                             active.fetch_sub(1, Ordering::AcqRel);
                         }
                         Err(_) => break, // accept loop gone, queue drained
@@ -191,7 +289,7 @@ impl Server {
                             let obs = obs.clone();
                             let read_timeout = cfg.read_timeout;
                             let write_timeout = cfg.write_timeout;
-                            let max_body = cfg.max_request_body;
+                            let max_body = body_budget;
                             std::thread::spawn(move || {
                                 set_read_timeout(&stream, read_timeout, &obs);
                                 set_write_timeout(&stream, write_timeout, &obs);
@@ -262,6 +360,7 @@ fn next_request(
     cfg: &ServerConfig,
     stop: &AtomicBool,
     obs: &Obs,
+    body_budget: usize,
 ) -> NextRequest {
     use std::io::Read;
     let mut len_bytes = [0u8; 4];
@@ -298,7 +397,7 @@ fn next_request(
         }
     }
     let len = u32::from_le_bytes(len_bytes) as usize;
-    if len > cfg.max_request_body {
+    if len > body_budget {
         return NextRequest::Malformed;
     }
     set_read_timeout(stream, cfg.read_timeout, obs);
@@ -329,11 +428,13 @@ fn handle_connection(
     reader: &StoreReader,
     cfg: &ServerConfig,
     stop: &AtomicBool,
+    sink: Option<&AppendSink>,
+    body_budget: usize,
 ) {
     let obs = Obs::new(reader.recorder());
     set_write_timeout(&stream, cfg.write_timeout, &obs);
     loop {
-        let body = match next_request(&mut stream, cfg, stop, &obs) {
+        let body = match next_request(&mut stream, cfg, stop, &obs, body_budget) {
             NextRequest::Body(body) => body,
             NextRequest::CleanClose | NextRequest::Gone => return,
             NextRequest::Draining => {
@@ -370,13 +471,21 @@ fn handle_connection(
             }
         };
         let parsed = Request::parse(&body);
+        // Capture the per-opcode counter name before `respond` consumes the
+        // parsed request (APPEND requests own their frame payload).
+        let op_counter = opcode_counter(&parsed);
         let request_timer = obs.span("server.request_seconds");
         let response = match parsed {
             Ok(req) => {
                 let get_timer =
                     matches!(req, Request::Get { .. }).then(|| obs.span("server.get_seconds"));
-                let r = respond(req, reader, cfg);
+                let append_timer = matches!(req, Request::Append { .. })
+                    .then(|| obs.span("server.append.append_seconds"));
+                let r = respond(req, reader, cfg, sink, &obs);
                 if let Some(t) = get_timer {
+                    t.finish();
+                }
+                if let Some(t) = append_timer {
                     t.finish();
                 }
                 r
@@ -385,7 +494,7 @@ fn handle_connection(
         };
         request_timer.finish();
         obs.incr("store.bytes_in", body.len() as u64);
-        obs.incr(opcode_counter(&parsed), 1);
+        obs.incr(op_counter, 1);
         obs.incr(status_counter(response.first().copied().unwrap_or(Status::Internal as u8)), 1);
         reader.record_request(response.len() as u64);
         if let Err(e) = write_message(&mut stream, &response) {
@@ -407,6 +516,7 @@ fn opcode_counter(parsed: &std::result::Result<Request, &'static str>) -> &'stat
         Ok(Request::Stats) => "server.requests.stats",
         Ok(Request::Info) => "server.requests.info",
         Ok(Request::Metrics) => "server.requests.metrics",
+        Ok(Request::Append { .. }) => "server.requests.append",
         Err(_) => "server.requests.bad",
     }
 }
@@ -425,8 +535,41 @@ fn status_counter(byte: u8) -> &'static str {
 }
 
 /// Computes the response body for one parsed request.
-fn respond(req: Request, reader: &StoreReader, cfg: &ServerConfig) -> Vec<u8> {
+fn respond(
+    req: Request,
+    reader: &StoreReader,
+    cfg: &ServerConfig,
+    sink: Option<&AppendSink>,
+    obs: &Obs,
+) -> Vec<u8> {
     match req {
+        Request::Append { precision, frames } => {
+            let Some(sink) = sink else {
+                return encode_error(
+                    Status::BadRequest,
+                    "server is read-only (start mdzd with --live to enable APPEND)",
+                );
+            };
+            match sink.append(&frames, precision, reader) {
+                Ok(ack) => {
+                    obs.incr("server.append.frames", ack.n_frames - ack.start);
+                    obs.incr("server.append.blocks", ack.appended_blocks);
+                    encode_append_ack(&ack)
+                }
+                Err(e) => {
+                    obs.incr("server.append.errors", 1);
+                    // Shape and configuration mismatches are the client's
+                    // fault; everything else keeps the decode-path mapping
+                    // (an injected storage fault surfaces as Internal).
+                    let status = match &e {
+                        MdzError::BadInput(_) | MdzError::BadConfig(_) => Status::BadRequest,
+                        MdzError::Io { .. } => Status::Internal,
+                        other => Status::from_error(other),
+                    };
+                    encode_error(status, &e.to_string())
+                }
+            }
+        }
         Request::Get { start, end } => {
             if start > end {
                 return encode_error(Status::BadRequest, "start exceeds end");

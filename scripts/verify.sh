@@ -22,6 +22,12 @@ cargo build --release --workspace
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 
+# Rustdoc examples are executable documentation: every `# Examples`
+# block in the workspace compiles and runs (the docs CI job runs the
+# same gate).
+echo "==> cargo test --doc"
+cargo test --workspace --doc --quiet
+
 # Bounded fuzz smoke: deterministic seeded campaigns over every decode
 # entry point. 5 000 iterations keeps this step to a few seconds; CI's
 # dedicated fuzz-smoke job runs the full 100 000-iteration budget.
@@ -59,6 +65,16 @@ cargo run --release -p mdz-bench --bin experiments -- \
     --scale test --out "$tmp_out" quantizer > /dev/null
 MDZ_BENCH_JSON="$tmp_out/BENCH_quantizer.json" \
     cargo test -p mdz-bench --release --quiet --test quantizer_json
+
+# Live-ingest bench: a real mdzd with an append sink, a producer
+# appending over the wire, and concurrent followers; the JSON artifact
+# (append throughput + read-behind-write staleness + follower
+# bit-exactness) is schema-checked like the others.
+echo "==> ingest smoke (live producer + followers, JSON schema check)"
+cargo run --release -p mdz-bench --bin experiments -- \
+    --scale test --out "$tmp_out" ingest > /dev/null
+MDZ_BENCH_JSON="$tmp_out/BENCH_ingest.json" \
+    cargo test -p mdz-bench --release --quiet --test ingest_json
 
 # Store smoke: compress simulated frames into a version-2 archive, serve
 # it on an ephemeral loopback port, and require the served range to
@@ -119,5 +135,89 @@ fi
 "$mdz" recover "$tmp_out/traj.mdz" > /dev/null
 "$mdz" verify "$tmp_out/traj.mdz" > /dev/null
 cmp "$tmp_out/traj.mdz" "$tmp_out/clean.mdz"
+
+# Live-ingest smoke: a --live server takes remote appends while a
+# follower streams; kill -9 between acked appends proves acked == durable
+# (the restarted server recovers every acknowledged frame, FORMAT.md
+# §1.3), the follower rides out the restart on its transient-retry path,
+# and its complete output must byte-equal an offline sequential decode.
+echo "==> live-ingest smoke (remote appends, kill -9 + restart, follower resumes)"
+"$mdz" gen lj "$tmp_out/live.xyz" --scale test --seed 11 > /dev/null
+"$mdz" store "$tmp_out/live.xyz" "$tmp_out/live.mdz" --bs 1 --epoch 2 > /dev/null
+base_n="$("$mdz" info "$tmp_out/live.mdz" | sed -n 's/^frames: *//p')"
+for seed in 12 13 14; do
+    "$mdz" gen lj "$tmp_out/chunk$seed.xyz" --scale test --seed "$seed" > /dev/null
+done
+total=$((base_n * 4)) # gen frame count depends on scale only, not seed
+
+follow_pid=""
+live_pid=""
+trap 'kill $live_pid $follow_pid 2> /dev/null || true; rm -rf "$tmp_out"' EXIT
+"$mdz" serve "$tmp_out/live.mdz" 127.0.0.1:0 --threads 2 --live \
+    2> "$tmp_out/live.log" &
+live_pid=$!
+laddr=""
+for _ in $(seq 1 100); do
+    laddr="$(sed -n 's/.* on \([0-9.:]*\).*/\1/p' "$tmp_out/live.log" | head -n 1)"
+    [ -n "$laddr" ] && break
+    sleep 0.1
+done
+[ -n "$laddr" ] || { echo "live smoke: server did not start"; exit 1; }
+
+"$mdz" follow "$laddr" 0 --until "$total" --poll-ms 20 \
+    > "$tmp_out/follow.txt" 2> /dev/null &
+follow_pid=$!
+
+"$mdz" append --remote "$laddr" "$tmp_out/chunk12.xyz" > /dev/null
+"$mdz" append --remote "$laddr" "$tmp_out/chunk13.xyz" > /dev/null
+kill -9 "$live_pid"
+wait "$live_pid" 2> /dev/null || true
+
+# Both appends were acknowledged, so both must have survived the crash.
+n_after="$("$mdz" info "$tmp_out/live.mdz" | sed -n 's/^frames: *//p')"
+[ "$n_after" -eq $((base_n * 3)) ] \
+    || { echo "live smoke: acked frames lost across kill -9 ($n_after)"; exit 1; }
+
+# Restart on the same address (the follower reconnects to it). The port
+# may linger briefly after the kill, so retry the bind.
+restarted=""
+for _ in $(seq 1 50); do
+    : > "$tmp_out/live.log"
+    "$mdz" serve "$tmp_out/live.mdz" "$laddr" --threads 2 --live \
+        2> "$tmp_out/live.log" &
+    live_pid=$!
+    for _ in $(seq 1 20); do
+        grep -q " on " "$tmp_out/live.log" && { restarted=1; break; }
+        kill -0 "$live_pid" 2> /dev/null || break
+        sleep 0.1
+    done
+    [ -n "$restarted" ] && break
+    wait "$live_pid" 2> /dev/null || true
+    sleep 0.2
+done
+[ -n "$restarted" ] || { echo "live smoke: server did not restart"; exit 1; }
+
+"$mdz" append --remote "$laddr" "$tmp_out/chunk14.xyz" > /dev/null
+
+# The follower exits on its own once it has streamed `total` frames.
+for _ in $(seq 1 300); do
+    kill -0 "$follow_pid" 2> /dev/null || break
+    sleep 0.1
+done
+if kill -0 "$follow_pid" 2> /dev/null; then
+    echo "live smoke: follower did not finish"
+    exit 1
+fi
+wait "$follow_pid" || { echo "live smoke: follower failed"; exit 1; }
+follow_pid=""
+kill "$live_pid" 2> /dev/null
+wait "$live_pid" 2> /dev/null || true
+live_pid=""
+trap 'rm -rf "$tmp_out"' EXIT
+
+# The streamed frames must byte-equal an offline sequential decode of
+# the final archive.
+"$mdz" get "$tmp_out/live.mdz" "0..$total" > "$tmp_out/offline.txt" 2> /dev/null
+cmp "$tmp_out/follow.txt" "$tmp_out/offline.txt"
 
 echo "verify: all checks passed"

@@ -10,11 +10,14 @@
 //! mdz gen        <dataset> <out.xyz> [--scale test|small|full] [--seed N]
 //! mdz store      <in.xyz> <out.mdz> [--bs N] [--epoch K] [--f32] [bound/method flags]
 //! mdz append     <archive.mdz> <in.xyz> [--f32] [bound/method flags]
+//! mdz append     --remote <addr> <in.xyz> [--f32] [--retries N]
 //! mdz recover    <archive.mdz>
 //! mdz get        <in.mdz> <start..end>
-//! mdz serve      <in.mdz> <addr> [--threads N]
+//! mdz serve      <in.mdz> <addr> [--threads N] [--live]
 //! mdz query      <addr> <start..end> [--retries N]
+//! mdz follow     <addr> [from] [--until N] [--poll-ms N]
 //! mdz stats      <addr> [--metrics [--json]]
+//! mdz bench-ingest [--scale test|small|full] [--seed N] [--out DIR]
 //! ```
 //!
 //! `store` writes the indexed container version 2 (epoch re-anchors +
@@ -26,11 +29,20 @@
 //! aligned text table.
 //!
 //! `append` extends an existing v2 archive in place under the footer-flip
-//! protocol (crash-safe: a torn append leaves the old archive intact).
+//! protocol (crash-safe: a torn append leaves the old archive intact);
+//! with `--remote` the frames are sent to a live `mdzd` (started with
+//! `--live` / `serve --live`) which compresses and appends them
+//! server-side, acknowledging only once they are durable. `follow` tails a
+//! served archive: it streams frames from `from` (default 0) as they
+//! become durable, in the same layout as `get`/`query`, surviving server
+//! restarts; `--until N` exits once frame N-1 has been printed.
 //! One-argument `verify` walks every block and footer checksum and exits
 //! non-zero at the first corrupt offset; `recover` truncates a torn tail
 //! back to the last valid footer. `query --retries N` retries connect and
 //! timeout failures (and BUSY responses) with decorrelated-jitter backoff.
+//! `bench-ingest` runs the live-ingest benchmark (simulated producer
+//! appending over TCP while followers tail) and writes
+//! `BENCH_ingest.json` under `--out` (default `results/`).
 
 use mdz::archive;
 use mdz::core::{EntropyStage, ErrorBound, Frame, MdzConfig, Method};
@@ -89,6 +101,11 @@ struct Opts {
     metrics: bool,
     json: bool,
     retries: Option<u32>,
+    remote: Option<String>,
+    live: bool,
+    until: Option<usize>,
+    poll_ms: u64,
+    out: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -107,6 +124,11 @@ fn parse_opts(args: &[String]) -> Opts {
         metrics: false,
         json: false,
         retries: None,
+        remote: None,
+        live: false,
+        until: None,
+        poll_ms: 100,
+        out: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -127,6 +149,15 @@ fn parse_opts(args: &[String]) -> Opts {
                 o.retries =
                     Some(value("--retries").parse().unwrap_or_else(|_| fail("bad --retries")))
             }
+            "--remote" => o.remote = Some(value("--remote")),
+            "--live" => o.live = true,
+            "--until" => {
+                o.until = Some(value("--until").parse().unwrap_or_else(|_| fail("bad --until")))
+            }
+            "--poll-ms" => {
+                o.poll_ms = value("--poll-ms").parse().unwrap_or_else(|_| fail("bad --poll-ms"))
+            }
+            "--out" => o.out = Some(value("--out")),
             "--threads" => {
                 o.threads = value("--threads").parse().unwrap_or_else(|_| fail("bad --threads"))
             }
@@ -184,7 +215,7 @@ fn is_v2_archive(blob: &[u8]) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: mdz <compress|decompress|info|extract|verify|gen|store|append|recover|get|serve|query|stats> …");
+        eprintln!("usage: mdz <compress|decompress|info|extract|verify|gen|store|append|recover|get|serve|query|follow|stats|bench-ingest> …");
         exit(2);
     };
     let o = parse_opts(rest);
@@ -406,8 +437,41 @@ fn main() {
             );
         }
         "append" => {
+            // Remote form: send the frames to a live mdzd, which compresses
+            // and appends them server-side. The printed ack is a durability
+            // acknowledgment (the server replied only after the fsync'd
+            // footer flip).
+            if let Some(addr) = &o.remote {
+                let [input] = &o.positional[..] else {
+                    fail("append --remote <addr> needs <in.xyz>");
+                };
+                let text = std::fs::read_to_string(input)
+                    .unwrap_or_else(|e| fail(&format!("reading {input}: {e}")));
+                let traj =
+                    xyz::parse(&text).unwrap_or_else(|e| fail(&format!("parsing {input}: {e}")));
+                let precision = if o.f32 { Precision::F32 } else { Precision::F64 };
+                let policy =
+                    RetryPolicy { max_retries: o.retries.unwrap_or(0), ..RetryPolicy::default() };
+                let mut client = mdz::store::connect_with_retry(
+                    addr.as_str(),
+                    &policy,
+                    &mdz::store::Obs::noop(),
+                )
+                .unwrap_or_else(|e| fail(&format!("connecting {addr}: {e}")));
+                let ack = client
+                    .append(&traj.frames, precision)
+                    .unwrap_or_else(|e| fail(&format!("appending: {e}")));
+                println!(
+                    "appended {} frames in {} blocks at frame {}; archive now holds {} frames",
+                    ack.n_frames - ack.start,
+                    ack.appended_blocks,
+                    ack.start,
+                    ack.n_frames
+                );
+                return;
+            }
             let [archive_path, input] = &o.positional[..] else {
-                fail("append needs <archive.mdz> <in.xyz>");
+                fail("append needs <archive.mdz> <in.xyz> (or --remote <addr> <in.xyz>)");
             };
             let text = std::fs::read_to_string(input)
                 .unwrap_or_else(|e| fail(&format!("reading {input}: {e}")));
@@ -477,14 +541,76 @@ fn main() {
             };
             let blob =
                 std::fs::read(input).unwrap_or_else(|e| fail(&format!("reading {input}: {e}")));
-            let reader =
-                StoreReader::open(blob).unwrap_or_else(|e| fail(&format!("opening store: {e}")));
+            // --live opens through the recovery scan (a torn tail must not
+            // block serving) and attaches an append sink on the same file.
+            let reader = if o.live {
+                let (reader, _) = StoreReader::recover(blob)
+                    .unwrap_or_else(|e| fail(&format!("opening store: {e}")));
+                reader
+            } else {
+                StoreReader::open(blob).unwrap_or_else(|e| fail(&format!("opening store: {e}")))
+            };
             let cfg = ServerConfig { threads: o.threads, ..Default::default() };
-            let server = Server::bind(reader, addr.as_str(), cfg)
+            let mut server = Server::bind(reader, addr.as_str(), cfg)
                 .unwrap_or_else(|e| fail(&format!("binding {addr}: {e}")));
+            if o.live {
+                let io =
+                    FileIo::open(input).unwrap_or_else(|e| fail(&format!("opening {input}: {e}")));
+                let mut opts =
+                    StoreOptions::new(MdzConfig::new(bound_from(&o)).with_method(o.method));
+                opts.precision = if o.f32 { Precision::F32 } else { Precision::F64 };
+                server = server.with_append_sink(mdz::store::AppendSink::new(Box::new(io), opts));
+            }
             let local = server.local_addr().unwrap_or_else(|e| fail(&format!("local addr: {e}")));
-            eprintln!("mdz: serving {input} on {local}");
+            eprintln!(
+                "mdz: serving {input} on {local}{}",
+                if o.live { " (live: APPEND enabled)" } else { "" }
+            );
             server.run().unwrap_or_else(|e| fail(&format!("serving: {e}")));
+        }
+        "follow" => {
+            let (addr, from) = match &o.positional[..] {
+                [addr] => (addr, 0usize),
+                [addr, from] => {
+                    (addr, from.parse().unwrap_or_else(|_| fail("bad follow start frame")))
+                }
+                _ => fail("follow needs <addr> [from]"),
+            };
+            let client = Client::connect(addr.as_str())
+                .unwrap_or_else(|e| fail(&format!("connecting {addr}: {e}")));
+            let mut follower = client
+                .follow(from)
+                .unwrap_or_else(|e| fail(&format!("follow: {e}")))
+                .with_poll_interval(std::time::Duration::from_millis(o.poll_ms));
+            eprintln!("following {addr} from frame {from}");
+            // Stream until --until (exclusive upper frame index), or forever.
+            loop {
+                if let Some(until) = o.until {
+                    if follower.position() >= until {
+                        return;
+                    }
+                }
+                let start = follower.position();
+                let mut frames =
+                    follower.next_batch().unwrap_or_else(|e| fail(&format!("follow: {e}")));
+                if let Some(until) = o.until {
+                    frames.truncate(until.saturating_sub(start));
+                }
+                print_frames(start, &frames);
+            }
+        }
+        "bench-ingest" => {
+            if !o.positional.is_empty() {
+                fail("bench-ingest takes only flags: [--scale test|small|full] [--seed N] [--out DIR]");
+            }
+            let out = std::path::PathBuf::from(o.out.as_deref().unwrap_or("results"));
+            let mut ctx = mdz::bench::experiments::Ctx::new(o.scale, out.clone(), o.seed);
+            let tables =
+                mdz::bench::experiments::run("ingest", &mut ctx).expect("ingest experiment");
+            for t in &tables {
+                print!("{}", t.render());
+            }
+            eprintln!("wrote {}", out.join("BENCH_ingest.json").display());
         }
         "query" => {
             let [addr, range_str] = &o.positional[..] else {
@@ -533,7 +659,7 @@ fn main() {
             println!("buffers decoded: {}", s.buffers_decoded);
         }
         _ => {
-            eprintln!("usage: mdz <compress|decompress|info|extract|verify|gen|store|append|recover|get|serve|query|stats> …");
+            eprintln!("usage: mdz <compress|decompress|info|extract|verify|gen|store|append|recover|get|serve|query|follow|stats|bench-ingest> …");
             exit(2);
         }
     }

@@ -11,7 +11,9 @@
 //! * [`kmeans`] — optimal 1-D k-means used by the VQ predictor,
 //! * [`entropy`] — bit I/O, varints, and canonical Huffman coding,
 //! * [`store`] — the random-access indexed trajectory store and `mdzd`
-//!   query server.
+//!   query server (including live ingest and tail-following clients),
+//! * [`mod@bench`] — the benchmark harness regenerating every paper table and
+//!   figure (plus the store's throughput/latency/ingest benchmarks).
 //!
 //! # Quickstart
 //!
@@ -39,6 +41,7 @@ pub mod xyz;
 
 pub use mdz_analysis as analysis;
 pub use mdz_baselines as baselines;
+pub use mdz_bench as bench;
 pub use mdz_core as core;
 pub use mdz_entropy as entropy;
 pub use mdz_kmeans as kmeans;
