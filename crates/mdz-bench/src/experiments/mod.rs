@@ -12,6 +12,7 @@ mod ingest;
 mod lammps;
 mod latency;
 mod quantizer;
+mod serve;
 mod throughput;
 
 pub use ablations::ablations;
@@ -22,6 +23,7 @@ pub use ingest::ingest;
 pub use lammps::table7;
 pub use latency::latency;
 pub use quantizer::quantizer;
+pub use serve::serve;
 pub use throughput::throughput;
 
 use crate::table::Table;
@@ -104,6 +106,7 @@ pub const ALL: &[&str] = &[
     "latency",
     "quantizer",
     "ingest",
+    "serve",
 ];
 
 /// Runs one experiment by id.
@@ -134,6 +137,7 @@ pub fn run(id: &str, ctx: &mut Ctx) -> Option<Vec<Table>> {
         "latency" => latency(ctx),
         "quantizer" => quantizer(ctx),
         "ingest" => ingest(ctx),
+        "serve" => serve(ctx),
         _ => return None,
     };
     Some(tables)

@@ -29,8 +29,8 @@ use mdz_entropy::{
 use mdz_fuzz::CountingAlloc;
 use mdz_lossless::{lz77, rle};
 use mdz_store::{
-    append_store, write_store, ArchiveIndex, FaultIo, FaultMode, FaultPlan, MemIo, ReaderOptions,
-    StoreOptions, StoreReader,
+    append_store, write_store, ArchiveIndex, FaultIo, FaultMode, FaultPlan, FrameDecoder, MemIo,
+    Precision, ReaderOptions, Request, StoreOptions, StoreReader,
 };
 
 #[global_allocator]
@@ -116,6 +116,34 @@ fn replay(name: &str, bytes: &[u8]) -> bool {
             })
             .unwrap_or(false);
         strict_rejects && live_ok
+    } else if name.starts_with("net_") {
+        // The event engine's incremental request framing, fed one byte at
+        // a time (the worst-case trickle). Complete frames are parsed as
+        // requests; the seed must surface a typed error somewhere in the
+        // pipeline — an oversized length prefix (rejected before any
+        // allocation for the announced body), a request body whose header
+        // lies about its payload, or a stream that ends mid-frame (the
+        // truncated tail the server classifies as malformed at EOF).
+        let mut dec = FrameDecoder::new(1 << 16);
+        let mut errored = false;
+        'feed: for b in bytes {
+            dec.push(std::slice::from_ref(b));
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(body)) => {
+                        if Request::parse(&body).is_err() {
+                            errored = true;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        errored = true;
+                        break 'feed;
+                    }
+                }
+            }
+        }
+        errored || dec.has_partial()
     } else if name.starts_with("store_") {
         // Open parses the header + footer index; the read walks the block
         // records (FNV oracle) and the epoch decoder, so seeds may fail at
@@ -271,6 +299,47 @@ fn bless(dir: &Path) {
     let mut b = b"MDZT".to_vec();
     write_uvarint(&mut b, 1000);
     put("traj_truncated_axis.bin", b);
+
+    // --- Network framing: the event engine's incremental request decoder
+    // (`net_` seeds replay against `FrameDecoder` + `Request::parse`).
+    let frame_req = |req: &Request| -> Vec<u8> {
+        let body = req.encode();
+        let mut out = (body.len() as u32).to_le_bytes().to_vec();
+        out.extend_from_slice(&body);
+        out
+    };
+
+    // A length prefix announcing a 4 GiB body: rejected from the four
+    // prefix bytes alone, before any buffer for the body exists.
+    let mut b = u32::MAX.to_le_bytes().to_vec();
+    b.extend_from_slice(&[0u8; 16]);
+    put("net_oversized_len.bin", b);
+
+    // A correctly framed APPEND whose header claims 2^40 frames in a
+    // 42-byte body: the framing layer accepts it, so request parsing must
+    // reject the count/length disagreement before allocating frames.
+    let mut body = Request::Append {
+        precision: Precision::F64,
+        frames: vec![Frame::new(vec![1.0], vec![2.0], vec![3.0])],
+    }
+    .encode();
+    body[2..10].copy_from_slice(&(1u64 << 40).to_le_bytes());
+    let mut framed = (body.len() as u32).to_le_bytes().to_vec();
+    framed.extend_from_slice(&body);
+    put("net_append_forged_count.bin", framed);
+
+    // A valid GET cut mid-body: the stream ends holding a partial frame —
+    // the truncated tail the server classifies as malformed at EOF.
+    let get = frame_req(&Request::Get { start: 3, end: 9 });
+    put("net_trickle_truncated.bin", get[..get.len() - 5].to_vec());
+
+    // Two complete requests coalesced ahead of an oversized prefix: both
+    // must decode and parse before the sticky framing error fires.
+    let mut b = frame_req(&Request::Info);
+    b.extend_from_slice(&frame_req(&Request::Stats));
+    b.extend_from_slice(&(1u32 << 30).to_le_bytes());
+    b.extend_from_slice(&[0xAB; 8]);
+    put("net_coalesced_oversized.bin", b);
 
     // --- Indexed store archives (version 2): footer and keyframe tampers.
     let store_frames: Vec<Frame> = (0..10)

@@ -26,7 +26,8 @@ use mdz_entropy::{
 use mdz_fuzz::{default_iters, CountingAlloc, Mutator};
 use mdz_lossless::{lz77, rle};
 use mdz_store::{
-    append_store, write_store, MemIo, Precision, ReaderOptions, StoreOptions, StoreReader,
+    append_store, write_store, FrameDecoder, MemIo, Precision, ReaderOptions, Request,
+    StoreOptions, StoreReader,
 };
 
 #[global_allocator]
@@ -480,6 +481,79 @@ fn fuzz_store_recover() {
                 assert_eq!(n, 8, "torn append must fall back to the pre-append state");
                 assert!(truncated > 0, "torn tail must be reported");
             }
+        }
+    });
+}
+
+#[test]
+fn fuzz_net_frame_decoder() {
+    // The event engine's incremental request framing: pipelined streams of
+    // length-prefixed requests arriving in arbitrary chunk sizes. The triad
+    // plus two decoder-specific obligations: framing errors are sticky (the
+    // stream cannot resynchronize past a bad prefix), and an unmutated
+    // pipeline must reassemble to exactly its request bodies no matter how
+    // the bytes are chunked.
+    let scripts: Vec<Vec<Request>> = vec![
+        vec![Request::Info, Request::Get { start: 0, end: 8 }, Request::Stats],
+        (0..32).map(|i| Request::Get { start: i * 4, end: i * 4 + 4 }).collect(),
+        vec![
+            Request::Append { precision: Precision::F32, frames: frames(16, 2) },
+            Request::Metrics,
+        ],
+        vec![Request::Stats],
+    ];
+    let refs: Vec<Vec<Vec<u8>>> =
+        scripts.iter().map(|s| s.iter().map(Request::encode).collect()).collect();
+    let seeds: Vec<Vec<u8>> = refs
+        .iter()
+        .map(|bodies| {
+            bodies
+                .iter()
+                .flat_map(|b| {
+                    let mut framed = (b.len() as u32).to_le_bytes().to_vec();
+                    framed.extend_from_slice(b);
+                    framed
+                })
+                .collect()
+        })
+        .collect();
+    const MAX_BODY: usize = 1 << 16;
+    campaign("net-frames", 0x4d445a0e, &seeds.clone(), 8 * MB, |mutator, base_idx, input| {
+        let mut dec = FrameDecoder::new(MAX_BODY);
+        let mut bodies: Vec<Vec<u8>> = Vec::new();
+        let mut framing_err = None;
+        let mut pos = 0;
+        while pos < input.len() && framing_err.is_none() {
+            // Worst-case trickle, small TCP segments, or coalesced bursts.
+            let chunk = match mutator.rng().index(3) {
+                0 => 1,
+                1 => 1 + mutator.rng().index(7),
+                _ => 1 + mutator.rng().index(4096),
+            }
+            .min(input.len() - pos);
+            dec.push(&input[pos..pos + chunk]);
+            pos += chunk;
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(body)) => {
+                        assert!(body.len() <= MAX_BODY, "decoder yielded an oversized body");
+                        let _ = Request::parse(&body); // must never panic
+                        bodies.push(body);
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        framing_err = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(e) = framing_err {
+            dec.push(&[0u8; 8]);
+            assert_eq!(dec.next_frame(), Err(e), "framing error was not sticky");
+        } else if input == seeds[base_idx] {
+            assert_eq!(bodies, refs[base_idx], "identity pipeline must reassemble exactly");
+            assert!(!dec.has_partial(), "identity pipeline left a partial tail");
         }
     });
 }

@@ -1,9 +1,10 @@
 //! `mdzd` — serve an MDZ archive over TCP.
 //!
 //! ```text
-//! mdzd <archive.mdz> [addr] [--threads N] [--cache-epochs N]
-//!      [--max-conns N] [--read-timeout-ms N] [--write-timeout-ms N]
-//!      [--idle-timeout-ms N] [--live [--eps REL | --abs ABS] [--f32]]
+//! mdzd <archive.mdz> [addr] [--engine threads|epoll] [--threads N]
+//!      [--shards N] [--cache-epochs N] [--max-conns N]
+//!      [--read-timeout-ms N] [--write-timeout-ms N] [--idle-timeout-ms N]
+//!      [--drain-poll-ms N] [--live [--eps REL | --abs ABS] [--f32]]
 //! ```
 //!
 //! `addr` defaults to `127.0.0.1:7979`. The process serves until killed.
@@ -18,6 +19,12 @@
 //! crash-safe footer-flip protocol, acknowledging only once the new
 //! footer is synced. Followers (`mdz follow`) see appended frames as soon
 //! as they are durable.
+//!
+//! `--engine epoll` swaps the blocking worker pool for the sharded
+//! non-blocking event loop (epoll/kqueue): `--shards` (an alias for
+//! `--threads`) sets the shard count, and each shard multiplexes
+//! thousands of pipelined connections. The wire protocol and every
+//! overload budget behave identically under both engines.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -25,8 +32,8 @@ use std::time::Duration;
 
 use mdz_core::{ErrorBound, MdzConfig};
 use mdz_store::{
-    AppendSink, FileIo, Precision, ReaderOptions, Registry, Server, ServerConfig, StoreOptions,
-    StoreReader,
+    AppendSink, Engine, FileIo, Precision, ReaderOptions, Registry, Server, ServerConfig,
+    StoreOptions, StoreReader,
 };
 
 fn main() -> ExitCode {
@@ -35,9 +42,10 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("mdzd: {msg}");
             eprintln!(
-                "usage: mdzd <archive.mdz> [addr] [--threads N] [--cache-epochs N] \
-                 [--max-conns N] [--read-timeout-ms N] [--write-timeout-ms N] \
-                 [--idle-timeout-ms N] [--live [--eps REL | --abs ABS] [--f32]]"
+                "usage: mdzd <archive.mdz> [addr] [--engine threads|epoll] [--threads N] \
+                 [--shards N] [--cache-epochs N] [--max-conns N] [--read-timeout-ms N] \
+                 [--write-timeout-ms N] [--idle-timeout-ms N] [--drain-poll-ms N] \
+                 [--live [--eps REL | --abs ABS] [--f32]]"
             );
             ExitCode::FAILURE
         }
@@ -64,7 +72,13 @@ fn run() -> Result<(), String> {
     }
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--threads" => cfg.threads = take_usize(&mut args, "--threads")?,
+            "--engine" => {
+                let name = args.next().ok_or("--engine needs a name")?;
+                cfg.engine = Engine::parse(&name)
+                    .ok_or(format!("unknown engine {name:?} (use threads or epoll)"))?;
+            }
+            // --shards is the event engine's natural spelling for the same knob.
+            "--threads" | "--shards" => cfg.threads = take_usize(&mut args, &arg)?,
             "--cache-epochs" => reader_opts.cache_epochs = take_usize(&mut args, "--cache-epochs")?,
             "--max-conns" => cfg.max_connections = take_usize(&mut args, "--max-conns")?,
             "--read-timeout-ms" => {
@@ -78,6 +92,10 @@ fn run() -> Result<(), String> {
             "--idle-timeout-ms" => {
                 cfg.idle_timeout =
                     Duration::from_millis(take_usize(&mut args, "--idle-timeout-ms")? as u64)
+            }
+            "--drain-poll-ms" => {
+                cfg.drain_poll =
+                    Duration::from_millis(take_usize(&mut args, "--drain-poll-ms")? as u64)
             }
             "--live" => live = true,
             "--eps" => eps = Some(take_f64(&mut args, "--eps")?),

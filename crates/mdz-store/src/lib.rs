@@ -60,6 +60,8 @@
 pub mod archive;
 pub mod client;
 pub mod io;
+#[cfg(any(target_os = "linux", target_os = "macos"))]
+pub(crate) mod net;
 pub mod protocol;
 pub mod reader;
 pub mod server;
@@ -70,11 +72,11 @@ pub use archive::{
     VerifyReport,
 };
 pub use client::{
-    connect_with_retry, get_with_retry, with_retry, Client, ClientError, Follower, RetryPolicy,
-    RetryStage,
+    connect_with_retry, get_with_retry, with_retry, Client, ClientError, Follower, Reply,
+    RetryPolicy, RetryStage,
 };
 pub use io::{FaultIo, FaultMode, FaultPlan, FileIo, MemIo, StoreIo};
 pub use mdz_obs::{HistogramSnapshot, MetricsSnapshot, Obs, Registry};
-pub use protocol::{AppendAck, Request, Status, StoreInfo};
+pub use protocol::{AppendAck, FrameDecoder, FrameError, Request, Status, StoreInfo};
 pub use reader::{ReaderOptions, RefreshReport, StatsSnapshot, StoreReader};
-pub use server::{AppendSink, Server, ServerConfig, ServerHandle};
+pub use server::{AppendSink, Engine, Server, ServerConfig, ServerHandle};

@@ -1,0 +1,305 @@
+//! Per-connection state for the event engine: a non-blocking socket, the
+//! incremental [`FrameDecoder`], a bounded write queue, and the timestamps
+//! the deadline sweep runs against.
+//!
+//! A `Conn` is owned by exactly one shard at a time. The only way it moves
+//! is APPEND migration, where the whole struct (decoder backlog, write
+//! queue, deadlines) is boxed and handed to shard 0 through its inbox, so
+//! ownership stays single-threaded by construction.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Instant;
+
+use crate::protocol::FrameDecoder;
+
+use super::sys::Poller;
+
+/// Per-read scratch cap: one `read` call per slot, bounded so a firehose
+/// peer cannot monopolize a shard tick (level-triggered polling re-arms).
+const MAX_READS_PER_TICK: usize = 16;
+
+/// What a read pass against the socket produced.
+pub(crate) enum ReadOutcome {
+    /// Bytes arrived (frames may now be decodable).
+    Progress,
+    /// The peer half-closed; no more input will ever arrive.
+    Eof,
+    /// The socket had nothing for us.
+    Blocked,
+}
+
+/// One live connection on a shard.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    /// Reassembles length-prefixed requests from arbitrary read chunks.
+    pub(crate) decoder: FrameDecoder,
+    /// Pending output chunks (length prefixes and response bodies
+    /// interleaved), written front-first.
+    queue: VecDeque<Vec<u8>>,
+    /// Bytes of the front chunk already written.
+    front_written: usize,
+    /// Total unsent bytes across `queue` (the backpressure quantity).
+    pub(crate) queued_bytes: usize,
+    /// Whether this connection holds an admission slot (shed connections
+    /// do not; they only exist to deliver a BUSY response).
+    pub(crate) admitted: bool,
+    /// Shed at accept time: answer BUSY to the first request, then close.
+    pub(crate) shed: bool,
+    /// Close once the write queue drains (BUSY shed, malformed framing).
+    pub(crate) close_after_flush: bool,
+    /// Input is read and discarded instead of decoded — the bounded drain
+    /// that lets an error response reach a peer mid-send without an RST.
+    pub(crate) discard_input: bool,
+    /// The peer sent EOF; flush what is queued, then close.
+    pub(crate) peer_eof: bool,
+    /// Backpressure: reads are suspended until the queue drains below half
+    /// of `max_write_buffer`.
+    pub(crate) reading_paused: bool,
+    /// The APPEND body travelling with a migration handoff.
+    pub(crate) migrated_frame: Option<Vec<u8>>,
+    /// When the connection was accepted (shed-reply deadline).
+    pub(crate) opened_at: Instant,
+    /// Last time bytes arrived (idle deadline).
+    pub(crate) last_activity: Instant,
+    /// Since when the decoder has held an incomplete frame (read deadline).
+    pub(crate) partial_since: Option<Instant>,
+    /// Since when a flush has made no progress (write deadline).
+    pub(crate) write_blocked_since: Option<Instant>,
+    /// Since when the connection has been lingering after `shutdown(Write)`
+    /// waiting for the peer's EOF (bounded by the read deadline).
+    pub(crate) dying_since: Option<Instant>,
+    registered_read: bool,
+    registered_write: bool,
+}
+
+impl Conn {
+    /// Wraps an accepted stream; the socket is switched to non-blocking.
+    /// New connections are registered read-only, matching
+    /// (`registered_read`, `registered_write`) = (true, false).
+    pub(crate) fn new(stream: TcpStream, max_body: usize, admitted: bool) -> std::io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        // Responses are written whole; Nagle + delayed ACK would park small
+        // replies for ~40 ms under pipelining. Best-effort like the
+        // threaded engine's socket tuning.
+        let _ = stream.set_nodelay(true);
+        let now = Instant::now();
+        Ok(Conn {
+            stream,
+            decoder: FrameDecoder::new(max_body),
+            queue: VecDeque::new(),
+            front_written: 0,
+            queued_bytes: 0,
+            admitted,
+            shed: !admitted,
+            close_after_flush: false,
+            discard_input: false,
+            peer_eof: false,
+            reading_paused: false,
+            migrated_frame: None,
+            opened_at: now,
+            last_activity: now,
+            partial_since: None,
+            write_blocked_since: None,
+            dying_since: None,
+            registered_read: true,
+            registered_write: false,
+        })
+    }
+
+    /// The socket's fd — the poller token for this connection.
+    pub(crate) fn fd(&self) -> RawFd {
+        self.stream.as_raw_fd()
+    }
+
+    /// True when nothing is waiting to be written.
+    pub(crate) fn queue_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Queues one framed response (4-byte little-endian length prefix, then
+    /// the body) without copying the body.
+    pub(crate) fn enqueue(&mut self, body: Vec<u8>) {
+        let prefix = (body.len() as u32).to_le_bytes().to_vec();
+        self.queued_bytes += prefix.len() + body.len();
+        self.queue.push_back(prefix);
+        if !body.is_empty() {
+            self.queue.push_back(body);
+        }
+    }
+
+    /// Half-closes the write side and starts the bounded EOF linger.
+    pub(crate) fn start_dying(&mut self) {
+        if self.dying_since.is_none() {
+            let _ = self.stream.shutdown(std::net::Shutdown::Write);
+            self.dying_since = Some(Instant::now());
+        }
+    }
+
+    /// Writes queued chunks until the socket blocks or the queue empties.
+    /// Progress clears the write-blocked clock; a block with bytes still
+    /// queued starts it (the shard's sweep kills stalled readers from it).
+    /// `Err` means the socket is dead.
+    pub(crate) fn flush(&mut self) -> std::io::Result<()> {
+        loop {
+            let remaining = match self.queue.front() {
+                None => {
+                    self.write_blocked_since = None;
+                    return Ok(());
+                }
+                Some(front) => front.len() - self.front_written,
+            };
+            if remaining == 0 {
+                self.queue.pop_front();
+                self.front_written = 0;
+                continue;
+            }
+            let res = {
+                let front = self.queue.front().expect("checked above");
+                self.stream.write(&front[self.front_written..])
+            };
+            match res {
+                Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.front_written += n;
+                    self.queued_bytes -= n;
+                    self.write_blocked_since = None;
+                    if n == remaining {
+                        self.queue.pop_front();
+                        self.front_written = 0;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if self.write_blocked_since.is_none() {
+                        self.write_blocked_since = Some(Instant::now());
+                    }
+                    return Ok(());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Pulls available bytes off the socket into the decoder (or the void,
+    /// under `discard_input`), bounded per tick. `Err` means the socket is
+    /// dead; `Eof` may still leave decodable frames behind.
+    pub(crate) fn read_some(&mut self, scratch: &mut [u8]) -> std::io::Result<ReadOutcome> {
+        let mut any = false;
+        for _ in 0..MAX_READS_PER_TICK {
+            match self.stream.read(scratch) {
+                Ok(0) => return Ok(ReadOutcome::Eof),
+                Ok(n) => {
+                    any = true;
+                    self.last_activity = Instant::now();
+                    if !self.discard_input {
+                        self.decoder.push(&scratch[..n]);
+                    }
+                    if n < scratch.len() {
+                        break; // short read: the kernel buffer is drained
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(if any { ReadOutcome::Progress } else { ReadOutcome::Blocked })
+    }
+
+    /// The interest set this connection currently needs.
+    pub(crate) fn wanted_interest(&self) -> (bool, bool) {
+        (!self.reading_paused, !self.queue.is_empty())
+    }
+
+    /// Reconciles the poller registration with the wanted interest set
+    /// (no-op when unchanged — the common case).
+    pub(crate) fn sync_interest(&mut self, poller: &Poller) {
+        let (read, write) = self.wanted_interest();
+        if (read != self.registered_read || write != self.registered_write)
+            && poller.modify(self.fd(), read, write).is_ok()
+        {
+            self.registered_read = read;
+            self.registered_write = write;
+        }
+    }
+
+    /// Records the interest set a fresh `poller.add` registered (used when
+    /// a migrated connection is re-registered on its new shard).
+    pub(crate) fn set_registered(&mut self, read: bool, write: bool) {
+        self.registered_read = read;
+        self.registered_write = write;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn enqueue_and_flush_frame_a_response() {
+        let (mut client, server) = pair();
+        let mut conn = Conn::new(server, 1 << 20, true).unwrap();
+        conn.enqueue(vec![7u8; 10]);
+        assert_eq!(conn.queued_bytes, 14);
+        conn.flush().unwrap();
+        assert!(conn.queue_empty());
+        assert_eq!(conn.queued_bytes, 0);
+        let mut got = [0u8; 14];
+        client.read_exact(&mut got).unwrap();
+        assert_eq!(&got[..4], &10u32.to_le_bytes());
+        assert_eq!(&got[4..], &[7u8; 10]);
+    }
+
+    #[test]
+    fn blocked_write_starts_the_stall_clock_and_progress_clears_it() {
+        let (client, server) = pair();
+        let mut conn = Conn::new(server, 1 << 20, true).unwrap();
+        // Overwhelm the kernel buffers: the peer never reads.
+        for _ in 0..64 {
+            conn.enqueue(vec![0u8; 1 << 20]);
+        }
+        conn.flush().unwrap();
+        assert!(conn.write_blocked_since.is_some(), "full socket must block");
+        assert!(!conn.queue_empty());
+        // Drain the peer side; the next flush makes progress again.
+        drop(std::thread::spawn(move || {
+            let mut sink = std::io::sink();
+            let mut client = client;
+            let _ = std::io::copy(&mut client, &mut sink);
+        }));
+        loop {
+            conn.flush().unwrap();
+            if conn.queue_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(conn.write_blocked_since.is_none());
+    }
+
+    #[test]
+    fn discard_input_reads_without_feeding_the_decoder() {
+        let (mut client, server) = pair();
+        let mut conn = Conn::new(server, 1 << 20, true).unwrap();
+        conn.discard_input = true;
+        client.write_all(&[1u8; 256]).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut scratch = vec![0u8; 64];
+        assert!(matches!(conn.read_some(&mut scratch), Ok(ReadOutcome::Progress)));
+        assert_eq!(conn.decoder.buffered(), 0);
+        drop(client);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(matches!(conn.read_some(&mut scratch), Ok(ReadOutcome::Eof)));
+    }
+}

@@ -1,0 +1,16 @@
+//! The event-loop serving engine (`--engine epoll`): a raw-syscall
+//! epoll/kqueue reactor sharded across `cfg.threads` threads, speaking the
+//! exact wire protocol of the threaded engine through the shared
+//! [`serve_request`](crate::server) response path.
+//!
+//! Layout: [`sys`] holds the zero-dependency syscall bindings (poller,
+//! wake pipe, `SO_REUSEPORT` groups), [`conn`] the per-connection state
+//! machine, and [`shard`] the event loop, accept/dispatch, APPEND
+//! migration, and shutdown choreography. See `DESIGN.md` §15 for the
+//! architecture rationale.
+
+mod conn;
+mod shard;
+pub(crate) mod sys;
+
+pub(crate) use shard::run;

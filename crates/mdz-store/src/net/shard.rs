@@ -1,0 +1,681 @@
+//! The sharded event loop behind [`Engine::Epoll`](crate::server::Engine).
+//!
+//! # Shard ownership
+//!
+//! `cfg.threads` shards each run their own poller, connection map, and
+//! forked epoch cache ([`StoreReader::fork_cache`]) — no lock is shared on
+//! the read path. A connection is owned by exactly one shard for its whole
+//! life, with one exception: the first APPEND frame decoded on shard *i ≠ 0*
+//! migrates the entire connection to shard 0 through its inbox, so live
+//! writes always execute on a single owning shard (and the sink's write
+//! lock is only ever contended by migration races, never steady state).
+//!
+//! # Accept modes
+//!
+//! With an `SO_REUSEPORT` listener group (Linux), shard *i* owns listener
+//! *i* and the kernel spreads connections. Otherwise shard 0 owns the only
+//! listener and dispatches accepted streams round-robin over everyone's
+//! inboxes (including its own share). Admission control is global either
+//! way: `admitted` is a process-wide counter, and connections over
+//! `max_connections` are shed with a framed BUSY answer by the accepting
+//! shard, exactly like the threaded engine.
+//!
+//! # Backpressure invariant
+//!
+//! A connection's decoded-but-unsent output is bounded by
+//! `max_write_buffer`: past the cap the shard stops **reading** (and
+//! decoding) that connection until a flush drains the queue below half the
+//! cap. A peer that never drains is killed by `write_timeout`. Memory per
+//! connection is therefore `O(max_write_buffer + one frame)` by
+//! construction.
+//!
+//! # Shutdown
+//!
+//! On the stop flag each shard closes its listener (decrementing the global
+//! `accepting` count), stops decoding new work, closes idle connections
+//! (`server.drain.closed`), and lets in-flight requests finish under the
+//! read/write deadlines. Shards exit when `accepting == 0` and they have no
+//! connections or queued handoffs; shard 0 — the migration target — exits
+//! last, after every other shard has, so a handoff can never be stranded.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use mdz_obs::Obs;
+
+use crate::protocol::{encode_error, Status, OP_APPEND};
+use crate::reader::StoreReader;
+use crate::server::{serve_request, status_counter, AppendSink, Server, ServerConfig};
+
+use super::conn::{Conn, ReadOutcome};
+use super::sys::{Event, Poller, WakePipe};
+
+/// Per-shard connection gauges are static names (mdz-obs requires
+/// `&'static str`); shards beyond the table share the last entry.
+const SHARD_CONN_GAUGES: [&str; 8] = [
+    "server.net.shard0.connections",
+    "server.net.shard1.connections",
+    "server.net.shard2.connections",
+    "server.net.shard3.connections",
+    "server.net.shard4.connections",
+    "server.net.shard5.connections",
+    "server.net.shard6.connections",
+    "server.net.shard7.connections",
+];
+
+fn conn_gauge(id: usize) -> &'static str {
+    SHARD_CONN_GAUGES[id.min(SHARD_CONN_GAUGES.len() - 1)]
+}
+
+/// Work pushed into a shard's inbox by another shard.
+enum Handoff {
+    /// A freshly accepted, already-admitted connection (dispatcher mode).
+    New(TcpStream),
+    /// A connection mid-APPEND moving to shard 0 with its whole state.
+    Migrated(Box<Conn>),
+}
+
+/// State shared by every shard of one server.
+struct SharedState {
+    stop: Arc<AtomicBool>,
+    /// Admitted connections across all shards (the `max_connections` cap).
+    admitted: AtomicUsize,
+    /// Round-robin cursor for dispatcher handoffs.
+    next_shard: AtomicUsize,
+    /// Shards still owning an open listener; 0 means no new connection can
+    /// ever be admitted or handed off, which gates shard exit.
+    accepting: AtomicUsize,
+    /// Shards that have finished; shard 0 exits only once this reaches
+    /// `shards - 1`, so migrations always find it alive.
+    exited: AtomicUsize,
+    inboxes: Vec<Mutex<VecDeque<Handoff>>>,
+    wakes: Vec<WakePipe>,
+}
+
+/// Runs a [`Server`] on the event engine until shutdown. Entry point for
+/// [`Server::run`] under [`Engine::Epoll`](crate::server::Engine::Epoll).
+pub(crate) fn run(server: Server) -> std::io::Result<()> {
+    let Server { listener, shard_listeners, reader, cfg, stop, sink } = server;
+    let shards = cfg.threads.max(1);
+    // A full reuseport group means shard i owns listener i; anything else
+    // (including a partial group, which bind() never produces) degrades to
+    // the dispatcher.
+    let reuseport = shards > 1 && shard_listeners.len() == shards - 1;
+    let mut listeners: Vec<Option<TcpListener>> = Vec::with_capacity(shards);
+    listeners.push(Some(listener));
+    if reuseport {
+        listeners.extend(shard_listeners.into_iter().map(Some));
+    } else {
+        listeners.extend((1..shards).map(|_| None));
+    }
+    let accepting = listeners.iter().filter(|l| l.is_some()).count();
+    let mut wakes = Vec::with_capacity(shards);
+    let mut inboxes = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        wakes.push(WakePipe::new()?);
+        inboxes.push(Mutex::new(VecDeque::new()));
+    }
+    let shared = SharedState {
+        stop,
+        admitted: AtomicUsize::new(0),
+        next_shard: AtomicUsize::new(0),
+        accepting: AtomicUsize::new(accepting),
+        exited: AtomicUsize::new(0),
+        inboxes,
+        wakes,
+    };
+    let shared = &shared;
+    let cfg = &cfg;
+    let sink = sink.as_deref();
+    let dispatcher = !reuseport && shards > 1;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(shards);
+        for (id, listener) in listeners.into_iter().enumerate() {
+            let reader = reader.fork_cache();
+            let handle = scope.spawn(move || {
+                let had_listener = listener.is_some();
+                let result =
+                    match Shard::new(id, shards, dispatcher, listener, reader, cfg, sink, shared) {
+                        Ok(mut shard) => {
+                            let r = shard.run();
+                            if shard.listener.is_some() {
+                                // Error exit before the drain path closed it.
+                                shared.accepting.fetch_sub(1, Ordering::SeqCst);
+                            }
+                            r
+                        }
+                        Err(e) => {
+                            if had_listener {
+                                shared.accepting.fetch_sub(1, Ordering::SeqCst);
+                            }
+                            Err(e)
+                        }
+                    };
+                if result.is_err() {
+                    // One shard dying takes the server down gracefully:
+                    // everyone else sees the stop flag and drains.
+                    shared.stop.store(true, Ordering::SeqCst);
+                }
+                shared.exited.fetch_add(1, Ordering::SeqCst);
+                for wake in &shared.wakes {
+                    wake.wake();
+                }
+                result
+            });
+            handles.push(handle);
+        }
+        let mut first_err = Ok(());
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    if first_err.is_ok() {
+                        first_err = Err(e);
+                    }
+                }
+                Err(_) => {
+                    if first_err.is_ok() {
+                        first_err = Err(std::io::Error::other("shard thread panicked"));
+                    }
+                }
+            }
+        }
+        first_err
+    })
+}
+
+/// What the deadline sweep decided for one connection.
+enum SweepAction {
+    /// Close now, bumping the given counter (None = silent).
+    Close(RawFd, Option<&'static str>),
+    /// A shed connection never sent its request: answer BUSY anyway (the
+    /// threaded engine's shed handshake also replies after `read_timeout`).
+    ShedReply(RawFd),
+}
+
+struct Shard<'a> {
+    id: usize,
+    shards: usize,
+    dispatcher: bool,
+    listener: Option<TcpListener>,
+    reader: StoreReader,
+    cfg: &'a ServerConfig,
+    sink: Option<&'a AppendSink>,
+    shared: &'a SharedState,
+    obs: Obs,
+    poller: Poller,
+    conns: HashMap<RawFd, Conn>,
+    scratch: Vec<u8>,
+    body_budget: usize,
+    draining: bool,
+}
+
+#[allow(clippy::too_many_arguments)]
+impl<'a> Shard<'a> {
+    fn new(
+        id: usize,
+        shards: usize,
+        dispatcher: bool,
+        listener: Option<TcpListener>,
+        reader: StoreReader,
+        cfg: &'a ServerConfig,
+        sink: Option<&'a AppendSink>,
+        shared: &'a SharedState,
+    ) -> std::io::Result<Shard<'a>> {
+        let poller = Poller::new()?;
+        if let Some(l) = &listener {
+            l.set_nonblocking(true)?;
+            poller.add(l.as_raw_fd(), true, false)?;
+        }
+        poller.add(shared.wakes[id].read_fd(), true, false)?;
+        let obs = Obs::new(reader.recorder());
+        let body_budget = cfg.body_budget(sink.is_some());
+        Ok(Shard {
+            id,
+            shards,
+            dispatcher,
+            listener,
+            reader,
+            cfg,
+            sink,
+            shared,
+            obs,
+            poller,
+            conns: HashMap::new(),
+            scratch: vec![0u8; 64 << 10],
+            body_budget,
+            draining: false,
+        })
+    }
+
+    fn run(&mut self) -> std::io::Result<()> {
+        let mut events: Vec<Event> = Vec::new();
+        let wake_fd = self.shared.wakes[self.id].read_fd();
+        loop {
+            self.poller.wait(&mut events, self.cfg.drain_poll_clamped())?;
+            if !events.is_empty() {
+                self.obs.observe("server.net.ready_events", events.len() as f64);
+            }
+            if !self.draining && self.shared.stop.load(Ordering::SeqCst) {
+                self.start_drain();
+            }
+            self.drain_inbox();
+            let listener_fd = self.listener.as_ref().map(|l| l.as_raw_fd());
+            for &ev in &events {
+                if ev.fd == wake_fd {
+                    self.shared.wakes[self.id].drain();
+                } else if Some(ev.fd) == listener_fd {
+                    self.accept_ready();
+                } else {
+                    self.conn_event(ev);
+                }
+            }
+            self.sweep();
+            for conn in self.conns.values_mut() {
+                conn.sync_interest(&self.poller);
+            }
+            self.obs.gauge(conn_gauge(self.id), self.conns.len() as u64);
+            if self.draining && self.ready_to_exit() {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Stops accepting: closes the listener and gives up the accepting
+    /// slot. Runs once, on the first tick that observes the stop flag.
+    fn start_drain(&mut self) {
+        self.draining = true;
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.remove(listener.as_raw_fd());
+            drop(listener);
+            self.shared.accepting.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Exit test while draining. The `accepting` load must come first: once
+    /// it reads 0 no shard can push another handoff, so a subsequent empty
+    /// inbox is conclusively empty.
+    fn ready_to_exit(&self) -> bool {
+        if self.shared.accepting.load(Ordering::SeqCst) != 0 {
+            return false;
+        }
+        if !self.conns.is_empty() {
+            return false;
+        }
+        if !self.shared.inboxes[self.id].lock().unwrap().is_empty() {
+            return false;
+        }
+        // Shard 0 is the migration target: it outlives everyone else.
+        self.id != 0 || self.shared.exited.load(Ordering::SeqCst) >= self.shards - 1
+    }
+
+    fn drain_inbox(&mut self) {
+        loop {
+            let handoff = self.shared.inboxes[self.id].lock().unwrap().pop_front();
+            match handoff {
+                None => return,
+                Some(Handoff::New(stream)) => self.install(stream, true),
+                Some(Handoff::Migrated(conn)) => self.install_migrated(*conn),
+            }
+        }
+    }
+
+    /// Accepts until the queue is empty, admitting or shedding each stream.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = self.listener.as_ref() else { return };
+            match listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // Transient accept errors (peer reset mid-handshake, fd
+                // pressure) should not take the shard down.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        if self.shared.admitted.load(Ordering::SeqCst) >= self.cfg.max_connections.max(1) {
+            // Shed with a typed response instead of piling up unanswered;
+            // the shed connection is handled locally (it never counts
+            // against admission and dies after one BUSY answer).
+            self.obs.incr("server.conn.rejected_busy", 1);
+            self.obs.incr(status_counter(Status::Busy as u8), 1);
+            self.install(stream, false);
+            return;
+        }
+        self.shared.admitted.fetch_add(1, Ordering::SeqCst);
+        self.obs.incr("server.conn.accepted", 1);
+        if self.dispatcher {
+            let target = self.shared.next_shard.fetch_add(1, Ordering::SeqCst) % self.shards;
+            if target != self.id {
+                self.shared.inboxes[target].lock().unwrap().push_back(Handoff::New(stream));
+                self.shared.wakes[target].wake();
+                return;
+            }
+        }
+        self.install(stream, true);
+    }
+
+    fn install(&mut self, stream: TcpStream, admitted: bool) {
+        match Conn::new(stream, self.body_budget, admitted) {
+            Ok(conn) => {
+                let fd = conn.fd();
+                if self.poller.add(fd, true, false).is_ok() {
+                    self.conns.insert(fd, conn);
+                    // The peer may have sent its request before we
+                    // registered; treat the install as a readable event.
+                    self.conn_event(Event { fd, readable: true, writable: false });
+                } else if admitted {
+                    self.shared.admitted.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(_) => {
+                if admitted {
+                    self.shared.admitted.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    /// Adopts a connection migrated from another shard: re-registers it,
+    /// serves the APPEND frame it travelled with, then pumps whatever else
+    /// its decoder already holds.
+    fn install_migrated(&mut self, mut conn: Conn) {
+        let fd = conn.fd();
+        let (read, write) = conn.wanted_interest();
+        if self.poller.add(fd, read, write).is_err() {
+            if conn.admitted {
+                self.shared.admitted.fetch_sub(1, Ordering::SeqCst);
+            }
+            return;
+        }
+        conn.set_registered(read, write);
+        let frame = conn.migrated_frame.take();
+        self.conns.insert(fd, conn);
+        if let Some(body) = frame {
+            let response = serve_request(&body, &self.reader, self.cfg, self.sink, &self.obs);
+            if let Some(conn) = self.conns.get_mut(&fd) {
+                conn.enqueue(response);
+            }
+        }
+        self.pump(fd);
+        self.flush_conn(fd);
+    }
+
+    fn conn_event(&mut self, ev: Event) {
+        if ev.writable {
+            self.flush_conn(ev.fd);
+        }
+        if ev.readable {
+            self.read_conn(ev.fd);
+        }
+    }
+
+    fn flush_conn(&mut self, fd: RawFd) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&fd) else { return };
+            if conn.flush().is_err() {
+                self.close(fd, None);
+                return;
+            }
+            let conn = self.conns.get_mut(&fd).expect("present: close not taken");
+            if conn.queue_empty() {
+                if conn.close_after_flush {
+                    if conn.discard_input && !conn.peer_eof {
+                        // Let the error response reach the peer before the
+                        // FIN: half-close and linger (bounded) for their EOF.
+                        conn.start_dying();
+                    } else {
+                        self.close(fd, None);
+                    }
+                    return;
+                }
+                if conn.peer_eof && conn.decoder.buffered() == 0 {
+                    self.close(fd, None);
+                    return;
+                }
+            }
+            if conn.reading_paused && conn.queued_bytes <= self.cfg.max_write_buffer / 2 {
+                conn.reading_paused = false;
+                // Frames decoded before the pause may still be buffered; the
+                // socket won't re-signal for them, so pump — and loop to
+                // flush what the pump enqueued, otherwise a full kernel
+                // buffer would leave the new output unattempted and the
+                // write-stall clock unarmed.
+                self.pump(fd);
+                continue;
+            }
+            return;
+        }
+    }
+
+    fn read_conn(&mut self, fd: RawFd) {
+        let outcome = {
+            let Some(conn) = self.conns.get_mut(&fd) else { return };
+            if conn.reading_paused {
+                return;
+            }
+            conn.read_some(&mut self.scratch)
+        };
+        match outcome {
+            Err(_) => self.close(fd, None),
+            Ok(ReadOutcome::Blocked) => {}
+            Ok(ReadOutcome::Progress) => {
+                self.pump(fd);
+                self.flush_conn(fd);
+            }
+            Ok(ReadOutcome::Eof) => {
+                {
+                    let Some(conn) = self.conns.get_mut(&fd) else { return };
+                    conn.peer_eof = true;
+                }
+                // The pump decides what the EOF means: frames already
+                // buffered still get served (and answered — the peer may
+                // have half-closed), a truncated tail becomes a malformed
+                // close, and flush_conn closes once everything drains.
+                self.pump(fd);
+                self.flush_conn(fd);
+                if let Some(conn) = self.conns.get_mut(&fd) {
+                    if conn.queue_empty()
+                        && conn.decoder.buffered() == 0
+                        && !conn.close_after_flush
+                        && conn.dying_since.is_none()
+                    {
+                        self.close(fd, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decodes and serves every complete frame the connection has buffered,
+    /// stopping at backpressure, shed/close transitions, or migration.
+    fn pump(&mut self, fd: RawFd) {
+        let mut served = 0u64;
+        // Arm the read deadline only when the decoder is genuinely stuck
+        // mid-frame waiting on the peer. A pause (backpressure) or a
+        // pending close also leaves bytes buffered, but that stall is ours,
+        // not the peer's.
+        let mut wants_more_bytes = false;
+        loop {
+            let frame = {
+                let Some(conn) = self.conns.get_mut(&fd) else { return };
+                if conn.discard_input || conn.close_after_flush || conn.reading_paused {
+                    break;
+                }
+                conn.decoder.next_frame()
+            };
+            match frame {
+                Ok(None) => {
+                    wants_more_bytes = true;
+                    break;
+                }
+                Err(_) => {
+                    self.malformed(fd);
+                    break;
+                }
+                Ok(Some(body)) => {
+                    let (shed, migrate) = {
+                        let conn = self.conns.get_mut(&fd).expect("checked above");
+                        conn.last_activity = Instant::now();
+                        let migrate = self.id != 0
+                            && !self.draining
+                            && self.sink.is_some()
+                            && body.first() == Some(&OP_APPEND);
+                        (conn.shed, migrate)
+                    };
+                    if shed {
+                        self.shed_reply(fd);
+                        break;
+                    }
+                    if migrate {
+                        self.migrate(fd, body);
+                        return;
+                    }
+                    let response =
+                        serve_request(&body, &self.reader, self.cfg, self.sink, &self.obs);
+                    served += 1;
+                    let conn = self.conns.get_mut(&fd).expect("checked above");
+                    conn.enqueue(response);
+                    if conn.queued_bytes >= self.cfg.max_write_buffer.max(1) && !conn.reading_paused
+                    {
+                        conn.reading_paused = true;
+                        self.obs.incr("server.net.backpressure_stalls", 1);
+                    }
+                }
+            }
+        }
+        if served > 0 {
+            self.obs.observe("server.net.pipeline_depth", served as f64);
+        }
+        let mut truncated_at_eof = false;
+        if let Some(conn) = self.conns.get_mut(&fd) {
+            if wants_more_bytes && conn.decoder.has_partial() {
+                if conn.peer_eof {
+                    // Nothing more will ever complete this frame.
+                    truncated_at_eof = true;
+                } else if conn.partial_since.is_none() {
+                    conn.partial_since = Some(Instant::now());
+                }
+            } else {
+                conn.partial_since = None;
+            }
+        }
+        if truncated_at_eof {
+            self.malformed(fd);
+        }
+    }
+
+    /// Answers BUSY on a shed connection and schedules its close. The BUSY
+    /// status counters were already bumped at accept time (threaded
+    /// parity), so this only delivers the response.
+    fn shed_reply(&mut self, fd: RawFd) {
+        if let Some(conn) = self.conns.get_mut(&fd) {
+            conn.enqueue(encode_error(Status::Busy, "server at connection capacity"));
+            conn.close_after_flush = true;
+            conn.partial_since = None;
+        }
+    }
+
+    /// Handles broken framing (oversized prefix or truncation): count it,
+    /// answer BadRequest if the socket still writes, then close — resync
+    /// is impossible. Mirrors the threaded engine's Malformed arm,
+    /// including the bounded post-error input drain.
+    fn malformed(&mut self, fd: RawFd) {
+        self.reader.record_failed_request();
+        self.obs.incr("server.requests.bad", 1);
+        self.obs.incr(status_counter(Status::BadRequest as u8), 1);
+        if let Some(conn) = self.conns.get_mut(&fd) {
+            conn.enqueue(encode_error(Status::BadRequest, "malformed frame"));
+            conn.close_after_flush = true;
+            conn.discard_input = true;
+            conn.reading_paused = false;
+            conn.partial_since = None;
+        }
+    }
+
+    /// Moves a connection mid-APPEND to shard 0 with its whole state.
+    fn migrate(&mut self, fd: RawFd, body: Vec<u8>) {
+        let Some(mut conn) = self.conns.remove(&fd) else { return };
+        let _ = self.poller.remove(fd);
+        conn.migrated_frame = Some(body);
+        self.obs.incr("server.net.migrations", 1);
+        self.shared.inboxes[0].lock().unwrap().push_back(Handoff::Migrated(Box::new(conn)));
+        self.shared.wakes[0].wake();
+    }
+
+    /// The per-tick deadline sweep: write stalls, post-error lingers,
+    /// mid-frame read stalls, shed handshakes, idle reap, and drain.
+    fn sweep(&mut self) {
+        let now = Instant::now();
+        let mut actions = Vec::new();
+        for (&fd, conn) in &self.conns {
+            if let Some(t) = conn.write_blocked_since {
+                if now.duration_since(t) >= self.cfg.write_timeout {
+                    actions.push(SweepAction::Close(fd, Some("server.conn.write_timeouts")));
+                    continue;
+                }
+            }
+            if let Some(t) = conn.dying_since {
+                if now.duration_since(t) >= self.cfg.read_timeout {
+                    actions.push(SweepAction::Close(fd, None));
+                    continue;
+                }
+            }
+            if conn.shed {
+                // A shed connection that never completed a request still
+                // gets its BUSY answer after the read deadline, exactly
+                // like the threaded shed handshake.
+                if !conn.close_after_flush
+                    && now.duration_since(conn.opened_at) >= self.cfg.read_timeout
+                {
+                    actions.push(SweepAction::ShedReply(fd));
+                }
+                continue;
+            }
+            if let Some(t) = conn.partial_since {
+                if now.duration_since(t) >= self.cfg.read_timeout {
+                    // The request never finished arriving; no response can
+                    // be framed reliably, so just cut the connection.
+                    actions.push(SweepAction::Close(fd, Some("server.conn.read_timeouts")));
+                    continue;
+                }
+            }
+            let idle = !conn.decoder.has_partial() && conn.queue_empty() && !conn.close_after_flush;
+            if idle && self.draining {
+                actions.push(SweepAction::Close(fd, Some("server.drain.closed")));
+                continue;
+            }
+            if idle && now.duration_since(conn.last_activity) >= self.cfg.idle_timeout {
+                actions.push(SweepAction::Close(fd, Some("server.conn.idle_closed")));
+            }
+        }
+        for action in actions {
+            match action {
+                SweepAction::Close(fd, counter) => self.close(fd, counter),
+                SweepAction::ShedReply(fd) => {
+                    self.shed_reply(fd);
+                    self.flush_conn(fd);
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, fd: RawFd, counter: Option<&'static str>) {
+        if let Some(conn) = self.conns.remove(&fd) {
+            let _ = self.poller.remove(fd);
+            if let Some(name) = counter {
+                self.obs.incr(name, 1);
+            }
+            if conn.admitted {
+                self.shared.admitted.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}

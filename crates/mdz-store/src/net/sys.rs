@@ -1,0 +1,504 @@
+//! Minimal raw-syscall bindings for the event engine: an epoll (Linux) /
+//! kqueue (macOS) poller, a self-pipe wakeup, and `SO_REUSEPORT` listener
+//! groups.
+//!
+//! `std` already links the platform C library, so plain `extern "C"`
+//! declarations are enough — the crate stays zero-dependency. Everything
+//! here wraps file descriptors in [`std::os::fd::OwnedFd`] so close
+//! discipline is by construction, and every return code goes through
+//! [`std::io::Error::last_os_error`] on failure.
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// One readiness notification out of [`Poller::wait`]. The token is the
+/// registered file descriptor (fds are unique while open, which is exactly
+/// the lifetime of a registration).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event {
+    /// The fd this event fired for.
+    pub fd: RawFd,
+    /// The fd is readable (includes peer hangup: read to observe EOF).
+    pub readable: bool,
+    /// The fd accepts writes again.
+    pub writable: bool,
+}
+
+/// Maps a negative C return into `last_os_error`.
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{cvt, Event};
+    use std::io;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// The kernel's `struct epoll_event`: packed on x86-64 (the historic
+    /// ABI), naturally aligned elsewhere.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    }
+
+    /// A level-triggered epoll instance.
+    pub(crate) struct Poller {
+        epfd: OwnedFd,
+    }
+
+    impl Poller {
+        pub(crate) fn new() -> io::Result<Poller> {
+            let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Poller { epfd: unsafe { OwnedFd::from_raw_fd(fd) } })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, read: bool, write: bool) -> io::Result<()> {
+            let mut events = EPOLLRDHUP;
+            if read {
+                events |= EPOLLIN;
+            }
+            if write {
+                events |= EPOLLOUT;
+            }
+            let mut ev = EpollEvent { events, data: fd as u64 };
+            cvt(unsafe { epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut ev) }).map(|_| ())
+        }
+
+        /// Registers `fd` with the given interest set.
+        pub(crate) fn add(&self, fd: RawFd, read: bool, write: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, read, write)
+        }
+
+        /// Replaces `fd`'s interest set.
+        pub(crate) fn modify(&self, fd: RawFd, read: bool, write: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, read, write)
+        }
+
+        /// Deregisters `fd`. Safe to call for fds about to be closed.
+        pub(crate) fn remove(&self, fd: RawFd) -> io::Result<()> {
+            // A non-null event pointer keeps pre-2.6.9 kernel semantics.
+            self.ctl(EPOLL_CTL_DEL, fd, false, false)
+        }
+
+        /// Blocks up to `timeout` for readiness, filling `out`.
+        pub(crate) fn wait(&self, out: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+            const MAX_EVENTS: usize = 1024;
+            let mut raw = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+            let ms = timeout.as_millis().min(i32::MAX as u128).max(1) as i32;
+            let n = loop {
+                let ret = unsafe {
+                    epoll_wait(self.epfd.as_raw_fd(), raw.as_mut_ptr(), MAX_EVENTS as i32, ms)
+                };
+                match cvt(ret) {
+                    Ok(n) => break n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            out.clear();
+            for ev in raw.iter().take(n) {
+                // Field copies, not references: the struct may be packed.
+                let events = ev.events;
+                let data = ev.data;
+                out.push(Event {
+                    fd: data as RawFd,
+                    // Errors and hangups surface as readability so the owner
+                    // observes the EOF / io error on its next read.
+                    readable: events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                    writable: events & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(target_os = "macos")]
+mod imp {
+    use super::{cvt, Event};
+    use std::io;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::time::Duration;
+
+    const EVFILT_READ: i16 = -1;
+    const EVFILT_WRITE: i16 = -2;
+    const EV_ADD: u16 = 0x0001;
+    const EV_DELETE: u16 = 0x0002;
+    const EV_ERROR: u16 = 0x4000;
+
+    /// `struct kevent` as declared in `<sys/event.h>`.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct Kevent {
+        ident: usize,
+        filter: i16,
+        flags: u16,
+        fflags: u32,
+        data: isize,
+        udata: *mut std::ffi::c_void,
+    }
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    extern "C" {
+        fn kqueue() -> i32;
+        fn kevent(
+            kq: i32,
+            changelist: *const Kevent,
+            nchanges: i32,
+            eventlist: *mut Kevent,
+            nevents: i32,
+            timeout: *const Timespec,
+        ) -> i32;
+    }
+
+    /// A level-triggered kqueue instance presenting the same API as the
+    /// Linux epoll poller.
+    pub(crate) struct Poller {
+        kq: OwnedFd,
+    }
+
+    impl Poller {
+        pub(crate) fn new() -> io::Result<Poller> {
+            let fd = cvt(unsafe { kqueue() })?;
+            Ok(Poller { kq: unsafe { OwnedFd::from_raw_fd(fd) } })
+        }
+
+        fn change(&self, fd: RawFd, filter: i16, flags: u16) -> io::Result<()> {
+            let change = Kevent {
+                ident: fd as usize,
+                filter,
+                flags,
+                fflags: 0,
+                data: 0,
+                udata: std::ptr::null_mut(),
+            };
+            cvt(unsafe {
+                kevent(self.kq.as_raw_fd(), &change, 1, std::ptr::null_mut(), 0, std::ptr::null())
+            })
+            .map(|_| ())
+        }
+
+        fn set(&self, fd: RawFd, read: bool, write: bool) -> io::Result<()> {
+            // Deleting an absent filter is fine (ENOENT ignored); adding is
+            // idempotent, so "modify" and "add" are the same operation.
+            for (filter, wanted) in [(EVFILT_READ, read), (EVFILT_WRITE, write)] {
+                if wanted {
+                    self.change(fd, filter, EV_ADD)?;
+                } else {
+                    let _ = self.change(fd, filter, EV_DELETE);
+                }
+            }
+            Ok(())
+        }
+
+        /// Registers `fd` with the given interest set.
+        pub(crate) fn add(&self, fd: RawFd, read: bool, write: bool) -> io::Result<()> {
+            self.set(fd, read, write)
+        }
+
+        /// Replaces `fd`'s interest set.
+        pub(crate) fn modify(&self, fd: RawFd, read: bool, write: bool) -> io::Result<()> {
+            self.set(fd, read, write)
+        }
+
+        /// Deregisters `fd`.
+        pub(crate) fn remove(&self, fd: RawFd) -> io::Result<()> {
+            self.set(fd, false, false)
+        }
+
+        /// Blocks up to `timeout` for readiness, filling `out`.
+        pub(crate) fn wait(&self, out: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+            const MAX_EVENTS: usize = 1024;
+            let mut raw = [Kevent {
+                ident: 0,
+                filter: 0,
+                flags: 0,
+                fflags: 0,
+                data: 0,
+                udata: std::ptr::null_mut(),
+            }; MAX_EVENTS];
+            let ts = Timespec {
+                tv_sec: timeout.as_secs().min(i64::MAX as u64) as i64,
+                tv_nsec: i64::from(timeout.subsec_nanos()),
+            };
+            let n = loop {
+                let ret = unsafe {
+                    kevent(
+                        self.kq.as_raw_fd(),
+                        std::ptr::null(),
+                        0,
+                        raw.as_mut_ptr(),
+                        MAX_EVENTS as i32,
+                        &ts,
+                    )
+                };
+                match cvt(ret) {
+                    Ok(n) => break n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            out.clear();
+            for ev in raw.iter().take(n) {
+                let error = ev.flags & EV_ERROR != 0;
+                out.push(Event {
+                    fd: ev.ident as RawFd,
+                    readable: ev.filter == EVFILT_READ || error,
+                    writable: ev.filter == EVFILT_WRITE || error,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+pub(crate) use imp::Poller;
+
+extern "C" {
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+/// A non-blocking self-pipe: other shards write a byte to interrupt this
+/// shard's [`Poller::wait`] (inbox handoffs, shutdown nudges).
+pub(crate) struct WakePipe {
+    rx: std::os::fd::OwnedFd,
+    tx: std::os::fd::OwnedFd,
+}
+
+impl WakePipe {
+    /// Creates the pipe with both ends non-blocking and close-on-exec.
+    pub(crate) fn new() -> io::Result<WakePipe> {
+        use std::os::fd::FromRawFd;
+        let mut fds = [0i32; 2];
+        #[cfg(target_os = "linux")]
+        {
+            const O_NONBLOCK: i32 = 0o4000;
+            const O_CLOEXEC: i32 = 0o2000000;
+            extern "C" {
+                fn pipe2(fds: *mut i32, flags: i32) -> i32;
+            }
+            cvt(unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) })?;
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            const F_SETFL: i32 = 4;
+            const O_NONBLOCK: i32 = 0x0004;
+            extern "C" {
+                fn pipe(fds: *mut i32) -> i32;
+                fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+            }
+            cvt(unsafe { pipe(fds.as_mut_ptr()) })?;
+            for fd in fds {
+                cvt(unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) })?;
+            }
+        }
+        Ok(WakePipe {
+            rx: unsafe { std::os::fd::OwnedFd::from_raw_fd(fds[0]) },
+            tx: unsafe { std::os::fd::OwnedFd::from_raw_fd(fds[1]) },
+        })
+    }
+
+    /// The readable end, for poller registration.
+    pub(crate) fn read_fd(&self) -> RawFd {
+        use std::os::fd::AsRawFd;
+        self.rx.as_raw_fd()
+    }
+
+    /// Nudges the owning shard. A full pipe already guarantees a pending
+    /// wakeup, so a short write is success.
+    pub(crate) fn wake(&self) {
+        use std::os::fd::AsRawFd;
+        let byte = 1u8;
+        unsafe { write(self.tx.as_raw_fd(), &byte, 1) };
+    }
+
+    /// Swallows all pending wakeup bytes.
+    pub(crate) fn drain(&self) {
+        use std::os::fd::AsRawFd;
+        let mut buf = [0u8; 64];
+        while unsafe { read(self.rx.as_raw_fd(), buf.as_mut_ptr(), buf.len()) } > 0 {}
+    }
+}
+
+/// Binds `n` `SO_REUSEPORT` listeners on `addr` so the kernel spreads
+/// incoming connections across per-shard accept queues. The first bind
+/// resolves an ephemeral port; the rest join the same group.
+#[cfg(target_os = "linux")]
+pub(crate) fn reuseport_group(
+    addr: std::net::SocketAddr,
+    n: usize,
+) -> io::Result<Vec<std::net::TcpListener>> {
+    let mut out = Vec::with_capacity(n);
+    let mut bound = addr;
+    for i in 0..n.max(1) {
+        let listener = bind_reuseport(bound)?;
+        if i == 0 {
+            bound.set_port(listener.local_addr()?.port());
+        }
+        out.push(listener);
+    }
+    Ok(out)
+}
+
+/// One `SO_REUSEPORT` listener: the flag must be set between `socket` and
+/// `bind`, which `std` offers no hook for — hence the raw construction.
+#[cfg(target_os = "linux")]
+fn bind_reuseport(addr: std::net::SocketAddr) -> io::Result<std::net::TcpListener> {
+    use std::net::SocketAddr;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd};
+
+    const AF_INET: i32 = 2;
+    const AF_INET6: i32 = 10;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    const SO_REUSEPORT: i32 = 15;
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const u8, optlen: u32) -> i32;
+        fn bind(fd: i32, addr: *const u8, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+    }
+
+    // Marshal the kernel sockaddr by hand: sa_family is host-endian,
+    // port and address are network-endian.
+    let (domain, sa, sa_len) = match addr {
+        SocketAddr::V4(v4) => {
+            let mut sa = [0u8; 16];
+            sa[0..2].copy_from_slice(&(AF_INET as u16).to_ne_bytes());
+            sa[2..4].copy_from_slice(&v4.port().to_be_bytes());
+            sa[4..8].copy_from_slice(&v4.ip().octets());
+            (AF_INET, sa.to_vec(), 16u32)
+        }
+        SocketAddr::V6(v6) => {
+            let mut sa = [0u8; 28];
+            sa[0..2].copy_from_slice(&(AF_INET6 as u16).to_ne_bytes());
+            sa[2..4].copy_from_slice(&v6.port().to_be_bytes());
+            sa[4..8].copy_from_slice(&v6.flowinfo().to_ne_bytes());
+            sa[8..24].copy_from_slice(&v6.ip().octets());
+            sa[24..28].copy_from_slice(&v6.scope_id().to_ne_bytes());
+            (AF_INET6, sa.to_vec(), 28u32)
+        }
+    };
+    let fd = cvt(unsafe { socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0) })?;
+    let fd = unsafe { OwnedFd::from_raw_fd(fd) };
+    let one: i32 = 1;
+    for opt in [SO_REUSEADDR, SO_REUSEPORT] {
+        cvt(unsafe {
+            setsockopt(fd.as_raw_fd(), SOL_SOCKET, opt, (&one as *const i32).cast(), 4)
+        })?;
+    }
+    cvt(unsafe { bind(fd.as_raw_fd(), sa.as_ptr(), sa_len) })?;
+    cvt(unsafe { listen(fd.as_raw_fd(), 1024) })?;
+    Ok(std::net::TcpListener::from(fd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::os::fd::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn poller_reports_readability_and_writability() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(server.as_raw_fd(), true, true).unwrap();
+        let mut events = Vec::new();
+        // A fresh socket with empty send buffer is writable but not readable.
+        poller.wait(&mut events, Duration::from_millis(200)).unwrap();
+        let ev = events.iter().find(|e| e.fd == server.as_raw_fd()).expect("event");
+        assert!(ev.writable && !ev.readable);
+
+        client.write_all(b"ping").unwrap();
+        poller.modify(server.as_raw_fd(), true, false).unwrap();
+        poller.wait(&mut events, Duration::from_millis(1000)).unwrap();
+        let ev = events.iter().find(|e| e.fd == server.as_raw_fd()).expect("event");
+        assert!(ev.readable);
+        let mut buf = [0u8; 8];
+        let mut server_ref = &server;
+        assert_eq!(server_ref.read(&mut buf).unwrap(), 4);
+
+        poller.remove(server.as_raw_fd()).unwrap();
+        client.write_all(b"more").unwrap();
+        poller.wait(&mut events, Duration::from_millis(50)).unwrap();
+        assert!(events.iter().all(|e| e.fd != server.as_raw_fd()), "removed fd must be silent");
+    }
+
+    #[test]
+    fn wake_pipe_interrupts_a_wait() {
+        let pipe = WakePipe::new().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(pipe.read_fd(), true, false).unwrap();
+        let mut events = Vec::new();
+        // Without a wake the wait times out empty.
+        poller.wait(&mut events, Duration::from_millis(20)).unwrap();
+        assert!(events.is_empty());
+        pipe.wake();
+        pipe.wake(); // coalesces, never blocks
+        poller.wait(&mut events, Duration::from_millis(1000)).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].fd, pipe.read_fd());
+        pipe.drain();
+        poller.wait(&mut events, Duration::from_millis(20)).unwrap();
+        assert!(events.is_empty(), "drained pipe goes quiet");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn reuseport_group_shares_one_port() {
+        let group = reuseport_group("127.0.0.1:0".parse().unwrap(), 3).unwrap();
+        assert_eq!(group.len(), 3);
+        let port = group[0].local_addr().unwrap().port();
+        for l in &group {
+            assert_eq!(l.local_addr().unwrap().port(), port);
+        }
+        // A connection lands on exactly one member's accept queue.
+        let _client = std::net::TcpStream::connect(("127.0.0.1", port)).unwrap();
+        for l in &group {
+            l.set_nonblocking(true).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        let accepted: usize = group.iter().map(|l| usize::from(l.accept().is_ok())).sum();
+        assert_eq!(accepted, 1);
+    }
+}

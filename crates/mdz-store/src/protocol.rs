@@ -873,6 +873,126 @@ pub fn read_message(r: &mut impl Read, max_body: usize) -> io::Result<Option<Vec
     Ok(Some(body))
 }
 
+/// A violation of the framing layer an incremental decoder cannot recover
+/// from (the stream offset of the next frame is unknowable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The 4-byte prefix announced a body larger than the decoder's budget.
+    /// Raised *before* any allocation for the announced body.
+    Oversized {
+        /// The body length the prefix announced.
+        announced: usize,
+        /// The budget the decoder was constructed with.
+        budget: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { announced, budget } => {
+                write!(f, "frame of {announced} bytes exceeds the {budget}-byte budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Incremental decoder for the length-prefixed framing, for non-blocking
+/// readers that receive the stream in arbitrary chunks.
+///
+/// [`push`](Self::push) appends whatever bytes arrived;
+/// [`next_frame`](Self::next_frame) pops complete bodies in order, returning
+/// `Ok(None)` while the tail is still partial. The decoder only ever
+/// allocates for bytes actually received: an oversized length prefix is
+/// rejected from the four prefix bytes alone, before any buffer for the
+/// announced body exists. Framing errors are sticky — the stream cannot be
+/// resynchronized past a bad prefix, so every later call repeats the error.
+///
+/// # Examples
+///
+/// ```
+/// use mdz_store::protocol::FrameDecoder;
+///
+/// let mut dec = FrameDecoder::new(64);
+/// // Two frames coalesced into one chunk, the second cut mid-body.
+/// dec.push(&[2, 0, 0, 0, 10, 11, 3, 0, 0, 0, 20]);
+/// assert_eq!(dec.next_frame().unwrap(), Some(vec![10, 11]));
+/// assert_eq!(dec.next_frame().unwrap(), None); // second frame incomplete
+/// dec.push(&[21, 22]); // trickle in the rest
+/// assert_eq!(dec.next_frame().unwrap(), Some(vec![20, 21, 22]));
+/// assert!(!dec.has_partial());
+/// ```
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    max_body: usize,
+    poisoned: Option<FrameError>,
+}
+
+impl FrameDecoder {
+    /// Creates a decoder refusing bodies larger than `max_body`.
+    pub fn new(max_body: usize) -> Self {
+        Self { buf: Vec::new(), pos: 0, max_body, poisoned: None }
+    }
+
+    /// Appends bytes received off the wire. Cheap to call with any chunk
+    /// size down to a single byte.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame body, `Ok(None)` if the buffered tail
+    /// is still mid-frame (or empty).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if let Some(err) = self.poisoned {
+            return Err(err);
+        }
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let prefix = &self.buf[self.pos..self.pos + 4];
+        let len = u32::from_le_bytes([prefix[0], prefix[1], prefix[2], prefix[3]]) as usize;
+        if len > self.max_body {
+            let err = FrameError::Oversized { announced: len, budget: self.max_body };
+            self.poisoned = Some(err);
+            return Err(err);
+        }
+        if avail < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        let body = self.buf[self.pos + 4..self.pos + 4 + len].to_vec();
+        self.pos += 4 + len;
+        self.compact();
+        Ok(Some(body))
+    }
+
+    /// Bytes received but not yet consumed by a popped frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether a frame has started arriving but is not complete yet (drives
+    /// the server's read deadline: a partial frame that stalls is cut off).
+    pub fn has_partial(&self) -> bool {
+        self.poisoned.is_none() && self.buffered() > 0
+    }
+
+    /// Drops the consumed prefix once it dominates the buffer, keeping the
+    /// resident size proportional to unconsumed bytes.
+    fn compact(&mut self) {
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= 4096) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1024,5 +1144,85 @@ mod tests {
         let mut oversized = Vec::new();
         write_message(&mut oversized, &[0u8; 16]).unwrap();
         assert!(read_message(&mut oversized.as_slice(), 8).is_err());
+    }
+
+    #[test]
+    fn decoder_reassembles_a_one_byte_trickle() {
+        let mut wire = Vec::new();
+        write_message(&mut wire, &Request::Get { start: 2, end: 9 }.encode()).unwrap();
+        write_message(&mut wire, &Request::Stats.encode()).unwrap();
+        let mut dec = FrameDecoder::new(MAX_REQUEST_BODY);
+        let mut frames = Vec::new();
+        for byte in wire {
+            dec.push(&[byte]);
+            while let Some(body) = dec.next_frame().unwrap() {
+                frames.push(body);
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(Request::parse(&frames[0]).unwrap(), Request::Get { start: 2, end: 9 });
+        assert_eq!(Request::parse(&frames[1]).unwrap(), Request::Stats);
+        assert!(!dec.has_partial());
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_splits_two_requests_coalesced_in_one_chunk() {
+        let mut wire = Vec::new();
+        write_message(&mut wire, &Request::Info.encode()).unwrap();
+        write_message(&mut wire, &Request::Metrics.encode()).unwrap();
+        let mut dec = FrameDecoder::new(MAX_REQUEST_BODY);
+        dec.push(&wire); // one TCP segment carrying both requests
+        assert_eq!(dec.next_frame().unwrap().unwrap(), Request::Info.encode());
+        assert_eq!(dec.next_frame().unwrap().unwrap(), Request::Metrics.encode());
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_prefix_before_allocating() {
+        let mut dec = FrameDecoder::new(64);
+        dec.push(&u32::MAX.to_le_bytes());
+        let err = dec.next_frame().unwrap_err();
+        assert_eq!(err, FrameError::Oversized { announced: u32::MAX as usize, budget: 64 });
+        // Nothing beyond the 4 received bytes was ever buffered, and the
+        // error is sticky: framing past a bad prefix cannot be trusted.
+        assert_eq!(dec.buffered(), 4);
+        assert!(!dec.has_partial());
+        dec.push(&[0, 0, 0, 0]);
+        assert_eq!(dec.next_frame().unwrap_err(), err);
+    }
+
+    #[test]
+    fn decoder_partial_frame_is_flagged_until_complete() {
+        let mut dec = FrameDecoder::new(64);
+        assert!(!dec.has_partial());
+        dec.push(&[3, 0, 0]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert!(dec.has_partial(), "mid-prefix counts as a started frame");
+        dec.push(&[0, 7, 8]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert!(dec.has_partial(), "mid-body still partial");
+        dec.push(&[9]);
+        assert_eq!(dec.next_frame().unwrap(), Some(vec![7, 8, 9]));
+        assert!(!dec.has_partial());
+    }
+
+    #[test]
+    fn decoder_compaction_keeps_memory_proportional_to_unconsumed_bytes() {
+        let mut dec = FrameDecoder::new(64);
+        let mut wire = Vec::new();
+        for i in 0..4096u32 {
+            write_message(&mut wire, &i.to_le_bytes()).unwrap();
+        }
+        let mut popped = 0;
+        for chunk in wire.chunks(7) {
+            dec.push(chunk);
+            while let Some(body) = dec.next_frame().unwrap() {
+                assert_eq!(body, (popped as u32).to_le_bytes());
+                popped += 1;
+            }
+            assert!(dec.buffered() <= 16, "consumed prefix must be dropped");
+        }
+        assert_eq!(popped, 4096);
     }
 }

@@ -85,10 +85,12 @@ struct ArchiveState {
     index: Arc<ArchiveIndex>,
 }
 
-struct Store {
+/// State every handle onto one archive shares: the swappable bytes/index
+/// pair plus the metrics registry. The epoch cache deliberately lives
+/// *outside* this struct so [`StoreReader::fork_cache`] can give an event
+/// shard a private cache while still observing refreshes instantly.
+struct Shared {
     state: RwLock<ArchiveState>,
-    opts: ReaderOptions,
-    cache: Mutex<EpochCache>,
     /// Shared metrics registry: the reader's `store.*` counters land here
     /// alongside whatever the serving layer and the core pipeline record.
     registry: Arc<Registry>,
@@ -103,9 +105,16 @@ struct Store {
 /// counters, so a server can hand one clone to each worker thread. A live
 /// archive (one still being appended to) is picked up via
 /// [`refresh`](Self::refresh) — existing clones all observe the new frames.
+/// A sharded server instead hands each shard a [`fork_cache`] handle: same
+/// archive and counters, but a private epoch cache with no lock shared
+/// across shards.
+///
+/// [`fork_cache`]: Self::fork_cache
 #[derive(Clone)]
 pub struct StoreReader {
-    store: Arc<Store>,
+    shared: Arc<Shared>,
+    opts: ReaderOptions,
+    cache: Arc<Mutex<EpochCache>>,
 }
 
 impl StoreReader {
@@ -131,14 +140,30 @@ impl StoreReader {
         let index = ArchiveIndex::parse(&data)?;
         let obs = Obs::new(Arc::clone(&registry) as Arc<dyn mdz_core::Recorder>);
         Ok(Self {
-            store: Arc::new(Store {
+            shared: Arc::new(Shared {
                 state: RwLock::new(ArchiveState { data: Arc::new(data), index: Arc::new(index) }),
-                opts,
-                cache: Mutex::new(EpochCache::default()),
                 registry,
                 obs,
             }),
+            opts,
+            cache: Arc::new(Mutex::new(EpochCache::default())),
         })
+    }
+
+    /// A handle over the same archive with a *private* epoch cache.
+    ///
+    /// The forked handle shares the archive bytes, the refresh state, and
+    /// the metrics registry with `self` (so `store.*` counters still
+    /// aggregate), but decoded epochs are cached per handle. The sharded
+    /// event server forks one handle per shard, which removes the cache
+    /// mutex from the cross-shard hot path; plain [`Clone`] keeps the
+    /// shared-cache semantics the threaded server relies on.
+    pub fn fork_cache(&self) -> StoreReader {
+        StoreReader {
+            shared: Arc::clone(&self.shared),
+            opts: self.opts.clone(),
+            cache: Arc::new(Mutex::new(EpochCache::default())),
+        }
     }
 
     /// Opens `data` after a crash: scans back to the last valid footer,
@@ -163,8 +188,8 @@ impl StoreReader {
         data.truncate(valid_len);
         let reader = Self::with_registry(data, opts, registry)?;
         if truncated_bytes > 0 {
-            reader.store.obs.incr("store.recover.count", 1);
-            reader.store.obs.incr("store.recover.truncated_bytes", truncated_bytes as u64);
+            reader.shared.obs.incr("store.recover.count", 1);
+            reader.shared.obs.incr("store.recover.truncated_bytes", truncated_bytes as u64);
         }
         Ok((reader, RecoverReport { valid_len, truncated_bytes }))
     }
@@ -174,7 +199,7 @@ impl StoreReader {
     /// consistent snapshot: a concurrent refresh swaps in a new index
     /// without mutating snapshots already handed out.
     pub fn index(&self) -> Arc<ArchiveIndex> {
-        Arc::clone(&self.store.state.read().unwrap().index)
+        Arc::clone(&self.shared.state.read().unwrap().index)
     }
 
     /// Re-reads a (possibly grown) copy of the archive bytes and publishes
@@ -202,7 +227,7 @@ impl StoreReader {
     ///
     /// Records `reader.refresh.count` and `reader.refresh.frames_added`.
     pub fn refresh(&self, mut data: Vec<u8>) -> Result<RefreshReport> {
-        let obs = &self.store.obs;
+        let obs = &self.shared.obs;
         let (valid_len, new_index) = match recover_slice(&data) {
             Ok(ok) => ok,
             Err(e) => {
@@ -213,7 +238,7 @@ impl StoreReader {
         let truncated_bytes = data.len() - valid_len;
         data.truncate(valid_len);
 
-        let mut state = self.store.state.write().unwrap();
+        let mut state = self.shared.state.write().unwrap();
         let old = &state.index;
         if let Err(what) = validate_monotone_extension(old, &new_index) {
             obs.incr("reader.refresh.rejected", 1);
@@ -232,18 +257,18 @@ impl StoreReader {
 
     /// The shared metrics registry every clone of this reader records into.
     pub fn recorder(&self) -> Arc<Registry> {
-        Arc::clone(&self.store.registry)
+        Arc::clone(&self.shared.registry)
     }
 
     /// A full point-in-time snapshot of every metric recorded against this
     /// reader's registry (counters, gauges, and latency histograms).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.store.registry.snapshot()
+        self.shared.registry.snapshot()
     }
 
     /// A point-in-time copy of the core counters.
     pub fn stats(&self) -> StatsSnapshot {
-        let r = &self.store.registry;
+        let r = &self.shared.registry;
         StatsSnapshot {
             requests: r.counter("store.requests"),
             bytes_out: r.counter("store.bytes_out"),
@@ -258,13 +283,13 @@ impl StoreReader {
     /// the serving layer; local [`read_frames`](Self::read_frames) calls do
     /// not count as requests.
     pub fn record_request(&self, bytes_out: u64) {
-        self.store.obs.incr("store.requests", 1);
-        self.store.obs.incr("store.bytes_out", bytes_out);
+        self.shared.obs.incr("store.requests", 1);
+        self.shared.obs.incr("store.bytes_out", bytes_out);
     }
 
     /// Records a request that failed before a payload was produced.
     pub fn record_failed_request(&self) {
-        self.store.obs.incr("store.requests", 1);
+        self.shared.obs.incr("store.requests", 1);
     }
 
     /// Decodes the frames in `range` (end-exclusive), touching only the
@@ -275,7 +300,7 @@ impl StoreReader {
     /// The result is byte-identical to slicing the same range out of a full
     /// sequential decompression of the archive.
     pub fn read_frames(&self, range: Range<usize>) -> Result<Vec<Frame>> {
-        self.read_frames_limited(range, &self.store.opts.limits)
+        self.read_frames_limited(range, &self.opts.limits)
     }
 
     /// [`read_frames`](Self::read_frames) with a caller-supplied decode
@@ -314,7 +339,7 @@ impl StoreReader {
 
     /// Clones the current `(data, index)` pair under the read lock.
     fn snapshot(&self) -> Snapshot {
-        let state = self.store.state.read().unwrap();
+        let state = self.shared.state.read().unwrap();
         Snapshot { data: Arc::clone(&state.data), index: Arc::clone(&state.index) }
     }
 
@@ -329,9 +354,9 @@ impl StoreReader {
         epoch: usize,
         limits: &DecodeLimits,
     ) -> Result<Arc<Vec<Frame>>> {
-        let obs = &self.store.obs;
+        let obs = &self.shared.obs;
         {
-            let mut cache = self.store.cache.lock().unwrap();
+            let mut cache = self.cache.lock().unwrap();
             cache.tick += 1;
             let tick = cache.tick;
             if let Some(entry) = cache.map.get_mut(&epoch) {
@@ -351,10 +376,10 @@ impl StoreReader {
                 return Err(e);
             }
         };
-        let mut cache = self.store.cache.lock().unwrap();
+        let mut cache = self.cache.lock().unwrap();
         cache.tick += 1;
         let tick = cache.tick;
-        while cache.map.len() >= self.store.opts.cache_epochs.max(1) {
+        while cache.map.len() >= self.opts.cache_epochs.max(1) {
             let Some((&oldest, _)) = cache.map.iter().min_by_key(|(_, entry)| entry.last_used)
             else {
                 break;
@@ -392,7 +417,7 @@ impl StoreReader {
         // The three axis streams are independent; decode them concurrently.
         let decode_axis = |axis: usize| -> Result<Vec<Vec<f64>>> {
             let mut dec = Decompressor::with_limits(*limits);
-            dec.set_obs(self.store.obs.clone());
+            dec.set_obs(self.shared.obs.clone());
             let mut snapshots = Vec::new();
             for container in &containers {
                 let parts = split_container(container)?;
@@ -427,7 +452,7 @@ impl StoreReader {
             }
             frames.push(Frame::new(sx, sy, sz));
         }
-        self.store.obs.incr("store.buffers_decoded", containers.len() as u64);
+        self.shared.obs.incr("store.buffers_decoded", containers.len() as u64);
         Ok(frames)
     }
 }

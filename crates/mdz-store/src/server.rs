@@ -60,14 +60,43 @@ use crate::protocol::{
 };
 use crate::reader::StoreReader;
 
-/// How often a blocked prefix read wakes up to check the stop flag and the
-/// idle deadline.
-const POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// Which serving backend a [`Server`] runs.
+///
+/// Both engines speak the identical wire protocol and share the response
+/// path (`respond`), so for the same request trace their responses are
+/// byte-identical — the threaded engine doubles as the differential oracle
+/// for the event-loop engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The blocking accept loop + fixed worker pool (one connection per
+    /// worker at a time). Simple, portable, and the reference behavior.
+    #[default]
+    Threads,
+    /// The sharded non-blocking event loop (the `net` module): epoll on
+    /// Linux, kqueue on macOS. Thousands of concurrent connections with
+    /// request pipelining; `threads` becomes the shard count.
+    Epoll,
+}
+
+impl Engine {
+    /// Parses a CLI engine name (`threads` or `epoll`).
+    pub fn parse(name: &str) -> Option<Engine> {
+        match name {
+            "threads" => Some(Engine::Threads),
+            "epoll" => Some(Engine::Epoll),
+            _ => None,
+        }
+    }
+}
 
 /// Serving-side budgets and sizing.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads handling connections.
+    /// Which backend serves connections (default [`Engine::Threads`]).
+    pub engine: Engine,
+    /// Worker threads handling connections ([`Engine::Threads`]), or event
+    /// shards ([`Engine::Epoll`]). `mdzd` spells this `--threads` with
+    /// `--shards` as an alias.
     pub threads: usize,
     /// Largest frame count a single GET may request.
     pub max_frames_per_request: usize,
@@ -89,11 +118,28 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// How long a connection may sit between requests before it is closed.
     pub idle_timeout: Duration,
+    /// How often blocked waits wake up to check the stop flag and soft
+    /// deadlines: the threaded engine's poll-read cadence and the event
+    /// loop's wait timeout. Bounds how stale a shutdown request can go
+    /// unnoticed (CLI `--drain-poll-ms`, default 50 ms).
+    pub drain_poll: Duration,
+    /// Cap on a connection's queued-but-unsent response bytes on the event
+    /// engine. Past the cap the server stops *reading* that connection
+    /// (backpressure) until the peer drains its socket; a peer that never
+    /// drains is killed by `write_timeout`. Ignored by the threaded
+    /// engine, whose single in-flight response is bounded by construction.
+    pub max_write_buffer: usize,
+    /// Whether the event engine may build an `SO_REUSEPORT` listener group
+    /// (one accept queue per shard, Linux only). When unavailable or
+    /// disabled it falls back to a dispatcher: shard 0 accepts and hands
+    /// connections round-robin to the other shards.
+    pub reuseport: bool,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
+            engine: Engine::Threads,
             threads: 4,
             max_frames_per_request: 1 << 20,
             limits: DecodeLimits::default(),
@@ -103,7 +149,27 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(60),
+            drain_poll: Duration::from_millis(50),
+            max_write_buffer: 4 << 20,
+            reuseport: true,
         }
+    }
+}
+
+impl ServerConfig {
+    /// The framing budget requests are read under: APPEND bodies carry raw
+    /// coordinates, so the budget only widens when a sink is attached.
+    pub(crate) fn body_budget(&self, has_sink: bool) -> usize {
+        if has_sink {
+            self.max_append_body.max(self.max_request_body)
+        } else {
+            self.max_request_body
+        }
+    }
+
+    /// `drain_poll` clamped away from zero (a zero poll would spin).
+    pub(crate) fn drain_poll_clamped(&self) -> Duration {
+        self.drain_poll.max(Duration::from_millis(1))
     }
 }
 
@@ -133,7 +199,7 @@ impl AppendSink {
     /// Runs one locked append + refresh cycle. Returns only after the
     /// appended frames are durable (second sync done) and published to
     /// `reader`.
-    fn append(
+    pub(crate) fn append(
         &self,
         frames: &[Frame],
         precision: Precision,
@@ -163,11 +229,15 @@ impl std::fmt::Debug for AppendSink {
 
 /// A bound (but not yet running) store server.
 pub struct Server {
-    listener: TcpListener,
-    reader: StoreReader,
-    cfg: ServerConfig,
-    stop: Arc<AtomicBool>,
-    sink: Option<Arc<AppendSink>>,
+    pub(crate) listener: TcpListener,
+    /// Extra per-shard listeners when the event engine got an
+    /// `SO_REUSEPORT` group at bind time (empty = dispatcher mode; always
+    /// empty for the threaded engine).
+    pub(crate) shard_listeners: Vec<TcpListener>,
+    pub(crate) reader: StoreReader,
+    pub(crate) cfg: ServerConfig,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) sink: Option<Arc<AppendSink>>,
 }
 
 /// Shutdown handle for a running [`Server`]; cheap to clone across threads.
@@ -198,13 +268,38 @@ impl ServerHandle {
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    ///
+    /// Under [`Engine::Epoll`] with `reuseport` enabled this tries to bind
+    /// one `SO_REUSEPORT` listener per shard so the kernel spreads accepts
+    /// across shards; if the platform refuses, it falls back to a single
+    /// listener and the dispatcher accept mode. The choice is invisible on
+    /// the wire.
     pub fn bind(
         reader: StoreReader,
         addr: impl ToSocketAddrs,
         cfg: ServerConfig,
     ) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
-        Ok(Server { listener, reader, cfg, stop: Arc::new(AtomicBool::new(false)), sink: None })
+        let mut shard_listeners = Vec::new();
+        let listener = if cfg.engine == Engine::Epoll && cfg.reuseport {
+            match bind_reuseport_group(&addr, cfg.threads.max(1)) {
+                Ok(mut group) => {
+                    let primary = group.remove(0);
+                    shard_listeners = group;
+                    primary
+                }
+                Err(_) => TcpListener::bind(&addr)?,
+            }
+        } else {
+            TcpListener::bind(&addr)?
+        };
+        Ok(Server {
+            listener,
+            shard_listeners,
+            reader,
+            cfg,
+            stop: Arc::new(AtomicBool::new(false)),
+            sink: None,
+        })
     }
 
     /// Enables live ingest: the server will answer APPEND requests by
@@ -225,19 +320,28 @@ impl Server {
         Ok(ServerHandle { stop: Arc::clone(&self.stop), addr: self.local_addr()? })
     }
 
-    /// Accepts connections until [`ServerHandle::shutdown`] is called,
-    /// dispatching each to the worker pool. Returns once in-flight requests
-    /// have finished (deadline-bounded) and the workers have joined.
+    /// Serves connections until [`ServerHandle::shutdown`] is called, on
+    /// whichever [`Engine`] the config selects. Returns once in-flight
+    /// requests have finished (deadline-bounded) and the workers or shards
+    /// have joined.
     pub fn run(self) -> std::io::Result<()> {
-        let Server { listener, reader, cfg, stop, sink } = self;
+        match self.cfg.engine {
+            Engine::Threads => self.run_threaded(),
+            #[cfg(any(target_os = "linux", target_os = "macos"))]
+            Engine::Epoll => crate::net::run(self),
+            #[cfg(not(any(target_os = "linux", target_os = "macos")))]
+            Engine::Epoll => Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "the event-loop engine needs epoll (Linux) or kqueue (macOS); use --engine threads",
+            )),
+        }
+    }
+
+    /// The blocking accept loop + worker pool backend.
+    fn run_threaded(self) -> std::io::Result<()> {
+        let Server { listener, shard_listeners: _, reader, cfg, stop, sink } = self;
         let obs = Obs::new(reader.recorder());
-        // APPEND bodies carry raw coordinates; everything else is tiny. The
-        // framing budget only widens when a sink is actually attached.
-        let body_budget = if sink.is_some() {
-            cfg.max_append_body.max(cfg.max_request_body)
-        } else {
-            cfg.max_request_body
-        };
+        let body_budget = cfg.body_budget(sink.is_some());
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = cfg.threads.max(1);
@@ -317,6 +421,29 @@ impl Server {
     }
 }
 
+/// Binds `shards` listeners sharing one port via `SO_REUSEPORT` (Linux).
+/// The first listener resolves an ephemeral port; the rest join its group.
+/// Callers fall back to a single listener + dispatcher on any error.
+fn bind_reuseport_group(
+    addr: &impl ToSocketAddrs,
+    shards: usize,
+) -> std::io::Result<Vec<TcpListener>> {
+    #[cfg(target_os = "linux")]
+    {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })?;
+        crate::net::sys::reuseport_group(addr, shards)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = (addr, shards);
+        // macOS SO_REUSEPORT does not load-balance accepts, so the
+        // dispatcher is the honest mode everywhere but Linux.
+        Err(std::io::Error::new(std::io::ErrorKind::Unsupported, "SO_REUSEPORT group unsupported"))
+    }
+}
+
 /// Applies a read timeout, counting (rather than ignoring) sockopt failures.
 fn set_read_timeout(stream: &TcpStream, timeout: Duration, obs: &Obs) {
     let timeout = timeout.max(Duration::from_millis(1));
@@ -365,7 +492,7 @@ fn next_request(
     use std::io::Read;
     let mut len_bytes = [0u8; 4];
     let mut filled = 0usize;
-    set_read_timeout(stream, POLL_INTERVAL.min(cfg.idle_timeout), obs);
+    set_read_timeout(stream, cfg.drain_poll_clamped().min(cfg.idle_timeout), obs);
     let idle_deadline = Instant::now() + cfg.idle_timeout;
     let mut started_at: Option<Instant> = None;
     while filled < 4 {
@@ -433,6 +560,9 @@ fn handle_connection(
 ) {
     let obs = Obs::new(reader.recorder());
     set_write_timeout(&stream, cfg.write_timeout, &obs);
+    // Responses are written whole; Nagle + delayed ACK would park small
+    // replies for ~40 ms under client-side pipelining.
+    let _ = stream.set_nodelay(true);
     loop {
         let body = match next_request(&mut stream, cfg, stop, &obs, body_budget) {
             NextRequest::Body(body) => body,
@@ -470,33 +600,7 @@ fn handle_connection(
                 return;
             }
         };
-        let parsed = Request::parse(&body);
-        // Capture the per-opcode counter name before `respond` consumes the
-        // parsed request (APPEND requests own their frame payload).
-        let op_counter = opcode_counter(&parsed);
-        let request_timer = obs.span("server.request_seconds");
-        let response = match parsed {
-            Ok(req) => {
-                let get_timer =
-                    matches!(req, Request::Get { .. }).then(|| obs.span("server.get_seconds"));
-                let append_timer = matches!(req, Request::Append { .. })
-                    .then(|| obs.span("server.append.append_seconds"));
-                let r = respond(req, reader, cfg, sink, &obs);
-                if let Some(t) = get_timer {
-                    t.finish();
-                }
-                if let Some(t) = append_timer {
-                    t.finish();
-                }
-                r
-            }
-            Err(msg) => encode_error(Status::BadRequest, msg),
-        };
-        request_timer.finish();
-        obs.incr("store.bytes_in", body.len() as u64);
-        obs.incr(op_counter, 1);
-        obs.incr(status_counter(response.first().copied().unwrap_or(Status::Internal as u8)), 1);
-        reader.record_request(response.len() as u64);
+        let response = serve_request(&body, reader, cfg, sink, &obs);
         if let Err(e) = write_message(&mut stream, &response) {
             // A stalled reader shows up as a blocked write hitting the
             // write deadline; count it so operators can see shed peers.
@@ -509,8 +613,53 @@ fn handle_connection(
     }
 }
 
+/// Serves one complete framed request body and returns the encoded
+/// response, recording the full per-request metrics vocabulary (opcode and
+/// status counters, latency histograms, `store.bytes_in`,
+/// `store.requests`) in a fixed order.
+///
+/// Both engines call this for every well-framed request — it is the single
+/// request-to-response path, which is what makes the threaded engine a
+/// byte-exact (and counter-exact) differential oracle for the event loop.
+pub(crate) fn serve_request(
+    body: &[u8],
+    reader: &StoreReader,
+    cfg: &ServerConfig,
+    sink: Option<&AppendSink>,
+    obs: &Obs,
+) -> Vec<u8> {
+    let parsed = Request::parse(body);
+    // Capture the per-opcode counter name before `respond` consumes the
+    // parsed request (APPEND requests own their frame payload).
+    let op_counter = opcode_counter(&parsed);
+    let request_timer = obs.span("server.request_seconds");
+    let response = match parsed {
+        Ok(req) => {
+            let get_timer =
+                matches!(req, Request::Get { .. }).then(|| obs.span("server.get_seconds"));
+            let append_timer = matches!(req, Request::Append { .. })
+                .then(|| obs.span("server.append.append_seconds"));
+            let r = respond(req, reader, cfg, sink, obs);
+            if let Some(t) = get_timer {
+                t.finish();
+            }
+            if let Some(t) = append_timer {
+                t.finish();
+            }
+            r
+        }
+        Err(msg) => encode_error(Status::BadRequest, msg),
+    };
+    request_timer.finish();
+    obs.incr("store.bytes_in", body.len() as u64);
+    obs.incr(op_counter, 1);
+    obs.incr(status_counter(response.first().copied().unwrap_or(Status::Internal as u8)), 1);
+    reader.record_request(response.len() as u64);
+    response
+}
+
 /// The per-opcode request counter a parsed (or unparseable) request bumps.
-fn opcode_counter(parsed: &std::result::Result<Request, &'static str>) -> &'static str {
+pub(crate) fn opcode_counter(parsed: &std::result::Result<Request, &'static str>) -> &'static str {
     match parsed {
         Ok(Request::Get { .. }) => "server.requests.get",
         Ok(Request::Stats) => "server.requests.stats",
@@ -522,7 +671,7 @@ fn opcode_counter(parsed: &std::result::Result<Request, &'static str>) -> &'stat
 }
 
 /// The per-status counter for a response's leading status byte.
-fn status_counter(byte: u8) -> &'static str {
+pub(crate) fn status_counter(byte: u8) -> &'static str {
     match Status::from_byte(byte) {
         Some(Status::Ok) => "server.status.ok",
         Some(Status::BadRequest) => "server.status.bad_request",
@@ -534,8 +683,11 @@ fn status_counter(byte: u8) -> &'static str {
     }
 }
 
-/// Computes the response body for one parsed request.
-fn respond(
+/// Computes the response body for one parsed request. Shared by both
+/// engines — this function being the single response path is what makes
+/// the threaded engine a byte-exact differential oracle for the event
+/// loop.
+pub(crate) fn respond(
     req: Request,
     reader: &StoreReader,
     cfg: &ServerConfig,

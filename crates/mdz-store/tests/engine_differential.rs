@@ -1,0 +1,263 @@
+//! Differential proof that the event-loop engine speaks exactly the
+//! threaded engine's protocol: replaying one request script — every verb,
+//! every error path, APPEND under a live sink — against both backends must
+//! produce byte-identical responses and identical deterministic request
+//! accounting. The threaded pool is the oracle; any divergence is a bug in
+//! the event loop.
+//!
+//! METRICS responses are the one deliberate exception to the byte compare:
+//! they embed wall-clock latency histograms. For those the test instead
+//! checks the parsed deterministic counters.
+
+#![cfg(any(target_os = "linux", target_os = "macos"))]
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use mdz_core::{ErrorBound, Frame, MdzConfig};
+use mdz_store::protocol::{parse_metrics, read_message, write_message, Request};
+use mdz_store::{
+    create_store, AppendSink, Engine, MemIo, Precision, Server, ServerConfig, StoreIo,
+    StoreOptions, StoreReader,
+};
+
+const N_ATOMS: usize = 10;
+const BASE_FRAMES: usize = 16;
+
+fn synth_frames(start: usize, count: usize) -> Vec<Frame> {
+    (start..start + count)
+        .map(|t| {
+            let gen = |axis: usize| -> Vec<f64> {
+                (0..N_ATOMS)
+                    .map(|i| {
+                        let p = (i * 3 + axis) as f64;
+                        p + (t as f64 * 0.37 + p * 0.11).sin() * 0.5
+                    })
+                    .collect()
+            };
+            Frame::new(gen(0), gen(1), gen(2))
+        })
+        .collect()
+}
+
+fn store_opts() -> StoreOptions {
+    let mut opts = StoreOptions::new(MdzConfig::new(ErrorBound::Absolute(1e-3)));
+    opts.buffer_size = 4;
+    opts.epoch_interval = 2;
+    opts
+}
+
+fn base_image() -> Vec<u8> {
+    let mut io = MemIo::new(Vec::new());
+    create_store(&mut io, &synth_frames(0, BASE_FRAMES), &[], &[], &store_opts()).unwrap();
+    io.read_all().unwrap()
+}
+
+/// The script: every verb, every typed error path, and a post-append read
+/// so both engines prove they published the appended frames.
+fn script() -> Vec<Vec<u8>> {
+    let n = BASE_FRAMES as u64;
+    vec![
+        Request::Info.encode(),
+        Request::Stats.encode(),
+        Request::Get { start: 0, end: 8 }.encode(),
+        Request::Get { start: 3, end: n }.encode(),
+        // start > end → BadRequest
+        Request::Get { start: 5, end: 3 }.encode(),
+        // span ≤ cap but past the archive end → OutOfRange
+        Request::Get { start: n, end: n + 4 }.encode(),
+        // span > max_frames_per_request → LimitExceeded
+        Request::Get { start: 0, end: n + 100 }.encode(),
+        // unknown opcode → BadRequest (parse error path)
+        vec![0xEE, 1, 2, 3],
+        Request::Append { precision: Precision::F64, frames: synth_frames(BASE_FRAMES, 4) }
+            .encode(),
+        // the appended tail must be readable through the same connection
+        Request::Get { start: n, end: n + 4 }.encode(),
+        Request::Info.encode(),
+        Request::Stats.encode(),
+        // METRICS must come after the last STATS: its response length is
+        // engine-specific (the event engine exposes extra server.net.*
+        // families), and response lengths feed back into the bytes_out
+        // counter that STATS reports. Everything up to here is provably
+        // byte-identical; METRICS itself is compared counter-wise.
+        Request::Metrics.encode(),
+        Request::Metrics.encode(),
+    ]
+}
+
+/// Counters whose values are fully determined by a sequential script on a
+/// fresh server (no wall-clock content, no engine-specific vocabulary).
+const DETERMINISTIC_COUNTERS: &[&str] = &[
+    "server.requests.get",
+    "server.requests.stats",
+    "server.requests.info",
+    "server.requests.metrics",
+    "server.requests.append",
+    "server.requests.bad",
+    "server.status.ok",
+    "server.status.bad_request",
+    "server.status.out_of_range",
+    "server.status.limit_exceeded",
+    "server.status.busy",
+    "server.append.frames",
+    "server.append.blocks",
+    "store.bytes_in",
+    "server.conn.accepted",
+];
+
+struct Replay {
+    responses: Vec<Vec<u8>>,
+    counters: Vec<(&'static str, u64)>,
+    request_seconds_count: u64,
+}
+
+/// Boots a fresh live server on `engine`, replays the script over one
+/// connection with sequential round-trips, and snapshots the accounting.
+fn replay(engine: Engine, reuseport: bool) -> Replay {
+    let image = base_image();
+    let reader = StoreReader::open(image.clone()).unwrap();
+    let registry = reader.recorder();
+    let cfg = ServerConfig {
+        engine,
+        threads: 3,
+        reuseport,
+        max_frames_per_request: BASE_FRAMES + 50,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(reader, "127.0.0.1:0", cfg)
+        .unwrap()
+        .with_append_sink(AppendSink::new(Box::new(MemIo::new(image)), store_opts()));
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle().unwrap();
+    let join = std::thread::spawn(move || server.run().unwrap());
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut responses = Vec::new();
+    for request in script() {
+        write_message(&mut stream, &request).unwrap();
+        let response = read_message(&mut stream, 1 << 28).unwrap().expect("response");
+        responses.push(response);
+    }
+    drop(stream);
+
+    handle.shutdown();
+    join.join().unwrap();
+    let snapshot = registry.snapshot();
+    Replay {
+        responses,
+        counters: DETERMINISTIC_COUNTERS
+            .iter()
+            .map(|&name| (name, snapshot.counter(name)))
+            .collect(),
+        request_seconds_count: snapshot
+            .histogram("server.request_seconds")
+            .map(|h| h.count)
+            .unwrap_or(0),
+    }
+}
+
+fn assert_equivalent(oracle: &Replay, candidate: &Replay, label: &str) {
+    let metrics_slots: Vec<usize> = script()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, req)| matches!(Request::parse(req), Ok(Request::Metrics)).then_some(i))
+        .collect();
+    assert_eq!(oracle.responses.len(), candidate.responses.len());
+    for (i, (a, b)) in oracle.responses.iter().zip(&candidate.responses).enumerate() {
+        if metrics_slots.contains(&i) {
+            // METRICS bodies carry wall-clock histograms; require both to
+            // parse and agree on the deterministic counters instead.
+            assert_eq!(a.first(), b.first(), "[{label}] METRICS status diverged at slot {i}");
+            let ma = parse_metrics(a).expect("oracle metrics");
+            let mb = parse_metrics(b).expect("candidate metrics");
+            for &name in DETERMINISTIC_COUNTERS {
+                assert_eq!(
+                    ma.counter(name),
+                    mb.counter(name),
+                    "[{label}] METRICS counter {name} diverged at slot {i}"
+                );
+            }
+            continue;
+        }
+        assert_eq!(a, b, "[{label}] response {i} diverged (request {:02x?})", &script()[i]);
+    }
+    assert_eq!(oracle.counters, candidate.counters, "[{label}] final counters diverged");
+    assert_eq!(
+        oracle.request_seconds_count, candidate.request_seconds_count,
+        "[{label}] request_seconds.count diverged"
+    );
+}
+
+#[test]
+fn epoll_responses_are_byte_identical_to_threaded() {
+    let oracle = replay(Engine::Threads, false);
+    // Every request that completed produced exactly one request_seconds
+    // observation — the accounting bench-serve cross-checks later.
+    assert_eq!(oracle.request_seconds_count, script().len() as u64);
+
+    let dispatcher = replay(Engine::Epoll, false);
+    assert_equivalent(&oracle, &dispatcher, "epoll/dispatcher");
+
+    // The SO_REUSEPORT accept path must be wire-invisible too (on Linux it
+    // actually builds a listener group; elsewhere it falls back).
+    let grouped = replay(Engine::Epoll, true);
+    assert_equivalent(&oracle, &grouped, "epoll/reuseport");
+}
+
+#[test]
+fn epoll_pipelined_responses_match_sequential_order() {
+    // Fire the whole script down the socket before reading anything: the
+    // event engine must answer every request, in order, with the same
+    // bytes it produces for sequential round-trips.
+    let oracle = replay(Engine::Epoll, false);
+
+    let image = base_image();
+    let reader = StoreReader::open(image.clone()).unwrap();
+    let cfg = ServerConfig {
+        engine: Engine::Epoll,
+        threads: 3,
+        reuseport: false,
+        max_frames_per_request: BASE_FRAMES + 50,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(reader, "127.0.0.1:0", cfg)
+        .unwrap()
+        .with_append_sink(AppendSink::new(Box::new(MemIo::new(image)), store_opts()));
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle().unwrap();
+    let join = std::thread::spawn(move || server.run().unwrap());
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    for request in script() {
+        write_message(&mut stream, &request).unwrap();
+    }
+    let mut responses = Vec::new();
+    for _ in 0..script().len() {
+        responses.push(read_message(&mut stream, 1 << 28).unwrap().expect("response"));
+    }
+    drop(stream);
+    handle.shutdown();
+    join.join().unwrap();
+
+    let metrics_slots: Vec<usize> = script()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, req)| matches!(Request::parse(req), Ok(Request::Metrics)).then_some(i))
+        .collect();
+    for (i, (a, b)) in oracle.responses.iter().zip(&responses).enumerate() {
+        if metrics_slots.contains(&i) {
+            assert_eq!(a.first(), b.first(), "pipelined METRICS status diverged at slot {i}");
+            continue;
+        }
+        assert_eq!(
+            a,
+            b,
+            "pipelined response {i} diverged (stats: {:?} vs {:?})",
+            mdz_store::protocol::parse_stats(a),
+            mdz_store::protocol::parse_stats(b)
+        );
+    }
+}

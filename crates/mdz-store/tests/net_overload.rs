@@ -1,0 +1,206 @@
+//! PR 7's overload-hardening contract, replayed against the event-loop
+//! engine: the BUSY shed above the connection cap, the write-deadline kill
+//! of stalled readers (now via explicit backpressure accounting), the idle
+//! reap, and the <5 s stop-flag drain all must survive the engine swap.
+
+#![cfg(any(target_os = "linux", target_os = "macos"))]
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mdz_core::{ErrorBound, Frame, MdzConfig};
+use mdz_store::{
+    write_store, Client, ClientError, Engine, Registry, RetryPolicy, Server, ServerConfig,
+    ServerHandle, Status, StoreOptions, StoreReader,
+};
+
+fn make_archive(n_frames: usize, n_atoms: usize) -> Vec<u8> {
+    let frames: Vec<Frame> = (0..n_frames)
+        .map(|t| {
+            let axis = |off: f64| -> Vec<f64> {
+                (0..n_atoms).map(|i| (i % 4) as f64 * 2.0 + t as f64 * 1e-3 + off).collect()
+            };
+            Frame::new(axis(0.0), axis(1.0), axis(2.0))
+        })
+        .collect();
+    let mut opts = StoreOptions::new(MdzConfig::new(ErrorBound::Absolute(1e-4)));
+    opts.buffer_size = 8;
+    opts.epoch_interval = 2;
+    write_store(&frames, &[], &[], &opts).unwrap()
+}
+
+fn epoll_cfg() -> ServerConfig {
+    ServerConfig { engine: Engine::Epoll, threads: 2, ..ServerConfig::default() }
+}
+
+fn spawn(
+    cfg: ServerConfig,
+    n_frames: usize,
+    n_atoms: usize,
+) -> (std::net::SocketAddr, ServerHandle, Arc<Registry>, std::thread::JoinHandle<()>) {
+    let reader = StoreReader::open(make_archive(n_frames, n_atoms)).unwrap();
+    let registry = reader.recorder();
+    let server = Server::bind(reader, "127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle().unwrap();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    (addr, handle, registry, join)
+}
+
+/// Polls `registry` until `counter >= want` or the deadline passes.
+fn wait_counter(registry: &Registry, counter: &str, want: u64, deadline: Duration) -> u64 {
+    let start = Instant::now();
+    loop {
+        let got = registry.counter(counter);
+        if got >= want || start.elapsed() > deadline {
+            return got;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn connection_cap_sheds_busy_then_recovers_when_a_slot_frees() {
+    let cfg = ServerConfig { max_connections: 1, ..epoll_cfg() };
+    let (addr, handle, registry, join) = spawn(cfg, 16, 6);
+
+    // Pin the only slot with a live connection.
+    let mut pinned = Client::connect(addr).unwrap();
+    assert_eq!(pinned.get(0..8).unwrap().len(), 8);
+
+    // The next connection must be shed with a typed BUSY, not a hang.
+    let mut overflow = Client::connect(addr).unwrap();
+    match overflow.get(0..4) {
+        Err(ClientError::Server { status: Status::Busy, .. }) => {}
+        other => panic!("expected BUSY, got {other:?}"),
+    }
+    assert!(registry.counter("server.conn.rejected_busy") >= 1);
+    assert!(registry.counter("server.status.busy") >= 1);
+
+    // BUSY is retryable: once the pinned connection goes away, a
+    // retry-enabled GET lands.
+    drop(pinned);
+    let policy = RetryPolicy {
+        max_retries: 10,
+        base: Duration::from_millis(20),
+        cap: Duration::from_millis(200),
+        retry_busy: true,
+        seed: 42,
+    };
+    let frames = mdz_store::get_with_retry(addr, 0..8, &policy, &mdz_store::Obs::noop())
+        .expect("retry must land once the slot frees");
+    assert_eq!(frames.len(), 8);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn stalled_reader_is_disconnected_while_others_keep_serving() {
+    let cfg = ServerConfig {
+        write_timeout: Duration::from_millis(300),
+        // A small queue cap so the flood demonstrably trips backpressure
+        // before the write deadline kills the stalled peer.
+        max_write_buffer: 1 << 20,
+        ..epoll_cfg()
+    };
+    let (addr, handle, registry, join) = spawn(cfg, 64, 48);
+
+    // A client that floods pipelined GETs and never drains its receive
+    // side: the write queue hits the backpressure cap (the server stops
+    // reading), the socket stays blocked, and the write deadline fires.
+    let mut stalled = std::net::TcpStream::connect(addr).unwrap();
+    let body = mdz_store::Request::Get { start: 0, end: 64 }.encode();
+    let mut msg = Vec::new();
+    msg.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    msg.extend_from_slice(&body);
+    for _ in 0..400 {
+        if stalled.write_all(&msg).is_err() {
+            break; // server already killed us — that's the point
+        }
+    }
+
+    let got = wait_counter(&registry, "server.conn.write_timeouts", 1, Duration::from_secs(20));
+    assert!(got >= 1, "write deadline never fired for the stalled reader");
+    assert!(
+        registry.counter("server.net.backpressure_stalls") >= 1,
+        "the flood must trip the write-buffer backpressure cap first"
+    );
+
+    // Other connections keep serving during and after the stall.
+    let mut healthy = Client::connect(addr).unwrap();
+    assert_eq!(healthy.get(0..16).unwrap().len(), 16);
+    assert_eq!(healthy.get(32..64).unwrap().len(), 32);
+
+    drop(stalled);
+    drop(healthy);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn silent_connection_is_reaped_by_the_idle_deadline() {
+    let cfg = ServerConfig { idle_timeout: Duration::from_millis(200), ..epoll_cfg() };
+    let (addr, handle, registry, join) = spawn(cfg, 16, 6);
+
+    let idle = std::net::TcpStream::connect(addr).unwrap();
+    let got = wait_counter(&registry, "server.conn.idle_closed", 1, Duration::from_secs(10));
+    assert!(got >= 1, "idle deadline never fired");
+
+    // An active client is unaffected by the reaper.
+    let mut live = Client::connect(addr).unwrap();
+    assert_eq!(live.get(0..8).unwrap().len(), 8);
+
+    drop(idle);
+    drop(live);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn shutdown_drains_connected_idle_clients_promptly() {
+    let (addr, handle, registry, join) = spawn(epoll_cfg(), 16, 6);
+
+    // A connected client that will never speak: shutdown must not wait for
+    // its (long) idle deadline.
+    let mut lingering = Client::connect(addr).unwrap();
+    assert_eq!(lingering.get(0..4).unwrap().len(), 4);
+
+    let start = Instant::now();
+    handle.shutdown();
+    join.join().unwrap();
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "drain took {:?}; must be bounded by the drain poll, not the idle deadline",
+        start.elapsed()
+    );
+    assert!(registry.counter("server.drain.closed") >= 1);
+
+    // The drained connection is really gone: the next request fails.
+    assert!(lingering.get(0..4).is_err());
+}
+
+#[test]
+fn dispatcher_mode_preserves_the_same_overload_contract() {
+    // Without SO_REUSEPORT (shard 0 accepts and hands off round-robin) the
+    // cap, shed, and drain behave identically.
+    let cfg = ServerConfig { reuseport: false, max_connections: 1, ..epoll_cfg() };
+    let (addr, handle, registry, join) = spawn(cfg, 16, 6);
+
+    let mut pinned = Client::connect(addr).unwrap();
+    assert_eq!(pinned.get(0..8).unwrap().len(), 8);
+    let mut overflow = Client::connect(addr).unwrap();
+    match overflow.get(0..4) {
+        Err(ClientError::Server { status: Status::Busy, .. }) => {}
+        other => panic!("expected BUSY, got {other:?}"),
+    }
+    assert!(registry.counter("server.conn.rejected_busy") >= 1);
+    drop(pinned);
+    drop(overflow);
+
+    let start = Instant::now();
+    handle.shutdown();
+    join.join().unwrap();
+    assert!(start.elapsed() < Duration::from_secs(5));
+}

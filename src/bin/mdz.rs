@@ -13,11 +13,12 @@
 //! mdz append     --remote <addr> <in.xyz> [--f32] [--retries N]
 //! mdz recover    <archive.mdz>
 //! mdz get        <in.mdz> <start..end>
-//! mdz serve      <in.mdz> <addr> [--threads N] [--live]
+//! mdz serve      <in.mdz> <addr> [--engine threads|epoll] [--threads N] [--live]
 //! mdz query      <addr> <start..end> [--retries N]
 //! mdz follow     <addr> [from] [--until N] [--poll-ms N]
 //! mdz stats      <addr> [--metrics [--json]]
 //! mdz bench-ingest [--scale test|small|full] [--seed N] [--out DIR]
+//! mdz bench-serve  [--scale test|small|full] [--seed N] [--out DIR]
 //! ```
 //!
 //! `store` writes the indexed container version 2 (epoch re-anchors +
@@ -43,13 +44,17 @@
 //! `bench-ingest` runs the live-ingest benchmark (simulated producer
 //! appending over TCP while followers tail) and writes
 //! `BENCH_ingest.json` under `--out` (default `results/`).
+//! `bench-serve` runs the server-throughput load generator (C concurrent
+//! connections × pipelining depth against both engines) and writes
+//! `BENCH_server.json`; `serve --engine epoll` picks the sharded
+//! event-loop backend over the default worker pool.
 
 use mdz::archive;
 use mdz::core::{EntropyStage, ErrorBound, Frame, MdzConfig, Method};
 use mdz::sim::{datasets, DatasetKind, Scale};
 use mdz::store::{
-    append_store, get_with_retry, recover_store, verify_archive, write_store, Client, FileIo,
-    Precision, RetryPolicy, Server, ServerConfig, StoreOptions, StoreReader,
+    append_store, get_with_retry, recover_store, verify_archive, write_store, Client, Engine,
+    FileIo, Precision, RetryPolicy, Server, ServerConfig, StoreOptions, StoreReader,
 };
 use mdz::xyz;
 use std::process::exit;
@@ -98,6 +103,7 @@ struct Opts {
     epoch: usize,
     f32: bool,
     threads: usize,
+    engine: Engine,
     metrics: bool,
     json: bool,
     retries: Option<u32>,
@@ -121,6 +127,7 @@ fn parse_opts(args: &[String]) -> Opts {
         epoch: 8,
         f32: false,
         threads: 4,
+        engine: Engine::default(),
         metrics: false,
         json: false,
         retries: None,
@@ -158,8 +165,12 @@ fn parse_opts(args: &[String]) -> Opts {
                 o.poll_ms = value("--poll-ms").parse().unwrap_or_else(|_| fail("bad --poll-ms"))
             }
             "--out" => o.out = Some(value("--out")),
-            "--threads" => {
-                o.threads = value("--threads").parse().unwrap_or_else(|_| fail("bad --threads"))
+            "--threads" | "--shards" => {
+                o.threads = value(a).parse().unwrap_or_else(|_| fail(&format!("bad {a}")))
+            }
+            "--engine" => {
+                o.engine = Engine::parse(&value("--engine"))
+                    .unwrap_or_else(|| fail("bad --engine (threads|epoll)"))
             }
             "--seed" => o.seed = value("--seed").parse().unwrap_or_else(|_| fail("bad --seed")),
             "--scale" => {
@@ -215,7 +226,7 @@ fn is_v2_archive(blob: &[u8]) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: mdz <compress|decompress|info|extract|verify|gen|store|append|recover|get|serve|query|follow|stats|bench-ingest> …");
+        eprintln!("usage: mdz <compress|decompress|info|extract|verify|gen|store|append|recover|get|serve|query|follow|stats|bench-ingest|bench-serve> …");
         exit(2);
     };
     let o = parse_opts(rest);
@@ -550,7 +561,7 @@ fn main() {
             } else {
                 StoreReader::open(blob).unwrap_or_else(|e| fail(&format!("opening store: {e}")))
             };
-            let cfg = ServerConfig { threads: o.threads, ..Default::default() };
+            let cfg = ServerConfig { threads: o.threads, engine: o.engine, ..Default::default() };
             let mut server = Server::bind(reader, addr.as_str(), cfg)
                 .unwrap_or_else(|e| fail(&format!("binding {addr}: {e}")));
             if o.live {
@@ -612,6 +623,18 @@ fn main() {
             }
             eprintln!("wrote {}", out.join("BENCH_ingest.json").display());
         }
+        "bench-serve" => {
+            if !o.positional.is_empty() {
+                fail("bench-serve takes only flags: [--scale test|small|full] [--seed N] [--out DIR]");
+            }
+            let out = std::path::PathBuf::from(o.out.as_deref().unwrap_or("results"));
+            let mut ctx = mdz::bench::experiments::Ctx::new(o.scale, out.clone(), o.seed);
+            let tables = mdz::bench::experiments::run("serve", &mut ctx).expect("serve experiment");
+            for t in &tables {
+                print!("{}", t.render());
+            }
+            eprintln!("wrote {}", out.join("BENCH_server.json").display());
+        }
         "query" => {
             let [addr, range_str] = &o.positional[..] else {
                 fail("query needs <addr> <start..end>");
@@ -659,7 +682,7 @@ fn main() {
             println!("buffers decoded: {}", s.buffers_decoded);
         }
         _ => {
-            eprintln!("usage: mdz <compress|decompress|info|extract|verify|gen|store|append|recover|get|serve|query|follow|stats|bench-ingest> …");
+            eprintln!("usage: mdz <compress|decompress|info|extract|verify|gen|store|append|recover|get|serve|query|follow|stats|bench-ingest|bench-serve> …");
             exit(2);
         }
     }
