@@ -13,10 +13,12 @@ use crate::harness::{repeat_timed, TimingSummary};
 use crate::json::Json;
 use crate::table::{fmt, Table};
 use mdz_core::{
-    ErrorBound, Frame, MdzConfig, Method, ParallelOptions, ParallelTrajectoryCompressor,
-    ParallelTrajectoryDecompressor,
+    kernel, Compressor, Decompressor, ErrorBound, Frame, MdzConfig, Method, Obs, ParallelOptions,
+    ParallelTrajectoryCompressor, ParallelTrajectoryDecompressor,
 };
+use mdz_obs::Registry;
 use mdz_sim::{DatasetKind, Scale};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The codecs the sweep covers, in report order.
@@ -31,6 +33,106 @@ struct Entry {
     ratio: f64,
     compress_speedup: f64,
     decompress_speedup: f64,
+}
+
+/// The single-core pipeline stages the SIMD kernels land in, paired with
+/// the span metric each stage records. The decode entropy stage (batched
+/// Huffman) is timed inside `decode.reconstruct`.
+const SIMD_STAGES: &[(&str, &str)] = &[
+    ("encode.predict_quantize", "core.encode.predict_quantize_seconds"),
+    ("encode.entropy", "core.encode.entropy_seconds"),
+    ("encode.lossless", "core.encode.lossless_seconds"),
+    ("decode.lossless", "core.decode.lossless_seconds"),
+    ("decode.reconstruct", "core.decode.reconstruct_seconds"),
+];
+
+/// One kernel arm of the scalar-vs-SIMD breakdown.
+struct SimdArm {
+    /// Accumulated per-stage span seconds, in [`SIMD_STAGES`] order.
+    seconds: Vec<f64>,
+    /// Concatenated block bytes from the first repetition.
+    bytes: Vec<u8>,
+    /// FNV-1a hash over the reconstruction bit patterns.
+    decoded_hash: u64,
+}
+
+/// One per-stage row of the breakdown table / JSON.
+struct StageRow {
+    stage: &'static str,
+    scalar_seconds: f64,
+    simd_seconds: f64,
+}
+
+impl StageRow {
+    fn speedup(&self) -> f64 {
+        if self.simd_seconds > 0.0 {
+            self.scalar_seconds / self.simd_seconds
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Compresses and decodes the stream once per repetition on the plain
+/// single-core pipeline with the force-scalar override set to `force`,
+/// collecting per-stage span sums from a private registry.
+fn run_simd_arm(force: bool, cfg: &MdzConfig, buffers: &[Vec<Vec<f64>>], reps: usize) -> SimdArm {
+    let prev = kernel::force_scalar();
+    kernel::set_force_scalar(force);
+    let registry = Arc::new(Registry::new());
+    let obs = Obs::new(registry.clone());
+    let mut bytes = Vec::new();
+    let mut decoded_hash = 0u64;
+    for rep in 0..reps {
+        let mut comp = Compressor::new(cfg.clone());
+        comp.set_obs(obs.clone());
+        let blocks: Vec<Vec<u8>> =
+            buffers.iter().map(|buf| comp.compress_buffer(buf).expect("compress")).collect();
+        let mut dec = Decompressor::new();
+        dec.set_obs(obs.clone());
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for block in &blocks {
+            for snap in dec.decompress_block(block).expect("decompress") {
+                for v in snap {
+                    hash = (hash ^ v.to_bits()).wrapping_mul(0x100_0000_01b3);
+                }
+            }
+        }
+        if rep == 0 {
+            bytes = blocks.concat();
+            decoded_hash = hash;
+        }
+    }
+    kernel::set_force_scalar(prev);
+    let snap = registry.snapshot();
+    let seconds = SIMD_STAGES
+        .iter()
+        .map(|&(_, metric)| snap.histogram(metric).map_or(0.0, |h| h.sum))
+        .collect();
+    SimdArm { seconds, bytes, decoded_hash }
+}
+
+/// Runs the scalar oracle and the auto-dispatched kernels over the same
+/// stream, asserting byte-identical blocks and bit-identical decodes
+/// before reporting per-stage timings.
+fn simd_breakdown(buffers: &[Vec<Vec<f64>>], reps: usize) -> Vec<StageRow> {
+    let cfg = MdzConfig::new(ErrorBound::ValueRangeRelative(1e-3)).with_method(Method::Adaptive);
+    let auto = run_simd_arm(false, &cfg, buffers, reps);
+    let scalar = run_simd_arm(true, &cfg, buffers, reps);
+    assert_eq!(auto.bytes, scalar.bytes, "SIMD encode diverged from the scalar oracle");
+    assert_eq!(
+        auto.decoded_hash, scalar.decoded_hash,
+        "SIMD decode diverged from the scalar oracle"
+    );
+    SIMD_STAGES
+        .iter()
+        .enumerate()
+        .map(|(i, &(stage, _))| StageRow {
+            stage,
+            scalar_seconds: scalar.seconds[i],
+            simd_seconds: auto.seconds[i],
+        })
+        .collect()
 }
 
 /// Workers × codecs throughput sweep; writes `BENCH_throughput.json`
@@ -52,8 +154,12 @@ pub fn throughput(ctx: &mut Ctx) -> Vec<Table> {
         .map(|s| Frame::new(s.x.clone(), s.y.clone(), s.z.clone()))
         .collect();
     let raw_bytes = dataset.len() * dataset.atoms() * 3 * 8;
+    // One axis of the same stream, for the single-core scalar-vs-SIMD
+    // breakdown.
+    let xs: Vec<Vec<f64>> = dataset.snapshots.iter().map(|s| s.x.clone()).collect();
     // Enough buffers per axis for real fan-out at every scale.
     let bs = if matches!(ctx.scale, Scale::Test) { 3 } else { 10 };
+    let axis_buffers: Vec<Vec<Vec<f64>>> = xs.chunks(bs).map(<[Vec<f64>]>::to_vec).collect();
     let buffers: Vec<&[Frame]> = frames.chunks(bs).collect();
 
     let mut entries: Vec<Entry> = Vec::new();
@@ -101,7 +207,8 @@ pub fn throughput(ctx: &mut Ctx) -> Vec<Table> {
         }
     }
 
-    write_json(ctx, kind, raw_bytes, bs, reps, hw_threads, &entries);
+    let stage_rows = simd_breakdown(&axis_buffers, reps);
+    write_json(ctx, kind, raw_bytes, bs, reps, hw_threads, &entries, &stage_rows);
 
     let mut table = Table::new(
         &format!(
@@ -136,9 +243,26 @@ pub fn throughput(ctx: &mut Ctx) -> Vec<Table> {
             fmt(e.compress.median),
         ]);
     }
-    vec![ctx.emit("throughput", table)]
+
+    let backend = kernel::detected_level().name();
+    let mut simd_table = Table::new(
+        &format!(
+            "Single-core per-stage breakdown (scalar oracle vs {backend} kernels, ADP, {reps} reps)"
+        ),
+        &["stage", "scalar s", "simd s", "speedup"],
+    );
+    for r in &stage_rows {
+        simd_table.row(vec![
+            r.stage.into(),
+            fmt(r.scalar_seconds),
+            fmt(r.simd_seconds),
+            fmt(r.speedup()),
+        ]);
+    }
+    vec![ctx.emit("throughput", table), ctx.emit("throughput_simd", simd_table)]
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     ctx: &Ctx,
     kind: DatasetKind,
@@ -147,6 +271,7 @@ fn write_json(
     reps: usize,
     hw_threads: usize,
     entries: &[Entry],
+    stage_rows: &[StageRow],
 ) {
     let timing = |t: &TimingSummary| {
         Json::obj(vec![
@@ -186,6 +311,7 @@ fn write_json(
                     .collect(),
             ),
         ),
+        ("simd", simd_json(stage_rows)),
     ]);
     let path = ctx.out_dir.join("BENCH_throughput.json");
     if let Some(dir) = path.parent() {
@@ -194,4 +320,42 @@ fn write_json(
     if let Err(e) = std::fs::write(&path, doc.render()) {
         eprintln!("warning: could not write {}: {e}", path.display());
     }
+}
+
+/// The `simd` object of `BENCH_throughput.json`: the detected backend, the
+/// per-stage scalar-vs-SIMD seconds, and a caveat when the host exposes no
+/// vector features (both arms then ran the scalar kernels and the speedups
+/// only measure noise).
+fn simd_json(stage_rows: &[StageRow]) -> Json {
+    let backend = kernel::detected_level().name();
+    let mut fields = vec![
+        ("backend", Json::Str(backend.into())),
+        ("force_scalar_override", Json::Str("MDZ_FORCE_SCALAR".into())),
+    ];
+    if backend == "scalar" {
+        fields.push((
+            "caveat",
+            Json::Str(
+                "host CPU exposes no supported vector features; both arms ran the scalar kernels"
+                    .into(),
+            ),
+        ));
+    }
+    fields.push((
+        "stages",
+        Json::Arr(
+            stage_rows
+                .iter()
+                .map(|r| {
+                    Json::obj(vec![
+                        ("stage", Json::Str(r.stage.into())),
+                        ("scalar_seconds", Json::Num(r.scalar_seconds)),
+                        ("simd_seconds", Json::Num(r.simd_seconds)),
+                        ("speedup", Json::Num(r.speedup())),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Json::obj(fields)
 }

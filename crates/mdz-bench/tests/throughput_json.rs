@@ -50,6 +50,49 @@ fn validate(doc: &Json) {
         }
     }
     assert!(saw_serial_baseline > 0, "no serial baseline entries");
+
+    // The per-stage scalar-vs-SIMD breakdown added with the kernel
+    // dispatch: a backend name, the five pipeline stages in order, and a
+    // caveat when the host ran scalar kernels on both arms.
+    let simd = doc.get("simd").expect("missing simd breakdown");
+    let backend = simd.get("backend").and_then(Json::as_str).expect("simd.backend");
+    assert!(
+        ["scalar", "sse4.1", "avx2", "neon"].contains(&backend),
+        "unknown simd backend {backend}"
+    );
+    assert!(
+        simd.get("force_scalar_override").and_then(Json::as_str).is_some(),
+        "missing simd.force_scalar_override"
+    );
+    if backend == "scalar" {
+        assert!(
+            simd.get("caveat").and_then(Json::as_str).is_some(),
+            "scalar backend must carry a host-feature caveat"
+        );
+    }
+    let stages = simd.get("stages").and_then(Json::as_array).expect("simd.stages");
+    let names: Vec<&str> =
+        stages.iter().map(|s| s.get("stage").and_then(Json::as_str).expect("stage name")).collect();
+    assert_eq!(
+        names,
+        [
+            "encode.predict_quantize",
+            "encode.entropy",
+            "encode.lossless",
+            "decode.lossless",
+            "decode.reconstruct"
+        ],
+        "unexpected stage set"
+    );
+    for (i, s) in stages.iter().enumerate() {
+        for key in ["scalar_seconds", "simd_seconds", "speedup"] {
+            let v = s
+                .get(key)
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("stage {i}: missing {key}"));
+            assert!(v.is_finite() && v > 0.0, "stage {i}: {key} = {v}");
+        }
+    }
 }
 
 #[test]

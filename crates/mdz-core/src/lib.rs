@@ -55,8 +55,11 @@ pub mod format;
 pub(crate) mod pipeline;
 pub mod quant;
 pub mod seq;
+pub(crate) mod simd;
 pub mod stage;
 pub mod traj;
+
+pub use mdz_entropy::kernel;
 
 pub use adaptive::{AdaptiveState, Candidate};
 pub use bound::ErrorBound;

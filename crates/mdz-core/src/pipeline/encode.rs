@@ -19,6 +19,7 @@ use crate::quant::{BitAdaptiveQuantizer, LinearQuantizer, Quantized};
 use crate::seq::to_seq2_into;
 use crate::stage::{HuffmanStage, LosslessStage, Lz77Stage, Quantizer, RangeStage};
 use crate::{EntropyStage, MdzConfig, QuantizerKind, Result};
+use mdz_entropy::kernel::SimdLevel;
 use mdz_entropy::{write_uvarint, zigzag_encode};
 use mdz_kmeans::{detect_levels, LevelGrid, SelectConfig};
 use mdz_obs::Obs;
@@ -44,6 +45,10 @@ pub(crate) struct EncodeScratch {
     b_ordered: Vec<u32>,
     j_ordered: Vec<u32>,
     escapes: Vec<(usize, f64)>,
+    /// Rounded VQ level indices, one per value, for the vectorized sweep.
+    lf: Vec<f64>,
+    /// VQ level predictions matching `lf`, for the vectorized sweep.
+    vq_pred: Vec<f64>,
     recon_prev: Vec<f64>,
     recon_prev2: Vec<f64>,
     recon_cur: Vec<f64>,
@@ -134,6 +139,8 @@ fn encode_with<Q: Quantizer>(
         b_ordered,
         j_ordered,
         escapes,
+        lf,
+        vq_pred,
         recon_prev,
         recon_prev2,
         recon_cur,
@@ -147,6 +154,26 @@ fn encode_with<Q: Quantizer>(
     } = scratch;
     let mut delta = StateDelta::default();
     let eps = quant.eps();
+
+    // SIMD dispatch, captured once per buffer so a concurrent force-scalar
+    // toggle cannot split one buffer across strategies. The vector kernels
+    // need a per-value linear quantizer and a radius the packed i32
+    // conversion handles exactly; anything else keeps the scalar oracle.
+    let simd = crate::kernel::active_level();
+    let lin: Option<LinearQuantizer> = if simd == crate::kernel::SimdLevel::Scalar {
+        None
+    } else {
+        quant.as_linear().filter(crate::simd::eligible)
+    };
+    obs.incr(
+        match (simd, lin.is_some()) {
+            (crate::kernel::SimdLevel::Avx2, true) => "core.encode.kernel.avx2",
+            (crate::kernel::SimdLevel::Sse41, true) => "core.encode.kernel.sse41",
+            (crate::kernel::SimdLevel::Neon, true) => "core.encode.kernel.neon",
+            _ => "core.encode.kernel.scalar",
+        },
+        1,
+    );
 
     // Level grid: detect once per stream, from the first snapshot seen by a
     // VQ-family method (the paper computes F once, on the first snapshot).
@@ -191,7 +218,18 @@ fn encode_with<Q: Quantizer>(
         match mode {
             SnapshotMode::VqGrid => {
                 let g = grid.expect("mode implies grid");
-                encode_vq_snapshot(quant, &g, snap, s_idx * n, b_codes, j_codes, escapes, recon_cur)
+                encode_vq_snapshot(
+                    quant,
+                    &g,
+                    snap,
+                    s_idx * n,
+                    b_codes,
+                    j_codes,
+                    escapes,
+                    recon_cur,
+                    (lf, vq_pred),
+                    (lin, simd),
+                )
             }
             SnapshotMode::Lorenzo => encode_predicted_snapshot(
                 quant,
@@ -201,6 +239,7 @@ fn encode_with<Q: Quantizer>(
                 b_codes,
                 escapes,
                 recon_cur,
+                (lin, simd),
             ),
             SnapshotMode::TimePrev => encode_predicted_snapshot(
                 quant,
@@ -210,6 +249,7 @@ fn encode_with<Q: Quantizer>(
                 b_codes,
                 escapes,
                 recon_cur,
+                (lin, simd),
             ),
             SnapshotMode::TimePrev2 => {
                 extrapolated.clear();
@@ -223,6 +263,7 @@ fn encode_with<Q: Quantizer>(
                     b_codes,
                     escapes,
                     recon_cur,
+                    (lin, simd),
                 )
             }
             SnapshotMode::TimeRef => encode_predicted_snapshot(
@@ -233,6 +274,7 @@ fn encode_with<Q: Quantizer>(
                 b_codes,
                 escapes,
                 recon_cur,
+                (lin, simd),
             ),
         }
         if s_idx == 0 {
@@ -330,6 +372,14 @@ fn encode_with<Q: Quantizer>(
 
 /// Encodes a snapshot under value prediction, writing codes/escapes and the
 /// reconstruction.
+///
+/// `kernel` is the `(linear quantizer, dispatch level)` pair captured once
+/// per buffer: when the quantizer is per-value linear and the predictions
+/// are a precomputed slice (every time predictor; Lorenzo's serial
+/// `recon[i-1]` chain is inherently scalar), the vectorized sweep runs and
+/// the escape list is rebuilt from its in-band zero codes. Output is
+/// byte-identical either way.
+#[allow(clippy::too_many_arguments)]
 fn encode_predicted_snapshot<Q: Quantizer>(
     quant: &Q,
     snap: &[f64],
@@ -338,7 +388,18 @@ fn encode_predicted_snapshot<Q: Quantizer>(
     b_codes: &mut Vec<u32>,
     escapes: &mut Vec<(usize, f64)>,
     recon: &mut [f64],
+    kernel: (Option<LinearQuantizer>, SimdLevel),
 ) {
+    if let (Some(lin), &Predictor::Slice(preds)) = (kernel.0, &source) {
+        let start = b_codes.len();
+        crate::simd::quantize_predicted(&lin, snap, preds, b_codes, recon, kernel.1);
+        for (i, &c) in b_codes[start..].iter().enumerate() {
+            if c == 0 {
+                escapes.push((flat_base + i, snap[i]));
+            }
+        }
+        return;
+    }
     for (i, &d) in snap.iter().enumerate() {
         let pred = source.predict(recon, i);
         match quant.quantize(d, pred, &mut recon[i]) {
@@ -352,6 +413,12 @@ fn encode_predicted_snapshot<Q: Quantizer>(
 }
 
 /// Encodes a snapshot with VQ level prediction, emitting level-delta codes.
+///
+/// With a usable kernel the float work (level rounding, level prediction,
+/// quantization) runs vectorized into per-value arrays, and a scalar sweep
+/// then replays the serial integer chain — zigzag level deltas against
+/// `prev_level`, which only advances on non-escaped values — exactly as the
+/// fused scalar loop would. Output is byte-identical either way.
 #[allow(clippy::too_many_arguments)]
 fn encode_vq_snapshot<Q: Quantizer>(
     quant: &Q,
@@ -362,7 +429,55 @@ fn encode_vq_snapshot<Q: Quantizer>(
     j_codes: &mut Vec<u32>,
     escapes: &mut Vec<(usize, f64)>,
     recon: &mut [f64],
+    scratch: (&mut Vec<f64>, &mut Vec<f64>),
+    kernel: (Option<LinearQuantizer>, SimdLevel),
 ) {
+    if let Some(lin) = kernel.0 {
+        let (lf_scratch, pred_scratch) = scratch;
+        let n = snap.len();
+        lf_scratch.clear();
+        lf_scratch.resize(n, 0.0);
+        pred_scratch.clear();
+        pred_scratch.resize(n, 0.0);
+        crate::simd::vq_levels(grid.mu, grid.lambda, snap, lf_scratch, pred_scratch, kernel.1);
+        let start = b_codes.len();
+        crate::simd::quantize_predicted(&lin, snap, pred_scratch, b_codes, recon, kernel.1);
+        let codes = &mut b_codes[start..];
+        let mut prev_level = 0i64;
+        for i in 0..n {
+            let d = snap[i];
+            let lfv = lf_scratch[i];
+            let quant_escape = codes[i] == 0;
+            if !lfv.is_finite() || lfv.abs() > MAX_LEVEL_MAG {
+                // The kernel quantized against a garbage prediction here;
+                // discard its lane entirely, as the scalar loop never
+                // reaches the quantizer for these values.
+                codes[i] = 0;
+                j_codes.push(zigzag_encode(0) as u32);
+                escapes.push((flat_base + i, d));
+                recon[i] = d;
+                continue;
+            }
+            let level = lfv as i64;
+            let zz = zigzag_encode(level - prev_level);
+            if zz > u64::from(u32::MAX) {
+                codes[i] = 0;
+                j_codes.push(zigzag_encode(0) as u32);
+                escapes.push((flat_base + i, d));
+                recon[i] = d;
+                continue;
+            }
+            if quant_escape {
+                // recon[i] already holds `d` from the kernel's escape lane.
+                j_codes.push(zigzag_encode(0) as u32);
+                escapes.push((flat_base + i, d));
+                continue;
+            }
+            j_codes.push(zz as u32);
+            prev_level = level;
+        }
+        return;
+    }
     let mut prev_level = 0i64;
     for (i, &d) in snap.iter().enumerate() {
         let mut escape = |recon_slot: &mut f64, b: &mut Vec<u32>, j: &mut Vec<u32>| {

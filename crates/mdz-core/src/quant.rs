@@ -61,6 +61,12 @@ impl LinearQuantizer {
         self.radius
     }
 
+    /// The precomputed `0.5 / eps` multiplier, exposed so the SIMD kernels
+    /// replicate the scalar arithmetic bit-for-bit instead of re-deriving it.
+    pub(crate) fn inv_step(&self) -> f64 {
+        self.inv_step
+    }
+
     /// Quantizes `value` against `prediction`.
     ///
     /// Returns the code and writes the *reconstructed* value (what the
@@ -115,6 +121,10 @@ impl Quantizer for LinearQuantizer {
     #[inline]
     fn reconstruct(&self, code: u32, prediction: f64) -> f64 {
         LinearQuantizer::reconstruct(self, code, prediction)
+    }
+
+    fn as_linear(&self) -> Option<LinearQuantizer> {
+        Some(*self)
     }
 }
 
@@ -201,6 +211,12 @@ impl Quantizer for BitAdaptiveQuantizer {
     #[inline]
     fn reconstruct(&self, code: u32, prediction: f64) -> f64 {
         self.inner.reconstruct(code, prediction)
+    }
+
+    fn as_linear(&self) -> Option<LinearQuantizer> {
+        // The adaptivity is all in the wire format (`encode_codes`); the
+        // per-value arithmetic is the inner linear quantizer verbatim.
+        Some(self.inner)
     }
 
     fn encode_codes(&self, codes: &[u32], _entropy: &mut dyn EntropyStage, out: &mut Vec<u8>) {

@@ -71,6 +71,19 @@ pub trait Quantizer {
     /// reconstruction in `reconstructed` (the original value on escape).
     fn quantize(&self, value: f64, prediction: f64, reconstructed: &mut f64) -> Quantized;
 
+    /// The plain [`crate::LinearQuantizer`] whose `quantize` this quantizer
+    /// applies per value, if any.
+    ///
+    /// This is the hook the SIMD kernels dispatch on: a quantizer that is
+    /// per-value linear (the classic fixed-radius one, and the bit-adaptive
+    /// wrapper whose adaptivity lives entirely in `encode_codes`) exposes
+    /// its inner linear parameters here and gets the vectorized fused
+    /// predict/quantize sweep; anything else returns `None` and keeps the
+    /// scalar path.
+    fn as_linear(&self) -> Option<crate::LinearQuantizer> {
+        None
+    }
+
     /// Inverts a non-escape code back to the reconstructed value.
     fn reconstruct(&self, code: u32, prediction: f64) -> f64;
 

@@ -143,6 +143,32 @@ impl<'a> BitReader<'a> {
         Ok(bit == 1)
     }
 
+    /// Peeks a 64-bit big-endian window whose top bit is the next unread
+    /// bit, without consuming anything.
+    ///
+    /// Returns `None` when fewer than 8 whole bytes remain from the current
+    /// byte boundary — callers fall back to bitwise reads for the stream
+    /// tail. When it returns `Some`, at least `64 - 7 = 57` of the top bits
+    /// are real stream bits (up to 7 may already have been consumed from the
+    /// current byte and are shifted out).
+    #[inline]
+    pub fn peek64(&self) -> Option<u64> {
+        let byte_idx = (self.pos / 8) as usize;
+        let rest = self.data.get(byte_idx..byte_idx + 8)?;
+        let word = u64::from_be_bytes(rest.try_into().expect("slice is 8 bytes"));
+        Some(word << (self.pos % 8))
+    }
+
+    /// Advances the cursor by `n` bits without reading them.
+    ///
+    /// The caller must have validated availability (e.g. via [`Self::peek64`]);
+    /// advancing past the end is a programming error checked in debug builds.
+    #[inline]
+    pub fn advance(&mut self, n: u64) {
+        debug_assert!(n <= self.remaining());
+        self.pos += n;
+    }
+
     /// Reads `n` bits (≤ 64), most significant first.
     #[inline]
     pub fn read_bits(&mut self, n: u32) -> Result<u64> {
@@ -233,6 +259,51 @@ mod tests {
         assert_eq!(w.bit_len(), 13);
         w.write_bit(true);
         assert_eq!(w.bit_len(), 14);
+    }
+
+    #[test]
+    fn peek64_matches_bitwise_reads() {
+        let data: Vec<u8> = (0u16..64).map(|i| (i as u8).wrapping_mul(37).rotate_left(3)).collect();
+        for start in 0..48u64 {
+            let mut r = BitReader::new(&data);
+            if start > 0 {
+                r.read_bits(start as u32).unwrap();
+            }
+            let window = r.peek64().expect("plenty of bytes remain");
+            // The top bits of the window must equal the next bits read
+            // bitwise, for every prefix width up to the 57-bit guarantee.
+            let mut probe = r.clone();
+            for width in 1..=57u32 {
+                let expect = probe.read_bit().unwrap();
+                let got = (window >> (64 - width)) & 1 == 1;
+                assert_eq!(got, expect, "start {start} width {width}");
+            }
+            // advance() must land exactly where read_bits() would.
+            let mut a = r.clone();
+            let mut b = r;
+            a.advance(23);
+            b.read_bits(23).unwrap();
+            assert_eq!(a.position(), b.position());
+        }
+    }
+
+    #[test]
+    fn peek64_requires_eight_whole_bytes() {
+        let data = [0u8; 8];
+        let mut r = BitReader::new(&data);
+        assert!(r.peek64().is_some());
+        r.read_bits(7).unwrap();
+        // Still inside byte 0: the window [byte0, byte8) still exists.
+        assert!(r.peek64().is_some());
+        r.read_bit().unwrap();
+        // Now at byte 1: the window [byte1, byte9) is out of range.
+        assert!(r.peek64().is_none());
+        let data9 = [0u8; 9];
+        let mut r = BitReader::new(&data9);
+        r.read_bits(15).unwrap();
+        assert!(r.peek64().is_some(), "still inside byte 1: bytes 1..9 exactly");
+        r.read_bit().unwrap();
+        assert!(r.peek64().is_none(), "at byte 2: bytes 2..10 out of range");
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! * [`bitio`] — MSB-first bit readers and writers over byte buffers,
 //! * [`varint`] — LEB128 unsigned varints and zigzag-mapped signed varints,
 //! * [`huffman`] — canonical, length-limited Huffman coding over `u32`
-//!   symbol alphabets with a compact serialized code table.
+//!   symbol alphabets with a compact serialized code table,
+//! * [`kernel`] — runtime SIMD dispatch (feature detection + the
+//!   `MDZ_FORCE_SCALAR` scalar-oracle override) shared by every crate with
+//!   vectorized hot paths.
 //!
 //! All decoders treat their input as untrusted: truncated or corrupted
 //! streams produce [`EntropyError`] values, never panics.
@@ -16,6 +19,7 @@
 
 pub mod bitio;
 pub mod huffman;
+pub mod kernel;
 pub mod range;
 pub mod varint;
 

@@ -38,6 +38,17 @@ static GATE: Mutex<()> = Mutex::new(());
 
 const MB: usize = 1 << 20;
 
+/// Runs `f` with the SIMD force-scalar override set to `force`, restoring
+/// the previous state. Campaigns using this are already serialized behind
+/// [`GATE`], so the process-global toggle cannot leak between tests.
+fn with_force_scalar<T>(force: bool, f: impl FnOnce() -> T) -> T {
+    let prev = mdz_entropy::kernel::force_scalar();
+    mdz_entropy::kernel::set_force_scalar(force);
+    let out = f();
+    mdz_entropy::kernel::set_force_scalar(prev);
+    out
+}
+
 /// Runs one campaign: `iters` mutations of the seed set, each fed to
 /// `attempt` with the allocator watermark reset, asserting the decode
 /// attempt stays within `budget` bytes of heap.
@@ -110,7 +121,12 @@ fn fuzz_huffman_decode() {
         .map(|s| huffman_decode_at_limited(s, &mut 0, &limits).expect("seed decodes"))
         .collect();
     campaign("huffman", 0x4d445a01, &seeds.clone(), 8 * MB, |_, base_idx, input| {
-        let got = huffman_decode_at_limited(input, &mut 0, &limits);
+        // Replay each mutation through both kernel arms: the batched SIMD
+        // decode must agree with the scalar oracle on hostile input too —
+        // same values on success, same error otherwise.
+        let got = with_force_scalar(false, || huffman_decode_at_limited(input, &mut 0, &limits));
+        let oracle = with_force_scalar(true, || huffman_decode_at_limited(input, &mut 0, &limits));
+        assert_eq!(got, oracle, "batched huffman decode diverged from the scalar oracle");
         if input == seeds[base_idx] {
             assert_eq!(got.as_ref().ok(), Some(&refs[base_idx]), "identity input must decode");
         }
@@ -160,6 +176,14 @@ fn fuzz_lz77_decompress() {
     campaign("lz77", 0x4d445a03, &seeds.clone(), 32 * MB, |_, base_idx, input| {
         let mut out = Vec::new();
         let got = lz77::decompress_into_limited(input, &mut out, &limits);
+        // LZ77 decode is scalar either way (SIMD sits in the match finder);
+        // round-trip the decoded bytes through both compressor arms so the
+        // vectorized probe is also exercised on mutated, hostile-shaped data.
+        if got.is_ok() {
+            let auto = with_force_scalar(false, || lz77::compress(&out, lz77::Level::Default));
+            let oracle = with_force_scalar(true, || lz77::compress(&out, lz77::Level::Default));
+            assert_eq!(auto, oracle, "SIMD match probe diverged from the scalar oracle");
+        }
         if input == seeds[base_idx] {
             assert!(got.is_ok() && out == refs[base_idx], "identity input must decode");
         }
@@ -202,7 +226,24 @@ fn fuzz_block_decode_f64() {
         .collect();
     assert!(ok.iter().all(|&b| b));
     campaign("block-f64", 0x4d445a05, &seeds.clone(), 128 * MB, |_, base_idx, input| {
-        let got = Decompressor::with_limits(limits).decompress_block(input);
+        // Both kernel arms must agree on every mutated block: identical
+        // reconstructions when the block decodes, identical error otherwise.
+        let got =
+            with_force_scalar(false, || Decompressor::with_limits(limits).decompress_block(input));
+        let oracle =
+            with_force_scalar(true, || Decompressor::with_limits(limits).decompress_block(input));
+        // Compare reconstructions as bit patterns: a mutated escape value
+        // can legitimately decode to NaN, which `==` would treat as a
+        // divergence even when both arms produced identical bytes.
+        let bits = |r: &Result<Vec<Vec<f64>>, mdz_core::MdzError>| {
+            r.as_ref().map_err(Clone::clone).map(|snaps| {
+                snaps
+                    .iter()
+                    .map(|s| s.iter().map(|v| v.to_bits()).collect::<Vec<_>>())
+                    .collect::<Vec<_>>()
+            })
+        };
+        assert_eq!(bits(&got), bits(&oracle), "SIMD block decode diverged from the scalar oracle");
         if input == seeds[base_idx] {
             assert!(got.is_ok(), "identity input must decode");
         }

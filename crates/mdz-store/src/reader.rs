@@ -2,9 +2,9 @@
 //! cache of decoded epochs, live refresh of a growing archive, and the
 //! shared metrics registry.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::ops::Range;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use mdz_core::traj::split_container;
 use mdz_core::{DecodeLimits, Decompressor, Frame, MdzError, Obs, Result};
@@ -69,10 +69,72 @@ struct CacheEntry {
     frames: Arc<Vec<Frame>>,
 }
 
+/// One in-flight decode of a cold epoch, shared by every request that
+/// arrives while the decode is running. The first requester (the leader)
+/// decodes; the rest block on `done` and take the leader's result, so
+/// concurrent readers of one cold epoch cost exactly one decode.
+struct PendingSlot {
+    state: Mutex<PendingState>,
+    done: Condvar,
+}
+
+enum PendingState {
+    /// The leader is still decoding.
+    InFlight,
+    /// The leader finished: `Some` carries the decoded frames; `None`
+    /// means the decode failed and waiters must re-probe the cache (the
+    /// first one back in becomes the new leader).
+    Done(Option<Arc<Vec<Frame>>>),
+}
+
+impl Default for PendingSlot {
+    fn default() -> Self {
+        Self { state: Mutex::new(PendingState::InFlight), done: Condvar::new() }
+    }
+}
+
+/// Decoded-epoch LRU cache plus the table of in-flight decodes.
+///
+/// Recency lives in `by_tick`, keyed by the strictly increasing `tick`
+/// counter (so keys are unique and the smallest key is always the least
+/// recently used). A touch is one `BTreeMap` remove + insert and eviction
+/// pops the first entry — O(log n), never a scan over `map`.
 #[derive(Default)]
 struct EpochCache {
     map: HashMap<usize, CacheEntry>,
+    /// Recency index: `last_used` tick → epoch, mirroring `map` exactly.
+    by_tick: BTreeMap<u64, usize>,
+    /// Cold epochs currently being decoded by a leader request.
+    pending: HashMap<usize, Arc<PendingSlot>>,
     tick: u64,
+}
+
+impl EpochCache {
+    /// Marks `epoch` used now and returns its frames if cached.
+    fn touch(&mut self, epoch: usize) -> Option<Arc<Vec<Frame>>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.map.get_mut(&epoch)?;
+        self.by_tick.remove(&entry.last_used);
+        entry.last_used = tick;
+        self.by_tick.insert(tick, epoch);
+        Some(Arc::clone(&entry.frames))
+    }
+
+    /// Inserts `epoch`, first evicting least-recently-used entries until
+    /// the cache is below `cap`.
+    fn insert(&mut self, epoch: usize, frames: Arc<Vec<Frame>>, cap: usize) {
+        self.tick += 1;
+        let tick = self.tick;
+        while self.map.len() >= cap {
+            let Some((_, oldest)) = self.by_tick.pop_first() else { break };
+            self.map.remove(&oldest);
+        }
+        if let Some(prev) = self.map.insert(epoch, CacheEntry { last_used: tick, frames }) {
+            self.by_tick.remove(&prev.last_used);
+        }
+        self.by_tick.insert(tick, epoch);
+    }
 }
 
 /// The swappable part of the store: archive bytes plus the parsed index.
@@ -348,46 +410,81 @@ impl StoreReader {
     /// The cache is keyed by epoch number, which is stable across refreshes:
     /// appends only ever add epochs past the current tail, so an entry
     /// decoded from an older snapshot is still correct.
+    ///
+    /// Concurrent requests for the same cold epoch are deduplicated: the
+    /// first one in installs a [`PendingSlot`] and becomes the decode
+    /// leader; later arrivals block on the slot and share the leader's
+    /// result. Each request counts exactly one of `store.cache.hits` /
+    /// `store.cache.misses`, while `store.buffers_decoded` counts only the
+    /// decode work actually performed.
     fn epoch_frames(
         &self,
         snap: &Snapshot,
         epoch: usize,
         limits: &DecodeLimits,
     ) -> Result<Arc<Vec<Frame>>> {
+        enum Role {
+            Leader(Arc<PendingSlot>),
+            Waiter(Arc<PendingSlot>),
+        }
         let obs = &self.shared.obs;
-        {
-            let mut cache = self.cache.lock().unwrap();
-            cache.tick += 1;
-            let tick = cache.tick;
-            if let Some(entry) = cache.map.get_mut(&epoch) {
-                entry.last_used = tick;
-                obs.incr("store.cache.hits", 1);
-                return Ok(Arc::clone(&entry.frames));
-            }
-        }
-        // Decode outside the lock so other epochs stay readable. Two threads
-        // racing on the same cold epoch may both decode it — the counters
-        // report the work actually done, and the cache keeps one copy.
-        obs.incr("store.cache.misses", 1);
-        let frames = match self.decode_epoch(snap, epoch, limits) {
-            Ok(f) => Arc::new(f),
-            Err(e) => {
-                obs.incr("store.decode_errors", 1);
-                return Err(e);
-            }
-        };
-        let mut cache = self.cache.lock().unwrap();
-        cache.tick += 1;
-        let tick = cache.tick;
-        while cache.map.len() >= self.opts.cache_epochs.max(1) {
-            let Some((&oldest, _)) = cache.map.iter().min_by_key(|(_, entry)| entry.last_used)
-            else {
-                break;
+        let mut counted_miss = false;
+        loop {
+            // Probe the cache; on a miss, either join the in-flight decode
+            // or install a slot and become the leader.
+            let role = {
+                let mut cache = self.cache.lock().unwrap();
+                if let Some(frames) = cache.touch(epoch) {
+                    if !counted_miss {
+                        obs.incr("store.cache.hits", 1);
+                    }
+                    return Ok(frames);
+                }
+                if !counted_miss {
+                    counted_miss = true;
+                    obs.incr("store.cache.misses", 1);
+                }
+                match cache.pending.get(&epoch) {
+                    Some(slot) => Role::Waiter(Arc::clone(slot)),
+                    None => {
+                        let slot = Arc::new(PendingSlot::default());
+                        cache.pending.insert(epoch, Arc::clone(&slot));
+                        Role::Leader(slot)
+                    }
+                }
             };
-            cache.map.remove(&oldest);
+            match role {
+                Role::Leader(slot) => {
+                    // Decode outside the cache lock so other epochs stay
+                    // readable while this one is in flight.
+                    let result = self.decode_epoch(snap, epoch, limits).map(Arc::new);
+                    let mut cache = self.cache.lock().unwrap();
+                    cache.pending.remove(&epoch);
+                    if let Ok(frames) = &result {
+                        cache.insert(epoch, Arc::clone(frames), self.opts.cache_epochs.max(1));
+                    } else {
+                        obs.incr("store.decode_errors", 1);
+                    }
+                    drop(cache);
+                    *slot.state.lock().unwrap() =
+                        PendingState::Done(result.as_ref().ok().map(Arc::clone));
+                    slot.done.notify_all();
+                    return result;
+                }
+                Role::Waiter(slot) => {
+                    let mut state = slot.state.lock().unwrap();
+                    while matches!(*state, PendingState::InFlight) {
+                        state = slot.done.wait(state).unwrap();
+                    }
+                    if let PendingState::Done(Some(frames)) = &*state {
+                        return Ok(Arc::clone(frames));
+                    }
+                    // The leader failed; loop to re-probe the cache and
+                    // possibly become the new leader. The miss was already
+                    // counted for this request.
+                }
+            }
         }
-        cache.map.insert(epoch, CacheEntry { last_used: tick, frames: Arc::clone(&frames) });
-        Ok(frames)
     }
 
     /// Decodes every buffer of `epoch` with fresh per-axis decompressors.
@@ -600,6 +697,71 @@ mod tests {
         let s = reader.stats();
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.cache_misses, 4);
+    }
+
+    #[test]
+    fn eviction_pops_strictly_by_recency_order() {
+        let mut cache = EpochCache::default();
+        let f = Arc::new(Vec::new());
+        for epoch in 0..3 {
+            cache.insert(epoch, Arc::clone(&f), 3);
+        }
+        // Recency is now 0 < 1 < 2; touching 0 makes 1 the LRU.
+        assert!(cache.touch(0).is_some());
+        cache.insert(3, Arc::clone(&f), 3); // evicts 1
+        assert!(cache.map.contains_key(&0));
+        assert!(!cache.map.contains_key(&1));
+        cache.insert(4, Arc::clone(&f), 3); // evicts 2
+        assert!(!cache.map.contains_key(&2));
+        cache.insert(5, Arc::clone(&f), 3); // evicts 0 (older than 3 and 4)
+        assert!(!cache.map.contains_key(&0));
+        assert_eq!(cache.map.len(), 3);
+        // The recency index mirrors the map exactly: eviction pops the
+        // smallest tick instead of scanning `map`.
+        assert_eq!(cache.by_tick.len(), cache.map.len());
+        let mut live: Vec<usize> = cache.by_tick.values().copied().collect();
+        live.sort_unstable();
+        assert_eq!(live, vec![3, 4, 5]);
+        for (&tick, epoch) in &cache.by_tick {
+            assert_eq!(cache.map[epoch].last_used, tick);
+        }
+    }
+
+    #[test]
+    fn racing_cold_readers_share_one_decode() {
+        // Install a fake in-flight slot so every thread below registers its
+        // miss and parks before any real decode can start; failing that
+        // fake leader then releases them all at once, and exactly one
+        // becomes the real leader while the rest share its result.
+        let reader = small_store();
+        let slot = Arc::new(PendingSlot::default());
+        reader.cache.lock().unwrap().pending.insert(0, Arc::clone(&slot));
+
+        const THREADS: usize = 4;
+        let full = std::thread::scope(|s| {
+            let handles: Vec<_> =
+                (0..THREADS).map(|_| s.spawn(|| reader.read_frames(0..4).unwrap())).collect();
+            // Misses are counted in the same critical section that joins
+            // the pending slot, so once all are counted every thread holds
+            // the fake slot as a waiter.
+            while reader.stats().cache_misses < THREADS as u64 {
+                std::thread::yield_now();
+            }
+            reader.cache.lock().unwrap().pending.remove(&0);
+            *slot.state.lock().unwrap() = PendingState::Done(None);
+            slot.done.notify_all();
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        });
+        for part in &full {
+            assert_eq!(part, &full[0]);
+        }
+        let s = reader.stats();
+        // Every request missed exactly once, and the epoch (2 buffers) was
+        // decoded exactly once, no matter how the threads interleaved.
+        assert_eq!(s.cache_misses, THREADS as u64);
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(s.buffers_decoded, 2);
+        assert_eq!(s.decode_errors, 0);
     }
 
     #[test]

@@ -84,6 +84,19 @@ mdz=target/release/mdz
 "$mdz" gen lj "$tmp_out/traj.xyz" --scale test --seed 7 > /dev/null
 "$mdz" store "$tmp_out/traj.xyz" "$tmp_out/traj.mdz" --bs 1 --epoch 2 > /dev/null
 "$mdz" get "$tmp_out/traj.mdz" 1..3 > "$tmp_out/local.txt" 2> /dev/null
+
+# SIMD dispatch smoke: the SIMD kernels are format-invisible, so the same
+# round-trip with every kernel forced to the scalar oracle must produce a
+# byte-identical archive and byte-identical decoded frames.
+echo "==> force-scalar smoke (MDZ_FORCE_SCALAR=1, byte-compared round-trip)"
+MDZ_FORCE_SCALAR=1 "$mdz" store "$tmp_out/traj.xyz" "$tmp_out/scalar.mdz" \
+    --bs 1 --epoch 2 > /dev/null
+cmp "$tmp_out/traj.mdz" "$tmp_out/scalar.mdz"
+MDZ_FORCE_SCALAR=1 "$mdz" get "$tmp_out/scalar.mdz" 1..3 \
+    > "$tmp_out/scalar.txt" 2> /dev/null
+cmp "$tmp_out/local.txt" "$tmp_out/scalar.txt"
+rm "$tmp_out/scalar.mdz" "$tmp_out/scalar.txt"
+
 "$mdz" serve "$tmp_out/traj.mdz" 127.0.0.1:0 --threads 2 2> "$tmp_out/serve.log" &
 server_pid=$!
 trap 'kill "$server_pid" 2> /dev/null; rm -rf "$tmp_out"' EXIT
